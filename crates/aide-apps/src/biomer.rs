@@ -1,0 +1,599 @@
+//! Biomer — "molecular editing application; memory/CPU intensive".
+//!
+//! The hard case. The molecule model (fragments of atoms/bonds, force
+//! field, integrator, energy terms) is *tightly coupled* to the natively
+//! implemented 3D view and to generic value classes (strings, boxed
+//! integers) hammered from both sides of any cut — the paper's §5.1
+//! explanation for Biomer's high remote-execution overhead (27.5%), and
+//! the reason the beneficial-offloading gate refuses to offload it in the
+//! §5.2 processing experiments (predicted 790 s versus 750 s).
+//!
+//! The coupling is arranged so the *greedy candidate sweep misses the one
+//! good cut*: the integrator leans on the generic classes (which lean on
+//! the client), so the sweep pulls fragments to the client before the
+//! force-field/energy cluster — but a *manual* partition that keeps
+//! `{ForceField, *Energy, Fragment}` together on the surrogate is
+//! genuinely beneficial (the paper's hand-found 711 s).
+//!
+//! Two scenarios share the class structure: [`biomer`] (memory growth,
+//! §5.1) and [`biomer_cpu`] (heavy simulation steps, §5.2).
+
+use std::sync::Arc;
+
+use aide_vm::{ClassId, MethodDef, MethodId, NativeKind, Op, Program, ProgramBuilder, Reg};
+
+use crate::common::{rotating_groups, Scale, Web, WebSpec};
+use crate::App;
+
+const SLOT_VIEW: u16 = 0;
+const SLOT_MOLECULE: u16 = 1;
+const SLOT_FORCEFIELD: u16 = 2;
+const SLOT_INTEGRATOR: u16 = 3;
+const SLOT_GEN_STR: u16 = 4;
+const SLOT_GEN_INT: u16 = 5;
+const SLOT_ENERGY_BASE: u16 = 6; // 3 energy terms + panel
+const SLOT_WEB_BASE: u16 = 10;
+const WEB_CLASSES: usize = 38;
+const SLOT_FRAG_BASE: u16 = 10 + WEB_CLASSES as u16;
+
+/// Per-scenario intensity knobs.
+#[derive(Debug, Clone, Copy)]
+struct Knobs {
+    /// Fine-grained view updates per step (client-pinned chatter).
+    view_updates: u32,
+    /// Generic-class call pairs from the client side per step.
+    client_gen: u32,
+    /// Generic-class call pairs from the integrator per step.
+    integ_gen: u32,
+    /// Fragment (atom) reads by the force field per step.
+    ff_frag_reads: u32,
+    /// Fragment reads by the integrator per step.
+    integ_frag_reads: u32,
+    /// Fragment reads per energy term per step.
+    energy_frag_reads: u32,
+    /// Fragment reads by the pinned view's heavy render per step.
+    view_frag_reads: u32,
+    /// Stateless math-native calls per force-field step.
+    ff_math_calls: u32,
+    /// Stateless math-native calls per energy term per step.
+    energy_math_calls: u32,
+    /// Microseconds of work per math-native call.
+    math_work: u32,
+    view_render_work: u32,
+    view_update_work: u32,
+    ff_work: u32,
+    integ_work: u32,
+    energy_work: u32,
+}
+
+const CPU_KNOBS: Knobs = Knobs {
+    view_updates: 300,
+    client_gen: 140,
+    integ_gen: 150,
+    ff_frag_reads: 150,
+    integ_frag_reads: 165,
+    energy_frag_reads: 50,
+    view_frag_reads: 120,
+    ff_math_calls: 60,
+    energy_math_calls: 20,
+    math_work: 2_000,
+    view_render_work: 300_000,
+    view_update_work: 300,
+    ff_work: 450_000,
+    integ_work: 300_000,
+    energy_work: 150_000,
+};
+
+const MEM_KNOBS: Knobs = Knobs {
+    view_updates: 18,
+    client_gen: 7,
+    integ_gen: 5,
+    ff_frag_reads: 10,
+    integ_frag_reads: 8,
+    energy_frag_reads: 5,
+    view_frag_reads: 8,
+    ff_math_calls: 3,
+    energy_math_calls: 1,
+    math_work: 300,
+    view_render_work: 45_000,
+    view_update_work: 100,
+    ff_work: 30_000,
+    integ_work: 25_000,
+    energy_work: 10_000,
+};
+
+struct Parts {
+    builder: ProgramBuilder,
+    main: ClassId,
+    view: ClassId,
+    view_render: MethodId,
+    view_update: MethodId,
+    panel: ClassId,
+    panel_poll: MethodId,
+    molecule: ClassId,
+    fragment: ClassId,
+    forcefield: ClassId,
+    ff_step: MethodId,
+    integrator: ClassId,
+    integ_advance: MethodId,
+    energies: Vec<(ClassId, MethodId)>,
+    gen_str: ClassId,
+    gs_use: MethodId,
+    gen_int: ClassId,
+    gi_use: MethodId,
+    web: Web,
+}
+
+fn build_parts(k: Knobs) -> Parts {
+    let mut b = ProgramBuilder::new();
+    let main = b.add_class("Main");
+    let view = b.add_native_class("MolView3D");
+    let panel = b.add_native_class("ControlPanel");
+    let molecule = b.add_class("Molecule");
+    let fragment = b.add_class("Fragment");
+    let forcefield = b.add_class("ForceField");
+    let integrator = b.add_class("Integrator");
+    let gen_str = b.add_class("GenericString");
+    let gen_int = b.add_class("GenericInteger");
+    let energy_classes = [
+        b.add_class("BondEnergy"),
+        b.add_class("AngleEnergy"),
+        b.add_class("TorsionEnergy"),
+    ];
+
+    let web = Web::build(
+        &mut b,
+        "BioTool",
+        WebSpec {
+            classes: WEB_CLASSES,
+            neighbors: (3, 5),
+            touch_work: (150, 400),
+            leaf_work: 10,
+            read_bytes: 16,
+            temp_bytes: 120,
+            instance_bytes: (60, 600),
+            seed: 0xB10_0001,
+        },
+    );
+
+    // View: one heavy render plus many fine-grained updates per step.
+    let view_render = b.add_method(
+        view,
+        MethodDef::new(
+            "render",
+            vec![
+                // Per-atom position reads straight from the fragment.
+                Op::Repeat {
+                    n: k.view_frag_reads,
+                    body: vec![Op::Read {
+                        obj: Reg(0),
+                        bytes: 24,
+                    }],
+                },
+                Op::Work {
+                    micros: k.view_render_work,
+                },
+                Op::Native {
+                    kind: NativeKind::Framebuffer,
+                    work_micros: 8_000,
+                    arg_bytes: 1_024,
+                    ret_bytes: 0,
+                },
+            ],
+        ),
+    );
+    let view_update = b.add_method(
+        view,
+        MethodDef::new(
+            "update",
+            vec![Op::Work {
+                micros: k.view_update_work,
+            }],
+        ),
+    );
+    let panel_poll = b.add_method(
+        panel,
+        MethodDef::new(
+            "poll",
+            vec![
+                Op::Work { micros: 1_500 },
+                Op::Native {
+                    kind: NativeKind::UiToolkit,
+                    work_micros: 800,
+                    arg_bytes: 48,
+                    ret_bytes: 16,
+                },
+            ],
+        ),
+    );
+
+    // Generic value classes: tiny, hot, used everywhere.
+    let gs_use = b.add_method(
+        gen_str,
+        MethodDef::new("use", vec![Op::Work { micros: 40 }]),
+    );
+    let gi_use = b.add_method(
+        gen_int,
+        MethodDef::new("use", vec![Op::Work { micros: 10 }]),
+    );
+
+    // ForceField::step(fragment) — many fine-grained atom reads plus
+    // stateless math natives (distance/angle computations).
+    let ff_step = b.add_method(
+        forcefield,
+        MethodDef::new(
+            "step",
+            vec![
+                Op::Repeat {
+                    n: k.ff_frag_reads,
+                    body: vec![Op::Read {
+                        obj: Reg(0),
+                        bytes: 24,
+                    }],
+                },
+                Op::Work { micros: k.ff_work },
+                Op::Repeat {
+                    n: k.ff_math_calls,
+                    body: vec![Op::Native {
+                        kind: NativeKind::Math,
+                        work_micros: k.math_work,
+                        arg_bytes: 16,
+                        ret_bytes: 8,
+                    }],
+                },
+                Op::Write {
+                    obj: Reg(0),
+                    bytes: 512,
+                },
+            ],
+        ),
+    );
+    // Integrator::advance(fragment, genstr, genint) — leans on generics.
+    let integ_advance = b.add_method(
+        integrator,
+        MethodDef::new(
+            "advance",
+            vec![
+                Op::Repeat {
+                    n: k.integ_frag_reads,
+                    body: vec![Op::Read {
+                        obj: Reg(0),
+                        bytes: 24,
+                    }],
+                },
+                Op::Work {
+                    micros: k.integ_work,
+                },
+                Op::Repeat {
+                    n: k.integ_gen,
+                    body: vec![
+                        Op::Call {
+                            obj: Reg(1),
+                            class: gen_str,
+                            method: gs_use,
+                            arg_bytes: 16,
+                            ret_bytes: 16,
+                            args: vec![],
+                        },
+                        Op::Call {
+                            obj: Reg(2),
+                            class: gen_int,
+                            method: gi_use,
+                            arg_bytes: 8,
+                            ret_bytes: 8,
+                            args: vec![],
+                        },
+                    ],
+                },
+                Op::Write {
+                    obj: Reg(0),
+                    bytes: 512,
+                },
+            ],
+        ),
+    );
+    let mut energies = Vec::new();
+    for &e in &energy_classes {
+        energies.push((
+            e,
+            b.add_method(
+                e,
+                MethodDef::new(
+                    "eval",
+                    vec![
+                        Op::Repeat {
+                            n: k.energy_frag_reads,
+                            body: vec![Op::Read {
+                                obj: Reg(0),
+                                bytes: 24,
+                            }],
+                        },
+                        Op::Work {
+                            micros: k.energy_work,
+                        },
+                        Op::Repeat {
+                            n: k.energy_math_calls,
+                            body: vec![Op::Native {
+                                kind: NativeKind::Math,
+                                work_micros: k.math_work,
+                                arg_bytes: 16,
+                                ret_bytes: 8,
+                            }],
+                        },
+                    ],
+                ),
+            ),
+        ));
+    }
+
+    Parts {
+        builder: b,
+        main,
+        view,
+        view_render,
+        view_update,
+        panel,
+        panel_poll,
+        molecule,
+        fragment,
+        forcefield,
+        ff_step,
+        integrator,
+        integ_advance,
+        energies,
+        gen_str,
+        gs_use,
+        gen_int,
+        gi_use,
+        web,
+    }
+}
+
+fn startup_ops(p: &Parts) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for (class, bytes, slot) in [
+        (p.view, 6_000u32, SLOT_VIEW),
+        (p.molecule, 2_500, SLOT_MOLECULE),
+        (p.forcefield, 3_000, SLOT_FORCEFIELD),
+        (p.integrator, 1_500, SLOT_INTEGRATOR),
+        (p.gen_str, 200, SLOT_GEN_STR),
+        (p.gen_int, 100, SLOT_GEN_INT),
+        (p.panel, 900, SLOT_ENERGY_BASE + 3),
+    ] {
+        ops.push(Op::New {
+            class,
+            scalar_bytes: bytes,
+            ref_slots: 0,
+            dst: Reg(0),
+        });
+        ops.push(Op::PutSlot { slot, src: Reg(0) });
+    }
+    for (i, &(class, _)) in p.energies.iter().enumerate() {
+        ops.push(Op::New {
+            class,
+            scalar_bytes: 700,
+            ref_slots: 0,
+            dst: Reg(0),
+        });
+        ops.push(Op::PutSlot {
+            slot: SLOT_ENERGY_BASE + i as u16,
+            src: Reg(0),
+        });
+    }
+    ops.extend(p.web.setup_ops(SLOT_WEB_BASE));
+    ops
+}
+
+fn step_ops(p: &Parts, k: Knobs, frag_slot: u16, web_group: &[usize]) -> Vec<Op> {
+    let mut ops = vec![
+        Op::GetSlot {
+            slot: frag_slot,
+            dst: Reg(0),
+        },
+        Op::GetSlot {
+            slot: SLOT_GEN_STR,
+            dst: Reg(1),
+        },
+        Op::GetSlot {
+            slot: SLOT_GEN_INT,
+            dst: Reg(2),
+        },
+    ];
+    // Simulation: force field, integrator (generics-hungry), energy terms.
+    ops.push(Op::GetSlot {
+        slot: SLOT_FORCEFIELD,
+        dst: Reg(3),
+    });
+    ops.push(Op::Call {
+        obj: Reg(3),
+        class: p.forcefield,
+        method: p.ff_step,
+        arg_bytes: 24,
+        ret_bytes: 16,
+        args: vec![Reg(0)],
+    });
+    ops.push(Op::GetSlot {
+        slot: SLOT_INTEGRATOR,
+        dst: Reg(3),
+    });
+    ops.push(Op::Call {
+        obj: Reg(3),
+        class: p.integrator,
+        method: p.integ_advance,
+        arg_bytes: 24,
+        ret_bytes: 16,
+        args: vec![Reg(0), Reg(1), Reg(2)],
+    });
+    for &(class, method) in &p.energies {
+        ops.push(Op::GetSlot {
+            slot: SLOT_ENERGY_BASE + energy_index(p, class),
+            dst: Reg(3),
+        });
+        ops.push(Op::Call {
+            obj: Reg(3),
+            class,
+            method,
+            arg_bytes: 16,
+            ret_bytes: 16,
+            args: vec![Reg(0)],
+        });
+    }
+    // Client-side generic chatter (labels, measurements, tooltips).
+    ops.push(Op::Repeat {
+        n: k.client_gen,
+        body: vec![
+            Op::Call {
+                obj: Reg(1),
+                class: p.gen_str,
+                method: p.gs_use,
+                arg_bytes: 16,
+                ret_bytes: 16,
+                args: vec![],
+            },
+            Op::Call {
+                obj: Reg(2),
+                class: p.gen_int,
+                method: p.gi_use,
+                arg_bytes: 8,
+                ret_bytes: 8,
+                args: vec![],
+            },
+        ],
+    });
+    // Fine-grained view updates + one heavy render + panel.
+    ops.push(Op::GetSlot {
+        slot: SLOT_VIEW,
+        dst: Reg(3),
+    });
+    ops.push(Op::Repeat {
+        n: k.view_updates,
+        body: vec![Op::Call {
+            obj: Reg(3),
+            class: p.view,
+            method: p.view_update,
+            arg_bytes: 16,
+            ret_bytes: 0,
+            args: vec![],
+        }],
+    });
+    ops.push(Op::Call {
+        obj: Reg(3),
+        class: p.view,
+        method: p.view_render,
+        arg_bytes: 16,
+        ret_bytes: 0,
+        args: vec![Reg(0)],
+    });
+    ops.push(Op::GetSlot {
+        slot: SLOT_ENERGY_BASE + 3,
+        dst: Reg(3),
+    });
+    ops.push(Op::Call {
+        obj: Reg(3),
+        class: p.panel,
+        method: p.panel_poll,
+        arg_bytes: 12,
+        ret_bytes: 8,
+        args: vec![],
+    });
+    ops.extend(p.web.touch_ops(SLOT_WEB_BASE, web_group.iter().copied()));
+    ops
+}
+
+fn energy_index(p: &Parts, class: ClassId) -> u16 {
+    p.energies
+        .iter()
+        .position(|&(c, _)| c == class)
+        .expect("energy class") as u16
+}
+
+/// The §5.1 memory scenario: the molecule grows fragment by fragment while
+/// simulation steps run; live memory outgrows a 6 MB heap mid-session.
+///
+/// # Panics
+///
+/// Panics only if the internal program assembly is inconsistent (a bug).
+pub fn biomer(scale: Scale) -> App {
+    let fragments = scale.at_least(340, 8); // × 20 KB ≈ 6.8 MB of model
+    let steps = scale.at_least(1_200, 10);
+    finish(build_parts(MEM_KNOBS), MEM_KNOBS, fragments, steps)
+}
+
+/// The §5.2 processing scenario: a fixed molecule, compute-heavy steps.
+///
+/// # Panics
+///
+/// Panics only if the internal program assembly is inconsistent (a bug).
+pub fn biomer_cpu(scale: Scale) -> App {
+    let fragments = scale.at_least(40, 4);
+    let steps = scale.at_least(500, 10);
+    finish(build_parts(CPU_KNOBS), CPU_KNOBS, fragments, steps)
+}
+
+/// The class names of the paper's hand-found beneficial partition for the
+/// CPU scenario: the force-field/energy cluster *with its fragments*,
+/// leaving the generics-hungry integrator at home.
+pub fn biomer_manual_partition() -> Vec<String> {
+    vec![
+        "ForceField".into(),
+        "BondEnergy".into(),
+        "AngleEnergy".into(),
+        "TorsionEnergy".into(),
+        "Fragment".into(),
+        "Molecule".into(),
+    ]
+}
+
+fn finish(mut p: Parts, k: Knobs, fragments: u32, steps: u32) -> App {
+    let phases = 8u32.min(fragments).min(steps);
+    let mut body = startup_ops(&p);
+
+    // Fragment growth front-loaded into the first 5 of 8 phases.
+    let load_phases = (phases * 5 / 8).max(1);
+    let frags_per_phase = fragments / load_phases;
+    let steps_per_phase = (steps / phases).max(1);
+    let groups = rotating_groups(p.web.len(), 10.min(p.web.len()), phases as usize);
+
+    let mut frag_cursor: u16 = 0;
+    for (phase, group) in groups.iter().enumerate().take(phases as usize) {
+        let batch = if (phase as u32) == load_phases - 1 {
+            fragments - u32::from(frag_cursor)
+        } else if (phase as u32) < load_phases {
+            frags_per_phase
+        } else {
+            0
+        };
+        for _ in 0..batch {
+            body.push(Op::New {
+                class: p.fragment,
+                scalar_bytes: 20_000,
+                ref_slots: 0,
+                dst: Reg(1),
+            });
+            body.push(Op::PutSlot {
+                slot: SLOT_FRAG_BASE + frag_cursor,
+                src: Reg(1),
+            });
+            frag_cursor += 1;
+        }
+        let frag_slot = SLOT_FRAG_BASE + frag_cursor.saturating_sub(1);
+        body.push(Op::Repeat {
+            n: steps_per_phase,
+            body: step_ops(&p, k, frag_slot, group),
+        });
+    }
+
+    let m = p.builder.add_method(p.main, MethodDef::new("main", body));
+    let entry_slots = SLOT_FRAG_BASE + fragments as u16 + 4;
+    let program: Arc<Program> = Arc::new(
+        p.builder
+            .build(p.main, m, 2_000, entry_slots)
+            .expect("Biomer model assembles"),
+    );
+    App {
+        name: "Biomer",
+        description: "Molecular editing application",
+        resource_demands: "Memory/CPU intensive",
+        program,
+    }
+}

@@ -1,0 +1,324 @@
+//! Shared machinery for building application models.
+//!
+//! The paper's applications are real Java programs; we reconstruct their
+//! *shapes* — class counts, interaction webs, memory growth, native-call
+//! mix — as deterministic, seeded program generators. Every model is built
+//! from the same primitives: a web of interacting framework classes, bulk
+//! data arrays, and phase-structured main methods.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use aide_vm::{ClassId, MethodDef, MethodId, Op, ProgramBuilder, Reg};
+
+/// Linear scale factor applied to loop counts and object volumes.
+///
+/// `Scale::FULL` reproduces the paper-sized workloads (~10⁶ interaction
+/// events for JavaNote); tests use small fractions to stay fast.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    /// Paper-sized workload.
+    pub const FULL: Scale = Scale(1.0);
+
+    /// Scales an iteration/volume count, never below 1.
+    pub fn n(self, base: u32) -> u32 {
+        ((f64::from(base) * self.0).round() as u32).max(1)
+    }
+
+    /// Scales a count, never below `min`.
+    pub fn at_least(self, base: u32, min: u32) -> u32 {
+        self.n(base).max(min)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::FULL
+    }
+}
+
+/// A web of interacting auxiliary classes (widgets, utilities, containers)
+/// built behind a single *registry* pattern: the entry object holds one
+/// instance of each class in its reference slots, and every instance is
+/// wired to a few neighbours.
+///
+/// Calling a member's `touch` method produces a realistic interaction fan:
+/// one invocation plus a read and a leaf invocation per neighbour.
+#[derive(Debug)]
+pub struct Web {
+    /// The classes of the web, in slot order.
+    pub classes: Vec<ClassId>,
+    /// `touch` method of each class.
+    pub touch: Vec<MethodId>,
+    /// `leaf` method of each class.
+    pub leaf: Vec<MethodId>,
+    /// Neighbour wiring: `(member, slot, neighbor)` triples.
+    wiring: Vec<(usize, u16, usize)>,
+    /// Scalar instance size per member.
+    instance_sizes: Vec<u32>,
+}
+
+/// Parameters for building a [`Web`].
+#[derive(Debug, Clone, Copy)]
+pub struct WebSpec {
+    /// Number of classes in the web.
+    pub classes: usize,
+    /// Neighbours wired per class (min, max).
+    pub neighbors: (usize, usize),
+    /// Exclusive work per `touch`, microseconds (min, max).
+    pub touch_work: (u32, u32),
+    /// Exclusive work per `leaf`, microseconds.
+    pub leaf_work: u32,
+    /// Bytes read from each neighbour during a touch.
+    pub read_bytes: u32,
+    /// Payload size of the temporary object some touches allocate
+    /// (applies to roughly one member in four; 0 disables).
+    pub temp_bytes: u32,
+    /// Instance scalar size range (min, max).
+    pub instance_bytes: (u32, u32),
+    /// RNG seed (webs are deterministic given spec + seed).
+    pub seed: u64,
+}
+
+impl Web {
+    /// Maximum neighbours a web member can hold.
+    pub const MAX_NEIGHBORS: usize = 8;
+
+    /// Builds the classes and methods of a web into `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.neighbors.1 > Web::MAX_NEIGHBORS`.
+    pub fn build(b: &mut ProgramBuilder, prefix: &str, spec: WebSpec) -> Web {
+        assert!(
+            spec.neighbors.1 <= Web::MAX_NEIGHBORS,
+            "at most {} neighbours supported",
+            Web::MAX_NEIGHBORS
+        );
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut classes = Vec::with_capacity(spec.classes);
+        let mut instance_bytes = Vec::with_capacity(spec.classes);
+        for i in 0..spec.classes {
+            classes.push(b.add_class(format!("{prefix}{i}")));
+            instance_bytes.push(rng.random_range(spec.instance_bytes.0..=spec.instance_bytes.1));
+        }
+
+        // Wiring: each member points at `k` random distinct neighbours.
+        let mut wiring = Vec::new();
+        let mut neighbor_lists: Vec<Vec<usize>> = Vec::with_capacity(spec.classes);
+        for i in 0..spec.classes {
+            let k = rng.random_range(spec.neighbors.0..=spec.neighbors.1);
+            let mut chosen = Vec::new();
+            while chosen.len() < k && chosen.len() < spec.classes - 1 {
+                let j = rng.random_range(0..spec.classes);
+                if j != i && !chosen.contains(&j) {
+                    chosen.push(j);
+                }
+            }
+            for (slot, &j) in chosen.iter().enumerate() {
+                wiring.push((i, slot as u16, j));
+            }
+            neighbor_lists.push(chosen);
+        }
+
+        // Methods: leaf first (so touch can reference it), then touch.
+        let mut leaf = Vec::with_capacity(spec.classes);
+        for &class in &classes {
+            leaf.push(b.add_method(
+                class,
+                MethodDef::new("leaf", vec![Op::Work {
+                    micros: spec.leaf_work,
+                }]),
+            ));
+        }
+        let mut touch = Vec::with_capacity(spec.classes);
+        for (i, &class) in classes.iter().enumerate() {
+            let mut body = vec![Op::Work {
+                micros: rng.random_range(spec.touch_work.0..=spec.touch_work.1),
+            }];
+            for (slot, &j) in neighbor_lists[i].iter().enumerate() {
+                body.push(Op::GetSlot {
+                    slot: slot as u16,
+                    dst: Reg(6),
+                });
+                body.push(Op::Read {
+                    obj: Reg(6),
+                    bytes: spec.read_bytes,
+                });
+                body.push(Op::Call {
+                    obj: Reg(6),
+                    class: classes[j],
+                    method: leaf[j],
+                    arg_bytes: 8,
+                    ret_bytes: 8,
+                    args: vec![],
+                });
+            }
+            if spec.temp_bytes > 0 && i % 4 == 0 {
+                body.push(Op::New {
+                    class,
+                    scalar_bytes: spec.temp_bytes,
+                    ref_slots: 0,
+                    dst: Reg(7),
+                });
+                body.push(Op::Clear { reg: Reg(7) });
+            }
+            touch.push(b.add_method(class, MethodDef::new("touch", body)));
+        }
+
+        Web {
+            classes,
+            touch,
+            leaf,
+            wiring,
+            instance_sizes: instance_bytes,
+        }
+    }
+
+    /// Emits the ops that instantiate the web: one instance per class,
+    /// stored into the *entry object's* slots `[slot_base ..]`, with the
+    /// neighbour wiring applied. Uses registers 4 and 5 as scratch.
+    pub fn setup_ops(&self, slot_base: u16) -> Vec<Op> {
+        let mut ops = Vec::new();
+        for (i, &class) in self.classes.iter().enumerate() {
+            ops.push(Op::New {
+                class,
+                scalar_bytes: self.instance_sizes[i],
+                ref_slots: Web::MAX_NEIGHBORS as u16,
+                dst: Reg(4),
+            });
+            ops.push(Op::PutSlot {
+                slot: slot_base + i as u16,
+                src: Reg(4),
+            });
+        }
+        for &(member, slot, neighbor) in &self.wiring {
+            ops.push(Op::GetSlot {
+                slot: slot_base + member as u16,
+                dst: Reg(4),
+            });
+            ops.push(Op::GetSlot {
+                slot: slot_base + neighbor as u16,
+                dst: Reg(5),
+            });
+            ops.push(Op::PutSlotOf {
+                obj: Reg(4),
+                slot,
+                src: Reg(5),
+            });
+        }
+        ops
+    }
+
+    /// Emits the ops that `touch` members `indices` of the web (the entry
+    /// object's slots hold the instances). Uses register 4 as scratch.
+    pub fn touch_ops(&self, slot_base: u16, indices: impl IntoIterator<Item = usize>) -> Vec<Op> {
+        let mut ops = Vec::new();
+        for i in indices {
+            ops.push(Op::GetSlot {
+                slot: slot_base + i as u16,
+                dst: Reg(4),
+            });
+            ops.push(Op::Call {
+                obj: Reg(4),
+                class: self.classes[i],
+                method: self.touch[i],
+                arg_bytes: 12,
+                ret_bytes: 4,
+                args: vec![],
+            });
+        }
+        ops
+    }
+
+    /// Number of classes in the web.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Returns `true` if the web has no classes.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+/// A deterministic round-robin chunking of `0..total` into groups of
+/// `per_group`, used to rotate which web members each loop variant touches.
+pub fn rotating_groups(total: usize, per_group: usize, groups: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::with_capacity(groups);
+    let mut cursor = 0usize;
+    for _ in 0..groups {
+        let mut g = Vec::with_capacity(per_group);
+        for _ in 0..per_group {
+            g.push(cursor % total);
+            cursor += 1;
+        }
+        out.push(g);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use aide_vm::{CountingHooks, Machine, VmConfig};
+
+    #[test]
+    fn scale_clamps_to_one() {
+        assert_eq!(Scale(0.001).n(100), 1);
+        assert_eq!(Scale(0.5).n(100), 50);
+        assert_eq!(Scale::FULL.n(100), 100);
+        assert_eq!(Scale(0.01).at_least(100, 5), 5);
+    }
+
+    #[test]
+    fn rotating_groups_cover_all_members() {
+        let groups = rotating_groups(10, 4, 5);
+        assert_eq!(groups.len(), 5);
+        let mut seen = std::collections::HashSet::new();
+        for g in &groups {
+            assert_eq!(g.len(), 4);
+            seen.extend(g.iter().copied());
+        }
+        assert_eq!(seen.len(), 10, "20 draws cover all 10 members");
+    }
+
+    #[test]
+    fn web_is_deterministic_and_runs() {
+        let spec = WebSpec {
+            classes: 12,
+            neighbors: (2, 4),
+            touch_work: (1, 5),
+            leaf_work: 1,
+            read_bytes: 16,
+            temp_bytes: 64,
+            instance_bytes: (32, 256),
+            seed: 42,
+        };
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            let main = b.add_class("Main");
+            let web = Web::build(&mut b, "W", spec);
+            let mut body = web.setup_ops(0);
+            body.extend(web.touch_ops(0, 0..web.len()));
+            let m = b.add_method(main, MethodDef::new("main", body));
+            (b.build(main, m, 64, 64).unwrap(), web)
+        };
+        let (p1, _) = build();
+        let (p2, _) = build();
+        assert_eq!(p1, p2, "same seed, same program");
+
+        let hooks = Arc::new(CountingHooks::new());
+        let machine = Machine::with_hooks(Arc::new(p1), VmConfig::client(4 << 20), hooks.clone());
+        machine.run_entry().unwrap();
+        let ints = hooks
+            .interactions
+            .load(std::sync::atomic::Ordering::Relaxed);
+        // Each touch: 1 invocation + per neighbour (1 read + 1 invocation).
+        assert!(ints > 12 * (1 + 2 * 2) as u64);
+    }
+}

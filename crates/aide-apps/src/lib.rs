@@ -1,0 +1,77 @@
+//! Models of the paper's five evaluation applications (Table 1).
+//!
+//! The originals are Java programs we cannot run (JavaNote, Dia, Biomer,
+//! Voxel, Tracer); these are deterministic, seeded reconstructions of their
+//! *shapes* — class counts, interaction webs, native-call mixes, memory
+//! growth, and CPU distribution — expressed as [`aide_vm::Program`]s. Each
+//! model is calibrated so the paper's experiments reproduce: JavaNote
+//! matches Table 2's execution metrics and exhausts a 6 MB heap; Biomer's
+//! tight coupling makes offloading expensive; Voxel and Tracer are
+//! CPU-bound with stateless math natives and shared primitive arrays.
+//!
+//! # Examples
+//!
+//! ```
+//! use aide_apps::{javanote, Scale};
+//!
+//! // A 5%-scale JavaNote for quick tests.
+//! let app = javanote(Scale(0.05));
+//! assert_eq!(app.name, "JavaNote");
+//! assert_eq!(app.program.class_count(), 138);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use aide_vm::Program;
+
+mod biomer;
+mod common;
+mod dia;
+mod javanote;
+mod tracer;
+mod voxel;
+
+pub use biomer::{biomer, biomer_cpu, biomer_manual_partition};
+pub use common::{Scale, Web, WebSpec};
+pub use dia::dia;
+pub use javanote::javanote;
+pub use tracer::tracer;
+pub use voxel::voxel;
+
+/// A built application model.
+#[derive(Debug, Clone)]
+pub struct App {
+    /// Application name (Table 1).
+    pub name: &'static str,
+    /// One-line description (Table 1).
+    pub description: &'static str,
+    /// Resource-demand characterization (Table 1).
+    pub resource_demands: &'static str,
+    /// The executable program.
+    pub program: Arc<Program>,
+}
+
+/// The three memory-experiment applications (§5.1): JavaNote, Dia, Biomer.
+pub fn memory_apps(scale: Scale) -> Vec<App> {
+    vec![javanote(scale), dia(scale), biomer(scale)]
+}
+
+/// The three processing-experiment applications (§5.2): Voxel, Tracer,
+/// Biomer (CPU-flavoured scenario).
+pub fn cpu_apps(scale: Scale) -> Vec<App> {
+    vec![voxel(scale), tracer(scale), biomer_cpu(scale)]
+}
+
+/// The full Table 1 catalogue.
+pub fn all_apps(scale: Scale) -> Vec<App> {
+    vec![
+        javanote(scale),
+        dia(scale),
+        biomer(scale),
+        voxel(scale),
+        tracer(scale),
+    ]
+}

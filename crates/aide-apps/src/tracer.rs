@@ -1,0 +1,278 @@
+//! Tracer — "interactive Java raytracer; CPU intensive, low interaction".
+//!
+//! Progressive block rendering: the ray engine, shader, and sampler are
+//! offloadable compute with a moderate stateless-math appetite; the
+//! natively implemented window paints each finished block (progressive
+//! preview). Interaction with the client is *low* — the paper's best case
+//! for offloading, reaching ~15% savings with both enhancements.
+
+use std::sync::Arc;
+
+use aide_vm::{MethodDef, NativeKind, Op, Program, ProgramBuilder, Reg};
+
+use crate::common::{rotating_groups, Scale, Web, WebSpec};
+use crate::App;
+
+/// Image blocks rendered over the session.
+const BLOCKS: u32 = 200;
+/// Math-native calls per block.
+const MATH_CALLS_PER_BLOCK: u32 = 3_000;
+
+const SLOT_WINDOW: u16 = 0;
+const SLOT_ENGINE: u16 = 1;
+const SLOT_SHADER: u16 = 2;
+const SLOT_SAMPLER: u16 = 3;
+const SLOT_SCENE: u16 = 4;
+const SLOT_PIXBUF: u16 = 5;
+const SLOT_TEXTURE: u16 = 6;
+const SLOT_WEB_BASE: u16 = 7;
+const WEB_CLASSES: usize = 14;
+
+/// Builds the Tracer model at the given scale.
+///
+/// # Panics
+///
+/// Panics only if the internal program assembly is inconsistent (a bug).
+pub fn tracer(scale: Scale) -> App {
+    let blocks = scale.at_least(BLOCKS, 4);
+    let math_calls = scale.at_least(MATH_CALLS_PER_BLOCK, 30);
+
+    let mut b = ProgramBuilder::new();
+    let main = b.add_class("Main");
+    let window = b.add_native_class("PreviewWindow");
+    let engine = b.add_class("RayEngine");
+    let shader = b.add_class("Shader");
+    let sampler = b.add_class("Sampler");
+    let scene = b.add_class("SceneGraph");
+    let pixels = b.add_array_class("FloatArray");
+
+    let web = Web::build(
+        &mut b,
+        "Trc",
+        WebSpec {
+            classes: WEB_CLASSES,
+            neighbors: (2, 3),
+            touch_work: (80, 200),
+            leaf_work: 8,
+            read_bytes: 12,
+            temp_bytes: 60,
+            instance_bytes: (30, 250),
+            seed: 0x7ace_0001,
+        },
+    );
+
+    // PreviewWindow::paint(block) — progressive preview (client-heavy).
+    let paint = b.add_method(
+        window,
+        MethodDef::new(
+            "paint",
+            vec![
+                Op::Read {
+                    obj: Reg(0),
+                    bytes: 32_768,
+                },
+                Op::Work {
+                    micros: 22_000_000,
+                },
+                Op::Native {
+                    kind: NativeKind::Framebuffer,
+                    work_micros: 500_000,
+                    arg_bytes: 16_384,
+                    ret_bytes: 0,
+                },
+            ],
+        ),
+    );
+
+    // RayEngine::trace(scene, pixels) — ray casting with math natives.
+    let trace = b.add_method(
+        engine,
+        MethodDef::new(
+            "trace",
+            vec![
+                Op::Read {
+                    obj: Reg(0),
+                    bytes: 2_048,
+                },
+                Op::Work {
+                    micros: 4_500_000,
+                },
+                Op::Repeat {
+                    n: math_calls / 2,
+                    body: vec![Op::Native {
+                        kind: NativeKind::Math,
+                        work_micros: 100,
+                        arg_bytes: 16,
+                        ret_bytes: 8,
+                    }],
+                },
+                Op::Write {
+                    obj: Reg(1),
+                    bytes: 8_192,
+                },
+            ],
+        ),
+    );
+    let shade = b.add_method(
+        shader,
+        MethodDef::new(
+            "shade",
+            vec![
+                Op::Read {
+                    obj: Reg(1),
+                    bytes: 4_096,
+                },
+                Op::Work {
+                    micros: 1_500_000,
+                },
+                Op::Repeat {
+                    n: math_calls / 3,
+                    body: vec![Op::Native {
+                        kind: NativeKind::Math,
+                        work_micros: 90,
+                        arg_bytes: 16,
+                        ret_bytes: 8,
+                    }],
+                },
+                Op::Write {
+                    obj: Reg(1),
+                    bytes: 4_096,
+                },
+            ],
+        ),
+    );
+    let sample = b.add_method(
+        sampler,
+        MethodDef::new(
+            "sample",
+            vec![
+                Op::Work { micros: 500_000 },
+                Op::Repeat {
+                    n: math_calls / 6,
+                    body: vec![Op::Native {
+                        kind: NativeKind::Math,
+                        work_micros: 80,
+                        arg_bytes: 16,
+                        ret_bytes: 8,
+                    }],
+                },
+            ],
+        ),
+    );
+    let scene_query = b.add_method(
+        scene,
+        MethodDef::new(
+            "query",
+            vec![
+                Op::Read {
+                    obj: Reg(0),
+                    bytes: 1_024,
+                },
+                Op::Work { micros: 300_000 },
+            ],
+        ),
+    );
+
+    // ---- main --------------------------------------------------------
+    let mut body: Vec<Op> = Vec::new();
+    for (class, bytes, slot) in [
+        (window, 4_000u32, SLOT_WINDOW),
+        (engine, 2_500, SLOT_ENGINE),
+        (shader, 1_500, SLOT_SHADER),
+        (sampler, 900, SLOT_SAMPLER),
+        (scene, 150_000, SLOT_SCENE),
+    ] {
+        body.push(Op::New {
+            class,
+            scalar_bytes: bytes,
+            ref_slots: 0,
+            dst: Reg(0),
+        });
+        body.push(Op::PutSlot { slot, src: Reg(0) });
+    }
+    body.push(Op::New {
+        class: pixels,
+        scalar_bytes: 393_216, // pixel accumulation buffer
+        ref_slots: 0,
+        dst: Reg(0),
+    });
+    body.push(Op::PutSlot {
+        slot: SLOT_PIXBUF,
+        src: Reg(0),
+    });
+    body.push(Op::New {
+        class: pixels,
+        scalar_bytes: 131_072, // texture atlas (same array class)
+        ref_slots: 0,
+        dst: Reg(0),
+    });
+    body.push(Op::PutSlot {
+        slot: SLOT_TEXTURE,
+        src: Reg(0),
+    });
+    body.extend(web.setup_ops(SLOT_WEB_BASE));
+
+    let groups = rotating_groups(web.len(), 4.min(web.len()), 2);
+    for group in &groups {
+        let mut block = vec![
+            Op::GetSlot {
+                slot: SLOT_SCENE,
+                dst: Reg(0),
+            },
+            Op::GetSlot {
+                slot: SLOT_PIXBUF,
+                dst: Reg(1),
+            },
+        ];
+        for (slot, class, method, args) in [
+            (SLOT_SAMPLER, sampler, sample, vec![]),
+            (SLOT_ENGINE, engine, trace, vec![Reg(0), Reg(1)]),
+            (SLOT_SHADER, shader, shade, vec![Reg(0), Reg(1)]),
+            (SLOT_SCENE, scene, scene_query, vec![Reg(0)]),
+        ] {
+            block.push(Op::GetSlot {
+                slot,
+                dst: Reg(3),
+            });
+            block.push(Op::Call {
+                obj: Reg(3),
+                class,
+                method,
+                arg_bytes: 16,
+                ret_bytes: 8,
+                args,
+            });
+        }
+        // Paint the finished block (low interaction: once per block).
+        block.push(Op::GetSlot {
+            slot: SLOT_WINDOW,
+            dst: Reg(3),
+        });
+        block.push(Op::Call {
+            obj: Reg(3),
+            class: window,
+            method: paint,
+            arg_bytes: 16,
+            ret_bytes: 0,
+            args: vec![Reg(1)],
+        });
+        block.extend(web.touch_ops(SLOT_WEB_BASE, group.iter().copied()));
+        body.push(Op::Repeat {
+            n: (blocks / 2).max(1),
+            body: block,
+        });
+    }
+
+    let m = b.add_method(main, MethodDef::new("main", body));
+    let entry_slots = SLOT_WEB_BASE + WEB_CLASSES as u16 + 4;
+    let program: Arc<Program> = Arc::new(
+        b.build(main, m, 2_000, entry_slots)
+            .expect("Tracer model assembles"),
+    );
+    App {
+        name: "Tracer",
+        description: "Interactive Java raytracer",
+        resource_demands: "CPU intensive, low interaction",
+        program,
+    }
+}

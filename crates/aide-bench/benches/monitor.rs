@@ -1,0 +1,64 @@
+//! Criterion: monitoring-module event-ingestion throughput — the cost the
+//! paper measured as an 11% slowdown must stay cheap per event.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aide_core::{Monitor, TriggerConfig};
+use aide_vm::{
+    ClassId, Interaction, InteractionKind, MethodDef, MethodId, ObjectId, ProgramBuilder,
+    RuntimeHooks,
+};
+
+fn monitor() -> Monitor {
+    let mut b = ProgramBuilder::new();
+    let main = b.add_class("Main");
+    for i in 0..63 {
+        b.add_class(format!("C{i}"));
+    }
+    b.add_method(main, MethodDef::new("main", vec![]));
+    let p = Arc::new(b.build(main, MethodId(0), 0, 0).unwrap());
+    Monitor::new(p, TriggerConfig::default(), Default::default())
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    let m = monitor();
+    let mut i = 0u32;
+    c.bench_function("monitor/on_interaction", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            m.on_interaction(black_box(Interaction {
+                caller: ClassId(i % 64),
+                callee: ClassId((i * 7 + 1) % 64),
+                target: Some(ObjectId::client(u64::from(i % 1000))),
+                kind: InteractionKind::Invocation,
+                bytes: 64,
+                remote: false,
+            }))
+        })
+    });
+    let m = monitor();
+    c.bench_function("monitor/on_work", |b| {
+        b.iter(|| m.on_work(black_box(ClassId(3)), black_box(12.5)))
+    });
+    let m = monitor();
+    for k in 0..64u32 {
+        m.on_alloc(ClassId(k), ObjectId::client(u64::from(k)), 128);
+        m.on_interaction(Interaction {
+            caller: ClassId(k),
+            callee: ClassId((k + 1) % 64),
+            target: None,
+            kind: InteractionKind::Invocation,
+            bytes: 8,
+            remote: false,
+        });
+    }
+    c.bench_function("monitor/snapshot_64_nodes", |b| {
+        b.iter(|| black_box(m.snapshot()))
+    });
+}
+
+criterion_group!(benches, bench_monitor);
+criterion_main!(benches);

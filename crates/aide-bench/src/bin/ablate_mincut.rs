@@ -1,0 +1,132 @@
+//! Ablation (DESIGN.md §5.2): the exact Stoer-Wagner minimum cut versus
+//! the paper's modified-MINCUT candidate sweep, under the memory policy's
+//! "free at least 20% of the heap" constraint.
+//!
+//! The paper's motivating observation: the pure minimum cut "may simply
+//! remove a single component, which may not free enough memory to satisfy
+//! the partitioning policy".
+
+use std::collections::HashSet;
+
+use aide_apps::{javanote, memory_apps};
+use aide_bench::{experiment_scale, header, pct, record_app, row, PAPER_HEAP};
+use aide_core::{HeuristicKind, Monitor, NodeKey, TriggerConfig};
+use aide_emu::{Emulator, EmulatorConfig};
+use aide_emu::TraceEvent;
+use aide_graph::{
+    candidate_partitionings, density_candidates, stoer_wagner, MemoryPolicy, PartitionPolicy,
+    ResourceSnapshot,
+};
+use aide_vm::{Interaction, InteractionKind, RuntimeHooks};
+
+fn main() {
+    header(
+        "Ablation: exact Stoer-Wagner vs modified-MINCUT candidate sweep",
+        "§3.3 motivation",
+    );
+    // Build JavaNote's execution graph by replaying its trace into the
+    // monitoring module (no placement).
+    let app = javanote(experiment_scale());
+    let trace = record_app(&app);
+    let program = std::sync::Arc::new(trace.skeleton_program().unwrap());
+    let monitor = Monitor::new(program, TriggerConfig::default(), Default::default());
+    for event in &trace.events {
+        match event {
+            TraceEvent::Interaction {
+                caller,
+                callee,
+                target,
+                invocation,
+                bytes,
+            } => monitor.on_interaction(Interaction {
+                caller: *caller,
+                callee: *callee,
+                target: *target,
+                kind: if *invocation {
+                    InteractionKind::Invocation
+                } else {
+                    InteractionKind::FieldAccess
+                },
+                bytes: *bytes,
+                remote: false,
+            }),
+            TraceEvent::Alloc { class, object, bytes } => monitor.on_alloc(*class, *object, *bytes),
+            TraceEvent::Free { class, objects, bytes } => monitor.on_free(*class, *objects, *bytes),
+            TraceEvent::Work { class, micros } => monitor.on_work(*class, *micros),
+            _ => {}
+        }
+    }
+    let (graph, _keys): (_, Vec<NodeKey>) = monitor.snapshot();
+    row("graph nodes / edges", format!("{} / {}", graph.node_count(), graph.edge_count()));
+
+    // Exact global minimum cut.
+    let exact = stoer_wagner(&graph).expect("graph has >= 2 nodes");
+    let side: HashSet<_> = exact.partition.iter().copied().collect();
+    let freed: u64 = exact
+        .partition
+        .iter()
+        .map(|&n| graph.node(n).memory_bytes)
+        .sum();
+    row("exact mincut weight", exact.weight);
+    row("exact mincut frees", format!("{freed} B ({})", pct(freed as f64 / PAPER_HEAP as f64)));
+    let _ = side;
+
+    // Candidate-sweep heuristics + the paper's memory policy.
+    let policy = MemoryPolicy::new(0.20);
+    let snapshot = ResourceSnapshot::new(PAPER_HEAP, PAPER_HEAP - PAPER_HEAP / 50);
+    for (label, candidates) in [
+        ("modified-MINCUT (paper)", candidate_partitionings(&graph)),
+        ("memory-density (ours, paper §8)", density_candidates(&graph)),
+    ] {
+        match policy.select(&graph, snapshot, &candidates) {
+            Some(sel) => {
+                println!();
+                row(format!("{label}: candidates").as_str(), candidates.len());
+                row(
+                    "  selected partitioning frees",
+                    format!(
+                        "{} B ({})",
+                        sel.stats.offloaded_memory_bytes,
+                        pct(sel.stats.offloaded_memory_bytes as f64 / PAPER_HEAP as f64)
+                    ),
+                );
+                row("  selected cut bytes", sel.stats.cut.bytes);
+                row("  selected cut interactions", sel.stats.cut.interactions);
+            }
+            None => row(label, "no feasible candidate (unexpected)"),
+        }
+    }
+    // End-to-end: replay the three memory apps under each heuristic.
+    println!("\nend-to-end replays at 6 MB (overhead under each heuristic):");
+    println!(
+        "{:<12} {:>16} {:>16}",
+        "app", "modified-MINCUT", "memory-density"
+    );
+    for app2 in memory_apps(experiment_scale()) {
+        let trace2 = record_app(&app2);
+        let mut results = Vec::new();
+        for heuristic in [HeuristicKind::ModifiedMincut, HeuristicKind::MemoryDensity] {
+            let mut cfg = EmulatorConfig::paper_memory(PAPER_HEAP);
+            cfg.heuristic = heuristic;
+            let rep = Emulator::new(cfg).replay(&trace2);
+            results.push(if rep.completed {
+                pct(rep.overhead_fraction())
+            } else {
+                "OOM".into()
+            });
+        }
+        println!("{:<12} {:>16} {:>16}", app2.name, results[0], results[1]);
+    }
+
+    let required = PAPER_HEAP / 5;
+    if freed < required {
+        println!(
+            "\nthe exact minimum cut frees {} B < the required {} B (20% of heap):\n\
+             the paper's modification — evaluating every intermediate partitioning\n\
+             against the policy — is what makes the decision useful. the density\n\
+             heuristic reaches memory-feasible candidates too; the policy picks\n\
+             whichever sweep exposes the colder feasible cut.",
+            freed, required
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Calibration harness: prints the raw shape of every application model so
+//! the constants in `aide-apps` can be tuned against the paper's numbers.
+//! Not one of the published experiments — a development tool.
+
+use aide_apps::{biomer_manual_partition, cpu_apps, memory_apps, Scale};
+use aide_bench::{pct, record_app, s};
+
+use aide_emu::{Emulator, EmulatorConfig};
+
+fn main() {
+    let scale = Scale(
+        std::env::args()
+            .nth(1)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(1.0),
+    );
+    println!("== scale {:?} ==", scale.0);
+
+    println!("\n-- memory apps (replay at 6 MB heap, paper initial policy) --");
+    for app in memory_apps(scale) {
+        let trace = record_app(&app);
+        let emu = Emulator::new(EmulatorConfig::paper_memory(6 << 20));
+        let rep = emu.replay(&trace);
+        println!(
+            "{:10} events={:8} interactions={:8} work={} peak_live={:.2}MB",
+            app.name,
+            trace.len(),
+            trace.interaction_count(),
+            s(trace.total_work_seconds()),
+            rep.peak_client_bytes as f64 / 1e6,
+        );
+        println!(
+            "           completed={} offloads={} total={} overhead={} transfer={} comm={} \
+             remote_int={} remote_nat={}",
+            rep.completed,
+            rep.offloads.len(),
+            s(rep.total_seconds()),
+            pct(rep.overhead_fraction()),
+            s(rep.offload_transfer_seconds),
+            s(rep.comm_seconds),
+            rep.remote.remote_interactions,
+            rep.remote.remote_native_calls,
+        );
+        if let Some(o) = rep.offloads.first() {
+            println!(
+                "           offload@evt {} moved={:.2}MB frac={} cut_bytes={}",
+                o.at_event,
+                o.bytes_moved as f64 / 1e6,
+                pct(o.offloaded_memory_fraction),
+                o.cut_bytes
+            );
+        }
+    }
+
+    println!("\n-- cpu apps (16 MB heap, 3.5x surrogate) --");
+    for (idx, app) in cpu_apps(scale).into_iter().enumerate() {
+        let is_biomer = idx == 2;
+        let trace = record_app(&app);
+        let base = EmulatorConfig::paper_cpu(16 << 20, 90_000_000.0);
+        let configs = [
+            ("initial", false, false),
+            ("native", true, false),
+            ("array", false, true),
+            ("combined", true, true),
+        ];
+        println!(
+            "{:10} events={:8} work={} (original)",
+            app.name,
+            trace.len(),
+            s(trace.total_work_seconds()),
+        );
+        for (label, natives, arrays) in configs {
+            let mut cfg = base.clone();
+            cfg.stateless_natives_local = natives;
+            cfg.array_object_granularity = arrays;
+            let rep = Emulator::new(cfg).replay(&trace);
+            let detail = rep
+                .offloads
+                .first()
+                .map(|o| format!(" nodes={} score={:.1}s@evt{}", o.nodes_offloaded, o.score, o.at_event))
+                .unwrap_or_default();
+            println!(
+                "           {:9} offloaded={} total={} vs original {} ({:+.1}%) remote_nat={}{}",
+                label,
+                rep.offloaded(),
+                s(rep.total_seconds()),
+                s(rep.baseline_seconds),
+                rep.overhead_fraction() * 100.0,
+                rep.remote.remote_native_calls,
+                detail,
+            );
+        }
+        if is_biomer {
+            let mut cfg = base.clone();
+            cfg.stateless_natives_local = true;
+            cfg.array_object_granularity = true;
+            cfg.max_offloads = 0;
+            cfg.forced_surrogate = Some(biomer_manual_partition());
+            let rep = Emulator::new(cfg).replay(&trace);
+            println!(
+                "           manual    total={} vs original {} ({:+.1}%)",
+                s(rep.total_seconds()),
+                s(rep.baseline_seconds),
+                rep.overhead_fraction() * 100.0,
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 10: effect of offloading on application performance under
+//! processing constraints (3.5x surrogate), with the stateless-native and
+//! primitive-array enhancements, plus the hand-partitioned Biomer run.
+
+use aide_apps::{biomer_manual_partition, cpu_apps};
+use aide_bench::{experiment_scale, fig10_configs, header, record_app, s, CPU_EVAL_PERIOD_MICROS};
+use aide_emu::{Emulator, EmulatorConfig};
+
+fn main() {
+    let mut series = Vec::new();
+    header(
+        "Figure 10: offloading under processing constraints (surrogate 3.5x)",
+        "Figure 10; paper: Voxel/Tracer improve up to ~15% with enhancements; \
+         Biomer correctly not offloaded (predicted 790s vs 750s; manual 711s)",
+    );
+    for (idx, app) in cpu_apps(experiment_scale()).into_iter().enumerate() {
+        let trace = record_app(&app);
+        println!("\n{} — original (client only): {}", app.name, s(trace.total_work_seconds()));
+        for (label, cfg) in fig10_configs() {
+            let report = Emulator::new(cfg).replay(&trace);
+            series.push(serde_json::json!({
+                "app": app.name,
+                "variant": label,
+                "original_seconds": report.baseline_seconds,
+                "total_seconds": report.total_seconds(),
+                "offloaded": report.offloaded(),
+            }));
+            let verdict = if report.offloaded() {
+                format!(
+                    "offloaded: {} ({:+.1}%)",
+                    s(report.total_seconds()),
+                    report.overhead_fraction() * 100.0
+                )
+            } else {
+                format!(
+                    "not offloaded (beneficial gate): {}",
+                    s(report.total_seconds())
+                )
+            };
+            println!("  {label:<9} {verdict}");
+        }
+        // The paper's manual Biomer partition (found by hand, with both
+        // enhancements): ForceField + energy terms + fragments.
+        if idx == 2 {
+            let mut cfg = EmulatorConfig::paper_cpu(16 << 20, CPU_EVAL_PERIOD_MICROS);
+            cfg.stateless_natives_local = true;
+            cfg.array_object_granularity = true;
+            cfg.max_offloads = 0;
+            cfg.forced_surrogate = Some(biomer_manual_partition());
+            let report = Emulator::new(cfg).replay(&trace);
+            println!(
+                "  {:<9} manual partitioning: {} ({:+.1}%)",
+                "Manual",
+                s(report.total_seconds()),
+                report.overhead_fraction() * 100.0
+            );
+            series.push(serde_json::json!({
+                "app": app.name,
+                "variant": "Manual",
+                "original_seconds": report.baseline_seconds,
+                "total_seconds": report.total_seconds(),
+                "offloaded": true,
+            }));
+        }
+    }
+    std::fs::create_dir_all("target/experiments").expect("experiments dir");
+    std::fs::write(
+        "target/experiments/fig10.json",
+        serde_json::to_string_pretty(&series).expect("serializable"),
+    )
+    .expect("write fig10.json");
+    println!("\nseries written to target/experiments/fig10.json");
+}

@@ -1,0 +1,48 @@
+//! Figure 6: remote-execution overhead caused by the initial partitioning
+//! policy (offloading threshold 5% free, free at least 20% of memory),
+//! for the three memory-experiment applications at a 6 MB heap.
+
+use aide_apps::memory_apps;
+use aide_bench::{experiment_scale, header, pct, record_app, replay_memory_initial, s};
+
+fn main() {
+    let mut series = Vec::new();
+    header(
+        "Figure 6: remote execution overhead, initial policy (6 MB heap)",
+        "Figure 6; paper: JavaNote 4.8%, Dia 8.5%, Biomer 27.5%",
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "App", "Original", "Offloaded", "Overhead", "Transfer", "Comm"
+    );
+    for app in memory_apps(experiment_scale()) {
+        let trace = record_app(&app);
+        let report = replay_memory_initial(&trace);
+        assert!(report.completed, "{} must complete with offloading", app.name);
+        println!(
+            "{:<10} {:>12} {:>12} {:>10} {:>12} {:>10}",
+            app.name,
+            s(report.baseline_seconds),
+            s(report.total_seconds()),
+            pct(report.overhead_fraction()),
+            s(report.offload_transfer_seconds),
+            s(report.comm_seconds),
+        );
+        series.push(serde_json::json!({
+            "app": app.name,
+            "original_seconds": report.baseline_seconds,
+            "offloaded_seconds": report.total_seconds(),
+            "overhead_fraction": report.overhead_fraction(),
+            "transfer_seconds": report.offload_transfer_seconds,
+            "comm_seconds": report.comm_seconds,
+        }));
+    }
+    std::fs::create_dir_all("target/experiments").expect("experiments dir");
+    std::fs::write(
+        "target/experiments/fig6.json",
+        serde_json::to_string_pretty(&series).expect("serializable"),
+    )
+    .expect("write fig6.json");
+    println!("\nseries written to target/experiments/fig6.json");
+    println!("paper shape: JavaNote < Dia << Biomer, all under ~30%");
+}

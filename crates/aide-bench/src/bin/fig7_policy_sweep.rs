@@ -1,0 +1,49 @@
+//! Figure 7: effect of the triggering and partitioning policies on the
+//! remote-execution overhead. Sweeps the paper's grid — trigger threshold
+//! 2%..50% free, tolerance 1..3 reports, minimum memory freed 10%..80% —
+//! and compares the best policy against the initial one.
+
+use aide_apps::memory_apps;
+use aide_bench::{experiment_scale, header, pct, record_app, replay_memory_initial, PAPER_HEAP};
+use aide_emu::{best_point, sweep_memory_policies, EmulatorConfig, PolicyGrid};
+
+fn main() {
+    header(
+        "Figure 7: policy sweep (trigger 2-50% free, tolerance 1-3, min-free 10-80%)",
+        "Figure 7; paper: Dia/Biomer improve 30-43% with the best policy, JavaNote stays",
+    );
+    let grid = PolicyGrid::default();
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}  {:<24}",
+        "App", "Initial", "Best", "Worst", "Reduction", "Best policy"
+    );
+    for app in memory_apps(experiment_scale()) {
+        let trace = record_app(&app);
+        let initial = replay_memory_initial(&trace);
+        let points = sweep_memory_policies(&trace, EmulatorConfig::paper_memory(PAPER_HEAP), &grid);
+        let best = best_point(&points).expect("at least one policy completes");
+        let worst = points
+            .iter()
+            .filter(|p| p.report.completed && p.report.offloaded())
+            .map(|p| p.report.overhead_fraction())
+            .fold(f64::MIN, f64::max);
+        let init_oh = initial.overhead_fraction();
+        let best_oh = best.report.overhead_fraction();
+        let reduction = if init_oh > 0.0 {
+            1.0 - best_oh / init_oh
+        } else {
+            0.0
+        };
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>10}  {:<24}",
+            app.name,
+            pct(init_oh),
+            pct(best_oh),
+            pct(worst),
+            pct(reduction),
+            best.params.to_string(),
+        );
+    }
+    println!("\npaper lesson: the system must select among policies dynamically —");
+    println!("the best parameters differ per application.");
+}

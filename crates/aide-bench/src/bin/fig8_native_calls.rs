@@ -1,0 +1,34 @@
+//! Figure 8: comparison of remote native-method invocations to total
+//! remote invocations, for the memory-experiment traces.
+
+use aide_apps::memory_apps;
+use aide_bench::{experiment_scale, header, pct, record_app, replay_memory_initial};
+
+fn main() {
+    header(
+        "Figure 8: remote native calls vs total remote invocations",
+        "Figure 8; paper: large native share for JavaNote/Dia, small for Biomer's model chatter",
+    );
+    println!(
+        "{:<10} {:>16} {:>20} {:>10}",
+        "App", "Total remote", "Leading to natives", "Share"
+    );
+    for app in memory_apps(experiment_scale()) {
+        let trace = record_app(&app);
+        let report = replay_memory_initial(&trace);
+        let total = report.remote.remote_invocations;
+        let native = report.remote.remote_native_calls;
+        println!(
+            "{:<10} {:>16} {:>20} {:>10}",
+            app.name,
+            total,
+            native,
+            pct(if total == 0 { 0.0 } else { native as f64 / total as f64 })
+        );
+    }
+    println!(
+        "\nnote: many of these natives are stateless (string copies, math) and\n\
+         could run where invoked — the observation behind the paper's Native\n\
+         enhancement (see fig10_cpu_offload)."
+    );
+}

@@ -1,0 +1,29 @@
+//! Table 1: the applications used for the experiments.
+
+use aide_apps::all_apps;
+use aide_bench::{experiment_scale, header};
+
+fn main() {
+    header("Table 1: Java applications used for experiments", "Table 1");
+    let scale = experiment_scale();
+    println!(
+        "{:<10} {:<34} {:<30} {:>8} {:>8}",
+        "Name", "Description", "Resource demands", "Classes", "Methods"
+    );
+    for app in all_apps(scale) {
+        let methods: usize = app
+            .program
+            .classes()
+            .iter()
+            .map(|c| c.methods.len())
+            .sum();
+        println!(
+            "{:<10} {:<34} {:<30} {:>8} {:>8}",
+            app.name,
+            app.description,
+            app.resource_demands,
+            app.program.class_count(),
+            methods
+        );
+    }
+}

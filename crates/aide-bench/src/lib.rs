@@ -1,0 +1,119 @@
+//! Shared helpers for the experiment harness binaries.
+//!
+//! Every table and figure of the paper's evaluation has a dedicated binary
+//! in `src/bin/`; this library holds the recording, configuration, and
+//! report-formatting code they share. See `EXPERIMENTS.md` at the workspace
+//! root for the experiment index and paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use aide_apps::{App, Scale};
+use aide_emu::{record_program, Emulator, EmulatorConfig, EmulatorReport, Trace};
+
+/// Scale used by the experiment binaries. Overridable with the
+/// `AIDE_SCALE` environment variable (e.g. `AIDE_SCALE=0.1` for a quick
+/// pass); defaults to the paper-sized workloads.
+pub fn experiment_scale() -> Scale {
+    Scale(
+        std::env::var("AIDE_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0),
+    )
+}
+
+/// Records an app on an unconstrained "PC" (64 MB heap), like the paper's
+/// trace-extraction runs.
+///
+/// # Panics
+///
+/// Panics if the recording run fails (it cannot, with a 64 MB heap).
+pub fn record_app(app: &App) -> Trace {
+    record_program(app.name, app.program.clone(), 64 << 20)
+        .unwrap_or_else(|e| panic!("recording {} failed: {e}", app.name))
+}
+
+/// The paper's §5.1 memory-experiment heap: 6 MB.
+pub const PAPER_HEAP: u64 = 6 << 20;
+
+/// The evaluation period for CPU experiments: enough accumulated work for
+/// the execution graph to be representative before the first decision.
+pub const CPU_EVAL_PERIOD_MICROS: f64 = 90_000_000.0;
+
+/// Replays `trace` under the paper's initial memory policy at 6 MB.
+pub fn replay_memory_initial(trace: &Trace) -> EmulatorReport {
+    Emulator::new(EmulatorConfig::paper_memory(PAPER_HEAP)).replay(trace)
+}
+
+/// Builds the four Figure 10 configurations (Initial / Native / Array /
+/// Combined) on top of the paper's CPU experiment setup.
+pub fn fig10_configs() -> Vec<(&'static str, EmulatorConfig)> {
+    let base = EmulatorConfig::paper_cpu(16 << 20, CPU_EVAL_PERIOD_MICROS);
+    [
+        ("Initial", false, false),
+        ("Native", true, false),
+        ("Array", false, true),
+        ("Combined", true, true),
+    ]
+    .into_iter()
+    .map(|(label, natives, arrays)| {
+        let mut cfg = base.clone();
+        cfg.stateless_natives_local = natives;
+        cfg.array_object_granularity = arrays;
+        (label, cfg)
+    })
+    .collect()
+}
+
+/// Formats seconds with one decimal.
+pub fn s(v: f64) -> String {
+    format!("{v:.1}s")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Prints a rules-style header for an experiment binary.
+pub fn header(title: &str, paper_ref: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    println!("(reproduces {paper_ref})");
+    println!("{}", "=".repeat(72));
+}
+
+/// Prints a two-column aligned row.
+pub fn row(label: &str, value: impl std::fmt::Display) {
+    println!("  {label:<44} {value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(s(12.34), "12.3s");
+        assert_eq!(pct(0.085), "8.5%");
+    }
+
+    #[test]
+    fn fig10_configs_cover_the_four_variants() {
+        let configs = fig10_configs();
+        assert_eq!(configs.len(), 4);
+        assert!(!configs[0].1.stateless_natives_local);
+        assert!(configs[1].1.stateless_natives_local);
+        assert!(configs[2].1.array_object_granularity);
+        assert!(configs[3].1.stateless_natives_local && configs[3].1.array_object_granularity);
+    }
+
+    #[test]
+    fn default_scale_is_full() {
+        // (environment-dependent, but AIDE_SCALE is unset in CI)
+        if std::env::var("AIDE_SCALE").is_err() {
+            assert_eq!(experiment_scale().0, 1.0);
+        }
+    }
+}

@@ -1,0 +1,586 @@
+//! Glue between the VM's [`RemoteAccess`] abstraction and the RPC layer.
+//!
+//! [`RemoteAdapter`] turns the interpreter's remote-object touches into RPC
+//! calls; [`VmDispatcher`] serves the peer's RPC calls by re-entering the
+//! local interpreter. Both maintain the export/import tables that implement
+//! the simple distributed garbage collection scheme: any local object whose
+//! reference leaves this VM is pinned as an external GC root until the peer
+//! reports (via `GcRelease`) that it no longer holds it.
+
+use std::sync::Arc;
+
+use aide_rpc::{Dispatcher, Endpoint, ExportTable, ImportTable, Reply, Request, RpcError};
+use aide_vm::{
+    ClassId, Machine, MethodId, NativeKind, ObjectId, RemoteAccess, VmError, VmResult,
+};
+
+/// Shared distributed-GC state for one side of the platform.
+#[derive(Debug, Default)]
+pub struct RefTables {
+    /// Local objects exported to the peer (pinned while exported).
+    pub exports: ExportTable,
+    /// Remote objects this side holds references to.
+    pub imports: ImportTable,
+}
+
+impl RefTables {
+    /// Creates empty tables.
+    pub fn new() -> Self {
+        RefTables::default()
+    }
+}
+
+fn rpc_to_vm_error(e: RpcError) -> VmError {
+    match e {
+        RpcError::Remote(msg) => VmError::RemoteFailure(msg),
+        other => VmError::RemoteFailure(other.to_string()),
+    }
+}
+
+/// The interpreter's window onto the peer VM, backed by an [`Endpoint`].
+pub struct RemoteAdapter {
+    endpoint: Arc<Endpoint>,
+    machine: Machine,
+    tables: Arc<RefTables>,
+}
+
+impl std::fmt::Debug for RemoteAdapter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteAdapter").finish()
+    }
+}
+
+impl RemoteAdapter {
+    /// Creates an adapter sending through `endpoint`.
+    ///
+    /// `machine` must be the *local* machine: the adapter uses it to decide
+    /// which outgoing references are local (and must be export-pinned).
+    pub fn new(endpoint: Arc<Endpoint>, machine: Machine, tables: Arc<RefTables>) -> Self {
+        RemoteAdapter {
+            endpoint,
+            machine,
+            tables,
+        }
+    }
+
+    /// Pins `id` if it is a local object about to be referenced remotely.
+    fn export_if_local(&self, id: ObjectId) {
+        let vm = self.machine.vm();
+        let mut vm = vm.lock();
+        if vm.heap().contains(id) && self.tables.exports.export(id) {
+            vm.external_root_inc(id);
+        }
+    }
+
+    /// Notes receipt of a reference owned by the peer.
+    fn import_if_remote(&self, id: ObjectId) {
+        let vm = self.machine.vm();
+        let vm = vm.lock();
+        if !vm.heap().contains(id) {
+            self.tables.imports.import(id);
+        }
+    }
+}
+
+impl RemoteAccess for RemoteAdapter {
+    fn invoke(
+        &self,
+        target: ObjectId,
+        class: ClassId,
+        method: MethodId,
+        arg_bytes: u32,
+        ret_bytes: u32,
+        args: &[ObjectId],
+    ) -> VmResult<()> {
+        for &a in args {
+            self.export_if_local(a);
+        }
+        self.import_if_remote(target);
+        self.endpoint
+            .call(Request::Invoke {
+                target,
+                class,
+                method,
+                arg_bytes,
+                ret_bytes,
+                args: args.to_vec(),
+            })
+            .map(|_| ())
+            .map_err(rpc_to_vm_error)
+    }
+
+    fn field_access(&self, target: ObjectId, bytes: u32, write: bool) -> VmResult<()> {
+        self.import_if_remote(target);
+        self.endpoint
+            .call(Request::FieldAccess {
+                target,
+                bytes,
+                write,
+            })
+            .map(|_| ())
+            .map_err(rpc_to_vm_error)
+    }
+
+    fn get_slot(&self, target: ObjectId, slot: u16) -> VmResult<Option<ObjectId>> {
+        self.import_if_remote(target);
+        match self
+            .endpoint
+            .call(Request::GetSlot { target, slot })
+            .map_err(rpc_to_vm_error)?
+        {
+            Reply::Slot(value) => {
+                if let Some(v) = value {
+                    self.import_if_remote(v);
+                }
+                Ok(value)
+            }
+            other => Err(VmError::RemoteFailure(format!(
+                "unexpected reply {other:?} to GetSlot"
+            ))),
+        }
+    }
+
+    fn put_slot(&self, target: ObjectId, slot: u16, value: Option<ObjectId>) -> VmResult<()> {
+        if let Some(v) = value {
+            self.export_if_local(v);
+        }
+        self.import_if_remote(target);
+        self.endpoint
+            .call(Request::PutSlot {
+                target,
+                slot,
+                value,
+            })
+            .map(|_| ())
+            .map_err(rpc_to_vm_error)
+    }
+
+    fn native(
+        &self,
+        caller: ClassId,
+        kind: NativeKind,
+        work_micros: u32,
+        arg_bytes: u32,
+        ret_bytes: u32,
+    ) -> VmResult<()> {
+        self.endpoint
+            .call(Request::Native {
+                caller,
+                kind,
+                work_micros,
+                arg_bytes,
+                ret_bytes,
+            })
+            .map(|_| ())
+            .map_err(rpc_to_vm_error)
+    }
+
+    fn static_access(
+        &self,
+        accessor: ClassId,
+        class: ClassId,
+        bytes: u32,
+        write: bool,
+    ) -> VmResult<()> {
+        self.endpoint
+            .call(Request::StaticAccess {
+                accessor,
+                class,
+                bytes,
+                write,
+            })
+            .map(|_| ())
+            .map_err(rpc_to_vm_error)
+    }
+
+    fn class_of(&self, target: ObjectId) -> VmResult<ClassId> {
+        match self
+            .endpoint
+            .call(Request::ClassOf { target })
+            .map_err(rpc_to_vm_error)?
+        {
+            Reply::Class(c) => Ok(c),
+            other => Err(VmError::RemoteFailure(format!(
+                "unexpected reply {other:?} to ClassOf"
+            ))),
+        }
+    }
+}
+
+/// Serves the peer's requests against the local machine.
+pub struct VmDispatcher {
+    machine: Machine,
+    tables: Arc<RefTables>,
+}
+
+impl std::fmt::Debug for VmDispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VmDispatcher").finish()
+    }
+}
+
+impl VmDispatcher {
+    /// Creates a dispatcher executing against `machine`.
+    pub fn new(machine: Machine, tables: Arc<RefTables>) -> Self {
+        VmDispatcher { machine, tables }
+    }
+
+    fn import_incoming_refs(&self, args: &[ObjectId]) {
+        let vm = self.machine.vm();
+        let vm = vm.lock();
+        for &a in args {
+            if !vm.heap().contains(a) {
+                self.tables.imports.import(a);
+            }
+        }
+    }
+
+    fn export_outgoing(&self, id: ObjectId) {
+        let vm = self.machine.vm();
+        let mut vm = vm.lock();
+        if vm.heap().contains(id) && self.tables.exports.export(id) {
+            vm.external_root_inc(id);
+        }
+    }
+}
+
+impl Dispatcher for VmDispatcher {
+    fn dispatch(&self, request: Request) -> Result<Reply, String> {
+        match request {
+            Request::Invoke {
+                target,
+                class,
+                method,
+                args,
+                ..
+            } => {
+                self.import_incoming_refs(&args);
+                self.machine
+                    .call_on(target, class, method, &args)
+                    .map(|()| Reply::Unit)
+                    .map_err(|e| e.to_string())
+            }
+            Request::FieldAccess {
+                target,
+                bytes,
+                write,
+            } => self
+                .machine
+                .field_access_on(target, bytes, write)
+                .map(|()| Reply::Unit)
+                .map_err(|e| e.to_string()),
+            Request::GetSlot { target, slot } => {
+                let value = self
+                    .machine
+                    .get_slot_on(target, slot)
+                    .map_err(|e| e.to_string())?;
+                // The peer will hold whatever reference we hand out.
+                if let Some(v) = value {
+                    self.export_outgoing(v);
+                }
+                Ok(Reply::Slot(value))
+            }
+            Request::PutSlot {
+                target,
+                slot,
+                value,
+            } => {
+                if let Some(v) = value {
+                    self.import_incoming_refs(&[v]);
+                }
+                self.machine
+                    .put_slot_on(target, slot, value)
+                    .map(|()| Reply::Unit)
+                    .map_err(|e| e.to_string())
+            }
+            Request::Native { work_micros, .. } => {
+                self.machine.native_on(work_micros);
+                Ok(Reply::Unit)
+            }
+            Request::StaticAccess {
+                class,
+                bytes,
+                write,
+                ..
+            } => {
+                self.machine.static_access_on(class, bytes, write);
+                Ok(Reply::Unit)
+            }
+            Request::ClassOf { target } => self
+                .machine
+                .class_of_local(target)
+                .map(Reply::Class)
+                .map_err(|e| e.to_string()),
+            Request::Migrate { objects } => {
+                let vm = self.machine.vm();
+                let mut vm = vm.lock();
+                // All-or-nothing: verify capacity before installing anything,
+                // so a failed migration never leaves objects half-resident.
+                let total: u64 = objects.iter().map(|(_, r)| r.footprint()).sum();
+                if total > vm.heap().free_bytes() {
+                    return Err(format!(
+                        "surrogate heap cannot host {total} B ({} B free)",
+                        vm.heap().free_bytes()
+                    ));
+                }
+                for (id, record) in objects {
+                    // Cross-VM slot references: note remote ones as imports.
+                    for slot in record.slots.iter().flatten() {
+                        if !vm.heap().contains(*slot) {
+                            self.tables.imports.import(*slot);
+                        }
+                    }
+                    vm.heap_mut()
+                        .migrate_in(id, record)
+                        .map_err(|e| e.to_string())?;
+                    // Conservatively pin every migrated-in object: the peer
+                    // still holds references (frames, slots) to it. Released
+                    // by the peer's GcRelease when it drops them.
+                    if self.tables.exports.export(id) {
+                        vm.external_root_inc(id);
+                    }
+                }
+                Ok(Reply::Unit)
+            }
+            Request::GcRelease { objects } => {
+                let vm = self.machine.vm();
+                let mut vm = vm.lock();
+                for id in objects {
+                    if self.tables.exports.release(id) {
+                        vm.external_root_dec(id);
+                    }
+                }
+                Ok(Reply::Unit)
+            }
+            Request::Shutdown => Ok(Reply::Unit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_graph::CommParams;
+    use aide_rpc::{EndpointConfig, Link};
+    use aide_vm::{MethodDef, Op, ProgramBuilder, Reg, VmConfig};
+
+    /// Builds a connected client/surrogate machine pair over real RPC.
+    fn machine_pair() -> (Machine, Machine, Arc<Endpoint>, Arc<Endpoint>) {
+        let mut b = ProgramBuilder::new();
+        let main = b.add_class("Main");
+        let worker = b.add_class("Worker");
+        b.add_method(
+            worker,
+            MethodDef::new("step", vec![Op::Work { micros: 10 }]),
+        );
+        b.add_method(main, MethodDef::new("main", vec![]));
+        let program = Arc::new(b.build(main, MethodId(0), 64, 4).unwrap());
+
+        let client = Machine::new(program.clone(), VmConfig::client(1 << 20));
+        let surrogate = Machine::new(program, VmConfig::surrogate(8 << 20));
+
+        let (link, ct, st) = Link::pair(CommParams::WAVELAN);
+        let clock = link.clock.clone();
+        let client_tables = Arc::new(RefTables::new());
+        let surrogate_tables = Arc::new(RefTables::new());
+
+        let client_ep = Endpoint::start(
+            ct,
+            link.params,
+            clock.clone(),
+            Arc::new(VmDispatcher::new(client.clone(), client_tables.clone())),
+            EndpointConfig::default(),
+        );
+        let surrogate_ep = Endpoint::start(
+            st,
+            link.params,
+            clock,
+            Arc::new(VmDispatcher::new(
+                surrogate.clone(),
+                surrogate_tables.clone(),
+            )),
+            EndpointConfig::default(),
+        );
+
+        // Calls placed on an endpoint travel to the peer and are served by
+        // the peer's dispatcher: the client's outbound path is client_ep.
+        client.set_remote(Arc::new(RemoteAdapter::new(
+            client_ep.clone(),
+            client.clone(),
+            client_tables,
+        )));
+        surrogate.set_remote(Arc::new(RemoteAdapter::new(
+            surrogate_ep.clone(),
+            surrogate.clone(),
+            surrogate_tables,
+        )));
+        (client, surrogate, client_ep, surrogate_ep)
+    }
+
+    #[test]
+    fn migrate_then_invoke_executes_on_surrogate() {
+        let (client, surrogate, cep, _sep) = machine_pair();
+        // Create a Worker on the client and take it off the client heap.
+        let worker_id = ObjectId::client(1000);
+        let record = {
+            let vm = client.vm();
+            let mut vm = vm.lock();
+            vm.heap_mut()
+                .insert(worker_id, aide_vm::ObjectRecord::new(ClassId(1), 500, 0))
+                .unwrap();
+            vm.heap_mut().migrate_out(worker_id).unwrap()
+        };
+        // Offload it over the wire: the client's endpoint sends, the
+        // surrogate's dispatcher serves.
+        cep.call(Request::Migrate {
+            objects: vec![(worker_id, record)],
+        })
+        .unwrap();
+        assert!(surrogate.vm().lock().heap().contains(worker_id));
+        // The object is no longer client-local, so a direct local call
+        // fails there...
+        assert!(client
+            .call_on(worker_id, ClassId(1), MethodId(0), &[])
+            .is_err());
+        // ...but an Invoke through the RPC path executes on the surrogate.
+        cep.call(Request::Invoke {
+            target: worker_id,
+            class: ClassId(1),
+            method: MethodId(0),
+            arg_bytes: 0,
+            ret_bytes: 0,
+            args: vec![],
+        })
+        .unwrap();
+        assert!(surrogate.vm().lock().cpu_seconds() > 0.0);
+    }
+
+    #[test]
+    fn remote_invoke_round_trips_through_rpc() {
+        let (client, surrogate, cep, sep) = machine_pair();
+        // Put a Worker object on the surrogate.
+        let worker_id = ObjectId::surrogate(5);
+        {
+            let vm = surrogate.vm();
+            let mut vm = vm.lock();
+            vm.heap_mut()
+                .insert(worker_id, aide_vm::ObjectRecord::new(ClassId(1), 100, 0))
+                .unwrap();
+        }
+        // Drive an Invoke from the client through its RemoteAccess adapter.
+        let tables = Arc::new(RefTables::new());
+        let adapter = RemoteAdapter::new(cep.clone(), client.clone(), tables);
+        adapter
+            .invoke(worker_id, ClassId(1), MethodId(0), 16, 8, &[])
+            .unwrap();
+        assert_eq!(sep.requests_served(), 1);
+        assert!(surrogate.vm().lock().cpu_seconds() > 0.0);
+        // Link time was charged.
+        assert!(cep.clock().seconds() > 0.0);
+    }
+
+    #[test]
+    fn class_of_resolves_across_vms() {
+        let (client, surrogate, cep, _sep) = machine_pair();
+        let id = ObjectId::surrogate(9);
+        {
+            let vm = surrogate.vm();
+            let mut vm = vm.lock();
+            vm.heap_mut()
+                .insert(id, aide_vm::ObjectRecord::new(ClassId(1), 10, 0))
+                .unwrap();
+        }
+        let tables = Arc::new(RefTables::new());
+        let adapter = RemoteAdapter::new(cep, client.clone(), tables);
+        assert_eq!(adapter.class_of(id).unwrap(), ClassId(1));
+        assert!(matches!(
+            adapter.class_of(ObjectId::surrogate(404)).unwrap_err(),
+            VmError::RemoteFailure(_)
+        ));
+    }
+
+    #[test]
+    fn exported_arguments_are_pinned_until_released() {
+        let (client, surrogate, cep, _sep) = machine_pair();
+        // A client-local object passed as an argument to a remote call.
+        let arg_id = ObjectId::client(77);
+        {
+            let vm = client.vm();
+            let mut vm = vm.lock();
+            vm.heap_mut()
+                .insert(arg_id, aide_vm::ObjectRecord::new(ClassId(1), 10, 0))
+                .unwrap();
+        }
+        let target = ObjectId::surrogate(3);
+        {
+            let vm = surrogate.vm();
+            let mut vm = vm.lock();
+            vm.heap_mut()
+                .insert(target, aide_vm::ObjectRecord::new(ClassId(1), 10, 0))
+                .unwrap();
+        }
+        let tables = Arc::new(RefTables::new());
+        let adapter = RemoteAdapter::new(cep, client.clone(), tables.clone());
+        adapter
+            .invoke(target, ClassId(1), MethodId(0), 0, 0, &[arg_id])
+            .unwrap();
+        assert!(tables.exports.contains(arg_id));
+        assert_eq!(client.vm().lock().external_root_count(), 1);
+        assert!(tables.imports.contains(target));
+    }
+
+    #[test]
+    fn gc_release_unpins_exports() {
+        let (client, _surrogate, cep, _sep) = machine_pair();
+        // Client exports an object (simulating an earlier reference send).
+        let id = ObjectId::client(55);
+        {
+            let vm = client.vm();
+            let mut vm = vm.lock();
+            vm.heap_mut()
+                .insert(id, aide_vm::ObjectRecord::new(ClassId(1), 10, 0))
+                .unwrap();
+        }
+        // Reproduce what RemoteAdapter::export_if_local does, through the
+        // same tables the client dispatcher uses. We need those tables —
+        // rebuild the dispatcher path instead: surrogate sends GcRelease.
+        // For unit purposes, drive the client's dispatcher directly.
+        let tables = Arc::new(RefTables::new());
+        let dispatcher = VmDispatcher::new(client.clone(), tables.clone());
+        {
+            let vm = client.vm();
+            let mut vm = vm.lock();
+            if tables.exports.export(id) {
+                vm.external_root_inc(id);
+            }
+        }
+        assert_eq!(client.vm().lock().external_root_count(), 1);
+        let reply = dispatcher
+            .dispatch(Request::GcRelease { objects: vec![id] })
+            .unwrap();
+        assert_eq!(reply, Reply::Unit);
+        assert_eq!(client.vm().lock().external_root_count(), 0);
+        let _ = cep;
+    }
+
+    #[test]
+    fn migrate_request_installs_objects_and_pins_them() {
+        let (_client, surrogate, _cep, _sep) = machine_pair();
+        let tables = Arc::new(RefTables::new());
+        let dispatcher = VmDispatcher::new(surrogate.clone(), tables.clone());
+        let mut rec = aide_vm::ObjectRecord::new(ClassId(1), 200, 1);
+        rec.slots[0] = Some(ObjectId::client(123)); // back-ref to the client
+        let id = ObjectId::client(500);
+        dispatcher
+            .dispatch(Request::Migrate {
+                objects: vec![(id, rec)],
+            })
+            .unwrap();
+        let vm = surrogate.vm();
+        let vm = vm.lock();
+        assert!(vm.heap().contains(id));
+        assert_eq!(vm.heap().stats().migrated_in, 1);
+        assert_eq!(vm.external_root_count(), 1, "migrated object pinned");
+        assert!(tables.imports.contains(ObjectId::client(123)));
+    }
+}

@@ -1,0 +1,711 @@
+//! The execution and resource monitoring module (paper §3.4).
+//!
+//! The monitor implements [`RuntimeHooks`] and aggregates the VM's event
+//! stream into the weighted execution graph the partitioner consumes: a
+//! node per class annotated with live memory and exclusive CPU time, and an
+//! edge per interacting class pair annotated with interaction counts and
+//! bytes transferred.
+//!
+//! With the *array enhancement* enabled (paper §5.2), objects of designated
+//! primitive-array classes are monitored at **object granularity**: each
+//! array instance gets its own graph node, so the partitioner can place
+//! individual arrays instead of the whole class.
+//!
+//! The monitor also maintains the memory-pressure trigger state machine
+//! (three successive collection cycles reporting little free memory, §5.1),
+//! the remote-interaction counters behind Figure 8, and the execution
+//! metrics behind Table 2.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use aide_graph::{EdgeInfo, ExecutionGraph, NodeId, NodeInfo, PinReason};
+use aide_vm::{
+    ClassId, GcReport, Interaction, InteractionKind, NativeKind, ObjectId, Program, RuntimeHooks,
+};
+
+/// What a graph node stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKey {
+    /// A whole class (the paper's default component granularity).
+    Class(ClassId),
+    /// A single object of an object-granular (primitive-array) class.
+    Object(ObjectId),
+}
+
+/// Memory-pressure trigger configuration (paper §5.1): partitioning is
+/// triggered when successive garbage-collection cycles indicate that
+/// additional memory cannot be freed or that less than the threshold
+/// fraction of memory is available.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TriggerConfig {
+    /// A cycle signals pressure when free heap is below this fraction.
+    pub low_free_fraction: f64,
+    /// A cycle that reclaims nothing ("additional memory cannot be freed")
+    /// signals pressure when free heap is below this fraction — a barren
+    /// cycle with ample free memory is healthy, not pressure.
+    pub barren_concern_fraction: f64,
+    /// Successive pressured cycles required before the trigger fires (the
+    /// paper's "tolerance to low-memory signals").
+    pub consecutive_reports: u32,
+}
+
+impl Default for TriggerConfig {
+    fn default() -> Self {
+        // The paper's initial policy: three successive cycles under 5% free.
+        TriggerConfig {
+            low_free_fraction: 0.05,
+            barren_concern_fraction: 0.10,
+            consecutive_reports: 3,
+        }
+    }
+}
+
+/// Table 2-style execution metrics, sampled at every collection cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MonitorMetrics {
+    /// Number of samples taken (one per GC cycle).
+    pub samples: u64,
+    /// Average number of classes with live objects per sample.
+    pub classes_avg: f64,
+    /// Maximum number of classes with live objects in any sample.
+    pub classes_max: u64,
+    /// Total classes that ever had an object allocated.
+    pub classes_total: u64,
+    /// Average live objects per sample.
+    pub objects_avg: f64,
+    /// Maximum live objects in any sample.
+    pub objects_max: u64,
+    /// Total objects created.
+    pub objects_total: u64,
+    /// Average number of graph links (edges) per sample.
+    pub links_avg: f64,
+    /// Maximum number of graph links in any sample.
+    pub links_max: u64,
+    /// Total interaction events recorded.
+    pub interaction_events: u64,
+    /// Interaction events that were method invocations.
+    pub invocation_events: u64,
+    /// Interaction events that were data-field accesses.
+    pub field_access_events: u64,
+    /// Estimated storage footprint of the execution graph, in bytes.
+    pub graph_storage_bytes: u64,
+}
+
+/// Remote-execution counters (Figure 8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemoteStats {
+    /// Remote inter-class interactions (invocations + accesses).
+    pub remote_interactions: u64,
+    /// Remote method invocations only.
+    pub remote_invocations: u64,
+    /// Native invocations that had to travel back to the client.
+    pub remote_native_calls: u64,
+    /// Static-data accesses that had to travel back to the client.
+    pub remote_static_accesses: u64,
+    /// Bytes carried by remote interactions.
+    pub remote_bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct GraphState {
+    nodes: HashMap<NodeKey, usize>,
+    labels: Vec<(NodeKey, String, Option<PinReason>)>,
+    memory: Vec<i64>,
+    cpu_micros: Vec<f64>,
+    live_objects: Vec<i64>,
+    edges: HashMap<(usize, usize), EdgeInfo>,
+    /// Object -> node index, for object-granular classes.
+    object_class: HashMap<ObjectId, ClassId>,
+}
+
+#[derive(Debug, Default)]
+struct MetricState {
+    samples: u64,
+    class_live_sum: u64,
+    class_live_max: u64,
+    classes_seen: HashSet<ClassId>,
+    obj_live: i64,
+    obj_live_sum: u64,
+    obj_live_max: u64,
+    obj_total: u64,
+    links_sum: u64,
+    links_max: u64,
+    invocations: u64,
+    accesses: u64,
+}
+
+/// The monitoring module.
+///
+/// Shared by both VMs of a distributed platform (the paper performs graph
+/// partitioning solely on the client but assumes shared knowledge of the
+/// application, §4).
+pub struct Monitor {
+    program: Arc<Program>,
+    trigger: TriggerConfig,
+    object_granular: HashSet<ClassId>,
+    graph: Mutex<GraphState>,
+    metrics: Mutex<MetricState>,
+    remote: Mutex<RemoteStats>,
+    low_memory_streak: AtomicU64,
+    memory_triggered: AtomicBool,
+    work_since_eval_micros: Mutex<f64>,
+    gc_reports: Mutex<Vec<GcReport>>,
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("trigger", &self.trigger)
+            .field("object_granular_classes", &self.object_granular.len())
+            .finish()
+    }
+}
+
+impl Monitor {
+    /// Creates a monitor for `program`.
+    ///
+    /// `object_granular` lists primitive-array classes to monitor at
+    /// object granularity (empty = pure class granularity, the paper's
+    /// default).
+    pub fn new(
+        program: Arc<Program>,
+        trigger: TriggerConfig,
+        object_granular: HashSet<ClassId>,
+    ) -> Self {
+        Monitor {
+            program,
+            trigger,
+            object_granular,
+            graph: Mutex::new(GraphState::default()),
+            metrics: Mutex::new(MetricState::default()),
+            remote: Mutex::new(RemoteStats::default()),
+            low_memory_streak: AtomicU64::new(0),
+            memory_triggered: AtomicBool::new(false),
+            work_since_eval_micros: Mutex::new(0.0),
+            gc_reports: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The trigger configuration.
+    pub fn trigger_config(&self) -> TriggerConfig {
+        self.trigger
+    }
+
+    /// Returns `true` once the memory-pressure trigger has fired.
+    pub fn memory_triggered(&self) -> bool {
+        self.memory_triggered.load(Ordering::SeqCst)
+    }
+
+    /// Clears the memory trigger (after an offload handled it).
+    pub fn reset_memory_trigger(&self) {
+        self.memory_triggered.store(false, Ordering::SeqCst);
+        self.low_memory_streak.store(0, Ordering::SeqCst);
+    }
+
+    /// Exclusive work accumulated since the last periodic evaluation
+    /// (non-destructive peek).
+    pub fn work_since_eval(&self) -> f64 {
+        *self.work_since_eval_micros.lock()
+    }
+
+    /// Exclusive work accumulated since the last periodic evaluation, and
+    /// resets the accumulator — used by CPU-constraint triggering.
+    pub fn take_work_since_eval(&self) -> f64 {
+        let mut w = self.work_since_eval_micros.lock();
+        std::mem::replace(&mut *w, 0.0)
+    }
+
+    /// All garbage-collection reports observed so far.
+    pub fn gc_reports(&self) -> Vec<GcReport> {
+        self.gc_reports.lock().clone()
+    }
+
+    /// Remote-execution counters (Figure 8).
+    pub fn remote_stats(&self) -> RemoteStats {
+        *self.remote.lock()
+    }
+
+    /// Table 2-style execution metrics.
+    pub fn metrics(&self) -> MonitorMetrics {
+        let m = self.metrics.lock();
+        let g = self.graph.lock();
+        let storage = graph_storage_estimate(&g);
+        let div = |sum: u64, n: u64| if n == 0 { 0.0 } else { sum as f64 / n as f64 };
+        MonitorMetrics {
+            samples: m.samples,
+            classes_avg: div(m.class_live_sum, m.samples),
+            classes_max: m.class_live_max,
+            classes_total: m.classes_seen.len() as u64,
+            objects_avg: div(m.obj_live_sum, m.samples),
+            objects_max: m.obj_live_max,
+            objects_total: m.obj_total,
+            links_avg: div(m.links_sum, m.samples),
+            links_max: m.links_max,
+            interaction_events: m.invocations + m.accesses,
+            invocation_events: m.invocations,
+            field_access_events: m.accesses,
+            graph_storage_bytes: storage as u64,
+        }
+    }
+
+    /// Snapshots the current execution graph.
+    ///
+    /// Returns the graph plus the [`NodeKey`] each [`NodeId`] stands for,
+    /// which the offload executor needs to translate a partitioning back
+    /// into concrete objects.
+    pub fn snapshot(&self) -> (ExecutionGraph, Vec<NodeKey>) {
+        let g = self.graph.lock();
+        let mut graph = ExecutionGraph::new();
+        let mut keys = Vec::with_capacity(g.labels.len());
+        for (i, (key, label, pin)) in g.labels.iter().enumerate() {
+            let mut info = match pin {
+                Some(reason) => NodeInfo::pinned(label.clone(), *reason),
+                None => NodeInfo::new(label.clone()),
+            };
+            info.memory_bytes = g.memory[i].max(0) as u64;
+            info.cpu_micros = g.cpu_micros[i].round() as u64;
+            info.live_objects = g.live_objects[i].max(0) as u64;
+            let id = graph.add_node(info);
+            debug_assert_eq!(id.index(), i);
+            keys.push(*key);
+        }
+        for (&(a, b), &e) in &g.edges {
+            graph.record_interaction(NodeId(a as u32), NodeId(b as u32), e);
+        }
+        (graph, keys)
+    }
+
+    /// The class a monitored object belongs to, if the monitor saw its
+    /// allocation (used for object-granular placement).
+    pub fn class_of_object(&self, id: ObjectId) -> Option<ClassId> {
+        self.graph.lock().object_class.get(&id).copied()
+    }
+
+    fn node_index(&self, g: &mut GraphState, key: NodeKey) -> usize {
+        if let Some(&i) = g.nodes.get(&key) {
+            return i;
+        }
+        let (label, pin) = match key {
+            NodeKey::Class(c) => {
+                let def = self.program.class(c).expect("monitored class exists");
+                // Only classes *implemented with* native methods are pinned
+                // (paper §3.3); classes that merely invoke natives remain
+                // offloadable — their native calls are redirected to the
+                // client at run time instead.
+                (
+                    def.name.clone(),
+                    def.native_impl.then_some(PinReason::NativeMethods),
+                )
+            }
+            NodeKey::Object(o) => (format!("obj:{o}"), None),
+        };
+        let i = g.labels.len();
+        g.labels.push((key, label, pin));
+        g.memory.push(0);
+        g.cpu_micros.push(0.0);
+        g.live_objects.push(0);
+        g.nodes.insert(key, i);
+        i
+    }
+
+    fn key_for_target(&self, class: ClassId, target: Option<ObjectId>, g: &GraphState) -> NodeKey {
+        if self.object_granular.contains(&class) {
+            if let Some(obj) = target {
+                if g.object_class.contains_key(&obj) || self.object_granular.contains(&class) {
+                    return NodeKey::Object(obj);
+                }
+            }
+        }
+        NodeKey::Class(class)
+    }
+}
+
+fn graph_storage_estimate(g: &GraphState) -> usize {
+    g.labels
+        .iter()
+        .map(|(_, label, _)| 48 + label.len())
+        .sum::<usize>()
+        + g.edges.len() * (16 + std::mem::size_of::<EdgeInfo>())
+}
+
+impl RuntimeHooks for Monitor {
+    fn on_interaction(&self, event: Interaction) {
+        let mut g = self.graph.lock();
+        let caller_key = NodeKey::Class(event.caller);
+        let callee_key = self.key_for_target(event.callee, event.target, &g);
+        let a = self.node_index(&mut g, caller_key);
+        let b = self.node_index(&mut g, callee_key);
+        if a != b {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            g.edges
+                .entry((lo, hi))
+                .or_default()
+                .absorb(EdgeInfo::new(1, event.bytes));
+        }
+        drop(g);
+
+        let mut m = self.metrics.lock();
+        match event.kind {
+            InteractionKind::Invocation => m.invocations += 1,
+            InteractionKind::FieldAccess => m.accesses += 1,
+        }
+        drop(m);
+
+        if event.remote {
+            let mut r = self.remote.lock();
+            r.remote_interactions += 1;
+            if event.kind == InteractionKind::Invocation {
+                r.remote_invocations += 1;
+            }
+            r.remote_bytes += event.bytes;
+        }
+    }
+
+    fn on_alloc(&self, class: ClassId, object: ObjectId, bytes: u64) {
+        let mut g = self.graph.lock();
+        let key = if self.object_granular.contains(&class) {
+            g.object_class.insert(object, class);
+            NodeKey::Object(object)
+        } else {
+            NodeKey::Class(class)
+        };
+        let i = self.node_index(&mut g, key);
+        g.memory[i] += bytes as i64;
+        g.live_objects[i] += 1;
+        drop(g);
+
+        let mut m = self.metrics.lock();
+        m.classes_seen.insert(class);
+        m.obj_live += 1;
+        m.obj_total += 1;
+    }
+
+    fn on_free(&self, class: ClassId, objects: u64, bytes: u64) {
+        let mut g = self.graph.lock();
+        // Object-granular frees arrive aggregated per class; distribute is
+        // unnecessary because dead arrays stop mattering — zero the class
+        // node if present, otherwise subtract from the class node.
+        let key = NodeKey::Class(class);
+        if self.object_granular.contains(&class) {
+            // Dead object nodes are detected lazily: their memory stays
+            // until re-snapshot; acceptable because offload decisions use
+            // live class bytes from the heap at offload time.
+        } else if let Some(&i) = g.nodes.get(&key) {
+            g.memory[i] -= bytes as i64;
+            g.live_objects[i] -= objects as i64;
+        }
+        drop(g);
+
+        let mut m = self.metrics.lock();
+        m.obj_live -= objects as i64;
+    }
+
+    fn on_work(&self, class: ClassId, micros: f64) {
+        let mut g = self.graph.lock();
+        let i = self.node_index(&mut g, NodeKey::Class(class));
+        g.cpu_micros[i] += micros;
+        drop(g);
+        *self.work_since_eval_micros.lock() += micros;
+    }
+
+    fn on_native(
+        &self,
+        _caller: ClassId,
+        _kind: NativeKind,
+        _work_micros: u32,
+        bytes: u64,
+        remote: bool,
+    ) {
+        if remote {
+            let mut r = self.remote.lock();
+            r.remote_native_calls += 1;
+            r.remote_interactions += 1;
+            r.remote_invocations += 1;
+            r.remote_bytes += bytes;
+        }
+    }
+
+    fn on_static_access(&self, _accessor: ClassId, _class: ClassId, bytes: u64, remote: bool) {
+        if remote {
+            let mut r = self.remote.lock();
+            r.remote_static_accesses += 1;
+            r.remote_interactions += 1;
+            r.remote_bytes += bytes;
+        }
+    }
+
+    fn on_gc(&self, report: &GcReport) {
+        self.gc_reports.lock().push(*report);
+
+        // Sample Table 2 metrics.
+        {
+            let g = self.graph.lock();
+            let classes_live = g
+                .labels
+                .iter()
+                .enumerate()
+                .filter(|(i, (key, _, _))| {
+                    matches!(key, NodeKey::Class(_)) && g.live_objects[*i] > 0
+                })
+                .count() as u64;
+            let links = g.edges.len() as u64;
+            let mut m = self.metrics.lock();
+            m.samples += 1;
+            m.class_live_sum += classes_live;
+            m.class_live_max = m.class_live_max.max(classes_live);
+            let live = m.obj_live.max(0) as u64;
+            m.obj_live_sum += live;
+            m.obj_live_max = m.obj_live_max.max(live);
+            m.links_sum += links;
+            m.links_max = m.links_max.max(links);
+        }
+
+        // Memory trigger state machine.
+        let free = report.free_fraction();
+        let pressured = free < self.trigger.low_free_fraction
+            || (report.reclaimed_nothing() && free < self.trigger.barren_concern_fraction);
+        if pressured {
+            let streak = self.low_memory_streak.fetch_add(1, Ordering::SeqCst) + 1;
+            if streak >= self.trigger.consecutive_reports as u64 {
+                self.memory_triggered.store(true, Ordering::SeqCst);
+            }
+        } else {
+            self.low_memory_streak.store(0, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_vm::{MethodDef, MethodId, Op, ProgramBuilder};
+
+    fn program() -> Arc<Program> {
+        let mut b = ProgramBuilder::new();
+        let main = b.add_class("Main");
+        let doc = b.add_class("Document");
+        let arr = b.add_array_class("CharArray");
+        let ui = b.add_class("Gui");
+        b.add_method(main, MethodDef::new("main", vec![]));
+        b.set_native_impl(ui);
+        b.add_method(
+            ui,
+            MethodDef::new(
+                "draw",
+                vec![Op::Native {
+                    kind: NativeKind::Framebuffer,
+                    work_micros: 1,
+                    arg_bytes: 8,
+                    ret_bytes: 0,
+                }],
+            ),
+        );
+        let _ = (doc, arr);
+        Arc::new(b.build(main, MethodId(0), 0, 0).unwrap())
+    }
+
+    fn monitor(object_granular: bool) -> Monitor {
+        let p = program();
+        let granular = if object_granular {
+            [ClassId(2)].into_iter().collect()
+        } else {
+            HashSet::new()
+        };
+        Monitor::new(p, TriggerConfig::default(), granular)
+    }
+
+    fn interaction(caller: u32, callee: u32, bytes: u64, remote: bool) -> Interaction {
+        Interaction {
+            caller: ClassId(caller),
+            callee: ClassId(callee),
+            target: Some(ObjectId::client(99)),
+            kind: InteractionKind::Invocation,
+            bytes,
+            remote,
+        }
+    }
+
+    #[test]
+    fn interactions_accumulate_into_edges() {
+        let m = monitor(false);
+        m.on_interaction(interaction(0, 1, 100, false));
+        m.on_interaction(interaction(1, 0, 50, false));
+        let (graph, keys) = m.snapshot();
+        assert_eq!(graph.node_count(), 2);
+        assert_eq!(graph.edge_count(), 1);
+        let e = graph.edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(e.interactions, 2);
+        assert_eq!(e.bytes, 150);
+        assert_eq!(keys.len(), 2);
+    }
+
+    #[test]
+    fn alloc_and_free_balance_memory() {
+        let m = monitor(false);
+        m.on_alloc(ClassId(1), ObjectId::client(0), 1_000);
+        m.on_alloc(ClassId(1), ObjectId::client(1), 500);
+        m.on_free(ClassId(1), 1, 500);
+        let (graph, _) = m.snapshot();
+        let node = graph.node_by_label("Document").unwrap();
+        assert_eq!(graph.node(node).memory_bytes, 1_000);
+        assert_eq!(graph.node(node).live_objects, 1);
+    }
+
+    #[test]
+    fn native_classes_are_pinned_in_snapshot() {
+        let m = monitor(false);
+        m.on_alloc(ClassId(3), ObjectId::client(0), 100);
+        let (graph, _) = m.snapshot();
+        let gui = graph.node_by_label("Gui").unwrap();
+        assert!(graph.node(gui).is_pinned());
+    }
+
+    #[test]
+    fn work_is_attributed_exclusively() {
+        let m = monitor(false);
+        m.on_work(ClassId(0), 120.0);
+        m.on_work(ClassId(1), 30.0);
+        m.on_work(ClassId(0), 1.5);
+        let (graph, _) = m.snapshot();
+        let main = graph.node_by_label("Main").unwrap();
+        let doc = graph.node_by_label("Document").unwrap();
+        assert_eq!(graph.node(main).cpu_micros, 122);
+        assert_eq!(graph.node(doc).cpu_micros, 30);
+    }
+
+    #[test]
+    fn object_granular_classes_get_per_object_nodes() {
+        let m = monitor(true);
+        let a1 = ObjectId::client(10);
+        let a2 = ObjectId::client(11);
+        m.on_alloc(ClassId(2), a1, 40_000);
+        m.on_alloc(ClassId(2), a2, 20_000);
+        m.on_interaction(Interaction {
+            caller: ClassId(1),
+            callee: ClassId(2),
+            target: Some(a1),
+            kind: InteractionKind::FieldAccess,
+            bytes: 64,
+            remote: false,
+        });
+        let (graph, keys) = m.snapshot();
+        // Two object nodes plus the Document caller node.
+        assert_eq!(graph.node_count(), 3);
+        let object_nodes = keys
+            .iter()
+            .filter(|k| matches!(k, NodeKey::Object(_)))
+            .count();
+        assert_eq!(object_nodes, 2);
+        // The interaction edge attaches to a1's node, not a class node.
+        let a1_node = keys
+            .iter()
+            .position(|k| *k == NodeKey::Object(a1))
+            .unwrap();
+        assert!(graph
+            .neighbors(NodeId(a1_node as u32))
+            .next()
+            .is_some());
+    }
+
+    fn report(free_after: u64, freed: u64) -> GcReport {
+        GcReport {
+            cycle: 0,
+            capacity: 1_000,
+            used_after: 1_000 - free_after,
+            free_after,
+            freed_objects: freed,
+            freed_bytes: freed * 10,
+            duration_micros: 1.0,
+        }
+    }
+
+    #[test]
+    fn memory_trigger_needs_consecutive_pressure() {
+        let m = monitor(false);
+        // 3 consecutive low-memory reports (< 5% free).
+        m.on_gc(&report(10, 5));
+        m.on_gc(&report(10, 5));
+        assert!(!m.memory_triggered());
+        m.on_gc(&report(10, 5));
+        assert!(m.memory_triggered());
+    }
+
+    #[test]
+    fn healthy_cycle_resets_the_streak() {
+        let m = monitor(false);
+        m.on_gc(&report(10, 5));
+        m.on_gc(&report(10, 5));
+        m.on_gc(&report(500, 5)); // 50% free: healthy
+        m.on_gc(&report(10, 5));
+        m.on_gc(&report(10, 5));
+        assert!(!m.memory_triggered());
+        m.on_gc(&report(10, 5));
+        assert!(m.memory_triggered());
+        m.reset_memory_trigger();
+        assert!(!m.memory_triggered());
+    }
+
+    #[test]
+    fn barren_cycles_count_as_pressure_only_when_memory_is_tight() {
+        let m = monitor(false);
+        // Freed nothing but 20% free: healthy, not pressure.
+        m.on_gc(&report(200, 0));
+        m.on_gc(&report(200, 0));
+        m.on_gc(&report(200, 0));
+        assert!(!m.memory_triggered());
+        // Freed nothing at 8% free (below the 10% concern level): pressure.
+        m.on_gc(&report(80, 0));
+        m.on_gc(&report(80, 0));
+        m.on_gc(&report(80, 0));
+        assert!(m.memory_triggered());
+    }
+
+    #[test]
+    fn remote_stats_follow_remote_flags() {
+        let m = monitor(false);
+        m.on_interaction(interaction(0, 1, 100, true));
+        m.on_interaction(interaction(0, 1, 100, false));
+        m.on_native(ClassId(1), NativeKind::Framebuffer, 5, 8, true);
+        m.on_native(ClassId(1), NativeKind::Math, 5, 8, false);
+        m.on_static_access(ClassId(1), ClassId(0), 16, true);
+        let r = m.remote_stats();
+        assert_eq!(r.remote_interactions, 3);
+        assert_eq!(r.remote_invocations, 2);
+        assert_eq!(r.remote_native_calls, 1);
+        assert_eq!(r.remote_static_accesses, 1);
+        assert_eq!(r.remote_bytes, 124);
+    }
+
+    #[test]
+    fn metrics_sample_at_gc_and_track_totals() {
+        let m = monitor(false);
+        m.on_alloc(ClassId(0), ObjectId::client(0), 100);
+        m.on_alloc(ClassId(1), ObjectId::client(1), 100);
+        m.on_interaction(interaction(0, 1, 10, false));
+        m.on_gc(&report(500, 0));
+        m.on_alloc(ClassId(1), ObjectId::client(2), 100);
+        m.on_gc(&report(400, 0));
+        let metrics = m.metrics();
+        assert_eq!(metrics.samples, 2);
+        assert_eq!(metrics.classes_total, 2);
+        assert_eq!(metrics.objects_total, 3);
+        assert_eq!(metrics.objects_max, 3);
+        assert!((metrics.objects_avg - 2.5).abs() < 1e-9);
+        assert_eq!(metrics.interaction_events, 1);
+        assert!(metrics.graph_storage_bytes > 0);
+    }
+
+    #[test]
+    fn work_accumulator_supports_periodic_evaluation() {
+        let m = monitor(false);
+        m.on_work(ClassId(0), 500.0);
+        m.on_work(ClassId(0), 250.0);
+        assert!((m.take_work_since_eval() - 750.0).abs() < 1e-9);
+        assert_eq!(m.take_work_since_eval(), 0.0);
+    }
+}

@@ -1,0 +1,428 @@
+//! The distributed platform: two VMs, a link, the AIDE modules, and the
+//! offloading controller (the paper's Figure 4 architecture).
+//!
+//! [`Platform::run`] executes a program on the client VM while the monitor
+//! watches execution and the controller reacts to resource pressure:
+//!
+//! 1. The client runs the application; the monitor builds the execution
+//!    graph from the hook stream.
+//! 2. Garbage-collection reports feed the memory trigger (three successive
+//!    cycles under the free threshold). For processing constraints, the
+//!    controller instead re-evaluates periodically by accumulated work.
+//! 3. On trigger, the partitioning module generates candidate partitionings
+//!    (modified MINCUT) and the policy selects a beneficial one — or none.
+//! 4. The offload executor migrates the selected objects to the surrogate
+//!    over the RPC link; subsequent touches of those objects become
+//!    transparent remote operations.
+//! 5. After every client collection, dropped cross-VM references are
+//!    released to the peer (distributed GC).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use aide_graph::{ExecutionGraph, PartitionPolicy, Partitioning, ResourceSnapshot};
+use aide_rpc::{live_remote_refs, Endpoint, EndpointConfig, Link, Request};
+use aide_vm::{
+    ClassId, GcReport, HookChain, Machine, NullHooks, Program, RunSummary, RuntimeHooks, Vm,
+    VmConfig, VmError, VmKind,
+};
+
+use crate::adapter::{RefTables, RemoteAdapter, VmDispatcher};
+use crate::config::{EvaluationMode, PlatformConfig, TransportKind};
+use crate::monitor::{Monitor, MonitorMetrics, RemoteStats};
+use crate::offload::{execute_offload, OffloadOutcome};
+use crate::partitioner::decide;
+
+/// A record of one offload decision that actually migrated objects.
+#[derive(Debug, Clone)]
+pub struct OffloadEvent {
+    /// GC cycle (client) at which the offload happened, if memory-driven.
+    pub at_gc_cycle: u64,
+    /// The execution graph the decision was computed over.
+    pub graph: ExecutionGraph,
+    /// The chosen placement.
+    pub partitioning: Partitioning,
+    /// Candidates the heuristic generated.
+    pub candidates_evaluated: usize,
+    /// Wall-clock duration of the partitioning computation.
+    pub partition_elapsed: Duration,
+    /// Fraction of graph-tracked memory offloaded.
+    pub offloaded_memory_fraction: f64,
+    /// Historical bytes crossing the selected cut.
+    pub cut_bytes: u64,
+    /// Historical interactions crossing the selected cut.
+    pub cut_interactions: u64,
+    /// Migration results.
+    pub outcome: OffloadOutcome,
+}
+
+/// Everything a platform run produced.
+#[derive(Debug)]
+pub struct PlatformReport {
+    /// How the application ended: `Ok` or the fatal [`VmError`].
+    pub outcome: Result<RunSummary, VmError>,
+    /// Virtual CPU seconds burned on the client.
+    pub client_cpu_seconds: f64,
+    /// Virtual CPU seconds burned on the surrogate.
+    pub surrogate_cpu_seconds: f64,
+    /// Simulated link seconds (remote interactions + offload transfers).
+    pub comm_seconds: f64,
+    /// Client garbage-collection cycles.
+    pub client_gc_cycles: u64,
+    /// Offloads performed.
+    pub offloads: Vec<OffloadEvent>,
+    /// Final execution graph snapshot.
+    pub final_graph: ExecutionGraph,
+    /// Table 2-style execution metrics.
+    pub metrics: MonitorMetrics,
+    /// Figure 8-style remote-interaction counters.
+    pub remote_stats: RemoteStats,
+    /// RPC requests the surrogate served for the client.
+    pub surrogate_requests_served: u64,
+    /// RPC requests the client served for the surrogate.
+    pub client_requests_served: u64,
+    /// Real frames exchanged on the link (both directions).
+    pub frames_exchanged: u64,
+}
+
+impl PlatformReport {
+    /// Total virtual completion time: execution is serial across the two
+    /// VMs and the link (the paper's emulator assumption), so components
+    /// add.
+    pub fn total_seconds(&self) -> f64 {
+        self.client_cpu_seconds + self.surrogate_cpu_seconds + self.comm_seconds
+    }
+
+    /// Returns `true` if at least one offload happened.
+    pub fn offloaded(&self) -> bool {
+        !self.offloads.is_empty()
+    }
+}
+
+/// Decision + migration driver, wired into the hook chain after the
+/// monitor so it reacts to fresh trigger state without holding VM locks.
+struct Controller {
+    monitor: Arc<Monitor>,
+    policy: Box<dyn PartitionPolicy>,
+    evaluation: EvaluationMode,
+    /// Late-bound: the controller participates in the client's hook chain,
+    /// which must exist before the machine and endpoint it drives.
+    client: std::sync::OnceLock<Machine>,
+    endpoint: std::sync::OnceLock<Arc<Endpoint>>,
+    tables: Arc<RefTables>,
+    max_offloads: u32,
+    offloads_done: AtomicU32,
+    events: Mutex<Vec<OffloadEvent>>,
+    /// Guards against re-entrant evaluation from nested GC cycles.
+    evaluating: Mutex<()>,
+}
+
+impl Controller {
+    fn bind(&self, client: Machine, endpoint: Arc<Endpoint>) {
+        self.client.set(client).ok().expect("controller already bound");
+        self.endpoint
+            .set(endpoint)
+            .ok()
+            .expect("controller already bound");
+    }
+
+    fn client(&self) -> &Machine {
+        self.client.get().expect("controller bound before execution")
+    }
+
+    fn maybe_offload(&self, at_gc_cycle: u64) {
+        if self.offloads_done.load(Ordering::SeqCst) >= self.max_offloads {
+            return;
+        }
+        let Some(_guard) = self.evaluating.try_lock() else {
+            return;
+        };
+        if self.offloads_done.load(Ordering::SeqCst) >= self.max_offloads {
+            return;
+        }
+
+        let (graph, keys) = self.monitor.snapshot();
+        let snapshot = {
+            let vm = self.client().vm();
+            let vm = vm.lock();
+            ResourceSnapshot::new(vm.heap().capacity(), vm.heap().stats().used_bytes)
+        };
+        let decision = decide(graph, snapshot, self.policy.as_ref());
+        if std::env::var_os("AIDE_DEBUG").is_some() {
+            eprintln!(
+                "[aide] evaluate: nodes={} candidates={} selected={} heap_used={} graph_mem={}",
+                decision.graph.node_count(),
+                decision.candidates_evaluated,
+                decision.selection.is_some(),
+                snapshot.heap_used,
+                decision.graph.total_memory(),
+            );
+            for (id, n) in decision.graph.iter() {
+                eprintln!("[aide]   node {id} {} mem={} pinned={:?}", n.label, n.memory_bytes, n.pinned);
+            }
+        }
+        if std::env::var_os("AIDE_DEBUG").is_some() {
+            if let Some(sel) = &decision.selection {
+                let client: Vec<&str> = sel
+                    .partitioning
+                    .nodes_on(aide_graph::Side::Client)
+                    .map(|n| decision.graph.node(n).label.as_str())
+                    .collect();
+                eprintln!(
+                    "[aide] selected: {} offloaded, client side = {:?}, cut = {:?}",
+                    sel.partitioning.offloaded_count(),
+                    client,
+                    sel.stats.cut
+                );
+            }
+        }
+        let Some(selection) = decision.selection else {
+            // Not beneficial / not feasible: leave the trigger armed only if
+            // pressure persists (the monitor will re-fire).
+            self.monitor.reset_memory_trigger();
+            return;
+        };
+
+        let stats = &selection.stats;
+        let offloaded_memory_fraction = stats.offloaded_memory_fraction();
+        let cut = stats.cut;
+        let endpoint = self.endpoint.get().expect("controller bound");
+        match execute_offload(&selection, &keys, self.client(), endpoint, &self.tables) {
+            Ok(outcome) => {
+                self.events.lock().push(OffloadEvent {
+                    at_gc_cycle,
+                    graph: decision.graph,
+                    partitioning: selection.partitioning,
+                    candidates_evaluated: decision.candidates_evaluated,
+                    partition_elapsed: decision.elapsed,
+                    offloaded_memory_fraction,
+                    cut_bytes: cut.bytes,
+                    cut_interactions: cut.interactions,
+                    outcome,
+                });
+                self.offloads_done.fetch_add(1, Ordering::SeqCst);
+                self.monitor.reset_memory_trigger();
+            }
+            Err(err) => {
+                // Migration failure is not fatal to the application; the
+                // client simply stays unpartitioned. Record nothing.
+                let _ = err;
+                self.monitor.reset_memory_trigger();
+            }
+        }
+    }
+
+    /// Distributed GC: after a client collection, release remote references
+    /// the client no longer holds in heap slots or mutator roots.
+    fn release_dropped_refs(&self) {
+        let Some(endpoint) = self.endpoint.get() else {
+            return;
+        };
+        let still = {
+            let vm = self.client().vm();
+            let vm = vm.lock();
+            live_remote_refs(&vm)
+        };
+        let dropped = self.tables.imports.sweep_dropped(&still);
+        if !dropped.is_empty() {
+            let _ = endpoint.call(Request::GcRelease { objects: dropped });
+        }
+    }
+}
+
+impl RuntimeHooks for Controller {
+    fn on_gc(&self, report: &GcReport) {
+        if matches!(self.evaluation, EvaluationMode::OnMemoryPressure)
+            && self.monitor.memory_triggered()
+        {
+            self.maybe_offload(report.cycle);
+        }
+        self.release_dropped_refs();
+    }
+
+    fn on_work(&self, _class: ClassId, _micros: f64) {
+        if let EvaluationMode::Periodic { every_micros } = self.evaluation {
+            if self.monitor.work_since_eval() >= every_micros {
+                self.monitor.take_work_since_eval();
+                self.maybe_offload(0);
+            }
+        }
+    }
+}
+
+/// The AIDE distributed platform for one application run.
+pub struct Platform {
+    program: Arc<Program>,
+    config: PlatformConfig,
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Platform {
+    /// Creates a platform that will run `program` under `config`.
+    pub fn new(program: Arc<Program>, config: PlatformConfig) -> Self {
+        Platform { program, config }
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Runs the application to completion (or failure) and reports.
+    pub fn run(&self) -> PlatformReport {
+        let cfg = &self.config;
+
+        // VM configurations.
+        let mut client_cfg = VmConfig::client(cfg.client_heap);
+        client_cfg.gc = cfg.gc;
+        client_cfg.cost = cfg.cost;
+        client_cfg.stateless_natives_local = cfg.stateless_natives_local;
+        if cfg.monitoring {
+            client_cfg.cost.monitor_event_micros = cfg.monitor_event_micros;
+        }
+        let mut surrogate_cfg = VmConfig {
+            kind: VmKind::Surrogate,
+            heap_capacity: cfg.surrogate_heap,
+            speed_factor: cfg.surrogate_speed,
+            gc: cfg.gc,
+            cost: cfg.cost,
+            stateless_natives_local: cfg.stateless_natives_local,
+        };
+        if cfg.monitoring {
+            surrogate_cfg.cost.monitor_event_micros = cfg.monitor_event_micros;
+        }
+
+        // Monitor (shared by both VMs).
+        let object_granular = if cfg.array_object_granularity {
+            self.program
+                .classes()
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.is_primitive_array)
+                .map(|(i, _)| ClassId(i as u32))
+                .collect()
+        } else {
+            Default::default()
+        };
+        let monitor = Arc::new(Monitor::new(
+            self.program.clone(),
+            cfg.trigger,
+            object_granular,
+        ));
+
+        // VMs and link.
+        let client_vm = Arc::new(Mutex::new(Vm::new(self.program.clone(), client_cfg)));
+        let surrogate_vm = Arc::new(Mutex::new(Vm::new(self.program.clone(), surrogate_cfg)));
+        let (link, ct, st) = match cfg.transport {
+            TransportKind::InProcess => Link::pair(cfg.comm),
+            TransportKind::Tcp => aide_rpc::tcp_pair(cfg.comm)
+                .expect("binding a localhost TCP pair for the RPC link"),
+        };
+        let net_clock = link.clock.clone();
+        let client_tables = Arc::new(RefTables::new());
+        let surrogate_tables = Arc::new(RefTables::new());
+
+        // Controller first (late-bound), so the client machine's hook chain
+        // can include it from the start.
+        let controller = Arc::new(Controller {
+            monitor: monitor.clone(),
+            policy: cfg.policy.build(cfg.comm, cfg.surrogate_speed),
+            evaluation: cfg.evaluation,
+            client: std::sync::OnceLock::new(),
+            endpoint: std::sync::OnceLock::new(),
+            tables: client_tables.clone(),
+            max_offloads: cfg.max_offloads,
+            offloads_done: AtomicU32::new(0),
+            events: Mutex::new(Vec::new()),
+            evaluating: Mutex::new(()),
+        });
+
+        // Machines: a single client machine (mutator AND dispatcher target,
+        // so callbacks from the surrogate are monitored too) and one
+        // surrogate machine.
+        let client_hooks: Arc<dyn RuntimeHooks> = if cfg.monitoring {
+            Arc::new(HookChain::new(vec![monitor.clone(), controller.clone()]))
+        } else {
+            Arc::new(NullHooks)
+        };
+        let client_machine = Machine::with_parts(client_vm.clone(), client_hooks, None);
+        let surrogate_hooks: Arc<dyn RuntimeHooks> = if cfg.monitoring {
+            monitor.clone()
+        } else {
+            Arc::new(NullHooks)
+        };
+        let surrogate_machine = Machine::with_parts(surrogate_vm.clone(), surrogate_hooks, None);
+
+        // Endpoints: calls placed on an endpoint are served by the peer.
+        let client_ep = Endpoint::start(
+            ct,
+            cfg.comm,
+            net_clock.clone(),
+            Arc::new(VmDispatcher::new(
+                client_machine.clone(),
+                client_tables.clone(),
+            )),
+            EndpointConfig::default(),
+        );
+        let surrogate_ep = Endpoint::start(
+            st,
+            cfg.comm,
+            net_clock.clone(),
+            Arc::new(VmDispatcher::new(
+                surrogate_machine.clone(),
+                surrogate_tables.clone(),
+            )),
+            EndpointConfig::default(),
+        );
+
+        client_machine.set_remote(Arc::new(RemoteAdapter::new(
+            client_ep.clone(),
+            client_machine.clone(),
+            client_tables.clone(),
+        )));
+        surrogate_machine.set_remote(Arc::new(RemoteAdapter::new(
+            surrogate_ep.clone(),
+            surrogate_machine.clone(),
+            surrogate_tables,
+        )));
+        controller.bind(client_machine.clone(), client_ep.clone());
+
+        // Run the application on the client.
+        let outcome = client_machine.run_entry();
+
+        // Orderly teardown.
+        client_ep.shutdown();
+        surrogate_ep.shutdown();
+        client_ep.join();
+        surrogate_ep.join();
+
+        let (final_graph, _) = monitor.snapshot();
+        let offloads = std::mem::take(&mut *controller.events.lock());
+        let client_vm_guard = client_vm.lock();
+        let surrogate_vm_guard = surrogate_vm.lock();
+        PlatformReport {
+            outcome,
+            client_cpu_seconds: client_vm_guard.cpu_seconds(),
+            surrogate_cpu_seconds: surrogate_vm_guard.cpu_seconds(),
+            comm_seconds: net_clock.seconds(),
+            client_gc_cycles: client_vm_guard.collector().cycles(),
+            offloads,
+            final_graph,
+            metrics: monitor.metrics(),
+            remote_stats: monitor.remote_stats(),
+            surrogate_requests_served: surrogate_ep.requests_served(),
+            client_requests_served: client_ep.requests_served(),
+            frames_exchanged: client_ep.traffic().frames_sent()
+                + surrogate_ep.traffic().frames_sent(),
+        }
+    }
+}

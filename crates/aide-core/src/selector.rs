@@ -1,0 +1,224 @@
+//! Dynamic policy selection (paper §6 "Must select policies dynamically"
+//! and §8 future work).
+//!
+//! Figure 7 shows that the best triggering/partitioning parameters differ
+//! per application: JavaNote performed best with the initial conservative
+//! policy (trigger at 5% free, three reports, free ≥ 20%) while Dia and
+//! Biomer preferred an eager one (trigger at 50% free, one report). This
+//! module encodes that lesson as a profile-driven recommender: it inspects
+//! the execution graph the monitor has built so far and picks parameters
+//! based on how *concentrated* and how *hot* the offloadable memory is.
+
+use serde::{Deserialize, Serialize};
+
+use aide_graph::{ExecutionGraph, ResourceSnapshot};
+
+use crate::monitor::TriggerConfig;
+
+/// A recommended policy parameterization, with the rationale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyRecommendation {
+    /// Recommended memory trigger.
+    pub trigger: TriggerConfig,
+    /// Recommended minimum heap fraction a partitioning must free.
+    pub min_free_fraction: f64,
+    /// Which profile the application matched.
+    pub profile: WorkloadProfile,
+    /// Human-readable reasoning.
+    pub rationale: &'static str,
+}
+
+/// Coarse workload profiles the selector distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadProfile {
+    /// Memory is concentrated in a few cold classes (documents, buffers):
+    /// offloading is cheap and precise, so wait for real pressure.
+    ColdBulkData,
+    /// Memory is diffuse or hot (interleaved model/UI interactions):
+    /// offload eagerly, before the transfer grows and coupling deepens.
+    HotDiffuseData,
+    /// Not enough history to judge.
+    Unknown,
+}
+
+/// Profile-driven policy selection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PolicySelector {
+    /// Memory-concentration threshold above which data counts as "bulk"
+    /// (fraction of unpinned memory held by the single largest class).
+    pub concentration_threshold: f64,
+    /// Interaction-heat threshold for the bulk class (interactions
+    /// incident to it per KB of its memory) above which it counts as
+    /// "hot".
+    pub heat_threshold: f64,
+}
+
+impl PolicySelector {
+    /// Creates a selector with defaults tuned on the paper's workloads.
+    pub fn new() -> Self {
+        PolicySelector {
+            concentration_threshold: 0.5,
+            heat_threshold: 3.0,
+        }
+    }
+
+    /// Recommends trigger and policy parameters for the application whose
+    /// history is `graph`.
+    pub fn recommend(
+        &self,
+        graph: &ExecutionGraph,
+        _snapshot: ResourceSnapshot,
+    ) -> PolicyRecommendation {
+        let threshold = if self.concentration_threshold > 0.0 {
+            self.concentration_threshold
+        } else {
+            0.5
+        };
+        let heat_threshold = if self.heat_threshold > 0.0 {
+            self.heat_threshold
+        } else {
+            3.0
+        };
+
+        let unpinned_memory: u64 = graph
+            .iter()
+            .filter(|(_, n)| !n.is_pinned())
+            .map(|(_, n)| n.memory_bytes)
+            .sum();
+        if unpinned_memory == 0 {
+            return PolicyRecommendation {
+                trigger: TriggerConfig::default(),
+                min_free_fraction: 0.20,
+                profile: WorkloadProfile::Unknown,
+                rationale: "no offloadable memory observed yet; keep the paper's initial policy",
+            };
+        }
+
+        let (bulk_node, largest) = graph
+            .iter()
+            .filter(|(_, n)| !n.is_pinned())
+            .map(|(id, n)| (id, n.memory_bytes))
+            .max_by_key(|&(_, m)| m)
+            .expect("unpinned memory implies an unpinned node");
+        let concentration = largest as f64 / unpinned_memory as f64;
+
+        // Heat of the bulk data itself: interactions incident to the
+        // largest class per KB of its memory. A cold document archive has
+        // heat well below 1; a hammered model fragment is far above it.
+        let incident: u64 = graph
+            .neighbors(bulk_node)
+            .map(|(_, e)| e.interactions)
+            .sum();
+        let heat = if largest == 0 {
+            f64::INFINITY
+        } else {
+            incident as f64 / (largest as f64 / 1024.0)
+        };
+
+        if concentration >= threshold && heat < heat_threshold {
+            PolicyRecommendation {
+                trigger: TriggerConfig {
+                    low_free_fraction: 0.05,
+                    barren_concern_fraction: 0.10,
+                    consecutive_reports: 3,
+                },
+                min_free_fraction: 0.20,
+                profile: WorkloadProfile::ColdBulkData,
+                rationale: "memory is concentrated in cold bulk classes: offloading is \
+                            cheap and precise, wait for genuine pressure (JavaNote-like)",
+            }
+        } else {
+            PolicyRecommendation {
+                trigger: TriggerConfig {
+                    low_free_fraction: 0.50,
+                    barren_concern_fraction: 0.50,
+                    consecutive_reports: 1,
+                },
+                min_free_fraction: 0.10,
+                profile: WorkloadProfile::HotDiffuseData,
+                rationale: "memory is diffuse or hot: offload eagerly, before transfer \
+                            volume and coupling grow (Dia/Biomer-like)",
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_graph::{EdgeInfo, NodeInfo, PinReason};
+
+    fn snapshot() -> ResourceSnapshot {
+        ResourceSnapshot::new(6 << 20, 3 << 20)
+    }
+
+    /// A JavaNote-like graph: one giant cold document class.
+    fn cold_bulk_graph() -> ExecutionGraph {
+        let mut g = ExecutionGraph::new();
+        let ui = g.add_node(NodeInfo::pinned("Ui", PinReason::NativeMethods));
+        let doc = g.add_node(NodeInfo::new("CharArray"));
+        let misc = g.add_node(NodeInfo::new("Misc"));
+        g.node_mut(doc).memory_bytes = 5_000_000;
+        g.node_mut(misc).memory_bytes = 200_000;
+        g.record_interaction(ui, misc, EdgeInfo::new(2_000, 40_000));
+        g.record_interaction(misc, doc, EdgeInfo::new(50, 5_000));
+        g
+    }
+
+    /// A Biomer-like graph: memory diffuse across hot model classes.
+    fn hot_diffuse_graph() -> ExecutionGraph {
+        let mut g = ExecutionGraph::new();
+        let ui = g.add_node(NodeInfo::pinned("View", PinReason::NativeMethods));
+        let mut prev = ui;
+        for i in 0..10 {
+            let n = g.add_node(NodeInfo::new(format!("Model{i}")));
+            g.node_mut(n).memory_bytes = 500_000;
+            g.record_interaction(prev, n, EdgeInfo::new(100_000, 2_000_000));
+            prev = n;
+        }
+        g
+    }
+
+    #[test]
+    fn cold_bulk_gets_the_conservative_policy() {
+        let rec = PolicySelector::new().recommend(&cold_bulk_graph(), snapshot());
+        assert_eq!(rec.profile, WorkloadProfile::ColdBulkData);
+        assert!((rec.trigger.low_free_fraction - 0.05).abs() < 1e-9);
+        assert_eq!(rec.trigger.consecutive_reports, 3);
+        assert!((rec.min_free_fraction - 0.20).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hot_diffuse_gets_the_eager_policy() {
+        let rec = PolicySelector::new().recommend(&hot_diffuse_graph(), snapshot());
+        assert_eq!(rec.profile, WorkloadProfile::HotDiffuseData);
+        assert!((rec.trigger.low_free_fraction - 0.50).abs() < 1e-9);
+        assert_eq!(rec.trigger.consecutive_reports, 1);
+    }
+
+    #[test]
+    fn empty_history_defaults_to_the_initial_policy() {
+        let g = ExecutionGraph::new();
+        let rec = PolicySelector::new().recommend(&g, snapshot());
+        assert_eq!(rec.profile, WorkloadProfile::Unknown);
+        assert_eq!(rec.trigger.consecutive_reports, 3);
+    }
+
+    #[test]
+    fn concentrated_but_hot_memory_is_treated_as_hot() {
+        // One big class that is hammered by interactions.
+        let mut g = cold_bulk_graph();
+        let ui = g.node_by_label("Ui").unwrap();
+        let doc = g.node_by_label("CharArray").unwrap();
+        g.record_interaction(ui, doc, EdgeInfo::new(50_000_000, 100_000_000));
+        let rec = PolicySelector::new().recommend(&g, snapshot());
+        assert_eq!(rec.profile, WorkloadProfile::HotDiffuseData);
+    }
+
+    #[test]
+    fn recommendation_serializes() {
+        let rec = PolicySelector::new().recommend(&cold_bulk_graph(), snapshot());
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.contains("ColdBulkData"));
+    }
+}

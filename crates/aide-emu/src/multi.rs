@@ -1,0 +1,748 @@
+//! Multi-surrogate offloading (paper §2: "If the necessary resources for a
+//! client are not available at the closest surrogate, multiple surrogates
+//! could be used by the client").
+//!
+//! This extension replays a trace against a *fleet* of surrogates with
+//! individual CPU speeds, link parameters, and heap capacities. When the
+//! memory trigger fires, the partitioning modules select what to offload
+//! exactly as in the two-machine platform; the *placement* step then packs
+//! the offloaded classes onto surrogates in preference order (lowest
+//! round-trip latency first, as the paper suggests clients choose
+//! surrogates), spilling to the next surrogate when a heap fills up.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use aide_core::{decide, Monitor, NodeKey, TriggerConfig};
+use aide_graph::{CommParams, MemoryPolicy, ResourceSnapshot, Side};
+use aide_vm::{native_requires_client, ClassId, GcReport, Interaction, InteractionKind,
+    RuntimeHooks};
+
+use crate::trace::{Trace, TraceEvent};
+
+/// One surrogate in the fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateSpec {
+    /// Name for reports.
+    pub name: String,
+    /// CPU speed relative to the client.
+    pub speed: f64,
+    /// Link between the client and this surrogate.
+    pub comm: CommParams,
+    /// Heap capacity this surrogate offers the client, in bytes.
+    pub heap: u64,
+}
+
+/// What to do with objects hosted on the old surrogate when the user
+/// moves out of its region (paper §8 "Combine offloading and mobility":
+/// "should references continue to be sent to the first surrogate, or
+/// should the objects on the first surrogate be migrated to the second
+/// surrogate?").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HandoffStrategy {
+    /// Keep the objects where they are and pay the (now larger) latency.
+    KeepRemote,
+    /// Migrate everything to the new nearby surrogate.
+    MigrateAll,
+}
+
+/// A mobility event: at `at_event` the client moves — every existing link's
+/// round-trip time is multiplied by `latency_penalty` and a fresh nearby
+/// surrogate joins the fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Handoff {
+    /// Trace-event index at which the move happens.
+    pub at_event: usize,
+    /// Multiplier applied to the RTT of every pre-move surrogate.
+    pub latency_penalty: f64,
+    /// The surrogate that is nearby after the move.
+    pub new_surrogate: SurrogateSpec,
+    /// What to do with already-hosted objects.
+    pub strategy: HandoffStrategy,
+}
+
+/// Configuration of a multi-surrogate replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSurrogateConfig {
+    /// Client heap capacity in bytes.
+    pub client_heap: u64,
+    /// The surrogate fleet (need not be sorted; placement prefers lower
+    /// round-trip latency).
+    pub surrogates: Vec<SurrogateSpec>,
+    /// Memory trigger.
+    pub trigger: TriggerConfig,
+    /// Minimum heap fraction an acceptable partitioning must free.
+    pub min_free_fraction: f64,
+    /// Optional mobility event (None = the client stays put).
+    pub handoff: Option<Handoff>,
+}
+
+/// Per-surrogate usage in a [`MultiReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateUse {
+    /// The surrogate's name.
+    pub name: String,
+    /// CPU seconds executed there (already divided by its speed).
+    pub cpu_seconds: f64,
+    /// Link seconds spent talking to it.
+    pub comm_seconds: f64,
+    /// Bytes of client data it currently hosts.
+    pub bytes_hosted: u64,
+    /// Classes currently placed there.
+    pub classes_hosted: usize,
+}
+
+/// The result of a multi-surrogate replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiReport {
+    /// `false` if the client ran out of memory and the fleet could not
+    /// absorb the spill.
+    pub completed: bool,
+    /// CPU seconds on the client.
+    pub client_cpu_seconds: f64,
+    /// Usage per surrogate, in fleet order.
+    pub surrogates: Vec<SurrogateUse>,
+    /// Client-only baseline, in seconds.
+    pub baseline_seconds: f64,
+    /// Offload transfer seconds (all links).
+    pub transfer_seconds: f64,
+}
+
+impl MultiReport {
+    /// Total completion time (serial execution).
+    pub fn total_seconds(&self) -> f64 {
+        self.client_cpu_seconds
+            + self.transfer_seconds
+            + self
+                .surrogates
+                .iter()
+                .map(|s| s.cpu_seconds + s.comm_seconds)
+                .sum::<f64>()
+    }
+
+    /// Number of surrogates actually hosting data.
+    pub fn surrogates_used(&self) -> usize {
+        self.surrogates.iter().filter(|s| s.bytes_hosted > 0).count()
+    }
+}
+
+/// Replays `trace` against a surrogate fleet.
+#[derive(Debug)]
+pub struct MultiSurrogateEmulator {
+    config: MultiSurrogateConfig,
+}
+
+impl MultiSurrogateEmulator {
+    /// Creates an emulator over the given fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet is empty.
+    pub fn new(config: MultiSurrogateConfig) -> Self {
+        assert!(
+            !config.surrogates.is_empty(),
+            "a multi-surrogate replay needs at least one surrogate"
+        );
+        MultiSurrogateEmulator { config }
+    }
+
+    /// Replays the trace; on memory pressure, offloads across the fleet.
+    #[allow(clippy::too_many_lines)]
+    pub fn replay(&self, trace: &Trace) -> MultiReport {
+        let cfg = &self.config;
+        let program = Arc::new(trace.skeleton_program().expect("valid trace metadata"));
+        let monitor = Monitor::new(program, cfg.trigger, Default::default());
+        let policy = MemoryPolicy::new(cfg.min_free_fraction);
+
+        // The fleet is mutable: a mobility handoff degrades old links and
+        // adds a new nearby surrogate.
+        let mut fleet: Vec<SurrogateSpec> = cfg.surrogates.clone();
+
+        // Placement preference: lowest-latency surrogate first.
+        let mut order: Vec<usize> = (0..fleet.len()).collect();
+        order.sort_by(|&a, &b| {
+            fleet[a]
+                .comm
+                .rtt_seconds
+                .partial_cmp(&fleet[b].comm.rtt_seconds)
+                .expect("finite rtt")
+        });
+
+        let mut class_host: HashMap<ClassId, usize> = HashMap::new(); // class -> surrogate
+        let mut class_bytes: HashMap<ClassId, u64> = HashMap::new(); // client-side live bytes
+        let capacity = fleet.len() + usize::from(cfg.handoff.is_some());
+        let mut hosted_bytes: Vec<u64> = vec![0; capacity];
+        let mut hosted_classes: Vec<usize> = vec![0; capacity];
+        let mut client_live = 0u64;
+        let mut client_cpu = 0.0f64;
+        let mut cpu: Vec<f64> = vec![0.0; capacity];
+        let mut comm: Vec<f64> = vec![0.0; capacity];
+        let mut transfer = 0.0f64;
+        let mut completed = true;
+        let mut emu_cycle = 0u64;
+        let mut offloads = 0u32;
+
+        let try_offload = |monitor: &Monitor,
+                           fleet: &[SurrogateSpec],
+                           order: &[usize],
+                           client_live: &mut u64,
+                           class_host: &mut HashMap<ClassId, usize>,
+                           class_bytes: &mut HashMap<ClassId, u64>,
+                           hosted_bytes: &mut Vec<u64>,
+                           hosted_classes: &mut Vec<usize>,
+                           transfer: &mut f64|
+         -> bool {
+            let (graph, keys) = monitor.snapshot();
+            let snapshot =
+                ResourceSnapshot::new(cfg.client_heap, (*client_live).min(cfg.client_heap));
+            let decision = decide(graph, snapshot, &policy);
+            let Some(selection) = decision.selection else {
+                return false;
+            };
+            // Pack offloaded classes onto surrogates, latency-first.
+            for node in selection.partitioning.nodes_on(Side::Surrogate) {
+                let NodeKey::Class(c) = keys[node.index()] else {
+                    continue;
+                };
+                if class_host.contains_key(&c) {
+                    continue;
+                }
+                let bytes = class_bytes.get(&c).copied().unwrap_or(0);
+                let Some(&target) = order.iter().find(|&&s| {
+                    hosted_bytes[s] + bytes <= fleet[s].heap
+                }) else {
+                    continue; // no surrogate can take this class; skip it
+                };
+                class_host.insert(c, target);
+                hosted_bytes[target] += bytes;
+                hosted_classes[target] += 1;
+                *client_live -= bytes.min(*client_live);
+                class_bytes.insert(c, 0);
+                *transfer += fleet[target].comm.transfer_seconds(bytes);
+            }
+            true
+        };
+
+        'replay: for (idx, event) in trace.events.iter().enumerate() {
+            // Mobility: the client moves out of the old surrogates' region.
+            if let Some(handoff) = &cfg.handoff {
+                if handoff.at_event == idx {
+                    for spec in fleet.iter_mut() {
+                        spec.comm = aide_graph::CommParams::new(
+                            spec.comm.bandwidth_bps,
+                            spec.comm.rtt_seconds * handoff.latency_penalty,
+                        );
+                    }
+                    fleet.push(handoff.new_surrogate.clone());
+                    let new_idx = fleet.len() - 1;
+                    order = (0..fleet.len()).collect();
+                    order.sort_by(|&a, &b| {
+                        fleet[a]
+                            .comm
+                            .rtt_seconds
+                            .partial_cmp(&fleet[b].comm.rtt_seconds)
+                            .expect("finite rtt")
+                    });
+                    if handoff.strategy == HandoffStrategy::MigrateAll {
+                        // Move every hosted class to the new surrogate,
+                        // paying the transfer on its (nearby) link.
+                        for (_, host) in class_host.iter_mut() {
+                            if *host != new_idx {
+                                let old = *host;
+                                // Move the old surrogate's entire hosting in
+                                // one pass below; reassign here.
+                                *host = new_idx;
+                                let _ = old;
+                            }
+                        }
+                        let moved: u64 = hosted_bytes[..new_idx].iter().sum();
+                        let moved_classes: usize = hosted_classes[..new_idx].iter().sum();
+                        for b in hosted_bytes[..new_idx].iter_mut() {
+                            *b = 0;
+                        }
+                        for c in hosted_classes[..new_idx].iter_mut() {
+                            *c = 0;
+                        }
+                        hosted_bytes[new_idx] += moved;
+                        hosted_classes[new_idx] += moved_classes;
+                        transfer += fleet[new_idx].comm.transfer_seconds(moved);
+                    }
+                }
+            }
+            match event {
+                TraceEvent::Work { class, micros } => {
+                    match class_host.get(class) {
+                        Some(&s) => cpu[s] += micros / 1e6 / fleet[s].speed,
+                        None => client_cpu += micros / 1e6,
+                    }
+                    monitor.on_work(*class, *micros);
+                }
+                TraceEvent::Interaction {
+                    caller,
+                    callee,
+                    target,
+                    invocation,
+                    bytes,
+                } => {
+                    let a = class_host.get(caller).copied();
+                    let b = class_host.get(callee).copied();
+                    if a != b {
+                        // Crossing machines: price on the remote end's link;
+                        // surrogate-to-surrogate hops traverse both links
+                        // (the paper's "surrogates could offload to other
+                        // surrogates" topology is a client-routed star).
+                        for side in [a, b].into_iter().flatten() {
+                            comm[side] += fleet[side].comm.interaction_seconds(*bytes);
+                        }
+                    }
+                    monitor.on_interaction(Interaction {
+                        caller: *caller,
+                        callee: *callee,
+                        target: *target,
+                        kind: if *invocation {
+                            InteractionKind::Invocation
+                        } else {
+                            InteractionKind::FieldAccess
+                        },
+                        bytes: *bytes,
+                        remote: a != b,
+                    });
+                }
+                TraceEvent::Alloc {
+                    class,
+                    object,
+                    bytes,
+                } => {
+                    match class_host.get(class) {
+                        Some(&s) => hosted_bytes[s] += bytes,
+                        None => {
+                            *class_bytes.entry(*class).or_default() += bytes;
+                            client_live += bytes;
+                        }
+                    }
+                    monitor.on_alloc(*class, *object, *bytes);
+                    if client_live > cfg.client_heap {
+                        if offloads == 0
+                            && try_offload(
+                                &monitor,
+                                &fleet,
+                                &order,
+                                &mut client_live,
+                                &mut class_host,
+                                &mut class_bytes,
+                                &mut hosted_bytes,
+                                &mut hosted_classes,
+                                &mut transfer,
+                            )
+                        {
+                            offloads += 1;
+                        }
+                        if client_live > cfg.client_heap {
+                            completed = false;
+                            break 'replay;
+                        }
+                    }
+                }
+                TraceEvent::Free {
+                    class,
+                    objects,
+                    bytes,
+                } => {
+                    match class_host.get(class) {
+                        Some(&s) => {
+                            hosted_bytes[s] -= (*bytes).min(hosted_bytes[s]);
+                        }
+                        None => {
+                            let entry = class_bytes.entry(*class).or_default();
+                            let reclaim = (*bytes).min(*entry);
+                            *entry -= reclaim;
+                            client_live -= reclaim.min(client_live);
+                        }
+                    }
+                    monitor.on_free(*class, *objects, *bytes);
+                }
+                TraceEvent::Native {
+                    caller,
+                    kind,
+                    work_micros,
+                    bytes,
+                } => {
+                    let host = class_host.get(caller).copied();
+                    let client_bound = native_requires_client(*kind, false);
+                    match host {
+                        Some(s) if client_bound => {
+                            comm[s] += fleet[s].comm.interaction_seconds(*bytes);
+                            client_cpu += f64::from(*work_micros) / 1e6;
+                        }
+                        Some(s) => cpu[s] += f64::from(*work_micros) / 1e6 / fleet[s].speed,
+                        None => client_cpu += f64::from(*work_micros) / 1e6,
+                    }
+                    monitor.on_native(*caller, *kind, *work_micros, *bytes, false);
+                }
+                TraceEvent::StaticAccess {
+                    accessor,
+                    class,
+                    bytes,
+                } => {
+                    if let Some(&s) = class_host.get(accessor) {
+                        comm[s] += fleet[s].comm.interaction_seconds(*bytes);
+                    }
+                    monitor.on_static_access(*accessor, *class, *bytes, false);
+                }
+                TraceEvent::Gc { report } => {
+                    emu_cycle += 1;
+                    let used = client_live.min(cfg.client_heap);
+                    monitor.on_gc(&GcReport {
+                        cycle: emu_cycle,
+                        capacity: cfg.client_heap,
+                        used_after: used,
+                        free_after: cfg.client_heap - used,
+                        freed_objects: report.freed_objects,
+                        freed_bytes: report.freed_bytes,
+                        duration_micros: report.duration_micros,
+                    });
+                    if monitor.memory_triggered() && offloads == 0 {
+                        if try_offload(
+                            &monitor,
+                            &fleet,
+                            &order,
+                            &mut client_live,
+                            &mut class_host,
+                            &mut class_bytes,
+                            &mut hosted_bytes,
+                            &mut hosted_classes,
+                            &mut transfer,
+                        ) {
+                            offloads += 1;
+                        }
+                        monitor.reset_memory_trigger();
+                    }
+                }
+            }
+        }
+
+        MultiReport {
+            completed,
+            client_cpu_seconds: client_cpu,
+            surrogates: fleet
+                .iter()
+                .enumerate()
+                .map(|(i, s)| SurrogateUse {
+                    name: s.name.clone(),
+                    cpu_seconds: cpu[i],
+                    comm_seconds: comm[i],
+                    bytes_hosted: hosted_bytes[i],
+                    classes_hosted: hosted_classes[i],
+                })
+                .collect(),
+            baseline_seconds: trace.total_work_seconds(),
+            transfer_seconds: transfer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::record_program;
+    use aide_vm::{MethodDef, MethodId, NativeKind, Op, ProgramBuilder, Reg};
+
+    /// A program whose bulk data (three distinct buffer classes) exceeds
+    /// any single small surrogate.
+    fn bulky_program(buffers_per_class: u32, bytes: u32) -> Arc<aide_vm::Program> {
+        let mut b = ProgramBuilder::new();
+        let main = b.add_class("Main");
+        let ui = b.add_native_class("Ui");
+        let classes = [
+            b.add_class("BufA"),
+            b.add_class("BufB"),
+            b.add_class("BufC"),
+        ];
+        b.add_method(
+            ui,
+            MethodDef::new(
+                "tick",
+                vec![Op::Native {
+                    kind: NativeKind::Framebuffer,
+                    work_micros: 10,
+                    arg_bytes: 32,
+                    ret_bytes: 0,
+                }],
+            ),
+        );
+        let mut body = vec![Op::New {
+            class: ui,
+            scalar_bytes: 100,
+            ref_slots: 0,
+            dst: Reg(0),
+        }];
+        body.push(Op::PutSlot { slot: 0, src: Reg(0) });
+        let mut slot = 1u16;
+        for &class in &classes {
+            for _ in 0..buffers_per_class {
+                body.push(Op::New {
+                    class,
+                    scalar_bytes: bytes,
+                    ref_slots: 0,
+                    dst: Reg(1),
+                });
+                body.push(Op::PutSlot { slot, src: Reg(1) });
+                body.push(Op::Work { micros: 200 });
+                slot += 1;
+            }
+        }
+        body.push(Op::Repeat {
+            n: 40,
+            body: vec![
+                Op::GetSlot { slot: 0, dst: Reg(2) },
+                Op::Call {
+                    obj: Reg(2),
+                    class: ui,
+                    method: MethodId(0),
+                    arg_bytes: 8,
+                    ret_bytes: 0,
+                    args: vec![],
+                },
+                Op::Work { micros: 500 },
+            ],
+        });
+        let m = b.add_method(main, MethodDef::new("main", body));
+        Arc::new(b.build(main, m, 64, slot + 4).unwrap())
+    }
+
+    fn fleet(heaps: &[u64]) -> MultiSurrogateConfig {
+        MultiSurrogateConfig {
+            client_heap: 256 << 10,
+            surrogates: heaps
+                .iter()
+                .enumerate()
+                .map(|(i, &heap)| SurrogateSpec {
+                    name: format!("s{i}"),
+                    speed: 3.5,
+                    comm: CommParams::new(11.0e6, 2.4e-3 * (i as f64 + 1.0)),
+                    heap,
+                })
+                .collect(),
+            trigger: TriggerConfig::default(),
+            min_free_fraction: 0.20,
+            handoff: None,
+        }
+    }
+
+    #[test]
+    fn single_big_surrogate_hosts_everything() {
+        // 3 classes x 10 x 20 KB = 600 KB of buffers in a 256 KB client.
+        let trace = record_program("bulky", bulky_program(10, 20_000), 64 << 20).unwrap();
+        let report = MultiSurrogateEmulator::new(fleet(&[8 << 20])).replay(&trace);
+        assert!(report.completed);
+        assert_eq!(report.surrogates_used(), 1);
+        assert!(report.surrogates[0].bytes_hosted > 300_000);
+    }
+
+    #[test]
+    fn overflow_spills_to_the_second_surrogate() {
+        let trace = record_program("bulky", bulky_program(10, 20_000), 64 << 20).unwrap();
+        // The closest surrogate can host only one class's worth.
+        let report =
+            MultiSurrogateEmulator::new(fleet(&[220 << 10, 8 << 20])).replay(&trace);
+        assert!(report.completed);
+        assert_eq!(
+            report.surrogates_used(),
+            2,
+            "spill must reach the second surrogate: {:?}",
+            report.surrogates
+        );
+        // The low-latency surrogate is preferred (filled first).
+        assert!(report.surrogates[0].bytes_hosted > 0);
+        assert!(report.surrogates[0].bytes_hosted <= 220 << 10);
+    }
+
+    #[test]
+    fn placement_prefers_low_latency() {
+        let trace = record_program("bulky", bulky_program(6, 20_000), 64 << 20).unwrap();
+        // Two surrogates, second has lower latency (reversed rtt order).
+        let mut cfg = fleet(&[8 << 20, 8 << 20]);
+        cfg.surrogates[0].comm = CommParams::new(11.0e6, 10.0e-3);
+        cfg.surrogates[1].comm = CommParams::new(11.0e6, 1.0e-3);
+        let report = MultiSurrogateEmulator::new(cfg).replay(&trace);
+        assert!(report.completed);
+        assert!(
+            report.surrogates[1].bytes_hosted >= report.surrogates[0].bytes_hosted,
+            "low-latency surrogate hosts the data: {:?}",
+            report.surrogates
+        );
+    }
+
+    #[test]
+    fn fleet_too_small_means_oom() {
+        let trace = record_program("bulky", bulky_program(10, 20_000), 64 << 20).unwrap();
+        let report = MultiSurrogateEmulator::new(fleet(&[32 << 10])).replay(&trace);
+        assert!(!report.completed, "a 32 KB surrogate cannot absorb 600 KB");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one surrogate")]
+    fn empty_fleet_is_rejected() {
+        let _ = MultiSurrogateEmulator::new(MultiSurrogateConfig {
+            client_heap: 1 << 20,
+            surrogates: vec![],
+            trigger: TriggerConfig::default(),
+            min_free_fraction: 0.2,
+            handoff: None,
+        });
+    }
+
+    #[test]
+    fn unconstrained_client_never_offloads() {
+        let trace = record_program("bulky", bulky_program(4, 10_000), 64 << 20).unwrap();
+        let mut cfg = fleet(&[8 << 20]);
+        cfg.client_heap = 64 << 20;
+        let report = MultiSurrogateEmulator::new(cfg).replay(&trace);
+        assert!(report.completed);
+        assert_eq!(report.surrogates_used(), 0);
+        assert!((report.total_seconds() - report.baseline_seconds).abs() < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod handoff_tests {
+    use super::*;
+    use crate::record::record_program;
+    use aide_vm::{MethodDef, MethodId, NativeKind, Op, ProgramBuilder, Reg};
+
+    /// Bulk data plus a long chatty tail: after the user moves, the old
+    /// surrogate is far away, so migrating pays off over a long tail.
+    fn roaming_program() -> Arc<aide_vm::Program> {
+        let mut b = ProgramBuilder::new();
+        let main = b.add_class("Main");
+        let ui = b.add_native_class("Ui");
+        let buf = b.add_class("Buf");
+        let touch = b.add_method(
+            ui,
+            MethodDef::new(
+                "touch",
+                vec![Op::Native {
+                    kind: NativeKind::Framebuffer,
+                    work_micros: 10,
+                    arg_bytes: 16,
+                    ret_bytes: 0,
+                }],
+            ),
+        );
+        let mut body = vec![Op::New {
+            class: ui,
+            scalar_bytes: 100,
+            ref_slots: 0,
+            dst: Reg(0),
+        }];
+        body.push(Op::PutSlot { slot: 0, src: Reg(0) });
+        for i in 0..20u16 {
+            body.push(Op::New {
+                class: buf,
+                scalar_bytes: 20_000,
+                ref_slots: 0,
+                dst: Reg(1),
+            });
+            body.push(Op::PutSlot { slot: 1 + i, src: Reg(1) });
+        }
+        // Long tail of client<->buffer interactions.
+        body.push(Op::Repeat {
+            n: 2_000,
+            body: vec![
+                Op::GetSlot { slot: 1, dst: Reg(2) },
+                Op::Read { obj: Reg(2), bytes: 64 },
+                Op::GetSlot { slot: 0, dst: Reg(3) },
+                Op::Call {
+                    obj: Reg(3),
+                    class: ui,
+                    method: touch,
+                    arg_bytes: 8,
+                    ret_bytes: 0,
+                    args: vec![],
+                },
+                Op::Work { micros: 300 },
+            ],
+        });
+        let m = b.add_method(main, MethodDef::new("main", body));
+        Arc::new(b.build(main, m, 64, 32).unwrap())
+    }
+
+    fn roaming_config(strategy: HandoffStrategy, at_event: usize) -> MultiSurrogateConfig {
+        MultiSurrogateConfig {
+            client_heap: 256 << 10,
+            surrogates: vec![SurrogateSpec {
+                name: "home-surrogate".into(),
+                speed: 3.5,
+                comm: CommParams::new(11.0e6, 2.4e-3),
+                heap: 8 << 20,
+            }],
+            trigger: TriggerConfig::default(),
+            min_free_fraction: 0.20,
+            handoff: Some(Handoff {
+                at_event,
+                latency_penalty: 10.0, // the old room is now far away
+                new_surrogate: SurrogateSpec {
+                    name: "new-room-server".into(),
+                    speed: 3.5,
+                    comm: CommParams::new(11.0e6, 2.4e-3),
+                    heap: 8 << 20,
+                },
+                strategy,
+            }),
+        }
+    }
+
+    #[test]
+    fn migrating_beats_keeping_when_the_tail_is_long() {
+        let trace = record_program("roaming", roaming_program(), 64 << 20).unwrap();
+        // Hand off early: a long chatty tail follows.
+        let at = trace.len() / 4;
+        let keep = MultiSurrogateEmulator::new(roaming_config(HandoffStrategy::KeepRemote, at))
+            .replay(&trace);
+        let migrate =
+            MultiSurrogateEmulator::new(roaming_config(HandoffStrategy::MigrateAll, at))
+                .replay(&trace);
+        assert!(keep.completed && migrate.completed);
+        assert!(
+            migrate.total_seconds() < keep.total_seconds(),
+            "with a long tail, migrating wins: {} vs {}",
+            migrate.total_seconds(),
+            keep.total_seconds()
+        );
+        // After migration, the new surrogate hosts the data.
+        assert!(migrate.surrogates[1].bytes_hosted > 0);
+        assert_eq!(migrate.surrogates[0].bytes_hosted, 0);
+    }
+
+    #[test]
+    fn keeping_beats_migrating_when_the_run_is_almost_over() {
+        let trace = record_program("roaming", roaming_program(), 64 << 20).unwrap();
+        // Hand off at the very end: migrating pays for a transfer with no
+        // remaining traffic to amortize it.
+        let at = trace.len() - 2;
+        let keep = MultiSurrogateEmulator::new(roaming_config(HandoffStrategy::KeepRemote, at))
+            .replay(&trace);
+        let migrate =
+            MultiSurrogateEmulator::new(roaming_config(HandoffStrategy::MigrateAll, at))
+                .replay(&trace);
+        assert!(keep.completed && migrate.completed);
+        assert!(
+            keep.total_seconds() <= migrate.total_seconds(),
+            "with no tail, keeping wins: {} vs {}",
+            keep.total_seconds(),
+            migrate.total_seconds()
+        );
+    }
+
+    #[test]
+    fn handoff_without_prior_offload_is_a_no_op() {
+        let trace = record_program("roaming", roaming_program(), 64 << 20).unwrap();
+        let mut cfg = roaming_config(HandoffStrategy::MigrateAll, trace.len() / 2);
+        cfg.client_heap = 64 << 20; // no pressure, nothing hosted
+        let report = MultiSurrogateEmulator::new(cfg).replay(&trace);
+        assert!(report.completed);
+        assert_eq!(report.surrogates_used(), 0);
+    }
+}

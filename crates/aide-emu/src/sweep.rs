@@ -1,0 +1,165 @@
+//! Policy-parameter sweeps (the experiment behind Figure 7).
+//!
+//! "The partition triggering threshold was varied from when 2% to 50% of
+//! memory remained free, the tolerance to low-memory signals was varied
+//! from one to three events, and the minimum amount of memory to free was
+//! varied from 10% to 80%." The emulator's repeatable replays make this a
+//! grid search over [`EmulatorConfig`] variants.
+
+use serde::{Deserialize, Serialize};
+
+use aide_core::{PolicyKind, TriggerConfig};
+
+use crate::emulator::{Emulator, EmulatorConfig, EmulatorReport};
+use crate::trace::Trace;
+
+/// One memory-policy parameter combination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyParams {
+    /// Trigger when less than this fraction of memory remains free.
+    pub trigger_free_fraction: f64,
+    /// Successive low-memory reports required (tolerance).
+    pub tolerance: u32,
+    /// Minimum fraction of the heap a partitioning must free.
+    pub min_free_fraction: f64,
+}
+
+impl std::fmt::Display for PolicyParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trigger<{:.0}% x{} free>={:.0}%",
+            self.trigger_free_fraction * 100.0,
+            self.tolerance,
+            self.min_free_fraction * 100.0
+        )
+    }
+}
+
+/// The grid the paper sweeps in Figure 7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyGrid {
+    /// Trigger thresholds (fraction of memory still free).
+    pub trigger_free: Vec<f64>,
+    /// Tolerances (successive low-memory reports).
+    pub tolerance: Vec<u32>,
+    /// Minimum memory-freed fractions.
+    pub min_free: Vec<f64>,
+}
+
+impl Default for PolicyGrid {
+    fn default() -> Self {
+        PolicyGrid {
+            trigger_free: vec![0.02, 0.05, 0.10, 0.20, 0.35, 0.50],
+            tolerance: vec![1, 2, 3],
+            min_free: vec![0.10, 0.20, 0.40, 0.60, 0.80],
+        }
+    }
+}
+
+impl PolicyGrid {
+    /// Enumerates every parameter combination.
+    pub fn combinations(&self) -> Vec<PolicyParams> {
+        let mut out = Vec::new();
+        for &t in &self.trigger_free {
+            for &tol in &self.tolerance {
+                for &mf in &self.min_free {
+                    out.push(PolicyParams {
+                        trigger_free_fraction: t,
+                        tolerance: tol,
+                        min_free_fraction: mf,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A sweep result: the parameters and the replay they produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The policy parameters of this point.
+    pub params: PolicyParams,
+    /// The replay under those parameters.
+    pub report: EmulatorReport,
+}
+
+/// Replays `trace` under every combination in `grid`, holding the rest of
+/// `base` fixed.
+pub fn sweep_memory_policies(
+    trace: &Trace,
+    base: EmulatorConfig,
+    grid: &PolicyGrid,
+) -> Vec<SweepPoint> {
+    grid.combinations()
+        .into_iter()
+        .map(|params| {
+            let mut cfg = base.clone();
+            cfg.trigger = TriggerConfig {
+                low_free_fraction: params.trigger_free_fraction,
+                // Barren cycles count as pressure up to the trigger level
+                // (at high thresholds any barren cycle is pressure).
+                barren_concern_fraction: params.trigger_free_fraction.max(0.10),
+                consecutive_reports: params.tolerance,
+            };
+            cfg.policy = PolicyKind::Memory {
+                min_free_fraction: params.min_free_fraction,
+            };
+            let report = Emulator::new(cfg).replay(trace);
+            SweepPoint { params, report }
+        })
+        .collect()
+}
+
+/// Picks the completed sweep point with the lowest total time; falls back
+/// to `None` when every combination failed (OOM everywhere).
+pub fn best_point(points: &[SweepPoint]) -> Option<&SweepPoint> {
+    points
+        .iter()
+        .filter(|p| p.report.completed && p.report.offloaded())
+        .min_by(|a, b| {
+            a.report
+                .total_seconds()
+                .partial_cmp(&b.report.total_seconds())
+                .expect("times are finite")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_enumerates_cartesian_product() {
+        let grid = PolicyGrid::default();
+        let combos = grid.combinations();
+        assert_eq!(combos.len(), 6 * 3 * 5);
+        // All combinations distinct.
+        for (i, a) in combos.iter().enumerate() {
+            for b in combos.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn params_display_is_readable() {
+        let p = PolicyParams {
+            trigger_free_fraction: 0.05,
+            tolerance: 3,
+            min_free_fraction: 0.20,
+        };
+        assert_eq!(p.to_string(), "trigger<5% x3 free>=20%");
+    }
+
+    #[test]
+    fn small_grid_is_supported() {
+        let grid = PolicyGrid {
+            trigger_free: vec![0.05],
+            tolerance: vec![1],
+            min_free: vec![0.2, 0.4],
+        };
+        assert_eq!(grid.combinations().len(), 2);
+    }
+}

@@ -1,0 +1,301 @@
+//! Execution traces: the recording format the emulator replays.
+//!
+//! "The traces for an application were extracted from the prototype while
+//! running the application to completion on a single PC" (paper §4). A
+//! [`Trace`] is self-contained: alongside the event stream it carries the
+//! per-class metadata (native/static/array annotations) the monitoring and
+//! partitioning modules need, so a trace file can be replayed without the
+//! original program.
+
+use serde::{Deserialize, Serialize};
+
+use aide_vm::{
+    ClassDef, ClassId, EntryPoint, GcReport, MethodDef, NativeKind, ObjectId, Program, VmResult,
+};
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// An inter-class interaction (invocation or field access).
+    Interaction {
+        /// Class whose code performed the interaction.
+        caller: ClassId,
+        /// Class of the target.
+        callee: ClassId,
+        /// Target object (absent for static-method invocations).
+        target: Option<ObjectId>,
+        /// `true` for a method invocation, `false` for a field access.
+        invocation: bool,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// An object was created.
+    Alloc {
+        /// Class of the new object.
+        class: ClassId,
+        /// The object.
+        object: ObjectId,
+        /// Heap footprint in bytes.
+        bytes: u64,
+    },
+    /// Objects of a class were reclaimed by a collection cycle.
+    Free {
+        /// Class of the reclaimed objects.
+        class: ClassId,
+        /// Number reclaimed.
+        objects: u64,
+        /// Total footprint reclaimed.
+        bytes: u64,
+    },
+    /// Exclusive CPU time accrued in a class (client-speed microseconds).
+    Work {
+        /// The executing class.
+        class: ClassId,
+        /// Microseconds of client-speed CPU.
+        micros: f64,
+    },
+    /// A native-method invocation.
+    Native {
+        /// Class whose code invoked the native.
+        caller: ClassId,
+        /// Kind of native (decides where it may execute).
+        kind: NativeKind,
+        /// CPU the native burns, client-speed microseconds.
+        work_micros: u32,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A static-data access.
+    StaticAccess {
+        /// Class whose code performed the access.
+        accessor: ClassId,
+        /// Class owning the static data.
+        class: ClassId,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A garbage-collection cycle boundary (a safe point for triggers).
+    Gc {
+        /// The collector's report at recording time. The emulator
+        /// recomputes free-heap figures for its own configured capacity
+        /// but keeps cycle boundaries.
+        report: GcReport,
+    },
+}
+
+/// Per-class metadata carried by the trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassMeta {
+    /// Class name.
+    pub name: String,
+    /// Class is implemented with native methods (pinned to the client).
+    pub native_impl: bool,
+    /// Objects are primitive arrays (eligible for object granularity).
+    pub is_primitive_array: bool,
+}
+
+/// A complete recorded execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Human-readable name of the recorded application.
+    pub app: String,
+    /// Heap capacity the recording ran with, in bytes.
+    pub recorded_heap: u64,
+    /// Class metadata, indexed by [`ClassId`].
+    pub classes: Vec<ClassMeta>,
+    /// The event stream, in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new(app: impl Into<String>, recorded_heap: u64, classes: Vec<ClassMeta>) -> Self {
+        Trace {
+            app: app.into(),
+            recorded_heap,
+            classes,
+            events: Vec::new(),
+        }
+    }
+
+    /// Extracts class metadata from a program.
+    pub fn class_meta_of(program: &Program) -> Vec<ClassMeta> {
+        program
+            .classes()
+            .iter()
+            .map(|c| ClassMeta {
+                name: c.name.clone(),
+                native_impl: c.native_impl,
+                is_primitive_array: c.is_primitive_array,
+            })
+            .collect()
+    }
+
+    /// Builds a *skeleton program* that mirrors the trace's class metadata,
+    /// so the monitoring module (which derives pinning from class
+    /// definitions) can be reused unchanged by the emulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the synthesized program fails validation
+    /// (cannot happen for well-formed metadata).
+    pub fn skeleton_program(&self) -> VmResult<Program> {
+        let mut classes: Vec<ClassDef> = Vec::with_capacity(self.classes.len());
+        for meta in &self.classes {
+            let mut def = ClassDef::new(meta.name.clone());
+            def.is_primitive_array = meta.is_primitive_array;
+            def.native_impl = meta.native_impl;
+            def.methods.push(MethodDef::new("marker", vec![]));
+            classes.push(def);
+        }
+        Program::new(
+            classes,
+            EntryPoint {
+                class: ClassId(0),
+                method: aide_vm::MethodId(0),
+                scalar_bytes: 0,
+                ref_slots: 0,
+            },
+        )
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total exclusive work in the trace, in client-speed seconds.
+    pub fn total_work_seconds(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Work { micros, .. } => *micros,
+                TraceEvent::Native { work_micros, .. } => f64::from(*work_micros),
+                _ => 0.0,
+            })
+            .sum::<f64>()
+            / 1e6
+    }
+
+    /// Number of interaction events (invocations + accesses).
+    pub fn interaction_count(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Interaction { .. }))
+            .count() as u64
+    }
+
+    /// Serializes the trace to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any `serde_json` error.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes a trace from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any `serde_json` error.
+    pub fn from_json(json: &str) -> serde_json::Result<Trace> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> Vec<ClassMeta> {
+        vec![
+            ClassMeta {
+                name: "Main".into(),
+                native_impl: false,
+                is_primitive_array: false,
+            },
+            ClassMeta {
+                name: "Gui".into(),
+                native_impl: true,
+                is_primitive_array: false,
+            },
+            ClassMeta {
+                name: "MathKernel".into(),
+                native_impl: false,
+                is_primitive_array: false,
+            },
+            ClassMeta {
+                name: "IntArray".into(),
+                native_impl: false,
+                is_primitive_array: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_accumulates_and_summarizes() {
+        let mut t = Trace::new("test", 6 << 20, meta());
+        t.events.push(TraceEvent::Work {
+            class: ClassId(0),
+            micros: 1_000_000.0,
+        });
+        t.events.push(TraceEvent::Native {
+            caller: ClassId(1),
+            kind: NativeKind::Framebuffer,
+            work_micros: 500_000,
+            bytes: 64,
+        });
+        t.events.push(TraceEvent::Interaction {
+            caller: ClassId(0),
+            callee: ClassId(1),
+            target: Some(ObjectId::client(1)),
+            invocation: true,
+            bytes: 16,
+        });
+        assert_eq!(t.len(), 3);
+        assert!((t.total_work_seconds() - 1.5).abs() < 1e-9);
+        assert_eq!(t.interaction_count(), 1);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = Trace::new("rt", 1 << 20, meta());
+        t.events.push(TraceEvent::Alloc {
+            class: ClassId(3),
+            object: ObjectId::client(9),
+            bytes: 4_096,
+        });
+        t.events.push(TraceEvent::Gc {
+            report: GcReport {
+                cycle: 1,
+                capacity: 1 << 20,
+                used_after: 4_096,
+                free_after: (1 << 20) - 4_096,
+                freed_objects: 0,
+                freed_bytes: 0,
+                duration_micros: 3.0,
+            },
+        });
+        let json = t.to_json().unwrap();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn skeleton_program_preserves_pinning_semantics() {
+        let t = Trace::new("skel", 1 << 20, meta());
+        let p = t.skeleton_program().unwrap();
+        assert_eq!(p.class_count(), 4);
+        assert!(p.class(ClassId(1)).unwrap().native_impl);
+        assert!(!p.class(ClassId(2)).unwrap().native_impl);
+        let arr = p.class(ClassId(3)).unwrap();
+        assert!(arr.is_primitive_array);
+        assert!(!arr.native_impl);
+    }
+}

@@ -1,0 +1,525 @@
+//! Integration tests: record a realistic program, then replay it under
+//! different constraints, policies, and enhancements.
+
+use std::sync::Arc;
+
+use aide_core::PolicyKind;
+use aide_emu::{
+    best_point, record_program, sweep_memory_policies, Emulator, EmulatorConfig, PolicyGrid,
+    Trace,
+};
+use aide_vm::{MethodDef, MethodId, NativeKind, Op, Program, ProgramBuilder, Reg};
+
+/// An editor-like program: pinned UI (framebuffer natives), a document
+/// whose buffers dominate memory, and a scan/draw loop.
+fn editor_program(chunks: u32, chunk_bytes: u32, edits: u32) -> Arc<Program> {
+    let mut b = ProgramBuilder::new();
+    let main = b.add_class("Main");
+    let editor = b.add_native_class("Editor");
+    let document = b.add_class("Document");
+    let buffer = b.add_array_class("CharArray");
+
+    let draw = b.add_method(
+        editor,
+        MethodDef::new(
+            "draw",
+            vec![
+                Op::Work { micros: 30 },
+                Op::Native {
+                    kind: NativeKind::Framebuffer,
+                    work_micros: 40,
+                    arg_bytes: 512,
+                    ret_bytes: 0,
+                },
+            ],
+        ),
+    );
+    let mut load_ops = Vec::new();
+    for i in 0..chunks {
+        load_ops.push(Op::New {
+            class: buffer,
+            scalar_bytes: chunk_bytes,
+            ref_slots: 0,
+            dst: Reg(1),
+        });
+        load_ops.push(Op::PutSlot {
+            slot: i as u16,
+            src: Reg(1),
+        });
+        load_ops.push(Op::Work { micros: 40 });
+    }
+    let load = b.add_method(document, MethodDef::new("load", load_ops));
+    let mut scan_ops = Vec::new();
+    for i in 0..chunks {
+        scan_ops.push(Op::GetSlot {
+            slot: i as u16,
+            dst: Reg(2),
+        });
+        scan_ops.push(Op::Read {
+            obj: Reg(2),
+            bytes: 32,
+        });
+    }
+    scan_ops.push(Op::Work { micros: 60 });
+    let scan = b.add_method(document, MethodDef::new("scan", scan_ops));
+
+    b.add_method(
+        main,
+        MethodDef::new(
+            "main",
+            vec![
+                Op::New {
+                    class: editor,
+                    scalar_bytes: 2_000,
+                    ref_slots: 0,
+                    dst: Reg(0),
+                },
+                Op::PutSlot { slot: 0, src: Reg(0) },
+                Op::New {
+                    class: document,
+                    scalar_bytes: 500,
+                    ref_slots: chunks as u16,
+                    dst: Reg(1),
+                },
+                Op::PutSlot { slot: 1, src: Reg(1) },
+                Op::Call {
+                    obj: Reg(1),
+                    class: document,
+                    method: load,
+                    arg_bytes: 16,
+                    ret_bytes: 0,
+                    args: vec![],
+                },
+                Op::Repeat {
+                    n: edits,
+                    body: vec![
+                        Op::Call {
+                            obj: Reg(0),
+                            class: editor,
+                            method: draw,
+                            arg_bytes: 8,
+                            ret_bytes: 8,
+                            args: vec![],
+                        },
+                        Op::Call {
+                            obj: Reg(1),
+                            class: document,
+                            method: scan,
+                            arg_bytes: 8,
+                            ret_bytes: 32,
+                            args: vec![],
+                        },
+                    ],
+                },
+            ],
+        ),
+    );
+    Arc::new(b.build(main, MethodId(0), 64, 4).unwrap())
+}
+
+/// A compute-heavy program: an engine with rare UI pings. When
+/// `math_native` is set, each crunch also calls a stateless math native —
+/// which pins the engine to the client unless the stateless-native
+/// enhancement is enabled (the paper's §5.2 observation).
+fn compute_program(iters: u32, math_native: bool) -> Arc<Program> {
+    let mut b = ProgramBuilder::new();
+    let main = b.add_class("Main");
+    let ui = b.add_native_class("Ui");
+    let engine = b.add_class("Engine");
+    let blit = b.add_method(
+        ui,
+        MethodDef::new(
+            "blit",
+            vec![Op::Native {
+                kind: NativeKind::Framebuffer,
+                work_micros: 10,
+                arg_bytes: 128,
+                ret_bytes: 0,
+            }],
+        ),
+    );
+    let mut crunch_ops = vec![Op::Work { micros: 10_000 }];
+    if math_native {
+        crunch_ops.push(Op::Native {
+            kind: NativeKind::Math,
+            work_micros: 500,
+            arg_bytes: 16,
+            ret_bytes: 16,
+        });
+    }
+    let crunch = b.add_method(engine, MethodDef::new("crunch", crunch_ops));
+    let body = vec![
+        Op::Call {
+            obj: Reg(1),
+            class: engine,
+            method: crunch,
+            arg_bytes: 8,
+            ret_bytes: 8,
+            args: vec![],
+        },
+        Op::Call {
+            obj: Reg(0),
+            class: ui,
+            method: blit,
+            arg_bytes: 16,
+            ret_bytes: 0,
+            args: vec![],
+        },
+    ];
+    b.add_method(
+        main,
+        MethodDef::new(
+            "main",
+            vec![
+                Op::New {
+                    class: ui,
+                    scalar_bytes: 1_000,
+                    ref_slots: 0,
+                    dst: Reg(0),
+                },
+                Op::New {
+                    class: engine,
+                    scalar_bytes: 10_000,
+                    ref_slots: 0,
+                    dst: Reg(1),
+                },
+                Op::Repeat { n: iters, body },
+            ],
+        ),
+    );
+    Arc::new(b.build(main, MethodId(0), 64, 4).unwrap())
+}
+
+fn editor_trace() -> Trace {
+    record_program("editor", editor_program(40, 20_000, 25), 64 << 20).unwrap()
+}
+
+#[test]
+fn replay_without_pressure_never_offloads() {
+    let trace = editor_trace();
+    let report = Emulator::new(EmulatorConfig::paper_memory(16 << 20)).replay(&trace);
+    assert!(report.completed);
+    assert!(!report.offloaded());
+    assert_eq!(report.comm_seconds, 0.0);
+    assert_eq!(report.surrogate_cpu_seconds, 0.0);
+    // Total equals baseline when nothing is remote.
+    assert!((report.total_seconds() - report.baseline_seconds).abs() < 1e-6);
+}
+
+#[test]
+fn replay_under_pressure_offloads_and_completes() {
+    let trace = editor_trace();
+    // Live document ~800 KB: a 640 KB heap forces offloading.
+    let report = Emulator::new(EmulatorConfig::paper_memory(640 << 10)).replay(&trace);
+    assert!(report.completed, "offloading should rescue the replay");
+    assert!(report.offloaded());
+    let o = &report.offloads[0];
+    assert!(o.bytes_moved > 100_000);
+    assert!(o.transfer_seconds > 0.0);
+    assert!(report.comm_seconds > 0.0, "remote interactions after offload");
+    assert!(report.overhead_fraction() > 0.0);
+}
+
+#[test]
+fn impossible_heap_reports_oom() {
+    let trace = editor_trace();
+    // With offloading disabled entirely, a 64 KB heap cannot hold the
+    // document (matching the paper's unmodified-VM failure mode).
+    let mut cfg = EmulatorConfig::paper_memory(64 << 10);
+    cfg.max_offloads = 0;
+    let report = Emulator::new(cfg).replay(&trace);
+    assert!(!report.completed);
+    assert!(report.oom_at_event.is_some());
+}
+
+#[test]
+fn even_a_tiny_heap_survives_when_everything_offloadable_leaves() {
+    // The same 64 KB heap *with* offloading: the bandwidth-minimizing
+    // policy pushes the document and buffers out and the replay finishes.
+    let trace = editor_trace();
+    let report = Emulator::new(EmulatorConfig::paper_memory(64 << 10)).replay(&trace);
+    assert!(report.completed);
+    assert!(report.offloaded());
+}
+
+#[test]
+fn overhead_grows_with_chattier_cuts() {
+    let trace = editor_trace();
+    let tight = Emulator::new(EmulatorConfig::paper_memory(640 << 10)).replay(&trace);
+    // A policy that must free almost everything cuts hotter edges.
+    let mut aggressive_cfg = EmulatorConfig::paper_memory(640 << 10);
+    aggressive_cfg.policy = PolicyKind::Memory {
+        min_free_fraction: 0.8,
+    };
+    let aggressive = Emulator::new(aggressive_cfg).replay(&trace);
+    assert!(tight.completed && aggressive.completed);
+    assert!(aggressive.offloaded());
+    // More memory freed...
+    assert!(
+        aggressive.offloads[0].bytes_moved >= tight.offloads[0].bytes_moved,
+        "aggressive policy moves at least as much"
+    );
+}
+
+#[test]
+fn policy_sweep_finds_a_best_point_no_worse_than_initial() {
+    let trace = editor_trace();
+    let base = EmulatorConfig::paper_memory(640 << 10);
+    let initial = Emulator::new(base.clone()).replay(&trace);
+    assert!(initial.completed);
+
+    let grid = PolicyGrid {
+        trigger_free: vec![0.02, 0.05, 0.2, 0.5],
+        tolerance: vec![1, 3],
+        min_free: vec![0.1, 0.2, 0.5],
+    };
+    let points = sweep_memory_policies(&trace, base, &grid);
+    assert_eq!(points.len(), 24);
+    let best = best_point(&points).expect("some policy completes");
+    assert!(
+        best.report.total_seconds() <= initial.total_seconds() + 1e-9,
+        "the swept best ({}) must not lose to the initial policy ({})",
+        best.report.total_seconds(),
+        initial.total_seconds()
+    );
+}
+
+#[test]
+fn cpu_replay_offloads_compute_to_fast_surrogate() {
+    let trace = record_program("compute", compute_program(200, false), 64 << 20).unwrap();
+    let cfg = EmulatorConfig::paper_cpu(16 << 20, 100_000.0);
+    let report = Emulator::new(cfg).replay(&trace);
+    assert!(report.completed);
+    assert!(report.offloaded(), "compute engine should offload");
+    assert!(report.surrogate_cpu_seconds > 0.0);
+    // The 3.5x surrogate makes the total faster than client-only baseline.
+    assert!(
+        report.total_seconds() < report.baseline_seconds,
+        "offloading should be beneficial: total={} baseline={}",
+        report.total_seconds(),
+        report.baseline_seconds
+    );
+}
+
+#[test]
+fn stateless_native_enhancement_eliminates_native_bounce_backs() {
+    // The offloaded engine calls Math natives, which by default execute on
+    // the client: every call becomes a remote bounce-back the partitioning
+    // prediction never saw (the paper's §5.2 observation). The "Native"
+    // enhancement runs stateless natives where invoked, eliminating the
+    // bounces (Figure 10 "Native" bars).
+    let trace = record_program("compute", compute_program(200, true), 64 << 20).unwrap();
+    let mut base = EmulatorConfig::paper_cpu(16 << 20, 100_000.0);
+    let plain = Emulator::new(base.clone()).replay(&trace);
+    assert!(plain.completed);
+    assert!(plain.offloaded(), "the engine class itself is offloadable");
+    assert!(
+        plain.remote.remote_native_calls > 0,
+        "math natives bounce back to the client without the enhancement"
+    );
+
+    base.stateless_natives_local = true;
+    let enhanced = Emulator::new(base).replay(&trace);
+    assert!(enhanced.completed);
+    assert!(enhanced.offloaded());
+    assert_eq!(
+        enhanced.remote.remote_native_calls, 0,
+        "stateless natives now run where invoked"
+    );
+    assert!(
+        enhanced.total_seconds() < plain.total_seconds(),
+        "removing bounce-backs must speed things up: {} < {}",
+        enhanced.total_seconds(),
+        plain.total_seconds()
+    );
+}
+
+#[test]
+fn beneficial_gate_refuses_chatty_cpu_offload() {
+    // Engine pings the pinned UI with a big payload every iteration: the
+    // CPU policy must decline.
+    let mut b = ProgramBuilder::new();
+    let main = b.add_class("Main");
+    let ui = b.add_native_class("Ui");
+    let engine = b.add_class("Engine");
+    let ping = b.add_method(
+        ui,
+        MethodDef::new(
+            "ping",
+            vec![Op::Native {
+                kind: NativeKind::Framebuffer,
+                work_micros: 1,
+                arg_bytes: 4_000,
+                ret_bytes: 4_000,
+            }],
+        ),
+    );
+    let step = b.add_method(
+        engine,
+        MethodDef::new(
+            "step",
+            vec![
+                Op::Work { micros: 100 },
+                Op::Call {
+                    obj: Reg(0),
+                    class: ui,
+                    method: ping,
+                    arg_bytes: 4_000,
+                    ret_bytes: 4_000,
+                    args: vec![],
+                },
+            ],
+        ),
+    );
+    b.add_method(
+        main,
+        MethodDef::new(
+            "main",
+            vec![
+                Op::New {
+                    class: ui,
+                    scalar_bytes: 100,
+                    ref_slots: 0,
+                    dst: Reg(0),
+                },
+                Op::New {
+                    class: engine,
+                    scalar_bytes: 100,
+                    ref_slots: 0,
+                    dst: Reg(1),
+                },
+                Op::Repeat {
+                    n: 400,
+                    body: vec![Op::Call {
+                        obj: Reg(1),
+                        class: engine,
+                        method: step,
+                        arg_bytes: 0,
+                        ret_bytes: 0,
+                        args: vec![Reg(0)],
+                    }],
+                },
+            ],
+        ),
+    );
+    let program = Arc::new(b.build(main, MethodId(0), 64, 4).unwrap());
+    let trace = record_program("chatty", program, 64 << 20).unwrap();
+    let report = Emulator::new(EmulatorConfig::paper_cpu(16 << 20, 5_000.0)).replay(&trace);
+    assert!(report.completed);
+    assert!(!report.offloaded(), "beneficial gate must refuse");
+    assert!((report.total_seconds() - report.baseline_seconds).abs() < 1e-6);
+}
+
+#[test]
+fn density_heuristic_also_rescues_the_editor() {
+    // Paper §8: alternative partitioning heuristics. The memory-density
+    // sweep must make the same qualitative decision here.
+    let trace = editor_trace();
+    let mut cfg = EmulatorConfig::paper_memory(640 << 10);
+    cfg.heuristic = aide_core::HeuristicKind::MemoryDensity;
+    let report = Emulator::new(cfg).replay(&trace);
+    assert!(report.completed);
+    assert!(report.offloaded());
+    // The two heuristics may expose very different cuts (that contrast is
+    // exactly what `ablate_mincut` measures); the qualitative decision —
+    // rescue by offloading — must agree, and the paper's heuristic should
+    // not lose to the alternative here.
+    let baseline = Emulator::new(EmulatorConfig::paper_memory(640 << 10)).replay(&trace);
+    assert!(baseline.completed && baseline.offloaded());
+    assert!(
+        baseline.total_seconds() <= report.total_seconds() * 1.01,
+        "the modified-MINCUT cut should be at least as cold: {} vs {}",
+        baseline.total_seconds(),
+        report.total_seconds()
+    );
+}
+
+#[test]
+fn array_enhancement_allows_object_level_placement() {
+    // Two integer arrays with very different coupling to the pinned UI:
+    // class granularity forces both to one side; object granularity can
+    // split them.
+    let mut b = ProgramBuilder::new();
+    let main = b.add_class("Main");
+    let ui = b.add_native_class("Ui");
+    let arrays = b.add_array_class("IntArray");
+    let _touch = b.add_method(
+        ui,
+        MethodDef::new(
+            "touch",
+            vec![Op::Native {
+                kind: NativeKind::Framebuffer,
+                work_micros: 1,
+                arg_bytes: 32,
+                ret_bytes: 0,
+            }],
+        ),
+    );
+    b.add_method(
+        main,
+        MethodDef::new(
+            "main",
+            vec![
+                Op::New {
+                    class: ui,
+                    scalar_bytes: 100,
+                    ref_slots: 0,
+                    dst: Reg(0),
+                },
+                // Hot array: read constantly by the client-pinned UI side.
+                Op::New {
+                    class: arrays,
+                    scalar_bytes: 200_000,
+                    ref_slots: 0,
+                    dst: Reg(1),
+                },
+                Op::PutSlot { slot: 0, src: Reg(1) },
+                // Cold array: touched once.
+                Op::New {
+                    class: arrays,
+                    scalar_bytes: 200_000,
+                    ref_slots: 0,
+                    dst: Reg(2),
+                },
+                Op::PutSlot { slot: 1, src: Reg(2) },
+                Op::Read {
+                    obj: Reg(2),
+                    bytes: 8,
+                },
+                Op::Repeat {
+                    n: 2_000,
+                    body: vec![Op::Read {
+                        obj: Reg(1),
+                        bytes: 256,
+                    }],
+                },
+            ],
+        ),
+    );
+    let program = Arc::new(b.build(main, MethodId(0), 64, 4).unwrap());
+    let trace = record_program("arrays", program, 64 << 20).unwrap();
+
+    // Constrained so that ~one array must leave (each is ~200 KB).
+    let mut class_cfg = EmulatorConfig::paper_memory(384 << 10);
+    class_cfg.policy = PolicyKind::Memory {
+        min_free_fraction: 0.40,
+    };
+    let class_level = Emulator::new(class_cfg.clone()).replay(&trace);
+
+    let mut obj_cfg = class_cfg.clone();
+    obj_cfg.array_object_granularity = true;
+    let object_level = Emulator::new(obj_cfg).replay(&trace);
+
+    assert!(object_level.completed);
+    if class_level.completed && class_level.offloaded() && object_level.offloaded() {
+        // Object granularity should never be chattier than class
+        // granularity here: it can keep the hot array local.
+        assert!(
+            object_level.remote.remote_interactions
+                <= class_level.remote.remote_interactions,
+            "object granularity kept the hot array local: {} <= {}",
+            object_level.remote.remote_interactions,
+            class_level.remote.remote_interactions
+        );
+    }
+}

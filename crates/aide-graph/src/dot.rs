@@ -1,0 +1,103 @@
+//! Graphviz DOT export of execution graphs (used to regenerate Figure 5).
+
+use std::fmt::Write as _;
+
+use crate::graph::ExecutionGraph;
+use crate::partition::{Partitioning, Side};
+
+/// Renders `graph` in Graphviz DOT format.
+///
+/// When `partitioning` is provided, client-side nodes are drawn as boxes and
+/// offloaded nodes as ellipses, and edges crossing the cut are dashed —
+/// matching the presentation of Figure 5b, where "dotted edges represent
+/// remote interactions".
+///
+/// # Examples
+///
+/// ```
+/// use aide_graph::{ExecutionGraph, NodeInfo, EdgeInfo, to_dot};
+///
+/// let mut g = ExecutionGraph::new();
+/// let a = g.add_node(NodeInfo::new("A"));
+/// let b = g.add_node(NodeInfo::new("B"));
+/// g.record_interaction(a, b, EdgeInfo::new(1, 10));
+/// let dot = to_dot(&g, None);
+/// assert!(dot.contains("graph execution"));
+/// ```
+pub fn to_dot(graph: &ExecutionGraph, partitioning: Option<&Partitioning>) -> String {
+    let mut out = String::new();
+    out.push_str("graph execution {\n");
+    out.push_str("  node [fontsize=8];\n");
+    for (id, node) in graph.iter() {
+        let shape = match partitioning {
+            Some(p) if p.side(id) == Side::Surrogate => "ellipse",
+            Some(_) => "box",
+            None => "circle",
+        };
+        let pin = if node.is_pinned() { " (pinned)" } else { "" };
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}{}\\n{} B\", shape={}];",
+            id, node.label, pin, node.memory_bytes, shape
+        );
+    }
+    for ((a, b), e) in graph.edges() {
+        let style = match partitioning {
+            Some(p) if p.side(a) != p.side(b) => ", style=dashed",
+            _ => "",
+        };
+        let _ = writeln!(
+            out,
+            "  {} -- {} [label=\"{}x/{}B\"{}];",
+            a, b, e.interactions, e.bytes, style
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeInfo, NodeInfo, PinReason};
+
+    fn graph() -> (ExecutionGraph, Partitioning) {
+        let mut g = ExecutionGraph::new();
+        let a = g.add_node(NodeInfo::pinned("Gui", PinReason::NativeMethods));
+        let b = g.add_node(NodeInfo::new("Doc"));
+        g.record_interaction(a, b, EdgeInfo::new(2, 20));
+        let mut p = Partitioning::all_client(&g);
+        p.set_side(b, Side::Surrogate);
+        (g, p)
+    }
+
+    #[test]
+    fn plain_export_lists_all_nodes_and_edges() {
+        let (g, _) = graph();
+        let dot = to_dot(&g, None);
+        assert!(dot.contains("Gui"));
+        assert!(dot.contains("Doc"));
+        assert!(dot.contains("n0 -- n1"));
+        assert!(dot.contains("2x/20B"));
+        assert!(!dot.contains("dashed"));
+    }
+
+    #[test]
+    fn partitioned_export_marks_remote_edges_dashed() {
+        let (g, p) = graph();
+        let dot = to_dot(&g, Some(&p));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("(pinned)"));
+    }
+
+    #[test]
+    fn export_is_balanced_dot_syntax() {
+        let (g, p) = graph();
+        let dot = to_dot(&g, Some(&p));
+        assert!(dot.starts_with("graph execution {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

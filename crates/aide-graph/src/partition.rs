@@ -1,0 +1,280 @@
+//! Two-way partitionings of an execution graph and their summary statistics.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{EdgeInfo, ExecutionGraph, NodeId};
+
+/// Which device a class (or object) is placed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// The resource-constrained client device.
+    Client,
+    /// The nearby surrogate server.
+    Surrogate,
+}
+
+impl Side {
+    /// Returns the opposite side.
+    #[inline]
+    pub fn other(self) -> Side {
+        match self {
+            Side::Client => Side::Surrogate,
+            Side::Surrogate => Side::Client,
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Client => f.write_str("client"),
+            Side::Surrogate => f.write_str("surrogate"),
+        }
+    }
+}
+
+/// A two-way partitioning of the nodes of an [`ExecutionGraph`].
+///
+/// Every node is placed on exactly one [`Side`]. The partitioning stores a
+/// dense side vector indexed by [`NodeId`]; it is only meaningful for the
+/// graph it was derived from.
+///
+/// # Examples
+///
+/// ```
+/// use aide_graph::{ExecutionGraph, NodeInfo, EdgeInfo, Partitioning, Side};
+///
+/// let mut g = ExecutionGraph::new();
+/// let a = g.add_node(NodeInfo::new("A"));
+/// let b = g.add_node(NodeInfo::new("B"));
+/// g.record_interaction(a, b, EdgeInfo::new(1, 100));
+///
+/// let mut p = Partitioning::all_client(&g);
+/// p.set_side(b, Side::Surrogate);
+/// assert_eq!(p.side(a), Side::Client);
+/// assert_eq!(p.offloaded_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partitioning {
+    sides: Vec<Side>,
+}
+
+impl Partitioning {
+    /// Creates a partitioning with every node of `graph` on the client.
+    pub fn all_client(graph: &ExecutionGraph) -> Self {
+        Partitioning {
+            sides: vec![Side::Client; graph.node_count()],
+        }
+    }
+
+    /// Creates a partitioning from an explicit side assignment.
+    pub fn from_sides(sides: Vec<Side>) -> Self {
+        Partitioning { sides }
+    }
+
+    /// Number of nodes covered by this partitioning.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sides.len()
+    }
+
+    /// Returns `true` if the partitioning covers no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sides.is_empty()
+    }
+
+    /// The side node `id` is placed on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the partitioned graph.
+    #[inline]
+    pub fn side(&self, id: NodeId) -> Side {
+        self.sides[id.index()]
+    }
+
+    /// Places node `id` on `side`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the partitioned graph.
+    #[inline]
+    pub fn set_side(&mut self, id: NodeId, side: Side) {
+        self.sides[id.index()] = side;
+    }
+
+    /// Returns `true` if node `id` stays on the client.
+    #[inline]
+    pub fn is_client(&self, id: NodeId) -> bool {
+        self.side(id) == Side::Client
+    }
+
+    /// Iterates over the nodes placed on `side`.
+    pub fn nodes_on(&self, side: Side) -> impl Iterator<Item = NodeId> + '_ {
+        self.sides
+            .iter()
+            .enumerate()
+            .filter(move |(_, &s)| s == side)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Number of nodes offloaded to the surrogate.
+    pub fn offloaded_count(&self) -> usize {
+        self.sides.iter().filter(|&&s| s == Side::Surrogate).count()
+    }
+
+    /// Returns `true` if no node is offloaded (the identity placement).
+    pub fn is_all_client(&self) -> bool {
+        self.sides.iter().all(|&s| s == Side::Client)
+    }
+
+    /// Computes summary statistics of this partitioning against `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partitioning does not cover exactly the nodes of
+    /// `graph`.
+    pub fn stats(&self, graph: &ExecutionGraph) -> PartitionStats {
+        assert_eq!(
+            self.sides.len(),
+            graph.node_count(),
+            "partitioning covers {} nodes but graph has {}",
+            self.sides.len(),
+            graph.node_count()
+        );
+        let mut stats = PartitionStats::default();
+        for (id, node) in graph.iter() {
+            match self.side(id) {
+                Side::Client => {
+                    stats.client_memory_bytes += node.memory_bytes;
+                    stats.client_cpu_micros += node.cpu_micros;
+                }
+                Side::Surrogate => {
+                    stats.offloaded_memory_bytes += node.memory_bytes;
+                    stats.offloaded_cpu_micros += node.cpu_micros;
+                    stats.offloaded_nodes += 1;
+                }
+            }
+        }
+        stats.cut = graph.cut_traffic(|n| self.is_client(n));
+        stats
+    }
+}
+
+/// Aggregate description of a [`Partitioning`] against a specific graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionStats {
+    /// Heap bytes that remain on the client.
+    pub client_memory_bytes: u64,
+    /// Heap bytes moved to the surrogate.
+    pub offloaded_memory_bytes: u64,
+    /// Exclusive CPU time of classes that remain on the client (µs).
+    pub client_cpu_micros: u64,
+    /// Exclusive CPU time of offloaded classes (µs).
+    pub offloaded_cpu_micros: u64,
+    /// Number of classes offloaded.
+    pub offloaded_nodes: usize,
+    /// Historical traffic crossing the cut.
+    pub cut: EdgeInfo,
+}
+
+impl PartitionStats {
+    /// Fraction of graph-attributed memory that the partitioning offloads.
+    ///
+    /// Returns `0.0` for an empty graph.
+    pub fn offloaded_memory_fraction(&self) -> f64 {
+        let total = self.client_memory_bytes + self.offloaded_memory_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.offloaded_memory_bytes as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeInfo;
+
+    fn graph() -> (ExecutionGraph, NodeId, NodeId, NodeId) {
+        let mut g = ExecutionGraph::new();
+        let a = g.add_node(NodeInfo::new("A"));
+        let b = g.add_node(NodeInfo::new("B"));
+        let c = g.add_node(NodeInfo::new("C"));
+        g.node_mut(a).memory_bytes = 100;
+        g.node_mut(b).memory_bytes = 200;
+        g.node_mut(c).memory_bytes = 700;
+        g.node_mut(a).cpu_micros = 10;
+        g.node_mut(b).cpu_micros = 20;
+        g.node_mut(c).cpu_micros = 70;
+        g.record_interaction(a, b, EdgeInfo::new(5, 500));
+        g.record_interaction(b, c, EdgeInfo::new(2, 20));
+        g.record_interaction(a, c, EdgeInfo::new(1, 1));
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn all_client_is_identity() {
+        let (g, ..) = graph();
+        let p = Partitioning::all_client(&g);
+        assert!(p.is_all_client());
+        assert_eq!(p.offloaded_count(), 0);
+        let s = p.stats(&g);
+        assert_eq!(s.offloaded_memory_bytes, 0);
+        assert_eq!(s.cut, EdgeInfo::default());
+    }
+
+    #[test]
+    fn set_side_moves_nodes() {
+        let (g, _, b, c) = graph();
+        let mut p = Partitioning::all_client(&g);
+        p.set_side(b, Side::Surrogate);
+        p.set_side(c, Side::Surrogate);
+        assert_eq!(p.offloaded_count(), 2);
+        let offloaded: Vec<NodeId> = p.nodes_on(Side::Surrogate).collect();
+        assert_eq!(offloaded, vec![b, c]);
+    }
+
+    #[test]
+    fn stats_split_memory_and_cpu() {
+        let (g, _, b, c) = graph();
+        let mut p = Partitioning::all_client(&g);
+        p.set_side(b, Side::Surrogate);
+        p.set_side(c, Side::Surrogate);
+        let s = p.stats(&g);
+        assert_eq!(s.client_memory_bytes, 100);
+        assert_eq!(s.offloaded_memory_bytes, 900);
+        assert_eq!(s.client_cpu_micros, 10);
+        assert_eq!(s.offloaded_cpu_micros, 90);
+        assert_eq!(s.offloaded_nodes, 2);
+        // Crossing edges: a-b (5,500) and a-c (1,1).
+        assert_eq!(s.cut.interactions, 6);
+        assert_eq!(s.cut.bytes, 501);
+        assert!((s.offloaded_memory_fraction() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn side_other_flips() {
+        assert_eq!(Side::Client.other(), Side::Surrogate);
+        assert_eq!(Side::Surrogate.other(), Side::Client);
+    }
+
+    #[test]
+    #[should_panic(expected = "partitioning covers")]
+    fn stats_panics_on_size_mismatch() {
+        let (g, ..) = graph();
+        let p = Partitioning::from_sides(vec![Side::Client; 2]);
+        let _ = p.stats(&g);
+    }
+
+    #[test]
+    fn offloaded_memory_fraction_of_empty_graph_is_zero() {
+        let g = ExecutionGraph::new();
+        let p = Partitioning::all_client(&g);
+        assert_eq!(p.stats(&g).offloaded_memory_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Property-based tests over graph construction, exact mincut, and the
+//! modified-MINCUT candidate sequence.
+
+use std::collections::HashSet;
+
+use aide_graph::{
+    candidate_partitionings, density_candidates, stoer_wagner, CpuPolicy, EdgeInfo,
+    ExecutionGraph, MemoryPolicy, NodeId, NodeInfo, PartitionPolicy, Partitioning, PinReason,
+    ResourceSnapshot, Side,
+};
+use proptest::prelude::*;
+
+/// Strategy: a connected random graph with `n` nodes, random weights, and a
+/// random subset of pinned nodes.
+fn arb_graph(
+    max_nodes: usize,
+    pin_some: bool,
+) -> impl Strategy<Value = (ExecutionGraph, Vec<(usize, usize, u64)>)> {
+    (2..=max_nodes)
+        .prop_flat_map(move |n| {
+            let pins = proptest::collection::vec(
+                if pin_some {
+                    any::<bool>().boxed()
+                } else {
+                    Just(false).boxed()
+                },
+                n,
+            );
+            // A spanning chain guarantees connectivity; extra random edges.
+            let chain = proptest::collection::vec(1u64..1_000, n - 1);
+            let extras = proptest::collection::vec((0..n, 0..n, 1u64..1_000), 0..n * 2);
+            (Just(n), pins, chain, extras)
+        })
+        .prop_map(|(n, pins, chain, extras)| {
+            let mut g = ExecutionGraph::new();
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| {
+                    if pins[i] && i > 0 {
+                        g.add_node(NodeInfo::pinned(format!("C{i}"), PinReason::NativeMethods))
+                    } else {
+                        g.add_node(NodeInfo::new(format!("C{i}")))
+                    }
+                })
+                .collect();
+            let mut edges = Vec::new();
+            for (i, &w) in chain.iter().enumerate() {
+                g.record_interaction(ids[i], ids[i + 1], EdgeInfo::new(1, w));
+                edges.push((i, i + 1, w + 1));
+            }
+            for &(a, b, w) in &extras {
+                if a != b {
+                    g.record_interaction(ids[a], ids[b], EdgeInfo::new(1, w));
+                    edges.push((a.min(b), a.max(b), w + 1));
+                }
+            }
+            (g, edges)
+        })
+}
+
+proptest! {
+    /// The exact mincut weight is a lower bound on every random cut.
+    #[test]
+    fn stoer_wagner_is_minimal((g, _) in arb_graph(10, false), mask in any::<u32>()) {
+        let exact = stoer_wagner(&g).unwrap();
+        let n = g.node_count();
+        // Build a random nontrivial cut from the mask bits.
+        let side: HashSet<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+        prop_assume!(!side.is_empty() && side.len() < n);
+        let random_cut = g.cut_weight(|v| side.contains(&v.index()));
+        prop_assert!(exact.weight <= random_cut,
+            "exact {} > random {}", exact.weight, random_cut);
+    }
+
+    /// The reported mincut weight matches recomputation over its partition.
+    #[test]
+    fn stoer_wagner_weight_is_consistent((g, _) in arb_graph(12, false)) {
+        let exact = stoer_wagner(&g).unwrap();
+        let side: HashSet<NodeId> = exact.partition.iter().copied().collect();
+        prop_assert!(!side.is_empty());
+        prop_assert!(side.len() < g.node_count());
+        let recomputed = g.cut_weight(|v| side.contains(&v));
+        prop_assert_eq!(exact.weight, recomputed);
+    }
+
+    /// Every candidate is a complete two-partition that keeps pinned nodes
+    /// on the client and offloads at least one node.
+    #[test]
+    fn candidates_are_valid_partitionings((g, _) in arb_graph(14, true)) {
+        let seq = candidate_partitionings(&g);
+        let pinned: Vec<NodeId> = g.pinned_nodes().collect();
+        for cand in seq.iter() {
+            prop_assert_eq!(cand.len(), g.node_count());
+            prop_assert!(cand.offloaded_count() >= 1);
+            for &p in &pinned {
+                prop_assert!(cand.is_client(p));
+            }
+        }
+    }
+
+    /// Candidate offloaded-counts strictly decrease by one.
+    #[test]
+    fn candidate_sequence_shrinks_monotonically((g, _) in arb_graph(14, true)) {
+        let seq = candidate_partitionings(&g);
+        let counts: Vec<usize> = seq.iter().map(|c| c.offloaded_count()).collect();
+        for w in counts.windows(2) {
+            prop_assert_eq!(w[0], w[1] + 1);
+        }
+        if let Some(&last) = counts.last() {
+            prop_assert_eq!(last, 1);
+        }
+    }
+
+    /// The move order visits each unpinned node at most once and the union
+    /// of moved nodes plus the final offloaded node covers all unpinned.
+    #[test]
+    fn move_order_is_a_permutation_prefix((g, _) in arb_graph(12, true)) {
+        let seq = candidate_partitionings(&g);
+        prop_assume!(!seq.is_empty());
+        let moved: HashSet<NodeId> = seq.move_order().iter().copied().collect();
+        prop_assert_eq!(moved.len(), seq.move_order().len(), "duplicate move");
+        for &m in seq.move_order() {
+            prop_assert!(!g.node(m).is_pinned(), "pinned node moved");
+        }
+    }
+
+    /// On unpinned graphs, the best candidate cut is at least the exact
+    /// mincut (the heuristic cannot beat the optimum) and the heuristic's
+    /// sweep often touches it.
+    #[test]
+    fn heuristic_never_beats_exact_mincut((g, _) in arb_graph(10, false)) {
+        let exact = stoer_wagner(&g).unwrap().weight;
+        let seq = candidate_partitionings(&g);
+        prop_assume!(!seq.is_empty());
+        let best = seq.iter()
+            .map(|c| g.cut_weight(|v| c.is_client(v)))
+            .min()
+            .unwrap();
+        prop_assert!(best >= exact);
+    }
+
+    /// Partition stats conserve totals: client + offloaded memory equals the
+    /// graph total, for every candidate.
+    #[test]
+    fn partition_stats_conserve_memory((g, _) in arb_graph(12, true), mem in proptest::collection::vec(0u64..1_000_000, 14)) {
+        let mut g = g;
+        for (i, id) in g.node_ids().collect::<Vec<_>>().into_iter().enumerate() {
+            g.node_mut(id).memory_bytes = mem[i % mem.len()];
+        }
+        let total = g.total_memory();
+        for cand in candidate_partitionings(&g).iter() {
+            let s = cand.stats(&g);
+            prop_assert_eq!(s.client_memory_bytes + s.offloaded_memory_bytes, total);
+        }
+    }
+
+    /// Graph serde round-trips losslessly.
+    #[test]
+    fn graph_serde_round_trip((g, _) in arb_graph(8, true)) {
+        let json = serde_json::to_string(&g).unwrap();
+        let back: ExecutionGraph = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    /// cut_weight over a Partitioning equals the sum over edges recomputed
+    /// from the raw edge list.
+    #[test]
+    fn cut_weight_matches_manual_sum((g, edges) in arb_graph(10, false), mask in any::<u16>()) {
+        let n = g.node_count();
+        let sides: Vec<Side> = (0..n)
+            .map(|i| if mask & (1 << i) != 0 { Side::Surrogate } else { Side::Client })
+            .collect();
+        let p = Partitioning::from_sides(sides.clone());
+        let from_graph = g.cut_weight(|v| p.is_client(v));
+        let mut manual = 0u64;
+        for &(a, b, w) in &edges {
+            if sides[a] != sides[b] {
+                manual += w;
+            }
+        }
+        prop_assert_eq!(from_graph, manual);
+    }
+
+    /// The memory policy's selection is optimal: no other feasible
+    /// candidate has lower cut bytes.
+    #[test]
+    fn memory_policy_selects_the_optimal_feasible_candidate(
+        (g, _) in arb_graph(12, true),
+        mem in proptest::collection::vec(0u64..500_000, 14),
+        min_free in 1u32..60,
+    ) {
+        let mut g = g;
+        for (i, id) in g.node_ids().collect::<Vec<_>>().into_iter().enumerate() {
+            g.node_mut(id).memory_bytes = mem[i % mem.len()];
+        }
+        let candidates = candidate_partitionings(&g);
+        prop_assume!(!candidates.is_empty());
+        let heap = 1_000_000u64;
+        let policy = MemoryPolicy::new(f64::from(min_free) / 100.0);
+        let snapshot = ResourceSnapshot::new(heap, heap - heap / 100);
+        let required = (heap as f64 * f64::from(min_free) / 100.0).ceil() as u64;
+        match policy.select(&g, snapshot, &candidates) {
+            Some(sel) => {
+                prop_assert!(sel.stats.offloaded_memory_bytes >= required);
+                for cand in candidates.iter() {
+                    let stats = cand.stats(&g);
+                    if stats.offloaded_memory_bytes >= required {
+                        prop_assert!(sel.stats.cut.bytes <= stats.cut.bytes);
+                    }
+                }
+            }
+            None => {
+                for cand in candidates.iter() {
+                    prop_assert!(cand.stats(&g).offloaded_memory_bytes < required);
+                }
+            }
+        }
+    }
+
+    /// The CPU policy never selects a candidate predicted slower than
+    /// local execution (the beneficial-offloading gate).
+    #[test]
+    fn cpu_policy_gate_is_sound(
+        (g, _) in arb_graph(12, true),
+        cpu in proptest::collection::vec(0u64..50_000_000, 14),
+    ) {
+        let mut g = g;
+        for (i, id) in g.node_ids().collect::<Vec<_>>().into_iter().enumerate() {
+            g.node_mut(id).cpu_micros = cpu[i % cpu.len()];
+        }
+        let candidates = candidate_partitionings(&g);
+        prop_assume!(!candidates.is_empty());
+        let policy = CpuPolicy::default();
+        let snapshot = ResourceSnapshot::new(1 << 20, 1 << 19);
+        if let Some(sel) = policy.select(&g, snapshot, &candidates) {
+            let baseline = policy.predictor().unpartitioned_seconds(&g);
+            prop_assert!(sel.score < baseline,
+                "selected {} must beat baseline {}", sel.score, baseline);
+        }
+    }
+
+    /// The density heuristic produces valid candidates too: complete
+    /// two-partitions that keep pinned nodes home and grow one node at a
+    /// time.
+    #[test]
+    fn density_candidates_are_valid((g, _) in arb_graph(14, true)) {
+        let seq = density_candidates(&g);
+        let pinned: Vec<NodeId> = g.pinned_nodes().collect();
+        let mut prev = 0usize;
+        for cand in seq.iter() {
+            prop_assert_eq!(cand.len(), g.node_count());
+            for &p in &pinned {
+                prop_assert!(cand.is_client(p));
+            }
+            prop_assert_eq!(cand.offloaded_count(), prev + 1);
+            prev = cand.offloaded_count();
+        }
+    }
+}

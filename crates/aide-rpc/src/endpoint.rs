@@ -1,0 +1,479 @@
+//! RPC endpoints: request/reply correlation, the dispatcher worker pool,
+//! and simulated link-time accounting.
+//!
+//! Each VM owns an [`Endpoint`]. A background *receiver loop* reads frames
+//! from the transport: replies are routed to the blocked caller by sequence
+//! number; requests are queued to a pool of worker threads that execute them
+//! through the endpoint's [`Dispatcher`] — the paper's "pool of threads to
+//! perform RPCs on behalf of the other JVM". Workers can re-enter the
+//! interpreter, which may issue further nested remote calls, so the pool
+//! must be at least as deep as the maximum cross-VM call nesting.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use aide_graph::CommParams;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::link::{LinkError, NetClock, Transport};
+use crate::wire::{Message, Reply, Request, WireError};
+
+/// Errors surfaced to RPC callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The link closed before the reply arrived.
+    Disconnected,
+    /// No reply arrived within the endpoint's timeout.
+    Timeout,
+    /// The peer executed the request and reported an error.
+    Remote(String),
+    /// A malformed frame was received.
+    Protocol(String),
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Disconnected => f.write_str("peer disconnected"),
+            RpcError::Timeout => f.write_str("rpc timed out"),
+            RpcError::Remote(msg) => write!(f, "remote error: {msg}"),
+            RpcError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<LinkError> for RpcError {
+    fn from(_: LinkError) -> Self {
+        RpcError::Disconnected
+    }
+}
+
+impl From<WireError> for RpcError {
+    fn from(e: WireError) -> Self {
+        RpcError::Protocol(e.to_string())
+    }
+}
+
+/// Executes requests arriving from the peer.
+///
+/// The distributed platform implements this by re-entering the interpreter
+/// ([`aide_vm::Machine::call_on`] and friends) on the serving VM.
+pub trait Dispatcher: Send + Sync {
+    /// Executes `request`, returning a reply payload or an error string
+    /// that will be transported back to the caller.
+    fn dispatch(&self, request: Request) -> Result<Reply, String>;
+}
+
+/// Configuration of an [`Endpoint`].
+#[derive(Debug, Clone, Copy)]
+pub struct EndpointConfig {
+    /// Worker threads serving incoming requests. Must cover the deepest
+    /// cross-VM call nesting (each nested bounce occupies one worker).
+    pub workers: usize,
+    /// How long a caller waits for a reply before giving up.
+    pub call_timeout: Duration,
+}
+
+impl Default for EndpointConfig {
+    fn default() -> Self {
+        EndpointConfig {
+            workers: 64,
+            call_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+type PendingMap = Arc<Mutex<HashMap<u64, Sender<Result<Reply, String>>>>>;
+
+/// One VM's side of the RPC connection.
+pub struct Endpoint {
+    transport: Transport,
+    params: CommParams,
+    clock: Arc<NetClock>,
+    pending: PendingMap,
+    next_seq: AtomicU64,
+    closing: Arc<AtomicBool>,
+    config: EndpointConfig,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    requests_served: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("workers", &self.config.workers)
+            .field("closing", &self.closing.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Endpoint {
+    /// Starts an endpoint: spawns the receiver loop and the worker pool.
+    ///
+    /// `dispatcher` serves the peer's requests; `clock` accumulates
+    /// simulated link time priced by `params`.
+    pub fn start(
+        transport: Transport,
+        params: CommParams,
+        clock: Arc<NetClock>,
+        dispatcher: Arc<dyn Dispatcher>,
+        config: EndpointConfig,
+    ) -> Arc<Endpoint> {
+        let endpoint = Arc::new(Endpoint {
+            transport: transport.clone(),
+            params,
+            clock,
+            pending: Arc::new(Mutex::new(HashMap::new())),
+            next_seq: AtomicU64::new(0),
+            closing: Arc::new(AtomicBool::new(false)),
+            config,
+            threads: Mutex::new(Vec::new()),
+            requests_served: Arc::new(AtomicU64::new(0)),
+        });
+
+        let (job_tx, job_rx) = unbounded::<(u64, Request)>();
+
+        // Worker pool.
+        let mut handles = Vec::with_capacity(config.workers + 1);
+        for i in 0..config.workers {
+            let rx: Receiver<(u64, Request)> = job_rx.clone();
+            let disp = dispatcher.clone();
+            let out = transport.clone();
+            let served = endpoint.requests_served.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rpc-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok((seq, request)) = rx.recv() {
+                            let result = disp.dispatch(request);
+                            served.fetch_add(1, Ordering::Relaxed);
+                            let frame = Message::Reply { seq, result }.encode();
+                            if out.send(frame.to_vec()).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn rpc worker"),
+            );
+        }
+
+        // Receiver loop.
+        {
+            let transport = transport.clone();
+            let pending = endpoint.pending.clone();
+            let closing = endpoint.closing.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name("rpc-recv".into())
+                    .spawn(move || {
+                        receiver_loop(&transport, &pending, &closing, &job_tx);
+                        // Receiver gone: fail all outstanding calls.
+                        pending.lock().clear();
+                    })
+                    .expect("spawn rpc receiver"),
+            );
+        }
+        *endpoint.threads.lock() = handles;
+        endpoint
+    }
+
+    /// Number of requests this endpoint has served for its peer.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// The shared simulated-communication clock.
+    pub fn clock(&self) -> &Arc<NetClock> {
+        &self.clock
+    }
+
+    /// Real traffic statistics of this endpoint's transport.
+    pub fn traffic(&self) -> &Arc<crate::link::TrafficStats> {
+        self.transport.stats()
+    }
+
+    /// Sends `request` to the peer and blocks until its reply arrives,
+    /// charging simulated link time for the round trip.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Remote`] if the peer reported an execution error,
+    /// [`RpcError::Disconnected`] / [`RpcError::Timeout`] on link failures.
+    pub fn call(&self, request: Request) -> Result<Reply, RpcError> {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let msg = Message::Request {
+            seq,
+            body: request,
+        };
+        let req_bytes = msg.simulated_request_bytes();
+        let (reply_bytes, is_migrate) = match &msg {
+            Message::Request { body, .. } => (
+                Message::simulated_reply_bytes(body),
+                matches!(body, Request::Migrate { .. }),
+            ),
+            Message::Reply { .. } => unreachable!(),
+        };
+
+        let (tx, rx) = unbounded();
+        self.pending.lock().insert(seq, tx);
+        let frame = msg.encode();
+        if let Err(e) = self.transport.send(frame.to_vec()) {
+            self.pending.lock().remove(&seq);
+            return Err(e.into());
+        }
+
+        let outcome = rx
+            .recv_timeout(self.config.call_timeout)
+            .map_err(|e| match e {
+                crossbeam::channel::RecvTimeoutError::Timeout => RpcError::Timeout,
+                crossbeam::channel::RecvTimeoutError::Disconnected => RpcError::Disconnected,
+            });
+        self.pending.lock().remove(&seq);
+        let result = outcome?;
+
+        // Simulated link time: bulk transfers (offloading) stream at link
+        // bandwidth with half-RTT setup; everything else is a synchronous
+        // round trip.
+        let seconds = if is_migrate {
+            self.params.transfer_seconds(req_bytes)
+        } else {
+            self.params.rtt_seconds
+                + ((req_bytes + reply_bytes) as f64 * 8.0) / self.params.bandwidth_bps
+        };
+        self.clock.add(seconds);
+        self.clock.note_round_trip();
+
+        result.map_err(RpcError::Remote)
+    }
+
+    /// Initiates an orderly shutdown: tells the peer (fire-and-forget so a
+    /// half-closed peer cannot stall us), then stops accepting.
+    pub fn shutdown(&self) {
+        if self.closing.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let frame = Message::Request {
+            seq,
+            body: Request::Shutdown,
+        }
+        .encode();
+        let _ = self.transport.send(frame.to_vec());
+    }
+
+    /// Waits for the endpoint's threads to finish (after [`shutdown`] on
+    /// both sides or link disconnection).
+    ///
+    /// [`shutdown`]: Endpoint::shutdown
+    pub fn join(&self) {
+        let handles = std::mem::take(&mut *self.threads.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn receiver_loop(
+    transport: &Transport,
+    pending: &PendingMap,
+    closing: &AtomicBool,
+    jobs: &Sender<(u64, Request)>,
+) {
+    loop {
+        let frame = match transport.recv_timeout(Duration::from_millis(50)) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                // Idle: exit once shutdown was requested and nothing is in
+                // flight (all pending calls completed or abandoned).
+                if closing.load(Ordering::SeqCst) && pending.lock().is_empty() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        match Message::decode(&frame) {
+            Ok(Message::Request { seq, body }) => {
+                if matches!(body, Request::Shutdown) {
+                    // Fire-and-forget: the sender does not wait for a reply.
+                    closing.store(true, Ordering::SeqCst);
+                    continue;
+                }
+                if jobs.send((seq, body)).is_err() {
+                    return;
+                }
+            }
+            Ok(Message::Reply { seq, result }) => {
+                let waiter = pending.lock().remove(&seq);
+                if let Some(tx) = waiter {
+                    let _ = tx.send(result);
+                }
+            }
+            Err(_) => {
+                // Malformed frame: drop it; callers will time out.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Link;
+    use aide_vm::{ClassId, ObjectId};
+
+    /// A dispatcher that answers ClassOf with a fixed class and echoes slot
+    /// reads, failing on unknown objects.
+    struct TestDispatcher {
+        known: ObjectId,
+    }
+
+    impl Dispatcher for TestDispatcher {
+        fn dispatch(&self, request: Request) -> Result<Reply, String> {
+            match request {
+                Request::ClassOf { target } if target == self.known => Ok(Reply::Class(ClassId(7))),
+                Request::ClassOf { target } => Err(format!("dangling {target}")),
+                Request::GetSlot { .. } => Ok(Reply::Slot(Some(self.known))),
+                Request::FieldAccess { .. } => Ok(Reply::Unit),
+                Request::Native { .. } => Ok(Reply::Unit),
+                _ => Ok(Reply::Unit),
+            }
+        }
+    }
+
+    fn pair() -> (Arc<Endpoint>, Arc<Endpoint>) {
+        let (link, ct, st) = Link::pair(CommParams::WAVELAN);
+        let clock = link.clock.clone();
+        let d1 = Arc::new(TestDispatcher {
+            known: ObjectId::client(1),
+        });
+        let d2 = Arc::new(TestDispatcher {
+            known: ObjectId::surrogate(2),
+        });
+        let client = Endpoint::start(ct, link.params, clock.clone(), d1, EndpointConfig::default());
+        let surrogate = Endpoint::start(st, link.params, clock, d2, EndpointConfig::default());
+        (client, surrogate)
+    }
+
+    #[test]
+    fn request_reply_round_trip() {
+        let (client, surrogate) = pair();
+        let reply = client
+            .call(Request::ClassOf {
+                target: ObjectId::surrogate(2),
+            })
+            .unwrap();
+        assert_eq!(reply, Reply::Class(ClassId(7)));
+        assert_eq!(surrogate.requests_served(), 1);
+    }
+
+    #[test]
+    fn remote_errors_are_propagated() {
+        let (client, _surrogate) = pair();
+        let err = client
+            .call(Request::ClassOf {
+                target: ObjectId::surrogate(99),
+            })
+            .unwrap_err();
+        match err {
+            RpcError::Remote(msg) => assert!(msg.contains("dangling")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_calls_are_correlated() {
+        let (client, _surrogate) = pair();
+        let client = Arc::new(client);
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let c = client.clone();
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let reply = c
+                        .call(Request::GetSlot {
+                            target: ObjectId::surrogate(2),
+                            slot: 0,
+                        })
+                        .unwrap();
+                    assert_eq!(reply, Reply::Slot(Some(ObjectId::surrogate(2))));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn link_time_is_charged_per_round_trip() {
+        let (client, _surrogate) = pair();
+        let before = client.clock().seconds();
+        client
+            .call(Request::FieldAccess {
+                target: ObjectId::surrogate(2),
+                bytes: 0,
+                write: false,
+            })
+            .unwrap();
+        let delta = client.clock().seconds() - before;
+        // One WaveLAN round trip (2.4 ms) plus two 32-byte headers.
+        let expected = 2.4e-3 + (64.0 * 8.0) / 11.0e6;
+        assert!((delta - expected).abs() < 1e-9, "delta {delta}");
+        assert_eq!(client.clock().round_trips(), 1);
+    }
+
+    #[test]
+    fn payload_bytes_stretch_link_time() {
+        let (client, _surrogate) = pair();
+        let before = client.clock().seconds();
+        client
+            .call(Request::FieldAccess {
+                target: ObjectId::surrogate(2),
+                bytes: 1_100_000, // ~0.8 s at 11 Mbps
+                write: false,
+            })
+            .unwrap();
+        let delta = client.clock().seconds() - before;
+        assert!(delta > 0.75, "expected ~0.8 s of link time, got {delta}");
+    }
+
+    #[test]
+    fn shutdown_stops_both_endpoints() {
+        let (client, surrogate) = pair();
+        client.shutdown();
+        surrogate.shutdown();
+        client.join();
+        surrogate.join();
+    }
+
+    #[test]
+    fn calls_after_peer_death_fail_fast() {
+        let (link, ct, st) = Link::pair(CommParams::WAVELAN);
+        let clock = link.clock.clone();
+        let client = Endpoint::start(
+            ct,
+            link.params,
+            clock,
+            Arc::new(TestDispatcher {
+                known: ObjectId::client(1),
+            }),
+            EndpointConfig {
+                workers: 2,
+                call_timeout: Duration::from_millis(200),
+            },
+        );
+        drop(st); // peer never existed
+        let err = client
+            .call(Request::ClassOf {
+                target: ObjectId::surrogate(0),
+            })
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Disconnected | RpcError::Timeout));
+    }
+}

@@ -1,0 +1,61 @@
+//! Transparent remote execution between two AIDE virtual machines.
+//!
+//! The paper modifies two JVMs so that accesses to remote objects become
+//! "transparent RPCs between two JVMs", where "either JVM that receives a
+//! request uses a pool of threads to perform RPCs on behalf of the other
+//! JVM" (§3.2). This crate is that layer:
+//!
+//! * [`Message`] / [`Request`] / [`Reply`] — the RPC protocol, with a
+//!   hand-rolled length-safe binary codec.
+//! * [`Link`] / [`Transport`] — a duplex in-process frame link standing in
+//!   for the WaveLAN socket, with real traffic statistics and a shared
+//!   [`NetClock`] accumulating *simulated* link seconds priced by
+//!   [`aide_graph::CommParams`].
+//! * [`Endpoint`] — request/reply correlation plus the dispatcher worker
+//!   pool that re-enters the interpreter to serve the peer.
+//! * [`ExportTable`] / [`ImportTable`] — cross-VM reference bookkeeping for
+//!   the simple distributed garbage collection scheme.
+//!
+//! # Examples
+//!
+//! Two endpoints answering each other's class-resolution requests:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use aide_graph::CommParams;
+//! use aide_rpc::{Dispatcher, Endpoint, EndpointConfig, Link, Reply, Request};
+//!
+//! struct Fixed;
+//! impl Dispatcher for Fixed {
+//!     fn dispatch(&self, _request: Request) -> Result<Reply, String> {
+//!         Ok(Reply::Class(aide_vm::ClassId(3)))
+//!     }
+//! }
+//!
+//! let (link, ct, st) = Link::pair(CommParams::WAVELAN);
+//! let clock = link.clock.clone();
+//! let client = Endpoint::start(ct, link.params, clock.clone(), Arc::new(Fixed),
+//!                              EndpointConfig::default());
+//! let surrogate = Endpoint::start(st, link.params, clock, Arc::new(Fixed),
+//!                                 EndpointConfig::default());
+//! let reply = client.call(Request::ClassOf { target: aide_vm::ObjectId::surrogate(1) })?;
+//! assert_eq!(reply, Reply::Class(aide_vm::ClassId(3)));
+//! client.shutdown();
+//! surrogate.shutdown();
+//! # Ok::<(), aide_rpc::RpcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod endpoint;
+mod link;
+mod reftable;
+mod tcp;
+mod wire;
+
+pub use endpoint::{Dispatcher, Endpoint, EndpointConfig, RpcError};
+pub use link::{Link, LinkError, NetClock, TrafficStats, Transport};
+pub use reftable::{live_remote_refs, ExportTable, ImportTable};
+pub use tcp::tcp_pair;
+pub use wire::{Message, Reply, Request, WireError};

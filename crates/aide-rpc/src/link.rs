@@ -1,0 +1,276 @@
+//! Duplex message links and simulated link-time accounting.
+//!
+//! A [`Link`] is a pair of connected transports carrying encoded frames
+//! between two VMs over crossbeam channels (the prototype's stand-in for the
+//! WaveLAN socket). The link keeps per-direction traffic statistics and a
+//! shared [`NetClock`] that accumulates *simulated* communication seconds
+//! according to [`CommParams`] — the paper's 11 Mbps / 2.4 ms RTT WaveLAN
+//! model.
+
+use std::sync::Arc;
+
+use aide_graph::CommParams;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+/// Accumulates simulated communication time for one client/surrogate pair.
+///
+/// Execution is serial across the distributed platform (the paper's
+/// emulator assumption), so communication seconds add directly to the
+/// application's completion time.
+#[derive(Debug, Default)]
+pub struct NetClock {
+    seconds: Mutex<f64>,
+    round_trips: Mutex<u64>,
+}
+
+impl NetClock {
+    /// Creates a zeroed clock.
+    pub fn new() -> Self {
+        NetClock::default()
+    }
+
+    /// Adds `seconds` of simulated link time.
+    pub fn add(&self, seconds: f64) {
+        *self.seconds.lock() += seconds;
+    }
+
+    /// Notes one completed round trip.
+    pub fn note_round_trip(&self) {
+        *self.round_trips.lock() += 1;
+    }
+
+    /// Total simulated communication seconds so far.
+    pub fn seconds(&self) -> f64 {
+        *self.seconds.lock()
+    }
+
+    /// Total round trips so far.
+    pub fn round_trips(&self) -> u64 {
+        *self.round_trips.lock()
+    }
+}
+
+/// Per-endpoint traffic counters (real frames, real bytes).
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    frames_sent: Mutex<u64>,
+    bytes_sent: Mutex<u64>,
+    frames_received: Mutex<u64>,
+    bytes_received: Mutex<u64>,
+}
+
+impl TrafficStats {
+    /// Frames sent by this endpoint.
+    pub fn frames_sent(&self) -> u64 {
+        *self.frames_sent.lock()
+    }
+
+    /// Encoded bytes sent by this endpoint.
+    pub fn bytes_sent(&self) -> u64 {
+        *self.bytes_sent.lock()
+    }
+
+    /// Frames received by this endpoint.
+    pub fn frames_received(&self) -> u64 {
+        *self.frames_received.lock()
+    }
+
+    /// Encoded bytes received by this endpoint.
+    pub fn bytes_received(&self) -> u64 {
+        *self.bytes_received.lock()
+    }
+
+    fn note_sent(&self, bytes: usize) {
+        *self.frames_sent.lock() += 1;
+        *self.bytes_sent.lock() += bytes as u64;
+    }
+
+    fn note_received(&self, bytes: usize) {
+        *self.frames_received.lock() += 1;
+        *self.bytes_received.lock() += bytes as u64;
+    }
+}
+
+/// Errors surfaced by a transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// The peer hung up.
+    Disconnected,
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::Disconnected => f.write_str("link disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// One end of a duplex frame link.
+#[derive(Debug, Clone)]
+pub struct Transport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    stats: Arc<TrafficStats>,
+}
+
+impl Transport {
+    /// Assembles a transport from raw channel halves (used by alternative
+    /// carriers such as the TCP bridge).
+    pub(crate) fn from_parts(
+        tx: Sender<Vec<u8>>,
+        rx: Receiver<Vec<u8>>,
+        stats: Arc<TrafficStats>,
+    ) -> Self {
+        Transport { tx, rx, stats }
+    }
+
+    /// Sends one encoded frame to the peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::Disconnected`] if the peer's receiver is gone.
+    pub fn send(&self, frame: Vec<u8>) -> Result<(), LinkError> {
+        self.stats.note_sent(frame.len());
+        self.tx.send(frame).map_err(|_| LinkError::Disconnected)
+    }
+
+    /// Receives the next frame, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::Disconnected`] when the peer hung up and the
+    /// queue is drained.
+    pub fn recv(&self) -> Result<Vec<u8>, LinkError> {
+        let frame = self.rx.recv().map_err(|_| LinkError::Disconnected)?;
+        self.stats.note_received(frame.len());
+        Ok(frame)
+    }
+
+    /// Receives the next frame, or `Ok(None)` after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::Disconnected`] when the peer hung up.
+    pub fn recv_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<Vec<u8>>, LinkError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => {
+                self.stats.note_received(frame.len());
+                Ok(Some(frame))
+            }
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(LinkError::Disconnected),
+        }
+    }
+
+    /// This endpoint's traffic statistics.
+    pub fn stats(&self) -> &Arc<TrafficStats> {
+        &self.stats
+    }
+}
+
+/// A connected pair of transports plus the shared link model.
+#[derive(Debug)]
+pub struct Link {
+    /// Link parameters used for simulated timing.
+    pub params: CommParams,
+    /// Shared simulated communication clock.
+    pub clock: Arc<NetClock>,
+}
+
+impl Link {
+    /// Creates a connected transport pair with the given link parameters.
+    ///
+    /// Returns `(link, client_transport, surrogate_transport)`.
+    pub fn pair(params: CommParams) -> (Link, Transport, Transport) {
+        let (a_tx, b_rx) = unbounded();
+        let (b_tx, a_rx) = unbounded();
+        let a = Transport {
+            tx: a_tx,
+            rx: a_rx,
+            stats: Arc::new(TrafficStats::default()),
+        };
+        let b = Transport {
+            tx: b_tx,
+            rx: b_rx,
+            stats: Arc::new(TrafficStats::default()),
+        };
+        (
+            Link {
+                params,
+                clock: Arc::new(NetClock::new()),
+            },
+            a,
+            b,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn frames_cross_the_link_in_both_directions() {
+        let (_, client, surrogate) = Link::pair(CommParams::WAVELAN);
+        client.send(vec![1, 2, 3]).unwrap();
+        assert_eq!(surrogate.recv().unwrap(), vec![1, 2, 3]);
+        surrogate.send(vec![9]).unwrap();
+        assert_eq!(client.recv().unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn stats_count_frames_and_bytes() {
+        let (_, client, surrogate) = Link::pair(CommParams::WAVELAN);
+        client.send(vec![0; 10]).unwrap();
+        client.send(vec![0; 5]).unwrap();
+        surrogate.recv().unwrap();
+        surrogate.recv().unwrap();
+        assert_eq!(client.stats().frames_sent(), 2);
+        assert_eq!(client.stats().bytes_sent(), 15);
+        assert_eq!(surrogate.stats().frames_received(), 2);
+        assert_eq!(surrogate.stats().bytes_received(), 15);
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_idle() {
+        let (_, client, _surrogate) = Link::pair(CommParams::WAVELAN);
+        let got = client.recv_timeout(Duration::from_millis(10)).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn disconnection_is_reported() {
+        let (_, client, surrogate) = Link::pair(CommParams::WAVELAN);
+        drop(surrogate);
+        assert_eq!(client.send(vec![1]), Err(LinkError::Disconnected));
+        assert_eq!(client.recv(), Err(LinkError::Disconnected));
+    }
+
+    #[test]
+    fn queued_frames_survive_peer_sender_drop() {
+        let (_, client, surrogate) = Link::pair(CommParams::WAVELAN);
+        client.send(vec![7]).unwrap();
+        drop(client);
+        // The queued frame is still deliverable.
+        assert_eq!(surrogate.recv().unwrap(), vec![7]);
+        assert_eq!(surrogate.recv(), Err(LinkError::Disconnected));
+    }
+
+    #[test]
+    fn net_clock_accumulates() {
+        let clock = NetClock::new();
+        clock.add(0.5);
+        clock.add(0.25);
+        clock.note_round_trip();
+        assert!((clock.seconds() - 0.75).abs() < 1e-12);
+        assert_eq!(clock.round_trips(), 1);
+    }
+}

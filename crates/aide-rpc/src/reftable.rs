@@ -1,0 +1,215 @@
+//! Cross-VM object-reference bookkeeping (distributed garbage collection).
+//!
+//! When a reference to a local object is sent to the peer, the object must
+//! survive local collection for as long as the peer may use it: the sender
+//! records it in its [`ExportTable`] and pins it as an external GC root.
+//! Symmetrically, the receiver records the remote reference in its
+//! [`ImportTable`]. After a local collection, the receiver diffs the set of
+//! remote ids still reachable from its heap and frames against the import
+//! table and sends a `GcRelease` for the dropped ones — the paper's "simple
+//! distributed garbage collection scheme" (§4).
+
+use std::collections::{HashMap, HashSet};
+
+use parking_lot::Mutex;
+
+use aide_vm::{ObjectId, Vm};
+
+/// Tracks local objects whose references were exported to the peer.
+///
+/// Counts are reference counts: exporting the same object twice requires two
+/// releases before the pin drops.
+#[derive(Debug, Default)]
+pub struct ExportTable {
+    counts: Mutex<HashMap<ObjectId, u64>>,
+}
+
+impl ExportTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ExportTable::default()
+    }
+
+    /// Records one exported reference to `id`. Returns `true` if this is
+    /// the first live export of the object (the caller should pin it as an
+    /// external GC root).
+    pub fn export(&self, id: ObjectId) -> bool {
+        let mut counts = self.counts.lock();
+        let n = counts.entry(id).or_insert(0);
+        *n += 1;
+        *n == 1
+    }
+
+    /// Records the release of one exported reference. Returns `true` when
+    /// this was the last live export (the caller should unpin the root).
+    pub fn release(&self, id: ObjectId) -> bool {
+        let mut counts = self.counts.lock();
+        match counts.get_mut(&id) {
+            Some(n) => {
+                *n -= 1;
+                if *n == 0 {
+                    counts.remove(&id);
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Number of distinct objects currently exported.
+    pub fn len(&self) -> usize {
+        self.counts.lock().len()
+    }
+
+    /// Returns `true` if nothing is exported.
+    pub fn is_empty(&self) -> bool {
+        self.counts.lock().is_empty()
+    }
+
+    /// Returns `true` if `id` is currently exported.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.counts.lock().contains_key(&id)
+    }
+}
+
+/// Tracks remote objects this VM holds references to.
+#[derive(Debug, Default)]
+pub struct ImportTable {
+    held: Mutex<HashSet<ObjectId>>,
+}
+
+impl ImportTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ImportTable::default()
+    }
+
+    /// Records receipt of a reference to the remote object `id`.
+    pub fn import(&self, id: ObjectId) {
+        self.held.lock().insert(id);
+    }
+
+    /// Number of distinct remote objects held.
+    pub fn len(&self) -> usize {
+        self.held.lock().len()
+    }
+
+    /// Returns `true` if no remote references are held.
+    pub fn is_empty(&self) -> bool {
+        self.held.lock().is_empty()
+    }
+
+    /// Returns `true` if `id` is recorded as held.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.held.lock().contains(&id)
+    }
+
+    /// Removes a single entry (used when an offload is rolled back and the
+    /// object becomes local again). Returns `true` if it was held.
+    pub fn remove(&self, id: ObjectId) -> bool {
+        self.held.lock().remove(&id)
+    }
+
+    /// Diffs the table against the set of remote ids still reachable
+    /// locally (`still_referenced`), removes the dropped entries, and
+    /// returns them so the caller can send a `GcRelease` to the peer.
+    pub fn sweep_dropped(&self, still_referenced: &HashSet<ObjectId>) -> Vec<ObjectId> {
+        let mut held = self.held.lock();
+        let dropped: Vec<ObjectId> = held
+            .iter()
+            .filter(|id| !still_referenced.contains(id))
+            .copied()
+            .collect();
+        for id in &dropped {
+            held.remove(id);
+        }
+        dropped
+    }
+}
+
+/// Scans a VM's live heap slots *and* mutator roots (frame registers,
+/// receivers) for references to objects that are not local — the set of
+/// remote references still in use. Feed the result to
+/// [`ImportTable::sweep_dropped`] after a collection.
+pub fn live_remote_refs(vm: &Vm) -> HashSet<ObjectId> {
+    let mut out = HashSet::new();
+    let heap = vm.heap();
+    for (_, rec) in heap.iter() {
+        for slot in rec.slots.iter().flatten() {
+            if !heap.contains(*slot) {
+                out.insert(*slot);
+            }
+        }
+    }
+    for id in vm.root_refs() {
+        if !heap.contains(id) {
+            out.insert(id);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use aide_vm::{ClassId, MethodDef, ObjectRecord, ProgramBuilder, Vm, VmConfig};
+
+    #[test]
+    fn export_pins_once_per_object() {
+        let t = ExportTable::new();
+        let id = ObjectId::client(1);
+        assert!(t.export(id), "first export pins");
+        assert!(!t.export(id), "second export does not re-pin");
+        assert_eq!(t.len(), 1);
+        assert!(!t.release(id), "one release leaves one live export");
+        assert!(t.release(id), "last release unpins");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn release_of_unknown_object_is_ignored() {
+        let t = ExportTable::new();
+        assert!(!t.release(ObjectId::client(9)));
+    }
+
+    #[test]
+    fn import_sweep_returns_dropped_references() {
+        let t = ImportTable::new();
+        let a = ObjectId::surrogate(1);
+        let b = ObjectId::surrogate(2);
+        let c = ObjectId::surrogate(3);
+        t.import(a);
+        t.import(b);
+        t.import(c);
+        let still: HashSet<ObjectId> = [b].into_iter().collect();
+        let mut dropped = t.sweep_dropped(&still);
+        dropped.sort();
+        assert_eq!(dropped, vec![a, c]);
+        assert!(t.contains(b));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn live_remote_refs_finds_cross_vm_slots() {
+        let mut b = ProgramBuilder::new();
+        let main = b.add_class("Main");
+        b.add_method(main, MethodDef::new("main", vec![]));
+        let program = Arc::new(b.build(main, aide_vm::MethodId(0), 0, 0).unwrap());
+        let mut vm = Vm::new(program, VmConfig::client(1 << 20));
+
+        let local = ObjectId::client(0);
+        let remote = ObjectId::surrogate(77);
+        let mut rec = ObjectRecord::new(ClassId(0), 0, 2);
+        rec.slots[0] = Some(remote);
+        vm.heap_mut().insert(local, rec).unwrap();
+
+        let live = live_remote_refs(&vm);
+        assert!(live.contains(&remote));
+        assert!(!live.contains(&local));
+        assert_eq!(live.len(), 1);
+    }
+}

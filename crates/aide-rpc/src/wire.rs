@@ -1,0 +1,754 @@
+//! Wire format for the inter-VM RPC protocol.
+//!
+//! Messages are encoded into length-delimited binary frames with a
+//! hand-rolled codec (no reflection, no self-describing format): a one-byte
+//! tag, fixed-width little-endian integers, and explicit collections. The
+//! codec is exercised by round-trip property tests.
+//!
+//! Payload *sizes* (method parameters, field data) are declared, not
+//! materialized: a `FieldAccess { bytes: 4096 }` frame does not carry 4 KiB
+//! of zeros. Link timing is computed from the declared sizes (see
+//! [`Message::simulated_request_bytes`]), which is exactly how the paper's
+//! emulator stretched simulated execution time for remote interactions.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use aide_vm::{ClassId, MethodId, NativeKind, ObjectId, ObjectRecord};
+
+/// Protocol-level errors (malformed frames, truncated buffers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ended before the message was complete.
+    Truncated,
+    /// An unknown message or enum tag was encountered.
+    BadTag(u8),
+    /// Trailing bytes followed a complete message.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("frame truncated"),
+            WireError::BadTag(t) => write!(f, "unknown wire tag {t}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A request the peer should execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Invoke `method` of `class` on `target`, which lives on the peer.
+    Invoke {
+        /// Receiver object (lives on the serving VM).
+        target: ObjectId,
+        /// Class the call site is compiled against.
+        class: ClassId,
+        /// Method index within `class`.
+        method: MethodId,
+        /// Declared parameter payload in bytes.
+        arg_bytes: u32,
+        /// Declared return payload in bytes.
+        ret_bytes: u32,
+        /// Reference arguments (global object ids).
+        args: Vec<ObjectId>,
+    },
+    /// Read or write `bytes` of scalar data on `target`.
+    FieldAccess {
+        /// Target object.
+        target: ObjectId,
+        /// Declared payload in bytes.
+        bytes: u32,
+        /// `true` for a write.
+        write: bool,
+    },
+    /// Read reference slot `slot` of `target`.
+    GetSlot {
+        /// Target object.
+        target: ObjectId,
+        /// Slot index.
+        slot: u16,
+    },
+    /// Write reference slot `slot` of `target`.
+    PutSlot {
+        /// Target object.
+        target: ObjectId,
+        /// Slot index.
+        slot: u16,
+        /// New slot value.
+        value: Option<ObjectId>,
+    },
+    /// Execute a client-bound native on the serving VM.
+    Native {
+        /// Class whose code invoked the native.
+        caller: ClassId,
+        /// Kind of native.
+        kind: NativeKind,
+        /// CPU the native burns, in client-speed microseconds.
+        work_micros: u32,
+        /// Declared parameter payload in bytes.
+        arg_bytes: u32,
+        /// Declared result payload in bytes.
+        ret_bytes: u32,
+    },
+    /// Access static data of `class` on the serving VM (the client).
+    StaticAccess {
+        /// Class whose code performed the access.
+        accessor: ClassId,
+        /// Class owning the static data.
+        class: ClassId,
+        /// Declared payload in bytes.
+        bytes: u32,
+        /// `true` for a write.
+        write: bool,
+    },
+    /// Resolve the class of `target` on the serving VM.
+    ClassOf {
+        /// Target object.
+        target: ObjectId,
+    },
+    /// Transfer whole objects to the serving VM (offloading).
+    Migrate {
+        /// `(id, record)` pairs to install in the serving VM's heap.
+        objects: Vec<(ObjectId, ObjectRecord)>,
+    },
+    /// Distributed GC: the sender no longer references these objects of the
+    /// serving VM; their external-root pins can be released.
+    GcRelease {
+        /// Objects to unpin.
+        objects: Vec<ObjectId>,
+    },
+    /// Orderly connection teardown.
+    Shutdown,
+}
+
+/// A successful reply payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Operation completed with no result value.
+    Unit,
+    /// A slot read result.
+    Slot(Option<ObjectId>),
+    /// A class resolution result.
+    Class(ClassId),
+}
+
+/// A framed protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A request awaiting a matching reply.
+    Request {
+        /// Correlation number, unique per sender.
+        seq: u64,
+        /// The operation to perform.
+        body: Request,
+    },
+    /// The reply to the request with the same `seq`.
+    Reply {
+        /// Correlation number of the request this answers.
+        seq: u64,
+        /// The outcome: a [`Reply`] or a stringified remote error.
+        result: Result<Reply, String>,
+    },
+}
+
+impl Message {
+    /// Simulated size of the request direction of this message, in bytes:
+    /// a fixed header plus declared payloads and 8 bytes per object
+    /// reference. Used for link-time accounting.
+    pub fn simulated_request_bytes(&self) -> u64 {
+        const HEADER: u64 = 32;
+        match self {
+            Message::Request { body, .. } => {
+                HEADER
+                    + match body {
+                        Request::Invoke {
+                            arg_bytes, args, ..
+                        } => *arg_bytes as u64 + 8 * args.len() as u64,
+                        Request::FieldAccess { bytes, write, .. } => {
+                            if *write {
+                                *bytes as u64
+                            } else {
+                                0
+                            }
+                        }
+                        Request::GetSlot { .. } => 0,
+                        Request::PutSlot { .. } => 8,
+                        Request::Native { arg_bytes, .. } => *arg_bytes as u64,
+                        Request::StaticAccess { bytes, write, .. } => {
+                            if *write {
+                                *bytes as u64
+                            } else {
+                                0
+                            }
+                        }
+                        Request::ClassOf { .. } => 0,
+                        Request::Migrate { objects } => objects
+                            .iter()
+                            .map(|(_, rec)| rec.footprint() + 16)
+                            .sum::<u64>(),
+                        Request::GcRelease { objects } => 8 * objects.len() as u64,
+                        Request::Shutdown => 0,
+                    }
+            }
+            Message::Reply { .. } => HEADER,
+        }
+    }
+
+    /// Simulated size of the reply direction for a given request: header
+    /// plus declared return payload.
+    pub fn simulated_reply_bytes(request: &Request) -> u64 {
+        const HEADER: u64 = 32;
+        HEADER
+            + match request {
+                Request::Invoke { ret_bytes, .. } => *ret_bytes as u64,
+                Request::FieldAccess { bytes, write, .. } => {
+                    if *write {
+                        0
+                    } else {
+                        *bytes as u64
+                    }
+                }
+                Request::GetSlot { .. } => 8,
+                Request::Native { ret_bytes, .. } => *ret_bytes as u64,
+                Request::StaticAccess { bytes, write, .. } => {
+                    if *write {
+                        0
+                    } else {
+                        *bytes as u64
+                    }
+                }
+                _ => 0,
+            }
+    }
+
+    /// Encodes the message into a frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        match self {
+            Message::Request { seq, body } => {
+                buf.put_u8(0);
+                buf.put_u64_le(*seq);
+                encode_request(&mut buf, body);
+            }
+            Message::Reply { seq, result } => {
+                buf.put_u8(1);
+                buf.put_u64_le(*seq);
+                match result {
+                    Ok(reply) => {
+                        buf.put_u8(0);
+                        encode_reply(&mut buf, reply);
+                    }
+                    Err(msg) => {
+                        buf.put_u8(1);
+                        put_str(&mut buf, msg);
+                    }
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a message from a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the frame is truncated, carries an unknown
+    /// tag, or has trailing bytes.
+    pub fn decode(mut frame: &[u8]) -> Result<Message, WireError> {
+        let buf = &mut frame;
+        let msg = match get_u8(buf)? {
+            0 => {
+                let seq = get_u64(buf)?;
+                let body = decode_request(buf)?;
+                Message::Request { seq, body }
+            }
+            1 => {
+                let seq = get_u64(buf)?;
+                let result = match get_u8(buf)? {
+                    0 => Ok(decode_reply(buf)?),
+                    1 => Err(get_str(buf)?),
+                    t => return Err(WireError::BadTag(t)),
+                };
+                Message::Reply { seq, result }
+            }
+            t => return Err(WireError::BadTag(t)),
+        };
+        if !buf.is_empty() {
+            return Err(WireError::TrailingBytes(buf.len()));
+        }
+        Ok(msg)
+    }
+}
+
+fn encode_request(buf: &mut BytesMut, body: &Request) {
+    match body {
+        Request::Invoke {
+            target,
+            class,
+            method,
+            arg_bytes,
+            ret_bytes,
+            args,
+        } => {
+            buf.put_u8(0);
+            buf.put_u64_le(target.0);
+            buf.put_u32_le(class.0);
+            buf.put_u16_le(method.0);
+            buf.put_u32_le(*arg_bytes);
+            buf.put_u32_le(*ret_bytes);
+            buf.put_u16_le(args.len() as u16);
+            for a in args {
+                buf.put_u64_le(a.0);
+            }
+        }
+        Request::FieldAccess {
+            target,
+            bytes,
+            write,
+        } => {
+            buf.put_u8(1);
+            buf.put_u64_le(target.0);
+            buf.put_u32_le(*bytes);
+            buf.put_u8(u8::from(*write));
+        }
+        Request::GetSlot { target, slot } => {
+            buf.put_u8(2);
+            buf.put_u64_le(target.0);
+            buf.put_u16_le(*slot);
+        }
+        Request::PutSlot {
+            target,
+            slot,
+            value,
+        } => {
+            buf.put_u8(3);
+            buf.put_u64_le(target.0);
+            buf.put_u16_le(*slot);
+            put_opt_oid(buf, *value);
+        }
+        Request::Native {
+            caller,
+            kind,
+            work_micros,
+            arg_bytes,
+            ret_bytes,
+        } => {
+            buf.put_u8(4);
+            buf.put_u32_le(caller.0);
+            buf.put_u8(native_tag(*kind));
+            buf.put_u32_le(*work_micros);
+            buf.put_u32_le(*arg_bytes);
+            buf.put_u32_le(*ret_bytes);
+        }
+        Request::StaticAccess {
+            accessor,
+            class,
+            bytes,
+            write,
+        } => {
+            buf.put_u8(5);
+            buf.put_u32_le(accessor.0);
+            buf.put_u32_le(class.0);
+            buf.put_u32_le(*bytes);
+            buf.put_u8(u8::from(*write));
+        }
+        Request::ClassOf { target } => {
+            buf.put_u8(6);
+            buf.put_u64_le(target.0);
+        }
+        Request::Migrate { objects } => {
+            buf.put_u8(7);
+            buf.put_u32_le(objects.len() as u32);
+            for (id, rec) in objects {
+                buf.put_u64_le(id.0);
+                buf.put_u32_le(rec.class.0);
+                buf.put_u32_le(rec.scalar_bytes);
+                buf.put_u16_le(rec.slots.len() as u16);
+                for slot in &rec.slots {
+                    put_opt_oid(buf, *slot);
+                }
+            }
+        }
+        Request::GcRelease { objects } => {
+            buf.put_u8(8);
+            buf.put_u32_le(objects.len() as u32);
+            for id in objects {
+                buf.put_u64_le(id.0);
+            }
+        }
+        Request::Shutdown => buf.put_u8(9),
+    }
+}
+
+fn decode_request(buf: &mut &[u8]) -> Result<Request, WireError> {
+    Ok(match get_u8(buf)? {
+        0 => {
+            let target = ObjectId(get_u64(buf)?);
+            let class = ClassId(get_u32(buf)?);
+            let method = MethodId(get_u16(buf)?);
+            let arg_bytes = get_u32(buf)?;
+            let ret_bytes = get_u32(buf)?;
+            let n = get_u16(buf)? as usize;
+            let mut args = Vec::with_capacity(n);
+            for _ in 0..n {
+                args.push(ObjectId(get_u64(buf)?));
+            }
+            Request::Invoke {
+                target,
+                class,
+                method,
+                arg_bytes,
+                ret_bytes,
+                args,
+            }
+        }
+        1 => Request::FieldAccess {
+            target: ObjectId(get_u64(buf)?),
+            bytes: get_u32(buf)?,
+            write: get_u8(buf)? != 0,
+        },
+        2 => Request::GetSlot {
+            target: ObjectId(get_u64(buf)?),
+            slot: get_u16(buf)?,
+        },
+        3 => Request::PutSlot {
+            target: ObjectId(get_u64(buf)?),
+            slot: get_u16(buf)?,
+            value: get_opt_oid(buf)?,
+        },
+        4 => Request::Native {
+            caller: ClassId(get_u32(buf)?),
+            kind: native_from_tag(get_u8(buf)?)?,
+            work_micros: get_u32(buf)?,
+            arg_bytes: get_u32(buf)?,
+            ret_bytes: get_u32(buf)?,
+        },
+        5 => Request::StaticAccess {
+            accessor: ClassId(get_u32(buf)?),
+            class: ClassId(get_u32(buf)?),
+            bytes: get_u32(buf)?,
+            write: get_u8(buf)? != 0,
+        },
+        6 => Request::ClassOf {
+            target: ObjectId(get_u64(buf)?),
+        },
+        7 => {
+            let n = get_u32(buf)? as usize;
+            let mut objects = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let id = ObjectId(get_u64(buf)?);
+                let class = ClassId(get_u32(buf)?);
+                let scalar_bytes = get_u32(buf)?;
+                let slots_n = get_u16(buf)? as usize;
+                let mut rec = ObjectRecord::new(class, scalar_bytes, slots_n as u16);
+                for i in 0..slots_n {
+                    rec.slots[i] = get_opt_oid(buf)?;
+                }
+                objects.push((id, rec));
+            }
+            Request::Migrate { objects }
+        }
+        8 => {
+            let n = get_u32(buf)? as usize;
+            let mut objects = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                objects.push(ObjectId(get_u64(buf)?));
+            }
+            Request::GcRelease { objects }
+        }
+        9 => Request::Shutdown,
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+fn encode_reply(buf: &mut BytesMut, reply: &Reply) {
+    match reply {
+        Reply::Unit => buf.put_u8(0),
+        Reply::Slot(v) => {
+            buf.put_u8(1);
+            put_opt_oid(buf, *v);
+        }
+        Reply::Class(c) => {
+            buf.put_u8(2);
+            buf.put_u32_le(c.0);
+        }
+    }
+}
+
+fn decode_reply(buf: &mut &[u8]) -> Result<Reply, WireError> {
+    Ok(match get_u8(buf)? {
+        0 => Reply::Unit,
+        1 => Reply::Slot(get_opt_oid(buf)?),
+        2 => Reply::Class(ClassId(get_u32(buf)?)),
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+fn native_tag(kind: NativeKind) -> u8 {
+    match kind {
+        NativeKind::Math => 0,
+        NativeKind::StringOp => 1,
+        NativeKind::Framebuffer => 2,
+        NativeKind::UiToolkit => 3,
+        NativeKind::FileIo => 4,
+        NativeKind::SystemInfo => 5,
+        _ => u8::MAX,
+    }
+}
+
+fn native_from_tag(tag: u8) -> Result<NativeKind, WireError> {
+    Ok(match tag {
+        0 => NativeKind::Math,
+        1 => NativeKind::StringOp,
+        2 => NativeKind::Framebuffer,
+        3 => NativeKind::UiToolkit,
+        4 => NativeKind::FileIo,
+        5 => NativeKind::SystemInfo,
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+fn put_opt_oid(buf: &mut BytesMut, v: Option<ObjectId>) {
+    match v {
+        Some(id) => {
+            buf.put_u8(1);
+            buf.put_u64_le(id.0);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_opt_oid(buf: &mut &[u8]) -> Result<Option<ObjectId>, WireError> {
+    match get_u8(buf)? {
+        0 => Ok(None),
+        1 => Ok(Some(ObjectId(get_u64(buf)?))),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, WireError> {
+    let n = get_u32(buf)? as usize;
+    if buf.remaining() < n {
+        return Err(WireError::Truncated);
+    }
+    let s = String::from_utf8_lossy(&buf[..n]).into_owned();
+    buf.advance(n);
+    Ok(s)
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut &[u8]) -> Result<u16, WireError> {
+    if buf.remaining() < 2 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u16_le())
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
+    if buf.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) {
+        let frame = msg.encode();
+        let back = Message::decode(&frame).expect("decode");
+        assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn invoke_round_trip() {
+        round_trip(Message::Request {
+            seq: 42,
+            body: Request::Invoke {
+                target: ObjectId::surrogate(7),
+                class: ClassId(3),
+                method: MethodId(2),
+                arg_bytes: 100,
+                ret_bytes: 8,
+                args: vec![ObjectId::client(1), ObjectId::client(2)],
+            },
+        });
+    }
+
+    #[test]
+    fn all_request_variants_round_trip() {
+        let mut rec = ObjectRecord::new(ClassId(5), 1000, 3);
+        rec.slots[1] = Some(ObjectId::client(9));
+        let requests = vec![
+            Request::FieldAccess {
+                target: ObjectId::client(1),
+                bytes: 4096,
+                write: true,
+            },
+            Request::GetSlot {
+                target: ObjectId::surrogate(2),
+                slot: 7,
+            },
+            Request::PutSlot {
+                target: ObjectId::client(3),
+                slot: 0,
+                value: None,
+            },
+            Request::PutSlot {
+                target: ObjectId::client(3),
+                slot: 1,
+                value: Some(ObjectId::surrogate(8)),
+            },
+            Request::Native {
+                caller: ClassId(1),
+                kind: NativeKind::Framebuffer,
+                work_micros: 50,
+                arg_bytes: 128,
+                ret_bytes: 0,
+            },
+            Request::StaticAccess {
+                accessor: ClassId(2),
+                class: ClassId(0),
+                bytes: 64,
+                write: false,
+            },
+            Request::ClassOf {
+                target: ObjectId::surrogate(11),
+            },
+            Request::Migrate {
+                objects: vec![(ObjectId::client(4), rec)],
+            },
+            Request::GcRelease {
+                objects: vec![ObjectId::client(5), ObjectId::client(6)],
+            },
+            Request::Shutdown,
+        ];
+        for (i, body) in requests.into_iter().enumerate() {
+            round_trip(Message::Request {
+                seq: i as u64,
+                body,
+            });
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        round_trip(Message::Reply {
+            seq: 1,
+            result: Ok(Reply::Unit),
+        });
+        round_trip(Message::Reply {
+            seq: 2,
+            result: Ok(Reply::Slot(Some(ObjectId::surrogate(3)))),
+        });
+        round_trip(Message::Reply {
+            seq: 3,
+            result: Ok(Reply::Class(ClassId(12))),
+        });
+        round_trip(Message::Reply {
+            seq: 4,
+            result: Err("dangling object reference obj@c9".into()),
+        });
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let msg = Message::Request {
+            seq: 9,
+            body: Request::ClassOf {
+                target: ObjectId::client(1),
+            },
+        };
+        let frame = msg.encode();
+        for cut in 0..frame.len() {
+            let err = Message::decode(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated | WireError::BadTag(_)),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let msg = Message::Reply {
+            seq: 1,
+            result: Ok(Reply::Unit),
+        };
+        let mut frame = msg.encode().to_vec();
+        frame.push(0xFF);
+        assert_eq!(
+            Message::decode(&frame).unwrap_err(),
+            WireError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        assert_eq!(Message::decode(&[7]).unwrap_err(), WireError::BadTag(7));
+    }
+
+    #[test]
+    fn simulated_sizes_reflect_declared_payloads() {
+        let invoke = Message::Request {
+            seq: 0,
+            body: Request::Invoke {
+                target: ObjectId::client(0),
+                class: ClassId(0),
+                method: MethodId(0),
+                arg_bytes: 1_000,
+                ret_bytes: 500,
+                args: vec![ObjectId::client(1)],
+            },
+        };
+        assert_eq!(invoke.simulated_request_bytes(), 32 + 1_000 + 8);
+        if let Message::Request { body, .. } = &invoke {
+            assert_eq!(Message::simulated_reply_bytes(body), 32 + 500);
+        }
+
+        let read = Request::FieldAccess {
+            target: ObjectId::client(0),
+            bytes: 4_096,
+            write: false,
+        };
+        let msg = Message::Request { seq: 0, body: read.clone() };
+        // A read sends no payload out; the data comes back in the reply.
+        assert_eq!(msg.simulated_request_bytes(), 32);
+        assert_eq!(Message::simulated_reply_bytes(&read), 32 + 4_096);
+    }
+
+    #[test]
+    fn migrate_size_counts_object_footprints() {
+        let rec = ObjectRecord::new(ClassId(0), 984, 0); // footprint 1000
+        let msg = Message::Request {
+            seq: 0,
+            body: Request::Migrate {
+                objects: vec![(ObjectId::client(0), rec)],
+            },
+        };
+        assert_eq!(msg.simulated_request_bytes(), 32 + 1_000 + 16);
+    }
+}

@@ -1,0 +1,1128 @@
+//! The virtual machine state and the re-entrant interpreter.
+//!
+//! A [`Vm`] owns a heap, a garbage collector, a frame table, and a virtual
+//! CPU clock. The [`Machine`] drives interpretation of a [`Program`] over a
+//! shared `Arc<Mutex<Vm>>`: every instruction locks the VM briefly, so
+//! worker threads serving remote invocations (the paper's "pool of threads
+//! to perform RPCs on behalf of the other JVM") can interleave with a
+//! mutator blocked on a remote call without deadlocking.
+//!
+//! Remote execution is abstracted behind the [`RemoteAccess`] trait: when
+//! the interpreter touches an object that is not in the local heap, it
+//! forwards the operation through `RemoteAccess` — the distributed platform
+//! implements this with real RPC messages, and a stand-alone VM runs with no
+//! remote at all (any cross-VM touch is then a dangling reference).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{VmError, VmResult};
+use crate::gc::{Collector, GcConfig, GcReport};
+use crate::heap::{Heap, ObjectRecord};
+use crate::hooks::{Interaction, InteractionKind, NullHooks, RuntimeHooks};
+use crate::ids::{ClassId, MethodId, ObjectId, Reg};
+use crate::natives::{native_requires_client, NativeKind};
+use crate::program::{Op, Program};
+
+/// Which role a VM plays in the distributed platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VmKind {
+    /// The resource-constrained client device (owns natives and statics).
+    Client,
+    /// The surrogate server.
+    Surrogate,
+}
+
+/// Virtual CPU cost model, in client-speed microseconds.
+///
+/// The costs are charged to the executing VM's clock, divided by its speed
+/// factor. `monitor_event_micros` models the per-event cost of execution
+/// monitoring (the paper measured an 11% slowdown for JavaNote with
+/// monitoring on).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Overhead per method invocation.
+    pub invoke_micros: f64,
+    /// Overhead per data-field access.
+    pub field_access_micros: f64,
+    /// Overhead per object allocation.
+    pub alloc_micros: f64,
+    /// Base overhead per native invocation (plus the native's own work).
+    pub native_base_micros: f64,
+    /// Overhead per static-data access.
+    pub static_access_micros: f64,
+    /// Extra cost charged per monitoring event when monitoring is enabled.
+    pub monitor_event_micros: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            invoke_micros: 0.5,
+            field_access_micros: 0.2,
+            alloc_micros: 1.0,
+            native_base_micros: 1.0,
+            static_access_micros: 0.2,
+            monitor_event_micros: 0.0,
+        }
+    }
+}
+
+/// Configuration of one VM instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmConfig {
+    /// Role of this VM.
+    pub kind: VmKind,
+    /// Heap capacity in bytes.
+    pub heap_capacity: u64,
+    /// CPU speed relative to the client device (client = 1.0; the paper's
+    /// surrogate is 3.5).
+    pub speed_factor: f64,
+    /// Garbage-collector triggers.
+    pub gc: GcConfig,
+    /// Virtual CPU cost model.
+    pub cost: CostModel,
+    /// When `true`, stateless natives (math, string ops) execute on the
+    /// device where they are invoked — the paper's §5.2 "Native"
+    /// enhancement. When `false`, every native runs on the client.
+    pub stateless_natives_local: bool,
+}
+
+impl VmConfig {
+    /// A client VM with the given heap capacity and defaults otherwise.
+    pub fn client(heap_capacity: u64) -> Self {
+        VmConfig {
+            kind: VmKind::Client,
+            heap_capacity,
+            speed_factor: 1.0,
+            gc: GcConfig::default(),
+            cost: CostModel::default(),
+            stateless_natives_local: false,
+        }
+    }
+
+    /// A surrogate VM with the given heap capacity, running at the paper's
+    /// measured 3.5× client speed.
+    pub fn surrogate(heap_capacity: u64) -> Self {
+        VmConfig {
+            kind: VmKind::Surrogate,
+            heap_capacity,
+            speed_factor: 3.5,
+            gc: GcConfig::default(),
+            cost: CostModel::default(),
+            stateless_natives_local: false,
+        }
+    }
+}
+
+/// An interpreter frame (registers plus receiver), tracked in the VM so the
+/// collector can enumerate live roots across all threads.
+#[derive(Debug, Clone)]
+struct Frame {
+    self_obj: Option<ObjectId>,
+    regs: [Option<ObjectId>; Reg::COUNT],
+}
+
+/// The mutable state of one virtual machine.
+#[derive(Debug)]
+pub struct Vm {
+    config: VmConfig,
+    program: Arc<Program>,
+    heap: Heap,
+    gc: Collector,
+    next_object: u64,
+    next_frame: u64,
+    frames: HashMap<u64, Frame>,
+    external_roots: HashMap<ObjectId, u32>,
+    cpu_seconds: f64,
+    statics_accesses: u64,
+}
+
+impl Vm {
+    /// Creates a VM for `program` with the given configuration.
+    pub fn new(program: Arc<Program>, config: VmConfig) -> Self {
+        Vm {
+            heap: Heap::new(config.heap_capacity),
+            gc: Collector::new(config.gc),
+            config,
+            program,
+            next_object: 0,
+            next_frame: 0,
+            frames: HashMap::new(),
+            external_roots: HashMap::new(),
+            cpu_seconds: 0.0,
+            statics_accesses: 0,
+        }
+    }
+
+    /// The VM's configuration.
+    pub fn config(&self) -> &VmConfig {
+        &self.config
+    }
+
+    /// The program this VM executes.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The VM's heap.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Mutable access to the heap (used by the offloading machinery to
+    /// migrate objects).
+    pub fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+
+    /// The garbage collector.
+    pub fn collector(&self) -> &Collector {
+        &self.gc
+    }
+
+    /// Virtual CPU seconds consumed by this VM so far.
+    pub fn cpu_seconds(&self) -> f64 {
+        self.cpu_seconds
+    }
+
+    /// Number of static-data accesses served by this VM.
+    pub fn statics_accesses(&self) -> u64 {
+        self.statics_accesses
+    }
+
+    /// Advances the virtual CPU clock by `micros` of client-speed work,
+    /// scaled by this VM's speed factor.
+    pub fn charge_micros(&mut self, micros: f64) {
+        self.cpu_seconds += micros / 1e6 / self.config.speed_factor;
+    }
+
+    /// Mints a fresh object id on this VM's side.
+    fn mint_object_id(&mut self) -> ObjectId {
+        let n = self.next_object;
+        self.next_object += 1;
+        match self.config.kind {
+            VmKind::Client => ObjectId::client(n),
+            VmKind::Surrogate => ObjectId::surrogate(n),
+        }
+    }
+
+    /// Pins `id` as an external root (a peer VM holds a reference to it).
+    /// Counts are reference counts: pin twice, unpin twice.
+    pub fn external_root_inc(&mut self, id: ObjectId) {
+        *self.external_roots.entry(id).or_insert(0) += 1;
+    }
+
+    /// Releases one external-root reference to `id`.
+    pub fn external_root_dec(&mut self, id: ObjectId) {
+        if let Some(n) = self.external_roots.get_mut(&id) {
+            *n -= 1;
+            if *n == 0 {
+                self.external_roots.remove(&id);
+            }
+        }
+    }
+
+    /// Number of distinct externally rooted objects.
+    pub fn external_root_count(&self) -> usize {
+        self.external_roots.len()
+    }
+
+    fn push_frame(&mut self, self_obj: Option<ObjectId>, args: &[ObjectId]) -> u64 {
+        let mut regs = [None; Reg::COUNT];
+        for (i, &a) in args.iter().take(Reg::COUNT).enumerate() {
+            regs[i] = Some(a);
+        }
+        let id = self.next_frame;
+        self.next_frame += 1;
+        self.frames.insert(id, Frame { self_obj, regs });
+        id
+    }
+
+    fn pop_frame(&mut self, id: u64) {
+        self.frames.remove(&id);
+    }
+
+    fn roots(&self) -> Vec<ObjectId> {
+        let mut roots: Vec<ObjectId> = Vec::new();
+        for f in self.frames.values() {
+            roots.extend(f.self_obj);
+            roots.extend(f.regs.iter().flatten().copied());
+        }
+        roots
+    }
+
+    /// All object ids currently reachable from mutator roots (frame
+    /// receivers and registers). Used by distributed GC to keep remote
+    /// objects referenced only from registers pinned on the peer.
+    pub fn root_refs(&self) -> Vec<ObjectId> {
+        self.roots()
+    }
+
+    /// Runs a full collection cycle now, returning its report.
+    pub fn collect_now(&mut self) -> GcReport {
+        let roots = self.roots();
+        let externals: Vec<ObjectId> = self.external_roots.keys().copied().collect();
+        self.gc.collect(&mut self.heap, roots, externals)
+    }
+
+    /// `(objects, bytes)` freed per class by the most recent collection.
+    pub fn last_freed_by_class(&self) -> HashMap<ClassId, (u64, u64)> {
+        self.gc.last_freed_by_class().clone()
+    }
+}
+
+/// Access to the peer VM, implemented by the distributed platform's RPC
+/// layer. A stand-alone VM runs without one.
+pub trait RemoteAccess: Send + Sync {
+    /// Invokes `method` on the remote object `target`, passing `args` by
+    /// reference, and blocks until the invocation completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::RemoteFailure`] if the peer is unreachable, plus
+    /// any error the remote execution itself produced.
+    fn invoke(
+        &self,
+        target: ObjectId,
+        class: ClassId,
+        method: MethodId,
+        arg_bytes: u32,
+        ret_bytes: u32,
+        args: &[ObjectId],
+    ) -> VmResult<()>;
+
+    /// Reads or writes `bytes` of scalar data on the remote object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::RemoteFailure`] or the remote-side error.
+    fn field_access(&self, target: ObjectId, bytes: u32, write: bool) -> VmResult<()>;
+
+    /// Reads a reference slot of a remote object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::RemoteFailure`] or the remote-side error.
+    fn get_slot(&self, target: ObjectId, slot: u16) -> VmResult<Option<ObjectId>>;
+
+    /// Writes a reference slot of a remote object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::RemoteFailure`] or the remote-side error.
+    fn put_slot(&self, target: ObjectId, slot: u16, value: Option<ObjectId>) -> VmResult<()>;
+
+    /// Executes a client-bound native on the peer (always the client).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::RemoteFailure`] or the remote-side error.
+    fn native(
+        &self,
+        caller: ClassId,
+        kind: NativeKind,
+        work_micros: u32,
+        arg_bytes: u32,
+        ret_bytes: u32,
+    ) -> VmResult<()>;
+
+    /// Accesses static data of `class` on the client from the surrogate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::RemoteFailure`] or the remote-side error.
+    fn static_access(
+        &self,
+        accessor: ClassId,
+        class: ClassId,
+        bytes: u32,
+        write: bool,
+    ) -> VmResult<()>;
+
+    /// The class of a remote object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::DanglingReference`] if the peer does not hold it.
+    fn class_of(&self, target: ObjectId) -> VmResult<ClassId>;
+}
+
+/// Summary of a completed program run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Virtual CPU seconds consumed on this VM.
+    pub cpu_seconds: f64,
+    /// Completed garbage-collection cycles.
+    pub gc_cycles: u64,
+    /// Objects allocated over the run.
+    pub objects_allocated: u64,
+    /// Live objects at exit.
+    pub objects_live: u64,
+    /// Heap bytes in use at exit.
+    pub heap_used: u64,
+}
+
+/// The interpreter: executes program methods against a shared [`Vm`].
+///
+/// Cloning a `Machine` is cheap; clones share the same VM, hooks, and
+/// remote-access handle, which is how RPC worker threads re-enter the
+/// interpreter to serve peer requests.
+#[derive(Clone)]
+pub struct Machine {
+    vm: Arc<Mutex<Vm>>,
+    hooks: Arc<dyn RuntimeHooks>,
+    remote: Arc<std::sync::OnceLock<Arc<dyn RemoteAccess>>>,
+    max_depth: usize,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("max_depth", &self.max_depth)
+            .field("has_remote", &self.remote.get().is_some())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Default maximum interpreter recursion depth (conservative: each
+    /// interpreted frame consumes several kilobytes of host stack in debug
+    /// builds, and RPC dispatcher threads run with default stack sizes).
+    pub const DEFAULT_MAX_DEPTH: usize = 64;
+
+    /// Creates a machine over a fresh VM with no instrumentation and no
+    /// peer.
+    pub fn new(program: Arc<Program>, config: VmConfig) -> Self {
+        Machine::with_parts(
+            Arc::new(Mutex::new(Vm::new(program, config))),
+            Arc::new(NullHooks),
+            None,
+        )
+    }
+
+    /// Creates a machine over a fresh VM with the given instrumentation.
+    pub fn with_hooks(
+        program: Arc<Program>,
+        config: VmConfig,
+        hooks: Arc<dyn RuntimeHooks>,
+    ) -> Self {
+        Machine::with_parts(Arc::new(Mutex::new(Vm::new(program, config))), hooks, None)
+    }
+
+    /// Creates a machine from explicit parts (shared VM, hooks, peer).
+    pub fn with_parts(
+        vm: Arc<Mutex<Vm>>,
+        hooks: Arc<dyn RuntimeHooks>,
+        remote: Option<Arc<dyn RemoteAccess>>,
+    ) -> Self {
+        let cell = Arc::new(std::sync::OnceLock::new());
+        if let Some(r) = remote {
+            cell.set(r).ok().expect("fresh cell");
+        }
+        Machine {
+            vm,
+            hooks,
+            remote: cell,
+            max_depth: Self::DEFAULT_MAX_DEPTH,
+        }
+    }
+
+    /// Wires the peer connection after construction (the RPC layer needs
+    /// the machine to build its dispatcher, so the dependency is cyclic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a remote was already set.
+    pub fn set_remote(&self, remote: Arc<dyn RemoteAccess>) {
+        self.remote
+            .set(remote)
+            .ok()
+            .expect("machine remote already set");
+    }
+
+    /// The shared VM handle.
+    pub fn vm(&self) -> &Arc<Mutex<Vm>> {
+        &self.vm
+    }
+
+    /// The instrumentation hooks.
+    pub fn hooks(&self) -> &Arc<dyn RuntimeHooks> {
+        &self.hooks
+    }
+
+    /// Replaces the maximum call depth.
+    pub fn set_max_depth(&mut self, depth: usize) {
+        self.max_depth = depth;
+    }
+
+    /// Whether monitoring cost should be charged for hook events.
+    fn monitor_cost(&self) -> f64 {
+        self.vm.lock().config.cost.monitor_event_micros
+    }
+
+    /// Runs the program's entry method to completion on this VM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] raised during execution — notably
+    /// [`VmError::OutOfMemory`] when the heap is exhausted and neither
+    /// collection nor offloading freed enough space.
+    pub fn run_entry(&self) -> VmResult<RunSummary> {
+        let (program, entry) = {
+            let vm = self.vm.lock();
+            (vm.program.clone(), vm.program.entry())
+        };
+        let _ = program; // program captured to keep Arc alive across run
+        let entry_obj = self.alloc_object(
+            entry.class,
+            entry.class,
+            entry.scalar_bytes,
+            entry.ref_slots,
+        )?;
+        self.call_local(Some(entry_obj), entry.class, entry.method, &[], 0)?;
+        let vm = self.vm.lock();
+        Ok(RunSummary {
+            cpu_seconds: vm.cpu_seconds,
+            gc_cycles: vm.gc.cycles(),
+            objects_allocated: vm.heap.stats().total_allocated,
+            objects_live: vm.heap.stats().live_objects,
+            heap_used: vm.heap.stats().used_bytes,
+        })
+    }
+
+    /// Executes `method` of `class` on the local object `target` (used by
+    /// RPC dispatchers serving a peer's invocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::DanglingReference`] if `target` is not local, or
+    /// any execution error.
+    pub fn call_on(
+        &self,
+        target: ObjectId,
+        class: ClassId,
+        method: MethodId,
+        args: &[ObjectId],
+    ) -> VmResult<()> {
+        self.call_local(Some(target), class, method, args, 0)
+    }
+
+    /// Performs a local field access on behalf of a peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::DanglingReference`] if `target` is not local.
+    pub fn field_access_on(&self, target: ObjectId, _bytes: u32, _write: bool) -> VmResult<()> {
+        let mut vm = self.vm.lock();
+        vm.heap.get(target)?;
+        let cost = vm.config.cost.field_access_micros;
+        vm.charge_micros(cost);
+        Ok(())
+    }
+
+    /// Reads a reference slot of a local object on behalf of a peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::DanglingReference`] or [`VmError::SlotOutOfRange`].
+    pub fn get_slot_on(&self, target: ObjectId, slot: u16) -> VmResult<Option<ObjectId>> {
+        let vm = self.vm.lock();
+        let rec = vm.heap.get(target)?;
+        Ok(*slot_ref(rec, target, slot)?)
+    }
+
+    /// Writes a reference slot of a local object on behalf of a peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::DanglingReference`] or [`VmError::SlotOutOfRange`].
+    pub fn put_slot_on(
+        &self,
+        target: ObjectId,
+        slot: u16,
+        value: Option<ObjectId>,
+    ) -> VmResult<()> {
+        let mut vm = self.vm.lock();
+        let rec = vm.heap.get_mut(target)?;
+        let cell = slot_mut(rec, target, slot)?;
+        *cell = value;
+        Ok(())
+    }
+
+    /// Executes a native locally on behalf of a peer (the client serving a
+    /// surrogate's client-bound native call).
+    pub fn native_on(&self, work_micros: u32) {
+        let mut vm = self.vm.lock();
+        let cost = vm.config.cost.native_base_micros + work_micros as f64;
+        vm.charge_micros(cost);
+    }
+
+    /// Serves a static-data access on behalf of a peer.
+    pub fn static_access_on(&self, _class: ClassId, _bytes: u32, _write: bool) {
+        let mut vm = self.vm.lock();
+        let cost = vm.config.cost.static_access_micros;
+        vm.charge_micros(cost);
+        vm.statics_accesses += 1;
+    }
+
+    /// The class of a local object, for peers resolving references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::DanglingReference`] if `target` is not local.
+    pub fn class_of_local(&self, target: ObjectId) -> VmResult<ClassId> {
+        let vm = self.vm.lock();
+        Ok(vm.heap.get(target)?.class)
+    }
+
+    // ---- internal interpretation ------------------------------------------------
+
+    /// Allocates an object, collecting (and reporting) as needed.
+    fn alloc_object(
+        &self,
+        creating_class: ClassId,
+        class: ClassId,
+        scalar_bytes: u32,
+        ref_slots: u16,
+    ) -> VmResult<ObjectId> {
+        // Periodic trigger: give the collector (and through its report, the
+        // offloading controller) a chance to run at this safe point.
+        let periodic = {
+            let mut vm = self.vm.lock();
+            if vm.gc.should_collect() {
+                Some(self.collect_locked(&mut vm))
+            } else {
+                None
+            }
+        };
+        if let Some(report) = periodic {
+            self.emit_gc(&report);
+        }
+
+        // Allocation with OOM -> collect -> (hooks may offload) -> retry.
+        // The retry budget must exceed the trigger policy's consecutive-
+        // report requirement: each failed attempt emits one GC report, and
+        // the offloading controller only reacts once the trigger fires.
+        const MAX_ATTEMPTS: usize = 8;
+        let mut attempts = 0usize;
+        loop {
+            let outcome = {
+                let mut vm = self.vm.lock();
+                if vm.heap.fits(scalar_bytes, ref_slots) {
+                    let id = vm.mint_object_id();
+                    let record = ObjectRecord::new(class, scalar_bytes, ref_slots);
+                    let footprint = record.footprint();
+                    vm.heap
+                        .insert(id, record)
+                        .expect("fits() guaranteed capacity");
+                    vm.gc.note_alloc(footprint);
+                    let cost = vm.config.cost.alloc_micros;
+                    vm.charge_micros(cost);
+                    Ok((id, footprint))
+                } else if attempts < MAX_ATTEMPTS {
+                    Err(Some(self.collect_locked(&mut vm)))
+                } else {
+                    let free = vm.heap.free_bytes();
+                    return Err(VmError::OutOfMemory {
+                        class,
+                        requested: ObjectRecord::footprint_of(scalar_bytes, ref_slots),
+                        free,
+                    });
+                }
+            };
+            match outcome {
+                Ok((id, footprint)) => {
+                    self.hooks.on_alloc(class, id, footprint);
+                    self.charge_monitor_event();
+                    let _ = creating_class;
+                    return Ok(id);
+                }
+                Err(Some(report)) => {
+                    attempts += 1;
+                    // Hooks run without the VM lock: the offloading
+                    // controller may react by migrating objects away.
+                    self.emit_gc(&report);
+                }
+                Err(None) => unreachable!(),
+            }
+        }
+    }
+
+    fn collect_locked(&self, vm: &mut Vm) -> GcReport {
+        vm.collect_now()
+    }
+
+    fn emit_gc(&self, report: &GcReport) {
+        // Report per-class frees to the monitor first so node weights shrink.
+        let freed = {
+            let vm = self.vm.lock();
+            vm.last_freed_by_class()
+        };
+        for (class, (objects, bytes)) in freed {
+            self.hooks.on_free(class, objects, bytes);
+        }
+        // Charge the GC's own virtual cost.
+        {
+            let mut vm = self.vm.lock();
+            vm.charge_micros(report.duration_micros);
+        }
+        self.hooks.on_gc(report);
+        self.charge_monitor_event();
+    }
+
+    fn charge_monitor_event(&self) {
+        let cost = self.monitor_cost();
+        if cost > 0.0 {
+            let mut vm = self.vm.lock();
+            vm.charge_micros(cost);
+        }
+    }
+
+    /// Calls a method on a *local* receiver (or a static method).
+    fn call_local(
+        &self,
+        self_obj: Option<ObjectId>,
+        class: ClassId,
+        method: MethodId,
+        args: &[ObjectId],
+        depth: usize,
+    ) -> VmResult<()> {
+        if depth >= self.max_depth {
+            return Err(VmError::CallDepthExceeded(self.max_depth));
+        }
+        let (program, frame_id) = {
+            let mut vm = self.vm.lock();
+            if let Some(obj) = self_obj {
+                let found = vm.heap.get(obj)?.class;
+                if found != class {
+                    return Err(VmError::ClassMismatch {
+                        expected: class,
+                        found,
+                    });
+                }
+            }
+            (vm.program.clone(), vm.push_frame(self_obj, args))
+        };
+        let mdef = program.method(class, method)?;
+        let result = self.exec_ops(&mdef.body, frame_id, self_obj, class, depth);
+        {
+            let mut vm = self.vm.lock();
+            vm.pop_frame(frame_id);
+        }
+        self.hooks.on_method_exit(class, method);
+        result
+    }
+
+    fn read_reg(&self, frame_id: u64, reg: Reg) -> VmResult<Option<ObjectId>> {
+        if !reg.is_valid() {
+            return Err(VmError::InvalidRegister(reg));
+        }
+        let vm = self.vm.lock();
+        Ok(vm.frames[&frame_id].regs[reg.index()])
+    }
+
+    fn read_reg_obj(&self, frame_id: u64, reg: Reg) -> VmResult<ObjectId> {
+        self.read_reg(frame_id, reg)?.ok_or(VmError::NullRegister(reg))
+    }
+
+    fn write_reg(&self, frame_id: u64, reg: Reg, value: Option<ObjectId>) -> VmResult<()> {
+        if !reg.is_valid() {
+            return Err(VmError::InvalidRegister(reg));
+        }
+        let mut vm = self.vm.lock();
+        vm.frames.get_mut(&frame_id).expect("live frame").regs[reg.index()] = value;
+        Ok(())
+    }
+
+    /// Whether `id` resolves in the local heap.
+    fn is_local(&self, id: ObjectId) -> bool {
+        self.vm.lock().heap.contains(id)
+    }
+
+    fn class_of(&self, id: ObjectId) -> VmResult<ClassId> {
+        {
+            let vm = self.vm.lock();
+            if let Ok(rec) = vm.heap.get(id) {
+                return Ok(rec.class);
+            }
+        }
+        match self.remote.get() {
+            Some(r) => r.class_of(id),
+            None => Err(VmError::DanglingReference(id)),
+        }
+    }
+
+    fn record_interaction(
+        &self,
+        caller: ClassId,
+        callee: ClassId,
+        target: Option<ObjectId>,
+        kind: InteractionKind,
+        bytes: u64,
+        remote: bool,
+    ) {
+        self.hooks.on_interaction(Interaction {
+            caller,
+            callee,
+            target,
+            kind,
+            bytes,
+            remote,
+        });
+        self.charge_monitor_event();
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_ops(
+        &self,
+        ops: &[Op],
+        frame_id: u64,
+        self_obj: Option<ObjectId>,
+        class: ClassId,
+        depth: usize,
+    ) -> VmResult<()> {
+        for op in ops {
+            match op {
+                Op::Work { micros } => {
+                    {
+                        let mut vm = self.vm.lock();
+                        vm.charge_micros(*micros as f64);
+                    }
+                    self.hooks.on_work(class, *micros as f64);
+                    self.charge_monitor_event();
+                }
+                Op::New {
+                    class: new_class,
+                    scalar_bytes,
+                    ref_slots,
+                    dst,
+                } => {
+                    let id = self.alloc_object(class, *new_class, *scalar_bytes, *ref_slots)?;
+                    self.write_reg(frame_id, *dst, Some(id))?;
+                }
+                Op::Call {
+                    obj,
+                    class: callee_class,
+                    method,
+                    arg_bytes,
+                    ret_bytes,
+                    args,
+                } => {
+                    let target = self.read_reg_obj(frame_id, *obj)?;
+                    let mut arg_objs: Vec<ObjectId> = Vec::with_capacity(args.len());
+                    for a in args {
+                        arg_objs.push(self.read_reg_obj(frame_id, *a)?);
+                    }
+                    let bytes = *arg_bytes as u64 + *ret_bytes as u64;
+                    {
+                        let mut vm = self.vm.lock();
+                        let cost = vm.config.cost.invoke_micros;
+                        vm.charge_micros(cost);
+                    }
+                    if self.is_local(target) {
+                        self.record_interaction(
+                            class,
+                            *callee_class,
+                            Some(target),
+                            InteractionKind::Invocation,
+                            bytes,
+                            false,
+                        );
+                        self.call_local(Some(target), *callee_class, *method, &arg_objs, depth + 1)?;
+                    } else {
+                        self.record_interaction(
+                            class,
+                            *callee_class,
+                            Some(target),
+                            InteractionKind::Invocation,
+                            bytes,
+                            true,
+                        );
+                        let remote = self
+                            .remote
+                            .get()
+                            .ok_or(VmError::DanglingReference(target))?;
+                        remote.invoke(
+                            target,
+                            *callee_class,
+                            *method,
+                            *arg_bytes,
+                            *ret_bytes,
+                            &arg_objs,
+                        )?;
+                    }
+                }
+                Op::CallStatic {
+                    class: callee_class,
+                    method,
+                    arg_bytes,
+                    ret_bytes,
+                    args,
+                } => {
+                    let mut arg_objs: Vec<ObjectId> = Vec::with_capacity(args.len());
+                    for a in args {
+                        arg_objs.push(self.read_reg_obj(frame_id, *a)?);
+                    }
+                    let bytes = *arg_bytes as u64 + *ret_bytes as u64;
+                    {
+                        let mut vm = self.vm.lock();
+                        let cost = vm.config.cost.invoke_micros;
+                        vm.charge_micros(cost);
+                    }
+                    // Static methods execute locally on whichever VM invokes
+                    // them (paper §4); only record an interaction when the
+                    // classes differ.
+                    if *callee_class != class {
+                        self.record_interaction(
+                            class,
+                            *callee_class,
+                            None,
+                            InteractionKind::Invocation,
+                            bytes,
+                            false,
+                        );
+                    }
+                    self.call_local(None, *callee_class, *method, &arg_objs, depth + 1)?;
+                }
+                Op::Read { obj, bytes } | Op::Write { obj, bytes } => {
+                    let write = matches!(op, Op::Write { .. });
+                    let target = self.read_reg_obj(frame_id, *obj)?;
+                    let callee = self.class_of(target)?;
+                    if self.is_local(target) {
+                        {
+                            let mut vm = self.vm.lock();
+                            let cost = vm.config.cost.field_access_micros;
+                            vm.charge_micros(cost);
+                        }
+                        if callee != class {
+                            self.record_interaction(
+                                class,
+                                callee,
+                                Some(target),
+                                InteractionKind::FieldAccess,
+                                *bytes as u64,
+                                false,
+                            );
+                        }
+                    } else {
+                        self.record_interaction(
+                            class,
+                            callee,
+                            Some(target),
+                            InteractionKind::FieldAccess,
+                            *bytes as u64,
+                            true,
+                        );
+                        let remote = self
+                            .remote
+                            .get()
+                            .ok_or(VmError::DanglingReference(target))?;
+                        remote.field_access(target, *bytes, write)?;
+                    }
+                }
+                Op::GetSlot { slot, dst } => {
+                    let me = self_obj.ok_or_else(|| {
+                        VmError::InvalidProgram("self slot access in static method".into())
+                    })?;
+                    // The receiver may have been migrated away *while this
+                    // method is executing* (offloading is asynchronous to
+                    // the call stack): redirect like any remote access.
+                    let value = if self.is_local(me) {
+                        let vm = self.vm.lock();
+                        let rec = vm.heap.get(me)?;
+                        *slot_ref(rec, me, *slot)?
+                    } else {
+                        self.record_interaction(
+                            class,
+                            class,
+                            Some(me),
+                            InteractionKind::FieldAccess,
+                            8,
+                            true,
+                        );
+                        let remote = self
+                            .remote
+                            .get()
+                            .ok_or(VmError::DanglingReference(me))?;
+                        remote.get_slot(me, *slot)?
+                    };
+                    self.write_reg(frame_id, *dst, value)?;
+                }
+                Op::PutSlot { slot, src } => {
+                    let me = self_obj.ok_or_else(|| {
+                        VmError::InvalidProgram("self slot access in static method".into())
+                    })?;
+                    let value = self.read_reg(frame_id, *src)?;
+                    if self.is_local(me) {
+                        let mut vm = self.vm.lock();
+                        let rec = vm.heap.get_mut(me)?;
+                        *slot_mut(rec, me, *slot)? = value;
+                    } else {
+                        self.record_interaction(
+                            class,
+                            class,
+                            Some(me),
+                            InteractionKind::FieldAccess,
+                            8,
+                            true,
+                        );
+                        let remote = self
+                            .remote
+                            .get()
+                            .ok_or(VmError::DanglingReference(me))?;
+                        remote.put_slot(me, *slot, value)?;
+                    }
+                }
+                Op::GetSlotOf { obj, slot, dst } => {
+                    let target = self.read_reg_obj(frame_id, *obj)?;
+                    let callee = self.class_of(target)?;
+                    let value = if self.is_local(target) {
+                        let vm = self.vm.lock();
+                        let rec = vm.heap.get(target)?;
+                        *slot_ref(rec, target, *slot)?
+                    } else {
+                        let remote = self
+                            .remote
+                            .get()
+                            .ok_or(VmError::DanglingReference(target))?;
+                        remote.get_slot(target, *slot)?
+                    };
+                    let remote_access = !self.is_local(target);
+                    if callee != class || remote_access {
+                        self.record_interaction(
+                            class,
+                            callee,
+                            Some(target),
+                            InteractionKind::FieldAccess,
+                            8,
+                            remote_access,
+                        );
+                    }
+                    self.write_reg(frame_id, *dst, value)?;
+                }
+                Op::PutSlotOf { obj, slot, src } => {
+                    let target = self.read_reg_obj(frame_id, *obj)?;
+                    let callee = self.class_of(target)?;
+                    let value = self.read_reg(frame_id, *src)?;
+                    let remote_access = !self.is_local(target);
+                    if remote_access {
+                        let remote = self
+                            .remote
+                            .get()
+                            .ok_or(VmError::DanglingReference(target))?;
+                        remote.put_slot(target, *slot, value)?;
+                    } else {
+                        let mut vm = self.vm.lock();
+                        let rec = vm.heap.get_mut(target)?;
+                        *slot_mut(rec, target, *slot)? = value;
+                    }
+                    if callee != class || remote_access {
+                        self.record_interaction(
+                            class,
+                            callee,
+                            Some(target),
+                            InteractionKind::FieldAccess,
+                            8,
+                            remote_access,
+                        );
+                    }
+                }
+                Op::Native {
+                    kind,
+                    work_micros,
+                    arg_bytes,
+                    ret_bytes,
+                } => {
+                    let (my_kind, stateless_local) = {
+                        let vm = self.vm.lock();
+                        (vm.config.kind, vm.config.stateless_natives_local)
+                    };
+                    let bytes = *arg_bytes as u64 + *ret_bytes as u64;
+                    let must_go_to_client = my_kind == VmKind::Surrogate
+                        && native_requires_client(*kind, stateless_local);
+                    if must_go_to_client {
+                        self.hooks
+                            .on_native(class, *kind, *work_micros, bytes, true);
+                        self.charge_monitor_event();
+                        let remote = self.remote.get().ok_or_else(|| {
+                            VmError::RemoteFailure("client-bound native with no peer".into())
+                        })?;
+                        remote.native(class, *kind, *work_micros, *arg_bytes, *ret_bytes)?;
+                    } else {
+                        {
+                            let mut vm = self.vm.lock();
+                            let cost =
+                                vm.config.cost.native_base_micros + *work_micros as f64;
+                            vm.charge_micros(cost);
+                        }
+                        self.hooks
+                            .on_native(class, *kind, *work_micros, bytes, false);
+                        self.charge_monitor_event();
+                    }
+                }
+                Op::GetStatic {
+                    class: target_class,
+                    bytes,
+                }
+                | Op::PutStatic {
+                    class: target_class,
+                    bytes,
+                } => {
+                    let write = matches!(op, Op::PutStatic { .. });
+                    let my_kind = self.vm.lock().config.kind;
+                    if my_kind == VmKind::Surrogate {
+                        // Static data is kept consistent by directing all
+                        // access back to the client VM (paper §3.2).
+                        self.hooks
+                            .on_static_access(class, *target_class, *bytes as u64, true);
+                        self.charge_monitor_event();
+                        let remote = self.remote.get().ok_or_else(|| {
+                            VmError::RemoteFailure("static access with no peer".into())
+                        })?;
+                        remote.static_access(class, *target_class, *bytes, write)?;
+                    } else {
+                        {
+                            let mut vm = self.vm.lock();
+                            let cost = vm.config.cost.static_access_micros;
+                            vm.charge_micros(cost);
+                            vm.statics_accesses += 1;
+                        }
+                        self.hooks
+                            .on_static_access(class, *target_class, *bytes as u64, false);
+                        self.charge_monitor_event();
+                    }
+                }
+                Op::Clear { reg } => {
+                    self.write_reg(frame_id, *reg, None)?;
+                }
+                Op::Repeat { n, body } => {
+                    for _ in 0..*n {
+                        self.exec_ops(body, frame_id, self_obj, class, depth)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn slot_ref(rec: &ObjectRecord, id: ObjectId, slot: u16) -> VmResult<&Option<ObjectId>> {
+    rec.slots.get(slot as usize).ok_or(VmError::SlotOutOfRange {
+        object: id,
+        slot,
+        slots: rec.slots.len() as u16,
+    })
+}
+
+fn slot_mut(rec: &mut ObjectRecord, id: ObjectId, slot: u16) -> VmResult<&mut Option<ObjectId>> {
+    let slots = rec.slots.len() as u16;
+    rec.slots.get_mut(slot as usize).ok_or(VmError::SlotOutOfRange {
+        object: id,
+        slot,
+        slots,
+    })
+}

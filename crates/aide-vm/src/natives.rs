@@ -1,0 +1,134 @@
+//! Native methods and their offloading semantics.
+//!
+//! Java applications ultimately call native methods for certain functions.
+//! Natives cannot be migrated (they are implemented in native code) and, by
+//! default, AIDE directs all native invocations back to the client VM so
+//! applications appear to execute on the client (paper §3.2). The paper's
+//! §5.2 "Native" enhancement observes that many natives are *stateless*
+//! (math functions, string copies) and can safely execute on whichever
+//! device invoked them; this module carries that annotation.
+
+use serde::{Deserialize, Serialize};
+
+/// The kinds of native methods the runtime models, annotated by operation
+/// type as the paper proposes for the standard Java library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum NativeKind {
+    /// Stateless mathematical functions (`Math.sin`, `Math.sqrt`, ...).
+    Math,
+    /// Stateless string operations (copies, comparisons).
+    StringOp,
+    /// Framebuffer / screen drawing — must execute on the client, which
+    /// owns the display.
+    Framebuffer,
+    /// Widget-toolkit operations backed by client-local UI state.
+    UiToolkit,
+    /// File operations; movable in principle "with some work" (paper §5.1)
+    /// but client-bound by default.
+    FileIo,
+    /// Reads of host-specific system state (`System.properties` and
+    /// friends) — client-bound.
+    SystemInfo,
+}
+
+impl NativeKind {
+    /// All modelled native kinds.
+    pub const ALL: [NativeKind; 6] = [
+        NativeKind::Math,
+        NativeKind::StringOp,
+        NativeKind::Framebuffer,
+        NativeKind::UiToolkit,
+        NativeKind::FileIo,
+        NativeKind::SystemInfo,
+    ];
+
+    /// Returns `true` if the native is stateless/idempotent and therefore
+    /// safe to execute on the device where it is invoked, provided the
+    /// implementation has the same interface and behaviour on both devices.
+    #[inline]
+    pub fn is_stateless(self) -> bool {
+        matches!(self, NativeKind::Math | NativeKind::StringOp)
+    }
+
+    /// Returns `true` if the native must always execute on the client
+    /// device (it touches hardware or host state only the client has).
+    #[inline]
+    pub fn is_client_only(self) -> bool {
+        matches!(
+            self,
+            NativeKind::Framebuffer | NativeKind::UiToolkit | NativeKind::SystemInfo
+        )
+    }
+
+    /// A short stable name for traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            NativeKind::Math => "math",
+            NativeKind::StringOp => "string",
+            NativeKind::Framebuffer => "framebuffer",
+            NativeKind::UiToolkit => "ui",
+            NativeKind::FileIo => "file",
+            NativeKind::SystemInfo => "sysinfo",
+        }
+    }
+}
+
+/// Where a native invocation should execute, given the invoking device and
+/// the platform's stateless-native enhancement setting.
+///
+/// Returns `true` when the native must run on the *client* even though the
+/// invoking code is executing on the surrogate (i.e. the invocation becomes
+/// a remote call back to the client).
+pub fn native_requires_client(kind: NativeKind, stateless_run_local: bool) -> bool {
+    if kind.is_stateless() && stateless_run_local {
+        return false;
+    }
+    // Default policy: every native executes on the client (paper §3.2).
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn math_and_string_are_stateless() {
+        assert!(NativeKind::Math.is_stateless());
+        assert!(NativeKind::StringOp.is_stateless());
+        assert!(!NativeKind::Framebuffer.is_stateless());
+        assert!(!NativeKind::FileIo.is_stateless());
+    }
+
+    #[test]
+    fn display_and_host_state_are_client_only() {
+        assert!(NativeKind::Framebuffer.is_client_only());
+        assert!(NativeKind::UiToolkit.is_client_only());
+        assert!(NativeKind::SystemInfo.is_client_only());
+        assert!(!NativeKind::Math.is_client_only());
+        assert!(!NativeKind::FileIo.is_client_only());
+    }
+
+    #[test]
+    fn default_policy_pins_all_natives_to_client() {
+        for kind in NativeKind::ALL {
+            assert!(native_requires_client(kind, false), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn enhancement_releases_only_stateless_natives() {
+        for kind in NativeKind::ALL {
+            let released = !native_requires_client(kind, true);
+            assert_eq!(released, kind.is_stateless(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = NativeKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), NativeKind::ALL.len());
+    }
+}

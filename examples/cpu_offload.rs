@@ -1,0 +1,228 @@
+//! CPU offloading: run a compute-bound "speech recognizer" front-end under
+//! processing constraints and watch the platform move the recognizer to a
+//! 3.5x-faster surrogate — but only when it is actually beneficial.
+//!
+//! Demonstrates the paper's §5.2 pipeline: periodic re-evaluation, the
+//! beneficial-offloading gate, and the stateless-native enhancement.
+//!
+//! ```sh
+//! cargo run --release --example cpu_offload
+//! ```
+
+use std::sync::Arc;
+
+use aide::core::{EvaluationMode, PolicyKind};
+use aide::emu::{record_program, Emulator, EmulatorConfig};
+use aide::vm::{MethodDef, MethodId, NativeKind, Op, Program, ProgramBuilder, Reg};
+
+/// A voice-notes app: a natively implemented microphone/UI layer plus a
+/// recognizer pipeline that leans on stateless math natives (FFTs).
+fn voice_notes(utterances: u32, chatty: bool) -> Arc<Program> {
+    let mut b = ProgramBuilder::new();
+    let main = b.add_class("Main");
+    let mic = b.add_native_class("Microphone");
+    let ui = b.add_native_class("NotesUi");
+    let recognizer = b.add_class("Recognizer");
+    let acoustic = b.add_class("AcousticModel");
+
+    let capture = b.add_method(
+        mic,
+        MethodDef::new(
+            "capture",
+            vec![
+                Op::Work { micros: 20_000 },
+                Op::Native {
+                    kind: NativeKind::UiToolkit,
+                    work_micros: 5_000,
+                    arg_bytes: 4_096,
+                    ret_bytes: 0,
+                },
+            ],
+        ),
+    );
+    let show = b.add_method(
+        ui,
+        MethodDef::new(
+            "show",
+            vec![Op::Native {
+                kind: NativeKind::Framebuffer,
+                work_micros: 3_000,
+                arg_bytes: 256,
+                ret_bytes: 0,
+            }],
+        ),
+    );
+    let score = b.add_method(
+        acoustic,
+        MethodDef::new(
+            "score",
+            vec![
+                Op::Work { micros: 60_000 },
+                // FFT kernels: stateless math natives.
+                Op::Repeat {
+                    n: 40,
+                    body: vec![Op::Native {
+                        kind: NativeKind::Math,
+                        work_micros: 200,
+                        arg_bytes: 16,
+                        ret_bytes: 8,
+                    }],
+                },
+            ],
+        ),
+    );
+    let mut rec_body = vec![
+        Op::Work { micros: 120_000 },
+        // Arguments arrive in the callee's lowest registers: r0 = acoustic
+        // model, r1 = UI handle.
+        Op::Call {
+            obj: Reg(0),
+            class: acoustic,
+            method: score,
+            arg_bytes: 64,
+            ret_bytes: 32,
+            args: vec![],
+        },
+    ];
+    if chatty {
+        // A chatty variant: per-frame UI callbacks with fat payloads make
+        // offloading unprofitable — the gate must refuse.
+        rec_body.push(Op::Repeat {
+            n: 100,
+            body: vec![Op::Call {
+                obj: Reg(1),
+                class: ui,
+                method: show,
+                arg_bytes: 2_048,
+                ret_bytes: 2_048,
+                args: vec![],
+            }],
+        });
+    }
+    let recognize = b.add_method(recognizer, MethodDef::new("recognize", rec_body));
+
+    b.add_method(
+        main,
+        MethodDef::new(
+            "main",
+            vec![
+                Op::New {
+                    class: mic,
+                    scalar_bytes: 1_000,
+                    ref_slots: 0,
+                    dst: Reg(0),
+                },
+                Op::New {
+                    class: acoustic,
+                    scalar_bytes: 200_000,
+                    ref_slots: 0,
+                    dst: Reg(1),
+                },
+                Op::New {
+                    class: ui,
+                    scalar_bytes: 2_000,
+                    ref_slots: 0,
+                    dst: Reg(2),
+                },
+                Op::New {
+                    class: recognizer,
+                    scalar_bytes: 50_000,
+                    ref_slots: 0,
+                    dst: Reg(3),
+                },
+                Op::Repeat {
+                    n: utterances,
+                    body: vec![
+                        Op::Call {
+                            obj: Reg(0),
+                            class: mic,
+                            method: capture,
+                            arg_bytes: 16,
+                            ret_bytes: 4_096,
+                            args: vec![],
+                        },
+                        Op::Call {
+                            obj: Reg(3),
+                            class: recognizer,
+                            method: recognize,
+                            arg_bytes: 4_096,
+                            ret_bytes: 128,
+                            args: vec![Reg(1), Reg(2)],
+                        },
+                        Op::Call {
+                            obj: Reg(2),
+                            class: ui,
+                            method: show,
+                            arg_bytes: 128,
+                            ret_bytes: 0,
+                            args: vec![],
+                        },
+                    ],
+                },
+            ],
+        ),
+    );
+    Arc::new(b.build(main, MethodId(0), 64, 8).expect("valid program"))
+}
+
+fn main() {
+    let cfg = |natives: bool| {
+        let mut cfg = EmulatorConfig::paper_cpu(16 << 20, 2_000_000.0);
+        cfg.policy = PolicyKind::Cpu { margin: 0.0 };
+        cfg.evaluation = EvaluationMode::Periodic {
+            every_micros: 2_000_000.0,
+        };
+        cfg.stateless_natives_local = natives;
+        cfg
+    };
+
+    println!("-- compute-bound recognizer (low UI interaction) --");
+    let trace = record_program("voice-notes", voice_notes(400, false), 64 << 20)
+        .expect("recording succeeds");
+    let plain = Emulator::new(cfg(false)).replay(&trace);
+    let enhanced = Emulator::new(cfg(true)).replay(&trace);
+    println!(
+        "client only:          {:.1}s",
+        plain.baseline_seconds
+    );
+    println!(
+        "offloaded:            {:.1}s ({:+.1}%), {} math natives bounced home",
+        plain.total_seconds(),
+        plain.overhead_fraction() * 100.0,
+        plain.remote.remote_native_calls
+    );
+    println!(
+        "offloaded + natives:  {:.1}s ({:+.1}%), {} bounces",
+        enhanced.total_seconds(),
+        enhanced.overhead_fraction() * 100.0,
+        enhanced.remote.remote_native_calls
+    );
+    assert!(enhanced.total_seconds() < plain.total_seconds());
+
+    println!("\n-- chatty recognizer (per-frame UI callbacks) --");
+    let trace = record_program("voice-notes-chatty", voice_notes(400, true), 64 << 20)
+        .expect("recording succeeds");
+    let report = Emulator::new(cfg(true)).replay(&trace);
+    match report.offloads.first() {
+        Some(o) => {
+            // The gate did not refuse outright — it found a *partial*
+            // offload: the chatty Recognizer stays home, only the quiet
+            // AcousticModel leaves. The result must still be beneficial.
+            println!(
+                "partial offload: {} graph nodes moved, {:.1}s vs {:.1}s local ({:+.1}%)",
+                o.nodes_offloaded,
+                report.total_seconds(),
+                report.baseline_seconds,
+                report.overhead_fraction() * 100.0
+            );
+            assert!(
+                report.total_seconds() < report.baseline_seconds,
+                "the gate only accepts beneficial partitionings"
+            );
+        }
+        None => println!(
+            "the beneficial-offloading gate refused: staying local at {:.1}s",
+            report.total_seconds()
+        ),
+    }
+}

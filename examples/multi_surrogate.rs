@@ -1,0 +1,88 @@
+//! Multi-surrogate offloading: when the nearest surrogate cannot absorb
+//! everything, the platform spills to the next one (paper §2: "If the
+//! necessary resources for a client are not available at the closest
+//! surrogate, multiple surrogates could be used by the client").
+//!
+//! ```sh
+//! cargo run --release --example multi_surrogate
+//! ```
+
+use aide::apps::{javanote, Scale};
+use aide::core::TriggerConfig;
+use aide::emu::{record_program, MultiSurrogateConfig, MultiSurrogateEmulator, SurrogateSpec};
+use aide::graph::CommParams;
+
+fn main() {
+    // Record a mid-size JavaNote session.
+    let app = javanote(Scale(0.5));
+    let trace = record_program(app.name, app.program, 64 << 20).expect("recording succeeds");
+    println!(
+        "recorded {}: {} events, {:.1}s of work\n",
+        trace.app,
+        trace.len(),
+        trace.total_work_seconds()
+    );
+
+    // A room full of devices: a nearby meeting-room server with a small
+    // guest allowance, a slower desktop further away, and a big machine
+    // down the hall.
+    let fleet = vec![
+        SurrogateSpec {
+            name: "meeting-room-server".into(),
+            speed: 3.5,
+            comm: CommParams::new(11.0e6, 2.4e-3), // the paper's WaveLAN
+            heap: 1 << 20,                         // ...but only 1 MB for guests
+        },
+        SurrogateSpec {
+            name: "colleague-desktop".into(),
+            speed: 2.0,
+            comm: CommParams::new(11.0e6, 4.0e-3),
+            heap: 2 << 20,
+        },
+        SurrogateSpec {
+            name: "hallway-workstation".into(),
+            speed: 5.0,
+            comm: CommParams::new(11.0e6, 8.0e-3),
+            heap: 64 << 20,
+        },
+    ];
+
+    let report = MultiSurrogateEmulator::new(MultiSurrogateConfig {
+        client_heap: 2 << 20, // a 2 MB PDA heap for a ~3.5 MB document
+        surrogates: fleet,
+        trigger: TriggerConfig::default(),
+        min_free_fraction: 0.20,
+        handoff: None,
+    })
+    .replay(&trace);
+
+    assert!(report.completed, "the fleet absorbs the document");
+    println!(
+        "completed in {:.1}s (client-only baseline {:.1}s)",
+        report.total_seconds(),
+        report.baseline_seconds
+    );
+    println!(
+        "client CPU {:.1}s, offload transfers {:.2}s\n",
+        report.client_cpu_seconds, report.transfer_seconds
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>8}",
+        "surrogate", "cpu", "comm", "hosted", "classes"
+    );
+    for s in &report.surrogates {
+        println!(
+            "{:<22} {:>9.2}s {:>9.2}s {:>10}KB {:>8}",
+            s.name,
+            s.cpu_seconds,
+            s.comm_seconds,
+            s.bytes_hosted / 1024,
+            s.classes_hosted
+        );
+    }
+    println!(
+        "\n{} of {} surrogates ended up hosting client data",
+        report.surrogates_used(),
+        report.surrogates.len()
+    );
+}

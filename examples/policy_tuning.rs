@@ -1,0 +1,76 @@
+//! Policy tuning: record one execution of an application, then replay the
+//! trace under the paper's full policy grid to find the best triggering
+//! and partitioning parameters — the record-once / replay-many workflow
+//! the emulator exists for (paper §4, Figure 7).
+//!
+//! ```sh
+//! cargo run --release --example policy_tuning
+//! ```
+
+use aide::apps::{dia, Scale};
+use aide::emu::{
+    best_point, record_program, sweep_memory_policies, Emulator, EmulatorConfig, PolicyGrid,
+};
+
+fn main() {
+    // Record Dia once on an unconstrained "PC".
+    let app = dia(Scale(0.35));
+    let trace = record_program(app.name, app.program, 64 << 20).expect("recording succeeds");
+    println!(
+        "recorded {}: {} events, {} interactions, {:.1}s of work",
+        trace.app,
+        trace.len(),
+        trace.interaction_count(),
+        trace.total_work_seconds()
+    );
+
+    // Serialize/deserialize: traces are plain JSON, so they can be stored
+    // and replayed later (or on another machine).
+    let json = trace.to_json().expect("serializes");
+    let trace = aide::emu::Trace::from_json(&json).expect("deserializes");
+    println!("trace serialized to {} KB of JSON", json.len() / 1024);
+
+    // Replay under the initial policy at a constrained heap.
+    let heap = 2 << 20;
+    let initial = Emulator::new(EmulatorConfig::paper_memory(heap)).replay(&trace);
+    println!(
+        "\ninitial policy (5% trigger, x3, free>=20%): {:.1}s total, {:.1}% overhead",
+        initial.total_seconds(),
+        initial.overhead_fraction() * 100.0
+    );
+
+    // Sweep the full grid.
+    let grid = PolicyGrid::default();
+    let points = sweep_memory_policies(&trace, EmulatorConfig::paper_memory(heap), &grid);
+    let completed = points.iter().filter(|p| p.report.completed).count();
+    println!(
+        "swept {} policy combinations ({} completed)",
+        points.len(),
+        completed
+    );
+
+    let best = best_point(&points).expect("some policy completes");
+    println!(
+        "best policy: {} -> {:.1}s total, {:.1}% overhead",
+        best.params,
+        best.report.total_seconds(),
+        best.report.overhead_fraction() * 100.0
+    );
+
+    // Show the spread: the paper's lesson is that policy choice matters
+    // and the best parameters are application-specific.
+    let mut overheads: Vec<(f64, String)> = points
+        .iter()
+        .filter(|p| p.report.completed && p.report.offloaded())
+        .map(|p| (p.report.overhead_fraction(), p.params.to_string()))
+        .collect();
+    overheads.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    println!("\noverhead distribution across the grid:");
+    for (oh, params) in overheads.iter().take(3) {
+        println!("  {:>6.1}%  {params}", oh * 100.0);
+    }
+    println!("   ...");
+    for (oh, params) in overheads.iter().rev().take(3).rev() {
+        println!("  {:>6.1}%  {params}", oh * 100.0);
+    }
+}

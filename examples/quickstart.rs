@@ -1,0 +1,149 @@
+//! Quickstart: build a tiny application, run it on the AIDE distributed
+//! platform, and watch it get rescued from an out-of-memory death by
+//! transparent offloading.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use aide::core::{Platform, PlatformConfig};
+use aide::vm::{MethodDef, MethodId, NativeKind, Op, Program, ProgramBuilder, Reg, VmError};
+
+/// A miniature "photo viewer": a natively implemented screen (pinned to
+/// the client) plus a gallery that loads large image buffers.
+fn photo_viewer(images: u32, image_bytes: u32) -> Arc<Program> {
+    let mut b = ProgramBuilder::new();
+    let main = b.add_class("Main");
+    let screen = b.add_native_class("Screen"); // framebuffer: stays on-device
+    let gallery = b.add_class("Gallery");
+    let image = b.add_array_class("ImageBuffer");
+
+    let blit = b.add_method(
+        screen,
+        MethodDef::new(
+            "blit",
+            vec![
+                Op::Read {
+                    obj: Reg(0),
+                    bytes: 1_024, // thumbnail row
+                },
+                Op::Native {
+                    kind: NativeKind::Framebuffer,
+                    work_micros: 500,
+                    arg_bytes: 1_024,
+                    ret_bytes: 0,
+                },
+            ],
+        ),
+    );
+    // Gallery::load — decode an image into memory and keep it.
+    let mut load = Vec::new();
+    for i in 0..images {
+        load.push(Op::New {
+            class: image,
+            scalar_bytes: image_bytes,
+            ref_slots: 0,
+            dst: Reg(1),
+        });
+        load.push(Op::PutSlot {
+            slot: i as u16,
+            src: Reg(1),
+        });
+        load.push(Op::Work { micros: 300 });
+    }
+    let load = b.add_method(gallery, MethodDef::new("load", load));
+
+    b.add_method(
+        main,
+        MethodDef::new(
+            "main",
+            vec![
+                Op::New {
+                    class: screen,
+                    scalar_bytes: 2_000,
+                    ref_slots: 0,
+                    dst: Reg(0),
+                },
+                Op::PutSlot { slot: 0, src: Reg(0) },
+                Op::New {
+                    class: gallery,
+                    scalar_bytes: 500,
+                    ref_slots: images as u16,
+                    dst: Reg(1),
+                },
+                Op::PutSlot { slot: 1, src: Reg(1) },
+                Op::Call {
+                    obj: Reg(1),
+                    class: gallery,
+                    method: load,
+                    arg_bytes: 16,
+                    ret_bytes: 0,
+                    args: vec![],
+                },
+                // Browse: blit thumbnails from the first image.
+                Op::Repeat {
+                    n: 50,
+                    body: vec![
+                        Op::GetSlot { slot: 0, dst: Reg(2) },
+                        Op::GetSlotOf {
+                            obj: Reg(1),
+                            slot: 0,
+                            dst: Reg(3),
+                        },
+                        Op::Call {
+                            obj: Reg(2),
+                            class: screen,
+                            method: blit,
+                            arg_bytes: 8,
+                            ret_bytes: 0,
+                            args: vec![Reg(3)],
+                        },
+                    ],
+                },
+            ],
+        ),
+    );
+    Arc::new(b.build(main, MethodId(0), 64, 4).expect("valid program"))
+}
+
+fn main() {
+    // 60 images x 20 KB ≈ 1.2 MB of gallery in a 640 KB device heap.
+    let program = photo_viewer(60, 20_000);
+
+    println!("1) running on the device alone (no platform) ...");
+    let mut plain = PlatformConfig::prototype(640 << 10);
+    plain.monitoring = false;
+    let report = Platform::new(program.clone(), plain).run();
+    match report.outcome {
+        Err(VmError::OutOfMemory { .. }) => println!("   -> out of memory, as expected\n"),
+        other => panic!("expected an OOM failure, got {other:?}"),
+    }
+
+    println!("2) running on the AIDE distributed platform ...");
+    let report = Platform::new(program, PlatformConfig::prototype(640 << 10)).run();
+    report
+        .outcome
+        .as_ref()
+        .expect("the platform rescues the application");
+    let offload = &report.offloads[0];
+    println!("   -> completed!");
+    println!(
+        "   offloaded {} objects ({} KB) to the surrogate in {:?}",
+        offload.outcome.objects_moved,
+        offload.outcome.bytes_moved / 1024,
+        offload.partition_elapsed
+    );
+    println!(
+        "   total time {:.3}s = client {:.3}s + surrogate {:.3}s + network {:.3}s",
+        report.total_seconds(),
+        report.client_cpu_seconds,
+        report.surrogate_cpu_seconds,
+        report.comm_seconds
+    );
+    println!(
+        "   {} RPC requests served by the surrogate, {} remote interactions",
+        report.surrogate_requests_served, report.remote_stats.remote_interactions
+    );
+}

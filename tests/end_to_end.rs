@@ -1,0 +1,197 @@
+//! Cross-crate integration tests: the application models, the prototype
+//! platform, and the trace-driven emulator working together at reduced
+//! scale (fast enough for debug-mode CI).
+
+use aide::apps::{all_apps, biomer, biomer_cpu, dia, javanote, tracer, voxel, Scale};
+use aide::core::{Platform, PlatformConfig};
+use aide::emu::{record_program, Emulator, EmulatorConfig};
+use aide::vm::VmError;
+
+const TEST_SCALE: Scale = Scale(0.05);
+
+#[test]
+fn all_five_apps_build_and_record() {
+    for app in all_apps(TEST_SCALE) {
+        let trace = record_program(app.name, app.program.clone(), 64 << 20)
+            .unwrap_or_else(|e| panic!("{} failed to record: {e}", app.name));
+        assert!(!trace.is_empty(), "{} produced no events", app.name);
+        assert!(
+            trace.total_work_seconds() > 0.0,
+            "{} produced no work",
+            app.name
+        );
+        assert!(trace.interaction_count() > 0);
+        assert_eq!(trace.classes.len(), app.program.class_count());
+    }
+}
+
+#[test]
+fn javanote_has_the_table2_class_structure() {
+    // Class count is scale-independent: 138 classes at every scale.
+    let app = javanote(TEST_SCALE);
+    assert_eq!(app.program.class_count(), 138);
+    // The editor widget layer is natively implemented (client-pinned).
+    for name in ["Editor", "MenuSystem", "StatusBar", "ScrollView", "FontMetrics"] {
+        let id = app.program.class_by_name(name).expect(name);
+        assert!(app.program.class(id).unwrap().native_impl, "{name} pinned");
+    }
+    // The text model is offloadable.
+    for name in ["Document", "TextBuffer", "Paragraph", "CharArray"] {
+        let id = app.program.class_by_name(name).expect(name);
+        assert!(!app.program.class(id).unwrap().native_impl, "{name} free");
+    }
+    // The character arrays are primitive arrays (array enhancement).
+    let chars = app.program.class_by_name("CharArray").unwrap();
+    assert!(app.program.class(chars).unwrap().is_primitive_array);
+}
+
+#[test]
+fn scaled_javanote_oom_and_rescue_on_the_prototype() {
+    // 5% scale: 17 paragraphs x 20 KB ≈ 340 KB of document in 320 KB.
+    let heap = 320 << 10;
+    let mut plain = PlatformConfig::prototype(heap);
+    plain.monitoring = false;
+    let report = Platform::new(javanote(TEST_SCALE).program, plain).run();
+    assert!(
+        matches!(report.outcome, Err(VmError::OutOfMemory { .. })),
+        "without the platform the scaled JavaNote must die, got {:?}",
+        report.outcome
+    );
+
+    let report = Platform::new(javanote(TEST_SCALE).program, PlatformConfig::prototype(heap)).run();
+    assert!(report.outcome.is_ok(), "{:?}", report.outcome);
+    assert!(report.offloaded());
+    let event = &report.offloads[0];
+    // Pinned widgets stay home in the selected partitioning.
+    let editor = event.graph.node_by_label("Editor").expect("editor node");
+    assert!(event.partitioning.is_client(editor));
+    assert!(report.surrogate_requests_served > 0, "real RPC traffic");
+}
+
+#[test]
+fn prototype_and_emulator_agree_on_the_oom_verdict() {
+    // The emulator's live-byte accounting and the prototype's real heap
+    // must agree about whether a configuration is viable.
+    let heap = 320 << 10;
+    let app = javanote(TEST_SCALE);
+    let trace = record_program(app.name, app.program.clone(), 64 << 20).unwrap();
+
+    let mut emu_cfg = EmulatorConfig::paper_memory(heap);
+    emu_cfg.max_offloads = 0;
+    let emu_report = Emulator::new(emu_cfg).replay(&trace);
+    assert!(!emu_report.completed, "emulator predicts OOM");
+
+    let emu_report = Emulator::new(EmulatorConfig::paper_memory(heap)).replay(&trace);
+    assert!(emu_report.completed, "emulator predicts rescue");
+    assert!(emu_report.offloaded());
+}
+
+#[test]
+fn memory_apps_offload_under_the_paper_policy_at_scale() {
+    for app in [javanote(TEST_SCALE), dia(TEST_SCALE), biomer(TEST_SCALE)] {
+        let trace = record_program(app.name, app.program.clone(), 64 << 20).unwrap();
+        // Scale the heap with the workload: 5% of 6 MB.
+        let heap = (6 << 20) / 18;
+        let report = Emulator::new(EmulatorConfig::paper_memory(heap)).replay(&trace);
+        assert!(report.completed, "{} must complete", app.name);
+        if report.offloaded() {
+            assert!(
+                report.overhead_fraction() >= 0.0,
+                "{} overhead is a cost",
+                app.name
+            );
+            assert!(report.comm_seconds > 0.0);
+        }
+    }
+}
+
+#[test]
+fn cpu_apps_respect_the_beneficial_gate_at_scale() {
+    let eval = 2_000_000.0;
+    // Voxel and Tracer offload; their enhanced configs beat the initial.
+    for app in [voxel(TEST_SCALE), tracer(TEST_SCALE)] {
+        let trace = record_program(app.name, app.program.clone(), 64 << 20).unwrap();
+        let initial = Emulator::new(EmulatorConfig::paper_cpu(16 << 20, eval)).replay(&trace);
+        let mut cfg = EmulatorConfig::paper_cpu(16 << 20, eval);
+        cfg.stateless_natives_local = true;
+        cfg.array_object_granularity = true;
+        let combined = Emulator::new(cfg).replay(&trace);
+        assert!(initial.completed && combined.completed);
+        if initial.offloaded() && combined.offloaded() {
+            assert!(
+                combined.total_seconds() <= initial.total_seconds() + 1e-9,
+                "{}: enhancements must not hurt ({} vs {})",
+                app.name,
+                combined.total_seconds(),
+                initial.total_seconds()
+            );
+            assert!(
+                combined.remote.remote_native_calls <= initial.remote.remote_native_calls,
+                "{}: stateless natives stop bouncing",
+                app.name
+            );
+        }
+    }
+    // Biomer's coupling must make the gate careful: if it offloads at all,
+    // the predicted-beneficial outcome must not be a catastrophe.
+    let app = biomer_cpu(TEST_SCALE);
+    let trace = record_program(app.name, app.program.clone(), 64 << 20).unwrap();
+    let mut cfg = EmulatorConfig::paper_cpu(16 << 20, eval);
+    cfg.stateless_natives_local = true;
+    cfg.array_object_granularity = true;
+    let report = Emulator::new(cfg).replay(&trace);
+    assert!(report.completed);
+}
+
+#[test]
+fn trace_files_round_trip_through_disk() {
+    let app = dia(TEST_SCALE);
+    let trace = record_program(app.name, app.program, 64 << 20).unwrap();
+    let dir = std::env::temp_dir().join("aide-test-traces");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("dia.json");
+    std::fs::write(&path, trace.to_json().unwrap()).unwrap();
+    let loaded = aide::emu::Trace::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(trace, loaded);
+
+    // A replay of the loaded trace is byte-identical in outcome.
+    let a = Emulator::new(EmulatorConfig::paper_memory(1 << 20)).replay(&trace);
+    let b = Emulator::new(EmulatorConfig::paper_memory(1 << 20)).replay(&loaded);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.total_seconds(), b.total_seconds());
+    assert_eq!(a.remote, b.remote);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn replays_are_deterministic() {
+    let app = voxel(TEST_SCALE);
+    let trace = record_program(app.name, app.program.clone(), 64 << 20).unwrap();
+    let cfg = EmulatorConfig::paper_cpu(16 << 20, 2_000_000.0);
+    let a = Emulator::new(cfg.clone()).replay(&trace);
+    let b = Emulator::new(cfg).replay(&trace);
+    assert_eq!(a.total_seconds(), b.total_seconds());
+    assert_eq!(a.offloads.len(), b.offloads.len());
+
+    // Recording is deterministic too: two recordings of the same app are
+    // identical event-for-event.
+    let trace2 = record_program(app.name, app.program, 64 << 20).unwrap();
+    assert_eq!(trace, trace2);
+}
+
+#[test]
+fn monitoring_overhead_is_visible_but_bounded() {
+    let app = javanote(TEST_SCALE);
+    let mut off = PlatformConfig::prototype(64 << 20);
+    off.monitoring = false;
+    let t_off = Platform::new(app.program.clone(), off).run();
+
+    let mut on = PlatformConfig::prototype(64 << 20);
+    on.max_offloads = 0;
+    on.monitor_event_micros = 16.5;
+    let t_on = Platform::new(app.program, on).run();
+
+    let (a, b) = (t_off.total_seconds(), t_on.total_seconds());
+    assert!(b > a, "monitoring must cost something");
+    assert!(b / a < 1.35, "but not more than ~35% ({})", b / a);
+}

@@ -1,0 +1,140 @@
+//! Tests of the paper's §8 future-work extensions: dynamic policy
+//! selection, global placement (return migration), and multi-surrogate
+//! offloading.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use aide::apps::{biomer, javanote, Scale};
+use aide::core::{Monitor, PolicySelector, TriggerConfig, WorkloadProfile};
+use aide::emu::{record_program, MultiSurrogateConfig, MultiSurrogateEmulator, SurrogateSpec,
+    TraceEvent};
+use aide::graph::{CommParams, ResourceSnapshot};
+use aide::vm::{Interaction, InteractionKind, RuntimeHooks};
+
+const TEST_SCALE: Scale = Scale(0.05);
+
+/// Replays a recorded trace into a fresh monitor (no placement) and
+/// returns it for graph inspection.
+fn monitor_for(app: aide::apps::App) -> Monitor {
+    let trace = record_program(app.name, app.program, 64 << 20).unwrap();
+    let program = Arc::new(trace.skeleton_program().unwrap());
+    let monitor = Monitor::new(program, TriggerConfig::default(), HashSet::new());
+    for event in &trace.events {
+        match event {
+            TraceEvent::Interaction {
+                caller,
+                callee,
+                target,
+                invocation,
+                bytes,
+            } => monitor.on_interaction(Interaction {
+                caller: *caller,
+                callee: *callee,
+                target: *target,
+                kind: if *invocation {
+                    InteractionKind::Invocation
+                } else {
+                    InteractionKind::FieldAccess
+                },
+                bytes: *bytes,
+                remote: false,
+            }),
+            TraceEvent::Alloc {
+                class,
+                object,
+                bytes,
+            } => monitor.on_alloc(*class, *object, *bytes),
+            TraceEvent::Free {
+                class,
+                objects,
+                bytes,
+            } => monitor.on_free(*class, *objects, *bytes),
+            TraceEvent::Work { class, micros } => monitor.on_work(*class, *micros),
+            _ => {}
+        }
+    }
+    monitor
+}
+
+#[test]
+fn selector_recognizes_javanote_as_cold_bulk() {
+    let monitor = monitor_for(javanote(TEST_SCALE));
+    let (graph, _) = monitor.snapshot();
+    let rec = PolicySelector::new().recommend(&graph, ResourceSnapshot::new(6 << 20, 3 << 20));
+    assert_eq!(
+        rec.profile,
+        WorkloadProfile::ColdBulkData,
+        "JavaNote's memory is concentrated in cold character arrays"
+    );
+    // The recommendation matches the paper's Figure 7 best for JavaNote.
+    assert!((rec.trigger.low_free_fraction - 0.05).abs() < 1e-9);
+    assert_eq!(rec.trigger.consecutive_reports, 3);
+}
+
+#[test]
+fn selector_recognizes_biomer_as_hot() {
+    let monitor = monitor_for(biomer(TEST_SCALE));
+    let (graph, _) = monitor.snapshot();
+    let rec = PolicySelector::new().recommend(&graph, ResourceSnapshot::new(6 << 20, 3 << 20));
+    assert_eq!(
+        rec.profile,
+        WorkloadProfile::HotDiffuseData,
+        "Biomer's model chatter makes its memory hot"
+    );
+    assert_eq!(rec.trigger.consecutive_reports, 1);
+}
+
+#[test]
+fn multi_surrogate_fleet_rescues_a_spilling_workload() {
+    let app = javanote(Scale(0.2));
+    let trace = record_program(app.name, app.program, 64 << 20).unwrap();
+    // Two surrogates, neither large enough alone would be fine too — here
+    // the near one is deliberately tiny so the spill is exercised.
+    let report = MultiSurrogateEmulator::new(MultiSurrogateConfig {
+        client_heap: 700 << 10,
+        surrogates: vec![
+            SurrogateSpec {
+                name: "near-small".into(),
+                speed: 3.5,
+                comm: CommParams::new(11.0e6, 2.4e-3),
+                heap: 300 << 10,
+            },
+            SurrogateSpec {
+                name: "far-big".into(),
+                speed: 3.5,
+                comm: CommParams::new(11.0e6, 6.0e-3),
+                heap: 64 << 20,
+            },
+        ],
+        trigger: TriggerConfig::default(),
+        min_free_fraction: 0.20,
+        handoff: None,
+    })
+    .replay(&trace);
+    assert!(report.completed);
+    assert!(report.surrogates_used() >= 1);
+    // The near surrogate never exceeds its allowance.
+    assert!(report.surrogates[0].bytes_hosted <= 300 << 10);
+}
+
+#[test]
+fn multi_report_serializes() {
+    let app = javanote(TEST_SCALE);
+    let trace = record_program(app.name, app.program, 64 << 20).unwrap();
+    let report = MultiSurrogateEmulator::new(MultiSurrogateConfig {
+        client_heap: 64 << 20,
+        surrogates: vec![SurrogateSpec {
+            name: "s0".into(),
+            speed: 3.5,
+            comm: CommParams::WAVELAN,
+            heap: 8 << 20,
+        }],
+        trigger: TriggerConfig::default(),
+        min_free_fraction: 0.2,
+        handoff: None,
+    })
+    .replay(&trace);
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.contains("\"completed\":true"));
+}
