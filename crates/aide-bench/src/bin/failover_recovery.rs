@@ -1,0 +1,91 @@
+//! Failover recovery cost: what does losing the surrogate mid-run cost,
+//! as a function of how much state it was holding?
+//!
+//! The paper defers surrogate-failure recovery to future work (§8); this
+//! harness quantifies the recovery path added by the reproduction. For
+//! each workload scale, a JavaNote trace is replayed three ways under the
+//! paper's 6 MB memory configuration: clean (no failure), a failure
+//! halfway through with a standby surrogate (reinstate + re-offload), and
+//! the same failure with no standby (degraded, usually fatal for
+//! JavaNote-class memory demands).
+//!
+//! ```sh
+//! AIDE_SCALE=0.25 cargo run --release --bin failover_recovery
+//! ```
+
+use aide_apps::javanote;
+use aide_bench::{header, record_app, row, s, PAPER_HEAP};
+use aide_emu::{Emulator, EmulatorConfig, EmulatorReport, FailureSchedule, Trace};
+
+fn replay_with(trace: &Trace, failure: Option<FailureSchedule>) -> EmulatorReport {
+    let mut cfg = EmulatorConfig::paper_memory(PAPER_HEAP);
+    cfg.failure = failure;
+    Emulator::new(cfg).replay(trace)
+}
+
+fn main() {
+    header(
+        "Failover recovery cost vs. offloaded state",
+        "the recovery path for §8's deferred surrogate-failure handling",
+    );
+
+    let base_scale = aide_bench::experiment_scale().0;
+    for factor in [0.25, 0.5, 1.0] {
+        let scale = aide_apps::Scale(base_scale * factor);
+        let app = javanote(scale);
+        let trace = record_app(&app);
+
+        let clean = replay_with(&trace, None);
+        if !clean.offloaded() {
+            println!("\nJavaNote x{:.3}: no offload at 6 MB, skipping", scale.0);
+            continue;
+        }
+        // Kill the surrogate halfway through the clean completion time —
+        // comfortably after the offload, comfortably before the end.
+        let kill_at = clean.total_seconds() * 0.5;
+        let standby = replay_with(&trace, Some(FailureSchedule::at(kill_at)));
+        let abandoned = replay_with(
+            &trace,
+            Some(FailureSchedule {
+                at_virtual_seconds: kill_at,
+                standby: false,
+                reoffload_delay_seconds: 0.0,
+            }),
+        );
+
+        println!("\nJavaNote x{:.3} ({} events)", scale.0, trace.len());
+        row("clean completion", s(clean.total_seconds()));
+        row("surrogate killed at", s(kill_at));
+        if let Some(f) = standby.failovers.first() {
+            row(
+                "state reinstated",
+                format!("{} KB", f.reinstated_bytes >> 10),
+            );
+        }
+        if standby.completed {
+            row("with standby: completion", s(standby.total_seconds()));
+            row(
+                "with standby: recovery cost",
+                s(standby.total_seconds() - clean.total_seconds()),
+            );
+            row(
+                "with standby: offloads (incl. recovery)",
+                standby.offloads.len(),
+            );
+        } else {
+            row("with standby", "OOM (reinstated state never fit back)");
+        }
+        row(
+            "no standby",
+            if abandoned.completed {
+                "completed degraded (client-only)".to_string()
+            } else {
+                format!(
+                    "OOM at event {} of {}",
+                    abandoned.oom_at_event.unwrap_or(0),
+                    trace.len()
+                )
+            },
+        );
+    }
+}

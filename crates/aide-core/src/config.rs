@@ -1,7 +1,8 @@
 //! Platform configuration.
 
-use aide_graph::{CombinedPolicy, CommParams, CpuPolicy, MemoryPolicy, PartitionPolicy,
-    PredictedTime};
+use aide_graph::{
+    CombinedPolicy, CommParams, CpuPolicy, MemoryPolicy, PartitionPolicy, PredictedTime,
+};
 use aide_vm::{CostModel, GcConfig};
 use serde::{Deserialize, Serialize};
 

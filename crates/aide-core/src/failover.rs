@@ -1,0 +1,1013 @@
+//! Surrogate acquisition and failure recovery.
+//!
+//! The paper (§8) defers "recovery from surrogate failure or disconnection"
+//! to future work; this module supplies it. Instead of taking a pre-built
+//! transport, the platform can be handed a [`SurrogateProvider`] — a source
+//! of surrogate connections (the `aide-surrogate` crate implements one that
+//! discovers daemons over UDP beacons and ranks them by probed RTT and
+//! capacity). The provider is consulted lazily, when the offload controller
+//! first needs a surrogate, and again after a failure.
+//!
+//! Recovery works off a *reinstatement ledger*: every successful offload
+//! records shadow copies of the shipped object records (see
+//! [`crate::offload::execute_offload_tracked`]). When the active surrogate
+//! dies — detected by a heartbeat probe failing, or by a mid-call
+//! `Disconnected`/`Timeout` — the ledger entries the client still references
+//! are re-installed into the client heap by the same transactional-migration
+//! machinery that shipped them, the dead lease's GC pins are released, and
+//! execution continues degraded (purely local). The next resource-pressure
+//! trigger asks the provider for the next-ranked surrogate, gated by
+//! exponential backoff with deterministic jitter.
+//!
+//! Two prototype caveats, both inherent to ledger-based recovery: objects
+//! the *surrogate* allocated after the offload are not in the ledger and
+//! cannot be recovered (touching one after failover surfaces a dangling
+//! reference), and shadow copies do not reflect slot writes performed
+//! remotely after shipping.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aide_graph::CommParams;
+use aide_rpc::{Dispatcher, Endpoint, EndpointConfig, NetClock, Reply, Request, RpcError};
+use aide_vm::{
+    ClassId, Machine, MethodId, NativeKind, ObjectId, ObjectRecord, RemoteAccess, VmError, VmResult,
+};
+use parking_lot::Mutex;
+
+use crate::adapter::RefTables;
+
+/// Connection context handed to a [`SurrogateProvider`] when the platform
+/// needs a surrogate: everything required to start the client-side
+/// [`Endpoint`] for a new session.
+pub struct ProviderContext {
+    /// Link parameters used for simulated timing on the new session.
+    pub comm: CommParams,
+    /// The platform's shared simulated-communication clock.
+    pub clock: Arc<NetClock>,
+    /// Dispatcher serving the surrogate's callbacks against the client VM.
+    pub dispatcher: Arc<dyn Dispatcher>,
+    /// Endpoint tuning (worker pool depth, call/drain timeouts).
+    pub endpoint_config: EndpointConfig,
+}
+
+impl std::fmt::Debug for ProviderContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProviderContext")
+            .field("comm", &self.comm)
+            .field("endpoint_config", &self.endpoint_config)
+            .finish()
+    }
+}
+
+/// A live connection to one surrogate, as produced by a provider.
+pub struct SurrogateLease {
+    /// Human-readable surrogate identity (address, or a test label).
+    pub name: String,
+    /// The started client-side endpoint for this session.
+    pub endpoint: Arc<Endpoint>,
+}
+
+impl std::fmt::Debug for SurrogateLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SurrogateLease")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// Supplies surrogate connections to the platform.
+///
+/// Implementations range from a fixed list of pre-built sessions (tests)
+/// to the full discovery registry in the `aide-surrogate` crate. `acquire`
+/// is called at most once at a time and should return the best currently
+/// known candidate, or `None` if no surrogate is reachable right now.
+pub trait SurrogateProvider: Send + Sync {
+    /// Connects to the best available surrogate and starts its session.
+    fn acquire(&self, ctx: &ProviderContext) -> Option<SurrogateLease>;
+
+    /// Notes that the lease named `name` failed (the provider should stop
+    /// ranking that surrogate until it proves healthy again).
+    fn report_failure(&self, name: &str);
+}
+
+/// Exponential backoff with deterministic jitter, gating re-acquisition
+/// after surrogate failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffConfig {
+    /// Delay after the first failure.
+    pub base: Duration,
+    /// Multiplier applied per successive failure.
+    pub factor: f64,
+    /// Upper bound on the delay.
+    pub max: Duration,
+    /// Jitter amplitude: each delay is scaled by a factor drawn from
+    /// `[1 - jitter, 1 + jitter]` (deterministic xorshift stream).
+    pub jitter: f64,
+    /// Seed for the jitter stream (fixed default keeps runs reproducible).
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            base: Duration::from_millis(250),
+            factor: 2.0,
+            max: Duration::from_secs(30),
+            jitter: 0.25,
+            seed: 0x5DEECE66D,
+        }
+    }
+}
+
+/// Runtime state for one backoff sequence.
+#[derive(Debug)]
+pub(crate) struct Backoff {
+    config: BackoffConfig,
+    consecutive_failures: u32,
+    not_before: Option<Instant>,
+    rng: u64,
+}
+
+impl Backoff {
+    pub(crate) fn new(config: BackoffConfig) -> Self {
+        Backoff {
+            config,
+            consecutive_failures: 0,
+            // xorshift must not start at 0; the default seed never is.
+            rng: config.seed.max(1),
+            not_before: None,
+        }
+    }
+
+    /// Whether enough time has passed to try again.
+    pub(crate) fn ready(&self) -> bool {
+        self.not_before.is_none_or(|t| Instant::now() >= t)
+    }
+
+    /// The delay that would gate the next attempt after one more failure.
+    fn next_delay(&mut self) -> Duration {
+        let exp = self.config.base.as_secs_f64()
+            * self
+                .config
+                .factor
+                .powi(self.consecutive_failures.min(32) as i32);
+        let capped = exp.min(self.config.max.as_secs_f64());
+        // xorshift64: deterministic jitter without a rand dependency.
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let unit = (self.rng >> 11) as f64 / (1u64 << 53) as f64;
+        let scale = 1.0 + self.config.jitter * (2.0 * unit - 1.0);
+        Duration::from_secs_f64((capped * scale).max(0.0))
+    }
+
+    /// Records a failure, pushing the next attempt out.
+    pub(crate) fn note_failure(&mut self) {
+        let delay = self.next_delay();
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        self.not_before = Some(Instant::now() + delay);
+    }
+
+    /// Records a success, resetting the sequence.
+    pub(crate) fn note_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.not_before = None;
+    }
+}
+
+/// Failover tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailoverConfig {
+    /// Period between liveness probes of the active surrogate.
+    pub heartbeat_interval: Duration,
+    /// How long a probe may take before the surrogate is declared dead.
+    pub probe_timeout: Duration,
+    /// Backoff between re-acquisition attempts after failures.
+    pub backoff: BackoffConfig,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            heartbeat_interval: Duration::from_millis(250),
+            probe_timeout: Duration::from_secs(1),
+            backoff: BackoffConfig::default(),
+        }
+    }
+}
+
+/// What the failover machinery did during a platform run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FailoverReport {
+    /// Surrogate failures detected and recovered from.
+    pub failovers: u64,
+    /// Ledger objects re-installed into the client heap.
+    pub reinstated_objects: u64,
+    /// Heap bytes re-installed into the client heap.
+    pub reinstated_bytes: u64,
+    /// Ledger objects that could not be re-installed (client heap full
+    /// even after collection) or were allocated remotely and lost.
+    pub objects_lost: u64,
+    /// Offloads shipped to a replacement surrogate after a failover.
+    pub reoffloads: u64,
+    /// Names of every surrogate the run held a lease on, in order.
+    pub surrogates_used: Vec<String>,
+}
+
+/// Shared failover state: the active lease, the reinstatement ledger, and
+/// the recovery path. One per platform run.
+pub(crate) struct FailoverCore {
+    provider: Arc<dyn SurrogateProvider>,
+    ctx: ProviderContext,
+    client: Machine,
+    tables: Arc<RefTables>,
+    probe_timeout: Duration,
+    /// The active lease. Held (as a lock) across the whole recovery path so
+    /// concurrent failure detections — mutator call and heartbeat — are
+    /// serialized: the second detector blocks, then finds no active lease.
+    active: Mutex<Option<SurrogateLease>>,
+    /// Shadow copies of every object shipped to the active surrogate.
+    ledger: Mutex<Vec<(ObjectId, ObjectRecord)>>,
+    /// Back-reference pins taken by those shipments.
+    pins: Mutex<Vec<ObjectId>>,
+    backoff: Mutex<Backoff>,
+    failovers: AtomicU64,
+    reinstated_objects: AtomicU64,
+    reinstated_bytes: AtomicU64,
+    objects_lost: AtomicU64,
+    reoffloads: AtomicU64,
+    surrogates_used: Mutex<Vec<String>>,
+    /// Requests served / frames exchanged, accumulated over retired leases.
+    served_total: AtomicU64,
+    frames_total: AtomicU64,
+}
+
+impl FailoverCore {
+    pub(crate) fn new(
+        provider: Arc<dyn SurrogateProvider>,
+        ctx: ProviderContext,
+        client: Machine,
+        tables: Arc<RefTables>,
+        config: &FailoverConfig,
+    ) -> Self {
+        FailoverCore {
+            provider,
+            ctx,
+            client,
+            tables,
+            probe_timeout: config.probe_timeout,
+            active: Mutex::new(None),
+            ledger: Mutex::new(Vec::new()),
+            pins: Mutex::new(Vec::new()),
+            backoff: Mutex::new(Backoff::new(config.backoff)),
+            failovers: AtomicU64::new(0),
+            reinstated_objects: AtomicU64::new(0),
+            reinstated_bytes: AtomicU64::new(0),
+            objects_lost: AtomicU64::new(0),
+            reoffloads: AtomicU64::new(0),
+            surrogates_used: Mutex::new(Vec::new()),
+            served_total: AtomicU64::new(0),
+            frames_total: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn client(&self) -> &Machine {
+        &self.client
+    }
+
+    /// The active endpoint, if any — for remote calls and GC releases.
+    pub(crate) fn endpoint_for_call(&self) -> Option<Arc<Endpoint>> {
+        self.active.lock().as_ref().map(|l| l.endpoint.clone())
+    }
+
+    /// Returns an endpoint for offloading, acquiring a surrogate from the
+    /// provider if none is active. `None` when no surrogate is reachable or
+    /// the backoff gate is closed — the caller skips this offload attempt.
+    pub(crate) fn acquire_for_offload(&self) -> Option<Arc<Endpoint>> {
+        let mut active = self.active.lock();
+        if let Some(lease) = active.as_ref() {
+            return Some(lease.endpoint.clone());
+        }
+        if !self.backoff.lock().ready() {
+            return None;
+        }
+        match self.provider.acquire(&self.ctx) {
+            Some(lease) => {
+                let endpoint = lease.endpoint.clone();
+                self.surrogates_used.lock().push(lease.name.clone());
+                *active = Some(lease);
+                self.backoff.lock().note_success();
+                Some(endpoint)
+            }
+            None => {
+                self.backoff.lock().note_failure();
+                None
+            }
+        }
+    }
+
+    /// Records a successful shipment in the reinstatement ledger.
+    pub(crate) fn record_shipment(
+        &self,
+        shadow: Vec<(ObjectId, ObjectRecord)>,
+        pins: Vec<ObjectId>,
+    ) {
+        if self.failovers.load(Ordering::Relaxed) > 0 {
+            self.reoffloads.fetch_add(1, Ordering::Relaxed);
+        }
+        self.ledger.lock().extend(shadow);
+        self.pins.lock().extend(pins);
+    }
+
+    /// Number of failovers so far, for the controller's offload budget
+    /// (each recovery earns one replacement offload).
+    pub(crate) fn failovers_so_far(&self) -> u32 {
+        self.failovers.load(Ordering::Relaxed).min(u32::MAX as u64) as u32
+    }
+
+    /// Full recovery: retire the active lease, reinstate the ledger, open
+    /// the backoff gate's next window. Returns `true` if this call
+    /// performed the recovery, `false` if there was nothing to recover
+    /// (another thread already did, or no surrogate was active).
+    pub(crate) fn handle_failure(&self) -> bool {
+        let mut active = self.active.lock();
+        let Some(lease) = active.take() else {
+            return false;
+        };
+        // Fail remaining in-flight calls fast and stop the session.
+        lease.endpoint.shutdown();
+        self.provider.report_failure(&lease.name);
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+        self.reinstate();
+        self.backoff.lock().note_failure();
+        drop(active);
+        // Joining is bounded by the endpoint's drain deadline; do it
+        // outside the lock so other threads can proceed locally.
+        lease.endpoint.join();
+        self.note_retired(&lease.endpoint);
+        true
+    }
+
+    /// Probes the active surrogate; on probe failure runs full recovery.
+    /// Called by the platform's heartbeat thread.
+    pub(crate) fn heartbeat_tick(&self) {
+        let Some(endpoint) = self.endpoint_for_call() else {
+            return;
+        };
+        if endpoint.probe(self.probe_timeout).is_err() {
+            self.handle_failure();
+        }
+    }
+
+    /// After an offload error: if the active surrogate no longer answers
+    /// probes, treat it as dead and recover. (A *remote* error — e.g. the
+    /// surrogate heap rejecting the batch — leaves the lease alone.)
+    pub(crate) fn fail_active_if_dead(&self) {
+        let Some(endpoint) = self.endpoint_for_call() else {
+            return;
+        };
+        if endpoint.probe(self.probe_timeout).is_err() {
+            self.handle_failure();
+        }
+    }
+
+    /// Re-installs ledger objects the client still references into the
+    /// client heap, and releases the dead lease's back-reference pins.
+    fn reinstate(&self) {
+        let ledger: Vec<(ObjectId, ObjectRecord)> = std::mem::take(&mut *self.ledger.lock());
+        let pins: Vec<ObjectId> = std::mem::take(&mut *self.pins.lock());
+        let vm = self.client.vm();
+        let mut vm = vm.lock();
+
+        // Only objects the client still references come back — directly
+        // (still in the import table) or transitively through the slots of
+        // another reinstated entry. Everything else in the ledger has been
+        // released by distributed GC and is garbage.
+        let mut by_id: HashMap<ObjectId, ObjectRecord> = HashMap::new();
+        for (id, record) in ledger {
+            // Later shipments of the same id carry the fresher shadow.
+            by_id.insert(id, record);
+        }
+        let mut selected: Vec<ObjectId> = by_id
+            .keys()
+            .filter(|id| self.tables.imports.contains(**id) && !vm.heap().contains(**id))
+            .copied()
+            .collect();
+        let mut seen: HashSet<ObjectId> = selected.iter().copied().collect();
+        let mut cursor = 0;
+        while cursor < selected.len() {
+            let id = selected[cursor];
+            cursor += 1;
+            for slot in by_id[&id].slots.clone().into_iter().flatten() {
+                if !seen.contains(&slot) && by_id.contains_key(&slot) && !vm.heap().contains(slot) {
+                    seen.insert(slot);
+                    selected.push(slot);
+                }
+            }
+        }
+        let missing: Vec<(ObjectId, ObjectRecord)> = selected
+            .into_iter()
+            .map(|id| {
+                let record = by_id.remove(&id).expect("selected from by_id");
+                (id, record)
+            })
+            .collect();
+
+        let needed: u64 = missing.iter().map(|(_, r)| r.footprint()).sum();
+        if needed > vm.heap().free_bytes() {
+            // One collection up front — never mid-loop, where a collection
+            // could sweep a just-installed object whose only referent is a
+            // not-yet-installed ledger entry.
+            vm.collect_now();
+        }
+
+        for (id, record) in missing {
+            let footprint = record.footprint();
+            match vm.heap_mut().migrate_in(id, record) {
+                Ok(()) => {
+                    self.tables.imports.remove(id);
+                    self.reinstated_objects.fetch_add(1, Ordering::Relaxed);
+                    self.reinstated_bytes
+                        .fetch_add(footprint, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    // Client heap genuinely cannot hold it: the object is
+                    // lost; a later touch surfaces a dangling reference.
+                    self.tables.imports.remove(id);
+                    self.objects_lost.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        for id in pins {
+            if self.tables.exports.release(id) {
+                vm.external_root_dec(id);
+            }
+        }
+    }
+
+    fn note_retired(&self, endpoint: &Endpoint) {
+        self.served_total
+            .fetch_add(endpoint.requests_served(), Ordering::Relaxed);
+        let traffic = endpoint.traffic();
+        self.frames_total.fetch_add(
+            traffic.frames_sent() + traffic.frames_received(),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Orderly end-of-run teardown of the active lease, if any.
+    pub(crate) fn shutdown(&self) {
+        let lease = self.active.lock().take();
+        if let Some(lease) = lease {
+            lease.endpoint.shutdown();
+            lease.endpoint.join();
+            self.note_retired(&lease.endpoint);
+        }
+    }
+
+    /// Requests the client served for surrogates, over all leases.
+    pub(crate) fn requests_served_total(&self) -> u64 {
+        self.served_total.load(Ordering::Relaxed)
+    }
+
+    /// Frames exchanged (both directions, client side), over all leases.
+    pub(crate) fn frames_total(&self) -> u64 {
+        self.frames_total.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn report(&self) -> FailoverReport {
+        FailoverReport {
+            failovers: self.failovers.load(Ordering::Relaxed),
+            reinstated_objects: self.reinstated_objects.load(Ordering::Relaxed),
+            reinstated_bytes: self.reinstated_bytes.load(Ordering::Relaxed),
+            objects_lost: self.objects_lost.load(Ordering::Relaxed),
+            reoffloads: self.reoffloads.load(Ordering::Relaxed),
+            surrogates_used: self.surrogates_used.lock().clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for FailoverCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailoverCore")
+            .field("failovers", &self.failovers.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Outcome of one remote call attempt through the failover adapter.
+enum CallOutcome {
+    Reply(Reply),
+    RemoteErr(String),
+    /// The surrogate is gone and recovery ran (or had already run): the
+    /// operation must now be served locally against the reinstated heap.
+    FailedOver,
+}
+
+/// A [`RemoteAccess`] implementation that survives surrogate death: remote
+/// touches go to the active lease; on `Disconnected`/`Timeout` the core
+/// recovers (reinstating offloaded objects locally) and the touch is then
+/// served by the local interpreter.
+pub(crate) struct FailoverAdapter {
+    core: Arc<FailoverCore>,
+}
+
+impl FailoverAdapter {
+    pub(crate) fn new(core: Arc<FailoverCore>) -> Self {
+        FailoverAdapter { core }
+    }
+
+    fn call(&self, request: Request) -> CallOutcome {
+        let Some(endpoint) = self.core.endpoint_for_call() else {
+            return CallOutcome::FailedOver;
+        };
+        match endpoint.call(request) {
+            Ok(reply) => CallOutcome::Reply(reply),
+            Err(RpcError::Remote(msg)) => CallOutcome::RemoteErr(msg),
+            Err(RpcError::Protocol(msg)) => CallOutcome::RemoteErr(format!("protocol: {msg}")),
+            Err(RpcError::Disconnected | RpcError::Timeout) => {
+                self.core.handle_failure();
+                CallOutcome::FailedOver
+            }
+        }
+    }
+
+    /// Pins `id` if it is a local object about to be referenced remotely.
+    fn export_if_local(&self, id: ObjectId) {
+        let vm = self.core.client.vm();
+        let mut vm = vm.lock();
+        if vm.heap().contains(id) && self.core.tables.exports.export(id) {
+            vm.external_root_inc(id);
+        }
+    }
+
+    /// Notes receipt of a reference owned by the peer.
+    fn import_if_remote(&self, id: ObjectId) {
+        let vm = self.core.client.vm();
+        let vm = vm.lock();
+        if !vm.heap().contains(id) {
+            self.core.tables.imports.import(id);
+        }
+    }
+}
+
+impl std::fmt::Debug for FailoverAdapter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailoverAdapter").finish()
+    }
+}
+
+impl RemoteAccess for FailoverAdapter {
+    fn invoke(
+        &self,
+        target: ObjectId,
+        class: ClassId,
+        method: MethodId,
+        arg_bytes: u32,
+        ret_bytes: u32,
+        args: &[ObjectId],
+    ) -> VmResult<()> {
+        for &a in args {
+            self.export_if_local(a);
+        }
+        self.import_if_remote(target);
+        match self.call(Request::Invoke {
+            target,
+            class,
+            method,
+            arg_bytes,
+            ret_bytes,
+            args: args.to_vec(),
+        }) {
+            CallOutcome::Reply(_) => Ok(()),
+            CallOutcome::RemoteErr(msg) => Err(VmError::RemoteFailure(msg)),
+            CallOutcome::FailedOver => self.core.client.call_on(target, class, method, args),
+        }
+    }
+
+    fn field_access(&self, target: ObjectId, bytes: u32, write: bool) -> VmResult<()> {
+        self.import_if_remote(target);
+        match self.call(Request::FieldAccess {
+            target,
+            bytes,
+            write,
+        }) {
+            CallOutcome::Reply(_) => Ok(()),
+            CallOutcome::RemoteErr(msg) => Err(VmError::RemoteFailure(msg)),
+            CallOutcome::FailedOver => self.core.client.field_access_on(target, bytes, write),
+        }
+    }
+
+    fn get_slot(&self, target: ObjectId, slot: u16) -> VmResult<Option<ObjectId>> {
+        self.import_if_remote(target);
+        match self.call(Request::GetSlot { target, slot }) {
+            CallOutcome::Reply(Reply::Slot(value)) => {
+                if let Some(v) = value {
+                    self.import_if_remote(v);
+                }
+                Ok(value)
+            }
+            CallOutcome::Reply(other) => Err(VmError::RemoteFailure(format!(
+                "unexpected reply {other:?} to GetSlot"
+            ))),
+            CallOutcome::RemoteErr(msg) => Err(VmError::RemoteFailure(msg)),
+            CallOutcome::FailedOver => self.core.client.get_slot_on(target, slot),
+        }
+    }
+
+    fn put_slot(&self, target: ObjectId, slot: u16, value: Option<ObjectId>) -> VmResult<()> {
+        if let Some(v) = value {
+            self.export_if_local(v);
+        }
+        self.import_if_remote(target);
+        match self.call(Request::PutSlot {
+            target,
+            slot,
+            value,
+        }) {
+            CallOutcome::Reply(_) => Ok(()),
+            CallOutcome::RemoteErr(msg) => Err(VmError::RemoteFailure(msg)),
+            CallOutcome::FailedOver => self.core.client.put_slot_on(target, slot, value),
+        }
+    }
+
+    fn native(
+        &self,
+        caller: ClassId,
+        kind: NativeKind,
+        work_micros: u32,
+        arg_bytes: u32,
+        ret_bytes: u32,
+    ) -> VmResult<()> {
+        match self.call(Request::Native {
+            caller,
+            kind,
+            work_micros,
+            arg_bytes,
+            ret_bytes,
+        }) {
+            CallOutcome::Reply(_) => Ok(()),
+            CallOutcome::RemoteErr(msg) => Err(VmError::RemoteFailure(msg)),
+            CallOutcome::FailedOver => {
+                self.core.client.native_on(work_micros);
+                Ok(())
+            }
+        }
+    }
+
+    fn static_access(
+        &self,
+        accessor: ClassId,
+        class: ClassId,
+        bytes: u32,
+        write: bool,
+    ) -> VmResult<()> {
+        match self.call(Request::StaticAccess {
+            accessor,
+            class,
+            bytes,
+            write,
+        }) {
+            CallOutcome::Reply(_) => Ok(()),
+            CallOutcome::RemoteErr(msg) => Err(VmError::RemoteFailure(msg)),
+            CallOutcome::FailedOver => {
+                self.core.client.static_access_on(class, bytes, write);
+                Ok(())
+            }
+        }
+    }
+
+    fn class_of(&self, target: ObjectId) -> VmResult<ClassId> {
+        match self.call(Request::ClassOf { target }) {
+            CallOutcome::Reply(Reply::Class(c)) => Ok(c),
+            CallOutcome::Reply(other) => Err(VmError::RemoteFailure(format!(
+                "unexpected reply {other:?} to ClassOf"
+            ))),
+            CallOutcome::RemoteErr(msg) => Err(VmError::RemoteFailure(msg)),
+            CallOutcome::FailedOver => self.core.client.class_of_local(target),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_rpc::Link;
+    use aide_vm::{MethodDef, ProgramBuilder, VmConfig};
+
+    fn test_machine() -> Machine {
+        let mut b = ProgramBuilder::new();
+        let main = b.add_class("Main");
+        let _doc = b.add_class("Doc");
+        b.add_method(main, MethodDef::new("main", vec![]));
+        let program = Arc::new(b.build(main, MethodId(0), 64, 4).unwrap());
+        Machine::new(program, VmConfig::client(1 << 20))
+    }
+
+    struct NullDispatcher;
+    impl Dispatcher for NullDispatcher {
+        fn dispatch(&self, _request: Request) -> Result<Reply, String> {
+            Ok(Reply::Unit)
+        }
+    }
+
+    /// A provider handing out pre-built leases in order, counting calls.
+    struct QueueProvider {
+        leases: Mutex<Vec<SurrogateLease>>,
+        acquire_calls: AtomicU64,
+        failures: Mutex<Vec<String>>,
+    }
+
+    impl SurrogateProvider for QueueProvider {
+        fn acquire(&self, _ctx: &ProviderContext) -> Option<SurrogateLease> {
+            self.acquire_calls.fetch_add(1, Ordering::Relaxed);
+            let mut leases = self.leases.lock();
+            if leases.is_empty() {
+                None
+            } else {
+                Some(leases.remove(0))
+            }
+        }
+
+        fn report_failure(&self, name: &str) {
+            self.failures.lock().push(name.to_string());
+        }
+    }
+
+    fn test_ctx(clock: Arc<NetClock>) -> ProviderContext {
+        ProviderContext {
+            comm: CommParams::WAVELAN,
+            clock,
+            dispatcher: Arc::new(NullDispatcher),
+            endpoint_config: EndpointConfig {
+                workers: 2,
+                call_timeout: Duration::from_millis(200),
+                drain_timeout: Duration::from_millis(100),
+            },
+        }
+    }
+
+    /// Builds a lease over an in-process link whose surrogate side is a
+    /// trivially-serving endpoint. Returns the surrogate endpoint too so
+    /// the test can keep (or kill) it.
+    fn test_lease(name: &str) -> (SurrogateLease, Arc<Endpoint>) {
+        let (link, ct, st) = Link::pair(CommParams::WAVELAN);
+        let clock = link.clock.clone();
+        let config = EndpointConfig {
+            workers: 2,
+            call_timeout: Duration::from_millis(200),
+            drain_timeout: Duration::from_millis(100),
+        };
+        let client_ep = Endpoint::start(
+            ct,
+            link.params,
+            clock.clone(),
+            Arc::new(NullDispatcher),
+            config,
+        );
+        let surrogate_ep =
+            Endpoint::start(st, link.params, clock, Arc::new(NullDispatcher), config);
+        (
+            SurrogateLease {
+                name: name.to_string(),
+                endpoint: client_ep,
+            },
+            surrogate_ep,
+        )
+    }
+
+    fn quick_config() -> FailoverConfig {
+        FailoverConfig {
+            heartbeat_interval: Duration::from_millis(20),
+            probe_timeout: Duration::from_millis(100),
+            backoff: BackoffConfig {
+                base: Duration::from_millis(5),
+                factor: 2.0,
+                max: Duration::from_millis(50),
+                jitter: 0.2,
+                seed: 7,
+            },
+        }
+    }
+
+    #[test]
+    fn backoff_delays_grow_and_reset() {
+        let config = BackoffConfig {
+            base: Duration::from_millis(100),
+            factor: 2.0,
+            max: Duration::from_secs(1),
+            jitter: 0.25,
+            seed: 42,
+        };
+        let mut b = Backoff::new(config);
+        assert!(b.ready(), "no failures yet");
+        let d0 = b.next_delay();
+        // First delay jitters around the base.
+        assert!(
+            d0 >= Duration::from_millis(75) && d0 <= Duration::from_millis(125),
+            "{d0:?}"
+        );
+        b.note_failure();
+        assert!(!b.ready(), "gate closed after a failure");
+        let d1 = b.next_delay();
+        assert!(
+            d1 >= Duration::from_millis(150) && d1 <= Duration::from_millis(250),
+            "{d1:?}"
+        );
+        // Delays never exceed max (plus jitter headroom).
+        for _ in 0..20 {
+            b.note_failure();
+        }
+        assert!(b.next_delay() <= Duration::from_millis(1250));
+        b.note_success();
+        assert!(b.ready(), "success reopens the gate");
+        let d_reset = b.next_delay();
+        assert!(d_reset <= Duration::from_millis(125), "{d_reset:?}");
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_per_seed() {
+        let config = BackoffConfig::default();
+        let mut a = Backoff::new(config);
+        let mut b = Backoff::new(config);
+        for _ in 0..5 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn acquire_is_gated_by_backoff_after_provider_failure() {
+        let client = test_machine();
+        let tables = Arc::new(RefTables::new());
+        let provider = Arc::new(QueueProvider {
+            leases: Mutex::new(Vec::new()), // never has a surrogate
+            acquire_calls: AtomicU64::new(0),
+            failures: Mutex::new(Vec::new()),
+        });
+        let clock = Arc::new(NetClock::new());
+        let mut config = quick_config();
+        config.backoff.base = Duration::from_secs(60); // gate stays closed
+        let core = FailoverCore::new(provider.clone(), test_ctx(clock), client, tables, &config);
+        assert!(core.acquire_for_offload().is_none());
+        assert_eq!(provider.acquire_calls.load(Ordering::Relaxed), 1);
+        // Second attempt is swallowed by the backoff gate: no provider call.
+        assert!(core.acquire_for_offload().is_none());
+        assert_eq!(provider.acquire_calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn acquire_reuses_the_active_lease() {
+        let client = test_machine();
+        let tables = Arc::new(RefTables::new());
+        let (lease, _sep) = test_lease("s1");
+        let provider = Arc::new(QueueProvider {
+            leases: Mutex::new(vec![lease]),
+            acquire_calls: AtomicU64::new(0),
+            failures: Mutex::new(Vec::new()),
+        });
+        let clock = Arc::new(NetClock::new());
+        let core = FailoverCore::new(
+            provider.clone(),
+            test_ctx(clock),
+            client,
+            tables,
+            &quick_config(),
+        );
+        assert!(core.acquire_for_offload().is_some());
+        assert!(core.acquire_for_offload().is_some());
+        assert_eq!(
+            provider.acquire_calls.load(Ordering::Relaxed),
+            1,
+            "lease reused"
+        );
+        assert_eq!(core.report().surrogates_used, vec!["s1".to_string()]);
+        core.shutdown();
+    }
+
+    #[test]
+    fn handle_failure_reinstates_ledger_objects_and_releases_pins() {
+        let client = test_machine();
+        let tables = Arc::new(RefTables::new());
+        let (lease, _sep) = test_lease("s1");
+        let provider = Arc::new(QueueProvider {
+            leases: Mutex::new(Vec::new()),
+            acquire_calls: AtomicU64::new(0),
+            failures: Mutex::new(Vec::new()),
+        });
+        let clock = Arc::new(NetClock::new());
+        let core = FailoverCore::new(
+            provider.clone(),
+            test_ctx(clock),
+            client.clone(),
+            tables.clone(),
+            &quick_config(),
+        );
+        *core.active.lock() = Some(lease);
+
+        // Simulate an earlier offload: three Docs left the client heap.
+        // `doc_a` (still imported) references local `anchor` (pinned) and
+        // offloaded `doc_c` (reachable only through `doc_a`); `doc_b` was
+        // since dropped by distributed GC and is garbage.
+        let doc_a = ObjectId::client(1);
+        let doc_b = ObjectId::client(2);
+        let doc_c = ObjectId::client(3);
+        let anchor = ObjectId::client(10);
+        let (rec_a, rec_b, rec_c) = {
+            let vm = client.vm();
+            let mut vm = vm.lock();
+            vm.heap_mut()
+                .insert(anchor, ObjectRecord::new(ClassId(0), 64, 0))
+                .unwrap();
+            let mut rec_a = ObjectRecord::new(ClassId(1), 1_000, 2);
+            rec_a.slots[0] = Some(anchor);
+            rec_a.slots[1] = Some(doc_c);
+            vm.heap_mut().insert(doc_a, rec_a).unwrap();
+            vm.heap_mut()
+                .insert(doc_b, ObjectRecord::new(ClassId(1), 2_000, 0))
+                .unwrap();
+            vm.heap_mut()
+                .insert(doc_c, ObjectRecord::new(ClassId(1), 500, 0))
+                .unwrap();
+            let rec_a = vm.heap_mut().migrate_out(doc_a).unwrap();
+            let rec_b = vm.heap_mut().migrate_out(doc_b).unwrap();
+            let rec_c = vm.heap_mut().migrate_out(doc_c).unwrap();
+            if tables.exports.export(anchor) {
+                vm.external_root_inc(anchor);
+            }
+            (rec_a, rec_b, rec_c)
+        };
+        tables.imports.import(doc_a); // still referenced by the client
+        core.record_shipment(
+            vec![(doc_a, rec_a), (doc_b, rec_b), (doc_c, rec_c)],
+            vec![anchor],
+        );
+
+        assert!(core.handle_failure(), "this call performs the recovery");
+        assert!(!core.handle_failure(), "second detector finds nothing");
+
+        let report = core.report();
+        assert_eq!(report.failovers, 1);
+        assert_eq!(
+            report.reinstated_objects, 2,
+            "the live doc and its transitively-held doc return"
+        );
+        assert!(report.reinstated_bytes >= 1_500);
+        assert_eq!(report.objects_lost, 0);
+        {
+            let vm = client.vm();
+            let vm = vm.lock();
+            assert!(vm.heap().contains(doc_a));
+            assert!(
+                vm.heap().contains(doc_c),
+                "entry reachable through doc_a's slot comes back too"
+            );
+            assert!(!vm.heap().contains(doc_b), "GC-dropped entry stays gone");
+            assert_eq!(vm.external_root_count(), 0, "pin released");
+        }
+        assert!(
+            !tables.imports.contains(doc_a),
+            "reinstated: no longer remote"
+        );
+        assert_eq!(provider.failures.lock().as_slice(), &["s1".to_string()]);
+        assert!(core.endpoint_for_call().is_none(), "no active lease");
+    }
+
+    #[test]
+    fn failed_over_adapter_serves_locally() {
+        let client = test_machine();
+        let tables = Arc::new(RefTables::new());
+        let provider = Arc::new(QueueProvider {
+            leases: Mutex::new(Vec::new()),
+            acquire_calls: AtomicU64::new(0),
+            failures: Mutex::new(Vec::new()),
+        });
+        let clock = Arc::new(NetClock::new());
+        let core = Arc::new(FailoverCore::new(
+            provider,
+            test_ctx(clock),
+            client.clone(),
+            tables,
+            &quick_config(),
+        ));
+        let adapter = FailoverAdapter::new(core);
+        let id = ObjectId::client(5);
+        {
+            let vm = client.vm();
+            let mut vm = vm.lock();
+            vm.heap_mut()
+                .insert(id, ObjectRecord::new(ClassId(1), 100, 0))
+                .unwrap();
+        }
+        // No active surrogate: every operation is served locally.
+        assert_eq!(adapter.class_of(id).unwrap(), ClassId(1));
+        adapter.field_access(id, 16, false).unwrap();
+        assert!(matches!(
+            adapter.class_of(ObjectId::surrogate(404)),
+            Err(VmError::DanglingReference(_)) | Err(VmError::RemoteFailure(_))
+        ));
+    }
+}

@@ -16,6 +16,11 @@
 //!   surrogate over a real RPC link when resources run low, and keeps
 //!   executing with transparent remote invocations, client-pinned natives
 //!   and statics, and distributed garbage collection.
+//! * [`SurrogateProvider`] / [`Platform::with_surrogates`] — provider-backed
+//!   surrogate acquisition with failover: when the surrogate dies, offloaded
+//!   objects are reinstated into the client heap and offloading retries
+//!   against the next surrogate (the `aide-surrogate` crate supplies the
+//!   daemon, discovery, and ranking).
 //!
 //! # Examples
 //!
@@ -43,6 +48,7 @@
 
 mod adapter;
 mod config;
+mod failover;
 mod monitor;
 mod offload;
 pub mod partitioner;
@@ -51,8 +57,12 @@ mod selector;
 
 pub use adapter::{RefTables, RemoteAdapter, VmDispatcher};
 pub use config::{EvaluationMode, PlatformConfig, PolicyKind, TransportKind};
+pub use failover::{
+    BackoffConfig, FailoverConfig, FailoverReport, ProviderContext, SurrogateLease,
+    SurrogateProvider,
+};
 pub use monitor::{Monitor, MonitorMetrics, NodeKey, RemoteStats, TriggerConfig};
-pub use offload::{execute_offload, OffloadOutcome};
+pub use offload::{execute_offload, execute_offload_tracked, OffloadOutcome};
 pub use partitioner::{decide, decide_with, HeuristicKind, PartitionDecision};
 pub use platform::{OffloadEvent, Platform, PlatformReport};
 pub use selector::{PolicyRecommendation, PolicySelector, WorkloadProfile};

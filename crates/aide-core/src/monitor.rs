@@ -602,14 +602,8 @@ mod tests {
             .count();
         assert_eq!(object_nodes, 2);
         // The interaction edge attaches to a1's node, not a class node.
-        let a1_node = keys
-            .iter()
-            .position(|k| *k == NodeKey::Object(a1))
-            .unwrap();
-        assert!(graph
-            .neighbors(NodeId(a1_node as u32))
-            .next()
-            .is_some());
+        let a1_node = keys.iter().position(|k| *k == NodeKey::Object(a1)).unwrap();
+        assert!(graph.neighbors(NodeId(a1_node as u32)).next().is_some());
     }
 
     fn report(free_after: u64, freed: u64) -> GcReport {

@@ -66,6 +66,27 @@ pub fn execute_offload(
     endpoint: &Arc<Endpoint>,
     tables: &Arc<RefTables>,
 ) -> VmResult<OffloadOutcome> {
+    execute_offload_tracked(selection, keys, client, endpoint, tables)
+        .map(|(outcome, _, _)| outcome)
+}
+
+/// Like [`execute_offload`], but also returns shadow copies of the shipped
+/// object records and the back-reference pins taken — the raw material for
+/// a reinstatement ledger. If the surrogate later dies, the failover path
+/// re-installs the shadow copies into the client heap and releases the
+/// listed pins, restoring purely-local execution.
+///
+/// # Errors
+///
+/// Same contract as [`execute_offload`]: on error the client heap has been
+/// restored and nothing was tracked.
+pub fn execute_offload_tracked(
+    selection: &SelectedPartition,
+    keys: &[NodeKey],
+    client: &Machine,
+    endpoint: &Arc<Endpoint>,
+    tables: &Arc<RefTables>,
+) -> VmResult<(OffloadOutcome, Vec<(ObjectId, ObjectRecord)>, Vec<ObjectId>)> {
     // Work out the concrete victim set under the client VM lock.
     let mut victim_classes: Vec<ClassId> = Vec::new();
     let mut victim_objects: Vec<ObjectId> = Vec::new();
@@ -138,6 +159,9 @@ pub fn execute_offload(
 
     let objects_moved = batch.len() as u64;
     let bytes_moved: u64 = batch.iter().map(|(_, r)| r.footprint()).sum();
+    // Shadow copies for the caller's reinstatement ledger, taken before the
+    // batch is consumed by shipping.
+    let shadow = batch.clone();
 
     // Ship in batches over the real link. On failure, reinstall every
     // unshipped object so the client heap stays consistent (they only just
@@ -167,21 +191,25 @@ pub fn execute_offload(
     }
 
     let client_used_after = client.vm().lock().heap().stats().used_bytes;
-    Ok(OffloadOutcome {
-        objects_moved,
-        bytes_moved,
-        client_used_before: used_before,
-        client_used_after,
-        back_references_pinned,
-    })
+    Ok((
+        OffloadOutcome {
+            objects_moved,
+            bytes_moved,
+            client_used_before: used_before,
+            client_used_after,
+            back_references_pinned,
+        },
+        shadow,
+        pinned_ids,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use aide_graph::{
-        candidate_partitionings, EdgeInfo, ExecutionGraph, MemoryPolicy, NodeInfo,
-        PartitionPolicy, PinReason, ResourceSnapshot,
+        candidate_partitionings, EdgeInfo, ExecutionGraph, MemoryPolicy, NodeInfo, PartitionPolicy,
+        PinReason, ResourceSnapshot,
     };
     use aide_rpc::{EndpointConfig, Link};
     use aide_vm::{MethodDef, MethodId, ProgramBuilder, VmConfig};
@@ -232,7 +260,10 @@ mod tests {
         let sel = MemoryPolicy::new(1e-6)
             .select(&g, ResourceSnapshot::new(1 << 20, 1 << 19), &cands)
             .expect("feasible");
-        (sel, vec![NodeKey::Class(ClassId(0)), NodeKey::Class(ClassId(1))])
+        (
+            sel,
+            vec![NodeKey::Class(ClassId(0)), NodeKey::Class(ClassId(1))],
+        )
     }
 
     #[test]
@@ -357,8 +388,8 @@ mod tests {
 mod failure_tests {
     use super::*;
     use aide_graph::{
-        candidate_partitionings, EdgeInfo, ExecutionGraph, MemoryPolicy, NodeInfo,
-        PartitionPolicy, PinReason, ResourceSnapshot,
+        candidate_partitionings, EdgeInfo, ExecutionGraph, MemoryPolicy, NodeInfo, PartitionPolicy,
+        PinReason, ResourceSnapshot,
     };
     use aide_rpc::{EndpointConfig, Link};
     use aide_vm::{MethodDef, MethodId, ProgramBuilder, VmConfig};

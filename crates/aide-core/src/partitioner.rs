@@ -8,8 +8,8 @@
 use std::time::{Duration, Instant};
 
 use aide_graph::{
-    candidate_partitionings, density_candidates, ExecutionGraph, PartitionPolicy,
-    ResourceSnapshot, SelectedPartition,
+    candidate_partitionings, density_candidates, ExecutionGraph, PartitionPolicy, ResourceSnapshot,
+    SelectedPartition,
 };
 use serde::{Deserialize, Serialize};
 

@@ -17,22 +17,26 @@
 //! 5. After every client collection, dropped cross-VM references are
 //!    released to the peer (distributed GC).
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
 use aide_graph::{ExecutionGraph, PartitionPolicy, Partitioning, ResourceSnapshot};
-use aide_rpc::{live_remote_refs, Endpoint, EndpointConfig, Link, Request};
+use aide_rpc::{live_remote_refs, Endpoint, EndpointConfig, Link, NetClock, Request};
 use aide_vm::{
     ClassId, GcReport, HookChain, Machine, NullHooks, Program, RunSummary, RuntimeHooks, Vm,
     VmConfig, VmError, VmKind,
 };
+use parking_lot::Mutex;
 
 use crate::adapter::{RefTables, RemoteAdapter, VmDispatcher};
 use crate::config::{EvaluationMode, PlatformConfig, TransportKind};
+use crate::failover::{
+    FailoverAdapter, FailoverConfig, FailoverCore, FailoverReport, ProviderContext,
+    SurrogateProvider,
+};
 use crate::monitor::{Monitor, MonitorMetrics, RemoteStats};
-use crate::offload::{execute_offload, OffloadOutcome};
+use crate::offload::{execute_offload_tracked, OffloadOutcome};
 use crate::partitioner::decide;
 
 /// A record of one offload decision that actually migrated objects.
@@ -85,6 +89,9 @@ pub struct PlatformReport {
     pub client_requests_served: u64,
     /// Real frames exchanged on the link (both directions).
     pub frames_exchanged: u64,
+    /// What the failover machinery did, when the run was provider-backed
+    /// (see [`Platform::with_surrogates`]); `None` for fixed-link runs.
+    pub failover: Option<FailoverReport>,
 }
 
 impl PlatformReport {
@@ -111,6 +118,9 @@ struct Controller {
     /// which must exist before the machine and endpoint it drives.
     client: std::sync::OnceLock<Machine>,
     endpoint: std::sync::OnceLock<Arc<Endpoint>>,
+    /// Present on provider-backed runs: the failover core supplies (and
+    /// replaces) the surrogate endpoint instead of `endpoint`.
+    failover: std::sync::OnceLock<Arc<FailoverCore>>,
     tables: Arc<RefTables>,
     max_offloads: u32,
     offloads_done: AtomicU32,
@@ -121,25 +131,49 @@ struct Controller {
 
 impl Controller {
     fn bind(&self, client: Machine, endpoint: Arc<Endpoint>) {
-        self.client.set(client).ok().expect("controller already bound");
+        self.client
+            .set(client)
+            .ok()
+            .expect("controller already bound");
         self.endpoint
             .set(endpoint)
             .ok()
             .expect("controller already bound");
     }
 
+    fn bind_failover(&self, client: Machine, core: Arc<FailoverCore>) {
+        self.client
+            .set(client)
+            .ok()
+            .expect("controller already bound");
+        self.failover
+            .set(core)
+            .ok()
+            .expect("controller already bound");
+    }
+
     fn client(&self) -> &Machine {
-        self.client.get().expect("controller bound before execution")
+        self.client
+            .get()
+            .expect("controller bound before execution")
+    }
+
+    /// How many offloads the run may still perform. Each recovered failover
+    /// earns one replacement offload, so a re-offload to the next surrogate
+    /// is not blocked by the original budget.
+    fn offload_budget(&self) -> u32 {
+        self.max_offloads
+            .saturating_add(self.failover.get().map_or(0, |c| c.failovers_so_far()))
     }
 
     fn maybe_offload(&self, at_gc_cycle: u64) {
-        if self.offloads_done.load(Ordering::SeqCst) >= self.max_offloads {
+        if self.offloads_done.load(Ordering::SeqCst) >= self.offload_budget() {
             return;
         }
         let Some(_guard) = self.evaluating.try_lock() else {
             return;
         };
-        if self.offloads_done.load(Ordering::SeqCst) >= self.max_offloads {
+        if self.offloads_done.load(Ordering::SeqCst) >= self.offload_budget() {
             return;
         }
 
@@ -160,7 +194,10 @@ impl Controller {
                 decision.graph.total_memory(),
             );
             for (id, n) in decision.graph.iter() {
-                eprintln!("[aide]   node {id} {} mem={} pinned={:?}", n.label, n.memory_bytes, n.pinned);
+                eprintln!(
+                    "[aide]   node {id} {} mem={} pinned={:?}",
+                    n.label, n.memory_bytes, n.pinned
+                );
             }
         }
         if std::env::var_os("AIDE_DEBUG").is_some() {
@@ -188,9 +225,27 @@ impl Controller {
         let stats = &selection.stats;
         let offloaded_memory_fraction = stats.offloaded_memory_fraction();
         let cut = stats.cut;
-        let endpoint = self.endpoint.get().expect("controller bound");
-        match execute_offload(&selection, &keys, self.client(), endpoint, &self.tables) {
-            Ok(outcome) => {
+        // Resolve the surrogate endpoint: provider-backed runs acquire one
+        // lazily (and may have none reachable right now); fixed-link runs
+        // use the endpoint bound at startup.
+        let endpoint = if let Some(core) = self.failover.get() {
+            match core.acquire_for_offload() {
+                Some(ep) => ep,
+                None => {
+                    // No surrogate reachable (or backoff gate closed): stay
+                    // local; the next trigger re-evaluates.
+                    self.monitor.reset_memory_trigger();
+                    return;
+                }
+            }
+        } else {
+            self.endpoint.get().expect("controller bound").clone()
+        };
+        match execute_offload_tracked(&selection, &keys, self.client(), &endpoint, &self.tables) {
+            Ok((outcome, shadow, pins)) => {
+                if let Some(core) = self.failover.get() {
+                    core.record_shipment(shadow, pins);
+                }
                 self.events.lock().push(OffloadEvent {
                     at_gc_cycle,
                     graph: decision.graph,
@@ -207,8 +262,13 @@ impl Controller {
             }
             Err(err) => {
                 // Migration failure is not fatal to the application; the
-                // client simply stays unpartitioned. Record nothing.
+                // client simply stays unpartitioned. Record nothing — but on
+                // a provider-backed run, check whether the failure was the
+                // surrogate dying mid-migration and recover if so.
                 let _ = err;
+                if let Some(core) = self.failover.get() {
+                    core.fail_active_if_dead();
+                }
                 self.monitor.reset_memory_trigger();
             }
         }
@@ -217,8 +277,16 @@ impl Controller {
     /// Distributed GC: after a client collection, release remote references
     /// the client no longer holds in heap slots or mutator roots.
     fn release_dropped_refs(&self) {
-        let Some(endpoint) = self.endpoint.get() else {
-            return;
+        let endpoint = if let Some(core) = self.failover.get() {
+            // Provider-backed: the active lease, if any. With no surrogate
+            // attached, still sweep the import table (nobody to notify, but
+            // the table must reflect what the client actually references).
+            core.endpoint_for_call()
+        } else {
+            match self.endpoint.get() {
+                Some(ep) => Some(ep.clone()),
+                None => return,
+            }
         };
         let still = {
             let vm = self.client().vm();
@@ -227,7 +295,9 @@ impl Controller {
         };
         let dropped = self.tables.imports.sweep_dropped(&still);
         if !dropped.is_empty() {
-            let _ = endpoint.call(Request::GcRelease { objects: dropped });
+            if let Some(endpoint) = endpoint {
+                let _ = endpoint.call(Request::GcRelease { objects: dropped });
+            }
         }
     }
 }
@@ -256,6 +326,10 @@ impl RuntimeHooks for Controller {
 pub struct Platform {
     program: Arc<Program>,
     config: PlatformConfig,
+    /// Provider-backed surrogate mode: when set, the run discovers and
+    /// acquires surrogates through the provider (with failover) instead of
+    /// building a fixed in-process pair.
+    surrogates: Option<(Arc<dyn SurrogateProvider>, FailoverConfig)>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -269,7 +343,43 @@ impl std::fmt::Debug for Platform {
 impl Platform {
     /// Creates a platform that will run `program` under `config`.
     pub fn new(program: Arc<Program>, config: PlatformConfig) -> Self {
-        Platform { program, config }
+        Platform {
+            program,
+            config,
+            surrogates: None,
+        }
+    }
+
+    /// Creates a platform whose surrogate connections come from `provider`
+    /// (e.g. the discovery registry in the `aide-surrogate` crate) instead
+    /// of a fixed in-process pair. The run survives surrogate failure: on
+    /// heartbeat loss or a mid-call disconnect, offloaded objects are
+    /// reinstated locally and the next resource-pressure trigger retries
+    /// against the provider's next candidate.
+    ///
+    /// `config.transport`, `config.surrogate_heap`, and
+    /// `config.surrogate_speed` are ignored in this mode — the surrogate end
+    /// is whatever the provider connects to.
+    pub fn with_surrogates(
+        program: Arc<Program>,
+        config: PlatformConfig,
+        provider: Arc<dyn SurrogateProvider>,
+    ) -> Self {
+        Platform {
+            program,
+            config,
+            surrogates: Some((provider, FailoverConfig::default())),
+        }
+    }
+
+    /// Overrides the failover tuning (heartbeat cadence, probe timeout,
+    /// re-acquisition backoff). Only meaningful after
+    /// [`Platform::with_surrogates`].
+    pub fn with_failover_config(mut self, failover: FailoverConfig) -> Self {
+        if let Some((_, cfg)) = self.surrogates.as_mut() {
+            *cfg = failover;
+        }
+        self
     }
 
     /// The platform configuration.
@@ -279,6 +389,9 @@ impl Platform {
 
     /// Runs the application to completion (or failure) and reports.
     pub fn run(&self) -> PlatformReport {
+        if let Some((provider, failover_cfg)) = self.surrogates.clone() {
+            return self.run_with_provider(provider, &failover_cfg);
+        }
         let cfg = &self.config;
 
         // VM configurations.
@@ -324,8 +437,9 @@ impl Platform {
         let surrogate_vm = Arc::new(Mutex::new(Vm::new(self.program.clone(), surrogate_cfg)));
         let (link, ct, st) = match cfg.transport {
             TransportKind::InProcess => Link::pair(cfg.comm),
-            TransportKind::Tcp => aide_rpc::tcp_pair(cfg.comm)
-                .expect("binding a localhost TCP pair for the RPC link"),
+            TransportKind::Tcp => {
+                aide_rpc::tcp_pair(cfg.comm).expect("binding a localhost TCP pair for the RPC link")
+            }
         };
         let net_clock = link.clock.clone();
         let client_tables = Arc::new(RefTables::new());
@@ -339,6 +453,7 @@ impl Platform {
             evaluation: cfg.evaluation,
             client: std::sync::OnceLock::new(),
             endpoint: std::sync::OnceLock::new(),
+            failover: std::sync::OnceLock::new(),
             tables: client_tables.clone(),
             max_offloads: cfg.max_offloads,
             offloads_done: AtomicU32::new(0),
@@ -423,6 +538,136 @@ impl Platform {
             client_requests_served: client_ep.requests_served(),
             frames_exchanged: client_ep.traffic().frames_sent()
                 + surrogate_ep.traffic().frames_sent(),
+            failover: None,
+        }
+    }
+
+    /// Provider-backed run: client VM only; surrogate sessions are acquired
+    /// from the provider on demand and replaced on failure.
+    fn run_with_provider(
+        &self,
+        provider: Arc<dyn SurrogateProvider>,
+        failover_cfg: &FailoverConfig,
+    ) -> PlatformReport {
+        let cfg = &self.config;
+
+        let mut client_cfg = VmConfig::client(cfg.client_heap);
+        client_cfg.gc = cfg.gc;
+        client_cfg.cost = cfg.cost;
+        client_cfg.stateless_natives_local = cfg.stateless_natives_local;
+        if cfg.monitoring {
+            client_cfg.cost.monitor_event_micros = cfg.monitor_event_micros;
+        }
+
+        let object_granular = if cfg.array_object_granularity {
+            self.program
+                .classes()
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.is_primitive_array)
+                .map(|(i, _)| ClassId(i as u32))
+                .collect()
+        } else {
+            Default::default()
+        };
+        let monitor = Arc::new(Monitor::new(
+            self.program.clone(),
+            cfg.trigger,
+            object_granular,
+        ));
+
+        let client_vm = Arc::new(Mutex::new(Vm::new(self.program.clone(), client_cfg)));
+        let net_clock = Arc::new(NetClock::new());
+        let client_tables = Arc::new(RefTables::new());
+
+        let controller = Arc::new(Controller {
+            monitor: monitor.clone(),
+            policy: cfg.policy.build(cfg.comm, cfg.surrogate_speed),
+            evaluation: cfg.evaluation,
+            client: std::sync::OnceLock::new(),
+            endpoint: std::sync::OnceLock::new(),
+            failover: std::sync::OnceLock::new(),
+            tables: client_tables.clone(),
+            max_offloads: cfg.max_offloads,
+            offloads_done: AtomicU32::new(0),
+            events: Mutex::new(Vec::new()),
+            evaluating: Mutex::new(()),
+        });
+
+        let client_hooks: Arc<dyn RuntimeHooks> = if cfg.monitoring {
+            Arc::new(HookChain::new(vec![monitor.clone(), controller.clone()]))
+        } else {
+            Arc::new(NullHooks)
+        };
+        let client_machine = Machine::with_parts(client_vm.clone(), client_hooks, None);
+
+        // Every surrogate session the provider opens shares the client's
+        // dispatcher (serving surrogate callbacks), link pricing, and clock.
+        let ctx = ProviderContext {
+            comm: cfg.comm,
+            clock: net_clock.clone(),
+            dispatcher: Arc::new(VmDispatcher::new(
+                client_machine.clone(),
+                client_tables.clone(),
+            )),
+            endpoint_config: EndpointConfig::default(),
+        };
+        let core = Arc::new(FailoverCore::new(
+            provider,
+            ctx,
+            client_machine.clone(),
+            client_tables.clone(),
+            failover_cfg,
+        ));
+        client_machine.set_remote(Arc::new(FailoverAdapter::new(core.clone())));
+        controller.bind_failover(client_machine.clone(), core.clone());
+
+        // Heartbeat: probe the active surrogate so failures are detected
+        // even while the mutator runs purely locally.
+        let stop = Arc::new(AtomicBool::new(false));
+        let heartbeat = {
+            let core = core.clone();
+            let stop = stop.clone();
+            let interval = failover_cfg.heartbeat_interval;
+            std::thread::Builder::new()
+                .name("aide-heartbeat".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(interval);
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        core.heartbeat_tick();
+                    }
+                })
+                .expect("spawn heartbeat thread")
+        };
+
+        let outcome = client_machine.run_entry();
+
+        stop.store(true, Ordering::Relaxed);
+        let _ = heartbeat.join();
+        core.shutdown();
+
+        let (final_graph, _) = monitor.snapshot();
+        let offloads = std::mem::take(&mut *controller.events.lock());
+        let client_vm_guard = client_vm.lock();
+        PlatformReport {
+            outcome,
+            client_cpu_seconds: client_vm_guard.cpu_seconds(),
+            // Surrogate VMs live in the provider's daemons, out of process;
+            // their virtual CPU time is not visible from here.
+            surrogate_cpu_seconds: 0.0,
+            comm_seconds: net_clock.seconds(),
+            client_gc_cycles: client_vm_guard.collector().cycles(),
+            offloads,
+            final_graph,
+            metrics: monitor.metrics(),
+            remote_stats: monitor.remote_stats(),
+            surrogate_requests_served: 0,
+            client_requests_served: core.requests_served_total(),
+            frames_exchanged: core.frames_total(),
+            failover: Some(core.report()),
         }
     }
 }

@@ -19,11 +19,13 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use aide_core::{decide_with, EvaluationMode, HeuristicKind, Monitor, NodeKey, PolicyKind,
-    TriggerConfig};
+use aide_core::{
+    decide_with, EvaluationMode, HeuristicKind, Monitor, NodeKey, PolicyKind, TriggerConfig,
+};
 use aide_graph::{CommParams, ResourceSnapshot, Side};
-use aide_vm::{native_requires_client, ClassId, GcReport, Interaction, InteractionKind, ObjectId,
-    RuntimeHooks};
+use aide_vm::{
+    native_requires_client, ClassId, GcReport, Interaction, InteractionKind, ObjectId, RuntimeHooks,
+};
 
 use crate::trace::{Trace, TraceEvent};
 
@@ -57,6 +59,61 @@ pub struct EmulatorConfig {
     /// Candidate-generation heuristic (default: the paper's modified
     /// MINCUT; see [`HeuristicKind`]).
     pub heuristic: HeuristicKind,
+    /// Deterministic surrogate-failure injection: kill the emulated
+    /// surrogate once the virtual clock reaches the scheduled time.
+    /// `None` (the default) replays without failures.
+    #[serde(default)]
+    pub failure: Option<FailureSchedule>,
+}
+
+/// A scheduled surrogate failure (failover experiments).
+///
+/// At the chosen virtual time the emulated surrogate dies: every byte it
+/// hosted is reinstated into the client heap (charged against capacity —
+/// a reinstatement that does not fit shows up as OOM at the next
+/// allocation) and all placements flip back to the client. If a standby
+/// surrogate exists, offloading may resume after `reoffload_delay_seconds`
+/// of virtual time — the delay models discovery plus session
+/// re-establishment; each failure also extends the offload budget by one,
+/// so `max_offloads: 1` still allows the recovery re-offload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureSchedule {
+    /// Virtual time (seconds on the emulated serial clock) at which the
+    /// surrogate dies.
+    pub at_virtual_seconds: f64,
+    /// Whether a standby surrogate is available to re-offload to. With
+    /// `false`, the application continues degraded (client-only) and may
+    /// OOM if the workload no longer fits.
+    pub standby: bool,
+    /// Virtual seconds after the failure before the standby surrogate can
+    /// accept an offload.
+    pub reoffload_delay_seconds: f64,
+}
+
+impl FailureSchedule {
+    /// A failure at `at_virtual_seconds` with an immediately available
+    /// standby surrogate.
+    pub fn at(at_virtual_seconds: f64) -> Self {
+        FailureSchedule {
+            at_virtual_seconds,
+            standby: true,
+            reoffload_delay_seconds: 0.0,
+        }
+    }
+}
+
+/// One surrogate failure observed during a replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmuFailover {
+    /// Index of the trace event being replayed when the failure fired.
+    pub at_event: usize,
+    /// Virtual time of the failure, in seconds.
+    pub at_seconds: f64,
+    /// Bytes reinstated into the client heap from the dead surrogate.
+    pub reinstated_bytes: u64,
+    /// Whether anything had actually been offloaded when the surrogate
+    /// died (a failure before the first offload reinstates nothing).
+    pub had_offloaded: bool,
 }
 
 impl EmulatorConfig {
@@ -77,6 +134,7 @@ impl EmulatorConfig {
             max_offloads: 1,
             forced_surrogate: None,
             heuristic: HeuristicKind::default(),
+            failure: None,
         }
     }
 
@@ -97,6 +155,7 @@ impl EmulatorConfig {
             max_offloads: 1,
             forced_surrogate: None,
             heuristic: HeuristicKind::default(),
+            failure: None,
         }
     }
 }
@@ -156,6 +215,10 @@ pub struct EmulatorReport {
     pub baseline_seconds: f64,
     /// Offloads performed.
     pub offloads: Vec<EmulatedOffload>,
+    /// Surrogate failures injected by the configured
+    /// [`FailureSchedule`], if any.
+    #[serde(default)]
+    pub failovers: Vec<EmuFailover>,
     /// Remote-execution counters.
     pub remote: EmuRemoteStats,
     /// Peak live bytes on the emulated client heap.
@@ -266,7 +329,9 @@ impl Emulator {
         if let Some(names) = &cfg.forced_surrogate {
             for (i, meta) in trace.classes.iter().enumerate() {
                 if names.iter().any(|n| n == &meta.name) {
-                    placement.class_side.insert(ClassId(i as u32), Side::Surrogate);
+                    placement
+                        .class_side
+                        .insert(ClassId(i as u32), Side::Surrogate);
                 }
             }
         }
@@ -282,6 +347,13 @@ impl Emulator {
         let mut transfer = 0.0f64;
         let mut remote = EmuRemoteStats::default();
         let mut offloads: Vec<EmulatedOffload> = Vec::new();
+        let mut failovers: Vec<EmuFailover> = Vec::new();
+        // Set when the failure schedule fires with no standby: offloading
+        // is over for good, the client continues degraded.
+        let mut fleet_dead = false;
+        // Virtual time before which the standby surrogate cannot accept an
+        // offload (discovery + session re-establishment after a failure).
+        let mut reoffload_ready_at = 0.0f64;
         let mut emu_gc_cycle = 0u64;
         let mut freed_since_gc = 0u64;
         let mut work_since_eval = 0.0f64;
@@ -296,6 +368,45 @@ impl Emulator {
         };
 
         'replay: for (idx, event) in trace.events.iter().enumerate() {
+            // Scheduled surrogate death: once the virtual clock passes the
+            // configured instant, reinstate everything the surrogate hosted
+            // and flip all placements home. Reinstated bytes re-occupy the
+            // client heap; if they no longer fit, the next allocation hits
+            // the hard wall exactly as a real degraded client would.
+            if let Some(failure) = cfg.failure {
+                let now = client_cpu + surrogate_cpu + comm + transfer;
+                if failovers.is_empty() && now >= failure.at_virtual_seconds {
+                    let mut reinstated = 0u64;
+                    for entry in class_bytes.values_mut() {
+                        reinstated += entry.surrogate;
+                        entry.client += entry.surrogate;
+                        entry.surrogate = 0;
+                    }
+                    client_live += reinstated;
+                    peak_client = peak_client.max(client_live);
+                    for side in placement.class_side.values_mut() {
+                        *side = Side::Client;
+                    }
+                    for side in placement.object_side.values_mut() {
+                        *side = Side::Client;
+                    }
+                    failovers.push(EmuFailover {
+                        at_event: idx,
+                        at_seconds: now,
+                        reinstated_bytes: reinstated,
+                        had_offloaded: !offloads.is_empty(),
+                    });
+                    if failure.standby {
+                        reoffload_ready_at = now + failure.reoffload_delay_seconds;
+                    } else {
+                        fleet_dead = true;
+                    }
+                }
+            }
+            // Each failure extends the offload budget by one: recovering
+            // onto the standby surrogate must not consume the original
+            // allowance.
+            let offload_budget = cfg.max_offloads as usize + failovers.len();
             match event {
                 TraceEvent::Work { class, micros } => {
                     let side = placement.class(*class);
@@ -307,7 +418,9 @@ impl Emulator {
                     work_since_eval += micros;
                     if let EvaluationMode::Periodic { every_micros } = cfg.evaluation {
                         if work_since_eval >= every_micros
-                            && offloads.len() < cfg.max_offloads as usize
+                            && !fleet_dead
+                            && offloads.len() < offload_budget
+                            && client_cpu + surrogate_cpu + comm + transfer >= reoffload_ready_at
                         {
                             work_since_eval = 0.0;
                             if let Some(o) = self.try_partition(
@@ -388,7 +501,10 @@ impl Emulator {
                     if client_live > cfg.client_heap {
                         // Last-ditch evaluation (the prototype's hard-OOM
                         // path also forces GC reports + offload attempts).
-                        if offloads.len() < cfg.max_offloads as usize {
+                        // The reoffload delay is ignored here: facing OOM,
+                        // the client waits out session re-establishment
+                        // rather than dying.
+                        if !fleet_dead && offloads.len() < offload_budget {
                             if let Some(o) = self.try_partition(
                                 &monitor,
                                 policy.as_ref(),
@@ -435,9 +551,12 @@ impl Emulator {
                     bytes,
                 } => {
                     let caller_side = placement.class(*caller);
-                    let client_bound =
-                        native_requires_client(*kind, cfg.stateless_natives_local);
-                    let exec_side = if client_bound { Side::Client } else { caller_side };
+                    let client_bound = native_requires_client(*kind, cfg.stateless_natives_local);
+                    let exec_side = if client_bound {
+                        Side::Client
+                    } else {
+                        caller_side
+                    };
                     let is_remote = caller_side == Side::Surrogate && client_bound;
                     if is_remote {
                         comm += cfg.comm.interaction_seconds(*bytes);
@@ -484,7 +603,9 @@ impl Emulator {
                     monitor.on_gc(&emu_report);
                     if matches!(cfg.evaluation, EvaluationMode::OnMemoryPressure)
                         && monitor.memory_triggered()
-                        && offloads.len() < cfg.max_offloads as usize
+                        && !fleet_dead
+                        && offloads.len() < offload_budget
+                        && client_cpu + surrogate_cpu + comm + transfer >= reoffload_ready_at
                     {
                         if let Some(o) = self.try_partition(
                             &monitor,
@@ -516,6 +637,7 @@ impl Emulator {
             offload_transfer_seconds: transfer,
             baseline_seconds: trace.total_work_seconds(),
             offloads,
+            failovers,
             remote,
             peak_client_bytes: peak_client,
         }

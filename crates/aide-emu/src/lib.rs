@@ -45,7 +45,10 @@ mod record;
 mod sweep;
 mod trace;
 
-pub use emulator::{EmuRemoteStats, EmulatedOffload, Emulator, EmulatorConfig, EmulatorReport};
+pub use emulator::{
+    EmuFailover, EmuRemoteStats, EmulatedOffload, Emulator, EmulatorConfig, EmulatorReport,
+    FailureSchedule,
+};
 pub use multi::{
     Handoff, HandoffStrategy, MultiReport, MultiSurrogateConfig, MultiSurrogateEmulator,
     SurrogateSpec, SurrogateUse,

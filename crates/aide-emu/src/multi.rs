@@ -17,8 +17,9 @@ use serde::{Deserialize, Serialize};
 
 use aide_core::{decide, Monitor, NodeKey, TriggerConfig};
 use aide_graph::{CommParams, MemoryPolicy, ResourceSnapshot, Side};
-use aide_vm::{native_requires_client, ClassId, GcReport, Interaction, InteractionKind,
-    RuntimeHooks};
+use aide_vm::{
+    native_requires_client, ClassId, GcReport, Interaction, InteractionKind, RuntimeHooks,
+};
 
 use crate::trace::{Trace, TraceEvent};
 
@@ -124,7 +125,10 @@ impl MultiReport {
 
     /// Number of surrogates actually hosting data.
     pub fn surrogates_used(&self) -> usize {
-        self.surrogates.iter().filter(|s| s.bytes_hosted > 0).count()
+        self.surrogates
+            .iter()
+            .filter(|s| s.bytes_hosted > 0)
+            .count()
     }
 }
 
@@ -210,9 +214,10 @@ impl MultiSurrogateEmulator {
                     continue;
                 }
                 let bytes = class_bytes.get(&c).copied().unwrap_or(0);
-                let Some(&target) = order.iter().find(|&&s| {
-                    hosted_bytes[s] + bytes <= fleet[s].heap
-                }) else {
+                let Some(&target) = order
+                    .iter()
+                    .find(|&&s| hosted_bytes[s] + bytes <= fleet[s].heap)
+                else {
                     continue; // no surrogate can take this class; skip it
                 };
                 class_host.insert(c, target);
@@ -478,7 +483,10 @@ mod tests {
             ref_slots: 0,
             dst: Reg(0),
         }];
-        body.push(Op::PutSlot { slot: 0, src: Reg(0) });
+        body.push(Op::PutSlot {
+            slot: 0,
+            src: Reg(0),
+        });
         let mut slot = 1u16;
         for &class in &classes {
             for _ in 0..buffers_per_class {
@@ -496,7 +504,10 @@ mod tests {
         body.push(Op::Repeat {
             n: 40,
             body: vec![
-                Op::GetSlot { slot: 0, dst: Reg(2) },
+                Op::GetSlot {
+                    slot: 0,
+                    dst: Reg(2),
+                },
                 Op::Call {
                     obj: Reg(2),
                     class: ui,
@@ -545,8 +556,7 @@ mod tests {
     fn overflow_spills_to_the_second_surrogate() {
         let trace = record_program("bulky", bulky_program(10, 20_000), 64 << 20).unwrap();
         // The closest surrogate can host only one class's worth.
-        let report =
-            MultiSurrogateEmulator::new(fleet(&[220 << 10, 8 << 20])).replay(&trace);
+        let report = MultiSurrogateEmulator::new(fleet(&[220 << 10, 8 << 20])).replay(&trace);
         assert!(report.completed);
         assert_eq!(
             report.surrogates_used(),
@@ -637,7 +647,10 @@ mod handoff_tests {
             ref_slots: 0,
             dst: Reg(0),
         }];
-        body.push(Op::PutSlot { slot: 0, src: Reg(0) });
+        body.push(Op::PutSlot {
+            slot: 0,
+            src: Reg(0),
+        });
         for i in 0..20u16 {
             body.push(Op::New {
                 class: buf,
@@ -645,15 +658,27 @@ mod handoff_tests {
                 ref_slots: 0,
                 dst: Reg(1),
             });
-            body.push(Op::PutSlot { slot: 1 + i, src: Reg(1) });
+            body.push(Op::PutSlot {
+                slot: 1 + i,
+                src: Reg(1),
+            });
         }
         // Long tail of client<->buffer interactions.
         body.push(Op::Repeat {
             n: 2_000,
             body: vec![
-                Op::GetSlot { slot: 1, dst: Reg(2) },
-                Op::Read { obj: Reg(2), bytes: 64 },
-                Op::GetSlot { slot: 0, dst: Reg(3) },
+                Op::GetSlot {
+                    slot: 1,
+                    dst: Reg(2),
+                },
+                Op::Read {
+                    obj: Reg(2),
+                    bytes: 64,
+                },
+                Op::GetSlot {
+                    slot: 0,
+                    dst: Reg(3),
+                },
                 Op::Call {
                     obj: Reg(3),
                     class: ui,
@@ -701,9 +726,8 @@ mod handoff_tests {
         let at = trace.len() / 4;
         let keep = MultiSurrogateEmulator::new(roaming_config(HandoffStrategy::KeepRemote, at))
             .replay(&trace);
-        let migrate =
-            MultiSurrogateEmulator::new(roaming_config(HandoffStrategy::MigrateAll, at))
-                .replay(&trace);
+        let migrate = MultiSurrogateEmulator::new(roaming_config(HandoffStrategy::MigrateAll, at))
+            .replay(&trace);
         assert!(keep.completed && migrate.completed);
         assert!(
             migrate.total_seconds() < keep.total_seconds(),
@@ -724,9 +748,8 @@ mod handoff_tests {
         let at = trace.len() - 2;
         let keep = MultiSurrogateEmulator::new(roaming_config(HandoffStrategy::KeepRemote, at))
             .replay(&trace);
-        let migrate =
-            MultiSurrogateEmulator::new(roaming_config(HandoffStrategy::MigrateAll, at))
-                .replay(&trace);
+        let migrate = MultiSurrogateEmulator::new(roaming_config(HandoffStrategy::MigrateAll, at))
+            .replay(&trace);
         assert!(keep.completed && migrate.completed);
         assert!(
             keep.total_seconds() <= migrate.total_seconds(),

@@ -133,10 +133,9 @@ pub fn record_program(
     machine.run_entry()?;
     let events = {
         // The machine is done; we hold the only other Arc.
-        let recorder = Arc::try_unwrap(recorder)
-            .unwrap_or_else(|arc| Recorder {
-                events: Mutex::new(arc.events.lock().clone()),
-            });
+        let recorder = Arc::try_unwrap(recorder).unwrap_or_else(|arc| Recorder {
+            events: Mutex::new(arc.events.lock().clone()),
+        });
         recorder.into_events()
     };
     let mut trace = Trace::new(app_name, heap_capacity, Trace::class_meta_of(&program));

@@ -138,7 +138,10 @@ fn client_bound_natives_bounce_only_from_the_surrogate() {
     // Offloaded without the enhancement: both kinds bounce home.
     let plain = Emulator::new(forced_config(&["W"])).replay(&t);
     assert_eq!(plain.remote.remote_native_calls, 20);
-    assert!((plain.client_cpu_seconds - 0.02).abs() < 1e-9, "native work runs at home");
+    assert!(
+        (plain.client_cpu_seconds - 0.02).abs() < 1e-9,
+        "native work runs at home"
+    );
 
     // With the enhancement: only the framebuffer natives bounce.
     let mut cfg = forced_config(&["W"]);
@@ -279,4 +282,129 @@ fn wavelan_constants_are_the_papers() {
     assert_eq!(cfg.surrogate_speed, 1.0); // memory experiments: equal CPUs
     let cpu = EmulatorConfig::paper_cpu(16 << 20, 1.0);
     assert_eq!(cpu.surrogate_speed, 3.5); // CPU experiments: Jornada vs PC
+}
+
+/// A trace shaped for failover runs: a pinned UI and a Store that
+/// allocates 600 KB (pressuring a 640 KB heap into an offload at the
+/// third GC), then 10 s of Store work for the virtual clock to cross the
+/// scheduled failure, then three more GCs (re-pressure after
+/// reinstatement) and a final 100 KB allocation that only fits if the
+/// store left the client again.
+fn failover_trace() -> Trace {
+    let mut t = Trace::new(
+        "failover",
+        64 << 20,
+        meta(&[("Ui", true), ("Store", false)]),
+    );
+    let ui = ClassId(0);
+    let store = ClassId(1);
+    t.events.push(TraceEvent::Alloc {
+        class: store,
+        object: ObjectId::client(0),
+        bytes: 600 << 10,
+    });
+    t.events.push(TraceEvent::Interaction {
+        caller: ui,
+        callee: store,
+        target: Some(ObjectId::client(0)),
+        invocation: true,
+        bytes: 2_000,
+    });
+    for c in 1..=3 {
+        t.events.push(gc_event(c));
+    }
+    for _ in 0..10 {
+        t.events.push(TraceEvent::Work {
+            class: store,
+            micros: 1_000_000.0,
+        });
+    }
+    for c in 4..=6 {
+        t.events.push(gc_event(c));
+    }
+    t.events.push(TraceEvent::Alloc {
+        class: store,
+        object: ObjectId::client(1),
+        bytes: 100 << 10,
+    });
+    t
+}
+
+#[test]
+fn scheduled_failure_with_standby_reinstates_and_reoffloads() {
+    let mut cfg = EmulatorConfig::paper_memory(640 << 10);
+    cfg.failure = Some(aide_emu::FailureSchedule::at(1.0));
+    let report = Emulator::new(cfg).replay(&failover_trace());
+
+    assert!(report.completed, "standby surrogate rescues the replay");
+    assert_eq!(report.failovers.len(), 1);
+    let f = report.failovers[0];
+    assert!(
+        f.had_offloaded,
+        "the store was on the surrogate when it died"
+    );
+    assert_eq!(f.reinstated_bytes, 600 << 10);
+    assert!(f.at_seconds >= 1.0);
+    // Original offload plus the recovery re-offload, despite max_offloads=1:
+    // each failure extends the budget.
+    assert_eq!(report.offloads.len(), 2);
+    assert!(report.offloads[1].at_event > f.at_event);
+    assert_eq!(report.offloads[1].bytes_moved, 600 << 10);
+}
+
+#[test]
+fn scheduled_failure_without_standby_degrades_to_client_only_oom() {
+    let mut cfg = EmulatorConfig::paper_memory(640 << 10);
+    cfg.failure = Some(aide_emu::FailureSchedule {
+        at_virtual_seconds: 1.0,
+        standby: false,
+        reoffload_delay_seconds: 0.0,
+    });
+    let report = Emulator::new(cfg).replay(&failover_trace());
+
+    assert_eq!(report.failovers.len(), 1);
+    assert_eq!(report.failovers[0].reinstated_bytes, 600 << 10);
+    assert_eq!(report.offloads.len(), 1, "no surrogate left to retry");
+    // The reinstated store plus the final allocation exceed the heap.
+    assert!(!report.completed);
+    assert!(report.oom_at_event.is_some());
+}
+
+#[test]
+fn failure_before_any_offload_reinstates_nothing() {
+    let mut cfg = EmulatorConfig::paper_memory(640 << 10);
+    cfg.failure = Some(aide_emu::FailureSchedule::at(0.0));
+    let report = Emulator::new(cfg).replay(&failover_trace());
+
+    assert_eq!(report.failovers.len(), 1);
+    let f = report.failovers[0];
+    assert!(!f.had_offloaded);
+    assert_eq!(f.reinstated_bytes, 0);
+    // The standby (budget 1 + 1) still carries the replay to completion.
+    assert!(report.completed);
+    assert!(!report.offloads.is_empty());
+}
+
+#[test]
+fn reoffload_delay_defers_recovery_until_the_hard_wall() {
+    let mut cfg = EmulatorConfig::paper_memory(640 << 10);
+    cfg.failure = Some(aide_emu::FailureSchedule {
+        at_virtual_seconds: 1.0,
+        standby: true,
+        // Longer than the whole replay: the pressure-triggered recovery
+        // path stays gated...
+        reoffload_delay_seconds: 1e6,
+    });
+    let report = Emulator::new(cfg).replay(&failover_trace());
+
+    // ...but the last-ditch evaluation at the hard memory wall ignores the
+    // delay (the client waits out session setup rather than dying), so the
+    // replay still completes — with the recovery offload at the final
+    // allocation event, not at the earlier GC trigger.
+    assert!(report.completed);
+    assert_eq!(report.offloads.len(), 2);
+    assert_eq!(
+        report.offloads[1].at_event,
+        failover_trace().events.len() - 1
+    );
 }

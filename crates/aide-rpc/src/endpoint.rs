@@ -77,6 +77,10 @@ pub struct EndpointConfig {
     pub workers: usize,
     /// How long a caller waits for a reply before giving up.
     pub call_timeout: Duration,
+    /// How long the receiver keeps draining in-flight replies after
+    /// shutdown begins. Bounds [`Endpoint::join`] even when the peer never
+    /// acknowledges the shutdown (a crashed or hung surrogate).
+    pub drain_timeout: Duration,
 }
 
 impl Default for EndpointConfig {
@@ -84,6 +88,7 @@ impl Default for EndpointConfig {
         EndpointConfig {
             workers: 64,
             call_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(1),
         }
     }
 }
@@ -98,6 +103,7 @@ pub struct Endpoint {
     pending: PendingMap,
     next_seq: AtomicU64,
     closing: Arc<AtomicBool>,
+    shutdown_tx: Sender<()>,
     config: EndpointConfig,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     requests_served: Arc<AtomicU64>,
@@ -124,6 +130,7 @@ impl Endpoint {
         dispatcher: Arc<dyn Dispatcher>,
         config: EndpointConfig,
     ) -> Arc<Endpoint> {
+        let (shutdown_tx, shutdown_rx) = unbounded::<()>();
         let endpoint = Arc::new(Endpoint {
             transport: transport.clone(),
             params,
@@ -131,6 +138,7 @@ impl Endpoint {
             pending: Arc::new(Mutex::new(HashMap::new())),
             next_seq: AtomicU64::new(0),
             closing: Arc::new(AtomicBool::new(false)),
+            shutdown_tx,
             config,
             threads: Mutex::new(Vec::new()),
             requests_served: Arc::new(AtomicU64::new(0)),
@@ -167,11 +175,19 @@ impl Endpoint {
             let transport = transport.clone();
             let pending = endpoint.pending.clone();
             let closing = endpoint.closing.clone();
+            let drain_timeout = config.drain_timeout;
             handles.push(
                 std::thread::Builder::new()
                     .name("rpc-recv".into())
                     .spawn(move || {
-                        receiver_loop(&transport, &pending, &closing, &job_tx);
+                        receiver_loop(
+                            &transport,
+                            &pending,
+                            &closing,
+                            &job_tx,
+                            &shutdown_rx,
+                            drain_timeout,
+                        );
                         // Receiver gone: fail all outstanding calls.
                         pending.lock().clear();
                     })
@@ -206,10 +222,7 @@ impl Endpoint {
     /// [`RpcError::Disconnected`] / [`RpcError::Timeout`] on link failures.
     pub fn call(&self, request: Request) -> Result<Reply, RpcError> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-        let msg = Message::Request {
-            seq,
-            body: request,
-        };
+        let msg = Message::Request { seq, body: request };
         let req_bytes = msg.simulated_request_bytes();
         let (reply_bytes, is_migrate) = match &msg {
             Message::Request { body, .. } => (
@@ -251,8 +264,46 @@ impl Endpoint {
         result.map_err(RpcError::Remote)
     }
 
+    /// Sends a null RPC ([`Request::Ping`]) and measures the *real*
+    /// round-trip time.
+    ///
+    /// Unlike [`call`], no simulated link time is charged and no round trip
+    /// is recorded on the [`NetClock`]: probes are health measurements
+    /// (surrogate discovery, heartbeats), not application communication, so
+    /// they must not pollute virtual-time accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Timeout`] if no reply arrives within `timeout`,
+    /// [`RpcError::Disconnected`] if the link is down.
+    ///
+    /// [`call`]: Endpoint::call
+    pub fn probe(&self, timeout: Duration) -> Result<Duration, RpcError> {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = unbounded();
+        self.pending.lock().insert(seq, tx);
+        let frame = Message::Request {
+            seq,
+            body: Request::Ping,
+        }
+        .encode();
+        let started = std::time::Instant::now();
+        if let Err(e) = self.transport.send(frame.to_vec()) {
+            self.pending.lock().remove(&seq);
+            return Err(e.into());
+        }
+        let outcome = rx.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => RpcError::Timeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => RpcError::Disconnected,
+        });
+        self.pending.lock().remove(&seq);
+        outcome?.map_err(RpcError::Remote)?;
+        Ok(started.elapsed())
+    }
+
     /// Initiates an orderly shutdown: tells the peer (fire-and-forget so a
-    /// half-closed peer cannot stall us), then stops accepting.
+    /// half-closed peer cannot stall us), then signals the receiver to
+    /// begin its bounded drain.
     pub fn shutdown(&self) {
         if self.closing.swap(true, Ordering::SeqCst) {
             return;
@@ -264,10 +315,13 @@ impl Endpoint {
         }
         .encode();
         let _ = self.transport.send(frame.to_vec());
+        let _ = self.shutdown_tx.send(());
     }
 
-    /// Waits for the endpoint's threads to finish (after [`shutdown`] on
-    /// both sides or link disconnection).
+    /// Waits for the endpoint's threads to finish. After [`shutdown`] this
+    /// returns within roughly [`EndpointConfig::drain_timeout`] even if the
+    /// peer is dead or never acknowledges — the receiver's drain phase has
+    /// a deadline, not just an idle condition.
     ///
     /// [`shutdown`]: Endpoint::shutdown
     pub fn join(&self) {
@@ -283,25 +337,53 @@ fn receiver_loop(
     pending: &PendingMap,
     closing: &AtomicBool,
     jobs: &Sender<(u64, Request)>,
+    shutdown: &Receiver<()>,
+    drain_timeout: Duration,
 ) {
+    let incoming = transport.incoming();
+    // `None` while running normally; set to a deadline once shutdown begins
+    // (locally via the signal channel, or by the peer's Shutdown frame).
+    // The deadline bounds the drain of in-flight replies so `join()` cannot
+    // hang on a peer that never acknowledges.
+    let mut drain_until: Option<std::time::Instant> = None;
     loop {
-        let frame = match transport.recv_timeout(Duration::from_millis(50)) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => {
-                // Idle: exit once shutdown was requested and nothing is in
-                // flight (all pending calls completed or abandoned).
-                if closing.load(Ordering::SeqCst) && pending.lock().is_empty() {
-                    return;
-                }
-                continue;
+        let frame = if let Some(deadline) = drain_until {
+            if pending.lock().is_empty() {
+                return;
             }
-            Err(_) => return,
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return;
+            }
+            match incoming.recv_timeout((deadline - now).min(Duration::from_millis(20))) {
+                Ok(frame) => frame,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            }
+        } else {
+            // Steady state: block on the transport with no idle wakeups; an
+            // explicit shutdown signal interrupts the wait immediately.
+            crossbeam::select! {
+                recv(incoming) -> msg => match msg {
+                    Ok(frame) => frame,
+                    Err(_) => return,
+                },
+                recv(shutdown) -> _ => {
+                    closing.store(true, Ordering::SeqCst);
+                    drain_until = Some(std::time::Instant::now() + drain_timeout);
+                    continue;
+                }
+            }
         };
+        transport.note_received(frame.len());
         match Message::decode(&frame) {
             Ok(Message::Request { seq, body }) => {
                 if matches!(body, Request::Shutdown) {
                     // Fire-and-forget: the sender does not wait for a reply.
                     closing.store(true, Ordering::SeqCst);
+                    if drain_until.is_none() {
+                        drain_until = Some(std::time::Instant::now() + drain_timeout);
+                    }
                     continue;
                 }
                 if jobs.send((seq, body)).is_err() {
@@ -355,7 +437,13 @@ mod tests {
         let d2 = Arc::new(TestDispatcher {
             known: ObjectId::surrogate(2),
         });
-        let client = Endpoint::start(ct, link.params, clock.clone(), d1, EndpointConfig::default());
+        let client = Endpoint::start(
+            ct,
+            link.params,
+            clock.clone(),
+            d1,
+            EndpointConfig::default(),
+        );
         let surrogate = Endpoint::start(st, link.params, clock, d2, EndpointConfig::default());
         (client, surrogate)
     }
@@ -466,6 +554,7 @@ mod tests {
             EndpointConfig {
                 workers: 2,
                 call_timeout: Duration::from_millis(200),
+                drain_timeout: Duration::from_millis(200),
             },
         );
         drop(st); // peer never existed
@@ -475,5 +564,89 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, RpcError::Disconnected | RpcError::Timeout));
+    }
+
+    #[test]
+    fn probe_measures_rtt_without_charging_link_time() {
+        let (client, surrogate) = pair();
+        let before_seconds = client.clock().seconds();
+        let before_trips = client.clock().round_trips();
+        client.probe(Duration::from_secs(2)).unwrap();
+        assert_eq!(client.clock().seconds(), before_seconds);
+        assert_eq!(client.clock().round_trips(), before_trips);
+        assert_eq!(surrogate.requests_served(), 1);
+    }
+
+    #[test]
+    fn probe_times_out_against_a_silent_peer() {
+        let (link, ct, _st) = Link::pair(CommParams::WAVELAN);
+        let client = Endpoint::start(
+            ct,
+            link.params,
+            link.clock.clone(),
+            Arc::new(TestDispatcher {
+                known: ObjectId::client(1),
+            }),
+            EndpointConfig::default(),
+        );
+        // `_st` is alive but nothing serves it: the probe must not hang.
+        let err = client.probe(Duration::from_millis(100)).unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+    }
+
+    #[test]
+    fn join_is_bounded_when_peer_never_acks_with_calls_in_flight() {
+        let (link, ct, _st) = Link::pair(CommParams::WAVELAN);
+        let client = Endpoint::start(
+            ct,
+            link.params,
+            link.clock.clone(),
+            Arc::new(TestDispatcher {
+                known: ObjectId::client(1),
+            }),
+            EndpointConfig {
+                workers: 2,
+                call_timeout: Duration::from_secs(30),
+                drain_timeout: Duration::from_millis(100),
+            },
+        );
+        // A call that will never be answered: the peer transport is held
+        // open (so the link is up) but nothing serves it.
+        let caller = {
+            let c = client.clone();
+            std::thread::spawn(move || {
+                c.call(Request::ClassOf {
+                    target: ObjectId::surrogate(0),
+                })
+                .unwrap_err()
+            })
+        };
+        // Let the call get in flight before shutting down.
+        std::thread::sleep(Duration::from_millis(50));
+        let started = std::time::Instant::now();
+        client.shutdown();
+        client.join();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "join must be bounded by the drain deadline, took {:?}",
+            started.elapsed()
+        );
+        // The abandoned caller fails fast once the receiver clears pending.
+        let err = caller.join().unwrap();
+        assert!(matches!(err, RpcError::Disconnected | RpcError::Timeout));
+    }
+
+    #[test]
+    fn shutdown_with_idle_peer_joins_promptly() {
+        let (client, surrogate) = pair();
+        let started = std::time::Instant::now();
+        client.shutdown();
+        client.join();
+        surrogate.join();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "both sides wound down, took {:?}",
+            started.elapsed()
+        );
     }
 }

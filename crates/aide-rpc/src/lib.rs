@@ -57,5 +57,5 @@ mod wire;
 pub use endpoint::{Dispatcher, Endpoint, EndpointConfig, RpcError};
 pub use link::{Link, LinkError, NetClock, TrafficStats, Transport};
 pub use reftable::{live_remote_refs, ExportTable, ImportTable};
-pub use tcp::tcp_pair;
+pub use tcp::{tcp_pair, tcp_transport};
 pub use wire::{Message, Reply, Request, WireError};

@@ -155,10 +155,7 @@ impl Transport {
     /// # Errors
     ///
     /// Returns [`LinkError::Disconnected`] when the peer hung up.
-    pub fn recv_timeout(
-        &self,
-        timeout: std::time::Duration,
-    ) -> Result<Option<Vec<u8>>, LinkError> {
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Option<Vec<u8>>, LinkError> {
         match self.rx.recv_timeout(timeout) {
             Ok(frame) => {
                 self.stats.note_received(frame.len());
@@ -172,6 +169,20 @@ impl Transport {
     /// This endpoint's traffic statistics.
     pub fn stats(&self) -> &Arc<TrafficStats> {
         &self.stats
+    }
+
+    /// Raw access to the incoming-frame channel, for select-based receive
+    /// loops. Callers pulling frames off this channel directly must pair
+    /// each one with [`Transport::note_received`] so traffic statistics
+    /// stay exact.
+    pub(crate) fn incoming(&self) -> &Receiver<Vec<u8>> {
+        &self.rx
+    }
+
+    /// Records one received frame in the traffic statistics (companion to
+    /// [`Transport::incoming`]).
+    pub(crate) fn note_received(&self, bytes: usize) {
+        self.stats.note_received(bytes);
     }
 }
 

@@ -38,8 +38,8 @@ pub fn tcp_pair(params: CommParams) -> std::io::Result<(Link, Transport, Transpo
     client_stream.set_nodelay(true)?;
     surrogate_stream.set_nodelay(true)?;
 
-    let client = bridge(client_stream)?;
-    let surrogate = bridge(surrogate_stream)?;
+    let client = tcp_transport(client_stream)?;
+    let surrogate = tcp_transport(surrogate_stream)?;
     Ok((
         Link {
             params,
@@ -50,8 +50,20 @@ pub fn tcp_pair(params: CommParams) -> std::io::Result<(Link, Transport, Transpo
     ))
 }
 
-/// Spawns reader/writer threads bridging `stream` to a [`Transport`].
-fn bridge(stream: TcpStream) -> std::io::Result<Transport> {
+/// Wraps one already-connected socket in a [`Transport`], spawning reader
+/// and writer threads that bridge it to the transport's channels.
+///
+/// This is the building block for standalone daemons (e.g. the
+/// `aide-surrogate` daemon accepts client sessions and wraps each accepted
+/// socket); [`tcp_pair`] uses it for both ends of a loopback pair. Frames
+/// are length-prefixed with a little-endian `u32`; a prefix larger than the
+/// 64 MiB `MAX_FRAME` cap or a mid-frame EOF tears the connection down,
+/// which callers observe as a disconnected transport.
+///
+/// # Errors
+///
+/// Returns any I/O error from cloning the stream for the writer half.
+pub fn tcp_transport(stream: TcpStream) -> std::io::Result<Transport> {
     let (out_tx, out_rx) = unbounded::<Vec<u8>>();
     let (in_tx, in_rx) = unbounded::<Vec<u8>>();
     let stats = Arc::new(TrafficStats::default());
@@ -163,5 +175,74 @@ mod tests {
         assert!(client.clock().seconds() >= 50.0 * 2.4e-3);
         client.shutdown();
         surrogate.shutdown();
+    }
+
+    /// An accepted socket paired with a raw peer we can feed bytes through.
+    fn raw_pair() -> (TcpStream, Transport) {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = TcpStream::connect(addr).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        accepted.set_nodelay(true).unwrap();
+        raw.set_nodelay(true).unwrap();
+        (raw, tcp_transport(accepted).unwrap())
+    }
+
+    #[test]
+    fn tcp_transport_carries_well_formed_frames() {
+        let (mut raw, transport) = raw_pair();
+        raw.write_all(&3u32.to_le_bytes()).unwrap();
+        raw.write_all(&[1, 2, 3]).unwrap();
+        assert_eq!(transport.recv().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn oversized_length_prefix_disconnects_without_allocating() {
+        let (mut raw, transport) = raw_pair();
+        // A corrupted prefix claiming a frame beyond MAX_FRAME must tear
+        // the connection down, not attempt a 4 GiB allocation.
+        raw.write_all(&(MAX_FRAME + 1).to_le_bytes()).unwrap();
+        raw.write_all(&[0u8; 16]).unwrap();
+        assert!(transport.recv().is_err());
+    }
+
+    #[test]
+    fn mid_frame_eof_disconnects_cleanly() {
+        let (mut raw, transport) = raw_pair();
+        // Announce 100 bytes, deliver 10, then hang up.
+        raw.write_all(&100u32.to_le_bytes()).unwrap();
+        raw.write_all(&[7u8; 10]).unwrap();
+        drop(raw);
+        assert!(transport.recv().is_err());
+    }
+
+    #[test]
+    fn dead_socket_surfaces_disconnected_on_the_next_call() {
+        let (link, ct, st) = tcp_pair(CommParams::WAVELAN).unwrap();
+        let client = Endpoint::start(
+            ct,
+            link.params,
+            link.clock.clone(),
+            std::sync::Arc::new(Fixed),
+            EndpointConfig {
+                workers: 2,
+                call_timeout: std::time::Duration::from_secs(5),
+                drain_timeout: std::time::Duration::from_millis(200),
+            },
+        );
+        // The peer dies without any endpoint ever serving it.
+        drop(st);
+        let err = client
+            .call(Request::ClassOf {
+                target: ObjectId::surrogate(1),
+            })
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::endpoint::RpcError::Disconnected | crate::endpoint::RpcError::Timeout
+            ),
+            "expected a disconnect, got {err:?}"
+        );
     }
 }

@@ -123,6 +123,11 @@ pub enum Request {
     },
     /// Orderly connection teardown.
     Shutdown,
+    /// Null RPC: the serving VM replies immediately with no work. Used by
+    /// surrogate discovery and liveness probes to measure the real
+    /// round-trip time (the paper's 2.4 ms null-RPC figure, §5) — probes
+    /// deliberately bypass simulated link-time accounting.
+    Ping,
 }
 
 /// A successful reply payload.
@@ -191,7 +196,7 @@ impl Message {
                             .map(|(_, rec)| rec.footprint() + 16)
                             .sum::<u64>(),
                         Request::GcRelease { objects } => 8 * objects.len() as u64,
-                        Request::Shutdown => 0,
+                        Request::Shutdown | Request::Ping => 0,
                     }
             }
             Message::Reply { .. } => HEADER,
@@ -381,6 +386,7 @@ fn encode_request(buf: &mut BytesMut, body: &Request) {
             }
         }
         Request::Shutdown => buf.put_u8(9),
+        Request::Ping => buf.put_u8(10),
     }
 }
 
@@ -461,6 +467,7 @@ fn decode_request(buf: &mut &[u8]) -> Result<Request, WireError> {
             Request::GcRelease { objects }
         }
         9 => Request::Shutdown,
+        10 => Request::Ping,
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -645,6 +652,7 @@ mod tests {
                 objects: vec![ObjectId::client(5), ObjectId::client(6)],
             },
             Request::Shutdown,
+            Request::Ping,
         ];
         for (i, body) in requests.into_iter().enumerate() {
             round_trip(Message::Request {
@@ -734,7 +742,10 @@ mod tests {
             bytes: 4_096,
             write: false,
         };
-        let msg = Message::Request { seq: 0, body: read.clone() };
+        let msg = Message::Request {
+            seq: 0,
+            body: read.clone(),
+        };
         // A read sends no payload out; the data comes back in the reply.
         assert_eq!(msg.simulated_request_bytes(), 32);
         assert_eq!(Message::simulated_reply_bytes(&read), 32 + 4_096);

@@ -1,0 +1,272 @@
+//! The surrogate daemon: a long-running process that lends its memory and
+//! cycles to resource-constrained clients.
+//!
+//! The daemon listens on TCP and serves any number of concurrent client
+//! sessions. Each accepted connection gets its own surrogate VM, export/
+//! import tables, dispatcher, and RPC endpoint — sessions are fully
+//! isolated, exactly as the paper's surrogate hosts one platform instance
+//! per client application. A session ends when the client disconnects; the
+//! daemon itself runs until [`SurrogateDaemon::shutdown`].
+//!
+//! For failover testing the daemon can be configured to *crash* a session
+//! deliberately: [`DaemonConfig::fail_after_requests`] arms a fault
+//! injector that severs the session's socket after serving a fixed number
+//! of application requests, which the client observes as a dead surrogate
+//! (disconnected transport), not as a polite error reply.
+
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use aide_core::{RefTables, VmDispatcher};
+use aide_graph::CommParams;
+use aide_rpc::{tcp_transport, Dispatcher, Endpoint, EndpointConfig, NetClock, Reply, Request};
+use aide_vm::{Machine, Program, VmConfig};
+use parking_lot::Mutex;
+
+use crate::beacon::{spawn_announcer, Announcement, BeaconConfig};
+
+/// Configuration for a [`SurrogateDaemon`].
+#[derive(Clone)]
+pub struct DaemonConfig {
+    /// Address to listen on; use port 0 to let the OS pick (the bound
+    /// address is available from [`SurrogateDaemon::local_addr`]).
+    pub addr: SocketAddr,
+    /// Name announced over the beacon and reported to registries.
+    pub name: String,
+    /// Heap capacity granted to *each* client session's surrogate VM, and
+    /// advertised over the beacon.
+    pub capacity_bytes: u64,
+    /// The program this surrogate serves. Client and surrogate must run
+    /// the same program: object migration ships records whose class and
+    /// method identifiers are resolved against it.
+    pub program: Arc<Program>,
+    /// Simulated-link parameters charged by each session's endpoint.
+    pub params: CommParams,
+    /// Per-session endpoint tuning.
+    pub endpoint: EndpointConfig,
+    /// Fault injection: sever each session's socket after serving this
+    /// many application requests (`Ping` health probes are not counted, so
+    /// the crash point stays deterministic under heartbeating). `Some(0)`
+    /// kills the very first request — typically the client's initial
+    /// `Migrate` — exercising mid-offload rollback.
+    pub fail_after_requests: Option<u64>,
+    /// Optional beacon announcing this daemon; `None` means clients must
+    /// register the daemon's address statically.
+    pub beacon: Option<BeaconConfig>,
+}
+
+impl DaemonConfig {
+    /// A daemon on an OS-assigned localhost port with WaveLAN link timing
+    /// and a 64 MiB per-session heap.
+    pub fn new(name: &str, program: Arc<Program>) -> Self {
+        DaemonConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            name: name.to_string(),
+            capacity_bytes: 64 << 20,
+            program,
+            params: CommParams::WAVELAN,
+            endpoint: EndpointConfig::default(),
+            fail_after_requests: None,
+            beacon: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for DaemonConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DaemonConfig")
+            .field("addr", &self.addr)
+            .field("name", &self.name)
+            .field("capacity_bytes", &self.capacity_bytes)
+            .field("fail_after_requests", &self.fail_after_requests)
+            .field("beacon", &self.beacon)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Severs the session socket after a budget of served requests, so the
+/// client experiences a surrogate *crash* (dead link) rather than an error
+/// reply — error replies are application-level and must not trigger
+/// failover.
+struct FaultInjector {
+    inner: VmDispatcher,
+    remaining: AtomicI64,
+    socket: TcpStream,
+}
+
+impl Dispatcher for FaultInjector {
+    fn dispatch(&self, request: Request) -> Result<Reply, String> {
+        if matches!(request, Request::Ping) {
+            // Health probes ride for free: heartbeat cadence must not
+            // perturb the configured crash point.
+            return self.inner.dispatch(request);
+        }
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) <= 0 {
+            let _ = self.socket.shutdown(Shutdown::Both);
+            return Err("injected surrogate crash".to_string());
+        }
+        self.inner.dispatch(request)
+    }
+}
+
+/// One live client session kept for stats and teardown.
+struct Session {
+    endpoint: Arc<Endpoint>,
+}
+
+/// A running surrogate daemon; dropping the handle does *not* stop it —
+/// call [`shutdown`](SurrogateDaemon::shutdown).
+pub struct SurrogateDaemon {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    beacon_thread: Mutex<Option<JoinHandle<()>>>,
+    sessions: Arc<Mutex<Vec<Session>>>,
+    sessions_accepted: Arc<AtomicU64>,
+}
+
+impl SurrogateDaemon {
+    /// Binds the listener, spawns the accept loop (and the beacon, if
+    /// configured), and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from binding the TCP listener or the beacon's
+    /// UDP socket.
+    pub fn start(config: DaemonConfig) -> std::io::Result<SurrogateDaemon> {
+        let listener = TcpListener::bind(config.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let sessions: Arc<Mutex<Vec<Session>>> = Arc::new(Mutex::new(Vec::new()));
+        let sessions_accepted = Arc::new(AtomicU64::new(0));
+
+        let beacon_thread = match &config.beacon {
+            Some(beacon) => Some(spawn_announcer(
+                Announcement {
+                    name: config.name.clone(),
+                    port: addr.port(),
+                    capacity_bytes: config.capacity_bytes,
+                },
+                *beacon,
+                stop.clone(),
+            )?),
+            None => None,
+        };
+
+        let accept_thread = {
+            let stop = stop.clone();
+            let sessions = sessions.clone();
+            let sessions_accepted = sessions_accepted.clone();
+            std::thread::Builder::new()
+                .name(format!("aide-surrogate-{}", config.name))
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        match start_session(stream, &config) {
+                            Ok(session) => {
+                                sessions_accepted.fetch_add(1, Ordering::SeqCst);
+                                sessions.lock().push(session);
+                            }
+                            Err(_) => continue, // a broken accept hurts no one else
+                        }
+                    }
+                })
+                .expect("spawn surrogate accept loop")
+        };
+
+        Ok(SurrogateDaemon {
+            addr,
+            stop,
+            accept_thread: Mutex::new(Some(accept_thread)),
+            beacon_thread: Mutex::new(beacon_thread),
+            sessions,
+            sessions_accepted,
+        })
+    }
+
+    /// The address the daemon is actually listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of client sessions accepted so far (including finished ones).
+    pub fn sessions_accepted(&self) -> u64 {
+        self.sessions_accepted.load(Ordering::SeqCst)
+    }
+
+    /// Total application requests served across all sessions.
+    pub fn requests_served(&self) -> u64 {
+        self.sessions
+            .lock()
+            .iter()
+            .map(|s| s.endpoint.requests_served())
+            .sum()
+    }
+
+    /// Blocks until the daemon is shut down (from another thread). This is
+    /// what the `aide-surrogate` binary parks on.
+    pub fn join(&self) {
+        if let Some(handle) = self.accept_thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting, tears down every live session, and joins the
+    /// daemon's threads.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(handle) = self.accept_thread.lock().take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.beacon_thread.lock().take() {
+            let _ = handle.join();
+        }
+        let sessions = std::mem::take(&mut *self.sessions.lock());
+        for session in &sessions {
+            session.endpoint.shutdown();
+        }
+        for session in &sessions {
+            session.endpoint.join();
+        }
+    }
+}
+
+/// Builds the per-session machinery: a fresh surrogate VM over the daemon's
+/// program, its own reference tables and dispatcher, and an endpoint
+/// bridging them to the accepted socket.
+fn start_session(stream: TcpStream, config: &DaemonConfig) -> std::io::Result<Session> {
+    stream.set_nodelay(true)?;
+    let machine = Machine::new(
+        config.program.clone(),
+        VmConfig::surrogate(config.capacity_bytes),
+    );
+    let tables = Arc::new(RefTables::new());
+    let inner = VmDispatcher::new(machine, tables);
+    let dispatcher: Arc<dyn Dispatcher> = match config.fail_after_requests {
+        Some(budget) => Arc::new(FaultInjector {
+            inner,
+            remaining: AtomicI64::new(i64::try_from(budget).unwrap_or(i64::MAX)),
+            socket: stream.try_clone()?,
+        }),
+        None => Arc::new(inner),
+    };
+    let transport = tcp_transport(stream)?;
+    let endpoint = Endpoint::start(
+        transport,
+        config.params,
+        Arc::new(NetClock::new()),
+        dispatcher,
+        config.endpoint,
+    );
+    Ok(Session { endpoint })
+}

@@ -1,0 +1,309 @@
+//! Client-side surrogate discovery, health probing, and ranking.
+//!
+//! The registry is the client's view of the surrogate population: entries
+//! arrive by UDP-beacon discovery ([`SurrogateRegistry::discover`]) or by
+//! static registration (the fallback when no beacon reaches the client),
+//! are health-checked with a null-RPC probe that measures real round-trip
+//! time (the paper reports 2.4 ms for this on WaveLAN), and are ranked by
+//! `RTT / capacity` — prefer the fastest link, break ties toward the
+//! biggest surrogate. The registry implements
+//! [`SurrogateProvider`], so `Platform::with_surrogates` can lease the
+//! best-ranked live surrogate and fail over down the ranking as surrogates
+//! die.
+
+use std::collections::HashSet;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use aide_core::{ProviderContext, SurrogateLease, SurrogateProvider};
+use aide_graph::CommParams;
+use aide_rpc::{tcp_transport, Dispatcher, Endpoint, EndpointConfig, NetClock, Reply, Request};
+use parking_lot::Mutex;
+
+/// One known surrogate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurrogateInfo {
+    /// Name (unique key within the registry).
+    pub name: String,
+    /// RPC listener address.
+    pub addr: SocketAddr,
+    /// Advertised heap capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Last measured null-RPC round-trip time; `None` until probed.
+    pub rtt: Option<Duration>,
+}
+
+impl SurrogateInfo {
+    /// Ranking score: measured RTT weighted by advertised capacity (lower
+    /// is better). Unprobed surrogates rank after every probed one.
+    pub fn rank_score(&self) -> f64 {
+        match self.rtt {
+            Some(rtt) => rtt.as_secs_f64() / self.capacity_bytes.max(1) as f64,
+            None => f64::INFINITY,
+        }
+    }
+}
+
+/// Registry tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryConfig {
+    /// Simulated-link parameters for endpoints the registry builds.
+    pub params: CommParams,
+    /// TCP connect timeout when probing or leasing.
+    pub connect_timeout: Duration,
+    /// Null-RPC reply deadline for health probes.
+    pub probe_timeout: Duration,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            params: CommParams::WAVELAN,
+            connect_timeout: Duration::from_millis(500),
+            probe_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Probe endpoints only send; they never serve their peer.
+struct ProbeDispatcher;
+
+impl Dispatcher for ProbeDispatcher {
+    fn dispatch(&self, _request: Request) -> Result<Reply, String> {
+        Err("probe endpoint serves no requests".to_string())
+    }
+}
+
+/// The client's surrogate directory: discovery, liveness, ranking, and the
+/// [`SurrogateProvider`] the platform leases from.
+#[derive(Debug)]
+pub struct SurrogateRegistry {
+    config: RegistryConfig,
+    entries: Mutex<Vec<SurrogateInfo>>,
+    dead: Mutex<HashSet<String>>,
+}
+
+impl SurrogateRegistry {
+    /// An empty registry.
+    pub fn new(config: RegistryConfig) -> Self {
+        SurrogateRegistry {
+            config,
+            entries: Mutex::new(Vec::new()),
+            dead: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// Statically registers a surrogate — the fallback for segments the
+    /// beacon cannot reach. Re-registering a name updates its entry and
+    /// clears its death mark.
+    pub fn add_static(&self, name: &str, addr: SocketAddr, capacity_bytes: u64) {
+        self.upsert(SurrogateInfo {
+            name: name.to_string(),
+            addr,
+            capacity_bytes,
+            rtt: None,
+        });
+    }
+
+    /// Listens for beacon announcements on `listen` for `wait` and merges
+    /// everything heard. Returns how many distinct surrogates were added
+    /// or updated.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the UDP listener.
+    pub fn discover(&self, listen: SocketAddr, wait: Duration) -> std::io::Result<usize> {
+        let heard = crate::beacon::listen_for_announcements(listen, wait)?;
+        let mut merged = HashSet::new();
+        for (source, announcement) in heard {
+            merged.insert(announcement.name.clone());
+            self.upsert(SurrogateInfo {
+                name: announcement.name,
+                addr: SocketAddr::new(source.ip(), announcement.port),
+                capacity_bytes: announcement.capacity_bytes,
+                rtt: None,
+            });
+        }
+        Ok(merged.len())
+    }
+
+    fn upsert(&self, info: SurrogateInfo) {
+        self.dead.lock().remove(&info.name);
+        let mut entries = self.entries.lock();
+        match entries.iter_mut().find(|e| e.name == info.name) {
+            Some(existing) => *existing = info,
+            None => entries.push(info),
+        }
+    }
+
+    /// Probes every non-dead surrogate with a null RPC, recording measured
+    /// RTTs. Surrogates that cannot be reached are marked dead.
+    pub fn probe_all(&self) {
+        let snapshot = self.ranked();
+        for info in snapshot {
+            match self.probe_one(info.addr) {
+                Some(rtt) => {
+                    if let Some(entry) =
+                        self.entries.lock().iter_mut().find(|e| e.name == info.name)
+                    {
+                        entry.rtt = Some(rtt);
+                    }
+                }
+                None => {
+                    self.dead.lock().insert(info.name);
+                }
+            }
+        }
+    }
+
+    /// One health probe: connect, send a null RPC, measure the real RTT,
+    /// tear the probe session down.
+    fn probe_one(&self, addr: SocketAddr) -> Option<Duration> {
+        let endpoint = self.connect(addr, std::sync::Arc::new(ProbeDispatcher))?;
+        let rtt = endpoint.probe(self.config.probe_timeout).ok();
+        endpoint.shutdown();
+        endpoint.join();
+        rtt
+    }
+
+    fn connect(
+        &self,
+        addr: SocketAddr,
+        dispatcher: std::sync::Arc<dyn Dispatcher>,
+    ) -> Option<std::sync::Arc<Endpoint>> {
+        self.connect_with(addr, dispatcher, None, EndpointConfig::default())
+    }
+
+    fn connect_with(
+        &self,
+        addr: SocketAddr,
+        dispatcher: std::sync::Arc<dyn Dispatcher>,
+        clock: Option<std::sync::Arc<NetClock>>,
+        endpoint_config: EndpointConfig,
+    ) -> Option<std::sync::Arc<Endpoint>> {
+        let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout).ok()?;
+        stream.set_nodelay(true).ok()?;
+        let transport = tcp_transport(stream).ok()?;
+        Some(Endpoint::start(
+            transport,
+            self.config.params,
+            clock.unwrap_or_else(|| std::sync::Arc::new(NetClock::new())),
+            dispatcher,
+            endpoint_config,
+        ))
+    }
+
+    /// Live (non-dead) surrogates, best-ranked first.
+    pub fn ranked(&self) -> Vec<SurrogateInfo> {
+        let dead = self.dead.lock();
+        let mut live: Vec<SurrogateInfo> = self
+            .entries
+            .lock()
+            .iter()
+            .filter(|e| !dead.contains(&e.name))
+            .cloned()
+            .collect();
+        // Stable: unprobed entries (all +inf) keep registration order.
+        live.sort_by(|a, b| {
+            a.rank_score()
+                .partial_cmp(&b.rank_score())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        live
+    }
+
+    /// Names currently marked dead.
+    pub fn dead_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.dead.lock().iter().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl SurrogateProvider for SurrogateRegistry {
+    /// Leases the best-ranked live surrogate: connects, builds a session
+    /// endpoint wired to the platform's dispatcher and clock, and verifies
+    /// the session with one null RPC. Surrogates that fail to connect or
+    /// to answer the probe are marked dead and the next candidate is
+    /// tried.
+    fn acquire(&self, ctx: &ProviderContext) -> Option<SurrogateLease> {
+        for info in self.ranked() {
+            let Some(endpoint) = self.connect_with(
+                info.addr,
+                ctx.dispatcher.clone(),
+                Some(ctx.clock.clone()),
+                ctx.endpoint_config,
+            ) else {
+                self.dead.lock().insert(info.name);
+                continue;
+            };
+            if endpoint.probe(self.config.probe_timeout).is_err() {
+                endpoint.shutdown();
+                endpoint.join();
+                self.dead.lock().insert(info.name);
+                continue;
+            }
+            return Some(SurrogateLease {
+                name: info.name,
+                endpoint,
+            });
+        }
+        None
+    }
+
+    fn report_failure(&self, name: &str) {
+        self.dead.lock().insert(name.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(name: &str, capacity: u64, rtt_micros: Option<u64>) -> SurrogateInfo {
+        SurrogateInfo {
+            name: name.to_string(),
+            addr: "127.0.0.1:1".parse().unwrap(),
+            capacity_bytes: capacity,
+            rtt: rtt_micros.map(Duration::from_micros),
+        }
+    }
+
+    #[test]
+    fn ranking_prefers_fast_links_then_big_surrogates() {
+        let registry = SurrogateRegistry::new(RegistryConfig::default());
+        // Same capacity: the 2.4 ms link beats the 9 ms one.
+        registry.upsert(info("slow", 64 << 20, Some(9_000)));
+        registry.upsert(info("fast", 64 << 20, Some(2_400)));
+        // Equal RTT to "fast", but 4x the memory: ranks first.
+        registry.upsert(info("big", 256 << 20, Some(2_400)));
+        // Never probed: last.
+        registry.upsert(info("unknown", 1 << 30, None));
+        let order: Vec<&str> = registry.ranked().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(order, ["big", "fast", "slow", "unknown"]);
+    }
+
+    #[test]
+    fn dead_surrogates_leave_the_ranking_until_reregistered() {
+        let registry = SurrogateRegistry::new(RegistryConfig::default());
+        registry.upsert(info("a", 1, Some(100)));
+        registry.upsert(info("b", 1, Some(200)));
+        registry.report_failure("a");
+        let order: Vec<&str> = registry.ranked().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(order, ["b"]);
+        assert_eq!(registry.dead_names(), ["a"]);
+        // Hearing from the surrogate again (beacon or static) revives it.
+        registry.upsert(info("a", 1, Some(100)));
+        assert!(registry.dead_names().is_empty());
+        assert_eq!(registry.ranked().len(), 2);
+    }
+
+    #[test]
+    fn unprobed_entries_keep_registration_order() {
+        let registry = SurrogateRegistry::new(RegistryConfig::default());
+        registry.add_static("first", "127.0.0.1:1".parse().unwrap(), 1);
+        registry.add_static("second", "127.0.0.1:2".parse().unwrap(), 1 << 30);
+        let order: Vec<&str> = registry.ranked().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(order, ["first", "second"]);
+    }
+}

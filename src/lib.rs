@@ -13,6 +13,8 @@
 //!   and the two-VM prototype driver.
 //! * [`emu`] — the trace-driven emulator and policy sweeps.
 //! * [`apps`] — models of the paper's five evaluation applications.
+//! * [`surrogate`] — the surrogate daemon, UDP-beacon discovery, the
+//!   RTT-ranked registry, and failover onto standby surrogates.
 //!
 //! See the `examples/` directory for runnable walkthroughs and
 //! `EXPERIMENTS.md` for the paper-versus-measured results.
@@ -37,4 +39,5 @@ pub use aide_core as core;
 pub use aide_emu as emu;
 pub use aide_graph as graph;
 pub use aide_rpc as rpc;
+pub use aide_surrogate as surrogate;
 pub use aide_vm as vm;
