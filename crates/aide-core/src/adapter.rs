@@ -354,6 +354,11 @@ impl Dispatcher for VmDispatcher {
             // Null RPC: answer immediately so probes measure pure link +
             // dispatch latency (the paper's 2.4 ms null-RPC figure).
             Request::Ping => Ok(Reply::Unit),
+            // Telemetry scrape: a Prometheus-style exposition of this
+            // process's metrics registry.
+            Request::Stats => Ok(Reply::Text(aide_telemetry::prometheus_text(
+                &aide_telemetry::global().snapshot(),
+            ))),
         }
     }
 }

@@ -32,10 +32,12 @@ use std::time::{Duration, Instant};
 
 use aide_graph::CommParams;
 use aide_rpc::{Dispatcher, Endpoint, EndpointConfig, NetClock, Reply, Request, RpcError};
+use aide_telemetry::{FlightRecorder, PlatformEvent};
 use aide_vm::{
     ClassId, Machine, MethodId, NativeKind, ObjectId, ObjectRecord, RemoteAccess, VmError, VmResult,
 };
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 use crate::adapter::RefTables;
 
@@ -200,7 +202,7 @@ impl Default for FailoverConfig {
 }
 
 /// What the failover machinery did during a platform run.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FailoverReport {
     /// Surrogate failures detected and recovered from.
     pub failovers: u64,
@@ -215,6 +217,9 @@ pub struct FailoverReport {
     pub reoffloads: u64,
     /// Names of every surrogate the run held a lease on, in order.
     pub surrogates_used: Vec<String>,
+    /// Wall-clock duration of each recovery (lease retirement through
+    /// ledger reinstatement), in microseconds, in failover order.
+    pub failover_durations_micros: Vec<u64>,
 }
 
 /// Shared failover state: the active lease, the reinstatement ledger, and
@@ -240,6 +245,9 @@ pub(crate) struct FailoverCore {
     objects_lost: AtomicU64,
     reoffloads: AtomicU64,
     surrogates_used: Mutex<Vec<String>>,
+    failover_durations: Mutex<Vec<u64>>,
+    /// Flight recorder for decision tracing, when the platform wired one.
+    recorder: Mutex<Option<Arc<FlightRecorder>>>,
     /// Requests served / frames exchanged, accumulated over retired leases.
     served_total: AtomicU64,
     frames_total: AtomicU64,
@@ -269,8 +277,21 @@ impl FailoverCore {
             objects_lost: AtomicU64::new(0),
             reoffloads: AtomicU64::new(0),
             surrogates_used: Mutex::new(Vec::new()),
+            failover_durations: Mutex::new(Vec::new()),
+            recorder: Mutex::new(None),
             served_total: AtomicU64::new(0),
             frames_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Wires the platform's flight recorder so recoveries leave a trace.
+    pub(crate) fn set_recorder(&self, recorder: Arc<FlightRecorder>) {
+        *self.recorder.lock() = Some(recorder);
+    }
+
+    fn record_event(&self, event: PlatformEvent) {
+        if let Some(recorder) = self.recorder.lock().as_ref() {
+            recorder.record(event);
         }
     }
 
@@ -337,12 +358,36 @@ impl FailoverCore {
         let Some(lease) = active.take() else {
             return false;
         };
+        let started = Instant::now();
+        self.record_event(PlatformEvent::LinkDied {
+            surrogate: lease.name.clone(),
+        });
         // Fail remaining in-flight calls fast and stop the session.
         lease.endpoint.shutdown();
         self.provider.report_failure(&lease.name);
         self.failovers.fetch_add(1, Ordering::Relaxed);
+        let objects_before = self.reinstated_objects.load(Ordering::Relaxed);
+        let bytes_before = self.reinstated_bytes.load(Ordering::Relaxed);
+        let lost_before = self.objects_lost.load(Ordering::Relaxed);
         self.reinstate();
         self.backoff.lock().note_failure();
+        let duration_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.failover_durations.lock().push(duration_micros);
+        let telemetry = aide_telemetry::global();
+        telemetry.counter(aide_telemetry::names::FAILOVERS).inc();
+        telemetry
+            .histogram(
+                aide_telemetry::names::FAILOVER_DURATION_MICROS,
+                aide_telemetry::buckets::DURATION_MICROS,
+            )
+            .observe(duration_micros);
+        self.record_event(PlatformEvent::FailoverCompleted {
+            surrogate: lease.name.clone(),
+            reinstated_objects: self.reinstated_objects.load(Ordering::Relaxed) - objects_before,
+            reinstated_bytes: self.reinstated_bytes.load(Ordering::Relaxed) - bytes_before,
+            objects_lost: self.objects_lost.load(Ordering::Relaxed) - lost_before,
+            duration_micros,
+        });
         drop(active);
         // Joining is bounded by the endpoint's drain deadline; do it
         // outside the lock so other threads can proceed locally.
@@ -487,6 +532,7 @@ impl FailoverCore {
             objects_lost: self.objects_lost.load(Ordering::Relaxed),
             reoffloads: self.reoffloads.load(Ordering::Relaxed),
             surrogates_used: self.surrogates_used.lock().clone(),
+            failover_durations_micros: self.failover_durations.lock().clone(),
         }
     }
 }
@@ -951,6 +997,11 @@ mod tests {
 
         let report = core.report();
         assert_eq!(report.failovers, 1);
+        assert_eq!(
+            report.failover_durations_micros.len(),
+            1,
+            "one recovery, one measured duration"
+        );
         assert_eq!(
             report.reinstated_objects, 2,
             "the live doc and its transitively-held doc return"

@@ -155,6 +155,8 @@ pub struct Monitor {
     memory_triggered: AtomicBool,
     work_since_eval_micros: Mutex<f64>,
     gc_reports: Mutex<Vec<GcReport>>,
+    hook_events: Arc<aide_telemetry::Counter>,
+    hook_nanos: Arc<aide_telemetry::Counter>,
 }
 
 impl std::fmt::Debug for Monitor {
@@ -188,6 +190,24 @@ impl Monitor {
             memory_triggered: AtomicBool::new(false),
             work_since_eval_micros: Mutex::new(0.0),
             gc_reports: Mutex::new(Vec::new()),
+            hook_events: aide_telemetry::global()
+                .counter(aide_telemetry::names::MONITOR_HOOK_EVENTS),
+            hook_nanos: aide_telemetry::global().counter(aide_telemetry::names::MONITOR_HOOK_NANOS),
+        }
+    }
+
+    /// Starts timing one hook invocation, unless telemetry is disabled
+    /// (the disabled path must not even read the clock).
+    fn hook_timer(&self) -> Option<std::time::Instant> {
+        aide_telemetry::enabled().then(std::time::Instant::now)
+    }
+
+    /// Accounts one completed hook invocation.
+    fn note_hook(&self, started: Option<std::time::Instant>) {
+        if let Some(t0) = started {
+            self.hook_events.inc();
+            self.hook_nanos
+                .add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
     }
 
@@ -335,6 +355,7 @@ fn graph_storage_estimate(g: &GraphState) -> usize {
 
 impl RuntimeHooks for Monitor {
     fn on_interaction(&self, event: Interaction) {
+        let hook_started = self.hook_timer();
         let mut g = self.graph.lock();
         let caller_key = NodeKey::Class(event.caller);
         let callee_key = self.key_for_target(event.callee, event.target, &g);
@@ -364,9 +385,11 @@ impl RuntimeHooks for Monitor {
             }
             r.remote_bytes += event.bytes;
         }
+        self.note_hook(hook_started);
     }
 
     fn on_alloc(&self, class: ClassId, object: ObjectId, bytes: u64) {
+        let hook_started = self.hook_timer();
         let mut g = self.graph.lock();
         let key = if self.object_granular.contains(&class) {
             g.object_class.insert(object, class);
@@ -383,9 +406,12 @@ impl RuntimeHooks for Monitor {
         m.classes_seen.insert(class);
         m.obj_live += 1;
         m.obj_total += 1;
+        drop(m);
+        self.note_hook(hook_started);
     }
 
     fn on_free(&self, class: ClassId, objects: u64, bytes: u64) {
+        let hook_started = self.hook_timer();
         let mut g = self.graph.lock();
         // Object-granular frees arrive aggregated per class; distribute is
         // unnecessary because dead arrays stop mattering — zero the class
@@ -403,14 +429,18 @@ impl RuntimeHooks for Monitor {
 
         let mut m = self.metrics.lock();
         m.obj_live -= objects as i64;
+        drop(m);
+        self.note_hook(hook_started);
     }
 
     fn on_work(&self, class: ClassId, micros: f64) {
+        let hook_started = self.hook_timer();
         let mut g = self.graph.lock();
         let i = self.node_index(&mut g, NodeKey::Class(class));
         g.cpu_micros[i] += micros;
         drop(g);
         *self.work_since_eval_micros.lock() += micros;
+        self.note_hook(hook_started);
     }
 
     fn on_native(
@@ -421,6 +451,7 @@ impl RuntimeHooks for Monitor {
         bytes: u64,
         remote: bool,
     ) {
+        let hook_started = self.hook_timer();
         if remote {
             let mut r = self.remote.lock();
             r.remote_native_calls += 1;
@@ -428,18 +459,22 @@ impl RuntimeHooks for Monitor {
             r.remote_invocations += 1;
             r.remote_bytes += bytes;
         }
+        self.note_hook(hook_started);
     }
 
     fn on_static_access(&self, _accessor: ClassId, _class: ClassId, bytes: u64, remote: bool) {
+        let hook_started = self.hook_timer();
         if remote {
             let mut r = self.remote.lock();
             r.remote_static_accesses += 1;
             r.remote_interactions += 1;
             r.remote_bytes += bytes;
         }
+        self.note_hook(hook_started);
     }
 
     fn on_gc(&self, report: &GcReport) {
+        let hook_started = self.hook_timer();
         self.gc_reports.lock().push(*report);
 
         // Sample Table 2 metrics.
@@ -477,6 +512,7 @@ impl RuntimeHooks for Monitor {
         } else {
             self.low_memory_streak.store(0, Ordering::SeqCst);
         }
+        self.note_hook(hook_started);
     }
 }
 

@@ -36,6 +36,9 @@ pub struct OffloadOutcome {
     /// Client-local objects newly pinned because migrated objects still
     /// reference them.
     pub back_references_pinned: u64,
+    /// Wall-clock duration of the migration (victim gathering through the
+    /// last `Migrate` reply), in microseconds.
+    pub duration_micros: u64,
 }
 
 impl OffloadOutcome {
@@ -87,6 +90,8 @@ pub fn execute_offload_tracked(
     endpoint: &Arc<Endpoint>,
     tables: &Arc<RefTables>,
 ) -> VmResult<(OffloadOutcome, Vec<(ObjectId, ObjectRecord)>, Vec<ObjectId>)> {
+    let started = std::time::Instant::now();
+
     // Work out the concrete victim set under the client VM lock.
     let mut victim_classes: Vec<ClassId> = Vec::new();
     let mut victim_objects: Vec<ObjectId> = Vec::new();
@@ -191,6 +196,20 @@ pub fn execute_offload_tracked(
     }
 
     let client_used_after = client.vm().lock().heap().stats().used_bytes;
+    let duration_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+
+    let telemetry = aide_telemetry::global();
+    telemetry.counter(aide_telemetry::names::OFFLOADS).inc();
+    telemetry
+        .counter(aide_telemetry::names::OFFLOAD_BYTES)
+        .add(bytes_moved);
+    telemetry
+        .histogram(
+            aide_telemetry::names::OFFLOAD_DURATION_MICROS,
+            aide_telemetry::buckets::DURATION_MICROS,
+        )
+        .observe(duration_micros);
+
     Ok((
         OffloadOutcome {
             objects_moved,
@@ -198,6 +217,7 @@ pub fn execute_offload_tracked(
             client_used_before: used_before,
             client_used_after,
             back_references_pinned,
+            duration_micros,
         },
         shadow,
         pinned_ids,

@@ -23,11 +23,13 @@ use std::time::Duration;
 
 use aide_graph::{ExecutionGraph, PartitionPolicy, Partitioning, ResourceSnapshot};
 use aide_rpc::{live_remote_refs, Endpoint, EndpointConfig, Link, NetClock, Request};
+use aide_telemetry::{FlightRecorder, PlatformEvent, TelemetrySnapshot, TimedEvent};
 use aide_vm::{
     ClassId, GcReport, HookChain, Machine, NullHooks, Program, RunSummary, RuntimeHooks, Vm,
     VmConfig, VmError, VmKind,
 };
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 use crate::adapter::{RefTables, RemoteAdapter, VmDispatcher};
 use crate::config::{EvaluationMode, PlatformConfig, TransportKind};
@@ -39,8 +41,12 @@ use crate::monitor::{Monitor, MonitorMetrics, RemoteStats};
 use crate::offload::{execute_offload_tracked, OffloadOutcome};
 use crate::partitioner::decide;
 
+/// Flight-recorder capacity per run: ample for every decision of a run
+/// while bounding memory on constrained clients.
+const FLIGHT_RECORDER_EVENTS: usize = 1024;
+
 /// A record of one offload decision that actually migrated objects.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OffloadEvent {
     /// GC cycle (client) at which the offload happened, if memory-driven.
     pub at_gc_cycle: u64,
@@ -58,12 +64,14 @@ pub struct OffloadEvent {
     pub cut_bytes: u64,
     /// Historical interactions crossing the selected cut.
     pub cut_interactions: u64,
+    /// The cost-function score of the winning candidate (lower was better).
+    pub policy_score: f64,
     /// Migration results.
     pub outcome: OffloadOutcome,
 }
 
 /// Everything a platform run produced.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct PlatformReport {
     /// How the application ended: `Ok` or the fatal [`VmError`].
     pub outcome: Result<RunSummary, VmError>,
@@ -92,6 +100,11 @@ pub struct PlatformReport {
     /// What the failover machinery did, when the run was provider-backed
     /// (see [`Platform::with_surrogates`]); `None` for fixed-link runs.
     pub failover: Option<FailoverReport>,
+    /// Metric activity attributable to this run (delta of the process-wide
+    /// registry between run start and run end).
+    pub telemetry: TelemetrySnapshot,
+    /// Flight-recorder trace of the run's platform decisions, in order.
+    pub events: Vec<TimedEvent>,
 }
 
 impl PlatformReport {
@@ -105,6 +118,13 @@ impl PlatformReport {
     /// Returns `true` if at least one offload happened.
     pub fn offloaded(&self) -> bool {
         !self.offloads.is_empty()
+    }
+
+    /// Human-readable flight-recorder timeline explaining what the platform
+    /// decided and when (trigger, candidates, winner's policy score,
+    /// migrations, failovers).
+    pub fn timeline(&self) -> String {
+        aide_telemetry::render_timeline(&self.events)
     }
 }
 
@@ -125,6 +145,8 @@ struct Controller {
     max_offloads: u32,
     offloads_done: AtomicU32,
     events: Mutex<Vec<OffloadEvent>>,
+    /// Flight recorder tracing every decision this controller takes.
+    recorder: Arc<FlightRecorder>,
     /// Guards against re-entrant evaluation from nested GC cycles.
     evaluating: Mutex<()>,
 }
@@ -166,7 +188,7 @@ impl Controller {
             .saturating_add(self.failover.get().map_or(0, |c| c.failovers_so_far()))
     }
 
-    fn maybe_offload(&self, at_gc_cycle: u64) {
+    fn maybe_offload(&self, at_gc_cycle: u64, reason: &str) {
         if self.offloads_done.load(Ordering::SeqCst) >= self.offload_budget() {
             return;
         }
@@ -183,7 +205,17 @@ impl Controller {
             let vm = vm.lock();
             ResourceSnapshot::new(vm.heap().capacity(), vm.heap().stats().used_bytes)
         };
+        self.recorder.record(PlatformEvent::TriggerFired {
+            at_gc_cycle,
+            heap_used: snapshot.heap_used,
+            heap_capacity: snapshot.heap_capacity,
+            reason: reason.to_string(),
+        });
         let decision = decide(graph, snapshot, self.policy.as_ref());
+        self.recorder.record(PlatformEvent::CandidatesEvaluated {
+            candidates: decision.candidates_evaluated,
+            elapsed_micros: u64::try_from(decision.elapsed.as_micros()).unwrap_or(u64::MAX),
+        });
         if std::env::var_os("AIDE_DEBUG").is_some() {
             eprintln!(
                 "[aide] evaluate: nodes={} candidates={} selected={} heap_used={} graph_mem={}",
@@ -218,6 +250,9 @@ impl Controller {
         let Some(selection) = decision.selection else {
             // Not beneficial / not feasible: leave the trigger armed only if
             // pressure persists (the monitor will re-fire).
+            self.recorder.record(PlatformEvent::OffloadDeclined {
+                candidates: decision.candidates_evaluated,
+            });
             self.monitor.reset_memory_trigger();
             return;
         };
@@ -225,6 +260,12 @@ impl Controller {
         let stats = &selection.stats;
         let offloaded_memory_fraction = stats.offloaded_memory_fraction();
         let cut = stats.cut;
+        let policy_score = selection.score;
+        self.recorder.record(PlatformEvent::WinnerChosen {
+            policy_score,
+            offload_bytes: stats.offloaded_memory_bytes,
+            cut_interactions: cut.interactions,
+        });
         // Resolve the surrogate endpoint: provider-backed runs acquire one
         // lazily (and may have none reachable right now); fixed-link runs
         // use the endpoint bound at startup.
@@ -246,6 +287,11 @@ impl Controller {
                 if let Some(core) = self.failover.get() {
                     core.record_shipment(shadow, pins);
                 }
+                self.recorder.record(PlatformEvent::ClassMigrated {
+                    objects: outcome.objects_moved,
+                    bytes: outcome.bytes_moved,
+                    duration_micros: outcome.duration_micros,
+                });
                 self.events.lock().push(OffloadEvent {
                     at_gc_cycle,
                     graph: decision.graph,
@@ -255,6 +301,7 @@ impl Controller {
                     offloaded_memory_fraction,
                     cut_bytes: cut.bytes,
                     cut_interactions: cut.interactions,
+                    policy_score,
                     outcome,
                 });
                 self.offloads_done.fetch_add(1, Ordering::SeqCst);
@@ -307,7 +354,7 @@ impl RuntimeHooks for Controller {
         if matches!(self.evaluation, EvaluationMode::OnMemoryPressure)
             && self.monitor.memory_triggered()
         {
-            self.maybe_offload(report.cycle);
+            self.maybe_offload(report.cycle, "memory-pressure");
         }
         self.release_dropped_refs();
     }
@@ -316,7 +363,7 @@ impl RuntimeHooks for Controller {
         if let EvaluationMode::Periodic { every_micros } = self.evaluation {
             if self.monitor.work_since_eval() >= every_micros {
                 self.monitor.take_work_since_eval();
-                self.maybe_offload(0);
+                self.maybe_offload(0, "periodic");
             }
         }
     }
@@ -444,6 +491,8 @@ impl Platform {
         let net_clock = link.clock.clone();
         let client_tables = Arc::new(RefTables::new());
         let surrogate_tables = Arc::new(RefTables::new());
+        let telemetry_before = aide_telemetry::global().snapshot();
+        let recorder = Arc::new(FlightRecorder::new(FLIGHT_RECORDER_EVENTS));
 
         // Controller first (late-bound), so the client machine's hook chain
         // can include it from the start.
@@ -458,6 +507,7 @@ impl Platform {
             max_offloads: cfg.max_offloads,
             offloads_done: AtomicU32::new(0),
             events: Mutex::new(Vec::new()),
+            recorder: recorder.clone(),
             evaluating: Mutex::new(()),
         });
 
@@ -539,6 +589,10 @@ impl Platform {
             frames_exchanged: client_ep.traffic().frames_sent()
                 + surrogate_ep.traffic().frames_sent(),
             failover: None,
+            telemetry: aide_telemetry::global()
+                .snapshot()
+                .delta_since(&telemetry_before),
+            events: recorder.events(),
         }
     }
 
@@ -579,6 +633,8 @@ impl Platform {
         let client_vm = Arc::new(Mutex::new(Vm::new(self.program.clone(), client_cfg)));
         let net_clock = Arc::new(NetClock::new());
         let client_tables = Arc::new(RefTables::new());
+        let telemetry_before = aide_telemetry::global().snapshot();
+        let recorder = Arc::new(FlightRecorder::new(FLIGHT_RECORDER_EVENTS));
 
         let controller = Arc::new(Controller {
             monitor: monitor.clone(),
@@ -591,6 +647,7 @@ impl Platform {
             max_offloads: cfg.max_offloads,
             offloads_done: AtomicU32::new(0),
             events: Mutex::new(Vec::new()),
+            recorder: recorder.clone(),
             evaluating: Mutex::new(()),
         });
 
@@ -619,6 +676,7 @@ impl Platform {
             client_tables.clone(),
             failover_cfg,
         ));
+        core.set_recorder(recorder.clone());
         client_machine.set_remote(Arc::new(FailoverAdapter::new(core.clone())));
         controller.bind_failover(client_machine.clone(), core.clone());
 
@@ -668,6 +726,10 @@ impl Platform {
             client_requests_served: core.requests_served_total(),
             frames_exchanged: core.frames_total(),
             failover: Some(core.report()),
+            telemetry: aide_telemetry::global()
+                .snapshot()
+                .delta_since(&telemetry_before),
+            events: recorder.events(),
         }
     }
 }

@@ -89,14 +89,20 @@ fn editor_program(chunks: u32, chunk_bytes: u32) -> Arc<Program> {
                     ref_slots: 0,
                     dst: Reg(0),
                 },
-                Op::PutSlot { slot: 0, src: Reg(0) },
+                Op::PutSlot {
+                    slot: 0,
+                    src: Reg(0),
+                },
                 Op::New {
                     class: document,
                     scalar_bytes: 1_000,
                     ref_slots: chunks as u16,
                     dst: Reg(1),
                 },
-                Op::PutSlot { slot: 1, src: Reg(1) },
+                Op::PutSlot {
+                    slot: 1,
+                    src: Reg(1),
+                },
                 Op::Call {
                     obj: Reg(1),
                     class: document,
@@ -392,6 +398,53 @@ fn cpu_policy_platform_declines_chatty_offload() {
     assert!(
         !report.offloaded(),
         "chatty engine must not be offloaded by the beneficial gate"
+    );
+}
+
+#[test]
+fn platform_report_serde_round_trip() {
+    use aide_core::{FailoverReport, PlatformReport};
+
+    let program = editor_program(CHUNKS, CHUNK_BYTES);
+    let mut report = Platform::new(program, pressure_config(SMALL_HEAP)).run();
+    assert!(report.offloaded());
+    assert!(
+        !report.events.is_empty(),
+        "the flight recorder should have captured the offload decision"
+    );
+    assert!(
+        !report.telemetry.counters.is_empty(),
+        "the run should have recorded metric activity"
+    );
+    // Provider-backed runs attach a failover summary; graft one on so the
+    // round trip exercises that field too.
+    report.failover = Some(FailoverReport {
+        failovers: 1,
+        reinstated_objects: 7,
+        reinstated_bytes: 140_000,
+        objects_lost: 0,
+        reoffloads: 1,
+        surrogates_used: vec!["alpha".to_string(), "bravo".to_string()],
+        failover_durations_micros: vec![1_250],
+    });
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let back: PlatformReport = serde_json::from_str(&json).expect("report deserializes");
+    // PlatformReport holds f64s and nested maps, so compare via a second
+    // serialization: BTreeMap-backed snapshots make the encoding canonical.
+    let json_again = serde_json::to_string(&back).expect("round-tripped report serializes");
+    assert_eq!(json, json_again, "serde round trip must be lossless");
+
+    assert_eq!(back.offloads.len(), report.offloads.len());
+    assert_eq!(back.events.len(), report.events.len());
+    assert_eq!(back.telemetry, report.telemetry);
+    assert_eq!(back.failover, Some(report.failover.unwrap()));
+    // The timeline survives the trip: the winner's policy score is still
+    // explainable from the deserialized report.
+    assert!(
+        back.timeline().contains("policy score"),
+        "timeline should name the winning candidate's policy score:\n{}",
+        back.timeline()
     );
 }
 

@@ -23,6 +23,7 @@ use aide_core::{
     decide_with, EvaluationMode, HeuristicKind, Monitor, NodeKey, PolicyKind, TriggerConfig,
 };
 use aide_graph::{CommParams, ResourceSnapshot, Side};
+use aide_telemetry::{FlightRecorder, PlatformEvent, TimedEvent};
 use aide_vm::{
     native_requires_client, ClassId, GcReport, Interaction, InteractionKind, ObjectId, RuntimeHooks,
 };
@@ -223,6 +224,10 @@ pub struct EmulatorReport {
     pub remote: EmuRemoteStats,
     /// Peak live bytes on the emulated client heap.
     pub peak_client_bytes: u64,
+    /// Flight-recorder events stamped with *virtual* time, so emulated
+    /// decision timelines are directly comparable to live-platform ones.
+    #[serde(default)]
+    pub events: Vec<TimedEvent>,
 }
 
 impl EmulatorReport {
@@ -248,6 +253,34 @@ impl EmulatorReport {
     pub fn offloaded(&self) -> bool {
         !self.offloads.is_empty()
     }
+
+    /// Renders the flight-recorder events as a human-readable timeline
+    /// (timestamps are virtual seconds on the emulated serial clock).
+    pub fn timeline(&self) -> String {
+        aide_telemetry::render_timeline(&self.events)
+    }
+}
+
+/// Flight-recorder capacity for one replay (matches the live platform).
+const FLIGHT_RECORDER_EVENTS: usize = 1024;
+
+/// Name the emulated surrogate goes by in flight-recorder events.
+const EMULATED_SURROGATE: &str = "emulated-surrogate";
+
+/// Converts virtual seconds on the emulated serial clock to the
+/// microsecond timestamps the flight recorder expects.
+fn virtual_micros(seconds: f64) -> u64 {
+    (seconds.max(0.0) * 1e6) as u64
+}
+
+/// Context threaded into [`Emulator::try_partition`] so decision events
+/// land in the flight recorder with the right virtual timestamp and
+/// trigger reason.
+struct EmuTrace<'a> {
+    recorder: &'a FlightRecorder,
+    at_micros: u64,
+    at_gc_cycle: u64,
+    reason: &'a str,
 }
 
 /// Side assignment state during a replay.
@@ -346,6 +379,7 @@ impl Emulator {
         let mut comm = 0.0f64;
         let mut transfer = 0.0f64;
         let mut remote = EmuRemoteStats::default();
+        let recorder = FlightRecorder::new(FLIGHT_RECORDER_EVENTS);
         let mut offloads: Vec<EmulatedOffload> = Vec::new();
         let mut failovers: Vec<EmuFailover> = Vec::new();
         // Set when the failure schedule fires with no standby: offloading
@@ -396,6 +430,28 @@ impl Emulator {
                         reinstated_bytes: reinstated,
                         had_offloaded: !offloads.is_empty(),
                     });
+                    recorder.record_at(
+                        virtual_micros(now),
+                        PlatformEvent::LinkDied {
+                            surrogate: EMULATED_SURROGATE.to_string(),
+                        },
+                    );
+                    recorder.record_at(
+                        virtual_micros(now),
+                        PlatformEvent::FailoverCompleted {
+                            surrogate: EMULATED_SURROGATE.to_string(),
+                            // The emulator's ledger is byte-granular; it
+                            // does not track per-object reinstatement.
+                            reinstated_objects: 0,
+                            reinstated_bytes: reinstated,
+                            objects_lost: 0,
+                            duration_micros: if failure.standby {
+                                virtual_micros(failure.reoffload_delay_seconds)
+                            } else {
+                                0
+                            },
+                        },
+                    );
                     if failure.standby {
                         reoffload_ready_at = now + failure.reoffload_delay_seconds;
                     } else {
@@ -433,6 +489,14 @@ impl Emulator {
                                 &object_bytes,
                                 &object_class,
                                 &array_classes,
+                                &EmuTrace {
+                                    recorder: &recorder,
+                                    at_micros: virtual_micros(
+                                        client_cpu + surrogate_cpu + comm + transfer,
+                                    ),
+                                    at_gc_cycle: emu_gc_cycle,
+                                    reason: "periodic",
+                                },
                             ) {
                                 client_live = client_live + o.bytes_returned - o.bytes_moved;
                                 transfer += o.transfer_seconds;
@@ -515,6 +579,14 @@ impl Emulator {
                                 &object_bytes,
                                 &object_class,
                                 &array_classes,
+                                &EmuTrace {
+                                    recorder: &recorder,
+                                    at_micros: virtual_micros(
+                                        client_cpu + surrogate_cpu + comm + transfer,
+                                    ),
+                                    at_gc_cycle: emu_gc_cycle,
+                                    reason: "allocation-failure",
+                                },
                             ) {
                                 client_live = client_live + o.bytes_returned - o.bytes_moved;
                                 transfer += o.transfer_seconds;
@@ -617,6 +689,14 @@ impl Emulator {
                             &object_bytes,
                             &object_class,
                             &array_classes,
+                            &EmuTrace {
+                                recorder: &recorder,
+                                at_micros: virtual_micros(
+                                    client_cpu + surrogate_cpu + comm + transfer,
+                                ),
+                                at_gc_cycle: emu_gc_cycle,
+                                reason: "memory-pressure",
+                            },
                         ) {
                             client_live = client_live + o.bytes_returned - o.bytes_moved;
                             transfer += o.transfer_seconds;
@@ -640,6 +720,7 @@ impl Emulator {
             failovers,
             remote,
             peak_client_bytes: peak_client,
+            events: recorder.events(),
         }
     }
 
@@ -657,14 +738,39 @@ impl Emulator {
         object_bytes: &HashMap<ObjectId, u64>,
         object_class: &HashMap<ObjectId, ClassId>,
         array_classes: &HashSet<ClassId>,
+        trace: &EmuTrace<'_>,
     ) -> Option<EmulatedOffload> {
         let (graph, keys) = monitor.snapshot();
         let snapshot = ResourceSnapshot::new(
             self.config.client_heap,
             client_used.min(self.config.client_heap),
         );
+        trace.recorder.record_at(
+            trace.at_micros,
+            PlatformEvent::TriggerFired {
+                at_gc_cycle: trace.at_gc_cycle,
+                heap_used: client_used.min(self.config.client_heap),
+                heap_capacity: self.config.client_heap,
+                reason: trace.reason.to_string(),
+            },
+        );
         let decision = decide_with(graph, snapshot, policy, self.config.heuristic);
-        let selection = decision.selection?;
+        trace.recorder.record_at(
+            trace.at_micros,
+            PlatformEvent::CandidatesEvaluated {
+                candidates: decision.candidates_evaluated,
+                elapsed_micros: u64::try_from(decision.elapsed.as_micros()).unwrap_or(u64::MAX),
+            },
+        );
+        let Some(selection) = decision.selection else {
+            trace.recorder.record_at(
+                trace.at_micros,
+                PlatformEvent::OffloadDeclined {
+                    candidates: decision.candidates_evaluated,
+                },
+            );
+            return None;
+        };
 
         let mut bytes_moved = 0u64;
         let mut nodes_offloaded = 0usize;
@@ -731,15 +837,32 @@ impl Emulator {
             }
         }
 
+        let transfer_seconds = self
+            .config
+            .comm
+            .transfer_seconds(bytes_moved + bytes_returned);
+        trace.recorder.record_at(
+            trace.at_micros,
+            PlatformEvent::WinnerChosen {
+                policy_score: selection.score,
+                offload_bytes: selection.stats.offloaded_memory_bytes,
+                cut_interactions: selection.stats.cut.interactions,
+            },
+        );
+        trace.recorder.record_at(
+            trace.at_micros,
+            PlatformEvent::ClassMigrated {
+                objects: nodes_offloaded as u64,
+                bytes: bytes_moved + bytes_returned,
+                duration_micros: virtual_micros(transfer_seconds),
+            },
+        );
         Some(EmulatedOffload {
             at_event,
             bytes_moved,
             bytes_returned,
             nodes_offloaded,
-            transfer_seconds: self
-                .config
-                .comm
-                .transfer_seconds(bytes_moved + bytes_returned),
+            transfer_seconds,
             offloaded_memory_fraction: selection.stats.offloaded_memory_fraction(),
             cut_bytes: selection.stats.cut.bytes,
             score: selection.score,

@@ -25,6 +25,41 @@ use crate::partition::{Partitioning, Side};
 /// assert!(dot.contains("graph execution"));
 /// ```
 pub fn to_dot(graph: &ExecutionGraph, partitioning: Option<&Partitioning>) -> String {
+    render(graph, partitioning, false, &[])
+}
+
+/// Like [`to_dot`], with richer per-node labels (CPU time and live-object
+/// counts alongside memory) and a caller-supplied annotation block rendered
+/// as the graph's bottom label — typically run-level telemetry such as RPC
+/// latency or offload counts. The caller resolves the metric values; this
+/// crate stays measurement-free.
+///
+/// # Examples
+///
+/// ```
+/// use aide_graph::{ExecutionGraph, NodeInfo, EdgeInfo, to_dot_annotated};
+///
+/// let mut g = ExecutionGraph::new();
+/// let a = g.add_node(NodeInfo::new("A"));
+/// let b = g.add_node(NodeInfo::new("B"));
+/// g.record_interaction(a, b, EdgeInfo::new(1, 10));
+/// let dot = to_dot_annotated(&g, None, &[("rpc.requests".into(), "42".into())]);
+/// assert!(dot.contains("rpc.requests = 42"));
+/// ```
+pub fn to_dot_annotated(
+    graph: &ExecutionGraph,
+    partitioning: Option<&Partitioning>,
+    annotations: &[(String, String)],
+) -> String {
+    render(graph, partitioning, true, annotations)
+}
+
+fn render(
+    graph: &ExecutionGraph,
+    partitioning: Option<&Partitioning>,
+    detailed: bool,
+    annotations: &[(String, String)],
+) -> String {
     let mut out = String::new();
     out.push_str("graph execution {\n");
     out.push_str("  node [fontsize=8];\n");
@@ -35,11 +70,19 @@ pub fn to_dot(graph: &ExecutionGraph, partitioning: Option<&Partitioning>) -> St
             None => "circle",
         };
         let pin = if node.is_pinned() { " (pinned)" } else { "" };
-        let _ = writeln!(
-            out,
-            "  {} [label=\"{}{}\\n{} B\", shape={}];",
-            id, node.label, pin, node.memory_bytes, shape
-        );
+        if detailed {
+            let _ = writeln!(
+                out,
+                "  {} [label=\"{}{}\\n{} B / {} us / {} obj\", shape={}];",
+                id, node.label, pin, node.memory_bytes, node.cpu_micros, node.live_objects, shape
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  {} [label=\"{}{}\\n{} B\", shape={}];",
+                id, node.label, pin, node.memory_bytes, shape
+            );
+        }
     }
     for ((a, b), e) in graph.edges() {
         let style = match partitioning {
@@ -51,6 +94,18 @@ pub fn to_dot(graph: &ExecutionGraph, partitioning: Option<&Partitioning>) -> St
             "  {} -- {} [label=\"{}x/{}B\"{}];",
             a, b, e.interactions, e.bytes, style
         );
+    }
+    if !annotations.is_empty() {
+        out.push_str("  graph [labelloc=b, fontsize=8, label=\"");
+        for (key, value) in annotations {
+            let _ = write!(
+                out,
+                "{} = {}\\l",
+                key.replace('"', "\\\""),
+                value.replace('"', "\\\"")
+            );
+        }
+        out.push_str("\"];\n");
     }
     out.push_str("}\n");
     out
@@ -90,6 +145,30 @@ mod tests {
         assert!(dot.contains("shape=box"));
         assert!(dot.contains("shape=ellipse"));
         assert!(dot.contains("(pinned)"));
+    }
+
+    #[test]
+    fn annotated_export_carries_metric_labels_and_node_detail() {
+        let (mut g, p) = graph();
+        g.node_mut(crate::graph::NodeId(1)).cpu_micros = 1_500;
+        g.node_mut(crate::graph::NodeId(1)).live_objects = 3;
+        let annotations = vec![
+            ("rpc.latency.p50".to_string(), "2400us".to_string()),
+            ("offloads".to_string(), "1".to_string()),
+        ];
+        let dot = to_dot_annotated(&g, Some(&p), &annotations);
+        assert!(dot.contains("1500 us / 3 obj"), "{dot}");
+        assert!(dot.contains("rpc.latency.p50 = 2400us"));
+        assert!(dot.contains("offloads = 1"));
+        assert!(dot.contains("labelloc=b"));
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn annotated_export_without_annotations_adds_no_label_block() {
+        let (g, _) = graph();
+        let dot = to_dot_annotated(&g, None, &[]);
+        assert!(!dot.contains("labelloc"));
     }
 
     #[test]

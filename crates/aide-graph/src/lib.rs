@@ -55,7 +55,7 @@ mod policy;
 
 pub use cost::{CommParams, CostFunction, CutBytes, CutInteractions, PredictedTime};
 pub use density::density_candidates;
-pub use dot::to_dot;
+pub use dot::{to_dot, to_dot_annotated};
 pub use graph::{EdgeInfo, ExecutionGraph, NodeId, NodeInfo, PinReason};
 pub use heuristic::{candidate_partitionings, CandidateSequence};
 pub use mincut::{stoer_wagner, MinCut};

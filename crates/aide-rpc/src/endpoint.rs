@@ -21,6 +21,30 @@ use parking_lot::Mutex;
 use crate::link::{LinkError, NetClock, Transport};
 use crate::wire::{Message, Reply, Request, WireError};
 
+/// Metric handles resolved once per endpoint so the call path records
+/// with plain atomic ops (no registry lookups).
+struct RpcMetrics {
+    requests: Arc<aide_telemetry::Counter>,
+    errors: Arc<aide_telemetry::Counter>,
+    latency_micros: Arc<aide_telemetry::Histogram>,
+    simulated_bytes: Arc<aide_telemetry::Counter>,
+}
+
+impl RpcMetrics {
+    fn resolve() -> Self {
+        let t = aide_telemetry::global();
+        RpcMetrics {
+            requests: t.counter(aide_telemetry::names::RPC_REQUESTS),
+            errors: t.counter(aide_telemetry::names::RPC_ERRORS),
+            latency_micros: t.histogram(
+                aide_telemetry::names::RPC_LATENCY_MICROS,
+                aide_telemetry::buckets::LATENCY_MICROS,
+            ),
+            simulated_bytes: t.counter(aide_telemetry::names::RPC_SIMULATED_BYTES),
+        }
+    }
+}
+
 /// Errors surfaced to RPC callers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RpcError {
@@ -107,6 +131,7 @@ pub struct Endpoint {
     config: EndpointConfig,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     requests_served: Arc<AtomicU64>,
+    metrics: RpcMetrics,
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -142,6 +167,7 @@ impl Endpoint {
             config,
             threads: Mutex::new(Vec::new()),
             requests_served: Arc::new(AtomicU64::new(0)),
+            metrics: RpcMetrics::resolve(),
         });
 
         let (job_tx, job_rx) = unbounded::<(u64, Request)>();
@@ -235,8 +261,10 @@ impl Endpoint {
         let (tx, rx) = unbounded();
         self.pending.lock().insert(seq, tx);
         let frame = msg.encode();
+        let started = std::time::Instant::now();
         if let Err(e) = self.transport.send(frame.to_vec()) {
             self.pending.lock().remove(&seq);
+            self.metrics.errors.inc();
             return Err(e.into());
         }
 
@@ -247,7 +275,18 @@ impl Endpoint {
                 crossbeam::channel::RecvTimeoutError::Disconnected => RpcError::Disconnected,
             });
         self.pending.lock().remove(&seq);
-        let result = outcome?;
+        self.metrics.requests.inc();
+        self.metrics
+            .latency_micros
+            .observe(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        let result = match outcome {
+            Ok(r) => r,
+            Err(e) => {
+                self.metrics.errors.inc();
+                return Err(e);
+            }
+        };
+        self.metrics.simulated_bytes.add(req_bytes + reply_bytes);
 
         // Simulated link time: bulk transfers (offloading) stream at link
         // bandwidth with half-RTT setup; everything else is a synchronous
@@ -261,7 +300,10 @@ impl Endpoint {
         self.clock.add(seconds);
         self.clock.note_round_trip();
 
-        result.map_err(RpcError::Remote)
+        result.map_err(|msg| {
+            self.metrics.errors.inc();
+            RpcError::Remote(msg)
+        })
     }
 
     /// Sends a null RPC ([`Request::Ping`]) and measures the *real*
@@ -298,7 +340,12 @@ impl Endpoint {
         });
         self.pending.lock().remove(&seq);
         outcome?.map_err(RpcError::Remote)?;
-        Ok(started.elapsed())
+        let rtt = started.elapsed();
+        self.metrics.requests.inc();
+        self.metrics
+            .latency_micros
+            .observe(u64::try_from(rtt.as_micros()).unwrap_or(u64::MAX));
+        Ok(rtt)
     }
 
     /// Initiates an orderly shutdown: tells the peer (fire-and-forget so a

@@ -70,6 +70,9 @@ pub fn tcp_transport(stream: TcpStream) -> std::io::Result<Transport> {
 
     // Writer: drain outgoing frames onto the socket, length-prefixed.
     let mut write_half = stream.try_clone()?;
+    let telemetry = aide_telemetry::global();
+    let frames_sent = telemetry.counter(aide_telemetry::names::TCP_FRAMES_SENT);
+    let bytes_sent = telemetry.counter(aide_telemetry::names::TCP_BYTES_SENT);
     std::thread::Builder::new()
         .name("rpc-tcp-writer".into())
         .spawn(move || {
@@ -80,6 +83,8 @@ pub fn tcp_transport(stream: TcpStream) -> std::io::Result<Transport> {
                 {
                     break;
                 }
+                frames_sent.inc();
+                bytes_sent.add(4 + u64::from(len));
             }
             let _ = write_half.shutdown(std::net::Shutdown::Write);
         })
@@ -87,6 +92,8 @@ pub fn tcp_transport(stream: TcpStream) -> std::io::Result<Transport> {
 
     // Reader: reassemble frames and feed the incoming channel.
     let mut read_half = stream;
+    let frames_received = telemetry.counter(aide_telemetry::names::TCP_FRAMES_RECEIVED);
+    let bytes_received = telemetry.counter(aide_telemetry::names::TCP_BYTES_RECEIVED);
     std::thread::Builder::new()
         .name("rpc-tcp-reader".into())
         .spawn(move || {
@@ -103,6 +110,8 @@ pub fn tcp_transport(stream: TcpStream) -> std::io::Result<Transport> {
                 if read_half.read_exact(&mut frame).is_err() {
                     break;
                 }
+                frames_received.inc();
+                bytes_received.add(4 + u64::from(len));
                 if in_tx.send(frame).is_err() {
                     break;
                 }

@@ -128,6 +128,11 @@ pub enum Request {
     /// round-trip time (the paper's 2.4 ms null-RPC figure, §5) — probes
     /// deliberately bypass simulated link-time accounting.
     Ping,
+    /// Telemetry scrape: the serving VM replies with a Prometheus-style
+    /// text exposition of its metrics registry ([`Reply::Text`]). Like
+    /// [`Request::Ping`], this is an operational request, not application
+    /// communication.
+    Stats,
 }
 
 /// A successful reply payload.
@@ -139,6 +144,8 @@ pub enum Reply {
     Slot(Option<ObjectId>),
     /// A class resolution result.
     Class(ClassId),
+    /// A textual payload (the [`Request::Stats`] exposition).
+    Text(String),
 }
 
 /// A framed protocol message.
@@ -196,7 +203,7 @@ impl Message {
                             .map(|(_, rec)| rec.footprint() + 16)
                             .sum::<u64>(),
                         Request::GcRelease { objects } => 8 * objects.len() as u64,
-                        Request::Shutdown | Request::Ping => 0,
+                        Request::Shutdown | Request::Ping | Request::Stats => 0,
                     }
             }
             Message::Reply { .. } => HEADER,
@@ -387,6 +394,7 @@ fn encode_request(buf: &mut BytesMut, body: &Request) {
         }
         Request::Shutdown => buf.put_u8(9),
         Request::Ping => buf.put_u8(10),
+        Request::Stats => buf.put_u8(11),
     }
 }
 
@@ -468,6 +476,7 @@ fn decode_request(buf: &mut &[u8]) -> Result<Request, WireError> {
         }
         9 => Request::Shutdown,
         10 => Request::Ping,
+        11 => Request::Stats,
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -483,6 +492,10 @@ fn encode_reply(buf: &mut BytesMut, reply: &Reply) {
             buf.put_u8(2);
             buf.put_u32_le(c.0);
         }
+        Reply::Text(s) => {
+            buf.put_u8(3);
+            put_str(buf, s);
+        }
     }
 }
 
@@ -491,6 +504,7 @@ fn decode_reply(buf: &mut &[u8]) -> Result<Reply, WireError> {
         0 => Reply::Unit,
         1 => Reply::Slot(get_opt_oid(buf)?),
         2 => Reply::Class(ClassId(get_u32(buf)?)),
+        3 => Reply::Text(get_str(buf)?),
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -653,6 +667,7 @@ mod tests {
             },
             Request::Shutdown,
             Request::Ping,
+            Request::Stats,
         ];
         for (i, body) in requests.into_iter().enumerate() {
             round_trip(Message::Request {
@@ -679,6 +694,10 @@ mod tests {
         round_trip(Message::Reply {
             seq: 4,
             result: Err("dangling object reference obj@c9".into()),
+        });
+        round_trip(Message::Reply {
+            seq: 5,
+            result: Ok(Reply::Text("aide_rpc_requests_total 3\n".into())),
         });
     }
 

@@ -70,10 +70,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 write,
             }
         }),
-        (arb_object_id(), any::<u16>()).prop_map(|(target, slot)| Request::GetSlot {
-            target,
-            slot
-        }),
+        (arb_object_id(), any::<u16>())
+            .prop_map(|(target, slot)| Request::GetSlot { target, slot }),
         (
             arb_object_id(),
             any::<u16>(),
@@ -84,15 +82,22 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 slot,
                 value
             }),
-        (any::<u32>(), arb_native(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
-            |(caller, kind, work_micros, arg_bytes, ret_bytes)| Request::Native {
-                caller: ClassId(caller),
-                kind,
-                work_micros,
-                arg_bytes,
-                ret_bytes,
-            }
-        ),
+        (
+            any::<u32>(),
+            arb_native(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(caller, kind, work_micros, arg_bytes, ret_bytes)| {
+                Request::Native {
+                    caller: ClassId(caller),
+                    kind,
+                    work_micros,
+                    arg_bytes,
+                    ret_bytes,
+                }
+            }),
         (any::<u32>(), any::<u32>(), any::<u32>(), any::<bool>()).prop_map(
             |(accessor, class, bytes, write)| Request::StaticAccess {
                 accessor: ClassId(accessor),
@@ -107,6 +112,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
         proptest::collection::vec(arb_object_id(), 0..24)
             .prop_map(|objects| Request::GcRelease { objects }),
         Just(Request::Shutdown),
+        Just(Request::Ping),
+        Just(Request::Stats),
     ]
 }
 
@@ -126,6 +133,10 @@ fn arb_message() -> impl Strategy<Value = Message> {
         (any::<u64>(), any::<u32>()).prop_map(|(seq, c)| Message::Reply {
             seq,
             result: Ok(Reply::Class(ClassId(c)))
+        }),
+        (any::<u64>(), "[ -~]{0,64}").prop_map(|(seq, text)| Message::Reply {
+            seq,
+            result: Ok(Reply::Text(text))
         }),
         (any::<u64>(), "[ -~]{0,64}").prop_map(|(seq, msg)| Message::Reply {
             seq,

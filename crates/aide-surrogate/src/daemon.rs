@@ -99,15 +99,30 @@ struct FaultInjector {
 
 impl Dispatcher for FaultInjector {
     fn dispatch(&self, request: Request) -> Result<Reply, String> {
-        if matches!(request, Request::Ping) {
-            // Health probes ride for free: heartbeat cadence must not
-            // perturb the configured crash point.
+        if matches!(request, Request::Ping | Request::Stats) {
+            // Health probes and telemetry scrapes ride for free: neither
+            // heartbeat cadence nor an observer polling `STATS` may perturb
+            // the configured crash point.
             return self.inner.dispatch(request);
         }
         if self.remaining.fetch_sub(1, Ordering::SeqCst) <= 0 {
             let _ = self.socket.shutdown(Shutdown::Both);
             return Err("injected surrogate crash".to_string());
         }
+        self.inner.dispatch(request)
+    }
+}
+
+/// Counts every request a session serves into the daemon's metrics
+/// registry, then forwards to the real dispatcher.
+struct CountingDispatcher {
+    inner: Arc<dyn Dispatcher>,
+    requests: Arc<aide_telemetry::Counter>,
+}
+
+impl Dispatcher for CountingDispatcher {
+    fn dispatch(&self, request: Request) -> Result<Reply, String> {
+        self.requests.inc();
         self.inner.dispatch(request)
     }
 }
@@ -232,6 +247,9 @@ impl SurrogateDaemon {
             let _ = handle.join();
         }
         let sessions = std::mem::take(&mut *self.sessions.lock());
+        aide_telemetry::global()
+            .gauge(aide_telemetry::names::SURROGATE_ACTIVE_SESSIONS)
+            .add(-(sessions.len() as i64));
         for session in &sessions {
             session.endpoint.shutdown();
         }
@@ -246,6 +264,13 @@ impl SurrogateDaemon {
 /// bridging them to the accepted socket.
 fn start_session(stream: TcpStream, config: &DaemonConfig) -> std::io::Result<Session> {
     stream.set_nodelay(true)?;
+    let telemetry = aide_telemetry::global();
+    telemetry
+        .counter(aide_telemetry::names::SURROGATE_SESSIONS)
+        .inc();
+    telemetry
+        .gauge(aide_telemetry::names::SURROGATE_ACTIVE_SESSIONS)
+        .add(1);
     let machine = Machine::new(
         config.program.clone(),
         VmConfig::surrogate(config.capacity_bytes),
@@ -260,6 +285,10 @@ fn start_session(stream: TcpStream, config: &DaemonConfig) -> std::io::Result<Se
         }),
         None => Arc::new(inner),
     };
+    let dispatcher: Arc<dyn Dispatcher> = Arc::new(CountingDispatcher {
+        inner: dispatcher,
+        requests: telemetry.counter(aide_telemetry::names::SURROGATE_REQUESTS),
+    });
     let transport = tcp_transport(stream)?;
     let endpoint = Endpoint::start(
         transport,

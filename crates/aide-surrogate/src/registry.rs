@@ -20,6 +20,10 @@ use aide_graph::CommParams;
 use aide_rpc::{tcp_transport, Dispatcher, Endpoint, EndpointConfig, NetClock, Reply, Request};
 use parking_lot::Mutex;
 
+/// EWMA smoothing factor for probe RTTs: each new sample contributes this
+/// fraction of the smoothed estimate (TCP's classic SRTT gain).
+const RTT_EWMA_ALPHA: f64 = 0.125;
+
 /// One known surrogate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SurrogateInfo {
@@ -31,16 +35,32 @@ pub struct SurrogateInfo {
     pub capacity_bytes: u64,
     /// Last measured null-RPC round-trip time; `None` until probed.
     pub rtt: Option<Duration>,
+    /// Exponentially-weighted moving average over every probe sample, so
+    /// one anomalous probe does not reorder the ranking.
+    pub smoothed_rtt: Option<Duration>,
 }
 
 impl SurrogateInfo {
-    /// Ranking score: measured RTT weighted by advertised capacity (lower
-    /// is better). Unprobed surrogates rank after every probed one.
+    /// Ranking score: smoothed RTT weighted by advertised capacity (lower
+    /// is better). Falls back to the last raw sample when only one probe
+    /// has landed; unprobed surrogates rank after every probed one.
     pub fn rank_score(&self) -> f64 {
-        match self.rtt {
+        match self.smoothed_rtt.or(self.rtt) {
             Some(rtt) => rtt.as_secs_f64() / self.capacity_bytes.max(1) as f64,
             None => f64::INFINITY,
         }
+    }
+
+    /// Folds one probe sample into the entry: keeps the raw value and
+    /// updates the EWMA estimate.
+    pub fn observe_rtt(&mut self, rtt: Duration) {
+        self.rtt = Some(rtt);
+        self.smoothed_rtt = Some(match self.smoothed_rtt {
+            Some(prev) => Duration::from_secs_f64(
+                RTT_EWMA_ALPHA * rtt.as_secs_f64() + (1.0 - RTT_EWMA_ALPHA) * prev.as_secs_f64(),
+            ),
+            None => rtt,
+        });
     }
 }
 
@@ -102,6 +122,7 @@ impl SurrogateRegistry {
             addr,
             capacity_bytes,
             rtt: None,
+            smoothed_rtt: None,
         });
     }
 
@@ -122,37 +143,74 @@ impl SurrogateRegistry {
                 addr: SocketAddr::new(source.ip(), announcement.port),
                 capacity_bytes: announcement.capacity_bytes,
                 rtt: None,
+                smoothed_rtt: None,
             });
         }
         Ok(merged.len())
     }
 
-    fn upsert(&self, info: SurrogateInfo) {
+    fn upsert(&self, mut info: SurrogateInfo) {
         self.dead.lock().remove(&info.name);
         let mut entries = self.entries.lock();
         match entries.iter_mut().find(|e| e.name == info.name) {
-            Some(existing) => *existing = info,
+            Some(existing) => {
+                // A re-announcement carries no fresh measurement; keep the
+                // probe history instead of discarding it.
+                if info.rtt.is_none() && info.smoothed_rtt.is_none() {
+                    info.rtt = existing.rtt;
+                    info.smoothed_rtt = existing.smoothed_rtt;
+                }
+                *existing = info;
+            }
             None => entries.push(info),
         }
     }
 
-    /// Probes every non-dead surrogate with a null RPC, recording measured
-    /// RTTs. Surrogates that cannot be reached are marked dead.
+    /// Probes every non-dead surrogate with a null RPC. Each measured RTT
+    /// feeds the process-wide probe-latency histogram and the entry's EWMA
+    /// estimate (the ranking input). Surrogates that cannot be reached are
+    /// marked dead.
     pub fn probe_all(&self) {
+        let rtt_histogram = aide_telemetry::global().histogram(
+            aide_telemetry::names::REGISTRY_PROBE_RTT_MICROS,
+            aide_telemetry::buckets::LATENCY_MICROS,
+        );
         let snapshot = self.ranked();
         for info in snapshot {
             match self.probe_one(info.addr) {
                 Some(rtt) => {
+                    rtt_histogram.observe(u64::try_from(rtt.as_micros()).unwrap_or(u64::MAX));
                     if let Some(entry) =
                         self.entries.lock().iter_mut().find(|e| e.name == info.name)
                     {
-                        entry.rtt = Some(rtt);
+                        entry.observe_rtt(rtt);
                     }
                 }
                 None => {
                     self.dead.lock().insert(info.name);
                 }
             }
+        }
+    }
+
+    /// Scrapes a surrogate's Prometheus-style metrics exposition: connects
+    /// a short-lived session, sends a `STATS` request, and returns the
+    /// text. `None` if the surrogate is unknown, unreachable, or answered
+    /// with anything but text.
+    pub fn scrape_stats(&self, name: &str) -> Option<String> {
+        let addr = self
+            .entries
+            .lock()
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.addr)?;
+        let endpoint = self.connect(addr, std::sync::Arc::new(ProbeDispatcher))?;
+        let reply = endpoint.call(Request::Stats);
+        endpoint.shutdown();
+        endpoint.join();
+        match reply {
+            Ok(Reply::Text(text)) => Some(text),
+            _ => None,
         }
     }
 
@@ -266,6 +324,7 @@ mod tests {
             addr: "127.0.0.1:1".parse().unwrap(),
             capacity_bytes: capacity,
             rtt: rtt_micros.map(Duration::from_micros),
+            smoothed_rtt: rtt_micros.map(Duration::from_micros),
         }
     }
 
@@ -296,6 +355,61 @@ mod tests {
         registry.upsert(info("a", 1, Some(100)));
         assert!(registry.dead_names().is_empty());
         assert_eq!(registry.ranked().len(), 2);
+    }
+
+    #[test]
+    fn ewma_damps_a_single_probe_spike() {
+        let mut entry = info("s", 1, None);
+        entry.observe_rtt(Duration::from_micros(2_400));
+        assert_eq!(entry.smoothed_rtt, Some(Duration::from_micros(2_400)));
+        // One 50 ms outlier barely moves the smoothed estimate...
+        entry.observe_rtt(Duration::from_micros(50_000));
+        let smoothed = entry.smoothed_rtt.unwrap();
+        assert!(
+            smoothed < Duration::from_micros(9_000),
+            "EWMA absorbed the spike: {smoothed:?}"
+        );
+        // ...while the raw last-sample field tracks it faithfully.
+        assert_eq!(entry.rtt, Some(Duration::from_micros(50_000)));
+    }
+
+    #[test]
+    fn ranking_uses_the_smoothed_rtt_not_the_last_sample() {
+        let registry = SurrogateRegistry::new(RegistryConfig::default());
+        let mut steady = info("steady", 1, None);
+        for _ in 0..8 {
+            steady.observe_rtt(Duration::from_micros(3_000));
+        }
+        // A historically-fast surrogate whose latest probe spiked.
+        let mut spiky = info("spiky", 1, None);
+        for _ in 0..8 {
+            spiky.observe_rtt(Duration::from_micros(1_000));
+        }
+        spiky.observe_rtt(Duration::from_micros(40_000));
+        registry.upsert(steady);
+        registry.upsert(spiky);
+        let order: Vec<&str> = registry.ranked().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            order,
+            ["spiky", "steady"],
+            "one bad sample must not dethrone the historically faster link"
+        );
+    }
+
+    #[test]
+    fn reannouncement_preserves_probe_history() {
+        let registry = SurrogateRegistry::new(RegistryConfig::default());
+        registry.upsert(info("s", 1, Some(2_400)));
+        // The beacon re-announces with no measurement attached.
+        registry.add_static("s", "127.0.0.1:1".parse().unwrap(), 2);
+        let ranked = registry.ranked();
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].capacity_bytes, 2, "announcement data updated");
+        assert_eq!(
+            ranked[0].smoothed_rtt,
+            Some(Duration::from_micros(2_400)),
+            "probe history survived the re-announcement"
+        );
     }
 
     #[test]

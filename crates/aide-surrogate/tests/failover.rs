@@ -129,6 +129,38 @@ fn daemon_serves_isolated_sessions_and_answers_probes() {
 }
 
 #[test]
+fn daemon_answers_stats_with_latency_histogram_data() {
+    let daemon = SurrogateDaemon::start(DaemonConfig::new("observable", tiny_program())).unwrap();
+    let registry = SurrogateRegistry::new(RegistryConfig::default());
+    registry.add_static("observable", daemon.local_addr(), 64 << 20);
+
+    // A probe records at least one real RPC round trip into the registry.
+    registry.probe_all();
+    assert_eq!(registry.ranked()[0].name, "observable");
+
+    let stats = registry
+        .scrape_stats("observable")
+        .expect("daemon answers STATS");
+    assert!(
+        stats.contains("# TYPE aide_rpc_request_latency_micros histogram"),
+        "exposition lists the RPC latency histogram:\n{stats}"
+    );
+    // The histogram has non-zero data: its _count line is present and > 0.
+    let count = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("aide_rpc_request_latency_micros_count "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .expect("exposition has a latency count line");
+    assert!(count > 0, "at least one RPC latency sample:\n{stats}");
+    assert!(
+        stats.contains("aide_surrogate_sessions_total"),
+        "daemon session counters are exported:\n{stats}"
+    );
+
+    daemon.shutdown();
+}
+
+#[test]
 fn probing_an_unreachable_address_marks_it_dead() {
     let config = RegistryConfig {
         connect_timeout: Duration::from_millis(200),

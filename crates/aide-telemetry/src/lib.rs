@@ -1,0 +1,160 @@
+//! Platform-wide observability for the AIDE reproduction.
+//!
+//! The paper's platform is driven entirely by measurement: the monitor
+//! feeds a weighted execution graph to the partitioner and offloading
+//! happens "only if it is beneficial". This crate makes the platform
+//! *itself* measurable, with three pieces:
+//!
+//! - a lock-cheap **metrics registry** ([`Telemetry`]) of atomic
+//!   counters, gauges, and fixed-bucket histograms. Handles are `Arc`s
+//!   resolved once at registration; the hot path is a relaxed atomic op
+//!   plus one branch on the global [`enabled`] switch.
+//! - a bounded ring-buffer **flight recorder** ([`FlightRecorder`]) of
+//!   structured [`PlatformEvent`]s, so a report can explain each offload
+//!   decision (trigger, candidate scores, winner, migrations, failures)
+//!   after the fact.
+//! - **exporters**: JSON-lines snapshot dumps and a Prometheus-style
+//!   text exposition (served by `aide-surrogate` on its RPC port via a
+//!   `STATS` request), plus human-readable timeline rendering.
+//!
+//! The crate is a leaf: it depends only on `serde`/`serde_json`/
+//! `parking_lot`, so every other crate in the workspace can record into
+//! it without dependency cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod metrics;
+mod recorder;
+
+pub use export::{prometheus_text, snapshot_json_lines};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Telemetry, TelemetrySnapshot};
+pub use recorder::{events_json_lines, render_timeline, FlightRecorder, PlatformEvent, TimedEvent};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// The process-wide metrics registry.
+///
+/// Instrumented code resolves handles here (once, at setup) so call
+/// signatures across the workspace stay unchanged. Per-run numbers are
+/// obtained by snapshotting before and after and taking
+/// [`TelemetrySnapshot::delta_since`].
+pub fn global() -> &'static Telemetry {
+    GLOBAL.get_or_init(Telemetry::new)
+}
+
+/// Globally enables or disables metric recording.
+///
+/// When disabled, every recording call is a single relaxed load plus a
+/// branch — the overhead bench uses this to price the enabled path
+/// against a true baseline.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether metric recording is currently enabled (default: enabled).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Serializes tests that record metrics against tests that flip the
+/// global [`enabled`] switch, and restores the enabled state.
+#[cfg(test)]
+pub(crate) fn test_guard() -> parking_lot::MutexGuard<'static, ()> {
+    static LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+    let guard = LOCK.lock();
+    set_enabled(true);
+    guard
+}
+
+/// Canonical metric names, shared by all instrumented crates.
+///
+/// Naming follows Prometheus conventions: `_total` for counters, an
+/// explicit unit suffix for histograms and gauges.
+pub mod names {
+    /// RPC requests issued by an endpoint (caller side).
+    pub const RPC_REQUESTS: &str = "aide_rpc_requests_total";
+    /// Real round-trip latency of RPC calls, in microseconds.
+    pub const RPC_LATENCY_MICROS: &str = "aide_rpc_request_latency_micros";
+    /// Simulated request+reply payload bytes charged to the link.
+    pub const RPC_SIMULATED_BYTES: &str = "aide_rpc_simulated_bytes_total";
+    /// RPC calls that returned an error (transport or remote).
+    pub const RPC_ERRORS: &str = "aide_rpc_errors_total";
+    /// Frames written to a TCP carrier.
+    pub const TCP_FRAMES_SENT: &str = "aide_tcp_frames_sent_total";
+    /// Frames read from a TCP carrier.
+    pub const TCP_FRAMES_RECEIVED: &str = "aide_tcp_frames_received_total";
+    /// Encoded frame bytes written to a TCP carrier.
+    pub const TCP_BYTES_SENT: &str = "aide_tcp_bytes_sent_total";
+    /// Encoded frame bytes read from a TCP carrier.
+    pub const TCP_BYTES_RECEIVED: &str = "aide_tcp_bytes_received_total";
+
+    /// Completed GC cycles.
+    pub const GC_CYCLES: &str = "aide_gc_cycles_total";
+    /// GC pause durations (modeled), in microseconds.
+    pub const GC_PAUSE_MICROS: &str = "aide_gc_pause_micros";
+    /// Bytes reclaimed by GC.
+    pub const GC_FREED_BYTES: &str = "aide_gc_freed_bytes_total";
+    /// Live heap bytes after the most recent GC.
+    pub const HEAP_USED_BYTES: &str = "aide_heap_used_bytes";
+    /// Free heap bytes after the most recent GC.
+    pub const HEAP_FREE_BYTES: &str = "aide_heap_free_bytes";
+
+    /// Monitor hook invocations (allocs, frees, interactions, work...).
+    pub const MONITOR_HOOK_EVENTS: &str = "aide_monitor_hook_events_total";
+    /// Wall-clock nanoseconds spent inside monitor hooks.
+    pub const MONITOR_HOOK_NANOS: &str = "aide_monitor_hook_nanos_total";
+
+    /// Offloads (migrations to a surrogate) completed.
+    pub const OFFLOADS: &str = "aide_offloads_total";
+    /// Bytes shipped by completed offloads.
+    pub const OFFLOAD_BYTES: &str = "aide_offload_bytes_total";
+    /// Wall-clock duration of each offload migration, in microseconds.
+    pub const OFFLOAD_DURATION_MICROS: &str = "aide_offload_duration_micros";
+    /// Surrogate failovers handled.
+    pub const FAILOVERS: &str = "aide_failovers_total";
+    /// Wall-clock duration of each failover, in microseconds.
+    pub const FAILOVER_DURATION_MICROS: &str = "aide_failover_duration_micros";
+
+    /// Sessions accepted by a surrogate daemon.
+    pub const SURROGATE_SESSIONS: &str = "aide_surrogate_sessions_total";
+    /// Surrogate sessions currently open.
+    pub const SURROGATE_ACTIVE_SESSIONS: &str = "aide_surrogate_active_sessions";
+    /// Requests served across all surrogate sessions.
+    pub const SURROGATE_REQUESTS: &str = "aide_surrogate_requests_total";
+
+    /// Null-RPC probe round-trips measured by the registry, in
+    /// microseconds.
+    pub const REGISTRY_PROBE_RTT_MICROS: &str = "aide_registry_probe_rtt_micros";
+}
+
+/// Bucket presets (upper bounds) for the fixed-bucket histograms.
+pub mod buckets {
+    /// Latency buckets in microseconds: 50 µs … 1 s.
+    pub const LATENCY_MICROS: &[u64] = &[
+        50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+    ];
+    /// Duration buckets in microseconds for long operations
+    /// (migrations, failovers, GC pauses): 100 µs … 10 s.
+    pub const DURATION_MICROS: &[u64] = &[
+        100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000,
+    ];
+    /// Payload-size buckets in bytes: 64 B … 16 MiB.
+    pub const BYTES: &[u64] = &[
+        64,
+        256,
+        1_024,
+        4_096,
+        16_384,
+        65_536,
+        262_144,
+        1 << 20,
+        4 << 20,
+        16 << 20,
+    ];
+}

@@ -1,0 +1,315 @@
+//! The flight recorder: a bounded ring buffer of structured platform
+//! events, so a run can explain its offload decisions after the fact.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A structured event in the life of the platform.
+///
+/// The taxonomy follows the paper's decision pipeline: the memory
+/// monitor fires a trigger, the partitioner evaluates candidate
+/// partitionings under the active policy, a winner is chosen, classes
+/// migrate, and (beyond the paper, §8) links die and failovers recover.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlatformEvent {
+    /// The offload trigger fired (memory pressure or allocation
+    /// failure).
+    TriggerFired {
+        /// GC cycle at which the trigger fired.
+        at_gc_cycle: u64,
+        /// Live heap bytes when the trigger fired.
+        heap_used: u64,
+        /// Heap capacity in bytes.
+        heap_capacity: u64,
+        /// Human-readable trigger reason.
+        reason: String,
+    },
+    /// The partitioner finished evaluating candidate partitionings.
+    CandidatesEvaluated {
+        /// Number of candidate partitionings scored.
+        candidates: usize,
+        /// Wall-clock time spent partitioning, in microseconds.
+        elapsed_micros: u64,
+    },
+    /// A winning candidate partitioning was chosen.
+    WinnerChosen {
+        /// The policy score of the winner (lower is better).
+        policy_score: f64,
+        /// Bytes the winner would move to the surrogate.
+        offload_bytes: u64,
+        /// Interactions crossing the proposed cut.
+        cut_interactions: u64,
+    },
+    /// The partitioner declined to offload (no beneficial candidate).
+    OffloadDeclined {
+        /// Number of candidate partitionings scored.
+        candidates: usize,
+    },
+    /// Objects of the winning partition migrated to a surrogate.
+    ClassMigrated {
+        /// Objects shipped.
+        objects: u64,
+        /// Bytes shipped.
+        bytes: u64,
+        /// Wall-clock migration duration, in microseconds.
+        duration_micros: u64,
+    },
+    /// A surrogate link was declared dead.
+    LinkDied {
+        /// Name of the dead surrogate.
+        surrogate: String,
+    },
+    /// A failover completed: state reinstated on the client.
+    FailoverCompleted {
+        /// Name of the failed surrogate.
+        surrogate: String,
+        /// Objects reinstated from the ledger.
+        reinstated_objects: u64,
+        /// Bytes reinstated from the ledger.
+        reinstated_bytes: u64,
+        /// Objects whose state was lost with the surrogate.
+        objects_lost: u64,
+        /// Wall-clock failover duration, in microseconds.
+        duration_micros: u64,
+    },
+}
+
+impl PlatformEvent {
+    /// One-line human-readable description, used by timeline rendering.
+    pub fn describe(&self) -> String {
+        match self {
+            PlatformEvent::TriggerFired {
+                at_gc_cycle,
+                heap_used,
+                heap_capacity,
+                reason,
+            } => format!(
+                "trigger fired at gc #{at_gc_cycle}: heap {heap_used}/{heap_capacity} B ({reason})"
+            ),
+            PlatformEvent::CandidatesEvaluated {
+                candidates,
+                elapsed_micros,
+            } => format!("evaluated {candidates} candidate partitionings in {elapsed_micros} us"),
+            PlatformEvent::WinnerChosen {
+                policy_score,
+                offload_bytes,
+                cut_interactions,
+            } => format!(
+                "winner chosen: policy score {policy_score:.4}, {offload_bytes} B to move, {cut_interactions} cut interactions"
+            ),
+            PlatformEvent::OffloadDeclined { candidates } => {
+                format!("offload declined after scoring {candidates} candidates")
+            }
+            PlatformEvent::ClassMigrated {
+                objects,
+                bytes,
+                duration_micros,
+            } => format!("migrated {objects} objects ({bytes} B) in {duration_micros} us"),
+            PlatformEvent::LinkDied { surrogate } => {
+                format!("link to surrogate '{surrogate}' died")
+            }
+            PlatformEvent::FailoverCompleted {
+                surrogate,
+                reinstated_objects,
+                reinstated_bytes,
+                objects_lost,
+                duration_micros,
+            } => format!(
+                "failover from '{surrogate}' completed in {duration_micros} us: {reinstated_objects} objects ({reinstated_bytes} B) reinstated, {objects_lost} lost"
+            ),
+        }
+    }
+}
+
+/// A [`PlatformEvent`] stamped with a sequence number and a timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Monotonic sequence number (gaps reveal ring-buffer evictions).
+    pub seq: u64,
+    /// Microseconds since the recorder was created — wall clock for
+    /// live runs, virtual time for emulator runs.
+    pub at_micros: u64,
+    /// The event.
+    pub event: PlatformEvent,
+}
+
+/// A bounded ring buffer of [`TimedEvent`]s.
+///
+/// Live runs stamp events with wall-clock time via [`record`]
+/// (microseconds since the recorder was created); the trace-driven
+/// emulator stamps virtual time via [`record_at`], which makes emulated
+/// and live timelines directly diffable.
+///
+/// [`record`]: FlightRecorder::record
+/// [`record_at`]: FlightRecorder::record_at
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    origin: Instant,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    events: Mutex<VecDeque<TimedEvent>>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder that retains at most `capacity` events (the
+    /// oldest are evicted first). Capacity 0 is clamped to 1.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            origin: Instant::now(),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Records `event` stamped with the wall-clock elapsed time since
+    /// the recorder was created.
+    pub fn record(&self, event: PlatformEvent) {
+        let at = u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.record_at(at, event);
+    }
+
+    /// Records `event` with an explicit timestamp (virtual time for
+    /// emulator runs).
+    pub fn record_at(&self, at_micros: u64, event: PlatformEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut events = self.events.lock();
+        if events.len() == self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(TimedEvent {
+            seq,
+            at_micros,
+            event,
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Number of events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Renders events as a human-readable timeline, one line per event.
+pub fn render_timeline(events: &[TimedEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!(
+            "[{:>4} +{:>10.6}s] {}\n",
+            e.seq,
+            e.at_micros as f64 / 1e6,
+            e.event.describe()
+        ));
+    }
+    out
+}
+
+/// Serializes events as JSON lines (one event object per line).
+pub fn events_json_lines(events: &[TimedEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("events serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_keeps_events_in_order() {
+        let r = FlightRecorder::new(16);
+        r.record(PlatformEvent::LinkDied {
+            surrogate: "a".into(),
+        });
+        r.record_at(42, PlatformEvent::OffloadDeclined { candidates: 3 });
+        let events = r.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].at_micros, 42);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let r = FlightRecorder::new(2);
+        for i in 0..5 {
+            r.record_at(
+                i,
+                PlatformEvent::OffloadDeclined {
+                    candidates: i as usize,
+                },
+            );
+        }
+        let events = r.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 3);
+        assert_eq!(events[1].seq, 4);
+        assert_eq!(r.dropped(), 3);
+    }
+
+    #[test]
+    fn events_round_trip_through_serde() {
+        let r = FlightRecorder::new(8);
+        r.record_at(
+            10,
+            PlatformEvent::WinnerChosen {
+                policy_score: 1.25,
+                offload_bytes: 4096,
+                cut_interactions: 7,
+            },
+        );
+        r.record_at(
+            20,
+            PlatformEvent::FailoverCompleted {
+                surrogate: "porch-pc".into(),
+                reinstated_objects: 12,
+                reinstated_bytes: 48_000,
+                objects_lost: 1,
+                duration_micros: 900,
+            },
+        );
+        let events = r.events();
+        let lines = events_json_lines(&events);
+        let back: Vec<TimedEvent> = lines
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("line parses"))
+            .collect();
+        assert_eq!(events, back);
+    }
+
+    #[test]
+    fn timeline_mentions_the_policy_score() {
+        let r = FlightRecorder::new(8);
+        r.record_at(
+            5,
+            PlatformEvent::WinnerChosen {
+                policy_score: 0.5,
+                offload_bytes: 100,
+                cut_interactions: 2,
+            },
+        );
+        let text = render_timeline(&r.events());
+        assert!(text.contains("policy score 0.5000"), "got: {text}");
+    }
+}

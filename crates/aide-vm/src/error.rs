@@ -3,10 +3,12 @@
 use std::error::Error;
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 use crate::ids::{ClassId, MethodId, ObjectId, Reg};
 
 /// Errors raised while loading or executing a program.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum VmError {
     /// The heap could not satisfy an allocation even after garbage

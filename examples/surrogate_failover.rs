@@ -162,8 +162,38 @@ fn main() {
         println!("objects lost:        {}", f.objects_lost);
         println!("re-offloads:         {}", f.reoffloads);
         println!("surrogates used:     {}", f.surrogates_used.join(" -> "));
+        for (i, micros) in f.failover_durations_micros.iter().enumerate() {
+            println!(
+                "recovery #{}:         {:.3} ms (link death to reinstatement)",
+                i + 1,
+                *micros as f64 / 1_000.0
+            );
+        }
     }
     println!("dead surrogates:     {}", registry.dead_names().join(", "));
+
+    // The flight recorder explains every decision the run took: trigger,
+    // candidates, the winner's policy score, measured migration durations,
+    // the link death, and the failover.
+    println!("\nflight-recorder timeline:");
+    print!("{}", report.timeline());
+
+    // Scrape the surviving daemon's Prometheus-style STATS exposition over
+    // its RPC port — the same scrape an external observer would perform.
+    let stats = registry
+        .scrape_stats("hallway-server")
+        .expect("survivor answers STATS");
+    println!("\nSTATS scrape of hallway-server (excerpt):");
+    for line in stats.lines().filter(|l| {
+        l.starts_with("aide_rpc_requests_total")
+            || l.starts_with("aide_rpc_request_latency_micros_count")
+            || l.starts_with("aide_rpc_request_latency_micros_sum")
+            || l.starts_with("aide_surrogate_sessions_total")
+            || l.starts_with("aide_failovers_total")
+            || l.starts_with("aide_offloads_total")
+    }) {
+        println!("  {line}");
+    }
 
     d1.shutdown();
     d2.shutdown();

@@ -15,6 +15,8 @@
 //! * [`apps`] — models of the paper's five evaluation applications.
 //! * [`surrogate`] — the surrogate daemon, UDP-beacon discovery, the
 //!   RTT-ranked registry, and failover onto standby surrogates.
+//! * [`telemetry`] — platform-wide metrics, the decision flight recorder,
+//!   and the JSON-lines / Prometheus-style exporters.
 //!
 //! See the `examples/` directory for runnable walkthroughs and
 //! `EXPERIMENTS.md` for the paper-versus-measured results.
@@ -40,4 +42,5 @@ pub use aide_emu as emu;
 pub use aide_graph as graph;
 pub use aide_rpc as rpc;
 pub use aide_surrogate as surrogate;
+pub use aide_telemetry as telemetry;
 pub use aide_vm as vm;
