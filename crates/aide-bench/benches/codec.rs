@@ -20,13 +20,18 @@ impl Dispatcher for Echo {
 fn bench_codec(c: &mut Criterion) {
     let invoke = Message::Request {
         seq: 42,
+        client: 1,
         body: Request::Invoke {
             target: ObjectId::surrogate(77),
             class: ClassId(13),
             method: MethodId(2),
             arg_bytes: 256,
             ret_bytes: 64,
-            args: vec![ObjectId::client(1), ObjectId::client(2), ObjectId::client(3)],
+            args: vec![
+                ObjectId::client(1),
+                ObjectId::client(2),
+                ObjectId::client(3),
+            ],
         },
     };
     c.bench_function("codec/encode_invoke", |b| {
@@ -39,6 +44,7 @@ fn bench_codec(c: &mut Criterion) {
 
     let migrate = Message::Request {
         seq: 7,
+        client: 1,
         body: Request::Migrate {
             objects: (0..64)
                 .map(|i| {
@@ -67,20 +73,40 @@ fn bench_round_trip(c: &mut Criterion) {
 
     let (link, ct, st) = Link::pair(CommParams::WAVELAN);
     let clock = link.clock.clone();
-    let client = Endpoint::start(ct, link.params, clock.clone(), Arc::new(Echo),
-        EndpointConfig::default());
-    let _surrogate = Endpoint::start(st, link.params, clock, Arc::new(Echo),
-        EndpointConfig::default());
+    let client = Endpoint::start(
+        ct,
+        link.params,
+        clock.clone(),
+        Arc::new(Echo),
+        EndpointConfig::default(),
+    );
+    let _surrogate = Endpoint::start(
+        st,
+        link.params,
+        clock,
+        Arc::new(Echo),
+        EndpointConfig::default(),
+    );
     c.bench_function("rpc/round_trip_in_process", |b| {
         b.iter(|| client.call(black_box(request())).unwrap())
     });
 
     let (link, ct, st) = tcp_pair(CommParams::WAVELAN).expect("localhost socket");
     let clock = link.clock.clone();
-    let client = Endpoint::start(ct, link.params, clock.clone(), Arc::new(Echo),
-        EndpointConfig::default());
-    let _surrogate = Endpoint::start(st, link.params, clock, Arc::new(Echo),
-        EndpointConfig::default());
+    let client = Endpoint::start(
+        ct,
+        link.params,
+        clock.clone(),
+        Arc::new(Echo),
+        EndpointConfig::default(),
+    );
+    let _surrogate = Endpoint::start(
+        st,
+        link.params,
+        clock,
+        Arc::new(Echo),
+        EndpointConfig::default(),
+    );
     c.bench_function("rpc/round_trip_tcp", |b| {
         b.iter(|| client.call(black_box(request())).unwrap())
     });

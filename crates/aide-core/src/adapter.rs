@@ -7,10 +7,14 @@
 //! reference leaves this VM is pinned as an external GC root until the peer
 //! reports (via `GcRelease`) that it no longer holds it.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use aide_rpc::{Dispatcher, Endpoint, ExportTable, ImportTable, Reply, Request, RpcError};
-use aide_vm::{ClassId, Machine, MethodId, NativeKind, ObjectId, RemoteAccess, VmError, VmResult};
+use aide_vm::{
+    ClassId, Machine, MethodId, NativeKind, ObjectId, ObjectRecord, RemoteAccess, VmError, VmResult,
+};
+use parking_lot::Mutex;
 
 /// Shared distributed-GC state for one side of the platform.
 #[derive(Debug, Default)]
@@ -95,7 +99,7 @@ impl RemoteAccess for RemoteAdapter {
         }
         self.import_if_remote(target);
         self.endpoint
-            .call(Request::Invoke {
+            .call_with_retry(Request::Invoke {
                 target,
                 class,
                 method,
@@ -110,7 +114,7 @@ impl RemoteAccess for RemoteAdapter {
     fn field_access(&self, target: ObjectId, bytes: u32, write: bool) -> VmResult<()> {
         self.import_if_remote(target);
         self.endpoint
-            .call(Request::FieldAccess {
+            .call_with_retry(Request::FieldAccess {
                 target,
                 bytes,
                 write,
@@ -123,7 +127,7 @@ impl RemoteAccess for RemoteAdapter {
         self.import_if_remote(target);
         match self
             .endpoint
-            .call(Request::GetSlot { target, slot })
+            .call_with_retry(Request::GetSlot { target, slot })
             .map_err(rpc_to_vm_error)?
         {
             Reply::Slot(value) => {
@@ -144,7 +148,7 @@ impl RemoteAccess for RemoteAdapter {
         }
         self.import_if_remote(target);
         self.endpoint
-            .call(Request::PutSlot {
+            .call_with_retry(Request::PutSlot {
                 target,
                 slot,
                 value,
@@ -162,7 +166,7 @@ impl RemoteAccess for RemoteAdapter {
         ret_bytes: u32,
     ) -> VmResult<()> {
         self.endpoint
-            .call(Request::Native {
+            .call_with_retry(Request::Native {
                 caller,
                 kind,
                 work_micros,
@@ -181,7 +185,7 @@ impl RemoteAccess for RemoteAdapter {
         write: bool,
     ) -> VmResult<()> {
         self.endpoint
-            .call(Request::StaticAccess {
+            .call_with_retry(Request::StaticAccess {
                 accessor,
                 class,
                 bytes,
@@ -194,7 +198,7 @@ impl RemoteAccess for RemoteAdapter {
     fn class_of(&self, target: ObjectId) -> VmResult<ClassId> {
         match self
             .endpoint
-            .call(Request::ClassOf { target })
+            .call_with_retry(Request::ClassOf { target })
             .map_err(rpc_to_vm_error)?
         {
             Reply::Class(c) => Ok(c),
@@ -209,6 +213,10 @@ impl RemoteAccess for RemoteAdapter {
 pub struct VmDispatcher {
     machine: Machine,
     tables: Arc<RefTables>,
+    /// Objects staged by [`Request::MigratePrepare`], keyed by transaction
+    /// id, held outside the heap until COMMIT installs them atomically or
+    /// ABORT discards them.
+    staged: Mutex<HashMap<u64, Vec<(ObjectId, ObjectRecord)>>>,
 }
 
 impl std::fmt::Debug for VmDispatcher {
@@ -220,7 +228,55 @@ impl std::fmt::Debug for VmDispatcher {
 impl VmDispatcher {
     /// Creates a dispatcher executing against `machine`.
     pub fn new(machine: Machine, tables: Arc<RefTables>) -> Self {
-        VmDispatcher { machine, tables }
+        VmDispatcher {
+            machine,
+            tables,
+            staged: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Bytes currently staged by open migration transactions.
+    pub fn staged_bytes(&self) -> u64 {
+        self.staged
+            .lock()
+            .values()
+            .flatten()
+            .map(|(_, r)| r.footprint())
+            .sum()
+    }
+
+    /// Installs `objects` into the local heap, pinning each one. Shared by
+    /// the single-shot [`Request::Migrate`] path and COMMIT.
+    fn install_objects(&self, objects: Vec<(ObjectId, ObjectRecord)>) -> Result<Reply, String> {
+        let vm = self.machine.vm();
+        let mut vm = vm.lock();
+        // All-or-nothing: verify capacity before installing anything,
+        // so a failed migration never leaves objects half-resident.
+        let total: u64 = objects.iter().map(|(_, r)| r.footprint()).sum();
+        if total > vm.heap().free_bytes() {
+            return Err(format!(
+                "surrogate heap cannot host {total} B ({} B free)",
+                vm.heap().free_bytes()
+            ));
+        }
+        for (id, record) in objects {
+            // Cross-VM slot references: note remote ones as imports.
+            for slot in record.slots.iter().flatten() {
+                if !vm.heap().contains(*slot) {
+                    self.tables.imports.import(*slot);
+                }
+            }
+            vm.heap_mut()
+                .migrate_in(id, record)
+                .map_err(|e| e.to_string())?;
+            // Conservatively pin every migrated-in object: the peer
+            // still holds references (frames, slots) to it. Released
+            // by the peer's GcRelease when it drops them.
+            if self.tables.exports.export(id) {
+                vm.external_root_inc(id);
+            }
+        }
+        Ok(Reply::Unit)
     }
 
     fn import_incoming_refs(&self, args: &[ObjectId]) {
@@ -309,35 +365,33 @@ impl Dispatcher for VmDispatcher {
                 .class_of_local(target)
                 .map(Reply::Class)
                 .map_err(|e| e.to_string()),
-            Request::Migrate { objects } => {
-                let vm = self.machine.vm();
-                let mut vm = vm.lock();
-                // All-or-nothing: verify capacity before installing anything,
-                // so a failed migration never leaves objects half-resident.
-                let total: u64 = objects.iter().map(|(_, r)| r.footprint()).sum();
-                if total > vm.heap().free_bytes() {
+            Request::Migrate { objects } => self.install_objects(objects),
+            Request::MigratePrepare { txn, objects } => {
+                // PREPARE stages without installing. The capacity check
+                // covers everything staged so far, so a COMMIT that follows
+                // a successful PREPARE chain cannot fail for space.
+                let mut staged = self.staged.lock();
+                let already: u64 = staged.values().flatten().map(|(_, r)| r.footprint()).sum();
+                let incoming: u64 = objects.iter().map(|(_, r)| r.footprint()).sum();
+                let free = self.machine.vm().lock().heap().free_bytes();
+                if already + incoming > free {
                     return Err(format!(
-                        "surrogate heap cannot host {total} B ({} B free)",
-                        vm.heap().free_bytes()
+                        "surrogate heap cannot stage {incoming} B for txn {txn} \
+                         ({already} B already staged, {free} B free)"
                     ));
                 }
-                for (id, record) in objects {
-                    // Cross-VM slot references: note remote ones as imports.
-                    for slot in record.slots.iter().flatten() {
-                        if !vm.heap().contains(*slot) {
-                            self.tables.imports.import(*slot);
-                        }
-                    }
-                    vm.heap_mut()
-                        .migrate_in(id, record)
-                        .map_err(|e| e.to_string())?;
-                    // Conservatively pin every migrated-in object: the peer
-                    // still holds references (frames, slots) to it. Released
-                    // by the peer's GcRelease when it drops them.
-                    if self.tables.exports.export(id) {
-                        vm.external_root_inc(id);
-                    }
-                }
+                staged.entry(txn).or_default().extend(objects);
+                Ok(Reply::Unit)
+            }
+            Request::MigrateCommit { txn } => match self.staged.lock().remove(&txn) {
+                Some(objects) => self.install_objects(objects),
+                None => Err(format!("unknown migration txn {txn}")),
+            },
+            Request::MigrateAbort { txn } => {
+                // Idempotent: aborting an unknown (or already-aborted)
+                // transaction is a no-op so the client can abort blindly
+                // while cleaning up after a failure.
+                self.staged.lock().remove(&txn);
                 Ok(Reply::Unit)
             }
             Request::GcRelease { objects } => {
@@ -588,5 +642,85 @@ mod tests {
         assert_eq!(vm.heap().stats().migrated_in, 1);
         assert_eq!(vm.external_root_count(), 1, "migrated object pinned");
         assert!(tables.imports.contains(ObjectId::client(123)));
+    }
+
+    #[test]
+    fn prepare_stages_without_installing_until_commit() {
+        let (_client, surrogate, _cep, _sep) = machine_pair();
+        let tables = Arc::new(RefTables::new());
+        let dispatcher = VmDispatcher::new(surrogate.clone(), tables);
+        let id = ObjectId::client(600);
+        let rec = aide_vm::ObjectRecord::new(ClassId(1), 300, 0);
+        dispatcher
+            .dispatch(Request::MigratePrepare {
+                txn: 1,
+                objects: vec![(id, rec)],
+            })
+            .unwrap();
+        // Staged, not installed.
+        assert!(!surrogate.vm().lock().heap().contains(id));
+        assert!(dispatcher.staged_bytes() > 0);
+        dispatcher
+            .dispatch(Request::MigrateCommit { txn: 1 })
+            .unwrap();
+        assert!(surrogate.vm().lock().heap().contains(id));
+        assert_eq!(dispatcher.staged_bytes(), 0);
+    }
+
+    #[test]
+    fn abort_discards_staged_objects() {
+        let (_client, surrogate, _cep, _sep) = machine_pair();
+        let tables = Arc::new(RefTables::new());
+        let dispatcher = VmDispatcher::new(surrogate.clone(), tables);
+        let id = ObjectId::client(601);
+        dispatcher
+            .dispatch(Request::MigratePrepare {
+                txn: 2,
+                objects: vec![(id, aide_vm::ObjectRecord::new(ClassId(1), 300, 0))],
+            })
+            .unwrap();
+        dispatcher
+            .dispatch(Request::MigrateAbort { txn: 2 })
+            .unwrap();
+        assert!(!surrogate.vm().lock().heap().contains(id));
+        assert_eq!(dispatcher.staged_bytes(), 0);
+        // Committing the aborted transaction is an error, and aborting
+        // again is a harmless no-op.
+        assert!(dispatcher
+            .dispatch(Request::MigrateCommit { txn: 2 })
+            .is_err());
+        dispatcher
+            .dispatch(Request::MigrateAbort { txn: 2 })
+            .unwrap();
+    }
+
+    #[test]
+    fn prepare_refuses_to_overstage_the_heap() {
+        let (_client, surrogate, _cep, _sep) = machine_pair();
+        let tables = Arc::new(RefTables::new());
+        let dispatcher = VmDispatcher::new(surrogate.clone(), tables);
+        let free = surrogate.vm().lock().heap().free_bytes();
+        // Two prepares that together exceed the heap: the second must be
+        // refused even though each alone would fit.
+        let big = u32::try_from(free * 2 / 3).unwrap();
+        dispatcher
+            .dispatch(Request::MigratePrepare {
+                txn: 3,
+                objects: vec![(
+                    ObjectId::client(700),
+                    aide_vm::ObjectRecord::new(ClassId(1), big, 0),
+                )],
+            })
+            .unwrap();
+        let err = dispatcher
+            .dispatch(Request::MigratePrepare {
+                txn: 4,
+                objects: vec![(
+                    ObjectId::client(701),
+                    aide_vm::ObjectRecord::new(ClassId(1), big, 0),
+                )],
+            })
+            .unwrap_err();
+        assert!(err.contains("cannot stage"), "got: {err}");
     }
 }

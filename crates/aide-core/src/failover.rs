@@ -571,7 +571,10 @@ impl FailoverAdapter {
         let Some(endpoint) = self.core.endpoint_for_call() else {
             return CallOutcome::FailedOver;
         };
-        match endpoint.call(request) {
+        // Retries (same seq, deduplicated on the serving side) mask
+        // transient loss and corruption; only a persistently unreachable
+        // surrogate escalates to failover.
+        match endpoint.call_with_retry(request) {
             Ok(reply) => CallOutcome::Reply(reply),
             Err(RpcError::Remote(msg)) => CallOutcome::RemoteErr(msg),
             Err(RpcError::Protocol(msg)) => CallOutcome::RemoteErr(format!("protocol: {msg}")),
@@ -793,6 +796,7 @@ mod tests {
                 workers: 2,
                 call_timeout: Duration::from_millis(200),
                 drain_timeout: Duration::from_millis(100),
+                ..EndpointConfig::default()
             },
         }
     }
@@ -807,6 +811,12 @@ mod tests {
             workers: 2,
             call_timeout: Duration::from_millis(200),
             drain_timeout: Duration::from_millis(100),
+            retry: aide_rpc::RetryPolicy {
+                max_attempts: 2,
+                attempt_timeout: Duration::from_millis(200),
+                deadline: Duration::from_millis(500),
+                ..aide_rpc::RetryPolicy::default()
+            },
         };
         let client_ep = Endpoint::start(
             ct,

@@ -4,23 +4,33 @@
 //! For every graph node the policy placed on the surrogate, the executor
 //! gathers the corresponding live objects from the client heap (all objects
 //! of a class, or one specific object for object-granular array nodes),
-//! removes them from the client heap, and ships them to the peer in batched
-//! `Migrate` requests over the real RPC link. The link time of the transfer
-//! is charged to the shared communication clock — this is the "offloading
+//! removes them from the client heap, and ships them to the peer as a
+//! *transactional* two-phase migration over the real RPC link: batched
+//! `MigratePrepare` requests stage the objects on the surrogate, and a
+//! single `MigrateCommit` installs them atomically. Nothing becomes
+//! resident remotely before COMMIT, so any failure rolls back to the exact
+//! pre-offload placement by reinstating the local shadow copies and
+//! sending a best-effort `MigrateAbort`. The link time of the transfer is
+//! charged to the shared communication clock — this is the "offloading
 //! time" component of the paper's remote-execution overhead.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use aide_graph::{SelectedPartition, Side};
 use aide_rpc::{Endpoint, Request};
+use aide_telemetry::{FlightRecorder, PlatformEvent};
 use aide_vm::{ClassId, Machine, ObjectId, ObjectRecord, VmError, VmResult};
 use serde::{Deserialize, Serialize};
 
 use crate::adapter::RefTables;
 use crate::monitor::NodeKey;
 
-/// Objects migrated per `Migrate` request.
+/// Objects migrated per `MigratePrepare` request.
 const MIGRATE_BATCH: usize = 256;
+
+/// Process-wide migration transaction ids.
+static NEXT_TXN: AtomicU64 = AtomicU64::new(1);
 
 /// Summary of one executed offload.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -69,7 +79,7 @@ pub fn execute_offload(
     endpoint: &Arc<Endpoint>,
     tables: &Arc<RefTables>,
 ) -> VmResult<OffloadOutcome> {
-    execute_offload_tracked(selection, keys, client, endpoint, tables)
+    execute_offload_tracked(selection, keys, client, endpoint, tables, None)
         .map(|(outcome, _, _)| outcome)
 }
 
@@ -78,6 +88,16 @@ pub fn execute_offload(
 /// a reinstatement ledger. If the surrogate later dies, the failover path
 /// re-installs the shadow copies into the client heap and releases the
 /// listed pins, restoring purely-local execution.
+///
+/// The migration itself runs as a two-phase transaction: every batch is
+/// staged with `MigratePrepare` (retried under the endpoint's
+/// [`aide_rpc::RetryPolicy`]), then a single `MigrateCommit` installs the
+/// whole shipment atomically. If any phase fails, the shipment is aborted
+/// remotely (best effort — the surrogate installed nothing), the shadow
+/// copies are reinstated into the client heap, and the back-reference pins
+/// are released: the pre-offload placement is restored exactly.
+/// `recorder`, when given, receives `MigrationAborted` /
+/// `MigrationRolledBack` events on that path.
 ///
 /// # Errors
 ///
@@ -89,6 +109,7 @@ pub fn execute_offload_tracked(
     client: &Machine,
     endpoint: &Arc<Endpoint>,
     tables: &Arc<RefTables>,
+    recorder: Option<&FlightRecorder>,
 ) -> VmResult<(OffloadOutcome, Vec<(ObjectId, ObjectRecord)>, Vec<ObjectId>)> {
     let started = std::time::Instant::now();
 
@@ -168,18 +189,38 @@ pub fn execute_offload_tracked(
     // batch is consumed by shipping.
     let shadow = batch.clone();
 
-    // Ship in batches over the real link. On failure, reinstall every
-    // unshipped object so the client heap stays consistent (they only just
-    // left it, so capacity is guaranteed).
+    // Ship as one transaction: stage every batch with PREPARE (retried
+    // against transient faults), then COMMIT the whole shipment. Nothing
+    // becomes resident on the surrogate before COMMIT, so on any failure
+    // the rollback is purely local: reinstate the shadow copies (they only
+    // just left the heap, so capacity is guaranteed) and tell the
+    // surrogate to discard its staging buffer.
+    let txn = NEXT_TXN.fetch_add(1, Ordering::Relaxed);
+    let mut ship_error: Option<String> = None;
     let mut iter = batch.into_iter().peekable();
     while iter.peek().is_some() {
         let chunk: Vec<(ObjectId, ObjectRecord)> = iter.by_ref().take(MIGRATE_BATCH).collect();
-        if let Err(e) = endpoint.call(Request::Migrate {
-            objects: chunk.clone(),
+        if let Err(e) = endpoint.call_with_retry(Request::MigratePrepare {
+            txn,
+            objects: chunk,
         }) {
+            ship_error = Some(format!("migration PREPARE failed: {e}"));
+            break;
+        }
+    }
+    if ship_error.is_none() {
+        if let Err(e) = endpoint.call_with_retry(Request::MigrateCommit { txn }) {
+            ship_error = Some(format!("migration COMMIT failed: {e}"));
+        }
+    }
+    if let Some(reason) = ship_error {
+        // Best effort: a dead link cannot abort, but then the surrogate's
+        // staging buffer dies with the session anyway.
+        let _ = endpoint.call_with_retry(Request::MigrateAbort { txn });
+        {
             let vm = client.vm();
             let mut vm = vm.lock();
-            for (id, record) in chunk.into_iter().chain(iter) {
+            for (id, record) in shadow {
                 vm.heap_mut()
                     .migrate_in(id, record)
                     .expect("reinstalled objects fit the space they vacated");
@@ -191,8 +232,24 @@ pub fn execute_offload_tracked(
                     vm.external_root_dec(*id);
                 }
             }
-            return Err(VmError::RemoteFailure(e.to_string()));
         }
+        let telemetry = aide_telemetry::global();
+        telemetry
+            .counter(aide_telemetry::names::MIGRATIONS_ABORTED)
+            .inc();
+        telemetry
+            .counter(aide_telemetry::names::MIGRATION_ROLLBACK_OBJECTS)
+            .add(objects_moved);
+        if let Some(rec) = recorder {
+            rec.record(PlatformEvent::MigrationAborted {
+                reason: reason.clone(),
+            });
+            rec.record(PlatformEvent::MigrationRolledBack {
+                objects: objects_moved,
+                bytes: bytes_moved,
+            });
+        }
+        return Err(VmError::RemoteFailure(reason));
     }
 
     let client_used_after = client.vm().lock().heap().stats().used_bytes;
@@ -477,8 +534,25 @@ mod failure_tests {
             .expect("feasible on paper");
         let keys = vec![NodeKey::Class(ClassId(0)), NodeKey::Class(ClassId(1))];
 
-        let err = execute_offload(&sel, &keys, &client, &cep, &ctab).unwrap_err();
+        let recorder = FlightRecorder::new(16);
+        let err = execute_offload_tracked(&sel, &keys, &client, &cep, &ctab, Some(&recorder))
+            .unwrap_err();
         assert!(matches!(err, VmError::RemoteFailure(_)), "{err:?}");
+
+        // The flight recorder explains the abort and the rollback.
+        let events: Vec<_> = recorder.events().into_iter().map(|e| e.event).collect();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, PlatformEvent::MigrationAborted { .. })),
+            "expected a MigrationAborted event, got {events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, PlatformEvent::MigrationRolledBack { objects: 30, .. })),
+            "expected a MigrationRolledBack event, got {events:?}"
+        );
 
         // Client heap restored exactly; nothing half-resident anywhere;
         // the back-reference pins taken for the migration were released.

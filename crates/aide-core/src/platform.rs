@@ -282,7 +282,14 @@ impl Controller {
         } else {
             self.endpoint.get().expect("controller bound").clone()
         };
-        match execute_offload_tracked(&selection, &keys, self.client(), &endpoint, &self.tables) {
+        match execute_offload_tracked(
+            &selection,
+            &keys,
+            self.client(),
+            &endpoint,
+            &self.tables,
+            Some(self.recorder.as_ref()),
+        ) {
             Ok((outcome, shadow, pins)) => {
                 if let Some(core) = self.failover.get() {
                     core.record_shipment(shadow, pins);
@@ -309,8 +316,9 @@ impl Controller {
             }
             Err(err) => {
                 // Migration failure is not fatal to the application; the
-                // client simply stays unpartitioned. Record nothing — but on
-                // a provider-backed run, check whether the failure was the
+                // offload layer already rolled the heap back (and recorded
+                // MigrationAborted/MigrationRolledBack). On a
+                // provider-backed run, check whether the failure was the
                 // surrogate dying mid-migration and recover if so.
                 let _ = err;
                 if let Some(core) = self.failover.get() {

@@ -14,7 +14,9 @@ use aide_core::{
     SurrogateLease, SurrogateProvider, VmDispatcher,
 };
 use aide_graph::CommParams;
-use aide_rpc::{Dispatcher, Endpoint, EndpointConfig, Link, Reply, Request, Transport};
+use aide_rpc::{
+    Dispatcher, Endpoint, EndpointConfig, Link, Reply, Request, RetryPolicy, Transport,
+};
 use aide_vm::{GcConfig, Machine, MethodDef, MethodId, Op, Program, ProgramBuilder, Reg, VmConfig};
 
 const DOC_BYTES: u32 = 4_000;
@@ -127,6 +129,14 @@ fn lease_endpoint_config() -> EndpointConfig {
         workers: 4,
         call_timeout: Duration::from_millis(150),
         drain_timeout: Duration::from_millis(100),
+        // Failover tests want a dead surrogate detected fast; keep the
+        // retry budget tight so the whole detection fits the test budget.
+        retry: RetryPolicy {
+            max_attempts: 2,
+            attempt_timeout: Duration::from_millis(150),
+            deadline: Duration::from_millis(400),
+            ..RetryPolicy::default()
+        },
     }
 }
 
@@ -193,6 +203,7 @@ fn build_session(program: &Arc<Program>, name: &str, killable: bool) -> (Session
             workers: 4,
             call_timeout: Duration::from_secs(1),
             drain_timeout: Duration::from_millis(100),
+            ..EndpointConfig::default()
         },
     );
     (

@@ -46,8 +46,8 @@ mod sweep;
 mod trace;
 
 pub use emulator::{
-    EmuFailover, EmuRemoteStats, EmulatedOffload, Emulator, EmulatorConfig, EmulatorReport,
-    FailureSchedule,
+    EmuChaos, EmuFailover, EmuRemoteStats, EmulatedOffload, Emulator, EmulatorConfig,
+    EmulatorReport, FailureSchedule,
 };
 pub use multi::{
     Handoff, HandoffStrategy, MultiReport, MultiSurrogateConfig, MultiSurrogateEmulator,

@@ -9,10 +9,10 @@
 //! interpreter, which may issue further nested remote calls, so the pool
 //! must be at least as deep as the maximum cross-VM call nesting.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use aide_graph::CommParams;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -21,6 +21,10 @@ use parking_lot::Mutex;
 use crate::link::{LinkError, NetClock, Transport};
 use crate::wire::{Message, Reply, Request, WireError};
 
+/// Process-wide source of endpoint (client) ids, carried in every request
+/// frame so the serving side can deduplicate retries per caller.
+static NEXT_CLIENT_ID: AtomicU64 = AtomicU64::new(1);
+
 /// Metric handles resolved once per endpoint so the call path records
 /// with plain atomic ops (no registry lookups).
 struct RpcMetrics {
@@ -28,6 +32,10 @@ struct RpcMetrics {
     errors: Arc<aide_telemetry::Counter>,
     latency_micros: Arc<aide_telemetry::Histogram>,
     simulated_bytes: Arc<aide_telemetry::Counter>,
+    retries: Arc<aide_telemetry::Counter>,
+    dedup_hits: Arc<aide_telemetry::Counter>,
+    late_replies: Arc<aide_telemetry::Counter>,
+    bad_frames: Arc<aide_telemetry::Counter>,
 }
 
 impl RpcMetrics {
@@ -41,6 +49,10 @@ impl RpcMetrics {
                 aide_telemetry::buckets::LATENCY_MICROS,
             ),
             simulated_bytes: t.counter(aide_telemetry::names::RPC_SIMULATED_BYTES),
+            retries: t.counter(aide_telemetry::names::RPC_RETRIES),
+            dedup_hits: t.counter(aide_telemetry::names::RPC_DEDUP_HITS),
+            late_replies: t.counter(aide_telemetry::names::RPC_LATE_REPLIES),
+            bad_frames: t.counter(aide_telemetry::names::RPC_BAD_FRAMES),
         }
     }
 }
@@ -93,6 +105,49 @@ pub trait Dispatcher: Send + Sync {
     fn dispatch(&self, request: Request) -> Result<Reply, String>;
 }
 
+/// Retry discipline for [`Endpoint::call_with_retry`].
+///
+/// Retries resend the *same* frame — same sequence number, same client id —
+/// so the serving side's at-most-once cache can recognise them, and a late
+/// reply to an earlier attempt satisfies a later one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum send attempts (1 = no retries).
+    pub max_attempts: u32,
+    /// How long each attempt waits for a reply before resending.
+    pub attempt_timeout: Duration,
+    /// Backoff before the first retry; later retries scale by
+    /// [`backoff_factor`](RetryPolicy::backoff_factor).
+    pub base_backoff: Duration,
+    /// Multiplier applied to the backoff after every retry.
+    pub backoff_factor: f64,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Jitter fraction: each sleep is scaled by a factor drawn uniformly
+    /// from `[1 - jitter, 1 + jitter]`. 0 disables jitter.
+    pub jitter: f64,
+    /// Overall deadline across all attempts and backoffs.
+    pub deadline: Duration,
+    /// Seed for the deterministic jitter stream (mixed with the request's
+    /// sequence number so concurrent calls do not march in lockstep).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            attempt_timeout: Duration::from_secs(2),
+            base_backoff: Duration::from_millis(25),
+            backoff_factor: 2.0,
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.25,
+            deadline: Duration::from_secs(30),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
 /// Configuration of an [`Endpoint`].
 #[derive(Debug, Clone, Copy)]
 pub struct EndpointConfig {
@@ -105,6 +160,8 @@ pub struct EndpointConfig {
     /// shutdown begins. Bounds [`Endpoint::join`] even when the peer never
     /// acknowledges the shutdown (a crashed or hung surrogate).
     pub drain_timeout: Duration,
+    /// Retry discipline used by [`Endpoint::call_with_retry`].
+    pub retry: RetryPolicy,
 }
 
 impl Default for EndpointConfig {
@@ -113,11 +170,109 @@ impl Default for EndpointConfig {
             workers: 64,
             call_timeout: Duration::from_secs(30),
             drain_timeout: Duration::from_secs(1),
+            retry: RetryPolicy::default(),
         }
     }
 }
 
 type PendingMap = Arc<Mutex<HashMap<u64, Sender<Result<Reply, String>>>>>;
+
+/// Sequence numbers whose caller gave up waiting. When the reply finally
+/// arrives the receiver counts it as a *late reply* instead of silently
+/// discarding it — the observable symptom that a retry layer is needed.
+type LateSet = Arc<Mutex<HashSet<u64>>>;
+
+/// Bound on remembered timed-out sequence numbers; replies that never
+/// arrive would otherwise grow the set forever.
+const LATE_SET_CAPACITY: usize = 4096;
+
+/// At-most-once execution cache on the serving side, keyed by
+/// `(client id, sequence number)`.
+///
+/// A retried non-idempotent request ([`Request::Invoke`],
+/// [`Request::Migrate`], …) must never execute twice: the first arrival
+/// marks the key in-flight and executes; duplicates arriving during
+/// execution are dropped (the eventual reply answers every copy, since
+/// retries share the sequence number); duplicates arriving after
+/// completion are answered from the memoized reply frame.
+struct DedupCache {
+    capacity: usize,
+    entries: Mutex<DedupInner>,
+}
+
+#[derive(Default)]
+struct DedupInner {
+    map: HashMap<(u64, u64), Option<Vec<u8>>>,
+    fifo: VecDeque<(u64, u64)>,
+}
+
+/// What the worker should do with an arriving request.
+enum DedupDecision {
+    /// First sighting: execute it.
+    Execute,
+    /// Duplicate of a request still executing: drop (its reply is coming).
+    InFlight,
+    /// Duplicate of a completed request: resend the memoized reply frame.
+    Replay(Vec<u8>),
+}
+
+impl DedupCache {
+    fn new(capacity: usize) -> Self {
+        DedupCache {
+            capacity: capacity.max(1),
+            entries: Mutex::new(DedupInner::default()),
+        }
+    }
+
+    fn begin(&self, key: (u64, u64)) -> DedupDecision {
+        let mut inner = self.entries.lock();
+        match inner.map.get(&key) {
+            Some(None) => return DedupDecision::InFlight,
+            Some(Some(frame)) => return DedupDecision::Replay(frame.clone()),
+            None => {}
+        }
+        if inner.fifo.len() >= self.capacity {
+            // Evict the oldest *completed* entry; in-flight markers rotate
+            // to the back so an executing request is never forgotten.
+            for _ in 0..inner.fifo.len() {
+                let oldest = inner.fifo.pop_front().expect("fifo non-empty");
+                if matches!(inner.map.get(&oldest), Some(None)) {
+                    inner.fifo.push_back(oldest);
+                } else {
+                    inner.map.remove(&oldest);
+                    break;
+                }
+            }
+        }
+        inner.map.insert(key, None);
+        inner.fifo.push_back(key);
+        DedupDecision::Execute
+    }
+
+    fn complete(&self, key: (u64, u64), reply_frame: Vec<u8>) {
+        let mut inner = self.entries.lock();
+        if let Some(slot) = inner.map.get_mut(&key) {
+            *slot = Some(reply_frame);
+        }
+    }
+}
+
+/// Requests exempt from at-most-once bookkeeping: idempotent health and
+/// introspection traffic that would otherwise churn the cache.
+fn is_idempotent(request: &Request) -> bool {
+    matches!(request, Request::Ping | Request::Stats)
+}
+
+/// xorshift64 step returning a uniform f64 in [0, 1) — the same generator
+/// the chaos schedule and failover backoff use, so jitter is reproducible.
+fn xorshift_unit(state: &mut u64) -> f64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
 
 /// One VM's side of the RPC connection.
 pub struct Endpoint {
@@ -125,12 +280,18 @@ pub struct Endpoint {
     params: CommParams,
     clock: Arc<NetClock>,
     pending: PendingMap,
+    late_expected: LateSet,
     next_seq: AtomicU64,
+    client_id: u64,
     closing: Arc<AtomicBool>,
     shutdown_tx: Sender<()>,
     config: EndpointConfig,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     requests_served: Arc<AtomicU64>,
+    retries: AtomicU64,
+    dedup_hits: Arc<AtomicU64>,
+    late_replies: Arc<AtomicU64>,
+    bad_frames: Arc<AtomicU64>,
     metrics: RpcMetrics,
 }
 
@@ -161,33 +322,65 @@ impl Endpoint {
             params,
             clock,
             pending: Arc::new(Mutex::new(HashMap::new())),
+            late_expected: Arc::new(Mutex::new(HashSet::new())),
             next_seq: AtomicU64::new(0),
+            client_id: NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed),
             closing: Arc::new(AtomicBool::new(false)),
             shutdown_tx,
             config,
             threads: Mutex::new(Vec::new()),
             requests_served: Arc::new(AtomicU64::new(0)),
+            retries: AtomicU64::new(0),
+            dedup_hits: Arc::new(AtomicU64::new(0)),
+            late_replies: Arc::new(AtomicU64::new(0)),
+            bad_frames: Arc::new(AtomicU64::new(0)),
             metrics: RpcMetrics::resolve(),
         });
 
-        let (job_tx, job_rx) = unbounded::<(u64, Request)>();
+        let (job_tx, job_rx) = unbounded::<(u64, u64, Request)>();
+        let dedup = Arc::new(DedupCache::new(1024));
 
         // Worker pool.
         let mut handles = Vec::with_capacity(config.workers + 1);
         for i in 0..config.workers {
-            let rx: Receiver<(u64, Request)> = job_rx.clone();
+            let rx: Receiver<(u64, u64, Request)> = job_rx.clone();
             let disp = dispatcher.clone();
             let out = transport.clone();
             let served = endpoint.requests_served.clone();
+            let dedup = dedup.clone();
+            let dedup_hits = endpoint.dedup_hits.clone();
+            let dedup_hits_metric = endpoint.metrics.dedup_hits.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("rpc-worker-{i}"))
                     .spawn(move || {
-                        while let Ok((seq, request)) = rx.recv() {
+                        while let Ok((client, seq, request)) = rx.recv() {
+                            let dedupable = !is_idempotent(&request);
+                            if dedupable {
+                                match dedup.begin((client, seq)) {
+                                    DedupDecision::Execute => {}
+                                    DedupDecision::InFlight => {
+                                        dedup_hits.fetch_add(1, Ordering::Relaxed);
+                                        dedup_hits_metric.inc();
+                                        continue;
+                                    }
+                                    DedupDecision::Replay(frame) => {
+                                        dedup_hits.fetch_add(1, Ordering::Relaxed);
+                                        dedup_hits_metric.inc();
+                                        if out.send(frame).is_err() {
+                                            break;
+                                        }
+                                        continue;
+                                    }
+                                }
+                            }
                             let result = disp.dispatch(request);
                             served.fetch_add(1, Ordering::Relaxed);
-                            let frame = Message::Reply { seq, result }.encode();
-                            if out.send(frame.to_vec()).is_err() {
+                            let frame = Message::Reply { seq, result }.encode().to_vec();
+                            if dedupable {
+                                dedup.complete((client, seq), frame.clone());
+                            }
+                            if out.send(frame).is_err() {
                                 break;
                             }
                         }
@@ -200,20 +393,30 @@ impl Endpoint {
         {
             let transport = transport.clone();
             let pending = endpoint.pending.clone();
+            let late_expected = endpoint.late_expected.clone();
             let closing = endpoint.closing.clone();
             let drain_timeout = config.drain_timeout;
+            let late_replies = endpoint.late_replies.clone();
+            let late_replies_metric = endpoint.metrics.late_replies.clone();
+            let bad_frames = endpoint.bad_frames.clone();
+            let bad_frames_metric = endpoint.metrics.bad_frames.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name("rpc-recv".into())
                     .spawn(move || {
-                        receiver_loop(
-                            &transport,
-                            &pending,
-                            &closing,
-                            &job_tx,
-                            &shutdown_rx,
+                        receiver_loop(ReceiverCtx {
+                            transport: &transport,
+                            pending: &pending,
+                            late_expected: &late_expected,
+                            closing: &closing,
+                            jobs: &job_tx,
+                            shutdown: &shutdown_rx,
                             drain_timeout,
-                        );
+                            late_replies: &late_replies,
+                            late_replies_metric: &late_replies_metric,
+                            bad_frames: &bad_frames,
+                            bad_frames_metric: &bad_frames_metric,
+                        });
                         // Receiver gone: fail all outstanding calls.
                         pending.lock().clear();
                     })
@@ -225,8 +428,44 @@ impl Endpoint {
     }
 
     /// Number of requests this endpoint has served for its peer.
+    ///
+    /// Retries absorbed by the at-most-once cache are *not* counted here —
+    /// this is the number of actual dispatcher executions.
     pub fn requests_served(&self) -> u64 {
         self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Process-unique id stamped into every request this endpoint sends;
+    /// the serving side keys its at-most-once cache by `(client_id, seq)`.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// Number of request frames this endpoint re-sent from
+    /// [`call_with_retry`](Endpoint::call_with_retry).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Number of duplicate requests absorbed by the at-most-once cache
+    /// while serving the peer (dropped in-flight or answered from the
+    /// memoized reply).
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of replies that arrived after their caller had already timed
+    /// out. Before the retry layer these were silently dropped; now they
+    /// are accounted for, and retries (which keep the original sequence
+    /// number registered) consume them directly.
+    pub fn late_replies(&self) -> u64 {
+        self.late_replies.load(Ordering::Relaxed)
+    }
+
+    /// Number of frames that failed to decode (truncated, corrupted, or
+    /// wrong protocol version) and were discarded.
+    pub fn bad_frames(&self) -> u64 {
+        self.bad_frames.load(Ordering::Relaxed)
     }
 
     /// The shared simulated-communication clock.
@@ -248,12 +487,19 @@ impl Endpoint {
     /// [`RpcError::Disconnected`] / [`RpcError::Timeout`] on link failures.
     pub fn call(&self, request: Request) -> Result<Reply, RpcError> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-        let msg = Message::Request { seq, body: request };
+        let msg = Message::Request {
+            seq,
+            client: self.client_id,
+            body: request,
+        };
         let req_bytes = msg.simulated_request_bytes();
         let (reply_bytes, is_migrate) = match &msg {
             Message::Request { body, .. } => (
                 Message::simulated_reply_bytes(body),
-                matches!(body, Request::Migrate { .. }),
+                matches!(
+                    body,
+                    Request::Migrate { .. } | Request::MigratePrepare { .. }
+                ),
             ),
             Message::Reply { .. } => unreachable!(),
         };
@@ -282,6 +528,11 @@ impl Endpoint {
         let result = match outcome {
             Ok(r) => r,
             Err(e) => {
+                if e == RpcError::Timeout {
+                    // Remember the abandoned sequence number so the
+                    // receiver can count the reply if it straggles in.
+                    self.note_late_expected(seq);
+                }
                 self.metrics.errors.inc();
                 return Err(e);
             }
@@ -306,6 +557,129 @@ impl Endpoint {
         })
     }
 
+    /// Like [`call`], but resends the request under the endpoint's
+    /// [`RetryPolicy`] until a reply arrives, the attempt budget is spent,
+    /// or the deadline passes.
+    ///
+    /// Every attempt reuses the *same* sequence number and client id, so:
+    ///
+    /// * the serving side's at-most-once cache recognises duplicates and
+    ///   never executes a non-idempotent request twice;
+    /// * the caller stays registered for the sequence number across
+    ///   attempts, so a late reply to attempt *n* satisfies attempt *n+1*
+    ///   directly instead of being discarded.
+    ///
+    /// Simulated link time is charged once for the logical round trip —
+    /// retries model real-time recovery, not extra application traffic.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Timeout`] once attempts or deadline are exhausted,
+    /// [`RpcError::Disconnected`] if the link closes, [`RpcError::Remote`]
+    /// if the peer executed the request and reported an error.
+    ///
+    /// [`call`]: Endpoint::call
+    pub fn call_with_retry(&self, request: Request) -> Result<Reply, RpcError> {
+        let policy = self.config.retry;
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let msg = Message::Request {
+            seq,
+            client: self.client_id,
+            body: request,
+        };
+        let req_bytes = msg.simulated_request_bytes();
+        let (reply_bytes, is_migrate) = match &msg {
+            Message::Request { body, .. } => (
+                Message::simulated_reply_bytes(body),
+                matches!(
+                    body,
+                    Request::Migrate { .. } | Request::MigratePrepare { .. }
+                ),
+            ),
+            Message::Reply { .. } => unreachable!(),
+        };
+        let frame = msg.encode().to_vec();
+
+        let (tx, rx) = unbounded();
+        self.pending.lock().insert(seq, tx);
+        let deadline = Instant::now() + policy.deadline;
+        let mut jitter_state = (policy.seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+        let started = Instant::now();
+        let mut attempt: u32 = 0;
+        let outcome = loop {
+            attempt += 1;
+            if attempt > 1 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                self.metrics.retries.inc();
+            }
+            if self.transport.send(frame.clone()).is_err() {
+                break Err(RpcError::Disconnected);
+            }
+            let wait = policy
+                .attempt_timeout
+                .min(deadline.saturating_duration_since(Instant::now()));
+            match rx.recv_timeout(wait) {
+                Ok(r) => break Ok(r),
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    break Err(RpcError::Disconnected)
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    let now = Instant::now();
+                    if attempt >= policy.max_attempts || now >= deadline {
+                        break Err(RpcError::Timeout);
+                    }
+                    let exp = policy.base_backoff.as_secs_f64()
+                        * policy.backoff_factor.powi(attempt as i32 - 1);
+                    let capped = exp.min(policy.max_backoff.as_secs_f64());
+                    let scale =
+                        1.0 + policy.jitter * (2.0 * xorshift_unit(&mut jitter_state) - 1.0);
+                    let sleep = Duration::from_secs_f64((capped * scale).max(0.0))
+                        .min(deadline.saturating_duration_since(now));
+                    std::thread::sleep(sleep);
+                }
+            }
+        };
+        self.pending.lock().remove(&seq);
+        self.metrics.requests.inc();
+        self.metrics
+            .latency_micros
+            .observe(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        let result = match outcome {
+            Ok(r) => r,
+            Err(e) => {
+                if e == RpcError::Timeout {
+                    self.note_late_expected(seq);
+                }
+                self.metrics.errors.inc();
+                return Err(e);
+            }
+        };
+        self.metrics.simulated_bytes.add(req_bytes + reply_bytes);
+        let seconds = if is_migrate {
+            self.params.transfer_seconds(req_bytes)
+        } else {
+            self.params.rtt_seconds
+                + ((req_bytes + reply_bytes) as f64 * 8.0) / self.params.bandwidth_bps
+        };
+        self.clock.add(seconds);
+        self.clock.note_round_trip();
+
+        result.map_err(|msg| {
+            self.metrics.errors.inc();
+            RpcError::Remote(msg)
+        })
+    }
+
+    /// Marks `seq` as timed-out-but-possibly-answered, bounding the set so
+    /// replies that never arrive cannot grow it without limit.
+    fn note_late_expected(&self, seq: u64) {
+        let mut late = self.late_expected.lock();
+        if late.len() >= LATE_SET_CAPACITY {
+            late.clear();
+        }
+        late.insert(seq);
+    }
+
     /// Sends a null RPC ([`Request::Ping`]) and measures the *real*
     /// round-trip time.
     ///
@@ -326,6 +700,7 @@ impl Endpoint {
         self.pending.lock().insert(seq, tx);
         let frame = Message::Request {
             seq,
+            client: self.client_id,
             body: Request::Ping,
         }
         .encode();
@@ -358,6 +733,7 @@ impl Endpoint {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let frame = Message::Request {
             seq,
+            client: self.client_id,
             body: Request::Shutdown,
         }
         .encode();
@@ -379,14 +755,35 @@ impl Endpoint {
     }
 }
 
-fn receiver_loop(
-    transport: &Transport,
-    pending: &PendingMap,
-    closing: &AtomicBool,
-    jobs: &Sender<(u64, Request)>,
-    shutdown: &Receiver<()>,
+/// Everything the receiver loop needs, bundled to keep the signature sane.
+struct ReceiverCtx<'a> {
+    transport: &'a Transport,
+    pending: &'a PendingMap,
+    late_expected: &'a LateSet,
+    closing: &'a AtomicBool,
+    jobs: &'a Sender<(u64, u64, Request)>,
+    shutdown: &'a Receiver<()>,
     drain_timeout: Duration,
-) {
+    late_replies: &'a AtomicU64,
+    late_replies_metric: &'a aide_telemetry::Counter,
+    bad_frames: &'a AtomicU64,
+    bad_frames_metric: &'a aide_telemetry::Counter,
+}
+
+fn receiver_loop(ctx: ReceiverCtx<'_>) {
+    let ReceiverCtx {
+        transport,
+        pending,
+        late_expected,
+        closing,
+        jobs,
+        shutdown,
+        drain_timeout,
+        late_replies,
+        late_replies_metric,
+        bad_frames,
+        bad_frames_metric,
+    } = ctx;
     let incoming = transport.incoming();
     // `None` while running normally; set to a deadline once shutdown begins
     // (locally via the signal channel, or by the peer's Shutdown frame).
@@ -424,7 +821,7 @@ fn receiver_loop(
         };
         transport.note_received(frame.len());
         match Message::decode(&frame) {
-            Ok(Message::Request { seq, body }) => {
+            Ok(Message::Request { seq, client, body }) => {
                 if matches!(body, Request::Shutdown) {
                     // Fire-and-forget: the sender does not wait for a reply.
                     closing.store(true, Ordering::SeqCst);
@@ -433,7 +830,7 @@ fn receiver_loop(
                     }
                     continue;
                 }
-                if jobs.send((seq, body)).is_err() {
+                if jobs.send((client, seq, body)).is_err() {
                     return;
                 }
             }
@@ -441,10 +838,20 @@ fn receiver_loop(
                 let waiter = pending.lock().remove(&seq);
                 if let Some(tx) = waiter {
                     let _ = tx.send(result);
+                } else if late_expected.lock().remove(&seq) {
+                    // The caller already gave up on this sequence number:
+                    // account for the straggler instead of losing it
+                    // silently. (Replies to retried calls never land here —
+                    // retries keep their waiter registered.)
+                    late_replies.fetch_add(1, Ordering::Relaxed);
+                    late_replies_metric.inc();
                 }
             }
             Err(_) => {
-                // Malformed frame: drop it; callers will time out.
+                // Malformed frame (truncated, corrupted, wrong version):
+                // count and drop it; retries recover the request.
+                bad_frames.fetch_add(1, Ordering::Relaxed);
+                bad_frames_metric.inc();
             }
         }
     }
@@ -602,6 +1009,7 @@ mod tests {
                 workers: 2,
                 call_timeout: Duration::from_millis(200),
                 drain_timeout: Duration::from_millis(200),
+                ..EndpointConfig::default()
             },
         );
         drop(st); // peer never existed
@@ -655,6 +1063,7 @@ mod tests {
                 workers: 2,
                 call_timeout: Duration::from_secs(30),
                 drain_timeout: Duration::from_millis(100),
+                ..EndpointConfig::default()
             },
         );
         // A call that will never be answered: the peer transport is held
@@ -695,5 +1104,164 @@ mod tests {
             "both sides wound down, took {:?}",
             started.elapsed()
         );
+    }
+
+    /// A dispatcher whose every execution takes `delay` of wall time.
+    struct SlowDispatcher {
+        delay: Duration,
+    }
+
+    impl Dispatcher for SlowDispatcher {
+        fn dispatch(&self, _request: Request) -> Result<Reply, String> {
+            std::thread::sleep(self.delay);
+            Ok(Reply::Unit)
+        }
+    }
+
+    #[test]
+    fn retry_reuses_the_sequence_number_and_executes_once() {
+        // The surrogate is slower than one attempt timeout, so the first
+        // attempt gives up and resends. Because the retry keeps the same
+        // sequence number registered, the late reply to attempt 1
+        // satisfies attempt 2, and the duplicate request is absorbed by
+        // the at-most-once cache instead of executing twice.
+        let (link, ct, st) = Link::pair(CommParams::WAVELAN);
+        let clock = link.clock.clone();
+        let client = Endpoint::start(
+            ct,
+            link.params,
+            clock.clone(),
+            Arc::new(TestDispatcher {
+                known: ObjectId::client(1),
+            }),
+            EndpointConfig {
+                retry: RetryPolicy {
+                    max_attempts: 8,
+                    attempt_timeout: Duration::from_millis(100),
+                    base_backoff: Duration::from_millis(1),
+                    deadline: Duration::from_secs(10),
+                    ..RetryPolicy::default()
+                },
+                ..EndpointConfig::default()
+            },
+        );
+        let surrogate = Endpoint::start(
+            st,
+            link.params,
+            clock,
+            Arc::new(SlowDispatcher {
+                delay: Duration::from_millis(350),
+            }),
+            EndpointConfig::default(),
+        );
+        let reply = client
+            .call_with_retry(Request::FieldAccess {
+                target: ObjectId::surrogate(1),
+                bytes: 0,
+                write: true,
+            })
+            .unwrap();
+        assert_eq!(reply, Reply::Unit);
+        assert!(client.retries() >= 1, "expected at least one resend");
+        assert_eq!(
+            surrogate.requests_served(),
+            1,
+            "the request must execute exactly once"
+        );
+        assert!(
+            surrogate.dedup_hits() >= 1,
+            "duplicates must be absorbed by the cache"
+        );
+        client.shutdown();
+        surrogate.shutdown();
+    }
+
+    #[test]
+    fn duplicated_requests_execute_once() {
+        let (link, ct, st) = Link::pair(CommParams::WAVELAN);
+        let clock = link.clock.clone();
+        let (ct, _chaos_stats) = crate::chaos::chaos_wrap(
+            ct,
+            crate::chaos::ChaosSchedule {
+                duplicate: 1.0,
+                ..crate::chaos::ChaosSchedule::seeded(11)
+            },
+        );
+        let client = Endpoint::start(
+            ct,
+            link.params,
+            clock.clone(),
+            Arc::new(TestDispatcher {
+                known: ObjectId::client(1),
+            }),
+            EndpointConfig::default(),
+        );
+        let surrogate = Endpoint::start(
+            st,
+            link.params,
+            clock,
+            Arc::new(TestDispatcher {
+                known: ObjectId::surrogate(2),
+            }),
+            EndpointConfig::default(),
+        );
+        for _ in 0..20 {
+            let reply = client
+                .call(Request::GetSlot {
+                    target: ObjectId::surrogate(2),
+                    slot: 0,
+                })
+                .unwrap();
+            assert_eq!(reply, Reply::Slot(Some(ObjectId::surrogate(2))));
+        }
+        // Every request arrived twice; each logical request executed once
+        // and its duplicate hit the cache.
+        assert_eq!(surrogate.requests_served(), 20);
+        assert_eq!(surrogate.dedup_hits(), 20);
+        client.shutdown();
+        surrogate.shutdown();
+    }
+
+    #[test]
+    fn late_replies_are_counted_not_lost() {
+        let (link, ct, st) = Link::pair(CommParams::WAVELAN);
+        let clock = link.clock.clone();
+        let client = Endpoint::start(
+            ct,
+            link.params,
+            clock.clone(),
+            Arc::new(TestDispatcher {
+                known: ObjectId::client(1),
+            }),
+            EndpointConfig {
+                call_timeout: Duration::from_millis(50),
+                ..EndpointConfig::default()
+            },
+        );
+        let surrogate = Endpoint::start(
+            st,
+            link.params,
+            clock,
+            Arc::new(SlowDispatcher {
+                delay: Duration::from_millis(200),
+            }),
+            EndpointConfig::default(),
+        );
+        let err = client
+            .call(Request::FieldAccess {
+                target: ObjectId::surrogate(1),
+                bytes: 0,
+                write: false,
+            })
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        // The reply straggles in ~150 ms after the caller gave up.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while client.late_replies() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(client.late_replies(), 1);
+        client.shutdown();
+        surrogate.shutdown();
     }
 }

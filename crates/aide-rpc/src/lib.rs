@@ -48,14 +48,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod endpoint;
 mod link;
 mod reftable;
 mod tcp;
 mod wire;
 
-pub use endpoint::{Dispatcher, Endpoint, EndpointConfig, RpcError};
+pub use chaos::{chaos_pair, chaos_wrap, ChaosPairStats, ChaosSchedule, ChaosStats};
+pub use endpoint::{Dispatcher, Endpoint, EndpointConfig, RetryPolicy, RpcError};
 pub use link::{Link, LinkError, NetClock, TrafficStats, Transport};
 pub use reftable::{live_remote_refs, ExportTable, ImportTable};
 pub use tcp::{tcp_pair, tcp_transport};
-pub use wire::{Message, Reply, Request, WireError};
+pub use wire::{crc32, Message, Reply, Request, WireError, PROTOCOL_VERSION};

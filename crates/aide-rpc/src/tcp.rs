@@ -237,6 +237,7 @@ mod tests {
                 workers: 2,
                 call_timeout: std::time::Duration::from_secs(5),
                 drain_timeout: std::time::Duration::from_millis(200),
+                ..EndpointConfig::default()
             },
         );
         // The peer dies without any endpoint ever serving it.

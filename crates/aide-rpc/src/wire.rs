@@ -10,10 +10,23 @@
 //! of zeros. Link timing is computed from the declared sizes (see
 //! [`Message::simulated_request_bytes`]), which is exactly how the paper's
 //! emulator stretched simulated execution time for remote interactions.
+//!
+//! Every frame is integrity-protected: the encoded message payload is
+//! prefixed with a one-byte protocol version and a CRC32 (IEEE) of the
+//! payload. A frame corrupted in flight decodes to
+//! [`WireError::BadChecksum`] — never to a panic or a wrong message — so
+//! the retry layer above can treat corruption exactly like loss.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use aide_vm::{ClassId, MethodId, NativeKind, ObjectId, ObjectRecord};
+
+/// Current protocol version, carried as the first byte of every frame.
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// Bytes of framing overhead preceding the message payload: the version
+/// byte plus the little-endian CRC32.
+const FRAME_HEADER: usize = 5;
 
 /// Protocol-level errors (malformed frames, truncated buffers).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +37,10 @@ pub enum WireError {
     BadTag(u8),
     /// Trailing bytes followed a complete message.
     TrailingBytes(usize),
+    /// The frame announced an unsupported protocol version.
+    BadVersion(u8),
+    /// The frame's CRC32 did not match its payload (in-flight corruption).
+    BadChecksum,
 }
 
 impl std::fmt::Display for WireError {
@@ -32,11 +49,43 @@ impl std::fmt::Display for WireError {
             WireError::Truncated => f.write_str("frame truncated"),
             WireError::BadTag(t) => write!(f, "unknown wire tag {t}"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadChecksum => f.write_str("frame checksum mismatch"),
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// CRC32 (IEEE 802.3) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
 
 /// A request the peer should execute.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,6 +170,29 @@ pub enum Request {
         /// Objects to unpin.
         objects: Vec<ObjectId>,
     },
+    /// Phase one of a transactional migration: stage these objects under
+    /// transaction `txn` without installing them. The serving VM checks
+    /// capacity for everything staged so far and holds the objects in a
+    /// side buffer until [`Request::MigrateCommit`] or
+    /// [`Request::MigrateAbort`].
+    MigratePrepare {
+        /// Migration transaction id, unique per client.
+        txn: u64,
+        /// `(id, record)` pairs to stage.
+        objects: Vec<(ObjectId, ObjectRecord)>,
+    },
+    /// Phase two of a transactional migration: atomically install every
+    /// object staged under `txn` into the serving VM's heap.
+    MigrateCommit {
+        /// Migration transaction id.
+        txn: u64,
+    },
+    /// Abort a transactional migration: discard everything staged under
+    /// `txn`. Idempotent; aborting an unknown transaction is a no-op.
+    MigrateAbort {
+        /// Migration transaction id.
+        txn: u64,
+    },
     /// Orderly connection teardown.
     Shutdown,
     /// Null RPC: the serving VM replies immediately with no work. Used by
@@ -153,8 +225,13 @@ pub enum Reply {
 pub enum Message {
     /// A request awaiting a matching reply.
     Request {
-        /// Correlation number, unique per sender.
+        /// Correlation number, unique per sender. Retries of the same
+        /// logical request reuse the same `seq`, which is what lets the
+        /// serving side deduplicate them.
         seq: u64,
+        /// Process-unique id of the calling endpoint. Together with `seq`
+        /// it forms the at-most-once dedup key on the serving side.
+        client: u64,
         /// The operation to perform.
         body: Request,
     },
@@ -198,12 +275,18 @@ impl Message {
                             }
                         }
                         Request::ClassOf { .. } => 0,
-                        Request::Migrate { objects } => objects
-                            .iter()
-                            .map(|(_, rec)| rec.footprint() + 16)
-                            .sum::<u64>(),
+                        Request::Migrate { objects } | Request::MigratePrepare { objects, .. } => {
+                            objects
+                                .iter()
+                                .map(|(_, rec)| rec.footprint() + 16)
+                                .sum::<u64>()
+                        }
                         Request::GcRelease { objects } => 8 * objects.len() as u64,
-                        Request::Shutdown | Request::Ping | Request::Stats => 0,
+                        Request::MigrateCommit { .. }
+                        | Request::MigrateAbort { .. }
+                        | Request::Shutdown
+                        | Request::Ping
+                        | Request::Stats => 0,
                     }
             }
             Message::Reply { .. } => HEADER,
@@ -237,13 +320,20 @@ impl Message {
             }
     }
 
-    /// Encodes the message into a frame.
+    /// Encodes the message into a frame: `[version][crc32 LE][payload]`.
     pub fn encode(&self) -> Bytes {
+        let payload = self.encode_payload();
+        seal_frame(&payload).freeze()
+    }
+
+    /// Encodes just the message payload (no version byte, no checksum).
+    fn encode_payload(&self) -> BytesMut {
         let mut buf = BytesMut::with_capacity(64);
         match self {
-            Message::Request { seq, body } => {
+            Message::Request { seq, client, body } => {
                 buf.put_u8(0);
                 buf.put_u64_le(*seq);
+                buf.put_u64_le(*client);
                 encode_request(&mut buf, body);
             }
             Message::Reply { seq, result } => {
@@ -261,22 +351,40 @@ impl Message {
                 }
             }
         }
-        buf.freeze()
+        buf
     }
 
     /// Decodes a message from a frame.
     ///
     /// # Errors
     ///
-    /// Returns a [`WireError`] if the frame is truncated, carries an unknown
-    /// tag, or has trailing bytes.
-    pub fn decode(mut frame: &[u8]) -> Result<Message, WireError> {
-        let buf = &mut frame;
+    /// Returns a [`WireError`] if the frame announces an unknown protocol
+    /// version, fails its checksum, is truncated, carries an unknown tag,
+    /// or has trailing bytes.
+    pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
+        if frame.len() < FRAME_HEADER {
+            return Err(WireError::Truncated);
+        }
+        if frame[0] != PROTOCOL_VERSION {
+            return Err(WireError::BadVersion(frame[0]));
+        }
+        let declared = u32::from_le_bytes([frame[1], frame[2], frame[3], frame[4]]);
+        let payload = &frame[FRAME_HEADER..];
+        if crc32(payload) != declared {
+            return Err(WireError::BadChecksum);
+        }
+        Self::decode_payload(payload)
+    }
+
+    /// Decodes a checksum-verified message payload.
+    fn decode_payload(mut payload: &[u8]) -> Result<Message, WireError> {
+        let buf = &mut payload;
         let msg = match get_u8(buf)? {
             0 => {
                 let seq = get_u64(buf)?;
+                let client = get_u64(buf)?;
                 let body = decode_request(buf)?;
-                Message::Request { seq, body }
+                Message::Request { seq, client, body }
             }
             1 => {
                 let seq = get_u64(buf)?;
@@ -294,6 +402,15 @@ impl Message {
         }
         Ok(msg)
     }
+}
+
+/// Prefixes a payload with the protocol version and its CRC32.
+fn seal_frame(payload: &[u8]) -> BytesMut {
+    let mut framed = BytesMut::with_capacity(FRAME_HEADER + payload.len());
+    framed.put_u8(PROTOCOL_VERSION);
+    framed.put_u32_le(crc32(payload));
+    framed.put_slice(payload);
+    framed
 }
 
 fn encode_request(buf: &mut BytesMut, body: &Request) {
@@ -374,16 +491,7 @@ fn encode_request(buf: &mut BytesMut, body: &Request) {
         }
         Request::Migrate { objects } => {
             buf.put_u8(7);
-            buf.put_u32_le(objects.len() as u32);
-            for (id, rec) in objects {
-                buf.put_u64_le(id.0);
-                buf.put_u32_le(rec.class.0);
-                buf.put_u32_le(rec.scalar_bytes);
-                buf.put_u16_le(rec.slots.len() as u16);
-                for slot in &rec.slots {
-                    put_opt_oid(buf, *slot);
-                }
-            }
+            put_object_records(buf, objects);
         }
         Request::GcRelease { objects } => {
             buf.put_u8(8);
@@ -395,7 +503,50 @@ fn encode_request(buf: &mut BytesMut, body: &Request) {
         Request::Shutdown => buf.put_u8(9),
         Request::Ping => buf.put_u8(10),
         Request::Stats => buf.put_u8(11),
+        Request::MigratePrepare { txn, objects } => {
+            buf.put_u8(12);
+            buf.put_u64_le(*txn);
+            put_object_records(buf, objects);
+        }
+        Request::MigrateCommit { txn } => {
+            buf.put_u8(13);
+            buf.put_u64_le(*txn);
+        }
+        Request::MigrateAbort { txn } => {
+            buf.put_u8(14);
+            buf.put_u64_le(*txn);
+        }
     }
+}
+
+fn put_object_records(buf: &mut BytesMut, objects: &[(ObjectId, ObjectRecord)]) {
+    buf.put_u32_le(objects.len() as u32);
+    for (id, rec) in objects {
+        buf.put_u64_le(id.0);
+        buf.put_u32_le(rec.class.0);
+        buf.put_u32_le(rec.scalar_bytes);
+        buf.put_u16_le(rec.slots.len() as u16);
+        for slot in &rec.slots {
+            put_opt_oid(buf, *slot);
+        }
+    }
+}
+
+fn get_object_records(buf: &mut &[u8]) -> Result<Vec<(ObjectId, ObjectRecord)>, WireError> {
+    let n = get_u32(buf)? as usize;
+    let mut objects = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let id = ObjectId(get_u64(buf)?);
+        let class = ClassId(get_u32(buf)?);
+        let scalar_bytes = get_u32(buf)?;
+        let slots_n = get_u16(buf)? as usize;
+        let mut rec = ObjectRecord::new(class, scalar_bytes, slots_n as u16);
+        for i in 0..slots_n {
+            rec.slots[i] = get_opt_oid(buf)?;
+        }
+        objects.push((id, rec));
+    }
+    Ok(objects)
 }
 
 fn decode_request(buf: &mut &[u8]) -> Result<Request, WireError> {
@@ -450,22 +601,9 @@ fn decode_request(buf: &mut &[u8]) -> Result<Request, WireError> {
         6 => Request::ClassOf {
             target: ObjectId(get_u64(buf)?),
         },
-        7 => {
-            let n = get_u32(buf)? as usize;
-            let mut objects = Vec::with_capacity(n.min(1 << 16));
-            for _ in 0..n {
-                let id = ObjectId(get_u64(buf)?);
-                let class = ClassId(get_u32(buf)?);
-                let scalar_bytes = get_u32(buf)?;
-                let slots_n = get_u16(buf)? as usize;
-                let mut rec = ObjectRecord::new(class, scalar_bytes, slots_n as u16);
-                for i in 0..slots_n {
-                    rec.slots[i] = get_opt_oid(buf)?;
-                }
-                objects.push((id, rec));
-            }
-            Request::Migrate { objects }
-        }
+        7 => Request::Migrate {
+            objects: get_object_records(buf)?,
+        },
         8 => {
             let n = get_u32(buf)? as usize;
             let mut objects = Vec::with_capacity(n.min(1 << 16));
@@ -477,6 +615,12 @@ fn decode_request(buf: &mut &[u8]) -> Result<Request, WireError> {
         9 => Request::Shutdown,
         10 => Request::Ping,
         11 => Request::Stats,
+        12 => Request::MigratePrepare {
+            txn: get_u64(buf)?,
+            objects: get_object_records(buf)?,
+        },
+        13 => Request::MigrateCommit { txn: get_u64(buf)? },
+        14 => Request::MigrateAbort { txn: get_u64(buf)? },
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -608,6 +752,7 @@ mod tests {
     fn invoke_round_trip() {
         round_trip(Message::Request {
             seq: 42,
+            client: 7,
             body: Request::Invoke {
                 target: ObjectId::surrogate(7),
                 class: ClassId(3),
@@ -668,10 +813,17 @@ mod tests {
             Request::Shutdown,
             Request::Ping,
             Request::Stats,
+            Request::MigratePrepare {
+                txn: 77,
+                objects: vec![(ObjectId::client(12), ObjectRecord::new(ClassId(2), 256, 0))],
+            },
+            Request::MigrateCommit { txn: 77 },
+            Request::MigrateAbort { txn: 78 },
         ];
         for (i, body) in requests.into_iter().enumerate() {
             round_trip(Message::Request {
                 seq: i as u64,
+                client: 3,
                 body,
             });
         }
@@ -705,6 +857,7 @@ mod tests {
     fn truncated_frames_are_rejected() {
         let msg = Message::Request {
             seq: 9,
+            client: 1,
             body: Request::ClassOf {
                 target: ObjectId::client(1),
             },
@@ -713,7 +866,10 @@ mod tests {
         for cut in 0..frame.len() {
             let err = Message::decode(&frame[..cut]).unwrap_err();
             assert!(
-                matches!(err, WireError::Truncated | WireError::BadTag(_)),
+                matches!(
+                    err,
+                    WireError::Truncated | WireError::BadChecksum | WireError::BadTag(_)
+                ),
                 "cut at {cut} gave {err:?}"
             );
         }
@@ -721,12 +877,15 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
+        // A correctly checksummed payload with extra bytes after the
+        // message (a peer bug, not corruption) still reports trailing.
         let msg = Message::Reply {
             seq: 1,
             result: Ok(Reply::Unit),
         };
-        let mut frame = msg.encode().to_vec();
-        frame.push(0xFF);
+        let mut payload = msg.encode_payload();
+        payload.put_u8(0xFF);
+        let frame = seal_frame(&payload);
         assert_eq!(
             Message::decode(&frame).unwrap_err(),
             WireError::TrailingBytes(1)
@@ -735,13 +894,57 @@ mod tests {
 
     #[test]
     fn bad_tags_are_rejected() {
-        assert_eq!(Message::decode(&[7]).unwrap_err(), WireError::BadTag(7));
+        // A valid envelope around an unknown message tag.
+        let frame = seal_frame(&[7]);
+        assert_eq!(Message::decode(&frame).unwrap_err(), WireError::BadTag(7));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let msg = Message::Reply {
+            seq: 1,
+            result: Ok(Reply::Unit),
+        };
+        let mut frame = msg.encode().to_vec();
+        frame[0] = PROTOCOL_VERSION.wrapping_add(1);
+        assert_eq!(
+            Message::decode(&frame).unwrap_err(),
+            WireError::BadVersion(PROTOCOL_VERSION.wrapping_add(1))
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let msg = Message::Request {
+            seq: 3,
+            client: 9,
+            body: Request::Ping,
+        };
+        let frame = msg.encode();
+        // Flip every payload byte in turn: all must be caught.
+        for pos in FRAME_HEADER..frame.len() {
+            let mut bad = frame.to_vec();
+            bad[pos] ^= 0x40;
+            assert_eq!(
+                Message::decode(&bad).unwrap_err(),
+                WireError::BadChecksum,
+                "flip at {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The canonical IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
     fn simulated_sizes_reflect_declared_payloads() {
         let invoke = Message::Request {
             seq: 0,
+            client: 0,
             body: Request::Invoke {
                 target: ObjectId::client(0),
                 class: ClassId(0),
@@ -763,6 +966,7 @@ mod tests {
         };
         let msg = Message::Request {
             seq: 0,
+            client: 0,
             body: read.clone(),
         };
         // A read sends no payload out; the data comes back in the reply.
@@ -775,10 +979,38 @@ mod tests {
         let rec = ObjectRecord::new(ClassId(0), 984, 0); // footprint 1000
         let msg = Message::Request {
             seq: 0,
+            client: 0,
             body: Request::Migrate {
                 objects: vec![(ObjectId::client(0), rec)],
             },
         };
         assert_eq!(msg.simulated_request_bytes(), 32 + 1_000 + 16);
+    }
+
+    #[test]
+    fn two_phase_migration_sizes_match_the_single_shot_path() {
+        // PREPARE carries the objects (priced like Migrate); COMMIT and
+        // ABORT are control messages priced as bare headers, so switching
+        // to the transactional path does not change per-object link cost.
+        let rec = ObjectRecord::new(ClassId(0), 984, 0); // footprint 1000
+        let prepare = Message::Request {
+            seq: 0,
+            client: 0,
+            body: Request::MigratePrepare {
+                txn: 1,
+                objects: vec![(ObjectId::client(0), rec)],
+            },
+        };
+        assert_eq!(prepare.simulated_request_bytes(), 32 + 1_000 + 16);
+        let commit = Message::Request {
+            seq: 1,
+            client: 0,
+            body: Request::MigrateCommit { txn: 1 },
+        };
+        assert_eq!(commit.simulated_request_bytes(), 32);
+        assert_eq!(
+            Message::simulated_reply_bytes(&Request::MigrateCommit { txn: 1 }),
+            32
+        );
     }
 }

@@ -109,6 +109,13 @@ fn arb_request() -> impl Strategy<Value = Request> {
         arb_object_id().prop_map(|target| Request::ClassOf { target }),
         proptest::collection::vec((arb_object_id(), arb_record()), 0..12)
             .prop_map(|objects| Request::Migrate { objects }),
+        (
+            any::<u64>(),
+            proptest::collection::vec((arb_object_id(), arb_record()), 0..12)
+        )
+            .prop_map(|(txn, objects)| Request::MigratePrepare { txn, objects }),
+        any::<u64>().prop_map(|txn| Request::MigrateCommit { txn }),
+        any::<u64>().prop_map(|txn| Request::MigrateAbort { txn }),
         proptest::collection::vec(arb_object_id(), 0..24)
             .prop_map(|objects| Request::GcRelease { objects }),
         Just(Request::Shutdown),
@@ -119,7 +126,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (any::<u64>(), arb_request()).prop_map(|(seq, body)| Message::Request { seq, body }),
+        (any::<u64>(), any::<u64>(), arb_request())
+            .prop_map(|(seq, client, body)| Message::Request { seq, client, body }),
         (any::<u64>()).prop_map(|seq| Message::Reply {
             seq,
             result: Ok(Reply::Unit)
@@ -180,6 +188,36 @@ proptest! {
             let again = Message::decode(&re).expect("re-encode decodes");
             prop_assert_eq!(decoded, again);
         }
+    }
+
+    /// Fuzz the decoder with arbitrary byte soup: it must reject or decode,
+    /// never panic. (Frames this short of a valid CRC essentially always
+    /// reject; the property is the absence of a crash path.)
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        if let Ok(decoded) = Message::decode(&bytes) {
+            // The astronomically unlikely accidental decode must still be
+            // self-consistent.
+            let re = decoded.encode();
+            prop_assert_eq!(Message::decode(&re).expect("re-encode decodes"), decoded);
+        }
+    }
+
+    /// Any single-byte flip in the frame *payload* (past the 5-byte
+    /// version + CRC header) is caught by the checksum.
+    #[test]
+    fn payload_corruption_is_rejected(
+        msg in arb_message(),
+        pos in any::<proptest::sample::Index>(),
+        flip in 1u8..255,
+    ) {
+        let mut frame = msg.encode().to_vec();
+        let header = 5; // version byte + 4-byte CRC32
+        let pos = header + pos.index(frame.len() - header);
+        frame[pos] ^= flip;
+        prop_assert!(Message::decode(&frame).is_err(), "flipped payload byte must fail the CRC");
     }
 
     /// Export-table counts are exact: after any interleaving of exports and

@@ -8,11 +8,16 @@
 //! per client application. A session ends when the client disconnects; the
 //! daemon itself runs until [`SurrogateDaemon::shutdown`].
 //!
-//! For failover testing the daemon can be configured to *crash* a session
-//! deliberately: [`DaemonConfig::fail_after_requests`] arms a fault
-//! injector that severs the session's socket after serving a fixed number
-//! of application requests, which the client observes as a dead surrogate
-//! (disconnected transport), not as a polite error reply.
+//! For failover and chaos testing the daemon can be configured to
+//! misbehave deliberately: [`DaemonConfig::fail_after_requests`] arms a
+//! fault injector whose behaviour is chosen by [`DaemonConfig::fault_mode`].
+//! The default, [`FaultMode::Crash`], severs the session's socket after
+//! serving a fixed number of application requests, which the client
+//! observes as a dead surrogate (disconnected transport), not as a polite
+//! error reply. The reply-level modes ([`FaultMode::DropReplies`],
+//! [`FaultMode::DelayReplies`], [`FaultMode::CorruptReplies`]) keep the
+//! session alive but sabotage its outbound frames through the chaos layer,
+//! exercising the client's retry and checksum paths instead of failover.
 
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
@@ -22,7 +27,10 @@ use std::time::Duration;
 
 use aide_core::{RefTables, VmDispatcher};
 use aide_graph::CommParams;
-use aide_rpc::{tcp_transport, Dispatcher, Endpoint, EndpointConfig, NetClock, Reply, Request};
+use aide_rpc::{
+    chaos_wrap, tcp_transport, ChaosSchedule, Dispatcher, Endpoint, EndpointConfig, NetClock,
+    Reply, Request,
+};
 use aide_vm::{Machine, Program, VmConfig};
 use parking_lot::Mutex;
 
@@ -47,12 +55,18 @@ pub struct DaemonConfig {
     pub params: CommParams,
     /// Per-session endpoint tuning.
     pub endpoint: EndpointConfig,
-    /// Fault injection: sever each session's socket after serving this
-    /// many application requests (`Ping` health probes are not counted, so
-    /// the crash point stays deterministic under heartbeating). `Some(0)`
-    /// kills the very first request — typically the client's initial
-    /// `Migrate` — exercising mid-offload rollback.
+    /// Fault injection: arm [`fault_mode`](DaemonConfig::fault_mode) after
+    /// this budget is spent. For [`FaultMode::Crash`] the budget counts
+    /// application requests (`Ping` health probes and `Stats` scrapes are
+    /// not counted, so the crash point stays deterministic under
+    /// heartbeating); `Some(0)` kills the very first request — typically
+    /// the client's initial `Migrate` — exercising mid-offload rollback.
+    /// For the reply-level modes the budget counts outbound frames
+    /// (including probe replies), since those faults live in the transport.
     pub fail_after_requests: Option<u64>,
+    /// What the armed fault injector does; ignored while
+    /// [`fail_after_requests`](DaemonConfig::fail_after_requests) is `None`.
+    pub fault_mode: FaultMode,
     /// Optional beacon announcing this daemon; `None` means clients must
     /// register the daemon's address statically.
     pub beacon: Option<BeaconConfig>,
@@ -70,6 +84,7 @@ impl DaemonConfig {
             params: CommParams::WAVELAN,
             endpoint: EndpointConfig::default(),
             fail_after_requests: None,
+            fault_mode: FaultMode::Crash,
             beacon: None,
         }
     }
@@ -82,9 +97,28 @@ impl std::fmt::Debug for DaemonConfig {
             .field("name", &self.name)
             .field("capacity_bytes", &self.capacity_bytes)
             .field("fail_after_requests", &self.fail_after_requests)
+            .field("fault_mode", &self.fault_mode)
             .field("beacon", &self.beacon)
             .finish_non_exhaustive()
     }
+}
+
+/// How an armed fault injector misbehaves once its budget is spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Sever the session socket: the client sees a dead surrogate and
+    /// fails over. The budget counts application requests.
+    Crash,
+    /// Serve every request but silently discard the reply frames: the
+    /// client's retries go unanswered and its at-most-once cache absorbs
+    /// the re-executions. The budget counts outbound frames.
+    DropReplies,
+    /// Hold each reply back for up to the given duration before
+    /// delivering it, surfacing late replies and retry races.
+    DelayReplies(Duration),
+    /// Flip one bit in each reply frame; the client's CRC check rejects
+    /// the frame and a retry fetches the memoized reply.
+    CorruptReplies,
 }
 
 /// Severs the session socket after a budget of served requests, so the
@@ -277,19 +311,49 @@ fn start_session(stream: TcpStream, config: &DaemonConfig) -> std::io::Result<Se
     );
     let tables = Arc::new(RefTables::new());
     let inner = VmDispatcher::new(machine, tables);
-    let dispatcher: Arc<dyn Dispatcher> = match config.fail_after_requests {
-        Some(budget) => Arc::new(FaultInjector {
+    let dispatcher: Arc<dyn Dispatcher> = match (config.fail_after_requests, config.fault_mode) {
+        (Some(budget), FaultMode::Crash) => Arc::new(FaultInjector {
             inner,
             remaining: AtomicI64::new(i64::try_from(budget).unwrap_or(i64::MAX)),
             socket: stream.try_clone()?,
         }),
-        None => Arc::new(inner),
+        _ => Arc::new(inner),
     };
     let dispatcher: Arc<dyn Dispatcher> = Arc::new(CountingDispatcher {
         inner: dispatcher,
         requests: telemetry.counter(aide_telemetry::names::SURROGATE_REQUESTS),
     });
     let transport = tcp_transport(stream)?;
+    // Reply-level fault modes sabotage the session's *outbound* frames via
+    // the chaos layer; the dispatcher itself stays honest.
+    let transport = match (config.fail_after_requests, config.fault_mode) {
+        (Some(budget), FaultMode::DropReplies) => {
+            let schedule = ChaosSchedule {
+                drop: 1.0,
+                after_frames: budget,
+                ..ChaosSchedule::seeded(0xFA01 ^ budget)
+            };
+            chaos_wrap(transport, schedule).0
+        }
+        (Some(budget), FaultMode::DelayReplies(max_delay)) => {
+            let schedule = ChaosSchedule {
+                delay: 1.0,
+                max_delay,
+                after_frames: budget,
+                ..ChaosSchedule::seeded(0xFA01 ^ budget)
+            };
+            chaos_wrap(transport, schedule).0
+        }
+        (Some(budget), FaultMode::CorruptReplies) => {
+            let schedule = ChaosSchedule {
+                corrupt: 1.0,
+                after_frames: budget,
+                ..ChaosSchedule::seeded(0xFA01 ^ budget)
+            };
+            chaos_wrap(transport, schedule).0
+        }
+        _ => transport,
+    };
     let endpoint = Endpoint::start(
         transport,
         config.params,

@@ -33,5 +33,5 @@ pub use beacon::{
     decode_announcement, encode_announcement, listen_for_announcements, Announcement, BeaconConfig,
     BEACON_MAGIC,
 };
-pub use daemon::{DaemonConfig, SurrogateDaemon};
+pub use daemon::{DaemonConfig, FaultMode, SurrogateDaemon};
 pub use registry::{RegistryConfig, SurrogateInfo, SurrogateRegistry};

@@ -11,7 +11,7 @@
 //! best-ranked live surrogate and fail over down the ranking as surrogates
 //! die.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -73,6 +73,11 @@ pub struct RegistryConfig {
     pub connect_timeout: Duration,
     /// Null-RPC reply deadline for health probes.
     pub probe_timeout: Duration,
+    /// Consecutive failed probes before [`SurrogateRegistry::probe_all`]
+    /// evicts a surrogate from the ranking. One flaky probe on a lossy
+    /// link must not discard a healthy surrogate; a string of them means
+    /// it is gone.
+    pub probe_eviction_threshold: u32,
 }
 
 impl Default for RegistryConfig {
@@ -81,6 +86,7 @@ impl Default for RegistryConfig {
             params: CommParams::WAVELAN,
             connect_timeout: Duration::from_millis(500),
             probe_timeout: Duration::from_secs(1),
+            probe_eviction_threshold: 3,
         }
     }
 }
@@ -101,6 +107,8 @@ pub struct SurrogateRegistry {
     config: RegistryConfig,
     entries: Mutex<Vec<SurrogateInfo>>,
     dead: Mutex<HashSet<String>>,
+    /// Consecutive failed probes per surrogate; cleared by any success.
+    probe_failures: Mutex<HashMap<String, u32>>,
 }
 
 impl SurrogateRegistry {
@@ -110,6 +118,7 @@ impl SurrogateRegistry {
             config,
             entries: Mutex::new(Vec::new()),
             dead: Mutex::new(HashSet::new()),
+            probe_failures: Mutex::new(HashMap::new()),
         }
     }
 
@@ -151,6 +160,7 @@ impl SurrogateRegistry {
 
     fn upsert(&self, mut info: SurrogateInfo) {
         self.dead.lock().remove(&info.name);
+        self.probe_failures.lock().remove(&info.name);
         let mut entries = self.entries.lock();
         match entries.iter_mut().find(|e| e.name == info.name) {
             Some(existing) => {
@@ -168,8 +178,10 @@ impl SurrogateRegistry {
 
     /// Probes every non-dead surrogate with a null RPC. Each measured RTT
     /// feeds the process-wide probe-latency histogram and the entry's EWMA
-    /// estimate (the ranking input). Surrogates that cannot be reached are
-    /// marked dead.
+    /// estimate (the ranking input). A surrogate is evicted (marked dead)
+    /// only after [`RegistryConfig::probe_eviction_threshold`] *consecutive*
+    /// failed probes — any success resets its failure count — so transient
+    /// loss on a chaotic link does not discard a healthy surrogate.
     pub fn probe_all(&self) {
         let rtt_histogram = aide_telemetry::global().histogram(
             aide_telemetry::names::REGISTRY_PROBE_RTT_MICROS,
@@ -180,6 +192,7 @@ impl SurrogateRegistry {
             match self.probe_one(info.addr) {
                 Some(rtt) => {
                     rtt_histogram.observe(u64::try_from(rtt.as_micros()).unwrap_or(u64::MAX));
+                    self.note_probe_success(&info.name);
                     if let Some(entry) =
                         self.entries.lock().iter_mut().find(|e| e.name == info.name)
                     {
@@ -187,10 +200,35 @@ impl SurrogateRegistry {
                     }
                 }
                 None => {
-                    self.dead.lock().insert(info.name);
+                    self.note_probe_failure(&info.name);
                 }
             }
         }
+    }
+
+    /// Clears the consecutive-failure count after a successful probe.
+    fn note_probe_success(&self, name: &str) {
+        self.probe_failures.lock().remove(name);
+    }
+
+    /// Records one failed probe; returns `true` when the failure streak
+    /// reaches the eviction threshold and the surrogate is marked dead.
+    fn note_probe_failure(&self, name: &str) -> bool {
+        let streak = {
+            let mut failures = self.probe_failures.lock();
+            let streak = failures.entry(name.to_string()).or_insert(0);
+            *streak += 1;
+            *streak
+        };
+        if streak < self.config.probe_eviction_threshold.max(1) {
+            return false;
+        }
+        self.probe_failures.lock().remove(name);
+        self.dead.lock().insert(name.to_string());
+        aide_telemetry::global()
+            .counter(aide_telemetry::names::REGISTRY_EVICTIONS)
+            .inc();
+        true
     }
 
     /// Scrapes a surrogate's Prometheus-style metrics exposition: connects
@@ -410,6 +448,36 @@ mod tests {
             Some(Duration::from_micros(2_400)),
             "probe history survived the re-announcement"
         );
+    }
+
+    #[test]
+    fn eviction_waits_for_consecutive_probe_failures() {
+        let registry = SurrogateRegistry::new(RegistryConfig {
+            probe_eviction_threshold: 3,
+            ..RegistryConfig::default()
+        });
+        registry.upsert(info("flaky", 1, Some(2_400)));
+
+        assert!(!registry.note_probe_failure("flaky"));
+        assert!(!registry.note_probe_failure("flaky"));
+        assert_eq!(
+            registry.ranked().len(),
+            1,
+            "two failures stay under the threshold"
+        );
+        // A success in between wipes the streak...
+        registry.note_probe_success("flaky");
+        assert!(!registry.note_probe_failure("flaky"));
+        assert!(!registry.note_probe_failure("flaky"));
+        assert_eq!(registry.ranked().len(), 1, "streak restarted from zero");
+        // ...so only three failures in a row evict.
+        assert!(registry.note_probe_failure("flaky"));
+        assert!(registry.ranked().is_empty());
+        assert_eq!(registry.dead_names(), ["flaky"]);
+        // Hearing from the surrogate again revives it with a clean slate.
+        registry.upsert(info("flaky", 1, Some(2_400)));
+        assert!(!registry.note_probe_failure("flaky"));
+        assert_eq!(registry.ranked().len(), 1);
     }
 
     #[test]

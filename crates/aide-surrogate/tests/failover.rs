@@ -161,14 +161,22 @@ fn daemon_answers_stats_with_latency_histogram_data() {
 }
 
 #[test]
-fn probing_an_unreachable_address_marks_it_dead() {
+fn repeated_probe_failures_evict_an_unreachable_address() {
     let config = RegistryConfig {
         connect_timeout: Duration::from_millis(200),
+        probe_eviction_threshold: 3,
         ..RegistryConfig::default()
     };
     let registry = SurrogateRegistry::new(config);
     // A localhost port nobody is listening on: connect fails fast.
     registry.add_static("ghost", "127.0.0.1:1".parse().unwrap(), 1 << 20);
+    // The first two failures leave the entry ranked — one lost probe on a
+    // lossy link must not discard a surrogate.
+    registry.probe_all();
+    registry.probe_all();
+    assert_eq!(registry.ranked().len(), 1);
+    assert!(registry.dead_names().is_empty());
+    // The third consecutive failure evicts it.
     registry.probe_all();
     assert!(registry.ranked().is_empty());
     assert_eq!(registry.dead_names(), ["ghost"]);

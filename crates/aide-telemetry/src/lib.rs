@@ -85,6 +85,16 @@ pub mod names {
     pub const RPC_SIMULATED_BYTES: &str = "aide_rpc_simulated_bytes_total";
     /// RPC calls that returned an error (transport or remote).
     pub const RPC_ERRORS: &str = "aide_rpc_errors_total";
+    /// Request frames resent by the retry machinery.
+    pub const RPC_RETRIES: &str = "aide_rpc_retries_total";
+    /// Duplicate requests answered from the at-most-once dedup cache
+    /// (or suppressed while the original was still executing).
+    pub const RPC_DEDUP_HITS: &str = "aide_rpc_dedup_hits_total";
+    /// Replies that arrived after their caller had already timed out.
+    pub const RPC_LATE_REPLIES: &str = "aide_rpc_late_replies_total";
+    /// Incoming frames rejected by the wire codec (bad version, bad
+    /// checksum, truncation, unknown tag).
+    pub const RPC_BAD_FRAMES: &str = "aide_rpc_bad_frames_total";
     /// Frames written to a TCP carrier.
     pub const TCP_FRAMES_SENT: &str = "aide_tcp_frames_sent_total";
     /// Frames read from a TCP carrier.
@@ -116,6 +126,10 @@ pub mod names {
     pub const OFFLOAD_BYTES: &str = "aide_offload_bytes_total";
     /// Wall-clock duration of each offload migration, in microseconds.
     pub const OFFLOAD_DURATION_MICROS: &str = "aide_offload_duration_micros";
+    /// Two-phase migrations aborted before COMMIT.
+    pub const MIGRATIONS_ABORTED: &str = "aide_migrations_aborted_total";
+    /// Objects reinstated into the client heap by migration rollback.
+    pub const MIGRATION_ROLLBACK_OBJECTS: &str = "aide_migration_rollback_objects_total";
     /// Surrogate failovers handled.
     pub const FAILOVERS: &str = "aide_failovers_total";
     /// Wall-clock duration of each failover, in microseconds.
@@ -131,6 +145,20 @@ pub mod names {
     /// Null-RPC probe round-trips measured by the registry, in
     /// microseconds.
     pub const REGISTRY_PROBE_RTT_MICROS: &str = "aide_registry_probe_rtt_micros";
+    /// Surrogates evicted from the registry after consecutive probe
+    /// failures.
+    pub const REGISTRY_EVICTIONS: &str = "aide_registry_evictions_total";
+
+    /// Frames deliberately dropped by a chaos transport.
+    pub const CHAOS_DROPPED: &str = "aide_chaos_frames_dropped_total";
+    /// Frames duplicated by a chaos transport.
+    pub const CHAOS_DUPLICATED: &str = "aide_chaos_frames_duplicated_total";
+    /// Frames whose payload a chaos transport corrupted or truncated.
+    pub const CHAOS_CORRUPTED: &str = "aide_chaos_frames_corrupted_total";
+    /// Frames delayed or reordered by a chaos transport.
+    pub const CHAOS_DELAYED: &str = "aide_chaos_frames_delayed_total";
+    /// Hard connection resets injected by a chaos transport.
+    pub const CHAOS_RESETS: &str = "aide_chaos_resets_total";
 }
 
 /// Bucket presets (upper bounds) for the fixed-bucket histograms.

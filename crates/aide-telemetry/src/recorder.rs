@@ -58,6 +58,20 @@ pub enum PlatformEvent {
         /// Wall-clock migration duration, in microseconds.
         duration_micros: u64,
     },
+    /// A two-phase class migration was aborted before COMMIT (the
+    /// surrogate installed nothing; the client keeps its objects).
+    MigrationAborted {
+        /// Why the migration could not complete.
+        reason: String,
+    },
+    /// A failed migration's objects were reinstated into the client
+    /// heap, restoring the pre-offload placement.
+    MigrationRolledBack {
+        /// Objects reinstated.
+        objects: u64,
+        /// Bytes reinstated.
+        bytes: u64,
+    },
     /// A surrogate link was declared dead.
     LinkDied {
         /// Name of the dead surrogate.
@@ -109,6 +123,12 @@ impl PlatformEvent {
                 bytes,
                 duration_micros,
             } => format!("migrated {objects} objects ({bytes} B) in {duration_micros} us"),
+            PlatformEvent::MigrationAborted { reason } => {
+                format!("migration aborted: {reason}")
+            }
+            PlatformEvent::MigrationRolledBack { objects, bytes } => {
+                format!("migration rolled back: {objects} objects ({bytes} B) reinstated")
+            }
             PlatformEvent::LinkDied { surrogate } => {
                 format!("link to surrogate '{surrogate}' died")
             }
