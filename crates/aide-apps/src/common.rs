@@ -128,9 +128,12 @@ impl Web {
         for &class in &classes {
             leaf.push(b.add_method(
                 class,
-                MethodDef::new("leaf", vec![Op::Work {
-                    micros: spec.leaf_work,
-                }]),
+                MethodDef::new(
+                    "leaf",
+                    vec![Op::Work {
+                        micros: spec.leaf_work,
+                    }],
+                ),
             ));
         }
         let mut touch = Vec::with_capacity(spec.classes);

@@ -186,10 +186,7 @@ pub fn dia(scale: Scale) -> App {
 
     // ---- main --------------------------------------------------------
     let mut body: Vec<Op> = Vec::new();
-    for (class, bytes, slot) in [
-        (canvas, 4_000u32, SLOT_CANVAS),
-        (image, 2_000, SLOT_IMAGE),
-    ] {
+    for (class, bytes, slot) in [(canvas, 4_000u32, SLOT_CANVAS), (image, 2_000, SLOT_IMAGE)] {
         body.push(Op::New {
             class,
             scalar_bytes: bytes,

@@ -434,8 +434,8 @@ pub fn javanote(scale: Scale) -> App {
             let group = &touch_groups[(phase * 2 + half) as usize];
             let mut iter_body: Vec<Op> = Vec::new();
             // Pick a visible paragraph for this variant (already loaded).
-            let visible =
-                SLOT_PARA_BASE + (phase.min(load_phases - 1) * per_phase_paragraphs.max(1) / 2) as u16;
+            let visible = SLOT_PARA_BASE
+                + (phase.min(load_phases - 1) * per_phase_paragraphs.max(1) / 2) as u16;
             iter_body.push(Op::GetSlot {
                 slot: visible,
                 dst: Reg(1),

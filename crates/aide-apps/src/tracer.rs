@@ -71,9 +71,7 @@ pub fn tracer(scale: Scale) -> App {
                     obj: Reg(0),
                     bytes: 32_768,
                 },
-                Op::Work {
-                    micros: 22_000_000,
-                },
+                Op::Work { micros: 22_000_000 },
                 Op::Native {
                     kind: NativeKind::Framebuffer,
                     work_micros: 500_000,
@@ -94,9 +92,7 @@ pub fn tracer(scale: Scale) -> App {
                     obj: Reg(0),
                     bytes: 2_048,
                 },
-                Op::Work {
-                    micros: 4_500_000,
-                },
+                Op::Work { micros: 4_500_000 },
                 Op::Repeat {
                     n: math_calls / 2,
                     body: vec![Op::Native {
@@ -122,9 +118,7 @@ pub fn tracer(scale: Scale) -> App {
                     obj: Reg(1),
                     bytes: 4_096,
                 },
-                Op::Work {
-                    micros: 1_500_000,
-                },
+                Op::Work { micros: 1_500_000 },
                 Op::Repeat {
                     n: math_calls / 3,
                     body: vec![Op::Native {
@@ -230,10 +224,7 @@ pub fn tracer(scale: Scale) -> App {
             (SLOT_SHADER, shader, shade, vec![Reg(0), Reg(1)]),
             (SLOT_SCENE, scene, scene_query, vec![Reg(0)]),
         ] {
-            block.push(Op::GetSlot {
-                slot,
-                dst: Reg(3),
-            });
+            block.push(Op::GetSlot { slot, dst: Reg(3) });
             block.push(Op::Call {
                 obj: Reg(3),
                 class,

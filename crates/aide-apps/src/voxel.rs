@@ -261,10 +261,7 @@ pub fn voxel(scale: Scale) -> App {
             (SLOT_CAMERA, camera, track, vec![]),
             (SLOT_SHADER, shader, shade, vec![Reg(0), Reg(1)]),
         ] {
-            frame.push(Op::GetSlot {
-                slot,
-                dst: Reg(3),
-            });
+            frame.push(Op::GetSlot { slot, dst: Reg(3) });
             frame.push(Op::Call {
                 obj: Reg(3),
                 class,

@@ -5,8 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use aide_graph::{candidate_partitionings, stoer_wagner, EdgeInfo, ExecutionGraph, NodeInfo,
-    PinReason};
+use aide_graph::{
+    candidate_partitionings, stoer_wagner, EdgeInfo, ExecutionGraph, NodeInfo, PinReason,
+};
 
 /// A synthetic execution graph: `n` nodes, ~8 edges per node, a few pinned.
 fn graph(n: u32) -> ExecutionGraph {
@@ -24,7 +25,11 @@ fn graph(n: u32) -> ExecutionGraph {
     for (i, &a) in ids.iter().enumerate() {
         for k in 1..=4usize {
             let b = ids[(i + k * k) % ids.len()];
-            g.record_interaction(a, b, EdgeInfo::new(1 + (i as u64 % 13), (i as u64 * 37) % 4096));
+            g.record_interaction(
+                a,
+                b,
+                EdgeInfo::new(1 + (i as u64 % 13), (i as u64 * 37) % 4096),
+            );
         }
     }
     g

@@ -32,10 +32,7 @@ fn main() {
                 cost_micros_per_object: 0.05,
             },
         ),
-        (
-            "paper-like (256 KB / 500)",
-            GcConfig::default(),
-        ),
+        ("paper-like (256 KB / 500)", GcConfig::default()),
         (
             "lazy (2 MB / 5000 allocs)",
             GcConfig {

@@ -11,8 +11,8 @@ use std::collections::HashSet;
 use aide_apps::{javanote, memory_apps};
 use aide_bench::{experiment_scale, header, pct, record_app, row, PAPER_HEAP};
 use aide_core::{HeuristicKind, Monitor, NodeKey, TriggerConfig};
-use aide_emu::{Emulator, EmulatorConfig};
 use aide_emu::TraceEvent;
+use aide_emu::{Emulator, EmulatorConfig};
 use aide_graph::{
     candidate_partitionings, density_candidates, stoer_wagner, MemoryPolicy, PartitionPolicy,
     ResourceSnapshot,
@@ -50,14 +50,25 @@ fn main() {
                 bytes: *bytes,
                 remote: false,
             }),
-            TraceEvent::Alloc { class, object, bytes } => monitor.on_alloc(*class, *object, *bytes),
-            TraceEvent::Free { class, objects, bytes } => monitor.on_free(*class, *objects, *bytes),
+            TraceEvent::Alloc {
+                class,
+                object,
+                bytes,
+            } => monitor.on_alloc(*class, *object, *bytes),
+            TraceEvent::Free {
+                class,
+                objects,
+                bytes,
+            } => monitor.on_free(*class, *objects, *bytes),
             TraceEvent::Work { class, micros } => monitor.on_work(*class, *micros),
             _ => {}
         }
     }
     let (graph, _keys): (_, Vec<NodeKey>) = monitor.snapshot();
-    row("graph nodes / edges", format!("{} / {}", graph.node_count(), graph.edge_count()));
+    row(
+        "graph nodes / edges",
+        format!("{} / {}", graph.node_count(), graph.edge_count()),
+    );
 
     // Exact global minimum cut.
     let exact = stoer_wagner(&graph).expect("graph has >= 2 nodes");
@@ -68,7 +79,10 @@ fn main() {
         .map(|&n| graph.node(n).memory_bytes)
         .sum();
     row("exact mincut weight", exact.weight);
-    row("exact mincut frees", format!("{freed} B ({})", pct(freed as f64 / PAPER_HEAP as f64)));
+    row(
+        "exact mincut frees",
+        format!("{freed} B ({})", pct(freed as f64 / PAPER_HEAP as f64)),
+    );
     let _ = side;
 
     // Candidate-sweep heuristics + the paper's memory policy.
@@ -76,7 +90,10 @@ fn main() {
     let snapshot = ResourceSnapshot::new(PAPER_HEAP, PAPER_HEAP - PAPER_HEAP / 50);
     for (label, candidates) in [
         ("modified-MINCUT (paper)", candidate_partitionings(&graph)),
-        ("memory-density (ours, paper §8)", density_candidates(&graph)),
+        (
+            "memory-density (ours, paper §8)",
+            density_candidates(&graph),
+        ),
     ] {
         match policy.select(&graph, snapshot, &candidates) {
             Some(sel) => {

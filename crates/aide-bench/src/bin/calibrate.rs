@@ -77,7 +77,12 @@ fn main() {
             let detail = rep
                 .offloads
                 .first()
-                .map(|o| format!(" nodes={} score={:.1}s@evt{}", o.nodes_offloaded, o.score, o.at_event))
+                .map(|o| {
+                    format!(
+                        " nodes={} score={:.1}s@evt{}",
+                        o.nodes_offloaded, o.score, o.at_event
+                    )
+                })
                 .unwrap_or_default();
             println!(
                 "           {:9} offloaded={} total={} vs original {} ({:+.1}%) remote_nat={}{}",

@@ -26,7 +26,9 @@ fn main() {
     plain.monitoring = false;
     let report = Platform::new(javanote(scale).program, plain).run();
     match &report.outcome {
-        Err(VmError::OutOfMemory { requested, free, .. }) => row(
+        Err(VmError::OutOfMemory {
+            requested, free, ..
+        }) => row(
             "unmodified VM",
             format!("OUT OF MEMORY (requested {requested} B, {free} B free)"),
         ),
@@ -43,12 +45,18 @@ fn main() {
     row("platform", "application COMPLETED after offloading");
     row("trigger", "3 successive GC cycles under 5% free");
     row("offload at client GC cycle", event.at_gc_cycle);
-    row("graph nodes / candidates", format!(
-        "{} / {}",
-        event.graph.node_count(),
-        event.candidates_evaluated
-    ));
-    row("partitioning computation", format!("{:?}", event.partition_elapsed));
+    row(
+        "graph nodes / candidates",
+        format!(
+            "{} / {}",
+            event.graph.node_count(),
+            event.candidates_evaluated
+        ),
+    );
+    row(
+        "partitioning computation",
+        format!("{:?}", event.partition_elapsed),
+    );
     row("objects moved", event.outcome.objects_moved);
     row(
         "heap offloaded",
@@ -67,8 +75,14 @@ fn main() {
             bandwidth / 1e3
         ),
     );
-    row("remote interactions after offload", report.remote_stats.remote_interactions);
-    row("surrogate RPC requests served", report.surrogate_requests_served);
+    row(
+        "remote interactions after offload",
+        report.remote_stats.remote_interactions,
+    );
+    row(
+        "surrogate RPC requests served",
+        report.surrogate_requests_served,
+    );
 
     // Figure 5: DOT exports.
     let dir = std::path::Path::new("target/experiments");

@@ -1,0 +1,278 @@
+//! Partitioner scaling: classic from-scratch pipeline vs the incremental
+//! epoch engine on synthetic 100/1k/10k-class graphs.
+//!
+//! The paper reports ≈0.1 s to partition JavaNote's 138-class graph; the
+//! classic pipeline is O(V·(V+E)) per decision and falls over well before
+//! 10k classes. This binary drives both pipelines through identical delta
+//! histories — five decision epochs of annotation and interaction churn —
+//! and measures per-epoch decision cost:
+//!
+//! * **from-scratch**: materialize the full candidate sequence and score
+//!   it sequentially (what `decide` has always done);
+//! * **incremental**: apply the epoch's deltas in O(delta), plan the sweep
+//!   with the warm strength cache, and evaluate in parallel across all
+//!   cores.
+//!
+//! The winners must be bit-identical every epoch — the speedup is only
+//! meaningful if the answer is unchanged. Writes `BENCH_partitioner.json`
+//! and, when `AIDE_PARTITIONER_MIN_SPEEDUP` is set, asserts the speedup at
+//! the largest size meets it.
+
+use std::time::Instant;
+
+use aide_bench::{header, row};
+use aide_core::{IncrementalPartitioner, PartitionerConfig};
+use aide_graph::{
+    candidate_partitionings, EdgeInfo, EvalStrategy, ExecutionGraph, GraphDelta, MemoryPolicy,
+    NodeId, NodeInfo, PartitionPolicy, PinReason, ResourceSnapshot,
+};
+
+/// Decision epochs per graph size.
+const EPOCHS: usize = 5;
+
+/// Deterministic xorshift64 — the bench binaries carry no RNG dependency.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// The initial history: `n` classes (≈2% pinned) and `4n` interactions.
+fn synth_history(n: usize, rng: &mut XorShift64) -> Vec<GraphDelta> {
+    let mut deltas = Vec::with_capacity(5 * n);
+    for i in 0..n {
+        deltas.push(GraphDelta::AddNode {
+            label: format!("C{i}"),
+            pinned: (i % 50 == 0).then_some(PinReason::NativeMethods),
+            memory_bytes: rng.below(1_000_000),
+            cpu_micros: rng.below(100_000),
+            live_objects: rng.below(64),
+        });
+    }
+    for _ in 0..4 * n {
+        let a = rng.below(n as u64) as u32;
+        let b = rng.below(n as u64) as u32;
+        if a != b {
+            deltas.push(GraphDelta::Interaction {
+                a: NodeId(a),
+                b: NodeId(b),
+                delta: EdgeInfo::new(rng.below(100), rng.below(10_000)),
+            });
+        }
+    }
+    deltas
+}
+
+/// One epoch of churn: annotation refreshes plus fresh interactions on
+/// about 2% of the classes.
+fn epoch_churn(n: usize, rng: &mut XorShift64) -> Vec<GraphDelta> {
+    let k = (n / 50).max(1);
+    let mut deltas = Vec::with_capacity(2 * k);
+    for _ in 0..k {
+        deltas.push(GraphDelta::UpdateNode {
+            node: NodeId(rng.below(n as u64) as u32),
+            memory_bytes: rng.below(1_000_000),
+            cpu_micros: rng.below(100_000),
+            live_objects: rng.below(64),
+        });
+        let a = rng.below(n as u64) as u32;
+        let b = rng.below(n as u64) as u32;
+        if a != b {
+            deltas.push(GraphDelta::Interaction {
+                a: NodeId(a),
+                b: NodeId(b),
+                delta: EdgeInfo::new(rng.below(100), rng.below(10_000)),
+            });
+        }
+    }
+    deltas
+}
+
+/// Replays a delta batch into the classic pipeline's graph mirror through
+/// the direct mutation API (what the monitor's snapshot used to produce).
+fn apply_to_mirror(g: &mut ExecutionGraph, deltas: &[GraphDelta]) {
+    for d in deltas {
+        match d {
+            GraphDelta::AddNode {
+                label,
+                pinned,
+                memory_bytes,
+                cpu_micros,
+                live_objects,
+            } => {
+                let id = match pinned {
+                    Some(reason) => g.add_node(NodeInfo::pinned(label.clone(), *reason)),
+                    None => g.add_node(NodeInfo::new(label.clone())),
+                };
+                let info = g.node_mut(id);
+                info.memory_bytes = *memory_bytes;
+                info.cpu_micros = *cpu_micros;
+                info.live_objects = *live_objects;
+            }
+            GraphDelta::UpdateNode {
+                node,
+                memory_bytes,
+                cpu_micros,
+                live_objects,
+            } => {
+                let info = g.node_mut(*node);
+                info.memory_bytes = *memory_bytes;
+                info.cpu_micros = *cpu_micros;
+                info.live_objects = *live_objects;
+            }
+            GraphDelta::SetPinned { node, pinned } => g.node_mut(*node).pinned = *pinned,
+            GraphDelta::Interaction { a, b, delta } => g.record_interaction(*a, *b, *delta),
+            GraphDelta::RemoveNode { node } => {
+                let _ = g.clear_node(*node);
+            }
+        }
+    }
+}
+
+struct SizeResult {
+    nodes: usize,
+    scratch_micros: u64,
+    incremental_micros: u64,
+    speedup: f64,
+    winners_equal: bool,
+}
+
+fn run_size(n: usize) -> SizeResult {
+    let mut rng = XorShift64(0x9E37_79B9_7F4A_7C15 ^ n as u64);
+    let policy = MemoryPolicy::new(0.2);
+    let heap = n as u64 * 600_000;
+    let snapshot = ResourceSnapshot::new(heap, heap - heap / 20);
+
+    let mut mirror = ExecutionGraph::new();
+    let mut part = IncrementalPartitioner::new(PartitionerConfig {
+        // Never skip: every epoch must produce a comparable decision.
+        churn_threshold: 0,
+        eval: EvalStrategy::Parallel { threads: 0 },
+    });
+
+    let mut scratch_micros = 0u64;
+    let mut incremental_micros = 0u64;
+    let mut winners_equal = true;
+
+    let history = synth_history(n, &mut rng);
+    let mut batch = history;
+    for _ in 0..EPOCHS {
+        apply_to_mirror(&mut mirror, &batch);
+
+        // From-scratch arm: materialize every candidate, score sequentially.
+        let started = Instant::now();
+        let candidates = candidate_partitionings(&mirror);
+        let classic = policy.select(&mirror, snapshot, &candidates);
+        scratch_micros += u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+
+        // Incremental arm: O(delta) apply + warm plan + parallel sweep.
+        let started = Instant::now();
+        part.apply_deltas(&batch);
+        let decision = part.epoch(snapshot, &policy);
+        incremental_micros += u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+
+        let same = match (&classic, &decision.selection) {
+            (Some(a), Some(b)) => {
+                a.partitioning == b.partitioning
+                    && a.stats == b.stats
+                    && a.score.to_bits() == b.score.to_bits()
+            }
+            (None, None) => true,
+            _ => false,
+        };
+        winners_equal &= same;
+
+        batch = epoch_churn(n, &mut rng);
+    }
+
+    SizeResult {
+        nodes: n,
+        scratch_micros,
+        incremental_micros,
+        speedup: scratch_micros as f64 / (incremental_micros.max(1)) as f64,
+        winners_equal,
+    }
+}
+
+fn main() {
+    header(
+        "partitioner scaling: from-scratch vs incremental epochs",
+        "paper §4 partitioning cost (0.1s at 138 classes), scaled to 10k",
+    );
+
+    let scale = std::env::var("AIDE_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let sizes: Vec<usize> = [100usize, 1_000, 10_000]
+        .iter()
+        .map(|&n| ((n as f64 * scale) as usize).max(20))
+        .collect();
+
+    let results: Vec<SizeResult> = sizes.iter().map(|&n| run_size(n)).collect();
+
+    for r in &results {
+        row(
+            &format!("{} classes", r.nodes),
+            format!(
+                "scratch {:>9} us | incremental {:>8} us | {:>6.1}x | winners {}",
+                r.scratch_micros,
+                r.incremental_micros,
+                r.speedup,
+                if r.winners_equal { "equal" } else { "DIVERGED" },
+            ),
+        );
+    }
+
+    let artifact = serde_json::json!({
+        "kind": "summary",
+        "experiment": "partitioner_scale",
+        "epochs": EPOCHS,
+        "scale": scale,
+        "sizes": results.iter().map(|r| serde_json::json!({
+            "nodes": r.nodes,
+            "scratch_micros": r.scratch_micros,
+            "incremental_micros": r.incremental_micros,
+            "speedup": r.speedup,
+            "winners_equal": r.winners_equal,
+        })).collect::<Vec<_>>(),
+    });
+    let path = "BENCH_partitioner.json";
+    match std::fs::write(path, artifact.to_string() + "\n") {
+        Ok(()) => row("artifact", path),
+        Err(e) => row("artifact", format!("write failed: {e}")),
+    }
+
+    for r in &results {
+        assert!(
+            r.winners_equal,
+            "incremental winner diverged from the classic pipeline at {} classes",
+            r.nodes
+        );
+    }
+
+    if let Some(min_speedup) = std::env::var("AIDE_PARTITIONER_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        let largest = results.last().expect("at least one size");
+        row("required speedup", format!("{min_speedup:.1}x"));
+        assert!(
+            largest.speedup >= min_speedup,
+            "incremental speedup {:.1}x at {} classes is below the required {min_speedup:.1}x",
+            largest.speedup,
+            largest.nodes
+        );
+    }
+}

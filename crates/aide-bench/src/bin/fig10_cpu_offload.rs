@@ -15,7 +15,11 @@ fn main() {
     );
     for (idx, app) in cpu_apps(experiment_scale()).into_iter().enumerate() {
         let trace = record_app(&app);
-        println!("\n{} — original (client only): {}", app.name, s(trace.total_work_seconds()));
+        println!(
+            "\n{} — original (client only): {}",
+            app.name,
+            s(trace.total_work_seconds())
+        );
         for (label, cfg) in fig10_configs() {
             let report = Emulator::new(cfg).replay(&trace);
             series.push(serde_json::json!({

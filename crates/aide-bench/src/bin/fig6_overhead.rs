@@ -18,7 +18,11 @@ fn main() {
     for app in memory_apps(experiment_scale()) {
         let trace = record_app(&app);
         let report = replay_memory_initial(&trace);
-        assert!(report.completed, "{} must complete with offloading", app.name);
+        assert!(
+            report.completed,
+            "{} must complete with offloading",
+            app.name
+        );
         println!(
             "{:<10} {:>12} {:>12} {:>10} {:>12} {:>10}",
             app.name,

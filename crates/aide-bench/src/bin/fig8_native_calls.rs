@@ -23,7 +23,11 @@ fn main() {
             app.name,
             total,
             native,
-            pct(if total == 0 { 0.0 } else { native as f64 / total as f64 })
+            pct(if total == 0 {
+                0.0
+            } else {
+                native as f64 / total as f64
+            })
         );
     }
     println!(

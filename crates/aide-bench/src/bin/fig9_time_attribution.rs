@@ -52,8 +52,14 @@ fn main() {
     let (graph, _) = monitor.snapshot();
     let node_a = graph.node_by_label("a").unwrap();
     let node_b = graph.node_by_label("b").unwrap();
-    row("exclusive time of class a", format!("{:.2}s", graph.node(node_a).cpu_micros as f64 / 1e6));
-    row("exclusive time of class b", format!("{:.2}s", graph.node(node_b).cpu_micros as f64 / 1e6));
+    row(
+        "exclusive time of class a",
+        format!("{:.2}s", graph.node(node_a).cpu_micros as f64 / 1e6),
+    );
+    row(
+        "exclusive time of class b",
+        format!("{:.2}s", graph.node(node_b).cpu_micros as f64 / 1e6),
+    );
     let e = graph.edge(node_a, node_b).unwrap();
     row("a--b interactions", e.interactions);
     assert_eq!(graph.node(node_a).cpu_micros, 20_000);

@@ -11,12 +11,7 @@ fn main() {
         "Name", "Description", "Resource demands", "Classes", "Methods"
     );
     for app in all_apps(scale) {
-        let methods: usize = app
-            .program
-            .classes()
-            .iter()
-            .map(|c| c.methods.len())
-            .sum();
+        let methods: usize = app.program.classes().iter().map(|c| c.methods.len()).sum();
         println!(
             "{:<10} {:<34} {:<30} {:>8} {:>8}",
             app.name,

@@ -2,7 +2,6 @@
 //! module while the application runs to completion on the (prototype)
 //! distributed platform with an unconstrained heap.
 
-
 use aide_apps::javanote;
 use aide_bench::{experiment_scale, header, row};
 use aide_core::{Platform, PlatformConfig};
@@ -20,7 +19,10 @@ fn main() {
     report.outcome.as_ref().expect("JavaNote completes");
 
     let m = report.metrics;
-    println!("{:<16} {:>10} {:>10} {:>14}", "", "average", "maximum", "total events");
+    println!(
+        "{:<16} {:>10} {:>10} {:>14}",
+        "", "average", "maximum", "total events"
+    );
     println!(
         "{:<16} {:>10.0} {:>10} {:>14}",
         "classes", m.classes_avg, m.classes_max, m.classes_total
@@ -44,7 +46,10 @@ fn main() {
             100.0 * m.field_access_events as f64 / m.interaction_events as f64
         ),
     );
-    row("execution-graph storage", format!("{} KB", m.graph_storage_bytes / 1024));
+    row(
+        "execution-graph storage",
+        format!("{} KB", m.graph_storage_bytes / 1024),
+    );
     row("GC cycles sampled", m.samples);
     println!("\npaper: the 1.2M interaction events are almost evenly divided between");
     println!("invocations and accesses, and the graph occupies little storage.");

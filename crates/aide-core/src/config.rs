@@ -7,6 +7,7 @@ use aide_vm::{CostModel, GcConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::monitor::TriggerConfig;
+use crate::partitioner::PartitionerConfig;
 
 /// Which partitioning policy the platform applies.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -108,6 +109,11 @@ pub struct PlatformConfig {
     pub cost: CostModel,
     /// Carrier for the RPC link.
     pub transport: TransportKind,
+    /// Incremental-partitioner tuning: candidate evaluation strategy and
+    /// the dirty-region churn threshold. The default (sequential, never
+    /// skip) reproduces the classic evaluate-every-trigger pipeline.
+    #[serde(default)]
+    pub partitioner: PartitionerConfig,
 }
 
 impl PlatformConfig {
@@ -133,6 +139,7 @@ impl PlatformConfig {
             gc: GcConfig::default(),
             cost: CostModel::default(),
             transport: TransportKind::InProcess,
+            partitioner: PartitionerConfig::default(),
         }
     }
 }
@@ -181,5 +188,17 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: PlatformConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn configs_without_a_partitioner_section_still_parse() {
+        let c = PlatformConfig::prototype(6 << 20);
+        let json = serde_json::to_string(&c).unwrap();
+        // Strip the partitioner field to emulate a pre-existing config.
+        let mut value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        value.as_object_mut().unwrap().remove("partitioner");
+        let back: PlatformConfig = serde_json::from_str(&value.to_string()).unwrap();
+        assert_eq!(back.partitioner, PartitionerConfig::default());
+        assert_eq!(back, c);
     }
 }

@@ -63,6 +63,9 @@ pub use failover::{
 };
 pub use monitor::{Monitor, MonitorMetrics, NodeKey, RemoteStats, TriggerConfig};
 pub use offload::{execute_offload, execute_offload_tracked, OffloadOutcome};
-pub use partitioner::{decide, decide_with, HeuristicKind, PartitionDecision};
+pub use partitioner::{
+    decide, decide_with, EpochDecision, HeuristicKind, IncrementalPartitioner, PartitionDecision,
+    PartitionerConfig,
+};
 pub use platform::{OffloadEvent, Platform, PlatformReport};
 pub use selector::{PolicyRecommendation, PolicySelector, WorkloadProfile};

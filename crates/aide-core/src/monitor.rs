@@ -16,14 +16,14 @@
 //! the remote-interaction counters behind Figure 8, and the execution
 //! metrics behind Table 2.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use aide_graph::{EdgeInfo, ExecutionGraph, NodeId, NodeInfo, PinReason};
+use aide_graph::{EdgeInfo, ExecutionGraph, GraphDelta, NodeId, NodeInfo, PinReason};
 use aide_vm::{
     ClassId, GcReport, Interaction, InteractionKind, NativeKind, ObjectId, Program, RuntimeHooks,
 };
@@ -121,6 +121,14 @@ struct GraphState {
     edges: HashMap<(usize, usize), EdgeInfo>,
     /// Object -> node index, for object-granular classes.
     object_class: HashMap<ObjectId, ClassId>,
+    /// Node indices already announced to delta consumers via `AddNode`
+    /// (the [`Monitor::drain_deltas`] watermark).
+    published_nodes: usize,
+    /// Already-published nodes whose annotations changed since the last
+    /// drain (ordered, for deterministic delta batches).
+    dirty_nodes: BTreeSet<usize>,
+    /// Edge increments accumulated since the last drain.
+    edge_accum: HashMap<(usize, usize), EdgeInfo>,
 }
 
 #[derive(Debug, Default)]
@@ -300,6 +308,54 @@ impl Monitor {
         (graph, keys)
     }
 
+    /// Drains the changes observed since the previous drain as a batch of
+    /// [`GraphDelta`]s, plus the current [`NodeKey`] of every node.
+    ///
+    /// Applying every drained batch, in order, to an
+    /// [`aide_graph::IncrementalGraph`] yields exactly the graph
+    /// [`snapshot`](Monitor::snapshot) would return at the same moment —
+    /// the snapshot's clamping (negative memory balances floor at zero,
+    /// fractional CPU microseconds round) is performed here, once, on the
+    /// producer side. Batches are deterministic: node additions in id
+    /// order, then annotation updates in id order, then edge increments in
+    /// `(a, b)` order.
+    pub fn drain_deltas(&self) -> (Vec<GraphDelta>, Vec<NodeKey>) {
+        let mut g = self.graph.lock();
+        let was_published = g.published_nodes;
+        let mut deltas = Vec::new();
+        for i in was_published..g.labels.len() {
+            let (_, label, pin) = &g.labels[i];
+            deltas.push(GraphDelta::AddNode {
+                label: label.clone(),
+                pinned: *pin,
+                memory_bytes: g.memory[i].max(0) as u64,
+                cpu_micros: g.cpu_micros[i].round() as u64,
+                live_objects: g.live_objects[i].max(0) as u64,
+            });
+        }
+        for &i in g.dirty_nodes.iter().filter(|&&i| i < was_published) {
+            deltas.push(GraphDelta::UpdateNode {
+                node: NodeId(i as u32),
+                memory_bytes: g.memory[i].max(0) as u64,
+                cpu_micros: g.cpu_micros[i].round() as u64,
+                live_objects: g.live_objects[i].max(0) as u64,
+            });
+        }
+        let mut edges: Vec<((usize, usize), EdgeInfo)> = g.edge_accum.drain().collect();
+        edges.sort_unstable_by_key(|&(key, _)| key);
+        for ((a, b), e) in edges {
+            deltas.push(GraphDelta::Interaction {
+                a: NodeId(a as u32),
+                b: NodeId(b as u32),
+                delta: e,
+            });
+        }
+        g.dirty_nodes.clear();
+        g.published_nodes = g.labels.len();
+        let keys = g.labels.iter().map(|(k, _, _)| *k).collect();
+        (deltas, keys)
+    }
+
     /// The class a monitored object belongs to, if the monitor saw its
     /// allocation (used for object-granular placement).
     pub fn class_of_object(&self, id: ObjectId) -> Option<ClassId> {
@@ -363,10 +419,9 @@ impl RuntimeHooks for Monitor {
         let b = self.node_index(&mut g, callee_key);
         if a != b {
             let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-            g.edges
-                .entry((lo, hi))
-                .or_default()
-                .absorb(EdgeInfo::new(1, event.bytes));
+            let increment = EdgeInfo::new(1, event.bytes);
+            g.edges.entry((lo, hi)).or_default().absorb(increment);
+            g.edge_accum.entry((lo, hi)).or_default().absorb(increment);
         }
         drop(g);
 
@@ -400,6 +455,7 @@ impl RuntimeHooks for Monitor {
         let i = self.node_index(&mut g, key);
         g.memory[i] += bytes as i64;
         g.live_objects[i] += 1;
+        g.dirty_nodes.insert(i);
         drop(g);
 
         let mut m = self.metrics.lock();
@@ -424,6 +480,7 @@ impl RuntimeHooks for Monitor {
         } else if let Some(&i) = g.nodes.get(&key) {
             g.memory[i] -= bytes as i64;
             g.live_objects[i] -= objects as i64;
+            g.dirty_nodes.insert(i);
         }
         drop(g);
 
@@ -438,6 +495,7 @@ impl RuntimeHooks for Monitor {
         let mut g = self.graph.lock();
         let i = self.node_index(&mut g, NodeKey::Class(class));
         g.cpu_micros[i] += micros;
+        g.dirty_nodes.insert(i);
         drop(g);
         *self.work_since_eval_micros.lock() += micros;
         self.note_hook(hook_started);
@@ -737,5 +795,57 @@ mod tests {
         m.on_work(ClassId(0), 250.0);
         assert!((m.take_work_since_eval() - 750.0).abs() < 1e-9);
         assert_eq!(m.take_work_since_eval(), 0.0);
+    }
+
+    #[test]
+    fn drained_deltas_rebuild_the_snapshot() {
+        let m = monitor(false);
+        m.on_alloc(ClassId(0), ObjectId::client(0), 1_000);
+        m.on_interaction(interaction(0, 1, 100, false));
+        m.on_work(ClassId(1), 30.4);
+
+        let mut inc = aide_graph::IncrementalGraph::new();
+        let (deltas, keys) = m.drain_deltas();
+        inc.apply_all(&deltas);
+        let (snap, snap_keys) = m.snapshot();
+        assert_eq!(inc.graph(), &snap);
+        assert_eq!(keys, snap_keys);
+
+        // More activity: the next batch carries only the changes.
+        m.on_free(ClassId(0), 1, 2_000); // negative balance clamps to zero
+        m.on_interaction(interaction(0, 1, 50, false));
+        m.on_alloc(ClassId(1), ObjectId::client(1), 500);
+        let (deltas, _) = m.drain_deltas();
+        assert_eq!(deltas.len(), 3, "two updates + one edge: {deltas:?}");
+        inc.apply_all(&deltas);
+        let (snap, _) = m.snapshot();
+        assert_eq!(inc.graph(), &snap);
+        assert!(inc.strengths_consistent());
+
+        // Quiescent: the next drain is empty.
+        let (deltas, _) = m.drain_deltas();
+        assert!(deltas.is_empty());
+    }
+
+    #[test]
+    fn drained_deltas_cover_object_granular_nodes() {
+        let m = monitor(true);
+        let a1 = ObjectId::client(10);
+        m.on_alloc(ClassId(2), a1, 40_000);
+        m.on_interaction(Interaction {
+            caller: ClassId(1),
+            callee: ClassId(2),
+            target: Some(a1),
+            kind: InteractionKind::FieldAccess,
+            bytes: 64,
+            remote: false,
+        });
+        let mut inc = aide_graph::IncrementalGraph::new();
+        let (deltas, keys) = m.drain_deltas();
+        inc.apply_all(&deltas);
+        let (snap, snap_keys) = m.snapshot();
+        assert_eq!(inc.graph(), &snap);
+        assert_eq!(keys, snap_keys);
+        assert!(keys.contains(&NodeKey::Object(a1)));
     }
 }

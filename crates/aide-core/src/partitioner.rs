@@ -4,11 +4,21 @@
 //! graph, run the modified-MINCUT heuristic, let the configured policy pick
 //! the best feasible candidate, and time the whole decision (the paper
 //! reports ≈0.1 s for JavaNote's 138-class graph on a 600 MHz Pentium).
+//!
+//! [`IncrementalPartitioner`] is the scalable epoch-driven variant: it
+//! maintains the execution graph from [`GraphDelta`] batches (O(delta) per
+//! epoch instead of a from-scratch rebuild), runs the plan-based heuristic
+//! with cached per-node strengths, evaluates candidates with a configurable
+//! [`EvalStrategy`], and skips whole epochs when churn since the last
+//! decision stays below a threshold (the dirty-region shortcut). Decisions
+//! are bit-identical to the classic [`decide`] pipeline on the same graph.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aide_graph::{
-    candidate_partitionings, density_candidates, ExecutionGraph, PartitionPolicy, ResourceSnapshot,
+    candidate_partitionings, density_candidates, plan_candidates_cached, ChurnSummary,
+    EvalStrategy, ExecutionGraph, GraphDelta, IncrementalGraph, PartitionPolicy, ResourceSnapshot,
     SelectedPartition,
 };
 use serde::{Deserialize, Serialize};
@@ -77,6 +87,156 @@ pub fn decide_with(
     }
 }
 
+/// Tuning for the [`IncrementalPartitioner`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct PartitionerConfig {
+    /// Skip an evaluation epoch when the weight-equivalent churn since the
+    /// last evaluated epoch is below this threshold (and nothing structural
+    /// changed). `0` — the default — never skips, matching the classic
+    /// evaluate-every-trigger behavior.
+    pub churn_threshold: u64,
+    /// How candidates are evaluated. The winner is bit-identical across
+    /// strategies; parallel evaluation only changes wall-clock time.
+    pub eval: EvalStrategy,
+}
+
+/// The outcome of one [`IncrementalPartitioner::epoch`].
+#[derive(Debug)]
+pub struct EpochDecision {
+    /// The selected partitioning, or `None` when the epoch was skipped or
+    /// the policy judged no candidate feasible and beneficial.
+    pub selection: Option<SelectedPartition>,
+    /// Whether the dirty-region shortcut skipped evaluation entirely.
+    pub skipped: bool,
+    /// Number of candidate partitionings the heuristic produced (0 when
+    /// skipped).
+    pub candidates_evaluated: usize,
+    /// Wall-clock time the evaluation took (zero when skipped).
+    pub elapsed: Duration,
+    /// Churn accumulated since the last evaluated epoch, as seen by this
+    /// epoch's skip decision.
+    pub churn: ChurnSummary,
+}
+
+/// Epoch-driven partitioning over an incrementally maintained graph.
+///
+/// Feed it the monitor's drained [`GraphDelta`] batches with
+/// [`apply_deltas`](IncrementalPartitioner::apply_deltas), then ask for a
+/// decision with [`epoch`](IncrementalPartitioner::epoch). Between epochs
+/// the graph and the heuristic's per-node strength cache stay warm, so an
+/// epoch costs O(delta + (V + E) log V) instead of the classic
+/// O(V·(V + E)) rebuild-and-materialize pipeline.
+pub struct IncrementalPartitioner {
+    config: PartitionerConfig,
+    inc: IncrementalGraph,
+    /// Whether at least one epoch has actually been evaluated (the shortcut
+    /// never skips the first evaluation).
+    evaluated_once: bool,
+    epochs: Arc<aide_telemetry::Counter>,
+    epochs_skipped: Arc<aide_telemetry::Counter>,
+    deltas_applied: Arc<aide_telemetry::Counter>,
+    eval_micros: Arc<aide_telemetry::Histogram>,
+}
+
+impl std::fmt::Debug for IncrementalPartitioner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalPartitioner")
+            .field("config", &self.config)
+            .field("nodes", &self.inc.graph().node_count())
+            .field("evaluated_once", &self.evaluated_once)
+            .finish()
+    }
+}
+
+impl IncrementalPartitioner {
+    /// Creates an empty incremental partitioner.
+    pub fn new(config: PartitionerConfig) -> Self {
+        IncrementalPartitioner::with_graph(config, IncrementalGraph::new())
+    }
+
+    /// Creates a partitioner over an existing incremental graph.
+    pub fn with_graph(config: PartitionerConfig, inc: IncrementalGraph) -> Self {
+        let telemetry = aide_telemetry::global();
+        IncrementalPartitioner {
+            config,
+            inc,
+            evaluated_once: false,
+            epochs: telemetry.counter(aide_telemetry::names::PARTITION_EPOCHS),
+            epochs_skipped: telemetry.counter(aide_telemetry::names::PARTITION_EPOCHS_SKIPPED),
+            deltas_applied: telemetry.counter(aide_telemetry::names::GRAPH_DELTAS_APPLIED),
+            eval_micros: telemetry.histogram(
+                aide_telemetry::names::PARTITION_EVAL_MICROS,
+                aide_telemetry::buckets::LATENCY_MICROS,
+            ),
+        }
+    }
+
+    /// The active tuning.
+    pub fn config(&self) -> PartitionerConfig {
+        self.config
+    }
+
+    /// The maintained execution graph.
+    pub fn graph(&self) -> &ExecutionGraph {
+        self.inc.graph()
+    }
+
+    /// Churn accumulated since the last evaluated epoch.
+    pub fn pending_churn(&self) -> ChurnSummary {
+        self.inc.churn()
+    }
+
+    /// Applies a batch of monitor deltas in O(delta).
+    pub fn apply_deltas(&mut self, deltas: &[GraphDelta]) {
+        self.inc.apply_all(deltas);
+        self.deltas_applied.add(deltas.len() as u64);
+    }
+
+    /// Runs one decision epoch.
+    ///
+    /// When churn since the last evaluated epoch is below the configured
+    /// threshold (and nothing structural changed), the epoch is skipped
+    /// outright: the churn keeps accumulating so a later epoch sees the
+    /// full backlog. Otherwise the plan-based heuristic runs with the warm
+    /// strength cache and the policy evaluates the sweep under the
+    /// configured [`EvalStrategy`] — producing exactly the selection the
+    /// classic [`decide`] pipeline would make on this graph.
+    pub fn epoch(
+        &mut self,
+        snapshot: ResourceSnapshot,
+        policy: &dyn PartitionPolicy,
+    ) -> EpochDecision {
+        let churn = self.inc.churn();
+        if self.evaluated_once && !churn.structural && churn.weight < self.config.churn_threshold {
+            self.epochs_skipped.inc();
+            return EpochDecision {
+                selection: None,
+                skipped: true,
+                candidates_evaluated: 0,
+                elapsed: Duration::ZERO,
+                churn,
+            };
+        }
+        let start = Instant::now();
+        let plan = plan_candidates_cached(self.inc.graph(), self.inc.strengths());
+        let selection = policy.select_plan(self.inc.graph(), snapshot, &plan, self.config.eval);
+        let elapsed = start.elapsed();
+        self.inc.take_churn();
+        self.evaluated_once = true;
+        self.epochs.inc();
+        self.eval_micros
+            .observe(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+        EpochDecision {
+            selection,
+            skipped: false,
+            candidates_evaluated: plan.len(),
+            elapsed,
+            churn,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +282,139 @@ mod tests {
             &MemoryPolicy::new(0.9),
         );
         assert!(!d.should_offload());
+    }
+
+    /// Deltas that rebuild exactly the graph from [`graph`].
+    fn graph_deltas() -> Vec<GraphDelta> {
+        vec![
+            GraphDelta::AddNode {
+                label: "Ui".into(),
+                pinned: Some(PinReason::NativeMethods),
+                memory_bytes: 0,
+                cpu_micros: 0,
+                live_objects: 0,
+            },
+            GraphDelta::AddNode {
+                label: "Doc".into(),
+                pinned: None,
+                memory_bytes: 4_000_000,
+                cpu_micros: 0,
+                live_objects: 0,
+            },
+            GraphDelta::Interaction {
+                a: aide_graph::NodeId(0),
+                b: aide_graph::NodeId(1),
+                delta: EdgeInfo::new(10, 1_000),
+            },
+        ]
+    }
+
+    #[test]
+    fn epoch_matches_the_classic_pipeline() {
+        let snapshot = ResourceSnapshot::new(6_000_000, 5_900_000);
+        let policy = MemoryPolicy::new(0.2);
+
+        let mut part = IncrementalPartitioner::new(PartitionerConfig::default());
+        part.apply_deltas(&graph_deltas());
+        assert_eq!(part.graph(), &graph());
+
+        let epoch = part.epoch(snapshot, &policy);
+        let classic = decide(graph(), snapshot, &policy);
+        assert!(!epoch.skipped);
+        assert_eq!(epoch.candidates_evaluated, classic.candidates_evaluated);
+        assert_eq!(epoch.selection, classic.selection);
+    }
+
+    #[test]
+    fn churn_threshold_skips_quiet_epochs() {
+        let snapshot = ResourceSnapshot::new(100_000_000, 90_000_000);
+        let policy = MemoryPolicy::new(0.9);
+        let config = PartitionerConfig {
+            churn_threshold: 1_000,
+            eval: EvalStrategy::Sequential,
+        };
+        let mut part = IncrementalPartitioner::new(config);
+        part.apply_deltas(&graph_deltas());
+
+        // The first epoch always evaluates, even though AddNode churn is
+        // structural anyway.
+        let first = part.epoch(snapshot, &policy);
+        assert!(!first.skipped);
+
+        // Tiny churn below the threshold: skip.
+        part.apply_deltas(&[GraphDelta::Interaction {
+            a: aide_graph::NodeId(0),
+            b: aide_graph::NodeId(1),
+            delta: EdgeInfo::new(1, 50),
+        }]);
+        let quiet = part.epoch(snapshot, &policy);
+        assert!(quiet.skipped);
+        assert!(quiet.selection.is_none());
+        assert_eq!(quiet.candidates_evaluated, 0);
+        assert_eq!(quiet.churn.weight, 51);
+
+        // Churn accumulates across skipped epochs; once the running total
+        // crosses the threshold the backlog forces an evaluation.
+        part.apply_deltas(&[GraphDelta::Interaction {
+            a: aide_graph::NodeId(0),
+            b: aide_graph::NodeId(1),
+            delta: EdgeInfo::new(9, 991),
+        }]);
+        let loud = part.epoch(snapshot, &policy);
+        assert!(!loud.skipped);
+        assert_eq!(loud.churn.weight, 51 + 1_000);
+
+        // Evaluation resets the backlog.
+        assert_eq!(part.pending_churn(), ChurnSummary::default());
+    }
+
+    #[test]
+    fn structural_churn_always_forces_evaluation() {
+        let snapshot = ResourceSnapshot::new(100_000_000, 90_000_000);
+        let policy = MemoryPolicy::new(0.9);
+        let config = PartitionerConfig {
+            churn_threshold: u64::MAX,
+            eval: EvalStrategy::Sequential,
+        };
+        let mut part = IncrementalPartitioner::new(config);
+        part.apply_deltas(&graph_deltas());
+        part.epoch(snapshot, &policy);
+
+        part.apply_deltas(&[GraphDelta::AddNode {
+            label: "New".into(),
+            pinned: None,
+            memory_bytes: 10,
+            cpu_micros: 0,
+            live_objects: 1,
+        }]);
+        let epoch = part.epoch(snapshot, &policy);
+        assert!(!epoch.skipped, "node addition must invalidate the shortcut");
+        assert!(epoch.churn.structural);
+    }
+
+    #[test]
+    fn zero_threshold_never_skips() {
+        let snapshot = ResourceSnapshot::new(100_000_000, 90_000_000);
+        let policy = MemoryPolicy::new(0.9);
+        let mut part = IncrementalPartitioner::new(PartitionerConfig::default());
+        part.apply_deltas(&graph_deltas());
+        part.epoch(snapshot, &policy);
+        // No deltas at all — churn weight 0 is still not < threshold 0.
+        let epoch = part.epoch(snapshot, &policy);
+        assert!(!epoch.skipped);
+    }
+
+    #[test]
+    fn partitioner_config_serde_round_trips() {
+        let config = PartitionerConfig {
+            churn_threshold: 4_096,
+            eval: EvalStrategy::Parallel { threads: 4 },
+        };
+        let json = serde_json::to_string(&config).unwrap();
+        let back: PartitionerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config, back);
+        // Missing fields fall back to the never-skip sequential default.
+        let empty: PartitionerConfig = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, PartitionerConfig::default());
     }
 }

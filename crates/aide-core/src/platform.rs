@@ -39,7 +39,7 @@ use crate::failover::{
 };
 use crate::monitor::{Monitor, MonitorMetrics, RemoteStats};
 use crate::offload::{execute_offload_tracked, OffloadOutcome};
-use crate::partitioner::decide;
+use crate::partitioner::IncrementalPartitioner;
 
 /// Flight-recorder capacity per run: ample for every decision of a run
 /// while bounding memory on constrained clients.
@@ -133,6 +133,9 @@ impl PlatformReport {
 struct Controller {
     monitor: Arc<Monitor>,
     policy: Box<dyn PartitionPolicy>,
+    /// The incremental decision engine: fed the monitor's drained deltas,
+    /// it keeps the execution graph and strength cache warm across epochs.
+    partitioner: Mutex<IncrementalPartitioner>,
     evaluation: EvaluationMode,
     /// Late-bound: the controller participates in the client's hook chain,
     /// which must exist before the machine and endpoint it drives.
@@ -199,7 +202,7 @@ impl Controller {
             return;
         }
 
-        let (graph, keys) = self.monitor.snapshot();
+        let (deltas, keys) = self.monitor.drain_deltas();
         let snapshot = {
             let vm = self.client().vm();
             let vm = vm.lock();
@@ -211,33 +214,45 @@ impl Controller {
             heap_capacity: snapshot.heap_capacity,
             reason: reason.to_string(),
         });
-        let decision = decide(graph, snapshot, self.policy.as_ref());
+        let mut partitioner = self.partitioner.lock();
+        partitioner.apply_deltas(&deltas);
+        let decision = partitioner.epoch(snapshot, self.policy.as_ref());
+        if decision.skipped {
+            // Dirty-region shortcut: churn since the last evaluation stayed
+            // below the configured threshold, so the previous decision
+            // stands without re-running the heuristic.
+            self.recorder.record(PlatformEvent::EpochSkipped {
+                churn_weight: decision.churn.weight,
+                threshold: partitioner.config().churn_threshold,
+            });
+            self.monitor.reset_memory_trigger();
+            return;
+        }
         self.recorder.record(PlatformEvent::CandidatesEvaluated {
             candidates: decision.candidates_evaluated,
             elapsed_micros: u64::try_from(decision.elapsed.as_micros()).unwrap_or(u64::MAX),
         });
         if std::env::var_os("AIDE_DEBUG").is_some() {
+            let graph = partitioner.graph();
             eprintln!(
                 "[aide] evaluate: nodes={} candidates={} selected={} heap_used={} graph_mem={}",
-                decision.graph.node_count(),
+                graph.node_count(),
                 decision.candidates_evaluated,
                 decision.selection.is_some(),
                 snapshot.heap_used,
-                decision.graph.total_memory(),
+                graph.total_memory(),
             );
-            for (id, n) in decision.graph.iter() {
+            for (id, n) in graph.iter() {
                 eprintln!(
                     "[aide]   node {id} {} mem={} pinned={:?}",
                     n.label, n.memory_bytes, n.pinned
                 );
             }
-        }
-        if std::env::var_os("AIDE_DEBUG").is_some() {
             if let Some(sel) = &decision.selection {
                 let client: Vec<&str> = sel
                     .partitioning
                     .nodes_on(aide_graph::Side::Client)
-                    .map(|n| decision.graph.node(n).label.as_str())
+                    .map(|n| graph.node(n).label.as_str())
                     .collect();
                 eprintln!(
                     "[aide] selected: {} offloaded, client side = {:?}, cut = {:?}",
@@ -301,7 +316,7 @@ impl Controller {
                 });
                 self.events.lock().push(OffloadEvent {
                     at_gc_cycle,
-                    graph: decision.graph,
+                    graph: partitioner.graph().clone(),
                     partitioning: selection.partitioning,
                     candidates_evaluated: decision.candidates_evaluated,
                     partition_elapsed: decision.elapsed,
@@ -507,6 +522,7 @@ impl Platform {
         let controller = Arc::new(Controller {
             monitor: monitor.clone(),
             policy: cfg.policy.build(cfg.comm, cfg.surrogate_speed),
+            partitioner: Mutex::new(IncrementalPartitioner::new(cfg.partitioner)),
             evaluation: cfg.evaluation,
             client: std::sync::OnceLock::new(),
             endpoint: std::sync::OnceLock::new(),
@@ -647,6 +663,7 @@ impl Platform {
         let controller = Arc::new(Controller {
             monitor: monitor.clone(),
             policy: cfg.policy.build(cfg.comm, cfg.surrogate_speed),
+            partitioner: Mutex::new(IncrementalPartitioner::new(cfg.partitioner)),
             evaluation: cfg.evaluation,
             client: std::sync::OnceLock::new(),
             endpoint: std::sync::OnceLock::new(),

@@ -11,9 +11,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use aide_graph::{ExecutionGraph, ResourceSnapshot};
+use aide_graph::{EvalStrategy, ExecutionGraph, ResourceSnapshot};
 
 use crate::monitor::TriggerConfig;
+use crate::partitioner::PartitionerConfig;
 
 /// A recommended policy parameterization, with the rationale.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,6 +55,10 @@ pub struct PolicySelector {
 }
 
 impl PolicySelector {
+    /// Node count at and above which parallel candidate evaluation pays for
+    /// its thread spawn-and-join overhead.
+    pub const PARALLEL_NODE_THRESHOLD: usize = 512;
+
     /// Creates a selector with defaults tuned on the paper's workloads.
     pub fn new() -> Self {
         PolicySelector {
@@ -141,6 +146,29 @@ impl PolicySelector {
             }
         }
     }
+
+    /// Recommends incremental-partitioner tuning for the application whose
+    /// history is `graph`.
+    ///
+    /// Small graphs (the paper's 138-class scale) evaluate sequentially —
+    /// thread spawn-and-join would dwarf the sweep itself. Past
+    /// [`PARALLEL_NODE_THRESHOLD`](Self::PARALLEL_NODE_THRESHOLD) nodes the
+    /// candidate sweep dominates, so fan out across all available cores
+    /// (the winner is bit-identical either way). The churn threshold scales
+    /// with the graph's total edge weight: skip epochs whose churn is below
+    /// 0.5% of the observed interaction volume.
+    pub fn recommend_partitioner(&self, graph: &ExecutionGraph) -> PartitionerConfig {
+        let eval = if graph.node_count() >= Self::PARALLEL_NODE_THRESHOLD {
+            EvalStrategy::Parallel { threads: 0 }
+        } else {
+            EvalStrategy::Sequential
+        };
+        let total_weight: u64 = graph.edges().map(|(_, e)| e.weight()).sum();
+        PartitionerConfig {
+            churn_threshold: total_weight / 200,
+            eval,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -220,5 +248,25 @@ mod tests {
         let rec = PolicySelector::new().recommend(&cold_bulk_graph(), snapshot());
         let json = serde_json::to_string(&rec).unwrap();
         assert!(json.contains("ColdBulkData"));
+    }
+
+    #[test]
+    fn small_graphs_evaluate_sequentially() {
+        let cfg = PolicySelector::new().recommend_partitioner(&cold_bulk_graph());
+        assert_eq!(cfg.eval, EvalStrategy::Sequential);
+        // 0.5% of the observed interaction volume:
+        // edges weigh (2000 + 40000) + (50 + 5000) = 47050.
+        assert_eq!(cfg.churn_threshold, 47_050 / 200);
+    }
+
+    #[test]
+    fn large_graphs_fan_out_across_all_cores() {
+        let mut g = ExecutionGraph::new();
+        for i in 0..PolicySelector::PARALLEL_NODE_THRESHOLD {
+            g.add_node(NodeInfo::new(format!("C{i}")));
+        }
+        let cfg = PolicySelector::new().recommend_partitioner(&g);
+        assert_eq!(cfg.eval, EvalStrategy::Parallel { threads: 0 });
+        assert_eq!(cfg.churn_threshold, 0, "no interactions observed yet");
     }
 }

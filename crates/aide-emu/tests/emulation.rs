@@ -5,8 +5,7 @@ use std::sync::Arc;
 
 use aide_core::PolicyKind;
 use aide_emu::{
-    best_point, record_program, sweep_memory_policies, Emulator, EmulatorConfig, PolicyGrid,
-    Trace,
+    best_point, record_program, sweep_memory_policies, Emulator, EmulatorConfig, PolicyGrid, Trace,
 };
 use aide_vm::{MethodDef, MethodId, NativeKind, Op, Program, ProgramBuilder, Reg};
 
@@ -74,14 +73,20 @@ fn editor_program(chunks: u32, chunk_bytes: u32, edits: u32) -> Arc<Program> {
                     ref_slots: 0,
                     dst: Reg(0),
                 },
-                Op::PutSlot { slot: 0, src: Reg(0) },
+                Op::PutSlot {
+                    slot: 0,
+                    src: Reg(0),
+                },
                 Op::New {
                     class: document,
                     scalar_bytes: 500,
                     ref_slots: chunks as u16,
                     dst: Reg(1),
                 },
-                Op::PutSlot { slot: 1, src: Reg(1) },
+                Op::PutSlot {
+                    slot: 1,
+                    src: Reg(1),
+                },
                 Op::Call {
                     obj: Reg(1),
                     class: document,
@@ -216,7 +221,10 @@ fn replay_under_pressure_offloads_and_completes() {
     let o = &report.offloads[0];
     assert!(o.bytes_moved > 100_000);
     assert!(o.transfer_seconds > 0.0);
-    assert!(report.comm_seconds > 0.0, "remote interactions after offload");
+    assert!(
+        report.comm_seconds > 0.0,
+        "remote interactions after offload"
+    );
     assert!(report.overhead_fraction() > 0.0);
 }
 
@@ -473,7 +481,10 @@ fn array_enhancement_allows_object_level_placement() {
                     ref_slots: 0,
                     dst: Reg(1),
                 },
-                Op::PutSlot { slot: 0, src: Reg(1) },
+                Op::PutSlot {
+                    slot: 0,
+                    src: Reg(1),
+                },
                 // Cold array: touched once.
                 Op::New {
                     class: arrays,
@@ -481,7 +492,10 @@ fn array_enhancement_allows_object_level_placement() {
                     ref_slots: 0,
                     dst: Reg(2),
                 },
-                Op::PutSlot { slot: 1, src: Reg(2) },
+                Op::PutSlot {
+                    slot: 1,
+                    src: Reg(2),
+                },
                 Op::Read {
                     obj: Reg(2),
                     bytes: 8,
@@ -515,8 +529,7 @@ fn array_enhancement_allows_object_level_placement() {
         // Object granularity should never be chattier than class
         // granularity here: it can keep the hot array local.
         assert!(
-            object_level.remote.remote_interactions
-                <= class_level.remote.remote_interactions,
+            object_level.remote.remote_interactions <= class_level.remote.remote_interactions,
             "object granularity kept the hot array local: {} <= {}",
             object_level.remote.remote_interactions,
             class_level.remote.remote_interactions

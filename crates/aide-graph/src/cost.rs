@@ -203,7 +203,7 @@ mod tests {
     #[test]
     fn interaction_cost_scales_with_payload() {
         let c = CommParams::new(8.0e6, 1.0e-3); // 1 MB/s
-        // 1000 bytes = 8000 bits = 1 ms on the link, plus 1 ms RTT.
+                                                // 1000 bytes = 8000 bits = 1 ms on the link, plus 1 ms RTT.
         assert!((c.interaction_seconds(1_000) - 2.0e-3).abs() < 1e-9);
     }
 

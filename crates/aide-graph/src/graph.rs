@@ -271,9 +271,7 @@ impl ExecutionGraph {
 
     /// Iterates over the pinned nodes.
     pub fn pinned_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.iter()
-            .filter(|(_, n)| n.is_pinned())
-            .map(|(id, _)| id)
+        self.iter().filter(|(_, n)| n.is_pinned()).map(|(id, _)| id)
     }
 
     /// Returns the interaction statistics between `a` and `b`, if any.
@@ -300,6 +298,30 @@ impl ExecutionGraph {
             return;
         }
         self.edges.entry(ordered(a, b)).or_default().absorb(obs);
+    }
+
+    /// Removes a node from consideration without disturbing the dense id
+    /// space: zeroes its annotations, clears its pin, and removes every
+    /// incident edge. Returns the removed incident edges.
+    ///
+    /// Node ids are dense insertion-order indices (see [`NodeId`]), so a
+    /// true removal would invalidate every id held by monitors and
+    /// partitionings; a tombstone keeps them stable. The label is kept for
+    /// reports. Cost is O(E) (the edge map is scanned once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn clear_node(&mut self, id: NodeId) -> Vec<(NodeId, EdgeInfo)> {
+        assert!(id.index() < self.nodes.len(), "node {id} out of range");
+        let info = &mut self.nodes[id.index()];
+        info.memory_bytes = 0;
+        info.cpu_micros = 0;
+        info.live_objects = 0;
+        info.pinned = None;
+        let removed: Vec<(NodeId, EdgeInfo)> = self.neighbors(id).collect();
+        self.edges.retain(|&(a, b), _| a != id && b != id);
+        removed
     }
 
     /// Iterates over `((NodeId, NodeId), EdgeInfo)` for every edge.
@@ -478,6 +500,20 @@ mod tests {
         let s = g.storage_bytes();
         assert!(s > 0);
         assert!(s < 10_000);
+    }
+
+    #[test]
+    fn clear_node_tombstones_and_drops_incident_edges() {
+        let (mut g, a, b, c) = three_node_graph();
+        g.node_mut(b).memory_bytes = 9_000;
+        let removed = g.clear_node(b);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(g.node_count(), 3, "ids stay dense");
+        assert_eq!(g.node(b).memory_bytes, 0);
+        assert!(g.node(b).pinned.is_none());
+        assert_eq!(g.edge(a, b), None);
+        assert_eq!(g.edge(b, c), None);
+        assert_eq!(g.edge_count(), 0);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! partitioning policy evaluates all candidates and keeps the best feasible
 //! one — which need not be the minimum-interaction cut.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use crate::graph::{ExecutionGraph, NodeId};
 use crate::partition::{Partitioning, Side};
 
@@ -105,12 +108,132 @@ impl CandidateSequence {
 /// assert!(seq.iter().all(|p| p.is_client(ui)));
 /// ```
 pub fn candidate_partitionings(graph: &ExecutionGraph) -> CandidateSequence {
+    plan_candidates(graph).materialize()
+}
+
+/// A compact description of the heuristic's candidate sequence: the base
+/// (most-offloaded) placement plus the ordered node moves that derive each
+/// subsequent candidate.
+///
+/// Candidate `i` is the base with the first `i` moves applied. The plan is
+/// O(V) storage regardless of candidate count, so the incremental
+/// partitioner can evaluate a 10k-class sweep without materializing the
+/// O(V²) [`CandidateSequence`]; [`materialize`](CandidatePlan::materialize)
+/// reproduces the classic sequence bit-for-bit when callers want it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidatePlan {
+    base: Partitioning,
+    /// Every node pulled into the client, greatest connectivity first —
+    /// including the seed pull (already reflected in `base`).
+    move_order: Vec<NodeId>,
+    /// Leading entries of `move_order` already applied to `base` (0 or 1).
+    seed_moves: usize,
+    /// Number of candidates the plan describes.
+    len: usize,
+}
+
+impl CandidatePlan {
+    fn empty(node_count: usize) -> Self {
+        CandidatePlan {
+            base: Partitioning::from_sides(vec![Side::Client; node_count]),
+            move_order: Vec::new(),
+            seed_moves: 0,
+            len: 0,
+        }
+    }
+
+    /// The most-offloaded candidate (candidate 0).
+    pub fn base(&self) -> &Partitioning {
+        &self.base
+    }
+
+    /// The order in which nodes were pulled into the client partition,
+    /// including the no-pin seed pull (compare
+    /// [`CandidateSequence::move_order`]).
+    pub fn move_order(&self) -> &[NodeId] {
+        &self.move_order
+    }
+
+    /// The moves applied *after* the base placement: candidate `i` is the
+    /// base with `moves()[..i]` applied.
+    pub fn moves(&self) -> &[NodeId] {
+        &self.move_order[self.seed_moves..]
+    }
+
+    /// Number of candidates described by the plan.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the plan describes no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Materializes candidate `index` (O(V + index)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn candidate(&self, index: usize) -> Partitioning {
+        assert!(index < self.len, "candidate {index} out of range");
+        let mut p = self.base.clone();
+        for &v in &self.moves()[..index] {
+            p.set_side(v, Side::Client);
+        }
+        p
+    }
+
+    /// Materializes the full [`CandidateSequence`], identical to what
+    /// [`candidate_partitionings`] has always produced.
+    pub fn materialize(&self) -> CandidateSequence {
+        if self.len == 0 {
+            return CandidateSequence::empty();
+        }
+        let mut candidates = Vec::with_capacity(self.len);
+        candidates.push(self.base.clone());
+        let mut current = self.base.clone();
+        for &v in self.moves() {
+            current.set_side(v, Side::Client);
+            candidates.push(current.clone());
+        }
+        CandidateSequence {
+            candidates,
+            move_order: self.move_order.clone(),
+        }
+    }
+}
+
+/// Plans the modified-MINCUT candidate sweep without materializing the
+/// candidates (see [`CandidatePlan`]). Equivalent to
+/// [`candidate_partitionings`] but O((V + E) log V) instead of O(V²).
+pub fn plan_candidates(graph: &ExecutionGraph) -> CandidatePlan {
+    plan_with(graph, None)
+}
+
+/// Like [`plan_candidates`], but reuses externally cached per-node
+/// strengths (total incident edge weight, as maintained by
+/// [`crate::IncrementalGraph`]) for the no-pin seed selection instead of
+/// re-deriving them with an O(V·E) scan.
+///
+/// # Panics
+///
+/// Panics if `strengths.len() != graph.node_count()`.
+pub fn plan_candidates_cached(graph: &ExecutionGraph, strengths: &[u64]) -> CandidatePlan {
+    assert_eq!(
+        strengths.len(),
+        graph.node_count(),
+        "strength cache covers {} nodes but graph has {}",
+        strengths.len(),
+        graph.node_count()
+    );
+    plan_with(graph, Some(strengths))
+}
+
+fn plan_with(graph: &ExecutionGraph, cached_strengths: Option<&[u64]>) -> CandidatePlan {
     let n = graph.node_count();
     if n < 2 {
-        return CandidateSequence {
-            candidates: Vec::new(),
-            move_order: Vec::new(),
-        };
+        return CandidatePlan::empty(n);
     }
 
     // connectivity[v] = total edge weight between v and the client partition.
@@ -126,10 +249,7 @@ pub fn candidate_partitionings(graph: &ExecutionGraph) -> CandidateSequence {
         }
     }
     if unpinned == 0 {
-        return CandidateSequence {
-            candidates: Vec::new(),
-            move_order: Vec::new(),
-        };
+        return CandidatePlan::empty(n);
     }
 
     for ((a, b), e) in graph.edges() {
@@ -143,16 +263,24 @@ pub fn candidate_partitionings(graph: &ExecutionGraph) -> CandidateSequence {
     // With no pinned seed, start from the unpinned node with the greatest
     // total incident weight (deterministic Stoer–Wagner-style start vertex).
     let mut move_order: Vec<NodeId> = Vec::with_capacity(unpinned);
+    let mut seed_moves = 0usize;
     if graph.pinned_nodes().next().is_none() {
-        let seed = graph
-            .node_ids()
-            .max_by_key(|&v| {
-                let w: u64 = graph.neighbors(v).map(|(_, e)| e.weight()).sum();
-                (w, std::cmp::Reverse(v))
-            })
-            .expect("graph is nonempty");
+        let seed = match cached_strengths {
+            Some(strengths) => graph
+                .node_ids()
+                .max_by_key(|&v| (strengths[v.index()], Reverse(v)))
+                .expect("graph is nonempty"),
+            None => graph
+                .node_ids()
+                .max_by_key(|&v| {
+                    let w: u64 = graph.neighbors(v).map(|(_, e)| e.weight()).sum();
+                    (w, Reverse(v))
+                })
+                .expect("graph is nonempty"),
+        };
         pull_into_client(graph, seed, &mut in_client, &mut connectivity);
         move_order.push(seed);
+        seed_moves = 1;
     }
 
     // The base placement: pinned (+seed) on client, everything else offloaded.
@@ -163,28 +291,43 @@ pub fn candidate_partitionings(graph: &ExecutionGraph) -> CandidateSequence {
             .collect(),
     );
 
-    let mut candidates = Vec::with_capacity(unpinned);
-    if base.offloaded_count() > 0 {
-        candidates.push(base.clone());
-    }
+    // Lazy-invalidation max-heap over (connectivity, smallest-id-wins).
+    // Connectivity only grows during the sweep, so a popped entry is stale
+    // exactly when it no longer matches the live value; the selection key
+    // (connectivity, Reverse(v)) is unique per node, which makes the heap
+    // order identical to a linear `max_by_key` scan.
+    let mut heap: BinaryHeap<(u64, Reverse<NodeId>)> = graph
+        .node_ids()
+        .filter(|&v| !in_client[v.index()])
+        .map(|v| (connectivity[v.index()], Reverse(v)))
+        .collect();
 
-    let mut current = base;
+    let mut offloaded = base.offloaded_count();
+    let total_candidates = if offloaded == 0 { 0 } else { offloaded };
     // Move nodes one at a time until exactly one node remains offloaded.
-    while current.offloaded_count() > 1 {
-        let next = graph
-            .node_ids()
-            .filter(|&v| !in_client[v.index()])
-            .max_by_key(|&v| (connectivity[v.index()], std::cmp::Reverse(v)))
-            .expect("at least two nodes remain offloaded");
-        pull_into_client(graph, next, &mut in_client, &mut connectivity);
+    while offloaded > 1 {
+        let next = loop {
+            let (c, Reverse(v)) = heap.pop().expect("at least two nodes remain offloaded");
+            if !in_client[v.index()] && connectivity[v.index()] == c {
+                break v;
+            }
+        };
+        in_client[next.index()] = true;
+        for (nb, e) in graph.neighbors(next) {
+            if !in_client[nb.index()] {
+                connectivity[nb.index()] += e.weight();
+                heap.push((connectivity[nb.index()], Reverse(nb)));
+            }
+        }
         move_order.push(next);
-        current.set_side(next, Side::Client);
-        candidates.push(current.clone());
+        offloaded -= 1;
     }
 
-    CandidateSequence {
-        candidates,
+    CandidatePlan {
+        base,
         move_order,
+        seed_moves,
+        len: total_candidates,
     }
 }
 
@@ -334,6 +477,75 @@ mod tests {
             .min()
             .unwrap();
         assert_eq!(best, exact);
+    }
+
+    #[test]
+    fn plan_materializes_to_the_classic_sequence() {
+        for pinned in [true, false] {
+            let mut g = ExecutionGraph::new();
+            let first = if pinned {
+                g.add_node(NodeInfo::pinned("P", PinReason::Explicit))
+            } else {
+                g.add_node(NodeInfo::new("P"))
+            };
+            let ids: Vec<NodeId> = (0..6)
+                .map(|i| g.add_node(NodeInfo::new(format!("N{i}"))))
+                .collect();
+            for (i, &id) in ids.iter().enumerate() {
+                g.record_interaction(first, id, bytes((i as u64 * 13) % 7 + 1));
+                if i > 0 {
+                    g.record_interaction(ids[i - 1], id, bytes(i as u64 * 3));
+                }
+            }
+            let plan = plan_candidates(&g);
+            let seq = candidate_partitionings(&g);
+            assert_eq!(plan.materialize(), seq);
+            assert_eq!(plan.len(), seq.len());
+            assert_eq!(plan.move_order(), seq.move_order());
+            for (i, cand) in seq.iter().enumerate() {
+                assert_eq!(&plan.candidate(i), cand, "candidate {i} (pinned={pinned})");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_strengths_do_not_change_the_plan() {
+        let mut g = ExecutionGraph::new();
+        let ids: Vec<NodeId> = (0..5)
+            .map(|i| g.add_node(NodeInfo::new(format!("N{i}"))))
+            .collect();
+        g.record_interaction(ids[0], ids[1], bytes(10));
+        g.record_interaction(ids[1], ids[2], bytes(40));
+        g.record_interaction(ids[2], ids[3], bytes(5));
+        g.record_interaction(ids[3], ids[4], bytes(70));
+        let mut strengths = vec![0u64; g.node_count()];
+        for ((a, b), e) in g.edges() {
+            strengths[a.index()] += e.weight();
+            strengths[b.index()] += e.weight();
+        }
+        assert_eq!(plan_candidates_cached(&g, &strengths), plan_candidates(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "strength cache covers")]
+    fn cached_strengths_must_match_node_count() {
+        let mut g = ExecutionGraph::new();
+        g.add_node(NodeInfo::new("A"));
+        g.add_node(NodeInfo::new("B"));
+        let _ = plan_candidates_cached(&g, &[0]);
+    }
+
+    #[test]
+    fn empty_plan_for_tiny_or_fully_pinned_graphs() {
+        let g = ExecutionGraph::new();
+        assert!(plan_candidates(&g).is_empty());
+        let mut g = ExecutionGraph::new();
+        let a = g.add_node(NodeInfo::pinned("A", PinReason::NativeMethods));
+        let b = g.add_node(NodeInfo::pinned("B", PinReason::StaticState));
+        g.record_interaction(a, b, bytes(5));
+        let plan = plan_candidates(&g);
+        assert!(plan.is_empty());
+        assert_eq!(plan.base().len(), 2, "empty plan still covers the graph");
     }
 
     #[test]

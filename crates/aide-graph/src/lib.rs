@@ -49,6 +49,7 @@ mod density;
 mod dot;
 mod graph;
 mod heuristic;
+mod incremental;
 mod mincut;
 mod partition;
 mod policy;
@@ -57,9 +58,14 @@ pub use cost::{CommParams, CostFunction, CutBytes, CutInteractions, PredictedTim
 pub use density::density_candidates;
 pub use dot::{to_dot, to_dot_annotated};
 pub use graph::{EdgeInfo, ExecutionGraph, NodeId, NodeInfo, PinReason};
-pub use heuristic::{candidate_partitionings, CandidateSequence};
+pub use heuristic::{
+    candidate_partitionings, plan_candidates, plan_candidates_cached, CandidatePlan,
+    CandidateSequence,
+};
+pub use incremental::{ChurnSummary, GraphDelta, IncrementalGraph};
 pub use mincut::{stoer_wagner, MinCut};
 pub use partition::{PartitionStats, Partitioning, Side};
 pub use policy::{
-    CombinedPolicy, CpuPolicy, MemoryPolicy, PartitionPolicy, ResourceSnapshot, SelectedPartition,
+    CombinedPolicy, CpuPolicy, EvalStrategy, MemoryPolicy, PartitionPolicy, ResourceSnapshot,
+    SelectedPartition,
 };

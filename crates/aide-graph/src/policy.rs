@@ -6,15 +6,27 @@
 //! least 20% of the Java heap"), scores the feasible ones with a cost
 //! function, and — crucially — only selects a partitioning when offloading
 //! is *beneficial* (paper §2, "Beneficial offloading").
+//!
+//! # Evaluation strategies and determinism
+//!
+//! Candidate evaluation can fan out across a scoped-thread pool
+//! ([`EvalStrategy::Parallel`]). The result is **bit-identical** to the
+//! sequential pass regardless of thread count: worker threads only *score*
+//! candidates (each score is a pure function of the graph, the candidate and
+//! its integer [`PartitionStats`]), and the winner is chosen by a single
+//! sequential fold over the per-candidate results in candidate order. The
+//! fold is not parallelised because `f64` comparison with possible NaN
+//! scores is not associative — reducing per-chunk winners could disagree
+//! with the sequential pass, while the index-ordered fold cannot.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use crate::cost::{CostFunction, CutBytes, PredictedTime};
-use crate::graph::ExecutionGraph;
-use crate::heuristic::CandidateSequence;
-use crate::partition::{PartitionStats, Partitioning};
+use crate::graph::{ExecutionGraph, NodeId};
+use crate::heuristic::{CandidatePlan, CandidateSequence};
+use crate::partition::{PartitionStats, Partitioning, Side};
 
 /// A snapshot of the client device's resources at policy-evaluation time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -58,6 +70,37 @@ impl ResourceSnapshot {
     }
 }
 
+/// How a policy evaluates the candidate sweep.
+///
+/// The strategy affects wall-clock time only — every strategy produces a
+/// bit-identical [`SelectedPartition`] (see the module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvalStrategy {
+    /// Score candidates one after another on the calling thread.
+    #[default]
+    Sequential,
+    /// Score candidates on a scoped-thread pool, then pick the winner with a
+    /// deterministic sequential fold over the per-candidate scores.
+    Parallel {
+        /// Number of worker threads; `0` means "one per available core"
+        /// (`std::thread::available_parallelism`).
+        threads: usize,
+    },
+}
+
+impl EvalStrategy {
+    /// The number of worker threads this strategy resolves to (at least 1).
+    pub fn resolved_threads(self) -> usize {
+        match self {
+            EvalStrategy::Sequential => 1,
+            EvalStrategy::Parallel { threads: 0 } => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            EvalStrategy::Parallel { threads } => threads,
+        }
+    }
+}
+
 /// The partitioning a policy selected, with its statistics and score.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectedPartition {
@@ -70,9 +113,39 @@ pub struct SelectedPartition {
 }
 
 /// Decides whether and how to offload, given candidate partitionings.
+///
+/// Implementors provide [`score_candidate`](PartitionPolicy::score_candidate)
+/// (feasibility gate + cost) and optionally
+/// [`admit`](PartitionPolicy::admit) (a final beneficial-offloading gate on
+/// the winner); the provided `select*` methods drive the sweep with either
+/// evaluation strategy.
 pub trait PartitionPolicy: Send + Sync {
     /// A short name for reports.
     fn name(&self) -> &str;
+
+    /// Scores one candidate: `None` if the candidate is infeasible under
+    /// this policy, otherwise its cost (lower is better). Must be a pure
+    /// function of its arguments — the parallel evaluation strategy calls it
+    /// from worker threads and relies on purity for determinism.
+    fn score_candidate(
+        &self,
+        graph: &ExecutionGraph,
+        snapshot: ResourceSnapshot,
+        candidate: &Partitioning,
+        stats: &PartitionStats,
+    ) -> Option<f64>;
+
+    /// Final gate on the best-scoring candidate: return `false` to refuse
+    /// offloading altogether (e.g. the paper's beneficial-offloading test).
+    /// The default admits every winner.
+    fn admit(
+        &self,
+        _graph: &ExecutionGraph,
+        _snapshot: ResourceSnapshot,
+        _best: &SelectedPartition,
+    ) -> bool {
+        true
+    }
 
     /// Evaluates `candidates` and returns the best feasible, beneficial
     /// partitioning, or `None` when the application should not be
@@ -82,7 +155,184 @@ pub trait PartitionPolicy: Send + Sync {
         graph: &ExecutionGraph,
         snapshot: ResourceSnapshot,
         candidates: &CandidateSequence,
-    ) -> Option<SelectedPartition>;
+    ) -> Option<SelectedPartition> {
+        self.select_with(graph, snapshot, candidates, EvalStrategy::Sequential)
+    }
+
+    /// Like [`select`](PartitionPolicy::select), with an explicit evaluation
+    /// strategy. The winner is bit-identical across strategies.
+    fn select_with(
+        &self,
+        graph: &ExecutionGraph,
+        snapshot: ResourceSnapshot,
+        candidates: &CandidateSequence,
+        strategy: EvalStrategy,
+    ) -> Option<SelectedPartition> {
+        let score = |cand: &Partitioning, stats: &PartitionStats| {
+            self.score_candidate(graph, snapshot, cand, stats)
+        };
+        let best = pick_from_sequence(graph, candidates, strategy, &score)?;
+        self.admit(graph, snapshot, &best).then_some(best)
+    }
+
+    /// Like [`select_with`](PartitionPolicy::select_with), but sweeps a
+    /// [`CandidatePlan`] directly: per-candidate statistics are updated
+    /// incrementally in O(degree) per move instead of O(V + E) per
+    /// candidate, and no O(V²) candidate sequence is materialized. Produces
+    /// exactly the selection `select` would make on
+    /// [`CandidatePlan::materialize`].
+    fn select_plan(
+        &self,
+        graph: &ExecutionGraph,
+        snapshot: ResourceSnapshot,
+        plan: &CandidatePlan,
+        strategy: EvalStrategy,
+    ) -> Option<SelectedPartition> {
+        let score = |cand: &Partitioning, stats: &PartitionStats| {
+            self.score_candidate(graph, snapshot, cand, stats)
+        };
+        let best = pick_from_plan(graph, plan, strategy, &score)?;
+        self.admit(graph, snapshot, &best).then_some(best)
+    }
+}
+
+/// Shared shape of the per-candidate scoring callback.
+type ScoreFn<'a> = &'a (dyn Fn(&Partitioning, &PartitionStats) -> Option<f64> + Sync);
+
+/// The deterministic reduction: a single in-order fold over per-candidate
+/// results, preserving the classic `score < best.score` strict-improvement
+/// rule (first of equal scores wins; NaN scores never displace a winner).
+fn fold_results(
+    results: Vec<Option<(f64, PartitionStats)>>,
+) -> Option<(usize, PartitionStats, f64)> {
+    let mut best: Option<(usize, PartitionStats, f64)> = None;
+    for (i, r) in results.into_iter().enumerate() {
+        if let Some((score, stats)) = r {
+            if best.as_ref().is_none_or(|&(_, _, b)| score < b) {
+                best = Some((i, stats, score));
+            }
+        }
+    }
+    best
+}
+
+/// Scores every candidate of a materialized sequence (optionally on a
+/// scoped-thread pool) and folds the results in candidate order.
+fn pick_from_sequence(
+    graph: &ExecutionGraph,
+    candidates: &CandidateSequence,
+    strategy: EvalStrategy,
+    score: ScoreFn<'_>,
+) -> Option<SelectedPartition> {
+    let cands = candidates.candidates();
+    if cands.is_empty() {
+        return None;
+    }
+    let threads = strategy.resolved_threads().clamp(1, cands.len());
+    let mut results: Vec<Option<(f64, PartitionStats)>> = vec![None; cands.len()];
+    let fill = |start: usize, chunk: &mut [Option<(f64, PartitionStats)>]| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            let cand = &cands[start + off];
+            let stats = cand.stats(graph);
+            *slot = score(cand, &stats).map(|s| (s, stats));
+        }
+    };
+    if threads <= 1 {
+        fill(0, &mut results);
+    } else {
+        let chunk_size = cands.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (ci, chunk) in results.chunks_mut(chunk_size).enumerate() {
+                let fill = &fill;
+                scope.spawn(move || fill(ci * chunk_size, chunk));
+            }
+        });
+    }
+    fold_results(results).map(|(i, stats, score)| SelectedPartition {
+        partitioning: cands[i].clone(),
+        stats,
+        score,
+    })
+}
+
+/// Scores every candidate described by a [`CandidatePlan`] without
+/// materializing the sequence. Each worker reconstructs its chunk's starting
+/// placement (O(V + E)), then advances candidate-by-candidate with
+/// O(degree) incremental statistics updates. All statistics are integer
+/// sums, so the incremental values equal the from-scratch values exactly.
+fn pick_from_plan(
+    graph: &ExecutionGraph,
+    plan: &CandidatePlan,
+    strategy: EvalStrategy,
+    score: ScoreFn<'_>,
+) -> Option<SelectedPartition> {
+    let len = plan.len();
+    if len == 0 {
+        return None;
+    }
+    let threads = strategy.resolved_threads().clamp(1, len);
+    let mut results: Vec<Option<(f64, PartitionStats)>> = vec![None; len];
+    let fill = |start: usize, chunk: &mut [Option<(f64, PartitionStats)>]| {
+        let mut current = plan.candidate(start);
+        let mut stats = current.stats(graph);
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            if off > 0 {
+                advance_candidate(
+                    graph,
+                    &mut current,
+                    &mut stats,
+                    plan.moves()[start + off - 1],
+                );
+            }
+            *slot = score(&current, &stats).map(|s| (s, stats));
+        }
+    };
+    if threads <= 1 {
+        fill(0, &mut results);
+    } else {
+        let chunk_size = len.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (ci, chunk) in results.chunks_mut(chunk_size).enumerate() {
+                let fill = &fill;
+                scope.spawn(move || fill(ci * chunk_size, chunk));
+            }
+        });
+    }
+    fold_results(results).map(|(i, stats, score)| SelectedPartition {
+        partitioning: plan.candidate(i),
+        stats,
+        score,
+    })
+}
+
+/// Pulls `v` from the surrogate back to the client, updating `stats` in
+/// place: node annotations switch columns and v's incident edges toggle
+/// their cut contribution.
+fn advance_candidate(
+    graph: &ExecutionGraph,
+    current: &mut Partitioning,
+    stats: &mut PartitionStats,
+    v: NodeId,
+) {
+    debug_assert!(!current.is_client(v), "move target already on client");
+    current.set_side(v, Side::Client);
+    let node = graph.node(v);
+    stats.offloaded_memory_bytes -= node.memory_bytes;
+    stats.client_memory_bytes += node.memory_bytes;
+    stats.offloaded_cpu_micros -= node.cpu_micros;
+    stats.client_cpu_micros += node.cpu_micros;
+    stats.offloaded_nodes -= 1;
+    for (nb, e) in graph.neighbors(v) {
+        if current.is_client(nb) {
+            // v–nb used to cross the cut; both ends are on the client now.
+            stats.cut.interactions -= e.interactions;
+            stats.cut.bytes -= e.bytes;
+        } else {
+            // v–nb stayed within the surrogate before; it crosses now.
+            stats.cut.interactions += e.interactions;
+            stats.cut.bytes += e.bytes;
+        }
+    }
 }
 
 /// The paper's memory-relief policy (§5.1): any acceptable partitioning must
@@ -153,6 +403,11 @@ impl MemoryPolicy {
     pub fn min_free_fraction(&self) -> f64 {
         self.min_free_fraction
     }
+
+    /// Heap bytes a candidate must offload to be feasible under `snapshot`.
+    fn required_bytes(&self, snapshot: ResourceSnapshot) -> u64 {
+        (snapshot.heap_capacity as f64 * self.min_free_fraction).ceil() as u64
+    }
 }
 
 impl PartitionPolicy for MemoryPolicy {
@@ -160,29 +415,17 @@ impl PartitionPolicy for MemoryPolicy {
         "memory"
     }
 
-    fn select(
+    fn score_candidate(
         &self,
         graph: &ExecutionGraph,
         snapshot: ResourceSnapshot,
-        candidates: &CandidateSequence,
-    ) -> Option<SelectedPartition> {
-        let required = (snapshot.heap_capacity as f64 * self.min_free_fraction).ceil() as u64;
-        let mut best: Option<SelectedPartition> = None;
-        for cand in candidates.iter() {
-            let stats = cand.stats(graph);
-            if stats.offloaded_memory_bytes < required {
-                continue;
-            }
-            let score = self.cost.cost(graph, cand, &stats);
-            if best.as_ref().is_none_or(|b| score < b.score) {
-                best = Some(SelectedPartition {
-                    partitioning: cand.clone(),
-                    stats,
-                    score,
-                });
-            }
+        candidate: &Partitioning,
+        stats: &PartitionStats,
+    ) -> Option<f64> {
+        if stats.offloaded_memory_bytes < self.required_bytes(snapshot) {
+            return None;
         }
-        best
+        Some(self.cost.cost(graph, candidate, stats))
     }
 }
 
@@ -240,28 +483,25 @@ impl PartitionPolicy for CpuPolicy {
         "cpu"
     }
 
-    fn select(
+    fn score_candidate(
+        &self,
+        _graph: &ExecutionGraph,
+        _snapshot: ResourceSnapshot,
+        _candidate: &Partitioning,
+        stats: &PartitionStats,
+    ) -> Option<f64> {
+        Some(self.predictor.predicted_seconds(stats))
+    }
+
+    /// Beneficial-offloading gate: refuse if the best prediction does not
+    /// beat local execution by the required margin.
+    fn admit(
         &self,
         graph: &ExecutionGraph,
         _snapshot: ResourceSnapshot,
-        candidates: &CandidateSequence,
-    ) -> Option<SelectedPartition> {
-        let baseline = self.predictor.unpartitioned_seconds(graph);
-        let mut best: Option<SelectedPartition> = None;
-        for cand in candidates.iter() {
-            let stats = cand.stats(graph);
-            let score = self.predictor.predicted_seconds(&stats);
-            if best.as_ref().is_none_or(|b| score < b.score) {
-                best = Some(SelectedPartition {
-                    partitioning: cand.clone(),
-                    stats,
-                    score,
-                });
-            }
-        }
-        // Beneficial-offloading gate: refuse if the best prediction does not
-        // beat local execution by the required margin.
-        best.filter(|b| b.score < baseline * (1.0 - self.margin))
+        best: &SelectedPartition,
+    ) -> bool {
+        best.score < self.predictor.unpartitioned_seconds(graph) * (1.0 - self.margin)
     }
 }
 
@@ -287,35 +527,46 @@ impl PartitionPolicy for CombinedPolicy {
         "combined"
     }
 
-    fn select(
+    fn score_candidate(
+        &self,
+        _graph: &ExecutionGraph,
+        snapshot: ResourceSnapshot,
+        _candidate: &Partitioning,
+        stats: &PartitionStats,
+    ) -> Option<f64> {
+        if stats.offloaded_memory_bytes < self.memory.required_bytes(snapshot) {
+            return None;
+        }
+        Some(self.cpu.predictor().predicted_seconds(stats))
+    }
+
+    fn select_with(
         &self,
         graph: &ExecutionGraph,
         snapshot: ResourceSnapshot,
         candidates: &CandidateSequence,
+        strategy: EvalStrategy,
     ) -> Option<SelectedPartition> {
-        let required =
-            (snapshot.heap_capacity as f64 * self.memory.min_free_fraction()).ceil() as u64;
-        let predictor = self.cpu.predictor();
-        let mut best: Option<SelectedPartition> = None;
-        for cand in candidates.iter() {
-            let stats = cand.stats(graph);
-            if stats.offloaded_memory_bytes < required {
-                continue;
-            }
-            let score = predictor.predicted_seconds(&stats);
-            if best.as_ref().is_none_or(|b| score < b.score) {
-                best = Some(SelectedPartition {
-                    partitioning: cand.clone(),
-                    stats,
-                    score,
-                });
-            }
-        }
-        if best.is_some() {
-            return best;
-        }
+        let score = |cand: &Partitioning, stats: &PartitionStats| {
+            self.score_candidate(graph, snapshot, cand, stats)
+        };
         // No memory-feasible candidate: fall back to a pure CPU decision.
-        self.cpu.select(graph, snapshot, candidates)
+        pick_from_sequence(graph, candidates, strategy, &score)
+            .or_else(|| self.cpu.select_with(graph, snapshot, candidates, strategy))
+    }
+
+    fn select_plan(
+        &self,
+        graph: &ExecutionGraph,
+        snapshot: ResourceSnapshot,
+        plan: &CandidatePlan,
+        strategy: EvalStrategy,
+    ) -> Option<SelectedPartition> {
+        let score = |cand: &Partitioning, stats: &PartitionStats| {
+            self.score_candidate(graph, snapshot, cand, stats)
+        };
+        pick_from_plan(graph, plan, strategy, &score)
+            .or_else(|| self.cpu.select_plan(graph, snapshot, plan, strategy))
     }
 }
 
@@ -323,7 +574,7 @@ impl PartitionPolicy for CombinedPolicy {
 mod tests {
     use super::*;
     use crate::graph::{EdgeInfo, NodeInfo, PinReason};
-    use crate::heuristic::candidate_partitionings;
+    use crate::heuristic::{candidate_partitionings, plan_candidates};
 
     /// A pinned UI class plus a chain of memory-bearing classes.
     fn memory_graph() -> ExecutionGraph {
@@ -413,8 +664,8 @@ mod tests {
         g.node_mut(ui).cpu_micros = 1_000_000; // 1 s
         g.node_mut(engine).cpu_micros = 60_000_000; // 60 s
         g.node_mut(math).cpu_micros = 40_000_000; // 40 s
-        // In the chatty variant, every edge is so interaction-heavy that
-        // any cut costs more round trips than offloading could ever save.
+                                                  // In the chatty variant, every edge is so interaction-heavy that
+                                                  // any cut costs more round trips than offloading could ever save.
         let (count, bytes) = if comm_heavy {
             (2_000_000, 400_000_000)
         } else {
@@ -436,7 +687,9 @@ mod tests {
         let candidates = candidate_partitionings(&g);
         let policy = CpuPolicy::default();
         let snapshot = ResourceSnapshot::new(8_000_000, 1_000_000);
-        let chosen = policy.select(&g, snapshot, &candidates).expect("beneficial");
+        let chosen = policy
+            .select(&g, snapshot, &candidates)
+            .expect("beneficial");
         let baseline = policy.predictor().unpartitioned_seconds(&g);
         assert!(chosen.score < baseline);
         // Both compute classes should leave the client.
@@ -507,6 +760,130 @@ mod tests {
         ];
         for p in &policies {
             assert!(!p.name().is_empty());
+        }
+    }
+
+    /// Every (policy, snapshot) pair used by the strategy-equivalence tests.
+    fn equivalence_cases() -> Vec<(ExecutionGraph, Box<dyn PartitionPolicy>, ResourceSnapshot)> {
+        let mut cases: Vec<(ExecutionGraph, Box<dyn PartitionPolicy>, ResourceSnapshot)> = vec![
+            (
+                memory_graph(),
+                Box::new(MemoryPolicy::new(0.20)),
+                ResourceSnapshot::new(6_000_000, 5_900_000),
+            ),
+            (
+                memory_graph(),
+                Box::new(MemoryPolicy::new(1.0)),
+                ResourceSnapshot::new(1_000_000_000, 900_000_000),
+            ),
+            (
+                cpu_graph(false),
+                Box::new(CpuPolicy::default()),
+                ResourceSnapshot::new(8_000_000, 1_000_000),
+            ),
+            (
+                cpu_graph(true),
+                Box::new(CpuPolicy::default()),
+                ResourceSnapshot::new(8_000_000, 1_000_000),
+            ),
+            (
+                cpu_graph(false),
+                Box::new(CombinedPolicy::new(
+                    MemoryPolicy::new(0.5),
+                    CpuPolicy::default(),
+                )),
+                ResourceSnapshot::new(8_000_000, 7_000_000),
+            ),
+        ];
+        let mut busy = memory_graph();
+        for id in busy.node_ids().collect::<Vec<_>>() {
+            busy.node_mut(id).cpu_micros = 10_000_000;
+        }
+        cases.push((
+            busy,
+            Box::new(CombinedPolicy::new(
+                MemoryPolicy::new(0.20),
+                CpuPolicy::default(),
+            )),
+            ResourceSnapshot::new(6_000_000, 5_900_000),
+        ));
+        cases
+    }
+
+    #[test]
+    fn parallel_selection_is_bit_identical_to_sequential() {
+        for (g, policy, snapshot) in equivalence_cases() {
+            let candidates = candidate_partitionings(&g);
+            let sequential =
+                policy.select_with(&g, snapshot, &candidates, EvalStrategy::Sequential);
+            for threads in [1, 2, 3, 8] {
+                let parallel = policy.select_with(
+                    &g,
+                    snapshot,
+                    &candidates,
+                    EvalStrategy::Parallel { threads },
+                );
+                assert_eq!(
+                    sequential,
+                    parallel,
+                    "policy {}, {threads} threads",
+                    policy.name()
+                );
+                if let (Some(s), Some(p)) = (&sequential, &parallel) {
+                    assert_eq!(s.score.to_bits(), p.score.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_selection_matches_sequence_selection() {
+        for (g, policy, snapshot) in equivalence_cases() {
+            let plan = plan_candidates(&g);
+            let candidates = plan.materialize();
+            let classic = policy.select(&g, snapshot, &candidates);
+            for strategy in [
+                EvalStrategy::Sequential,
+                EvalStrategy::Parallel { threads: 2 },
+                EvalStrategy::Parallel { threads: 0 },
+            ] {
+                let planned = policy.select_plan(&g, snapshot, &plan, strategy);
+                assert_eq!(classic, planned, "policy {}, {strategy:?}", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn plan_sweep_stats_match_from_scratch_stats() {
+        let g = memory_graph();
+        let plan = plan_candidates(&g);
+        let mut current = plan.candidate(0);
+        let mut stats = current.stats(&g);
+        for (i, &v) in plan.moves().iter().enumerate() {
+            advance_candidate(&g, &mut current, &mut stats, v);
+            assert_eq!(current, plan.candidate(i + 1));
+            assert_eq!(stats, current.stats(&g), "incremental stats after move {i}");
+        }
+    }
+
+    #[test]
+    fn eval_strategy_defaults_and_resolves() {
+        assert_eq!(EvalStrategy::default(), EvalStrategy::Sequential);
+        assert_eq!(EvalStrategy::Sequential.resolved_threads(), 1);
+        assert_eq!(EvalStrategy::Parallel { threads: 4 }.resolved_threads(), 4);
+        assert!(EvalStrategy::Parallel { threads: 0 }.resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn eval_strategy_serde_round_trips() {
+        for strategy in [
+            EvalStrategy::Sequential,
+            EvalStrategy::Parallel { threads: 0 },
+            EvalStrategy::Parallel { threads: 8 },
+        ] {
+            let json = serde_json::to_string(&strategy).unwrap();
+            let back: EvalStrategy = serde_json::from_str(&json).unwrap();
+            assert_eq!(strategy, back);
         }
     }
 }

@@ -1,0 +1,189 @@
+//! Determinism properties for parallel candidate evaluation.
+//!
+//! The platform's determinism contract: the winning partitioning is a pure
+//! function of (graph, snapshot, policy) — never of the evaluation
+//! strategy, thread count, or scheduling. These properties pin the
+//! contract down by comparing winners bit-for-bit across thread counts,
+//! for every policy family, on both the materialized-sequence and the
+//! plan-sweep paths. A permutation-invariance property for the exact
+//! Stoer-Wagner cut rides along: relabeling nodes must not change the
+//! minimum cut weight.
+
+use std::collections::HashSet;
+
+use aide_graph::{
+    candidate_partitionings, plan_candidates, stoer_wagner, CombinedPolicy, CommParams, CpuPolicy,
+    EdgeInfo, EvalStrategy, ExecutionGraph, MemoryPolicy, NodeId, NodeInfo, PartitionPolicy,
+    PinReason, PredictedTime, ResourceSnapshot,
+};
+use proptest::prelude::*;
+
+/// Strategy: a connected graph with random memory/CPU annotations and a
+/// random subset of pinned nodes.
+fn arb_annotated_graph(max_nodes: usize) -> impl Strategy<Value = ExecutionGraph> {
+    (2..=max_nodes)
+        .prop_flat_map(|n| {
+            let pins = proptest::collection::vec(any::<bool>(), n);
+            let mems = proptest::collection::vec(0u64..2_000_000, n);
+            let cpus = proptest::collection::vec(0u64..20_000_000, n);
+            let chain = proptest::collection::vec((1u64..500, 1u64..100_000), n - 1);
+            let extras =
+                proptest::collection::vec((0..n, 0..n, 1u64..500, 1u64..100_000), 0..n * 2);
+            (Just(n), pins, mems, cpus, chain, extras)
+        })
+        .prop_map(|(n, pins, mems, cpus, chain, extras)| {
+            let mut g = ExecutionGraph::new();
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| {
+                    // Keep node 0 unpinned so at least one candidate exists.
+                    if pins[i] && i > 0 {
+                        g.add_node(NodeInfo::pinned(format!("C{i}"), PinReason::NativeMethods))
+                    } else {
+                        g.add_node(NodeInfo::new(format!("C{i}")))
+                    }
+                })
+                .collect();
+            for (i, &id) in ids.iter().enumerate() {
+                g.node_mut(id).memory_bytes = mems[i];
+                g.node_mut(id).cpu_micros = cpus[i];
+            }
+            for (i, &(inter, bytes)) in chain.iter().enumerate() {
+                g.record_interaction(ids[i], ids[i + 1], EdgeInfo::new(inter, bytes));
+            }
+            for &(a, b, inter, bytes) in &extras {
+                if a != b {
+                    g.record_interaction(ids[a], ids[b], EdgeInfo::new(inter, bytes));
+                }
+            }
+            g
+        })
+}
+
+/// Every policy family the platform can run.
+fn policies() -> Vec<(&'static str, Box<dyn PartitionPolicy>)> {
+    let predictor = PredictedTime::new(CommParams::WAVELAN, 3.5);
+    vec![
+        (
+            "memory",
+            Box::new(MemoryPolicy::new(0.2)) as Box<dyn PartitionPolicy>,
+        ),
+        ("cpu", Box::new(CpuPolicy::new(predictor))),
+        (
+            "combined",
+            Box::new(CombinedPolicy::new(
+                MemoryPolicy::new(0.2),
+                CpuPolicy::new(predictor),
+            )),
+        ),
+    ]
+}
+
+const STRATEGIES: &[EvalStrategy] = &[
+    EvalStrategy::Sequential,
+    EvalStrategy::Parallel { threads: 1 },
+    EvalStrategy::Parallel { threads: 2 },
+    EvalStrategy::Parallel { threads: 8 },
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The materialized-sequence winner is bit-identical across thread
+    /// counts 1, 2, and 8, for every policy family.
+    #[test]
+    fn sequence_winner_is_invariant_under_thread_count(g in arb_annotated_graph(12)) {
+        let candidates = candidate_partitionings(&g);
+        let snapshot = ResourceSnapshot::new(4_000_000, 3_800_000);
+        for (name, policy) in policies() {
+            let baseline = policy.select_with(&g, snapshot, &candidates, EvalStrategy::Sequential);
+            for &strategy in STRATEGIES {
+                let got = policy.select_with(&g, snapshot, &candidates, strategy);
+                prop_assert_eq!(&got, &baseline,
+                    "policy {} diverged under {:?}", name, strategy);
+                if let (Some(a), Some(b)) = (&got, &baseline) {
+                    prop_assert_eq!(a.score.to_bits(), b.score.to_bits(),
+                        "policy {} score bits diverged under {:?}", name, strategy);
+                }
+            }
+        }
+    }
+
+    /// The plan-sweep winner (incremental stats, chunked reconstruction) is
+    /// bit-identical across thread counts too, and matches the
+    /// materialized-sequence winner.
+    #[test]
+    fn plan_winner_is_invariant_under_thread_count(g in arb_annotated_graph(12)) {
+        let plan = plan_candidates(&g);
+        let candidates = candidate_partitionings(&g);
+        let snapshot = ResourceSnapshot::new(4_000_000, 3_800_000);
+        for (name, policy) in policies() {
+            let baseline = policy.select_with(&g, snapshot, &candidates, EvalStrategy::Sequential);
+            for &strategy in STRATEGIES {
+                let got = policy.select_plan(&g, snapshot, &plan, strategy);
+                prop_assert_eq!(&got, &baseline,
+                    "policy {} plan sweep diverged under {:?}", name, strategy);
+                if let (Some(a), Some(b)) = (&got, &baseline) {
+                    prop_assert_eq!(a.score.to_bits(), b.score.to_bits(),
+                        "policy {} plan score bits diverged under {:?}", name, strategy);
+                }
+            }
+        }
+    }
+
+    /// `Parallel { threads: 0 }` (all available cores) agrees with the
+    /// sequential winner as well — whatever parallelism the host offers.
+    #[test]
+    fn all_cores_strategy_matches_sequential(g in arb_annotated_graph(10)) {
+        let candidates = candidate_partitionings(&g);
+        let snapshot = ResourceSnapshot::new(4_000_000, 3_800_000);
+        let policy = MemoryPolicy::new(0.2);
+        let seq = policy.select_with(&g, snapshot, &candidates, EvalStrategy::Sequential);
+        let par = policy.select_with(&g, snapshot, &candidates,
+            EvalStrategy::Parallel { threads: 0 });
+        prop_assert_eq!(&par, &seq);
+    }
+
+    /// Relabeling nodes (any permutation) leaves the exact minimum cut
+    /// weight unchanged.
+    #[test]
+    fn stoer_wagner_is_permutation_invariant(
+        spec in (3usize..10).prop_flat_map(|n| {
+            let chain = proptest::collection::vec(1u64..1_000, n - 1);
+            let extras = proptest::collection::vec((0..n, 0..n, 1u64..1_000), 0..n * 2);
+            let perm = Just((0..n).collect::<Vec<usize>>()).prop_shuffle();
+            (Just(n), chain, extras, perm)
+        }),
+    ) {
+        let (n, chain, extras, perm) = spec;
+        // Collect the edge multiset once, then build the graph twice: with
+        // identity labels and with permuted labels.
+        let mut edges: Vec<(usize, usize, u64)> = chain
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i, i + 1, w))
+            .collect();
+        edges.extend(extras.iter().filter(|&&(a, b, _)| a != b).copied());
+
+        let build = |map: &dyn Fn(usize) -> usize| {
+            let mut g = ExecutionGraph::new();
+            let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(NodeInfo::new(format!("C{i}")))).collect();
+            for &(a, b, w) in &edges {
+                g.record_interaction(ids[map(a)], ids[map(b)], EdgeInfo::new(0, w));
+            }
+            g
+        };
+        let identity = build(&|i| i);
+        let permuted = build(&|i| perm[i]);
+
+        let cut_a = stoer_wagner(&identity).unwrap();
+        let cut_b = stoer_wagner(&permuted).unwrap();
+        prop_assert_eq!(cut_a.weight, cut_b.weight,
+            "permutation changed the minimum cut weight");
+
+        // And each reported weight is consistent with its own partition.
+        for (g, cut) in [(&identity, &cut_a), (&permuted, &cut_b)] {
+            let side: HashSet<NodeId> = cut.partition.iter().copied().collect();
+            prop_assert_eq!(cut.weight, g.cut_weight(|v| side.contains(&v)));
+        }
+    }
+}

@@ -4,9 +4,9 @@
 use std::collections::HashSet;
 
 use aide_graph::{
-    candidate_partitionings, density_candidates, stoer_wagner, CpuPolicy, EdgeInfo,
-    ExecutionGraph, MemoryPolicy, NodeId, NodeInfo, PartitionPolicy, Partitioning, PinReason,
-    ResourceSnapshot, Side,
+    candidate_partitionings, density_candidates, stoer_wagner, CpuPolicy, EdgeInfo, ExecutionGraph,
+    MemoryPolicy, NodeId, NodeInfo, PartitionPolicy, Partitioning, PinReason, ResourceSnapshot,
+    Side,
 };
 use proptest::prelude::*;
 

@@ -120,6 +120,17 @@ pub mod names {
     /// Wall-clock nanoseconds spent inside monitor hooks.
     pub const MONITOR_HOOK_NANOS: &str = "aide_monitor_hook_nanos_total";
 
+    /// Partitioning epochs the incremental partitioner evaluated.
+    pub const PARTITION_EPOCHS: &str = "aide_partition_epochs_total";
+    /// Partitioning epochs skipped by the dirty-region shortcut (churn
+    /// since the last evaluation stayed below the threshold).
+    pub const PARTITION_EPOCHS_SKIPPED: &str = "aide_partition_epochs_skipped_total";
+    /// Graph deltas applied to the incremental execution graph.
+    pub const GRAPH_DELTAS_APPLIED: &str = "aide_graph_deltas_applied_total";
+    /// Wall-clock duration of candidate evaluation per epoch, in
+    /// microseconds.
+    pub const PARTITION_EVAL_MICROS: &str = "aide_partition_eval_micros";
+
     /// Offloads (migrations to a surrogate) completed.
     pub const OFFLOADS: &str = "aide_offloads_total";
     /// Bytes shipped by completed offloads.

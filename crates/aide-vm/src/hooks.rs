@@ -230,7 +230,8 @@ impl RuntimeHooks for CountingHooks {
     }
 
     fn on_alloc(&self, _: ClassId, _: ObjectId, _: u64) {
-        self.allocs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.allocs
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     fn on_free(&self, _: ClassId, objects: u64, _: u64) {
@@ -244,11 +245,13 @@ impl RuntimeHooks for CountingHooks {
     }
 
     fn on_native(&self, _: ClassId, _: NativeKind, _: u32, _: u64, _: bool) {
-        self.natives.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.natives
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     fn on_static_access(&self, _: ClassId, _: ClassId, _: u64, _: bool) {
-        self.statics.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.statics
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     fn on_gc(&self, _: &GcReport) {

@@ -726,7 +726,8 @@ impl Machine {
     }
 
     fn read_reg_obj(&self, frame_id: u64, reg: Reg) -> VmResult<ObjectId> {
-        self.read_reg(frame_id, reg)?.ok_or(VmError::NullRegister(reg))
+        self.read_reg(frame_id, reg)?
+            .ok_or(VmError::NullRegister(reg))
     }
 
     fn write_reg(&self, frame_id: u64, reg: Reg, value: Option<ObjectId>) -> VmResult<()> {
@@ -832,7 +833,13 @@ impl Machine {
                             bytes,
                             false,
                         );
-                        self.call_local(Some(target), *callee_class, *method, &arg_objs, depth + 1)?;
+                        self.call_local(
+                            Some(target),
+                            *callee_class,
+                            *method,
+                            &arg_objs,
+                            depth + 1,
+                        )?;
                     } else {
                         self.record_interaction(
                             class,
@@ -944,10 +951,7 @@ impl Machine {
                             8,
                             true,
                         );
-                        let remote = self
-                            .remote
-                            .get()
-                            .ok_or(VmError::DanglingReference(me))?;
+                        let remote = self.remote.get().ok_or(VmError::DanglingReference(me))?;
                         remote.get_slot(me, *slot)?
                     };
                     self.write_reg(frame_id, *dst, value)?;
@@ -970,10 +974,7 @@ impl Machine {
                             8,
                             true,
                         );
-                        let remote = self
-                            .remote
-                            .get()
-                            .ok_or(VmError::DanglingReference(me))?;
+                        let remote = self.remote.get().ok_or(VmError::DanglingReference(me))?;
                         remote.put_slot(me, *slot, value)?;
                     }
                 }
@@ -1055,8 +1056,7 @@ impl Machine {
                     } else {
                         {
                             let mut vm = self.vm.lock();
-                            let cost =
-                                vm.config.cost.native_base_micros + *work_micros as f64;
+                            let cost = vm.config.cost.native_base_micros + *work_micros as f64;
                             vm.charge_micros(cost);
                         }
                         self.hooks
@@ -1120,9 +1120,11 @@ fn slot_ref(rec: &ObjectRecord, id: ObjectId, slot: u16) -> VmResult<&Option<Obj
 
 fn slot_mut(rec: &mut ObjectRecord, id: ObjectId, slot: u16) -> VmResult<&mut Option<ObjectId>> {
     let slots = rec.slots.len() as u16;
-    rec.slots.get_mut(slot as usize).ok_or(VmError::SlotOutOfRange {
-        object: id,
-        slot,
-        slots,
-    })
+    rec.slots
+        .get_mut(slot as usize)
+        .ok_or(VmError::SlotOutOfRange {
+            object: id,
+            slot,
+            slots,
+        })
 }

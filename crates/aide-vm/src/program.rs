@@ -293,7 +293,9 @@ impl Program {
     ///
     /// Returns [`VmError::UnknownClass`] for an out-of-range id.
     pub fn class(&self, id: ClassId) -> VmResult<&ClassDef> {
-        self.classes.get(id.index()).ok_or(VmError::UnknownClass(id))
+        self.classes
+            .get(id.index())
+            .ok_or(VmError::UnknownClass(id))
     }
 
     /// Looks up a method definition.

@@ -52,7 +52,10 @@ fn work_advances_clock_and_attributes_to_class() {
     let (summary, log) = run_with_log(
         |b| {
             let main = b.add_class("Main");
-            let m = b.add_method(main, MethodDef::new("main", vec![Op::Work { micros: 2_000 }]));
+            let m = b.add_method(
+                main,
+                MethodDef::new("main", vec![Op::Work { micros: 2_000 }]),
+            );
             (main, m)
         },
         VmConfig::client(1 << 20),
@@ -74,7 +77,10 @@ fn surrogate_speed_factor_divides_cpu_time() {
     let (summary, _) = run_with_log(
         |b| {
             let main = b.add_class("Main");
-            let m = b.add_method(main, MethodDef::new("main", vec![Op::Work { micros: 4_000 }]));
+            let m = b.add_method(
+                main,
+                MethodDef::new("main", vec![Op::Work { micros: 4_000 }]),
+            );
             (main, m)
         },
         fast,
@@ -237,7 +243,10 @@ fn slot_wiring_builds_reachable_object_graph() {
                             src: Reg(1),
                         },
                         // self.slots[0] = A
-                        Op::PutSlot { slot: 0, src: Reg(0) },
+                        Op::PutSlot {
+                            slot: 0,
+                            src: Reg(0),
+                        },
                         Op::Clear { reg: Reg(0) },
                         Op::Clear { reg: Reg(1) },
                         // Force heavy allocation so the GC runs; A and B must
@@ -322,10 +331,16 @@ fn out_of_memory_is_reported_when_all_objects_are_live() {
                         slot: 0,
                         src: Reg(0),
                     },
-                    Op::PutSlot { slot: 0, src: Reg(1) },
+                    Op::PutSlot {
+                        slot: 0,
+                        src: Reg(1),
+                    },
                     Op::Clear { reg: Reg(0) },
                     // Move the new head into r0 for the next iteration.
-                    Op::GetSlot { slot: 0, dst: Reg(0) },
+                    Op::GetSlot {
+                        slot: 0,
+                        dst: Reg(0),
+                    },
                 ],
             }],
         ),
@@ -509,7 +524,13 @@ fn null_register_and_bad_slot_errors() {
     let main = b.add_class("Main");
     let m = b.add_method(
         main,
-        MethodDef::new("main", vec![Op::GetSlot { slot: 99, dst: Reg(0) }]),
+        MethodDef::new(
+            "main",
+            vec![Op::GetSlot {
+                slot: 99,
+                dst: Reg(0),
+            }],
+        ),
     );
     let program = Arc::new(b.build(main, m, 64, 2).unwrap());
     let machine = Machine::new(program, VmConfig::client(1 << 20));
@@ -685,7 +706,11 @@ fn gc_reports_reach_hooks_with_free_fractions() {
         },
     );
     let fracs = log.gc_free_fracs.lock();
-    assert!(fracs.len() >= 10, "periodic trigger fired {} times", fracs.len());
+    assert!(
+        fracs.len() >= 10,
+        "periodic trigger fired {} times",
+        fracs.len()
+    );
     assert!(fracs.iter().all(|f| (0.0..=1.0).contains(f)));
 }
 

@@ -181,10 +181,7 @@ fn main() {
         .expect("recording succeeds");
     let plain = Emulator::new(cfg(false)).replay(&trace);
     let enhanced = Emulator::new(cfg(true)).replay(&trace);
-    println!(
-        "client only:          {:.1}s",
-        plain.baseline_seconds
-    );
+    println!("client only:          {:.1}s", plain.baseline_seconds);
     println!(
         "offloaded:            {:.1}s ({:+.1}%), {} math natives bounced home",
         plain.total_seconds(),

@@ -66,14 +66,20 @@ fn photo_viewer(images: u32, image_bytes: u32) -> Arc<Program> {
                     ref_slots: 0,
                     dst: Reg(0),
                 },
-                Op::PutSlot { slot: 0, src: Reg(0) },
+                Op::PutSlot {
+                    slot: 0,
+                    src: Reg(0),
+                },
                 Op::New {
                     class: gallery,
                     scalar_bytes: 500,
                     ref_slots: images as u16,
                     dst: Reg(1),
                 },
-                Op::PutSlot { slot: 1, src: Reg(1) },
+                Op::PutSlot {
+                    slot: 1,
+                    src: Reg(1),
+                },
                 Op::Call {
                     obj: Reg(1),
                     class: gallery,
@@ -86,7 +92,10 @@ fn photo_viewer(images: u32, image_bytes: u32) -> Arc<Program> {
                 Op::Repeat {
                     n: 50,
                     body: vec![
-                        Op::GetSlot { slot: 0, dst: Reg(2) },
+                        Op::GetSlot {
+                            slot: 0,
+                            dst: Reg(2),
+                        },
                         Op::GetSlotOf {
                             obj: Reg(1),
                             slot: 0,

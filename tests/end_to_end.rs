@@ -31,7 +31,13 @@ fn javanote_has_the_table2_class_structure() {
     let app = javanote(TEST_SCALE);
     assert_eq!(app.program.class_count(), 138);
     // The editor widget layer is natively implemented (client-pinned).
-    for name in ["Editor", "MenuSystem", "StatusBar", "ScrollView", "FontMetrics"] {
+    for name in [
+        "Editor",
+        "MenuSystem",
+        "StatusBar",
+        "ScrollView",
+        "FontMetrics",
+    ] {
         let id = app.program.class_by_name(name).expect(name);
         assert!(app.program.class(id).unwrap().native_impl, "{name} pinned");
     }
@@ -58,7 +64,11 @@ fn scaled_javanote_oom_and_rescue_on_the_prototype() {
         report.outcome
     );
 
-    let report = Platform::new(javanote(TEST_SCALE).program, PlatformConfig::prototype(heap)).run();
+    let report = Platform::new(
+        javanote(TEST_SCALE).program,
+        PlatformConfig::prototype(heap),
+    )
+    .run();
     assert!(report.outcome.is_ok(), "{:?}", report.outcome);
     assert!(report.offloaded());
     let event = &report.offloads[0];

@@ -7,8 +7,9 @@ use std::sync::Arc;
 
 use aide::apps::{biomer, javanote, Scale};
 use aide::core::{Monitor, PolicySelector, TriggerConfig, WorkloadProfile};
-use aide::emu::{record_program, MultiSurrogateConfig, MultiSurrogateEmulator, SurrogateSpec,
-    TraceEvent};
+use aide::emu::{
+    record_program, MultiSurrogateConfig, MultiSurrogateEmulator, SurrogateSpec, TraceEvent,
+};
 use aide::graph::{CommParams, ResourceSnapshot};
 use aide::vm::{Interaction, InteractionKind, RuntimeHooks};
 
