@@ -1,0 +1,268 @@
+//! RPC transport throughput: what the unified transport layer's two
+//! optimisations buy. The same workload — several concurrent sessions,
+//! each completing a fixed count of RPC round trips over real localhost
+//! TCP — runs four ways: frame-buffer pooling on or off, crossed with
+//! session multiplexing (all sessions share one connection) versus a
+//! connection per session.
+//!
+//! The quantity of record is *allocated bytes per operation*, read from
+//! the [`FramePool`]'s release-time accounting (logical, not wall-clock,
+//! so it is stable in CI). The binary asserts the headline claim —
+//! pooled+multiplexed allocates fewer bytes per op than the
+//! unpooled connection-per-session baseline — and writes every point to
+//! `BENCH_rpc.json` (JSON lines) for CI to archive.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aide_bench::{header, row, s};
+use aide_graph::CommParams;
+use aide_rpc::{
+    Acceptor, Dispatcher, Endpoint, EndpointConfig, FramePool, NetClock, Reply, Request,
+    TcpMuxListener, TcpTransport, Transport,
+};
+use aide_vm::ObjectId;
+
+/// Concurrent sessions per point.
+const SESSIONS: usize = 4;
+
+/// Measured calls per session.
+const CALLS: u64 = 150;
+
+/// Unmeasured calls per session that warm the frame-buffer shelf.
+const WARMUP: u64 = 25;
+
+struct Sink;
+impl Dispatcher for Sink {
+    fn dispatch(&self, _request: Request) -> Result<Reply, String> {
+        Ok(Reply::Unit)
+    }
+}
+
+/// One real TCP connection: the dialing transport and the accepted
+/// multiplexed carrier.
+struct Carrier {
+    client: Box<dyn Transport>,
+    server: Box<dyn Acceptor>,
+}
+
+fn tcp_carrier() -> Carrier {
+    let listener = TcpMuxListener::bind(std::net::SocketAddr::from(([127, 0, 0, 1], 0)))
+        .expect("binding a localhost listener");
+    let addr = listener.local_addr();
+    let accepted = std::thread::spawn(move || listener.accept());
+    let client =
+        TcpTransport::connect(addr, Duration::from_secs(2)).expect("connecting the client");
+    let server = accepted
+        .join()
+        .expect("accept thread panicked")
+        .expect("accepting the connection");
+    Carrier {
+        client: Box::new(client),
+        server: Box::new(server),
+    }
+}
+
+struct Point {
+    label: String,
+    pooled: bool,
+    mux: bool,
+    ops: u64,
+    wall_seconds: f64,
+    ops_per_sec: f64,
+    allocated_bytes: u64,
+    recycled_bytes: u64,
+    bytes_per_op: f64,
+}
+
+fn workload() -> Request {
+    Request::FieldAccess {
+        target: ObjectId::surrogate(1),
+        bytes: 64,
+        write: false,
+    }
+}
+
+/// Runs `SESSIONS` concurrent sessions of `CALLS` round trips each over
+/// real TCP and returns the cost axes for one (pooled, mux) cell.
+fn run_point(label: &str, pooled: bool, mux: bool) -> Point {
+    let pool = FramePool::global();
+    pool.set_pooling(pooled);
+
+    let carriers: Vec<Carrier> = if mux {
+        vec![tcp_carrier()]
+    } else {
+        (0..SESSIONS).map(|_| tcp_carrier()).collect()
+    };
+    let mut endpoints = Vec::new();
+    let clock = Arc::new(NetClock::new());
+    let config = EndpointConfig {
+        workers: 2,
+        call_timeout: Duration::from_secs(10),
+        drain_timeout: Duration::from_millis(100),
+        ..EndpointConfig::default()
+    };
+    for i in 0..SESSIONS {
+        let carrier = if mux { &carriers[0] } else { &carriers[i] };
+        let cs = carrier.client.open_session().expect("opening a session");
+        let ss = carrier.server.accept().expect("accepting a session");
+        let client = Endpoint::start(
+            cs,
+            CommParams::WAVELAN,
+            clock.clone(),
+            Arc::new(Sink),
+            config,
+        );
+        let server = Endpoint::start(
+            ss,
+            CommParams::WAVELAN,
+            clock.clone(),
+            Arc::new(Sink),
+            config,
+        );
+        endpoints.push((client, server));
+    }
+
+    // Warm the shelf (and the sockets) outside the measured window.
+    for (client, _) in &endpoints {
+        for i in 0..WARMUP {
+            client
+                .call(workload())
+                .unwrap_or_else(|e| panic!("{label}: warmup call {i} failed: {e:?}"));
+        }
+    }
+
+    let alloc_before = pool.allocated_bytes();
+    let recycled_before = pool.recycled_bytes();
+    let started = Instant::now();
+    let threads: Vec<_> = endpoints
+        .iter()
+        .map(|(client, _)| {
+            let client = client.clone();
+            let label = label.to_string();
+            std::thread::spawn(move || {
+                for i in 0..CALLS {
+                    client
+                        .call(workload())
+                        .unwrap_or_else(|e| panic!("{label}: call {i} failed: {e:?}"));
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("session thread panicked");
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let allocated = pool.allocated_bytes() - alloc_before;
+    let recycled = pool.recycled_bytes() - recycled_before;
+
+    for (client, server) in &endpoints {
+        client.shutdown();
+        server.shutdown();
+    }
+    for (client, server) in endpoints {
+        client.join();
+        server.join();
+    }
+
+    let ops = CALLS * SESSIONS as u64;
+    Point {
+        label: label.to_string(),
+        pooled,
+        mux,
+        ops,
+        wall_seconds: wall,
+        ops_per_sec: ops as f64 / wall,
+        allocated_bytes: allocated,
+        recycled_bytes: recycled,
+        bytes_per_op: allocated as f64 / ops as f64,
+    }
+}
+
+fn main() {
+    header(
+        "rpc transport throughput: frame pooling x session multiplexing",
+        "unified transport layer; not a paper figure — infrastructure cost accounting",
+    );
+
+    let points = vec![
+        run_point("pooled + mux", true, true),
+        run_point("pooled + conn-per-session", true, false),
+        run_point("unpooled + mux", false, true),
+        run_point("unpooled + conn-per-session", false, false),
+    ];
+    // Leave the process-wide pool the way everyone else expects it.
+    FramePool::global().set_pooling(true);
+
+    for p in &points {
+        row(
+            &p.label,
+            format!(
+                "{} ops/s, {} B allocated/op ({} allocated, {} recycled over {} ops)",
+                s(p.ops_per_sec),
+                s(p.bytes_per_op),
+                p.allocated_bytes,
+                p.recycled_bytes,
+                p.ops,
+            ),
+        );
+    }
+
+    let best = &points[0]; // pooled + mux
+    let baseline = &points[3]; // unpooled + conn-per-session
+    row(
+        "headline",
+        format!(
+            "pooled+mux {} B/op vs unpooled conn-per-session {} B/op",
+            s(best.bytes_per_op),
+            s(baseline.bytes_per_op),
+        ),
+    );
+
+    let mut artifact = serde_json::json!({
+        "kind": "summary",
+        "experiment": "rpc_throughput",
+        "sessions": SESSIONS,
+        "calls_per_session": CALLS,
+        "warmup_per_session": WARMUP,
+        "pooled_mux_bytes_per_op": best.bytes_per_op,
+        "unpooled_conn_bytes_per_op": baseline.bytes_per_op,
+    })
+    .to_string();
+    artifact.push('\n');
+    for p in &points {
+        artifact.push_str(
+            &serde_json::json!({
+                "kind": "point",
+                "label": p.label,
+                "pooled": p.pooled,
+                "mux": p.mux,
+                "ops": p.ops,
+                "wall_seconds": p.wall_seconds,
+                "ops_per_sec": p.ops_per_sec,
+                "allocated_bytes": p.allocated_bytes,
+                "recycled_bytes": p.recycled_bytes,
+                "bytes_per_op": p.bytes_per_op,
+            })
+            .to_string(),
+        );
+        artifact.push('\n');
+    }
+    let path = "BENCH_rpc.json";
+    match std::fs::write(path, artifact) {
+        Ok(()) => row("artifact", path),
+        Err(e) => row("artifact", format!("write failed: {e}")),
+    }
+
+    // The acceptance gate: pooling plus multiplexing must beat the naive
+    // baseline on allocation volume. CI runs this binary and relies on a
+    // non-zero exit to catch a regression.
+    assert!(
+        best.bytes_per_op < baseline.bytes_per_op,
+        "pooled+mux allocated {} B/op, expected less than unpooled \
+         conn-per-session at {} B/op",
+        best.bytes_per_op,
+        baseline.bytes_per_op,
+    );
+    row("gate", "pooled+mux allocates fewer bytes/op: ok");
+}

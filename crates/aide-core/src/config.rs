@@ -53,13 +53,19 @@ impl PolicyKind {
     }
 }
 
-/// Which carrier the prototype's RPC link uses.
+/// Which carrier the prototype's RPC link uses. All three are reached
+/// through the same `aide_rpc::Transport` seam; platform code never sees
+/// the difference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TransportKind {
     /// In-process channels (deterministic, no I/O) — the default.
     InProcess,
-    /// A real localhost TCP socket with length-prefixed frames.
+    /// A real localhost TCP socket carrying multiplexed sessions.
     Tcp,
+    /// In-process channels that additionally charge emulated link time
+    /// per frame at the configured [`CommParams`](aide_graph::CommParams)
+    /// rates, for deterministic emulator runs.
+    Emulated,
 }
 
 /// When the platform re-evaluates partitioning.

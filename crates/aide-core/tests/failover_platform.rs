@@ -15,7 +15,7 @@ use aide_core::{
 };
 use aide_graph::CommParams;
 use aide_rpc::{
-    Dispatcher, Endpoint, EndpointConfig, Link, Reply, Request, RetryPolicy, Transport,
+    Dispatcher, Endpoint, EndpointConfig, Link, Reply, Request, RetryPolicy, Session as RpcSession,
 };
 use aide_vm::{GcConfig, Machine, MethodDef, MethodId, Op, Program, ProgramBuilder, Reg, VmConfig};
 
@@ -172,7 +172,7 @@ impl Dispatcher for KillAfterGcRelease {
 /// hands out, plus the surrogate-side machinery kept alive by the test.
 struct Session {
     name: String,
-    client_transport: Transport,
+    client_transport: RpcSession,
     params: CommParams,
 }
 

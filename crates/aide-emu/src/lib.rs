@@ -41,6 +41,7 @@
 
 mod emulator;
 mod multi;
+mod netlink;
 mod record;
 mod sweep;
 mod trace;
@@ -53,6 +54,7 @@ pub use multi::{
     Handoff, HandoffStrategy, MultiReport, MultiSurrogateConfig, MultiSurrogateEmulator,
     SurrogateSpec, SurrogateUse,
 };
+pub use netlink::EmuNet;
 pub use record::{record_program, Recorder};
 pub use sweep::{best_point, sweep_memory_policies, PolicyGrid, PolicyParams, SweepPoint};
 pub use trace::{ClassMeta, Trace, TraceEvent};

@@ -1,0 +1,142 @@
+//! The emulator's network backend over the unified transport seam.
+//!
+//! [`EmuNet`] wraps `aide_rpc`'s emulated backend
+//! ([`aide_rpc::virtual_transport`]): sessions opened through it are
+//! ordinary [`Session`]s — the same abstraction the in-memory and TCP
+//! backends produce, usable with endpoints, retry, and chaos wrapping —
+//! but every frame sent charges transmission time at the configured
+//! [`CommParams`] rates (plus half a null RTT) to a *virtual* link clock
+//! instead of consuming wall time. This is how emulator runs account for
+//! network cost deterministically: a megabyte "takes" its WaveLAN seconds
+//! on the clock while the replay itself runs at memory speed.
+
+use std::sync::Arc;
+
+use aide_graph::CommParams;
+use aide_rpc::{
+    virtual_transport, Acceptor, ChannelAcceptor, ChannelTransport, NetClock, Session, Transport,
+};
+
+/// An emulated network: a virtual-time transport/acceptor pair plus the
+/// link clock its sessions charge.
+#[derive(Debug)]
+pub struct EmuNet {
+    transport: ChannelTransport,
+    acceptor: ChannelAcceptor,
+    clock: Arc<NetClock>,
+    params: CommParams,
+}
+
+impl EmuNet {
+    /// Creates an emulated network charging `params` rates per frame.
+    pub fn new(params: CommParams) -> Self {
+        let (transport, acceptor, clock) = virtual_transport(params);
+        EmuNet {
+            transport,
+            acceptor,
+            clock,
+            params,
+        }
+    }
+
+    /// Opens one connected session pair `(initiator_end, acceptor_end)`.
+    /// Both ends charge the shared link clock when they send.
+    pub fn open_pair(&self) -> (Session, Session) {
+        let ours = self
+            .transport
+            .open_session()
+            .expect("emulated peer cannot hang up: we hold both ends");
+        let theirs = self
+            .acceptor
+            .accept()
+            .expect("emulated peer cannot hang up: we hold both ends");
+        (ours, theirs)
+    }
+
+    /// The initiating side as a `dyn`-usable [`Transport`], for code that
+    /// is generic over backends.
+    pub fn transport(&self) -> &dyn Transport {
+        &self.transport
+    }
+
+    /// The accepting side, for code that is generic over backends.
+    pub fn acceptor(&self) -> &dyn Acceptor {
+        &self.acceptor
+    }
+
+    /// The link clock every session charges into.
+    pub fn clock(&self) -> &Arc<NetClock> {
+        &self.clock
+    }
+
+    /// Virtual link seconds accumulated so far across all sessions.
+    pub fn link_seconds(&self) -> f64 {
+        self.clock.seconds()
+    }
+
+    /// The link parameters frames are priced at.
+    pub fn params(&self) -> CommParams {
+        self.params
+    }
+
+    /// Virtual seconds one `bytes`-long frame costs on this link:
+    /// transmission at link bandwidth plus half a null RTT.
+    pub fn frame_cost_seconds(&self, bytes: usize) -> f64 {
+        (bytes as f64) * 8.0 / self.params.bandwidth_bps + self.params.rtt_seconds / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_rpc::BackendKind;
+
+    #[test]
+    fn sessions_are_the_emulated_backend() {
+        let net = EmuNet::new(CommParams::WAVELAN);
+        let (a, b) = net.open_pair();
+        assert_eq!(a.backend(), BackendKind::Emulated);
+        assert_eq!(b.backend(), BackendKind::Emulated);
+    }
+
+    #[test]
+    fn every_frame_charges_virtual_link_time() {
+        let net = EmuNet::new(CommParams::WAVELAN);
+        let (a, b) = net.open_pair();
+        assert_eq!(net.link_seconds(), 0.0);
+        a.send(vec![0u8; 1_000]).unwrap();
+        b.recv().unwrap();
+        let one = net.frame_cost_seconds(1_000);
+        assert!((net.link_seconds() - one).abs() < 1e-12);
+        b.send(vec![0u8; 500]).unwrap();
+        a.recv().unwrap();
+        let two = one + net.frame_cost_seconds(500);
+        assert!((net.link_seconds() - two).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_sessions_share_the_link_clock() {
+        let net = EmuNet::new(CommParams::WAVELAN);
+        let (a1, b1) = net.open_pair();
+        let (a2, b2) = net.open_pair();
+        a1.send(vec![0u8; 100]).unwrap();
+        a2.send(vec![0u8; 100]).unwrap();
+        b1.recv().unwrap();
+        b2.recv().unwrap();
+        let expected = 2.0 * net.frame_cost_seconds(100);
+        assert!((net.link_seconds() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_megabyte_costs_wavelan_seconds_not_wall_seconds() {
+        let net = EmuNet::new(CommParams::WAVELAN);
+        let (a, b) = net.open_pair();
+        let started = std::time::Instant::now();
+        a.send(vec![0u8; 1 << 20]).unwrap();
+        b.recv().unwrap();
+        // ~0.76 s of virtual link time...
+        assert!(net.link_seconds() > 0.7);
+        // ...in well under that much wall time.
+        assert!(started.elapsed() < std::time::Duration::from_secs(1));
+    }
+}

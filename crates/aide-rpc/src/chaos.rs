@@ -1,8 +1,8 @@
 //! Deterministic fault injection at the transport layer.
 //!
-//! A [`ChaosTransport`] wrap composes over any [`Transport`] (the
-//! in-process channel pair or the TCP bridge) and injects the failure
-//! modes of a lossy wireless link — drop, delay, duplication, reordering,
+//! A chaos wrap composes over any [`Session`] — whichever backend
+//! produced it (in-process channels, multiplexed TCP, emulated virtual
+//! time) — and injects the failure modes of a lossy wireless link — drop, delay, duplication, reordering,
 //! truncation, bit corruption, and hard connection resets — from a
 //! reproducible [`ChaosSchedule`]. All randomness comes from a seeded
 //! xorshift64 stream, so a failing run replays bit-for-bit from its seed.
@@ -30,7 +30,8 @@ use aide_graph::CommParams;
 use crossbeam::channel::unbounded;
 use serde::{Deserialize, Serialize};
 
-use crate::link::{Link, TrafficStats, Transport};
+use crate::link::{Link, Session, TrafficStats};
+use crate::wire::Frame;
 
 /// A reproducible schedule of transport faults.
 ///
@@ -186,16 +187,17 @@ impl ChaosRng {
 }
 
 /// Wraps `inner` in a chaos layer driven by `schedule`, returning the
-/// wrapped transport and its fault counters.
+/// wrapped session and its fault counters.
 ///
-/// The wrapped transport is a drop-in [`Transport`]: its own traffic
-/// statistics count the frames the application sent and received, while
-/// `inner`'s statistics count what actually crossed the carrier
-/// (duplicates included, drops excluded).
-pub fn chaos_wrap(inner: Transport, schedule: ChaosSchedule) -> (Transport, Arc<ChaosStats>) {
+/// The wrapped session is a drop-in [`Session`] reporting the same
+/// backend as `inner`: its own traffic statistics count the frames the
+/// application sent and received, while `inner`'s statistics count what
+/// actually crossed the carrier (duplicates included, drops excluded).
+pub fn chaos_wrap(inner: Session, schedule: ChaosSchedule) -> (Session, Arc<ChaosStats>) {
     let stats = Arc::new(ChaosStats::default());
-    let (app_out_tx, app_out_rx) = unbounded::<Vec<u8>>();
-    let (app_in_tx, app_in_rx) = unbounded::<Vec<u8>>();
+    let backend = inner.backend();
+    let (app_out_tx, app_out_rx) = unbounded::<Frame>();
+    let (app_in_tx, app_in_rx) = unbounded::<Frame>();
     let dead = Arc::new(AtomicBool::new(false));
 
     let telemetry = aide_telemetry::global();
@@ -215,7 +217,7 @@ pub fn chaos_wrap(inner: Transport, schedule: ChaosSchedule) -> (Transport, Arc<
             .spawn(move || {
                 let mut rng = ChaosRng::new(schedule.seed);
                 let mut seen = 0u64;
-                let mut held: Option<Vec<u8>> = None;
+                let mut held: Option<Frame> = None;
                 while let Ok(mut frame) = app_out_rx.recv() {
                     seen += 1;
                     if let Some(limit) = schedule.reset_after_frames {
@@ -308,8 +310,13 @@ pub fn chaos_wrap(inner: Transport, schedule: ChaosSchedule) -> (Transport, Arc<
         })
         .expect("spawn chaos inbound shim");
 
-    let transport = Transport::from_parts(app_out_tx, app_in_rx, Arc::new(TrafficStats::default()));
-    (transport, stats)
+    let session = Session::from_parts(
+        app_out_tx,
+        app_in_rx,
+        Arc::new(TrafficStats::default()),
+        backend,
+    );
+    (session, stats)
 }
 
 /// Fault counters for both ends of a [`chaos_pair`].
@@ -323,13 +330,13 @@ pub struct ChaosPairStats {
 
 /// An in-process link with chaos injected in both directions.
 ///
-/// Like [`Link::pair`], but each transport is wrapped in a chaos layer.
+/// Like [`Link::pair`], but each session is wrapped in a chaos layer.
 /// The surrogate end's fault stream is derived from the schedule seed so
 /// the two directions fail independently yet reproducibly.
 pub fn chaos_pair(
     params: CommParams,
     schedule: ChaosSchedule,
-) -> (Link, Transport, Transport, ChaosPairStats) {
+) -> (Link, Session, Session, ChaosPairStats) {
     let (link, ct, st) = Link::pair(params);
     let (ct, client) = chaos_wrap(ct, schedule);
     let (st, surrogate) = chaos_wrap(

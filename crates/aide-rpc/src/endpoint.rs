@@ -18,7 +18,8 @@ use aide_graph::CommParams;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use crate::link::{LinkError, NetClock, Transport};
+use crate::link::{LinkError, NetClock, Session};
+use crate::transport::BackendKind;
 use crate::wire::{Message, Reply, Request, WireError};
 
 /// Process-wide source of endpoint (client) ids, carried in every request
@@ -29,6 +30,7 @@ static NEXT_CLIENT_ID: AtomicU64 = AtomicU64::new(1);
 /// with plain atomic ops (no registry lookups).
 struct RpcMetrics {
     requests: Arc<aide_telemetry::Counter>,
+    backend_requests: Arc<aide_telemetry::Counter>,
     errors: Arc<aide_telemetry::Counter>,
     latency_micros: Arc<aide_telemetry::Histogram>,
     simulated_bytes: Arc<aide_telemetry::Counter>,
@@ -38,11 +40,21 @@ struct RpcMetrics {
     bad_frames: Arc<aide_telemetry::Counter>,
 }
 
+/// Name of the per-backend request counter for `backend`.
+fn backend_requests_name(backend: BackendKind) -> &'static str {
+    match backend {
+        BackendKind::InMemory => aide_telemetry::names::RPC_BACKEND_INMEM_REQUESTS,
+        BackendKind::Tcp => aide_telemetry::names::RPC_BACKEND_TCP_REQUESTS,
+        BackendKind::Emulated => aide_telemetry::names::RPC_BACKEND_EMU_REQUESTS,
+    }
+}
+
 impl RpcMetrics {
-    fn resolve() -> Self {
+    fn resolve(backend: BackendKind) -> Self {
         let t = aide_telemetry::global();
         RpcMetrics {
             requests: t.counter(aide_telemetry::names::RPC_REQUESTS),
+            backend_requests: t.counter(backend_requests_name(backend)),
             errors: t.counter(aide_telemetry::names::RPC_ERRORS),
             latency_micros: t.histogram(
                 aide_telemetry::names::RPC_LATENCY_MICROS,
@@ -276,7 +288,7 @@ fn xorshift_unit(state: &mut u64) -> f64 {
 
 /// One VM's side of the RPC connection.
 pub struct Endpoint {
-    transport: Transport,
+    session: Session,
     params: CommParams,
     clock: Arc<NetClock>,
     pending: PendingMap,
@@ -310,15 +322,16 @@ impl Endpoint {
     /// `dispatcher` serves the peer's requests; `clock` accumulates
     /// simulated link time priced by `params`.
     pub fn start(
-        transport: Transport,
+        session: Session,
         params: CommParams,
         clock: Arc<NetClock>,
         dispatcher: Arc<dyn Dispatcher>,
         config: EndpointConfig,
     ) -> Arc<Endpoint> {
         let (shutdown_tx, shutdown_rx) = unbounded::<()>();
+        let backend = session.backend();
         let endpoint = Arc::new(Endpoint {
-            transport: transport.clone(),
+            session: session.clone(),
             params,
             clock,
             pending: Arc::new(Mutex::new(HashMap::new())),
@@ -334,7 +347,7 @@ impl Endpoint {
             dedup_hits: Arc::new(AtomicU64::new(0)),
             late_replies: Arc::new(AtomicU64::new(0)),
             bad_frames: Arc::new(AtomicU64::new(0)),
-            metrics: RpcMetrics::resolve(),
+            metrics: RpcMetrics::resolve(backend),
         });
 
         let (job_tx, job_rx) = unbounded::<(u64, u64, Request)>();
@@ -345,7 +358,7 @@ impl Endpoint {
         for i in 0..config.workers {
             let rx: Receiver<(u64, u64, Request)> = job_rx.clone();
             let disp = dispatcher.clone();
-            let out = transport.clone();
+            let out = session.clone();
             let served = endpoint.requests_served.clone();
             let dedup = dedup.clone();
             let dedup_hits = endpoint.dedup_hits.clone();
@@ -376,9 +389,9 @@ impl Endpoint {
                             }
                             let result = disp.dispatch(request);
                             served.fetch_add(1, Ordering::Relaxed);
-                            let frame = Message::Reply { seq, result }.encode().to_vec();
+                            let frame = Message::Reply { seq, result }.encode_pooled();
                             if dedupable {
-                                dedup.complete((client, seq), frame.clone());
+                                dedup.complete((client, seq), frame.to_vec());
                             }
                             if out.send(frame).is_err() {
                                 break;
@@ -391,7 +404,7 @@ impl Endpoint {
 
         // Receiver loop.
         {
-            let transport = transport.clone();
+            let session = session.clone();
             let pending = endpoint.pending.clone();
             let late_expected = endpoint.late_expected.clone();
             let closing = endpoint.closing.clone();
@@ -405,7 +418,7 @@ impl Endpoint {
                     .name("rpc-recv".into())
                     .spawn(move || {
                         receiver_loop(ReceiverCtx {
-                            transport: &transport,
+                            session: &session,
                             pending: &pending,
                             late_expected: &late_expected,
                             closing: &closing,
@@ -473,9 +486,14 @@ impl Endpoint {
         &self.clock
     }
 
-    /// Real traffic statistics of this endpoint's transport.
+    /// Real traffic statistics of this endpoint's session.
     pub fn traffic(&self) -> &Arc<crate::link::TrafficStats> {
-        self.transport.stats()
+        self.session.stats()
+    }
+
+    /// Which backend this endpoint's session rides on.
+    pub fn backend(&self) -> BackendKind {
+        self.session.backend()
     }
 
     /// Sends `request` to the peer and blocks until its reply arrives,
@@ -506,9 +524,9 @@ impl Endpoint {
 
         let (tx, rx) = unbounded();
         self.pending.lock().insert(seq, tx);
-        let frame = msg.encode();
+        let frame = msg.encode_pooled();
         let started = std::time::Instant::now();
-        if let Err(e) = self.transport.send(frame.to_vec()) {
+        if let Err(e) = self.session.send(frame) {
             self.pending.lock().remove(&seq);
             self.metrics.errors.inc();
             return Err(e.into());
@@ -522,6 +540,7 @@ impl Endpoint {
             });
         self.pending.lock().remove(&seq);
         self.metrics.requests.inc();
+        self.metrics.backend_requests.inc();
         self.metrics
             .latency_micros
             .observe(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
@@ -598,7 +617,7 @@ impl Endpoint {
             ),
             Message::Reply { .. } => unreachable!(),
         };
-        let frame = msg.encode().to_vec();
+        let frame = msg.encode_pooled();
 
         let (tx, rx) = unbounded();
         self.pending.lock().insert(seq, tx);
@@ -612,7 +631,7 @@ impl Endpoint {
                 self.retries.fetch_add(1, Ordering::Relaxed);
                 self.metrics.retries.inc();
             }
-            if self.transport.send(frame.clone()).is_err() {
+            if self.session.send(frame.clone()).is_err() {
                 break Err(RpcError::Disconnected);
             }
             let wait = policy
@@ -641,6 +660,7 @@ impl Endpoint {
         };
         self.pending.lock().remove(&seq);
         self.metrics.requests.inc();
+        self.metrics.backend_requests.inc();
         self.metrics
             .latency_micros
             .observe(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
@@ -703,9 +723,9 @@ impl Endpoint {
             client: self.client_id,
             body: Request::Ping,
         }
-        .encode();
+        .encode_pooled();
         let started = std::time::Instant::now();
-        if let Err(e) = self.transport.send(frame.to_vec()) {
+        if let Err(e) = self.session.send(frame) {
             self.pending.lock().remove(&seq);
             return Err(e.into());
         }
@@ -717,6 +737,7 @@ impl Endpoint {
         outcome?.map_err(RpcError::Remote)?;
         let rtt = started.elapsed();
         self.metrics.requests.inc();
+        self.metrics.backend_requests.inc();
         self.metrics
             .latency_micros
             .observe(u64::try_from(rtt.as_micros()).unwrap_or(u64::MAX));
@@ -736,8 +757,8 @@ impl Endpoint {
             client: self.client_id,
             body: Request::Shutdown,
         }
-        .encode();
-        let _ = self.transport.send(frame.to_vec());
+        .encode_pooled();
+        let _ = self.session.send(frame);
         let _ = self.shutdown_tx.send(());
     }
 
@@ -752,12 +773,15 @@ impl Endpoint {
         for h in handles {
             let _ = h.join();
         }
+        // Tell a multiplexed carrier this logical session is finished so
+        // the mux can free its route (no-op on direct channel sessions).
+        self.session.close();
     }
 }
 
 /// Everything the receiver loop needs, bundled to keep the signature sane.
 struct ReceiverCtx<'a> {
-    transport: &'a Transport,
+    session: &'a Session,
     pending: &'a PendingMap,
     late_expected: &'a LateSet,
     closing: &'a AtomicBool,
@@ -772,7 +796,7 @@ struct ReceiverCtx<'a> {
 
 fn receiver_loop(ctx: ReceiverCtx<'_>) {
     let ReceiverCtx {
-        transport,
+        session,
         pending,
         late_expected,
         closing,
@@ -784,7 +808,7 @@ fn receiver_loop(ctx: ReceiverCtx<'_>) {
         bad_frames,
         bad_frames_metric,
     } = ctx;
-    let incoming = transport.incoming();
+    let incoming = session.incoming();
     // `None` while running normally; set to a deadline once shutdown begins
     // (locally via the signal channel, or by the peer's Shutdown frame).
     // The deadline bounds the drain of in-flight replies so `join()` cannot
@@ -819,7 +843,7 @@ fn receiver_loop(ctx: ReceiverCtx<'_>) {
                 }
             }
         };
-        transport.note_received(frame.len());
+        session.note_received(frame.len());
         match Message::decode(&frame) {
             Ok(Message::Request { seq, client, body }) => {
                 if matches!(body, Request::Shutdown) {

@@ -6,10 +6,16 @@
 //! JVM" (§3.2). This crate is that layer:
 //!
 //! * [`Message`] / [`Request`] / [`Reply`] — the RPC protocol, with a
-//!   hand-rolled length-safe binary codec.
-//! * [`Link`] / [`Transport`] — a duplex in-process frame link standing in
-//!   for the WaveLAN socket, with real traffic statistics and a shared
-//!   [`NetClock`] accumulating *simulated* link seconds priced by
+//!   hand-rolled length-safe binary codec and a reusable [`FramePool`]
+//!   behind [`Message::encode_pooled`].
+//! * [`Transport`] / [`Acceptor`] / [`Session`] — the unified transport
+//!   seam. Three backends implement it: in-memory channels
+//!   ([`channel_transport`]), real TCP with many sessions multiplexed over
+//!   one socket ([`TcpTransport`] / [`TcpMuxListener`]), and emulated
+//!   links charging virtual time per frame ([`virtual_transport`]).
+//! * [`Link`] — a duplex in-process frame link standing in for the WaveLAN
+//!   socket, with real traffic statistics and a shared [`NetClock`]
+//!   accumulating *simulated* link seconds priced by
 //!   [`aide_graph::CommParams`].
 //! * [`Endpoint`] — request/reply correlation plus the dispatcher worker
 //!   pool that re-enters the interpreter to serve the peer.
@@ -51,13 +57,20 @@
 mod chaos;
 mod endpoint;
 mod link;
+mod mux;
 mod reftable;
 mod tcp;
+mod transport;
 mod wire;
 
 pub use chaos::{chaos_pair, chaos_wrap, ChaosPairStats, ChaosSchedule, ChaosStats};
 pub use endpoint::{Dispatcher, Endpoint, EndpointConfig, RetryPolicy, RpcError};
-pub use link::{Link, LinkError, NetClock, TrafficStats, Transport};
+pub use link::{Link, LinkError, NetClock, Session, TrafficStats};
+pub use mux::{ConnKiller, MuxConn};
 pub use reftable::{live_remote_refs, ExportTable, ImportTable};
-pub use tcp::{tcp_pair, tcp_transport};
-pub use wire::{crc32, Message, Reply, Request, WireError, PROTOCOL_VERSION};
+pub use tcp::{nudge, tcp_pair, tcp_transport, TcpMuxListener, TcpTransport};
+pub use transport::{
+    channel_transport, virtual_transport, Acceptor, BackendKind, ChannelAcceptor, ChannelTransport,
+    Transport,
+};
+pub use wire::{crc32, Frame, FramePool, Message, Reply, Request, WireError, PROTOCOL_VERSION};

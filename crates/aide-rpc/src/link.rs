@@ -1,17 +1,23 @@
-//! Duplex message links and simulated link-time accounting.
+//! Duplex RPC sessions and simulated link-time accounting.
 //!
-//! A [`Link`] is a pair of connected transports carrying encoded frames
-//! between two VMs over crossbeam channels (the prototype's stand-in for the
-//! WaveLAN socket). The link keeps per-direction traffic statistics and a
-//! shared [`NetClock`] that accumulates *simulated* communication seconds
-//! according to [`CommParams`] — the paper's 11 Mbps / 2.4 ms RTT WaveLAN
-//! model.
+//! A [`Session`] is one end of a logical duplex frame channel between two
+//! VMs. Sessions are produced by every backend behind the unified
+//! [`Transport`](crate::transport::Transport) seam: in-memory channel pairs
+//! ([`Link::pair`]), multiplexed TCP connections (`crate::tcp`), and the
+//! emulated virtual-time link ([`Link::virtual_pair`]). The [`Link`] keeps
+//! the shared [`NetClock`] that accumulates *simulated* communication
+//! seconds according to [`CommParams`] — the paper's 11 Mbps / 2.4 ms RTT
+//! WaveLAN model.
 
 use std::sync::Arc;
 
 use aide_graph::CommParams;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+
+use crate::mux::{MuxOut, KIND_CLOSE, KIND_DATA};
+use crate::transport::BackendKind;
+use crate::wire::Frame;
 
 /// Accumulates simulated communication time for one client/surrogate pair.
 ///
@@ -109,33 +115,122 @@ impl std::fmt::Display for LinkError {
 
 impl std::error::Error for LinkError {}
 
-/// One end of a duplex frame link.
-#[derive(Debug, Clone)]
-pub struct Transport {
-    tx: Sender<Vec<u8>>,
-    rx: Receiver<Vec<u8>>,
-    stats: Arc<TrafficStats>,
+/// Virtual-time accounting attached to a session by the emulated backend:
+/// every frame sent charges transmission time plus half the null RTT to a
+/// link-level [`NetClock`], independently of the endpoint's per-call
+/// simulated accounting.
+#[derive(Debug)]
+pub(crate) struct LinkCharge {
+    clock: Arc<NetClock>,
+    params: CommParams,
 }
 
-impl Transport {
-    /// Assembles a transport from raw channel halves (used by alternative
-    /// carriers such as the TCP bridge).
-    pub(crate) fn from_parts(
-        tx: Sender<Vec<u8>>,
-        rx: Receiver<Vec<u8>>,
-        stats: Arc<TrafficStats>,
-    ) -> Self {
-        Transport { tx, rx, stats }
+impl LinkCharge {
+    pub(crate) fn new(clock: Arc<NetClock>, params: CommParams) -> Self {
+        LinkCharge { clock, params }
     }
 
-    /// Sends one encoded frame to the peer.
+    fn charge(&self, bytes: usize) {
+        let transmit = (bytes as f64) * 8.0 / self.params.bandwidth_bps;
+        self.clock.add(transmit + self.params.rtt_seconds / 2.0);
+    }
+}
+
+/// The outbound half of a session: either a dedicated channel (in-memory
+/// and single-session carriers) or a share of a multiplexed connection's
+/// writer, tagged with this session's id.
+#[derive(Debug, Clone)]
+enum SessionSender {
+    Direct(Sender<Frame>),
+    Mux { id: u32, tx: Sender<MuxOut> },
+}
+
+/// One end of a duplex logical frame channel — the single session
+/// abstraction every transport backend produces.
+#[derive(Debug, Clone)]
+pub struct Session {
+    tx: SessionSender,
+    rx: Receiver<Frame>,
+    stats: Arc<TrafficStats>,
+    backend: BackendKind,
+    charge: Option<Arc<LinkCharge>>,
+}
+
+impl Session {
+    /// Assembles a session from raw channel halves (used by alternative
+    /// carriers such as the TCP bridge and chaos wrappers).
+    pub(crate) fn from_parts(
+        tx: Sender<Frame>,
+        rx: Receiver<Frame>,
+        stats: Arc<TrafficStats>,
+        backend: BackendKind,
+    ) -> Self {
+        Session {
+            tx: SessionSender::Direct(tx),
+            rx,
+            stats,
+            backend,
+            charge: None,
+        }
+    }
+
+    /// Assembles a session riding a multiplexed connection: outbound frames
+    /// are tagged with `id` and funneled through the shared writer.
+    pub(crate) fn mux_parts(
+        id: u32,
+        tx: Sender<MuxOut>,
+        rx: Receiver<Frame>,
+        backend: BackendKind,
+    ) -> Self {
+        Session {
+            tx: SessionSender::Mux { id, tx },
+            rx,
+            stats: Arc::new(TrafficStats::default()),
+            backend,
+            charge: None,
+        }
+    }
+
+    /// Attaches virtual-time charging: every sent frame adds transmission
+    /// time at `params` rates plus half an RTT to `clock`.
+    pub(crate) fn with_charge(mut self, clock: Arc<NetClock>, params: CommParams) -> Self {
+        self.charge = Some(Arc::new(LinkCharge::new(clock, params)));
+        self
+    }
+
+    /// The backend this session rides on.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Sends one encoded frame to the peer. Accepts anything convertible
+    /// into a [`Frame`] (plain `Vec<u8>` or a pooled frame).
     ///
     /// # Errors
     ///
     /// Returns [`LinkError::Disconnected`] if the peer's receiver is gone.
-    pub fn send(&self, frame: Vec<u8>) -> Result<(), LinkError> {
+    pub fn send(&self, frame: impl Into<Frame>) -> Result<(), LinkError> {
+        let frame = frame.into();
         self.stats.note_sent(frame.len());
-        self.tx.send(frame).map_err(|_| LinkError::Disconnected)
+        if let Some(charge) = &self.charge {
+            charge.charge(frame.len());
+        }
+        match &self.tx {
+            SessionSender::Direct(tx) => tx.send(frame).map_err(|_| LinkError::Disconnected),
+            SessionSender::Mux { id, tx } => tx
+                .send((*id, KIND_DATA, frame))
+                .map_err(|_| LinkError::Disconnected),
+        }
+    }
+
+    /// Tells the peer this logical session is finished. A no-op for
+    /// dedicated channels (dropping the session is enough); on a
+    /// multiplexed connection this releases the peer's per-session route
+    /// without touching its sibling sessions.
+    pub fn close(&self) {
+        if let SessionSender::Mux { id, tx } = &self.tx {
+            let _ = tx.send((*id, KIND_CLOSE, Frame::empty()));
+        }
     }
 
     /// Receives the next frame, blocking until one arrives.
@@ -144,7 +239,7 @@ impl Transport {
     ///
     /// Returns [`LinkError::Disconnected`] when the peer hung up and the
     /// queue is drained.
-    pub fn recv(&self) -> Result<Vec<u8>, LinkError> {
+    pub fn recv(&self) -> Result<Frame, LinkError> {
         let frame = self.rx.recv().map_err(|_| LinkError::Disconnected)?;
         self.stats.note_received(frame.len());
         Ok(frame)
@@ -155,7 +250,7 @@ impl Transport {
     /// # Errors
     ///
     /// Returns [`LinkError::Disconnected`] when the peer hung up.
-    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Option<Vec<u8>>, LinkError> {
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Option<Frame>, LinkError> {
         match self.rx.recv_timeout(timeout) {
             Ok(frame) => {
                 self.stats.note_received(frame.len());
@@ -173,20 +268,29 @@ impl Transport {
 
     /// Raw access to the incoming-frame channel, for select-based receive
     /// loops. Callers pulling frames off this channel directly must pair
-    /// each one with [`Transport::note_received`] so traffic statistics
+    /// each one with [`Session::note_received`] so traffic statistics
     /// stay exact.
-    pub(crate) fn incoming(&self) -> &Receiver<Vec<u8>> {
+    pub(crate) fn incoming(&self) -> &Receiver<Frame> {
         &self.rx
     }
 
     /// Records one received frame in the traffic statistics (companion to
-    /// [`Transport::incoming`]).
+    /// [`Session::incoming`]).
     pub(crate) fn note_received(&self, bytes: usize) {
         self.stats.note_received(bytes);
     }
 }
 
-/// A connected pair of transports plus the shared link model.
+/// Builds a connected pair of direct (channel-backed) sessions.
+pub(crate) fn session_pair(backend: BackendKind) -> (Session, Session) {
+    let (a_tx, b_rx) = unbounded();
+    let (b_tx, a_rx) = unbounded();
+    let a = Session::from_parts(a_tx, a_rx, Arc::new(TrafficStats::default()), backend);
+    let b = Session::from_parts(b_tx, b_rx, Arc::new(TrafficStats::default()), backend);
+    (a, b)
+}
+
+/// A connected pair of sessions plus the shared link model.
 #[derive(Debug)]
 pub struct Link {
     /// Link parameters used for simulated timing.
@@ -196,22 +300,12 @@ pub struct Link {
 }
 
 impl Link {
-    /// Creates a connected transport pair with the given link parameters.
+    /// Creates a connected in-memory session pair with the given link
+    /// parameters.
     ///
-    /// Returns `(link, client_transport, surrogate_transport)`.
-    pub fn pair(params: CommParams) -> (Link, Transport, Transport) {
-        let (a_tx, b_rx) = unbounded();
-        let (b_tx, a_rx) = unbounded();
-        let a = Transport {
-            tx: a_tx,
-            rx: a_rx,
-            stats: Arc::new(TrafficStats::default()),
-        };
-        let b = Transport {
-            tx: b_tx,
-            rx: b_rx,
-            stats: Arc::new(TrafficStats::default()),
-        };
+    /// Returns `(link, client_session, surrogate_session)`.
+    pub fn pair(params: CommParams) -> (Link, Session, Session) {
+        let (a, b) = session_pair(BackendKind::InMemory);
         (
             Link {
                 params,
@@ -220,6 +314,20 @@ impl Link {
             a,
             b,
         )
+    }
+
+    /// Creates a connected emulated session pair: same in-process channel
+    /// carrier, but every frame sent charges transmission time at `params`
+    /// rates (plus half an RTT) to a dedicated link-level [`NetClock`],
+    /// reachable via [`Link::clock`] on the returned link.
+    ///
+    /// Returns `(link, client_session, surrogate_session)`.
+    pub fn virtual_pair(params: CommParams) -> (Link, Session, Session) {
+        let clock = Arc::new(NetClock::new());
+        let (a, b) = session_pair(BackendKind::Emulated);
+        let a = a.with_charge(Arc::clone(&clock), params);
+        let b = b.with_charge(Arc::clone(&clock), params);
+        (Link { params, clock }, a, b)
     }
 }
 

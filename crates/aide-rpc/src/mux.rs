@@ -1,0 +1,435 @@
+//! Session multiplexing: many logical RPC sessions over one byte-stream
+//! carrier.
+//!
+//! This replaces the surrogate daemon's connection-per-session model. A
+//! multiplexed frame rides the carrier as
+//!
+//! ```text
+//! [len u32 LE][session u32 LE][kind u8][payload …]
+//!             `------------ len bytes ------------'
+//! ```
+//!
+//! where `kind` is [`KIND_DATA`], [`KIND_OPEN`], or [`KIND_CLOSE`]. The
+//! initiating side allocates odd session ids and the accepting side even
+//! ones, so both peers can open sessions concurrently without collisions.
+//! One writer thread serializes all outbound frames; one reader thread
+//! demultiplexes inbound frames into per-session channels, so a slow
+//! session never blocks its siblings (each session has its own unbounded
+//! queue and its own [`Endpoint`](crate::Endpoint) worker on the serving
+//! side).
+//!
+//! The module is generic over `Read`/`Write` carriers; the only TCP-aware
+//! code lives in `crate::tcp`, which wires a socket's two halves in here.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::link::{LinkError, Session};
+use crate::transport::{Acceptor, BackendKind, Transport};
+use crate::wire::{read_exact_pooled, write_frame, Frame, MAX_FRAME};
+
+/// Application frame for an established session.
+pub(crate) const KIND_DATA: u8 = 0;
+/// The peer opened a new session with this id.
+pub(crate) const KIND_OPEN: u8 = 1;
+/// The peer finished the session with this id.
+pub(crate) const KIND_CLOSE: u8 = 2;
+
+/// Bytes of mux header inside the length-delimited frame.
+const MUX_HEADER: usize = 5;
+
+/// One outbound mux frame: `(session id, kind, payload)`.
+pub(crate) type MuxOut = (u32, u8, Frame);
+
+/// A cloneable handle that severs the underlying carrier, taking every
+/// session on the connection down with it (used for injected surrogate
+/// crashes and daemon shutdown).
+#[derive(Clone)]
+pub struct ConnKiller(Arc<dyn Fn() + Send + Sync>);
+
+impl ConnKiller {
+    /// Wraps a closure that forcibly closes the carrier.
+    pub fn new(f: impl Fn() + Send + Sync + 'static) -> Self {
+        ConnKiller(Arc::new(f))
+    }
+
+    /// A killer that does nothing (carriers that die by being dropped).
+    pub fn noop() -> Self {
+        ConnKiller::new(|| {})
+    }
+
+    /// Severs the carrier.
+    pub fn kill(&self) {
+        (self.0)()
+    }
+}
+
+impl std::fmt::Debug for ConnKiller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ConnKiller")
+    }
+}
+
+type Routes = Arc<Mutex<HashMap<u32, Sender<Frame>>>>;
+
+/// One end of a multiplexed connection. Implements both [`Transport`]
+/// (open sessions toward the peer) and [`Acceptor`] (receive sessions the
+/// peer opened); either side may do both.
+///
+/// Dropping the `MuxConn` does not tear down live sessions: each session
+/// keeps the shared writer alive through its own sender clone.
+#[derive(Debug)]
+pub struct MuxConn {
+    out_tx: Sender<MuxOut>,
+    accepted_rx: Receiver<(u32, Receiver<Frame>)>,
+    routes: Routes,
+    next_id: AtomicU32,
+    parity: u32,
+    backend: BackendKind,
+    killer: ConnKiller,
+    sessions_opened: Arc<aide_telemetry::Counter>,
+}
+
+impl MuxConn {
+    /// A handle that severs the whole connection.
+    pub fn killer(&self) -> ConnKiller {
+        self.killer.clone()
+    }
+}
+
+impl Transport for MuxConn {
+    fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    fn open_session(&self) -> Result<Session, LinkError> {
+        let n = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = (n << 1) | self.parity;
+        let (in_tx, in_rx) = unbounded();
+        self.routes.lock().insert(id, in_tx);
+        if self.out_tx.send((id, KIND_OPEN, Frame::empty())).is_err() {
+            self.routes.lock().remove(&id);
+            return Err(LinkError::Disconnected);
+        }
+        self.sessions_opened.inc();
+        Ok(Session::mux_parts(
+            id,
+            self.out_tx.clone(),
+            in_rx,
+            self.backend,
+        ))
+    }
+}
+
+impl Acceptor for MuxConn {
+    fn accept(&self) -> Result<Session, LinkError> {
+        // The reader hands over only `(id, inbound half)`; the session is
+        // assembled here so the reader thread never holds a writer sender
+        // (which would keep the writer alive after every handle dropped).
+        let (id, in_rx) = self
+            .accepted_rx
+            .recv()
+            .map_err(|_| LinkError::Disconnected)?;
+        self.sessions_opened.inc();
+        Ok(Session::mux_parts(
+            id,
+            self.out_tx.clone(),
+            in_rx,
+            self.backend,
+        ))
+    }
+}
+
+/// Starts the reader/writer threads for one multiplexed connection and
+/// returns the local handle. `initiator` decides session-id parity;
+/// `on_writer_exit` runs when the writer drains out (e.g. to shut down a
+/// socket's write half so the peer sees EOF).
+pub(crate) fn spawn_mux<R, W>(
+    mut reader: R,
+    mut writer: W,
+    initiator: bool,
+    killer: ConnKiller,
+    backend: BackendKind,
+    on_writer_exit: impl FnOnce() + Send + 'static,
+) -> MuxConn
+where
+    R: Read + Send + 'static,
+    W: Write + Send + 'static,
+{
+    let telemetry = aide_telemetry::global();
+    let frames = telemetry.counter(aide_telemetry::names::MUX_FRAMES);
+    let bytes = telemetry.counter(aide_telemetry::names::MUX_BYTES);
+
+    let (out_tx, out_rx) = unbounded::<MuxOut>();
+    let (accepted_tx, accepted_rx) = unbounded::<(u32, Receiver<Frame>)>();
+    let routes: Routes = Arc::new(Mutex::new(HashMap::new()));
+    let parity = u32::from(initiator);
+
+    {
+        let frames = Arc::clone(&frames);
+        let bytes = Arc::clone(&bytes);
+        std::thread::Builder::new()
+            .name("rpc-mux-writer".into())
+            .spawn(move || {
+                let mut header = [0u8; MUX_HEADER];
+                while let Ok((id, kind, frame)) = out_rx.recv() {
+                    header[0..4].copy_from_slice(&id.to_le_bytes());
+                    header[4] = kind;
+                    let len = (MUX_HEADER + frame.len()) as u32;
+                    if writer.write_all(&len.to_le_bytes()).is_err()
+                        || writer.write_all(&header).is_err()
+                        || writer.write_all(&frame).is_err()
+                    {
+                        break;
+                    }
+                    frames.inc();
+                    bytes.add(4 + len as u64);
+                }
+                on_writer_exit();
+            })
+            .expect("spawning the mux writer thread");
+    }
+
+    {
+        let routes = Arc::clone(&routes);
+        std::thread::Builder::new()
+            .name("rpc-mux-reader".into())
+            .spawn(move || {
+                loop {
+                    let mut header = [0u8; 4 + MUX_HEADER];
+                    if reader.read_exact(&mut header).is_err() {
+                        break;
+                    }
+                    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+                    if (len as usize) < MUX_HEADER || len > MAX_FRAME {
+                        break;
+                    }
+                    let id = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+                    let kind = header[8];
+                    let frame = match read_exact_pooled(&mut reader, len as usize - MUX_HEADER) {
+                        Ok(frame) => frame,
+                        Err(_) => break,
+                    };
+                    frames.inc();
+                    bytes.add(4 + u64::from(len));
+                    let peer_initiated = (id & 1) != parity;
+                    match kind {
+                        KIND_OPEN => {
+                            open_route(&routes, &accepted_tx, id);
+                        }
+                        KIND_CLOSE => {
+                            routes.lock().remove(&id);
+                        }
+                        KIND_DATA => {
+                            let known = routes.lock().contains_key(&id);
+                            if !known {
+                                if !peer_initiated {
+                                    // A late frame for a session we already
+                                    // closed: drop it.
+                                    continue;
+                                }
+                                // Data can race ahead of its OPEN only if the
+                                // peer speaks a newer dialect; treat it as an
+                                // implicit open so nothing is lost.
+                                open_route(&routes, &accepted_tx, id);
+                            }
+                            let mut map = routes.lock();
+                            if let Some(tx) = map.get(&id) {
+                                if tx.send(frame).is_err() {
+                                    map.remove(&id);
+                                }
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                // Carrier gone: every session sees Disconnected once its
+                // queue drains, and the acceptor stops yielding sessions.
+                routes.lock().clear();
+            })
+            .expect("spawning the mux reader thread");
+    }
+
+    MuxConn {
+        out_tx,
+        accepted_rx,
+        routes,
+        next_id: AtomicU32::new(1),
+        parity,
+        backend,
+        killer,
+        sessions_opened: telemetry.counter(aide_telemetry::names::MUX_SESSIONS),
+    }
+}
+
+/// Installs a route for a peer-opened session and hands its inbound half
+/// to the acceptor.
+fn open_route(routes: &Routes, accepted_tx: &Sender<(u32, Receiver<Frame>)>, id: u32) {
+    let mut map = routes.lock();
+    if map.contains_key(&id) {
+        return; // duplicate OPEN
+    }
+    let (in_tx, in_rx) = unbounded();
+    map.insert(id, in_tx);
+    drop(map);
+    if accepted_tx.send((id, in_rx)).is_err() {
+        routes.lock().remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// In-memory byte pipe so mux logic is testable without sockets.
+    fn pipe() -> (PipeWriter, PipeReader) {
+        let (tx, rx) = unbounded();
+        (
+            PipeWriter(tx),
+            PipeReader {
+                rx,
+                pending: Vec::new(),
+                pos: 0,
+            },
+        )
+    }
+
+    struct PipeWriter(Sender<Vec<u8>>);
+
+    impl Write for PipeWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .send(buf.to_vec())
+                .map_err(|_| std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe closed"))?;
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    struct PipeReader {
+        rx: Receiver<Vec<u8>>,
+        pending: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for PipeReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            while self.pos == self.pending.len() {
+                match self.rx.recv() {
+                    Ok(chunk) => {
+                        self.pending = chunk;
+                        self.pos = 0;
+                    }
+                    Err(_) => return Ok(0), // EOF
+                }
+            }
+            let n = (self.pending.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.pending[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn mux_pair() -> (MuxConn, MuxConn) {
+        let (a_w, b_r) = pipe();
+        let (b_w, a_r) = pipe();
+        let a = spawn_mux(
+            a_r,
+            a_w,
+            true,
+            ConnKiller::noop(),
+            BackendKind::InMemory,
+            || {},
+        );
+        let b = spawn_mux(
+            b_r,
+            b_w,
+            false,
+            ConnKiller::noop(),
+            BackendKind::InMemory,
+            || {},
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn sessions_cross_the_mux_in_both_directions() {
+        let (a, b) = mux_pair();
+        let client = a.open_session().unwrap();
+        let server = b.accept().unwrap();
+        client.send(vec![1, 2, 3]).unwrap();
+        assert_eq!(server.recv().unwrap(), vec![1, 2, 3]);
+        server.send(vec![9]).unwrap();
+        assert_eq!(client.recv().unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn concurrent_sessions_are_demultiplexed_by_id() {
+        let (a, b) = mux_pair();
+        let c1 = a.open_session().unwrap();
+        let c2 = a.open_session().unwrap();
+        let s1 = b.accept().unwrap();
+        let s2 = b.accept().unwrap();
+        // Interleave traffic; each session must see only its own frames.
+        c1.send(vec![1, 1]).unwrap();
+        c2.send(vec![2, 2]).unwrap();
+        c1.send(vec![1]).unwrap();
+        assert_eq!(s1.recv().unwrap(), vec![1, 1]);
+        assert_eq!(s2.recv().unwrap(), vec![2, 2]);
+        assert_eq!(s1.recv().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn both_sides_can_initiate_sessions_without_id_collisions() {
+        let (a, b) = mux_pair();
+        let from_a = a.open_session().unwrap();
+        let from_b = b.open_session().unwrap();
+        let at_b = b.accept().unwrap();
+        let at_a = a.accept().unwrap();
+        from_a.send(vec![0xA]).unwrap();
+        from_b.send(vec![0xB]).unwrap();
+        assert_eq!(at_b.recv().unwrap(), vec![0xA]);
+        assert_eq!(at_a.recv().unwrap(), vec![0xB]);
+    }
+
+    #[test]
+    fn close_tears_down_one_session_but_not_its_siblings() {
+        let (a, b) = mux_pair();
+        let c1 = a.open_session().unwrap();
+        let c2 = a.open_session().unwrap();
+        let s1 = b.accept().unwrap();
+        let s2 = b.accept().unwrap();
+        c1.send(vec![7]).unwrap();
+        c1.close();
+        // The close races behind the data frame, so the queued frame is
+        // still deliverable before the disconnect is observed.
+        assert_eq!(s1.recv().unwrap(), vec![7]);
+        assert_eq!(s1.recv().unwrap_err(), LinkError::Disconnected);
+        // Sibling session is untouched.
+        c2.send(vec![8]).unwrap();
+        assert_eq!(s2.recv().unwrap(), vec![8]);
+    }
+
+    #[test]
+    fn carrier_death_disconnects_every_session_and_the_acceptor() {
+        let (a, b) = mux_pair();
+        let client = a.open_session().unwrap();
+        let server = b.accept().unwrap();
+        client.send(vec![1]).unwrap();
+        assert_eq!(server.recv().unwrap(), vec![1]);
+        // Dropping the initiator's handle and sessions drains its writer,
+        // which drops the pipe and EOFs the peer's reader.
+        drop(client);
+        drop(a);
+        assert_eq!(server.recv().unwrap_err(), LinkError::Disconnected);
+        assert_eq!(b.accept().unwrap_err(), LinkError::Disconnected);
+    }
+}

@@ -1,36 +1,46 @@
-//! A TCP carrier for the RPC link: the same [`Transport`] interface, backed
-//! by a real localhost socket with length-prefixed frames.
+//! The TCP carrier: real localhost sockets behind the unified transport
+//! seam.
 //!
-//! The in-process [`Link::pair`][crate::Link::pair] is the default carrier
-//! (deterministic, no I/O); this module exists to demonstrate that the
-//! prototype's RPC layer genuinely works over sockets — each end runs a
-//! reader and a writer thread bridging the socket to the transport's
-//! channels. Simulated link *timing* is unchanged (the WaveLAN model is
-//! applied by the endpoint, not the carrier).
+//! Two shapes are provided, both built on the shared length-prefixed
+//! framing in [`crate::wire`]:
+//!
+//! - [`tcp_pair`] / [`tcp_transport`]: one socket carrying exactly one
+//!   [`Session`] (the historical carrier, still used by loopback
+//!   experiments and benches as the connection-per-session baseline).
+//! - [`TcpTransport`] / [`TcpMuxListener`]: one socket carrying many
+//!   multiplexed sessions (see [`crate::mux`]), which is what the
+//!   surrogate daemon and registry use — probes, leases, and stats
+//!   scrapes to one surrogate share a single pooled connection.
+//!
+//! This module is the **only** place in the workspace allowed to touch
+//! `TcpStream` (CI greps for leaks). Simulated link *timing* is unchanged
+//! by the carrier choice — the WaveLAN model is applied by the endpoint.
 
-use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
 use aide_graph::CommParams;
 use crossbeam::channel::unbounded;
 
-use crate::link::{Link, TrafficStats, Transport};
+use crate::link::{Link, Session, TrafficStats};
+use crate::mux::{spawn_mux, ConnKiller, MuxConn};
+use crate::transport::{BackendKind, Transport};
+use crate::wire::{read_frame, write_frame, Frame};
 
-/// Maximum accepted frame size (a defence against corrupted length
-/// prefixes; generous for `Migrate` batches).
-const MAX_FRAME: u32 = 64 << 20;
+pub(crate) use crate::wire::MAX_FRAME;
 
-/// Creates a connected pair of TCP-backed transports over a fresh
-/// localhost socket.
+/// Creates a connected pair of TCP-backed sessions over a fresh localhost
+/// socket.
 ///
-/// Returns `(link, client_transport, surrogate_transport)` exactly like
+/// Returns `(link, client_session, surrogate_session)` exactly like
 /// [`Link::pair`][crate::Link::pair].
 ///
 /// # Errors
 ///
 /// Returns any I/O error from binding, connecting, or accepting.
-pub fn tcp_pair(params: CommParams) -> std::io::Result<(Link, Transport, Transport)> {
+pub fn tcp_pair(params: CommParams) -> std::io::Result<(Link, Session, Session)> {
     let listener = TcpListener::bind(("127.0.0.1", 0))?;
     let addr = listener.local_addr()?;
     let client_stream = TcpStream::connect(addr)?;
@@ -50,22 +60,20 @@ pub fn tcp_pair(params: CommParams) -> std::io::Result<(Link, Transport, Transpo
     ))
 }
 
-/// Wraps one already-connected socket in a [`Transport`], spawning reader
-/// and writer threads that bridge it to the transport's channels.
+/// Wraps one already-connected socket in a single [`Session`], spawning
+/// reader and writer threads that bridge it to the session's channels.
 ///
-/// This is the building block for standalone daemons (e.g. the
-/// `aide-surrogate` daemon accepts client sessions and wraps each accepted
-/// socket); [`tcp_pair`] uses it for both ends of a loopback pair. Frames
-/// are length-prefixed with a little-endian `u32`; a prefix larger than the
-/// 64 MiB `MAX_FRAME` cap or a mid-frame EOF tears the connection down,
-/// which callers observe as a disconnected transport.
+/// Frames are length-prefixed with a little-endian `u32` (the shared
+/// framing in `wire.rs`); a prefix larger than the 64 MiB `MAX_FRAME` cap
+/// or a mid-frame EOF tears the connection down, which callers observe as
+/// a disconnected session. Inbound frames land in pooled buffers.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from cloning the stream for the writer half.
-pub fn tcp_transport(stream: TcpStream) -> std::io::Result<Transport> {
-    let (out_tx, out_rx) = unbounded::<Vec<u8>>();
-    let (in_tx, in_rx) = unbounded::<Vec<u8>>();
+pub fn tcp_transport(stream: TcpStream) -> std::io::Result<Session> {
+    let (out_tx, out_rx) = unbounded::<Frame>();
+    let (in_tx, in_rx) = unbounded::<Frame>();
     let stats = Arc::new(TrafficStats::default());
 
     // Writer: drain outgoing frames onto the socket, length-prefixed.
@@ -77,14 +85,11 @@ pub fn tcp_transport(stream: TcpStream) -> std::io::Result<Transport> {
         .name("rpc-tcp-writer".into())
         .spawn(move || {
             while let Ok(frame) = out_rx.recv() {
-                let len = frame.len() as u32;
-                if write_half.write_all(&len.to_le_bytes()).is_err()
-                    || write_half.write_all(&frame).is_err()
-                {
+                if write_frame(&mut write_half, &frame).is_err() {
                     break;
                 }
                 frames_sent.inc();
-                bytes_sent.add(4 + u64::from(len));
+                bytes_sent.add(4 + frame.len() as u64);
             }
             let _ = write_half.shutdown(std::net::Shutdown::Write);
         })
@@ -97,21 +102,13 @@ pub fn tcp_transport(stream: TcpStream) -> std::io::Result<Transport> {
     std::thread::Builder::new()
         .name("rpc-tcp-reader".into())
         .spawn(move || {
-            let mut len_buf = [0u8; 4];
             loop {
-                if read_half.read_exact(&mut len_buf).is_err() {
-                    break; // EOF or error: drop in_tx, disconnecting the rx
-                }
-                let len = u32::from_le_bytes(len_buf);
-                if len > MAX_FRAME {
-                    break;
-                }
-                let mut frame = vec![0u8; len as usize];
-                if read_half.read_exact(&mut frame).is_err() {
-                    break;
-                }
+                let frame = match read_frame(&mut read_half) {
+                    Ok(frame) => frame,
+                    Err(_) => break, // EOF, oversize, or error: drop in_tx
+                };
                 frames_received.inc();
-                bytes_received.add(4 + u64::from(len));
+                bytes_received.add(4 + frame.len() as u64);
                 if in_tx.send(frame).is_err() {
                     break;
                 }
@@ -119,13 +116,123 @@ pub fn tcp_transport(stream: TcpStream) -> std::io::Result<Transport> {
         })
         .expect("spawn tcp reader");
 
-    Ok(Transport::from_parts(out_tx, in_rx, stats))
+    Ok(Session::from_parts(out_tx, in_rx, stats, BackendKind::Tcp))
+}
+
+/// Wires an already-connected socket into a multiplexed connection.
+fn mux_over(stream: TcpStream, initiator: bool) -> std::io::Result<MuxConn> {
+    stream.set_nodelay(true)?;
+    let read_half = stream.try_clone()?;
+    let write_half = stream.try_clone()?;
+    let killer = ConnKiller::new(move || {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    });
+    let shutdown_half = write_half.try_clone()?;
+    Ok(spawn_mux(
+        read_half,
+        write_half,
+        initiator,
+        killer,
+        BackendKind::Tcp,
+        move || {
+            let _ = shutdown_half.shutdown(std::net::Shutdown::Write);
+        },
+    ))
+}
+
+/// The initiating side of a multiplexed TCP connection: one socket, many
+/// logical sessions. This is the client-side [`Transport`] impl for the
+/// TCP backend.
+#[derive(Debug)]
+pub struct TcpTransport {
+    conn: MuxConn,
+    peer: SocketAddr,
+}
+
+impl TcpTransport {
+    /// Connects to `addr` and starts the mux reader/writer threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from connecting or configuring the socket.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<TcpTransport> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        Ok(TcpTransport {
+            conn: mux_over(stream, true)?,
+            peer: addr,
+        })
+    }
+
+    /// The address this transport is connected to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// A handle that severs the whole connection (every session on it).
+    pub fn killer(&self) -> ConnKiller {
+        self.conn.killer()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn backend(&self) -> BackendKind {
+        BackendKind::Tcp
+    }
+
+    fn open_session(&self) -> Result<Session, crate::link::LinkError> {
+        self.conn.open_session()
+    }
+}
+
+/// Listener side of the multiplexed TCP backend: each accepted socket
+/// becomes a [`MuxConn`] that yields (and can open) many sessions.
+#[derive(Debug)]
+pub struct TcpMuxListener {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl TcpMuxListener {
+    /// Binds a listener on `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from binding.
+    pub fn bind(addr: SocketAddr) -> std::io::Result<TcpMuxListener> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(TcpMuxListener { listener, addr })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the next client connects, returning the multiplexed
+    /// connection (its [`Acceptor`] impl yields the client's sessions).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from accepting or configuring the socket.
+    pub fn accept(&self) -> std::io::Result<MuxConn> {
+        let (stream, _) = self.listener.accept()?;
+        mux_over(stream, false)
+    }
+}
+
+/// Pokes `addr` with a throwaway connection so a thread blocked in
+/// [`TcpMuxListener::accept`] wakes up and can observe a stop flag (used
+/// by the surrogate daemon's shutdown path).
+pub fn nudge(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::endpoint::{Dispatcher, Endpoint, EndpointConfig};
+    use crate::transport::Acceptor;
     use crate::wire::{Reply, Request};
     use aide_vm::{ClassId, ObjectId};
 
@@ -187,7 +294,7 @@ mod tests {
     }
 
     /// An accepted socket paired with a raw peer we can feed bytes through.
-    fn raw_pair() -> (TcpStream, Transport) {
+    fn raw_pair() -> (TcpStream, Session) {
         let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
         let addr = listener.local_addr().unwrap();
         let raw = TcpStream::connect(addr).unwrap();
@@ -199,6 +306,7 @@ mod tests {
 
     #[test]
     fn tcp_transport_carries_well_formed_frames() {
+        use std::io::Write;
         let (mut raw, transport) = raw_pair();
         raw.write_all(&3u32.to_le_bytes()).unwrap();
         raw.write_all(&[1, 2, 3]).unwrap();
@@ -207,6 +315,7 @@ mod tests {
 
     #[test]
     fn oversized_length_prefix_disconnects_without_allocating() {
+        use std::io::Write;
         let (mut raw, transport) = raw_pair();
         // A corrupted prefix claiming a frame beyond MAX_FRAME must tear
         // the connection down, not attempt a 4 GiB allocation.
@@ -217,6 +326,7 @@ mod tests {
 
     #[test]
     fn mid_frame_eof_disconnects_cleanly() {
+        use std::io::Write;
         let (mut raw, transport) = raw_pair();
         // Announce 100 bytes, deliver 10, then hang up.
         raw.write_all(&100u32.to_le_bytes()).unwrap();
@@ -254,5 +364,45 @@ mod tests {
             ),
             "expected a disconnect, got {err:?}"
         );
+    }
+
+    #[test]
+    fn many_sessions_share_one_socket() {
+        let listener = TcpMuxListener::bind(([127, 0, 0, 1], 0).into()).unwrap();
+        let transport =
+            TcpTransport::connect(listener.local_addr(), Duration::from_secs(1)).unwrap();
+        let conn = listener.accept().unwrap();
+        assert_eq!(transport.backend(), BackendKind::Tcp);
+
+        let mut pairs = Vec::new();
+        for _ in 0..4 {
+            let client = transport.open_session().unwrap();
+            let server = conn.accept().unwrap();
+            pairs.push((client, server));
+        }
+        for (i, (client, server)) in pairs.iter().enumerate() {
+            client.send(vec![i as u8; 8]).unwrap();
+            assert_eq!(server.recv().unwrap(), vec![i as u8; 8]);
+            server.send(vec![i as u8]).unwrap();
+            assert_eq!(client.recv().unwrap(), vec![i as u8]);
+        }
+    }
+
+    #[test]
+    fn killing_the_connection_severs_every_session() {
+        let listener = TcpMuxListener::bind(([127, 0, 0, 1], 0).into()).unwrap();
+        let transport =
+            TcpTransport::connect(listener.local_addr(), Duration::from_secs(1)).unwrap();
+        let conn = listener.accept().unwrap();
+        let c1 = transport.open_session().unwrap();
+        let c2 = transport.open_session().unwrap();
+        let s1 = conn.accept().unwrap();
+        let s2 = conn.accept().unwrap();
+        c1.send(vec![1]).unwrap();
+        assert_eq!(s1.recv().unwrap(), vec![1]);
+        conn.killer().kill();
+        assert!(s2.recv().is_err());
+        assert!(c2.recv().is_err());
+        let _ = c1; // still held; its recv would fail the same way
     }
 }

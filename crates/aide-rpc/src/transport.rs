@@ -1,0 +1,229 @@
+//! The unified transport seam: one trait pair every backend implements.
+//!
+//! A [`Transport`] opens logical [`Session`]s toward a peer; an
+//! [`Acceptor`] yields the matching peer ends. Three backends implement
+//! the pair:
+//!
+//! - **In-memory** ([`channel_transport`]): crossbeam channel pairs, the
+//!   prototype's stand-in for a local socket.
+//! - **TCP** (`crate::tcp::TcpTransport` / `crate::tcp::TcpMuxListener`):
+//!   many sessions multiplexed over one real socket.
+//! - **Emulated** ([`virtual_transport`]): channel pairs that charge
+//!   virtual link time per frame at [`CommParams`] rates, for
+//!   deterministic emulator runs.
+//!
+//! Everything above this seam — [`Endpoint`](crate::Endpoint) retry and
+//! dedup, [`chaos_wrap`](crate::chaos_wrap), CRC framing, telemetry — is
+//! backend-agnostic: it sees only [`Session`]s, so chaos soaks and wire
+//! hardening exercise every backend identically.
+
+use std::sync::Arc;
+
+use aide_graph::CommParams;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::link::{session_pair, LinkError, NetClock, Session};
+
+/// Which carrier a session rides on. Used to label telemetry per backend
+/// and to pick charging behavior; the RPC layer is otherwise oblivious.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Crossbeam channel pair inside one process.
+    InMemory,
+    /// Real TCP socket (possibly multiplexed).
+    Tcp,
+    /// In-process channel pair charging emulated link time per frame.
+    Emulated,
+}
+
+impl BackendKind {
+    /// Short stable label for telemetry and bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::InMemory => "inmem",
+            BackendKind::Tcp => "tcp",
+            BackendKind::Emulated => "emu",
+        }
+    }
+}
+
+/// The initiating side of a backend: opens logical sessions toward the
+/// peer. Object-safe so platform code can hold a `dyn Transport` chosen
+/// from configuration.
+pub trait Transport: Send + Sync {
+    /// Which backend this transport drives.
+    fn backend(&self) -> BackendKind;
+
+    /// Opens a new logical session toward the peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::Disconnected`] when the peer (or the carrier
+    /// underneath) is gone.
+    fn open_session(&self) -> Result<Session, LinkError>;
+}
+
+/// The accepting side of a backend: yields the peer end of each session
+/// the remote [`Transport`] opens.
+pub trait Acceptor: Send + Sync {
+    /// Blocks until the peer opens the next session and returns our end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::Disconnected`] when the carrier is gone and no
+    /// further sessions can arrive.
+    fn accept(&self) -> Result<Session, LinkError>;
+}
+
+/// Charging model for channel-backed transports.
+#[derive(Debug, Clone)]
+enum Charging {
+    /// No virtual-time accounting (plain in-memory backend).
+    None,
+    /// Charge each sent frame to this clock at these rates.
+    Virtual(Arc<NetClock>, CommParams),
+}
+
+/// In-process [`Transport`]: each `open_session` builds a fresh crossbeam
+/// channel pair and hands the peer end to the matching
+/// [`ChannelAcceptor`]. Doubles as the emulated backend when constructed
+/// via [`virtual_transport`].
+#[derive(Debug)]
+pub struct ChannelTransport {
+    backend: BackendKind,
+    charging: Charging,
+    peer_tx: Sender<Session>,
+    sessions_opened: Arc<aide_telemetry::Counter>,
+}
+
+/// Accepting side of a [`ChannelTransport`].
+#[derive(Debug)]
+pub struct ChannelAcceptor {
+    peer_rx: Receiver<Session>,
+}
+
+/// Creates a connected in-memory transport/acceptor pair.
+pub fn channel_transport() -> (ChannelTransport, ChannelAcceptor) {
+    build_channel_transport(BackendKind::InMemory, Charging::None)
+}
+
+/// Creates a connected emulated transport/acceptor pair: sessions charge
+/// virtual link time per frame at `params` rates to the returned
+/// [`NetClock`].
+pub fn virtual_transport(params: CommParams) -> (ChannelTransport, ChannelAcceptor, Arc<NetClock>) {
+    let clock = Arc::new(NetClock::new());
+    let (t, a) = build_channel_transport(
+        BackendKind::Emulated,
+        Charging::Virtual(Arc::clone(&clock), params),
+    );
+    (t, a, clock)
+}
+
+fn build_channel_transport(
+    backend: BackendKind,
+    charging: Charging,
+) -> (ChannelTransport, ChannelAcceptor) {
+    let (peer_tx, peer_rx) = unbounded();
+    (
+        ChannelTransport {
+            backend,
+            charging,
+            peer_tx,
+            sessions_opened: aide_telemetry::global().counter(aide_telemetry::names::MUX_SESSIONS),
+        },
+        ChannelAcceptor { peer_rx },
+    )
+}
+
+impl ChannelTransport {
+    /// The clock virtual-time sessions charge into, if this is the
+    /// emulated backend.
+    pub fn link_clock(&self) -> Option<Arc<NetClock>> {
+        match &self.charging {
+            Charging::None => None,
+            Charging::Virtual(clock, _) => Some(Arc::clone(clock)),
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    fn open_session(&self) -> Result<Session, LinkError> {
+        let (ours, theirs) = session_pair(self.backend);
+        let (ours, theirs) = match &self.charging {
+            Charging::None => (ours, theirs),
+            Charging::Virtual(clock, params) => (
+                ours.with_charge(Arc::clone(clock), *params),
+                theirs.with_charge(Arc::clone(clock), *params),
+            ),
+        };
+        self.peer_tx
+            .send(theirs)
+            .map_err(|_| LinkError::Disconnected)?;
+        self.sessions_opened.inc();
+        Ok(ours)
+    }
+}
+
+impl Acceptor for ChannelAcceptor {
+    fn accept(&self) -> Result<Session, LinkError> {
+        self.peer_rx.recv().map_err(|_| LinkError::Disconnected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_transport_round_trips_frames() {
+        let (t, a) = channel_transport();
+        let client = t.open_session().unwrap();
+        let server = a.accept().unwrap();
+        assert_eq!(client.backend(), BackendKind::InMemory);
+        client.send(vec![1, 2, 3]).unwrap();
+        assert_eq!(server.recv().unwrap(), vec![1, 2, 3]);
+        server.send(vec![9]).unwrap();
+        assert_eq!(client.recv().unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn each_open_session_is_isolated() {
+        let (t, a) = channel_transport();
+        let c1 = t.open_session().unwrap();
+        let c2 = t.open_session().unwrap();
+        let s1 = a.accept().unwrap();
+        let s2 = a.accept().unwrap();
+        c1.send(vec![1]).unwrap();
+        c2.send(vec![2]).unwrap();
+        assert_eq!(s1.recv().unwrap(), vec![1]);
+        assert_eq!(s2.recv().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn acceptor_disconnects_when_transport_drops() {
+        let (t, a) = channel_transport();
+        drop(t);
+        assert_eq!(a.accept().unwrap_err(), LinkError::Disconnected);
+    }
+
+    #[test]
+    fn virtual_sessions_charge_link_time_per_frame() {
+        let params = CommParams::WAVELAN;
+        let (t, a, clock) = virtual_transport(params);
+        let client = t.open_session().unwrap();
+        let server = a.accept().unwrap();
+        assert_eq!(client.backend(), BackendKind::Emulated);
+        assert_eq!(clock.seconds(), 0.0);
+        client.send(vec![0u8; 1100]).unwrap();
+        server.recv().unwrap();
+        let expected = 1100.0 * 8.0 / params.bandwidth_bps + params.rtt_seconds / 2.0;
+        assert!((clock.seconds() - expected).abs() < 1e-12);
+        server.send(vec![0u8; 1100]).unwrap();
+        client.recv().unwrap();
+        assert!((clock.seconds() - 2.0 * expected).abs() < 1e-12);
+    }
+}

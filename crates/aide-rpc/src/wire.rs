@@ -17,7 +17,13 @@
 //! [`WireError::BadChecksum`] — never to a panic or a wrong message — so
 //! the retry layer above can treat corruption exactly like loss.
 
+use std::io::{Read, Write};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
 
 use aide_vm::{ClassId, MethodId, NativeKind, ObjectId, ObjectRecord};
 
@@ -326,15 +332,43 @@ impl Message {
         seal_frame(&payload).freeze()
     }
 
+    /// Encodes the message into a frame whose backing buffer is leased
+    /// from the process-wide [`FramePool`]. Byte-identical to
+    /// [`Message::encode`], but steady-state encoding performs no heap
+    /// allocation: the buffer returns to the pool when the frame drops.
+    pub fn encode_pooled(&self) -> Frame {
+        let mut frame = FramePool::global().acquire();
+        self.encode_into(frame.vec_mut());
+        frame
+    }
+
+    /// Encodes the message frame (`[version][crc32 LE][payload]`) in place
+    /// into `buf`, replacing its contents and reusing its capacity.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.reserve(FRAME_HEADER + 64);
+        buf.put_u8(PROTOCOL_VERSION);
+        buf.put_u32_le(0); // checksum placeholder, patched below
+        self.encode_body(buf);
+        let crc = crc32(&buf[FRAME_HEADER..]);
+        buf[1..FRAME_HEADER].copy_from_slice(&crc.to_le_bytes());
+    }
+
     /// Encodes just the message payload (no version byte, no checksum).
     fn encode_payload(&self) -> BytesMut {
         let mut buf = BytesMut::with_capacity(64);
+        self.encode_body(&mut buf);
+        buf
+    }
+
+    /// Writes the tagged payload bytes of this message into `buf`.
+    fn encode_body<B: BufMut>(&self, buf: &mut B) {
         match self {
             Message::Request { seq, client, body } => {
                 buf.put_u8(0);
                 buf.put_u64_le(*seq);
                 buf.put_u64_le(*client);
-                encode_request(&mut buf, body);
+                encode_request(buf, body);
             }
             Message::Reply { seq, result } => {
                 buf.put_u8(1);
@@ -342,16 +376,15 @@ impl Message {
                 match result {
                     Ok(reply) => {
                         buf.put_u8(0);
-                        encode_reply(&mut buf, reply);
+                        encode_reply(buf, reply);
                     }
                     Err(msg) => {
                         buf.put_u8(1);
-                        put_str(&mut buf, msg);
+                        put_str(buf, msg);
                     }
                 }
             }
         }
-        buf
     }
 
     /// Decodes a message from a frame.
@@ -413,7 +446,318 @@ fn seal_frame(payload: &[u8]) -> BytesMut {
     framed
 }
 
-fn encode_request(buf: &mut BytesMut, body: &Request) {
+/// Hard cap on a single frame read from a byte-stream carrier. A peer
+/// announcing a larger frame is treated as corrupt and disconnected.
+pub(crate) const MAX_FRAME: u32 = 64 << 20;
+
+/// Where a [`Frame`]'s backing buffer came from, which determines both
+/// where it goes on drop and which pool statistic its capacity feeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameOrigin {
+    /// A plain `Vec<u8>` handed in by the caller; dropped normally.
+    Raw,
+    /// Leased from the pool shelf (a reuse); returns to the shelf.
+    PoolHit,
+    /// Freshly allocated because the shelf was empty or pooling is off;
+    /// still returns to the shelf so it can be a hit next time.
+    PoolMiss,
+}
+
+/// An owned encoded frame whose backing buffer may be leased from the
+/// process-wide [`FramePool`].
+///
+/// `Frame` dereferences to `[u8]`, so everything that consumed `Vec<u8>`
+/// frames (decoders, chaos mutation, byte accounting) works unchanged.
+/// Dropping a pool-originated frame returns its buffer to the pool instead
+/// of freeing it, which is what removes per-frame allocations from the
+/// encode/decode hot path.
+pub struct Frame {
+    buf: Vec<u8>,
+    origin: FrameOrigin,
+}
+
+impl Frame {
+    /// An empty frame that is not associated with the pool.
+    pub fn empty() -> Frame {
+        Frame {
+            buf: Vec::new(),
+            origin: FrameOrigin::Raw,
+        }
+    }
+
+    /// Shortens the frame to `len` bytes (used by chaos truncation).
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
+
+    /// Mutable access to the backing buffer, for encode-in-place and
+    /// carrier reads. Crate-internal: callers outside the transport layer
+    /// only ever see frames as immutable byte slices.
+    pub(crate) fn vec_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Deref for Frame {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for Frame {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl Drop for Frame {
+    fn drop(&mut self) {
+        if self.origin != FrameOrigin::Raw {
+            FramePool::global().release(std::mem::take(&mut self.buf), self.origin);
+        }
+    }
+}
+
+impl Clone for Frame {
+    fn clone(&self) -> Frame {
+        if self.origin == FrameOrigin::Raw {
+            Frame {
+                buf: self.buf.clone(),
+                origin: FrameOrigin::Raw,
+            }
+        } else {
+            let mut copy = FramePool::global().acquire();
+            copy.buf.extend_from_slice(&self.buf);
+            copy
+        }
+    }
+}
+
+impl std::fmt::Debug for Frame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Frame({:?})", self.buf)
+    }
+}
+
+impl PartialEq for Frame {
+    fn eq(&self, other: &Frame) -> bool {
+        self.buf == other.buf
+    }
+}
+
+impl Eq for Frame {}
+
+impl PartialEq<Vec<u8>> for Frame {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.buf == *other
+    }
+}
+
+impl PartialEq<Frame> for Vec<u8> {
+    fn eq(&self, other: &Frame) -> bool {
+        *self == other.buf
+    }
+}
+
+impl PartialEq<&[u8]> for Frame {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.buf == *other
+    }
+}
+
+impl From<Vec<u8>> for Frame {
+    fn from(buf: Vec<u8>) -> Frame {
+        Frame {
+            buf,
+            origin: FrameOrigin::Raw,
+        }
+    }
+}
+
+impl From<&[u8]> for Frame {
+    fn from(bytes: &[u8]) -> Frame {
+        Frame {
+            buf: bytes.to_vec(),
+            origin: FrameOrigin::Raw,
+        }
+    }
+}
+
+/// Most buffers the shelf will retain at once.
+const POOL_SHELF_CAPACITY: usize = 256;
+
+/// Largest buffer capacity the shelf retains; bigger one-off buffers
+/// (bulk migrations) are freed rather than kept hot forever.
+const POOL_MAX_RETAIN: usize = 1 << 20;
+
+/// Process-wide shelf of reusable frame buffers.
+///
+/// [`Message::encode_pooled`] and the byte-stream carriers lease buffers
+/// from here; dropping the resulting [`Frame`] returns the buffer. The
+/// pool keeps logical allocation accounting (independent of wall clock, so
+/// it is stable in CI): every buffer capacity released by a miss-origin
+/// frame counts as freshly allocated bytes, every capacity released by a
+/// hit-origin frame counts as recycled bytes. `set_pooling(false)` turns
+/// the shelf off (every acquire becomes a miss) for A/B measurement.
+pub struct FramePool {
+    shelf: Mutex<Vec<Vec<u8>>>,
+    enabled: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    allocated_bytes: AtomicU64,
+    recycled_bytes: AtomicU64,
+    tele_hits: Arc<aide_telemetry::Counter>,
+    tele_misses: Arc<aide_telemetry::Counter>,
+    tele_allocated: Arc<aide_telemetry::Counter>,
+    tele_recycled: Arc<aide_telemetry::Counter>,
+    tele_buffers: Arc<aide_telemetry::Gauge>,
+}
+
+impl FramePool {
+    fn new() -> FramePool {
+        let t = aide_telemetry::global();
+        FramePool {
+            shelf: Mutex::new(Vec::new()),
+            enabled: AtomicBool::new(true),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            allocated_bytes: AtomicU64::new(0),
+            recycled_bytes: AtomicU64::new(0),
+            tele_hits: t.counter(aide_telemetry::names::RPC_POOL_HITS),
+            tele_misses: t.counter(aide_telemetry::names::RPC_POOL_MISSES),
+            tele_allocated: t.counter(aide_telemetry::names::RPC_POOL_ALLOCATED_BYTES),
+            tele_recycled: t.counter(aide_telemetry::names::RPC_POOL_RECYCLED_BYTES),
+            tele_buffers: t.gauge(aide_telemetry::names::RPC_POOL_BUFFERS),
+        }
+    }
+
+    /// The process-wide pool instance.
+    pub fn global() -> &'static FramePool {
+        static POOL: OnceLock<FramePool> = OnceLock::new();
+        POOL.get_or_init(FramePool::new)
+    }
+
+    /// Enables or disables buffer reuse. While disabled every acquire is a
+    /// miss and released buffers are freed — the unpooled baseline for the
+    /// `exp_rpc_throughput` comparison.
+    pub fn set_pooling(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            let mut shelf = self.shelf.lock();
+            let n = shelf.len();
+            shelf.clear();
+            self.tele_buffers.add(-(n as i64));
+        }
+    }
+
+    /// Whether buffer reuse is currently enabled.
+    pub fn pooling(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Leases an empty buffer, reusing a shelved one when possible.
+    pub fn acquire(&self) -> Frame {
+        if self.enabled.load(Ordering::Relaxed) {
+            if let Some(mut buf) = self.shelf.lock().pop() {
+                buf.clear();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.tele_hits.inc();
+                self.tele_buffers.add(-1);
+                return Frame {
+                    buf,
+                    origin: FrameOrigin::PoolHit,
+                };
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.tele_misses.inc();
+        Frame {
+            buf: Vec::new(),
+            origin: FrameOrigin::PoolMiss,
+        }
+    }
+
+    /// Accepts a buffer back from a dropped pool-originated [`Frame`].
+    fn release(&self, buf: Vec<u8>, origin: FrameOrigin) {
+        let cap = buf.capacity() as u64;
+        match origin {
+            FrameOrigin::PoolHit => {
+                self.recycled_bytes.fetch_add(cap, Ordering::Relaxed);
+                self.tele_recycled.add(cap);
+            }
+            FrameOrigin::PoolMiss => {
+                self.allocated_bytes.fetch_add(cap, Ordering::Relaxed);
+                self.tele_allocated.add(cap);
+            }
+            FrameOrigin::Raw => return,
+        }
+        if !self.enabled.load(Ordering::Relaxed) || cap == 0 || cap as usize > POOL_MAX_RETAIN {
+            return;
+        }
+        let mut shelf = self.shelf.lock();
+        if shelf.len() < POOL_SHELF_CAPACITY {
+            shelf.push(buf);
+            self.tele_buffers.add(1);
+        }
+    }
+
+    /// Number of acquires served from the shelf.
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of acquires that had to start from an empty buffer.
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total capacity (bytes) of freshly allocated frame buffers released
+    /// so far — the numerator of bytes-allocated-per-call.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total capacity (bytes) of reused frame buffers released so far.
+    pub fn recycled_bytes(&self) -> u64 {
+        self.recycled_bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// Writes one `[len u32 LE][bytes]` frame to a byte-stream carrier.
+/// Shared by the single-session TCP carrier and the mux writer so framing
+/// exists in exactly one place.
+pub(crate) fn write_frame(w: &mut impl Write, frame: &[u8]) -> std::io::Result<()> {
+    let len = frame.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(frame)
+}
+
+/// Reads exactly `len` bytes from a carrier into a pooled frame buffer.
+pub(crate) fn read_exact_pooled(r: &mut impl Read, len: usize) -> std::io::Result<Frame> {
+    let mut frame = FramePool::global().acquire();
+    frame.vec_mut().resize(len, 0);
+    r.read_exact(frame.vec_mut())?;
+    Ok(frame)
+}
+
+/// Reads one `[len u32 LE][bytes]` frame from a byte-stream carrier into
+/// a pooled buffer, enforcing [`MAX_FRAME`].
+pub(crate) fn read_frame(r: &mut impl Read) -> std::io::Result<Frame> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    read_exact_pooled(r, len as usize)
+}
+
+fn encode_request<B: BufMut>(buf: &mut B, body: &Request) {
     match body {
         Request::Invoke {
             target,
@@ -519,7 +863,7 @@ fn encode_request(buf: &mut BytesMut, body: &Request) {
     }
 }
 
-fn put_object_records(buf: &mut BytesMut, objects: &[(ObjectId, ObjectRecord)]) {
+fn put_object_records<B: BufMut>(buf: &mut B, objects: &[(ObjectId, ObjectRecord)]) {
     buf.put_u32_le(objects.len() as u32);
     for (id, rec) in objects {
         buf.put_u64_le(id.0);
@@ -625,7 +969,7 @@ fn decode_request(buf: &mut &[u8]) -> Result<Request, WireError> {
     })
 }
 
-fn encode_reply(buf: &mut BytesMut, reply: &Reply) {
+fn encode_reply<B: BufMut>(buf: &mut B, reply: &Reply) {
     match reply {
         Reply::Unit => buf.put_u8(0),
         Reply::Slot(v) => {
@@ -677,7 +1021,7 @@ fn native_from_tag(tag: u8) -> Result<NativeKind, WireError> {
     })
 }
 
-fn put_opt_oid(buf: &mut BytesMut, v: Option<ObjectId>) {
+fn put_opt_oid<B: BufMut>(buf: &mut B, v: Option<ObjectId>) {
     match v {
         Some(id) => {
             buf.put_u8(1);
@@ -695,7 +1039,7 @@ fn get_opt_oid(buf: &mut &[u8]) -> Result<Option<ObjectId>, WireError> {
     }
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+fn put_str<B: BufMut>(buf: &mut B, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
@@ -1012,5 +1356,88 @@ mod tests {
             Message::simulated_reply_bytes(&Request::MigrateCommit { txn: 1 }),
             32
         );
+    }
+
+    #[test]
+    fn pooled_encode_is_byte_identical_to_plain_encode() {
+        let msg = Message::Request {
+            seq: 9,
+            client: 3,
+            body: Request::FieldAccess {
+                target: ObjectId::surrogate(4),
+                bytes: 128,
+                write: false,
+            },
+        };
+        let plain = msg.encode();
+        let pooled = msg.encode_pooled();
+        assert_eq!(&plain[..], &pooled[..]);
+        assert_eq!(Message::decode(&pooled).expect("decode pooled"), msg);
+    }
+
+    #[test]
+    fn encode_into_reuses_capacity_and_matches_encode() {
+        let small = Message::Reply {
+            seq: 1,
+            result: Ok(Reply::Unit),
+        };
+        let big = Message::Request {
+            seq: 2,
+            client: 0,
+            body: Request::Invoke {
+                target: ObjectId::surrogate(1),
+                class: ClassId(1),
+                method: MethodId(1),
+                arg_bytes: 4_096,
+                ret_bytes: 64,
+                args: vec![ObjectId::client(5); 32],
+            },
+        };
+        let mut buf = Vec::new();
+        big.encode_into(&mut buf);
+        assert_eq!(buf, big.encode().to_vec());
+        let cap = buf.capacity();
+        small.encode_into(&mut buf);
+        assert_eq!(buf, small.encode().to_vec());
+        assert_eq!(buf.capacity(), cap, "re-encode must not reallocate");
+    }
+
+    #[test]
+    fn dropped_pool_frames_are_accounted_by_origin() {
+        // Counters are global and monotonic, so assert deltas with >=:
+        // concurrent tests may add their own traffic in between.
+        let pool = FramePool::global();
+        let msg = Message::Reply {
+            seq: 7,
+            result: Ok(Reply::Unit),
+        };
+        let frame = msg.encode_pooled();
+        // Capacity is at least the frame length, so the length is a safe
+        // lower bound on the accounted bytes.
+        let len = frame.len() as u64;
+        let before = pool.allocated_bytes() + pool.recycled_bytes();
+        drop(frame);
+        let after = pool.allocated_bytes() + pool.recycled_bytes();
+        assert!(
+            after >= before + len,
+            "dropping a pooled frame must account its capacity"
+        );
+    }
+
+    #[test]
+    fn cloned_frames_compare_equal_and_pool_independently() {
+        let msg = Message::Reply {
+            seq: 11,
+            result: Err("nope".into()),
+        };
+        let pooled = msg.encode_pooled();
+        let copy = pooled.clone();
+        assert_eq!(pooled, copy);
+        let raw: Frame = pooled.to_vec().into();
+        assert_eq!(raw, copy);
+        drop(pooled);
+        // The clone's buffer is its own: still valid after the original
+        // returned to the pool.
+        assert_eq!(Message::decode(&copy).expect("decode clone"), msg);
     }
 }

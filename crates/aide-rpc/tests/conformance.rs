@@ -1,0 +1,339 @@
+//! Backend conformance: the same session, multiplexing, chaos, and retry
+//! scenarios must behave identically over every `Transport` backend —
+//! in-memory channels, real multiplexed TCP, and the emulated virtual-time
+//! link. Each scenario iterates the full fixture set, so a backend that
+//! diverges from the shared seam fails by name.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aide_graph::CommParams;
+use aide_rpc::{
+    channel_transport, chaos_wrap, virtual_transport, Acceptor, BackendKind, ChaosSchedule,
+    Dispatcher, Endpoint, EndpointConfig, NetClock, Reply, Request, RetryPolicy, Session,
+    TcpMuxListener, TcpTransport, Transport,
+};
+use aide_vm::ObjectId;
+
+/// One backend under test: the initiating and accepting halves, boxed so
+/// every scenario runs against the same `dyn` seam the platform uses.
+struct Fixture {
+    name: &'static str,
+    transport: Box<dyn Transport>,
+    acceptor: Box<dyn Acceptor>,
+}
+
+fn fixtures() -> Vec<Fixture> {
+    let mut all = Vec::new();
+
+    let (t, a) = channel_transport();
+    all.push(Fixture {
+        name: "inmem",
+        transport: Box::new(t),
+        acceptor: Box::new(a),
+    });
+
+    let (t, a, _clock) = virtual_transport(CommParams::WAVELAN);
+    all.push(Fixture {
+        name: "emu",
+        transport: Box::new(t),
+        acceptor: Box::new(a),
+    });
+
+    let listener = TcpMuxListener::bind(std::net::SocketAddr::from(([127, 0, 0, 1], 0)))
+        .expect("bind localhost listener");
+    let addr = listener.local_addr();
+    let accepted = std::thread::spawn(move || listener.accept());
+    let t = TcpTransport::connect(addr, Duration::from_secs(2)).expect("connect");
+    let conn = accepted.join().expect("accept thread").expect("accept");
+    all.push(Fixture {
+        name: "tcp",
+        transport: Box::new(t),
+        acceptor: Box::new(conn),
+    });
+
+    all
+}
+
+fn open_pair(fx: &Fixture) -> (Session, Session) {
+    let ours = fx.transport.open_session().expect("open session");
+    let theirs = fx.acceptor.accept().expect("accept session");
+    (ours, theirs)
+}
+
+/// Answers slot reads with a fixed object and executes everything else.
+struct EchoDispatcher;
+
+impl Dispatcher for EchoDispatcher {
+    fn dispatch(&self, request: Request) -> Result<Reply, String> {
+        match request {
+            Request::GetSlot { .. } => Ok(Reply::Slot(Some(ObjectId::surrogate(7)))),
+            _ => Ok(Reply::Unit),
+        }
+    }
+}
+
+/// The client side never serves.
+struct NullDispatcher;
+
+impl Dispatcher for NullDispatcher {
+    fn dispatch(&self, _request: Request) -> Result<Reply, String> {
+        Ok(Reply::Unit)
+    }
+}
+
+/// A small worker pool: these scenarios have no nested cross-VM calls.
+fn small_config() -> EndpointConfig {
+    EndpointConfig {
+        workers: 4,
+        ..EndpointConfig::default()
+    }
+}
+
+fn endpoint_pair(
+    client_session: Session,
+    server_session: Session,
+    config: EndpointConfig,
+) -> (Arc<Endpoint>, Arc<Endpoint>) {
+    let clock = Arc::new(NetClock::new());
+    let client = Endpoint::start(
+        client_session,
+        CommParams::WAVELAN,
+        clock.clone(),
+        Arc::new(NullDispatcher),
+        config,
+    );
+    let server = Endpoint::start(
+        server_session,
+        CommParams::WAVELAN,
+        clock,
+        Arc::new(EchoDispatcher),
+        config,
+    );
+    (client, server)
+}
+
+#[test]
+fn raw_frames_round_trip_on_every_backend() {
+    for fx in fixtures() {
+        let (ours, theirs) = open_pair(&fx);
+        ours.send(vec![1, 2, 3]).unwrap();
+        assert_eq!(theirs.recv().unwrap(), vec![1, 2, 3], "{}", fx.name);
+        theirs.send(vec![9, 8]).unwrap();
+        assert_eq!(ours.recv().unwrap(), vec![9, 8], "{}", fx.name);
+        assert_eq!(ours.backend(), theirs.backend(), "{}", fx.name);
+    }
+}
+
+#[test]
+fn backends_report_their_kind() {
+    let expected = [
+        ("inmem", BackendKind::InMemory),
+        ("emu", BackendKind::Emulated),
+        ("tcp", BackendKind::Tcp),
+    ];
+    for (fx, (name, kind)) in fixtures().iter().zip(expected) {
+        assert_eq!(fx.name, name);
+        assert_eq!(fx.transport.backend(), kind);
+        let (ours, _theirs) = open_pair(fx);
+        assert_eq!(ours.backend(), kind);
+    }
+}
+
+#[test]
+fn endpoints_complete_calls_on_every_backend() {
+    for fx in fixtures() {
+        let (cs, ss) = open_pair(&fx);
+        let (client, server) = endpoint_pair(cs, ss, small_config());
+        for _ in 0..10 {
+            let reply = client
+                .call(Request::GetSlot {
+                    target: ObjectId::surrogate(7),
+                    slot: 0,
+                })
+                .unwrap_or_else(|e| panic!("{}: {e}", fx.name));
+            assert_eq!(reply, Reply::Slot(Some(ObjectId::surrogate(7))));
+        }
+        assert_eq!(server.requests_served(), 10, "{}", fx.name);
+        client.shutdown();
+        server.shutdown();
+        client.join();
+        server.join();
+    }
+}
+
+#[test]
+fn many_concurrent_sessions_stay_isolated_on_every_backend() {
+    for fx in fixtures() {
+        let mut pairs = Vec::new();
+        for _ in 0..4 {
+            pairs.push(open_pair(&fx));
+        }
+        // Echo servers, one thread per accepted session.
+        let echoes: Vec<_> = pairs
+            .iter()
+            .map(|(_, theirs)| {
+                let theirs = theirs.clone();
+                std::thread::spawn(move || {
+                    while let Ok(frame) = theirs.recv() {
+                        if theirs.send(frame.to_vec()).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for (i, (ours, _)) in pairs.iter().enumerate() {
+            ours.send(vec![i as u8; 8]).unwrap();
+        }
+        for (i, (ours, _)) in pairs.iter().enumerate() {
+            assert_eq!(
+                ours.recv().unwrap(),
+                vec![i as u8; 8],
+                "{} session {i}",
+                fx.name
+            );
+        }
+        // On a multiplexed carrier dropping the handle is not enough: tell
+        // the peer each session is done so its echo loop disconnects.
+        for (ours, _) in &pairs {
+            ours.close();
+        }
+        drop(pairs);
+        for echo in echoes {
+            echo.join().unwrap();
+        }
+    }
+}
+
+#[test]
+fn deterministic_duplicates_are_absorbed_on_every_backend() {
+    for fx in fixtures() {
+        let (cs, ss) = open_pair(&fx);
+        // Every client frame is sent twice; the serving side's at-most-once
+        // cache must absorb the copies identically on every backend.
+        let (cs, _stats) = chaos_wrap(
+            cs,
+            ChaosSchedule {
+                duplicate: 1.0,
+                ..ChaosSchedule::seeded(42)
+            },
+        );
+        let (client, server) = endpoint_pair(cs, ss, small_config());
+        for _ in 0..10 {
+            client
+                .call(Request::FieldAccess {
+                    target: ObjectId::surrogate(1),
+                    bytes: 16,
+                    write: true,
+                })
+                .unwrap_or_else(|e| panic!("{}: {e}", fx.name));
+        }
+        assert_eq!(server.requests_served(), 10, "{}", fx.name);
+        assert_eq!(server.dedup_hits(), 10, "{}", fx.name);
+        client.shutdown();
+        server.shutdown();
+        client.join();
+        server.join();
+    }
+}
+
+#[test]
+fn retry_masks_seeded_loss_on_every_backend() {
+    let config = EndpointConfig {
+        workers: 2,
+        call_timeout: Duration::from_secs(5),
+        drain_timeout: Duration::from_millis(100),
+        retry: RetryPolicy {
+            max_attempts: 12,
+            attempt_timeout: Duration::from_millis(100),
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+            deadline: Duration::from_secs(20),
+            ..RetryPolicy::default()
+        },
+    };
+    for fx in fixtures() {
+        let (cs, ss) = open_pair(&fx);
+        let (cs, _stats) = chaos_wrap(
+            cs,
+            ChaosSchedule {
+                drop: 0.25,
+                ..ChaosSchedule::seeded(7)
+            },
+        );
+        let (client, server) = endpoint_pair(cs, ss, config);
+        for _ in 0..20 {
+            client
+                .call_with_retry(Request::FieldAccess {
+                    target: ObjectId::surrogate(1),
+                    bytes: 0,
+                    write: true,
+                })
+                .unwrap_or_else(|e| panic!("{}: {e}", fx.name));
+        }
+        // Exactly-once execution despite loss and retransmission.
+        assert_eq!(server.requests_served(), 20, "{}", fx.name);
+        client.shutdown();
+        server.shutdown();
+        client.join();
+        server.join();
+    }
+}
+
+#[test]
+fn a_slow_session_does_not_stall_its_siblings() {
+    // The multiplexing fairness property: on every backend — most
+    // importantly TCP, where sessions share one socket and one writer —
+    // a session whose server is asleep must not block service on its
+    // siblings.
+    for fx in fixtures() {
+        let (slow_ours, slow_theirs) = open_pair(&fx);
+        let (fast_ours, fast_theirs) = open_pair(&fx);
+
+        let slow_server = std::thread::spawn(move || {
+            let frame = slow_theirs.recv().unwrap();
+            std::thread::sleep(Duration::from_millis(600));
+            slow_theirs.send(frame.to_vec()).unwrap();
+        });
+        let fast_server = std::thread::spawn(move || {
+            while let Ok(frame) = fast_theirs.recv() {
+                if fast_theirs.send(frame.to_vec()).is_err() {
+                    break;
+                }
+            }
+        });
+
+        slow_ours.send(vec![1; 32]).unwrap();
+        let started = Instant::now();
+        for i in 0..50 {
+            fast_ours.send(vec![i; 64]).unwrap();
+            assert_eq!(fast_ours.recv().unwrap(), vec![i; 64], "{}", fx.name);
+        }
+        let fast_elapsed = started.elapsed();
+        assert!(
+            fast_elapsed < Duration::from_millis(500),
+            "{}: 50 fast round trips took {fast_elapsed:?} behind a sleeping sibling",
+            fx.name
+        );
+        // The slow session still completes.
+        assert_eq!(slow_ours.recv().unwrap(), vec![1; 32], "{}", fx.name);
+        slow_server.join().unwrap();
+        fast_ours.close();
+        drop(fast_ours);
+        fast_server.join().unwrap();
+    }
+}
+
+#[test]
+fn session_close_leaves_siblings_running_on_every_backend() {
+    for fx in fixtures() {
+        let (a_ours, a_theirs) = open_pair(&fx);
+        let (b_ours, b_theirs) = open_pair(&fx);
+        a_ours.close();
+        drop(a_ours);
+        drop(a_theirs);
+        b_ours.send(vec![5]).unwrap();
+        assert_eq!(b_theirs.recv().unwrap(), vec![5], "{}", fx.name);
+    }
+}

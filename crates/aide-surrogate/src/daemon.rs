@@ -2,11 +2,14 @@
 //! cycles to resource-constrained clients.
 //!
 //! The daemon listens on TCP and serves any number of concurrent client
-//! sessions. Each accepted connection gets its own surrogate VM, export/
-//! import tables, dispatcher, and RPC endpoint — sessions are fully
+//! sessions. Each accepted connection is a multiplexed carrier
+//! ([`aide_rpc::TcpMuxListener`]) over which the client opens any number of
+//! logical sessions; each logical session gets its own surrogate VM,
+//! export/import tables, dispatcher, and RPC endpoint — sessions are fully
 //! isolated, exactly as the paper's surrogate hosts one platform instance
-//! per client application. A session ends when the client disconnects; the
-//! daemon itself runs until [`SurrogateDaemon::shutdown`].
+//! per client application, but they share one socket instead of one socket
+//! each. A session ends when the client closes it (or the carrier dies);
+//! the daemon itself runs until [`SurrogateDaemon::shutdown`].
 //!
 //! For failover and chaos testing the daemon can be configured to
 //! misbehave deliberately: [`DaemonConfig::fail_after_requests`] arms a
@@ -19,7 +22,7 @@
 //! session alive but sabotage its outbound frames through the chaos layer,
 //! exercising the client's retry and checksum paths instead of failover.
 
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -28,8 +31,8 @@ use std::time::Duration;
 use aide_core::{RefTables, VmDispatcher};
 use aide_graph::CommParams;
 use aide_rpc::{
-    chaos_wrap, tcp_transport, ChaosSchedule, Dispatcher, Endpoint, EndpointConfig, NetClock,
-    Reply, Request,
+    chaos_wrap, nudge, Acceptor, ChaosSchedule, ConnKiller, Dispatcher, Endpoint, EndpointConfig,
+    NetClock, Reply, Request, TcpMuxListener,
 };
 use aide_vm::{Machine, Program, VmConfig};
 use parking_lot::Mutex;
@@ -121,14 +124,14 @@ pub enum FaultMode {
     CorruptReplies,
 }
 
-/// Severs the session socket after a budget of served requests, so the
+/// Severs the session's carrier after a budget of served requests, so the
 /// client experiences a surrogate *crash* (dead link) rather than an error
 /// reply — error replies are application-level and must not trigger
 /// failover.
 struct FaultInjector {
     inner: VmDispatcher,
     remaining: AtomicI64,
-    socket: TcpStream,
+    killer: ConnKiller,
 }
 
 impl Dispatcher for FaultInjector {
@@ -140,7 +143,7 @@ impl Dispatcher for FaultInjector {
             return self.inner.dispatch(request);
         }
         if self.remaining.fetch_sub(1, Ordering::SeqCst) <= 0 {
-            let _ = self.socket.shutdown(Shutdown::Both);
+            self.killer.kill();
             return Err("injected surrogate crash".to_string());
         }
         self.inner.dispatch(request)
@@ -161,9 +164,11 @@ impl Dispatcher for CountingDispatcher {
     }
 }
 
-/// One live client session kept for stats and teardown.
-struct Session {
+/// One live client session kept for stats and teardown, plus the killer of
+/// the carrier it rides on (shared by every session on that carrier).
+struct LiveSession {
     endpoint: Arc<Endpoint>,
+    killer: ConnKiller,
 }
 
 /// A running surrogate daemon; dropping the handle does *not* stop it —
@@ -173,7 +178,7 @@ pub struct SurrogateDaemon {
     stop: Arc<AtomicBool>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
     beacon_thread: Mutex<Option<JoinHandle<()>>>,
-    sessions: Arc<Mutex<Vec<Session>>>,
+    sessions: Arc<Mutex<Vec<LiveSession>>>,
     sessions_accepted: Arc<AtomicU64>,
 }
 
@@ -186,10 +191,10 @@ impl SurrogateDaemon {
     /// Returns any I/O error from binding the TCP listener or the beacon's
     /// UDP socket.
     pub fn start(config: DaemonConfig) -> std::io::Result<SurrogateDaemon> {
-        let listener = TcpListener::bind(config.addr)?;
-        let addr = listener.local_addr()?;
+        let listener = TcpMuxListener::bind(config.addr)?;
+        let addr = listener.local_addr();
         let stop = Arc::new(AtomicBool::new(false));
-        let sessions: Arc<Mutex<Vec<Session>>> = Arc::new(Mutex::new(Vec::new()));
+        let sessions: Arc<Mutex<Vec<LiveSession>>> = Arc::new(Mutex::new(Vec::new()));
         let sessions_accepted = Arc::new(AtomicU64::new(0));
 
         let beacon_thread = match &config.beacon {
@@ -211,20 +216,28 @@ impl SurrogateDaemon {
             let sessions_accepted = sessions_accepted.clone();
             std::thread::Builder::new()
                 .name(format!("aide-surrogate-{}", config.name))
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if stop.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        match start_session(stream, &config) {
-                            Ok(session) => {
+                .spawn(move || loop {
+                    let conn = match listener.accept() {
+                        _ if stop.load(Ordering::SeqCst) => break,
+                        Ok(conn) => conn,
+                        Err(_) => continue, // a broken accept hurts no one else
+                    };
+                    // One carrier per client process; every logical session
+                    // the client opens over it gets its own surrogate VM.
+                    let config = config.clone();
+                    let sessions = sessions.clone();
+                    let sessions_accepted = sessions_accepted.clone();
+                    let spawned = std::thread::Builder::new()
+                        .name("aide-surrogate-conn".into())
+                        .spawn(move || {
+                            let killer = conn.killer();
+                            while let Ok(session) = conn.accept() {
+                                let live = start_session(session, killer.clone(), &config);
                                 sessions_accepted.fetch_add(1, Ordering::SeqCst);
-                                sessions.lock().push(session);
+                                sessions.lock().push(live);
                             }
-                            Err(_) => continue, // a broken accept hurts no one else
-                        }
-                    }
+                        });
+                    let _ = spawned;
                 })
                 .expect("spawn surrogate accept loop")
         };
@@ -273,7 +286,7 @@ impl SurrogateDaemon {
             return;
         }
         // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        nudge(self.addr);
         if let Some(handle) = self.accept_thread.lock().take() {
             let _ = handle.join();
         }
@@ -289,15 +302,22 @@ impl SurrogateDaemon {
         }
         for session in &sessions {
             session.endpoint.join();
+            // Sever the carrier so its per-connection accept thread exits
+            // even if the client never closes its side.
+            session.killer.kill();
         }
     }
 }
 
 /// Builds the per-session machinery: a fresh surrogate VM over the daemon's
 /// program, its own reference tables and dispatcher, and an endpoint
-/// bridging them to the accepted socket.
-fn start_session(stream: TcpStream, config: &DaemonConfig) -> std::io::Result<Session> {
-    stream.set_nodelay(true)?;
+/// bridging them to the accepted logical session. `killer` severs the whole
+/// carrier the session rides on (used by [`FaultMode::Crash`]).
+fn start_session(
+    session: aide_rpc::Session,
+    killer: ConnKiller,
+    config: &DaemonConfig,
+) -> LiveSession {
     let telemetry = aide_telemetry::global();
     telemetry
         .counter(aide_telemetry::names::SURROGATE_SESSIONS)
@@ -315,7 +335,7 @@ fn start_session(stream: TcpStream, config: &DaemonConfig) -> std::io::Result<Se
         (Some(budget), FaultMode::Crash) => Arc::new(FaultInjector {
             inner,
             remaining: AtomicI64::new(i64::try_from(budget).unwrap_or(i64::MAX)),
-            socket: stream.try_clone()?,
+            killer: killer.clone(),
         }),
         _ => Arc::new(inner),
     };
@@ -323,17 +343,16 @@ fn start_session(stream: TcpStream, config: &DaemonConfig) -> std::io::Result<Se
         inner: dispatcher,
         requests: telemetry.counter(aide_telemetry::names::SURROGATE_REQUESTS),
     });
-    let transport = tcp_transport(stream)?;
     // Reply-level fault modes sabotage the session's *outbound* frames via
     // the chaos layer; the dispatcher itself stays honest.
-    let transport = match (config.fail_after_requests, config.fault_mode) {
+    let session = match (config.fail_after_requests, config.fault_mode) {
         (Some(budget), FaultMode::DropReplies) => {
             let schedule = ChaosSchedule {
                 drop: 1.0,
                 after_frames: budget,
                 ..ChaosSchedule::seeded(0xFA01 ^ budget)
             };
-            chaos_wrap(transport, schedule).0
+            chaos_wrap(session, schedule).0
         }
         (Some(budget), FaultMode::DelayReplies(max_delay)) => {
             let schedule = ChaosSchedule {
@@ -342,7 +361,7 @@ fn start_session(stream: TcpStream, config: &DaemonConfig) -> std::io::Result<Se
                 after_frames: budget,
                 ..ChaosSchedule::seeded(0xFA01 ^ budget)
             };
-            chaos_wrap(transport, schedule).0
+            chaos_wrap(session, schedule).0
         }
         (Some(budget), FaultMode::CorruptReplies) => {
             let schedule = ChaosSchedule {
@@ -350,16 +369,16 @@ fn start_session(stream: TcpStream, config: &DaemonConfig) -> std::io::Result<Se
                 after_frames: budget,
                 ..ChaosSchedule::seeded(0xFA01 ^ budget)
             };
-            chaos_wrap(transport, schedule).0
+            chaos_wrap(session, schedule).0
         }
-        _ => transport,
+        _ => session,
     };
     let endpoint = Endpoint::start(
-        transport,
+        session,
         config.params,
         Arc::new(NetClock::new()),
         dispatcher,
         config.endpoint,
     );
-    Ok(Session { endpoint })
+    LiveSession { endpoint, killer }
 }

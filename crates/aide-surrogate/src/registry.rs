@@ -12,12 +12,16 @@
 //! die.
 
 use std::collections::{HashMap, HashSet};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::Duration;
 
 use aide_core::{ProviderContext, SurrogateLease, SurrogateProvider};
 use aide_graph::CommParams;
-use aide_rpc::{tcp_transport, Dispatcher, Endpoint, EndpointConfig, NetClock, Reply, Request};
+use aide_rpc::{
+    Dispatcher, Endpoint, EndpointConfig, NetClock, Reply, Request, Session, TcpTransport,
+    Transport,
+};
 use parking_lot::Mutex;
 
 /// EWMA smoothing factor for probe RTTs: each new sample contributes this
@@ -100,6 +104,23 @@ impl Dispatcher for ProbeDispatcher {
     }
 }
 
+/// One pooled carrier to a surrogate: the multiplexed TCP connection plus
+/// a long-lived probe session on it. Health probes and stats scrapes reuse
+/// this instead of dialing a fresh connection each time; leases open
+/// further logical sessions over the same socket.
+struct CachedConn {
+    transport: TcpTransport,
+    probe: Arc<Endpoint>,
+}
+
+impl std::fmt::Debug for CachedConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedConn")
+            .field("peer", &self.transport.peer_addr())
+            .finish_non_exhaustive()
+    }
+}
+
 /// The client's surrogate directory: discovery, liveness, ranking, and the
 /// [`SurrogateProvider`] the platform leases from.
 #[derive(Debug)]
@@ -109,6 +130,8 @@ pub struct SurrogateRegistry {
     dead: Mutex<HashSet<String>>,
     /// Consecutive failed probes per surrogate; cleared by any success.
     probe_failures: Mutex<HashMap<String, u32>>,
+    /// Pooled carriers keyed by surrogate address.
+    conns: Mutex<HashMap<SocketAddr, CachedConn>>,
 }
 
 impl SurrogateRegistry {
@@ -119,6 +142,7 @@ impl SurrogateRegistry {
             entries: Mutex::new(Vec::new()),
             dead: Mutex::new(HashSet::new()),
             probe_failures: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
         }
     }
 
@@ -231,8 +255,8 @@ impl SurrogateRegistry {
         true
     }
 
-    /// Scrapes a surrogate's Prometheus-style metrics exposition: connects
-    /// a short-lived session, sends a `STATS` request, and returns the
+    /// Scrapes a surrogate's Prometheus-style metrics exposition over the
+    /// pooled probe session, sends a `STATS` request, and returns the
     /// text. `None` if the surrogate is unknown, unreachable, or answered
     /// with anything but text.
     pub fn scrape_stats(&self, name: &str) -> Option<String> {
@@ -242,48 +266,93 @@ impl SurrogateRegistry {
             .iter()
             .find(|e| e.name == name)
             .map(|e| e.addr)?;
-        let endpoint = self.connect(addr, std::sync::Arc::new(ProbeDispatcher))?;
-        let reply = endpoint.call(Request::Stats);
-        endpoint.shutdown();
-        endpoint.join();
-        match reply {
+        let endpoint = self.probe_endpoint(addr)?;
+        match endpoint.call(Request::Stats) {
             Ok(Reply::Text(text)) => Some(text),
-            _ => None,
+            Ok(_) => None,
+            Err(_) => {
+                self.drop_conn(addr);
+                None
+            }
         }
     }
 
-    /// One health probe: connect, send a null RPC, measure the real RTT,
-    /// tear the probe session down.
+    /// One health probe: send a null RPC over the pooled probe session and
+    /// measure the real RTT. The session persists across probes — no
+    /// per-probe TCP handshake — and a failed probe drops the pooled
+    /// carrier so the next probe redials.
     fn probe_one(&self, addr: SocketAddr) -> Option<Duration> {
-        let endpoint = self.connect(addr, std::sync::Arc::new(ProbeDispatcher))?;
-        let rtt = endpoint.probe(self.config.probe_timeout).ok();
-        endpoint.shutdown();
-        endpoint.join();
-        rtt
+        let endpoint = self.probe_endpoint(addr)?;
+        match endpoint.probe(self.config.probe_timeout) {
+            Ok(rtt) => Some(rtt),
+            Err(_) => {
+                self.drop_conn(addr);
+                None
+            }
+        }
     }
 
-    fn connect(
-        &self,
-        addr: SocketAddr,
-        dispatcher: std::sync::Arc<dyn Dispatcher>,
-    ) -> Option<std::sync::Arc<Endpoint>> {
-        self.connect_with(addr, dispatcher, None, EndpointConfig::default())
+    /// The long-lived probe endpoint of the pooled carrier to `addr`,
+    /// dialing the carrier if none is cached.
+    fn probe_endpoint(&self, addr: SocketAddr) -> Option<Arc<Endpoint>> {
+        let mut conns = self.conns.lock();
+        if let Some(conn) = conns.get(&addr) {
+            return Some(conn.probe.clone());
+        }
+        let conn = self.dial(addr)?;
+        let probe = conn.probe.clone();
+        conns.insert(addr, conn);
+        Some(probe)
+    }
+
+    /// Opens a fresh logical session on the pooled carrier to `addr`. A
+    /// stale carrier (surrogate restarted) is dropped and redialed once.
+    fn open_pooled_session(&self, addr: SocketAddr) -> Option<Session> {
+        let mut conns = self.conns.lock();
+        if let Some(conn) = conns.get(&addr) {
+            if let Ok(session) = conn.transport.open_session() {
+                return Some(session);
+            }
+            teardown_conn(conns.remove(&addr));
+        }
+        let conn = self.dial(addr)?;
+        let session = conn.transport.open_session().ok()?;
+        conns.insert(addr, conn);
+        Some(session)
+    }
+
+    /// Dials a new multiplexed carrier and starts its probe session.
+    fn dial(&self, addr: SocketAddr) -> Option<CachedConn> {
+        let transport = TcpTransport::connect(addr, self.config.connect_timeout).ok()?;
+        let session = transport.open_session().ok()?;
+        let probe = Endpoint::start(
+            session,
+            self.config.params,
+            Arc::new(NetClock::new()),
+            Arc::new(ProbeDispatcher),
+            EndpointConfig::default(),
+        );
+        Some(CachedConn { transport, probe })
+    }
+
+    /// Evicts the pooled carrier to `addr`, severing the socket so every
+    /// session on it disconnects.
+    fn drop_conn(&self, addr: SocketAddr) {
+        teardown_conn(self.conns.lock().remove(&addr));
     }
 
     fn connect_with(
         &self,
         addr: SocketAddr,
-        dispatcher: std::sync::Arc<dyn Dispatcher>,
-        clock: Option<std::sync::Arc<NetClock>>,
+        dispatcher: Arc<dyn Dispatcher>,
+        clock: Option<Arc<NetClock>>,
         endpoint_config: EndpointConfig,
-    ) -> Option<std::sync::Arc<Endpoint>> {
-        let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout).ok()?;
-        stream.set_nodelay(true).ok()?;
-        let transport = tcp_transport(stream).ok()?;
+    ) -> Option<Arc<Endpoint>> {
+        let session = self.open_pooled_session(addr)?;
         Some(Endpoint::start(
-            transport,
+            session,
             self.config.params,
-            clock.unwrap_or_else(|| std::sync::Arc::new(NetClock::new())),
+            clock.unwrap_or_else(|| Arc::new(NetClock::new())),
             dispatcher,
             endpoint_config,
         ))
@@ -316,6 +385,24 @@ impl SurrogateRegistry {
     }
 }
 
+/// Shuts down a pooled carrier: winds down the probe endpoint and severs
+/// the socket so the surrogate's side tears down too.
+fn teardown_conn(conn: Option<CachedConn>) {
+    if let Some(conn) = conn {
+        conn.probe.shutdown();
+        conn.probe.join();
+        conn.transport.killer().kill();
+    }
+}
+
+impl Drop for SurrogateRegistry {
+    fn drop(&mut self) {
+        for (_, conn) in self.conns.lock().drain() {
+            teardown_conn(Some(conn));
+        }
+    }
+}
+
 impl SurrogateProvider for SurrogateRegistry {
     /// Leases the best-ranked live surrogate: connects, builds a session
     /// endpoint wired to the platform's dispatcher and clock, and verifies
@@ -336,6 +423,7 @@ impl SurrogateProvider for SurrogateRegistry {
             if endpoint.probe(self.config.probe_timeout).is_err() {
                 endpoint.shutdown();
                 endpoint.join();
+                self.drop_conn(info.addr);
                 self.dead.lock().insert(info.name);
                 continue;
             }

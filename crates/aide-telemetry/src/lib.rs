@@ -103,6 +103,28 @@ pub mod names {
     pub const TCP_BYTES_SENT: &str = "aide_tcp_bytes_sent_total";
     /// Encoded frame bytes read from a TCP carrier.
     pub const TCP_BYTES_RECEIVED: &str = "aide_tcp_bytes_received_total";
+    /// RPC requests issued over the in-memory channel backend.
+    pub const RPC_BACKEND_INMEM_REQUESTS: &str = "aide_rpc_inmem_requests_total";
+    /// RPC requests issued over the TCP backend.
+    pub const RPC_BACKEND_TCP_REQUESTS: &str = "aide_rpc_tcp_requests_total";
+    /// RPC requests issued over the emulated virtual-time backend.
+    pub const RPC_BACKEND_EMU_REQUESTS: &str = "aide_rpc_emu_requests_total";
+    /// Frame-buffer pool acquires served by reusing a shelved buffer.
+    pub const RPC_POOL_HITS: &str = "aide_rpc_pool_hits_total";
+    /// Frame-buffer pool acquires that started from an empty buffer.
+    pub const RPC_POOL_MISSES: &str = "aide_rpc_pool_misses_total";
+    /// Capacity (bytes) of freshly allocated frame buffers retired so far.
+    pub const RPC_POOL_ALLOCATED_BYTES: &str = "aide_rpc_pool_allocated_bytes_total";
+    /// Capacity (bytes) of reused frame buffers retired so far.
+    pub const RPC_POOL_RECYCLED_BYTES: &str = "aide_rpc_pool_recycled_bytes_total";
+    /// Frame buffers currently resting on the pool shelf.
+    pub const RPC_POOL_BUFFERS: &str = "aide_rpc_pool_buffers";
+    /// Logical RPC sessions opened over multiplexed connections.
+    pub const MUX_SESSIONS: &str = "aide_mux_sessions_total";
+    /// Frames carried over multiplexed connections (both directions).
+    pub const MUX_FRAMES: &str = "aide_mux_frames_total";
+    /// Encoded bytes carried over multiplexed connections (both directions).
+    pub const MUX_BYTES: &str = "aide_mux_bytes_total";
 
     /// Completed GC cycles.
     pub const GC_CYCLES: &str = "aide_gc_cycles_total";

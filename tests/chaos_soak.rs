@@ -19,7 +19,7 @@ use aide::graph::{
 };
 use aide::rpc::{
     chaos_pair, chaos_wrap, ChaosSchedule, Dispatcher, Endpoint, EndpointConfig, Link, Reply,
-    Request, RetryPolicy, Transport,
+    Request, RetryPolicy, Session,
 };
 use aide::telemetry::{FlightRecorder, PlatformEvent};
 use aide::vm::{
@@ -77,7 +77,7 @@ struct Harness {
     surrogate_dispatcher: Arc<VmDispatcher>,
 }
 
-fn start_endpoints(link: &Link, ct: Transport, st: Transport) -> Harness {
+fn start_endpoints(link: &Link, ct: Session, st: Session) -> Harness {
     let surrogate_vm = Machine::new(tiny_program(), VmConfig::surrogate(16 << 20));
     let surrogate_dispatcher =
         Arc::new(VmDispatcher::new(surrogate_vm, Arc::new(RefTables::new())));
