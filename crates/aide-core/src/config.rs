@@ -3,6 +3,7 @@
 use aide_graph::{
     CombinedPolicy, CommParams, CpuPolicy, MemoryPolicy, PartitionPolicy, PredictedTime,
 };
+use aide_rpc::ChaosSchedule;
 use aide_vm::{CostModel, GcConfig};
 use serde::{Deserialize, Serialize};
 
@@ -120,6 +121,11 @@ pub struct PlatformConfig {
     /// skip) reproduces the classic evaluate-every-trigger pipeline.
     #[serde(default)]
     pub partitioner: PartitionerConfig,
+    /// Optional fault injection on the client↔surrogate sessions: both
+    /// directions are wrapped in a seeded chaos shim (hostile soak runs,
+    /// record/replay tests). `None` leaves the carrier untouched.
+    #[serde(default)]
+    pub chaos: Option<ChaosSchedule>,
 }
 
 impl PlatformConfig {
@@ -146,6 +152,7 @@ impl PlatformConfig {
             cost: CostModel::default(),
             transport: TransportKind::InProcess,
             partitioner: PartitionerConfig::default(),
+            chaos: None,
         }
     }
 }

@@ -40,6 +40,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::adapter::RefTables;
+use crate::nondet::{LinkPhase, NondetSource};
 
 /// Connection context handed to a [`SurrogateProvider`] when the platform
 /// needs a surrogate: everything required to start the client-side
@@ -248,6 +249,9 @@ pub(crate) struct FailoverCore {
     failover_durations: Mutex<Vec<u64>>,
     /// Flight recorder for decision tracing, when the platform wired one.
     recorder: Mutex<Option<Arc<FlightRecorder>>>,
+    /// Nondeterminism seam, when the platform wired one: link deaths and
+    /// recoveries are nondeterministic inputs to the decision pipeline.
+    nondet: Mutex<Option<Arc<dyn NondetSource>>>,
     /// Requests served / frames exchanged, accumulated over retired leases.
     served_total: AtomicU64,
     frames_total: AtomicU64,
@@ -279,6 +283,7 @@ impl FailoverCore {
             surrogates_used: Mutex::new(Vec::new()),
             failover_durations: Mutex::new(Vec::new()),
             recorder: Mutex::new(None),
+            nondet: Mutex::new(None),
             served_total: AtomicU64::new(0),
             frames_total: AtomicU64::new(0),
         }
@@ -287,6 +292,18 @@ impl FailoverCore {
     /// Wires the platform's flight recorder so recoveries leave a trace.
     pub(crate) fn set_recorder(&self, recorder: Arc<FlightRecorder>) {
         *self.recorder.lock() = Some(recorder);
+    }
+
+    /// Wires the platform's nondeterminism seam so link transitions are
+    /// captured alongside the decisions they influence.
+    pub(crate) fn set_nondet(&self, nondet: Arc<dyn NondetSource>) {
+        *self.nondet.lock() = Some(nondet);
+    }
+
+    fn note_link(&self, surrogate: &str, phase: LinkPhase) {
+        if let Some(nondet) = self.nondet.lock().as_ref() {
+            nondet.link_transition(surrogate, phase);
+        }
     }
 
     fn record_event(&self, event: PlatformEvent) {
@@ -362,6 +379,7 @@ impl FailoverCore {
         self.record_event(PlatformEvent::LinkDied {
             surrogate: lease.name.clone(),
         });
+        self.note_link(&lease.name, LinkPhase::Died);
         // Fail remaining in-flight calls fast and stop the session.
         lease.endpoint.shutdown();
         self.provider.report_failure(&lease.name);
@@ -388,6 +406,7 @@ impl FailoverCore {
             objects_lost: self.objects_lost.load(Ordering::Relaxed) - lost_before,
             duration_micros,
         });
+        self.note_link(&lease.name, LinkPhase::Recovered);
         drop(active);
         // Joining is bounded by the endpoint's drain deadline; do it
         // outside the lock so other threads can proceed locally.

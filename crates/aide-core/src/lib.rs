@@ -50,6 +50,7 @@ mod adapter;
 mod config;
 mod failover;
 mod monitor;
+mod nondet;
 mod offload;
 pub mod partitioner;
 mod platform;
@@ -62,6 +63,7 @@ pub use failover::{
     SurrogateProvider,
 };
 pub use monitor::{Monitor, MonitorMetrics, NodeKey, RemoteStats, TriggerConfig};
+pub use nondet::{LinkPhase, LiveSource, MigrationRecord, NondetMode, NondetSource, TriggerSample};
 pub use offload::{execute_offload, execute_offload_tracked, OffloadOutcome};
 pub use partitioner::{
     decide, decide_with, EpochDecision, HeuristicKind, IncrementalPartitioner, PartitionDecision,

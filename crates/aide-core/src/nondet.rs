@@ -1,0 +1,148 @@
+//! The nondeterminism seam of the decision pipeline.
+//!
+//! Everything the monitor → partitioner → migration pipeline consumes
+//! that is not a pure function of the program — GC reports, drained
+//! graph deltas, heap snapshots, migration outcomes, link deaths —
+//! flows through a [`NondetSource`]. The default [`LiveSource`] passes
+//! live values through untouched; the `aide-replay` crate provides a
+//! recording source (captures every value into a trace) and a replay
+//! driver (substitutes recorded values and verifies the pipeline
+//! reproduces the recorded decision timeline bit-for-bit).
+//!
+//! The seam deliberately sits *outside* the partitioner: given the same
+//! deltas, snapshot, and policy, `IncrementalPartitioner::epoch` is
+//! deterministic, so only its inputs need capturing.
+
+use aide_graph::{GraphDelta, ResourceSnapshot};
+use aide_vm::GcReport;
+use serde::{Deserialize, Serialize};
+
+use crate::monitor::NodeKey;
+
+/// Which role a [`NondetSource`] plays in a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NondetMode {
+    /// Normal execution; values pass through unchanged.
+    Live,
+    /// Live execution, with every value captured into a trace.
+    Recording,
+    /// Values are substituted from a previously recorded trace.
+    Replaying,
+}
+
+/// The full nondeterministic input to one trigger evaluation: what the
+/// controller feeds the incremental partitioner when a trigger fires.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TriggerSample {
+    /// GC cycle the trigger was attributed to.
+    pub at_gc_cycle: u64,
+    /// Human-readable trigger reason ("memory-pressure", "periodic").
+    pub reason: String,
+    /// Client heap occupancy at evaluation time.
+    pub snapshot: ResourceSnapshot,
+    /// Graph deltas drained from the monitor for this epoch.
+    pub deltas: Vec<GraphDelta>,
+    /// Reference keys dropped since the last drain (distributed GC).
+    pub keys: Vec<NodeKey>,
+}
+
+/// The outcome of one migration attempt, as observed by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationRecord {
+    /// The two-phase migration committed.
+    Completed {
+        /// Objects shipped to the surrogate.
+        objects: u64,
+        /// Bytes shipped to the surrogate.
+        bytes: u64,
+        /// Wall-clock migration duration, in microseconds.
+        duration_micros: u64,
+    },
+    /// The migration aborted (and, if partially applied, rolled back).
+    Failed,
+    /// No live surrogate lease was available; the winner was dropped
+    /// without a migration attempt.
+    NoSurrogate,
+}
+
+/// A surrogate link transition observed by the failover layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkPhase {
+    /// The link was declared dead.
+    Died,
+    /// Failover onto a standby completed.
+    Recovered,
+}
+
+/// Source (and sink) for the decision pipeline's nondeterministic values.
+///
+/// All methods default to live pass-through no-ops, so implementations
+/// override only the streams they care about. Methods take `&self`; the
+/// controller shares one source across the GC hook and worker threads.
+pub trait NondetSource: Send + Sync {
+    /// Which role this source plays.
+    fn mode(&self) -> NondetMode {
+        NondetMode::Live
+    }
+
+    /// A GC report reached the controller (after the monitor's trigger
+    /// state machine consumed it).
+    fn observe_gc(&self, report: &GcReport) {
+        let _ = report;
+    }
+
+    /// A trigger is about to be evaluated. The returned sample is what
+    /// the pipeline actually uses: live and recording sources return
+    /// `live` unchanged, a replaying source substitutes recorded values.
+    fn trigger(&self, live: TriggerSample) -> TriggerSample {
+        live
+    }
+
+    /// A migration attempt finished (or was skipped for lack of a
+    /// surrogate).
+    fn migration(&self, record: MigrationRecord) {
+        let _ = record;
+    }
+
+    /// The failover layer observed a link transition on `surrogate`.
+    fn link_transition(&self, surrogate: &str, phase: LinkPhase) {
+        let _ = (surrogate, phase);
+    }
+}
+
+/// The identity source used by normal runs: no capture, no substitution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiveSource;
+
+impl NondetSource for LiveSource {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_source_passes_samples_through() {
+        let sample = TriggerSample {
+            at_gc_cycle: 7,
+            reason: "memory-pressure".into(),
+            snapshot: ResourceSnapshot::new(100, 90),
+            deltas: vec![],
+            keys: vec![],
+        };
+        let src = LiveSource;
+        assert_eq!(src.mode(), NondetMode::Live);
+        assert_eq!(src.trigger(sample.clone()), sample);
+    }
+
+    #[test]
+    fn records_round_trip_through_serde() {
+        let r = MigrationRecord::Completed {
+            objects: 3,
+            bytes: 4096,
+            duration_micros: 17,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: MigrationRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

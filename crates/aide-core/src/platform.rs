@@ -41,6 +41,7 @@ use crate::failover::{
     SurrogateProvider,
 };
 use crate::monitor::{Monitor, MonitorMetrics, RemoteStats};
+use crate::nondet::{LiveSource, MigrationRecord, NondetSource, TriggerSample};
 use crate::offload::{execute_offload_tracked, OffloadOutcome};
 use crate::partitioner::IncrementalPartitioner;
 
@@ -153,6 +154,9 @@ struct Controller {
     events: Mutex<Vec<OffloadEvent>>,
     /// Flight recorder tracing every decision this controller takes.
     recorder: Arc<FlightRecorder>,
+    /// Nondeterminism seam: live pass-through, trace recorder, or replay
+    /// substitution (see [`crate::nondet`]).
+    nondet: Arc<dyn NondetSource>,
     /// Guards against re-entrant evaluation from nested GC cycles.
     evaluating: Mutex<()>,
 }
@@ -206,16 +210,31 @@ impl Controller {
         }
 
         let (deltas, keys) = self.monitor.drain_deltas();
-        let snapshot = {
+        let live_snapshot = {
             let vm = self.client().vm();
             let vm = vm.lock();
             ResourceSnapshot::new(vm.heap().capacity(), vm.heap().stats().used_bytes)
         };
+        // The nondeterminism seam sees (and may substitute) everything the
+        // pipeline consumes this epoch.
+        let TriggerSample {
+            at_gc_cycle,
+            reason,
+            snapshot,
+            deltas,
+            keys,
+        } = self.nondet.trigger(TriggerSample {
+            at_gc_cycle,
+            reason: reason.to_string(),
+            snapshot: live_snapshot,
+            deltas,
+            keys,
+        });
         self.recorder.record(PlatformEvent::TriggerFired {
             at_gc_cycle,
             heap_used: snapshot.heap_used,
             heap_capacity: snapshot.heap_capacity,
-            reason: reason.to_string(),
+            reason: reason.clone(),
         });
         let mut partitioner = self.partitioner.lock();
         partitioner.apply_deltas(&deltas);
@@ -293,6 +312,7 @@ impl Controller {
                 None => {
                     // No surrogate reachable (or backoff gate closed): stay
                     // local; the next trigger re-evaluates.
+                    self.nondet.migration(MigrationRecord::NoSurrogate);
                     self.monitor.reset_memory_trigger();
                     return;
                 }
@@ -312,6 +332,11 @@ impl Controller {
                 if let Some(core) = self.failover.get() {
                     core.record_shipment(shadow, pins);
                 }
+                self.nondet.migration(MigrationRecord::Completed {
+                    objects: outcome.objects_moved,
+                    bytes: outcome.bytes_moved,
+                    duration_micros: outcome.duration_micros,
+                });
                 self.recorder.record(PlatformEvent::ClassMigrated {
                     objects: outcome.objects_moved,
                     bytes: outcome.bytes_moved,
@@ -339,6 +364,7 @@ impl Controller {
                 // provider-backed run, check whether the failure was the
                 // surrogate dying mid-migration and recover if so.
                 let _ = err;
+                self.nondet.migration(MigrationRecord::Failed);
                 if let Some(core) = self.failover.get() {
                     core.fail_active_if_dead();
                 }
@@ -377,6 +403,9 @@ impl Controller {
 
 impl RuntimeHooks for Controller {
     fn on_gc(&self, report: &GcReport) {
+        // The monitor (earlier in the hook chain) has already folded this
+        // report into its trigger state machine.
+        self.nondet.observe_gc(report);
         if matches!(self.evaluation, EvaluationMode::OnMemoryPressure)
             && self.monitor.memory_triggered()
         {
@@ -459,6 +488,8 @@ pub struct Platform {
     /// acquires surrogates through the provider (with failover) instead of
     /// building a fixed in-process pair.
     surrogates: Option<(Arc<dyn SurrogateProvider>, FailoverConfig)>,
+    /// Nondeterminism seam override (`None` means [`LiveSource`]).
+    nondet: Option<Arc<dyn NondetSource>>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -476,6 +507,7 @@ impl Platform {
             program,
             config,
             surrogates: None,
+            nondet: None,
         }
     }
 
@@ -498,7 +530,17 @@ impl Platform {
             program,
             config,
             surrogates: Some((provider, FailoverConfig::default())),
+            nondet: None,
         }
+    }
+
+    /// Threads a [`NondetSource`] through the run's controller, monitor
+    /// hook path, and failover core — the seam the `aide-replay` crate
+    /// uses to record (or substitute) every nondeterministic decision
+    /// input. Defaults to the pass-through [`LiveSource`].
+    pub fn with_nondet_source(mut self, source: Arc<dyn NondetSource>) -> Self {
+        self.nondet = Some(source);
+        self
     }
 
     /// Overrides the failover tuning (heartbeat cadence, probe timeout,
@@ -565,6 +607,20 @@ impl Platform {
         let client_vm = Arc::new(Mutex::new(Vm::new(self.program.clone(), client_cfg)));
         let surrogate_vm = Arc::new(Mutex::new(Vm::new(self.program.clone(), surrogate_cfg)));
         let (link, ct, st) = build_sessions(&cfg);
+        // Optional fault injection: both directions wrapped in seeded chaos
+        // shims, the surrogate direction reseeded exactly like `chaos_pair`
+        // so one seed drives a deterministic fault schedule per direction.
+        let (ct, st) = match cfg.chaos {
+            Some(schedule) => {
+                let (ct, _client_stats) = aide_rpc::chaos_wrap(ct, schedule);
+                let (st, _surrogate_stats) = aide_rpc::chaos_wrap(
+                    st,
+                    schedule.reseeded(schedule.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
+                );
+                (ct, st)
+            }
+            None => (ct, st),
+        };
         let net_clock = link.clock.clone();
         let client_tables = Arc::new(RefTables::new());
         let surrogate_tables = Arc::new(RefTables::new());
@@ -586,6 +642,7 @@ impl Platform {
             offloads_done: AtomicU32::new(0),
             events: Mutex::new(Vec::new()),
             recorder: recorder.clone(),
+            nondet: self.nondet.clone().unwrap_or_else(|| Arc::new(LiveSource)),
             evaluating: Mutex::new(()),
         });
 
@@ -714,6 +771,8 @@ impl Platform {
         let telemetry_before = aide_telemetry::global().snapshot();
         let recorder = Arc::new(FlightRecorder::new(FLIGHT_RECORDER_EVENTS));
 
+        let nondet: Arc<dyn NondetSource> =
+            self.nondet.clone().unwrap_or_else(|| Arc::new(LiveSource));
         let controller = Arc::new(Controller {
             monitor: monitor.clone(),
             policy: cfg.policy.build(cfg.comm, cfg.surrogate_speed),
@@ -727,6 +786,7 @@ impl Platform {
             offloads_done: AtomicU32::new(0),
             events: Mutex::new(Vec::new()),
             recorder: recorder.clone(),
+            nondet: nondet.clone(),
             evaluating: Mutex::new(()),
         });
 
@@ -756,6 +816,7 @@ impl Platform {
             failover_cfg,
         ));
         core.set_recorder(recorder.clone());
+        core.set_nondet(nondet.clone());
         client_machine.set_remote(Arc::new(FailoverAdapter::new(core.clone())));
         controller.bind_failover(client_machine.clone(), core.clone());
 

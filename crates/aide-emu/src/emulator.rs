@@ -327,9 +327,13 @@ const FLIGHT_RECORDER_EVENTS: usize = 1024;
 const EMULATED_SURROGATE: &str = "emulated-surrogate";
 
 /// Converts virtual seconds on the emulated serial clock to the
-/// microsecond timestamps the flight recorder expects.
+/// microsecond timestamps the flight recorder expects. Every conversion
+/// is reported to the transport observer seam so a trace recorder can
+/// capture the emulator's virtual-time progression.
 fn virtual_micros(seconds: f64) -> u64 {
-    (seconds.max(0.0) * 1e6) as u64
+    let micros = (seconds.max(0.0) * 1e6) as u64;
+    aide_rpc::observe::virtual_tick(micros);
+    micros
 }
 
 /// Context threaded into [`Emulator::try_partition`] so decision events

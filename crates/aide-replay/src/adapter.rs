@@ -1,0 +1,128 @@
+//! Adapter between aide-emu's VM-level [`Trace`] and the decision-level
+//! replay format — one trace artifact for the whole repo.
+//!
+//! The two formats sit at different layers: an emulator [`Trace`]
+//! records *program behavior* (interactions, allocations, work, GC
+//! boundaries), while a [`ReplayTrace`] records *decision-pipeline
+//! inputs*. They meet at two points — GC reports and the virtual clock —
+//! so a VM trace converts losslessly into the subset of replay inputs it
+//! can speak for, and the full VM trace embeds verbatim as the replay
+//! trace's optional `vm` section (nothing of the original is dropped).
+
+use aide_core::PlatformConfig;
+use aide_emu::{Trace, TraceEvent};
+
+use crate::event::{ReplayEvent, ReplayTrace};
+
+/// Converts a VM-level event stream into decision-level replay inputs:
+/// `Gc` events map directly, and accumulated `Work`/`Native` CPU time
+/// becomes the virtual-clock ticks the emulator would report. Events
+/// with no decision-level counterpart (interactions, allocations,
+/// static accesses) contribute only their position on the virtual
+/// clock.
+pub fn vm_trace_inputs(vm: &Trace) -> Vec<ReplayEvent> {
+    let mut inputs = Vec::new();
+    let mut virtual_micros = 0.0f64;
+    for event in &vm.events {
+        match event {
+            TraceEvent::Work { micros, .. } => {
+                virtual_micros += micros.max(0.0);
+                inputs.push(ReplayEvent::VirtualTick {
+                    at_micros: virtual_micros as u64,
+                });
+            }
+            TraceEvent::Native { work_micros, .. } => {
+                virtual_micros += f64::from(*work_micros);
+                inputs.push(ReplayEvent::VirtualTick {
+                    at_micros: virtual_micros as u64,
+                });
+            }
+            TraceEvent::Gc { report } => {
+                inputs.push(ReplayEvent::Gc {
+                    at_micros: virtual_micros as u64,
+                    report: *report,
+                });
+            }
+            TraceEvent::Interaction { .. }
+            | TraceEvent::Alloc { .. }
+            | TraceEvent::Free { .. }
+            | TraceEvent::StaticAccess { .. } => {}
+        }
+    }
+    inputs
+}
+
+/// Embeds `vm` as the trace's VM section (replacing any previous one)
+/// so both layers travel in one artifact.
+pub fn embed_vm_trace(trace: &mut ReplayTrace, vm: Trace) {
+    trace.vm = Some(vm);
+}
+
+/// Builds a decision-level trace from a VM-level one: converted inputs
+/// (GC stream + virtual clock), the full original embedded as the `vm`
+/// section, and an empty baseline — callers record or bless one before
+/// using the result as a replay oracle.
+pub fn from_vm_trace(vm: Trace, config: PlatformConfig) -> ReplayTrace {
+    let mut trace = ReplayTrace::new(vm.app.clone(), config);
+    trace.inputs = vm_trace_inputs(&vm);
+    trace.vm = Some(vm);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aide_vm::{ClassId, GcReport};
+
+    fn vm_trace() -> Trace {
+        let mut t = Trace::new("adapter-test", 1 << 20, Vec::new());
+        t.events.push(TraceEvent::Work {
+            class: ClassId(0),
+            micros: 1500.0,
+        });
+        t.events.push(TraceEvent::Alloc {
+            class: ClassId(0),
+            object: aide_vm::ObjectId(1),
+            bytes: 64,
+        });
+        t.events.push(TraceEvent::Gc { report: report() });
+        t
+    }
+
+    fn report() -> GcReport {
+        GcReport {
+            cycle: 1,
+            capacity: 1 << 20,
+            used_after: 512,
+            free_after: (1 << 20) - 512,
+            freed_objects: 0,
+            freed_bytes: 0,
+            duration_micros: 0.0,
+        }
+    }
+
+    #[test]
+    fn vm_events_convert_to_clock_and_gc_inputs() {
+        let inputs = vm_trace_inputs(&vm_trace());
+        assert_eq!(
+            inputs,
+            vec![
+                ReplayEvent::VirtualTick { at_micros: 1500 },
+                ReplayEvent::Gc {
+                    at_micros: 1500,
+                    report: report(),
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn embedding_keeps_the_original_verbatim() {
+        let vm = vm_trace();
+        let trace = from_vm_trace(vm.clone(), PlatformConfig::prototype(1 << 20));
+        assert_eq!(trace.header.app, "adapter-test");
+        assert_eq!(trace.inputs.len(), 2);
+        assert_eq!(trace.vm.as_ref(), Some(&vm));
+        assert!(trace.baseline.is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! aide-replay — deterministic record/replay for the decision pipeline.
+//!
+//! The platform's offload decisions are a pure function of a small set
+//! of nondeterministic inputs: the GC report stream, the drained graph
+//! deltas and heap snapshot at each trigger, migration outcomes, chaos
+//! draws, RPC timings, probe RTTs, and the emulator's virtual clock.
+//! This crate captures all of them ([`RecordingSource`] behind the
+//! [`NondetSource`](aide_core::NondetSource) and
+//! [`RpcObserver`](aide_rpc::RpcObserver) seams) into a versioned
+//! [`ReplayTrace`] — saved as human-editable JSON lines or compact
+//! length-prefixed binary, auto-detected on load — and replays them
+//! through the *real* `Monitor` → `IncrementalPartitioner` → policy
+//! pipeline.
+//!
+//! Replay is strict: the recorded flight-recorder timeline is the
+//! oracle, every recomputed event is compared against it, and the first
+//! mismatch stops the run with a located
+//! [`ReplayError::Diverged`] ("expected `TriggerFired` at epoch 12, got
+//! `EpochSkipped`"). A divergence-free replay reproduces the timeline
+//! bit-for-bit. Because the inputs are all on tape, [`sweep`] can
+//! re-decide one recorded run under many policy variants in parallel —
+//! what-if analysis with recorded-run fidelity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod codec;
+pub mod event;
+pub mod record;
+pub mod replay;
+pub mod sweep;
+
+pub use adapter::{embed_vm_trace, from_vm_trace, vm_trace_inputs};
+pub use codec::{
+    decode, from_binary, from_json_lines, load, save, to_binary, to_json_lines, TraceError,
+};
+pub use event::{ReplayEvent, ReplayTrace, TraceHeader, TRACE_VERSION};
+pub use record::{record_platform_run, recording_guard, RecordingSource};
+pub use replay::{bless, replay, replay_with, verify_chaos_draws, ReplayError, ReplayOutcome};
+pub use sweep::{
+    decision_outcomes, default_variants, sweep, BaselineSummary, EpochOutcome, SweepReport,
+    SweepVariant, VariantOutcome,
+};

@@ -1,0 +1,285 @@
+//! What-if sweeps: replay one recorded trace under N policy variants in
+//! parallel.
+//!
+//! Because a trace carries *every* nondeterministic input, the decision
+//! pipeline can be re-run under a different [`PolicyKind`] or
+//! [`PartitionerConfig`] and the alternative history is exactly as
+//! trustworthy as the recorded one — same GC stream, same graph deltas,
+//! same heap snapshots, only the decision logic swapped. The sweep runs
+//! each variant on its own scoped thread with index-ordered result
+//! slots (the same determinism discipline as the partitioner's parallel
+//! candidate evaluation), so the report is byte-stable regardless of
+//! thread scheduling.
+
+use aide_core::{PartitionerConfig, PolicyKind};
+use aide_telemetry::{PlatformEvent, TimedEvent};
+use serde::{Deserialize, Serialize};
+
+use crate::event::ReplayTrace;
+use crate::replay::{bless, replay_with, ReplayError};
+
+/// One policy/tuning combination to evaluate against a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepVariant {
+    /// Display name ("memory-0.3", "recorded", ...).
+    pub name: String,
+    /// The policy this variant decides with.
+    pub policy: PolicyKind,
+    /// The partitioner tuning this variant runs under.
+    pub partitioner: PartitionerConfig,
+}
+
+/// How one trigger epoch resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EpochOutcome {
+    /// A winner was chosen, moving this many bytes to the surrogate.
+    Offload {
+        /// Bytes the chosen partitioning moves off-client.
+        bytes: u64,
+    },
+    /// Candidates were scored but none accepted.
+    Decline,
+    /// The dirty-region shortcut skipped evaluation.
+    Skip,
+}
+
+impl EpochOutcome {
+    fn bytes(self) -> u64 {
+        match self {
+            EpochOutcome::Offload { bytes } => bytes,
+            _ => 0,
+        }
+    }
+
+    fn kind(self) -> u8 {
+        match self {
+            EpochOutcome::Offload { .. } => 0,
+            EpochOutcome::Decline => 1,
+            EpochOutcome::Skip => 2,
+        }
+    }
+}
+
+/// Per-epoch decisions extracted from a timeline: each `TriggerFired`
+/// resolves to the first winner/decline/skip event that follows it.
+pub fn decision_outcomes(timeline: &[TimedEvent]) -> Vec<EpochOutcome> {
+    let mut outcomes = Vec::new();
+    let mut open = false;
+    for timed in timeline {
+        match &timed.event {
+            PlatformEvent::TriggerFired { .. } => open = true,
+            PlatformEvent::WinnerChosen { offload_bytes, .. } if open => {
+                outcomes.push(EpochOutcome::Offload {
+                    bytes: *offload_bytes,
+                });
+                open = false;
+            }
+            PlatformEvent::OffloadDeclined { .. } if open => {
+                outcomes.push(EpochOutcome::Decline);
+                open = false;
+            }
+            PlatformEvent::EpochSkipped { .. } if open => {
+                outcomes.push(EpochOutcome::Skip);
+                open = false;
+            }
+            _ => {}
+        }
+    }
+    outcomes
+}
+
+/// A variant's sweep result, compared epoch-by-epoch against the
+/// recorded baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariantOutcome {
+    /// Variant name.
+    pub name: String,
+    /// Epochs where this variant chose a winner.
+    pub offloads: usize,
+    /// Epochs where this variant declined to offload.
+    pub declines: usize,
+    /// Epochs the dirty-region shortcut skipped.
+    pub skips: usize,
+    /// Total bytes this variant would have moved to the surrogate.
+    pub offloaded_bytes: u64,
+    /// Per-epoch decisions, aligned with the baseline's trigger stream.
+    pub decisions: Vec<EpochOutcome>,
+    /// Fraction of baseline epochs where the variant made the same kind
+    /// of decision (offload/decline/skip).
+    pub agreement_with_baseline: f64,
+    /// Fraction of baseline epochs where the variant offloaded at least
+    /// as many bytes as the recorded run.
+    pub win_fraction: f64,
+    /// Total bytes of heap relief the recorded run achieved that this
+    /// variant did not (sum over epochs of `max(0, baseline − variant)`).
+    pub regret_bytes: u64,
+}
+
+/// Baseline summary included in a [`SweepReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineSummary {
+    /// Trigger epochs in the recorded run.
+    pub epochs: usize,
+    /// Epochs the recorded run offloaded.
+    pub offloads: usize,
+    /// Bytes the recorded run moved to the surrogate.
+    pub offloaded_bytes: u64,
+    /// Per-epoch recorded decisions.
+    pub decisions: Vec<EpochOutcome>,
+}
+
+/// The full result of a sweep, serializable as `BENCH_replay.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Application the trace was recorded from.
+    pub app: String,
+    /// Recorded inputs in the trace.
+    pub input_events: usize,
+    /// The recorded run's decisions.
+    pub baseline: BaselineSummary,
+    /// One outcome per variant, in the order given.
+    pub variants: Vec<VariantOutcome>,
+}
+
+fn compare(name: &str, decisions: Vec<EpochOutcome>, baseline: &[EpochOutcome]) -> VariantOutcome {
+    let offloads = decisions
+        .iter()
+        .filter(|o| matches!(o, EpochOutcome::Offload { .. }))
+        .count();
+    let declines = decisions
+        .iter()
+        .filter(|o| matches!(o, EpochOutcome::Decline))
+        .count();
+    let skips = decisions
+        .iter()
+        .filter(|o| matches!(o, EpochOutcome::Skip))
+        .count();
+    let offloaded_bytes = decisions.iter().map(|o| o.bytes()).sum();
+    let epochs = baseline.len();
+    let mut agreed = 0usize;
+    let mut wins = 0usize;
+    let mut regret_bytes = 0u64;
+    for (i, base) in baseline.iter().enumerate() {
+        let ours = decisions.get(i).copied();
+        if ours.map(EpochOutcome::kind) == Some(base.kind()) {
+            agreed += 1;
+        }
+        let ours_bytes = ours.map(EpochOutcome::bytes).unwrap_or(0);
+        if ours_bytes >= base.bytes() {
+            wins += 1;
+        }
+        regret_bytes += base.bytes().saturating_sub(ours_bytes);
+    }
+    let frac = |n: usize| {
+        if epochs == 0 {
+            1.0
+        } else {
+            n as f64 / epochs as f64
+        }
+    };
+    VariantOutcome {
+        name: name.to_string(),
+        offloads,
+        declines,
+        skips,
+        offloaded_bytes,
+        decisions,
+        agreement_with_baseline: frac(agreed),
+        win_fraction: frac(wins),
+        regret_bytes,
+    }
+}
+
+/// A standard four-way variant grid around the recorded configuration:
+/// the recorded policy itself (control), a lenient and a greedy memory
+/// policy, and the combined memory+time policy. The control variant
+/// doubles as a replay check — it must agree with the baseline on every
+/// epoch.
+pub fn default_variants(trace: &ReplayTrace) -> Vec<SweepVariant> {
+    let cfg = &trace.header.config;
+    vec![
+        SweepVariant {
+            name: "recorded".into(),
+            policy: cfg.policy,
+            partitioner: cfg.partitioner,
+        },
+        SweepVariant {
+            name: "memory-lenient-0.1".into(),
+            policy: PolicyKind::Memory {
+                min_free_fraction: 0.1,
+            },
+            partitioner: cfg.partitioner,
+        },
+        SweepVariant {
+            name: "memory-greedy-0.5".into(),
+            policy: PolicyKind::Memory {
+                min_free_fraction: 0.5,
+            },
+            partitioner: cfg.partitioner,
+        },
+        SweepVariant {
+            name: "combined-0.2-m0.1".into(),
+            policy: PolicyKind::Combined {
+                min_free_fraction: 0.2,
+                margin: 0.1,
+            },
+            partitioner: cfg.partitioner,
+        },
+    ]
+}
+
+/// Replays `trace` under every variant in parallel (one scoped thread
+/// per variant, index-ordered slots) and compares each alternative
+/// history against the recorded baseline.
+///
+/// # Errors
+///
+/// Propagates the first variant's [`ReplayError`], by variant order.
+pub fn sweep(trace: &ReplayTrace, variants: &[SweepVariant]) -> Result<SweepReport, ReplayError> {
+    let baseline_timeline = if trace.baseline.is_empty() {
+        bless(trace)?
+    } else {
+        trace.baseline.clone()
+    };
+    let baseline = decision_outcomes(&baseline_timeline);
+
+    let mut slots: Vec<Option<Result<Vec<TimedEvent>, ReplayError>>> =
+        (0..variants.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (slot, variant) in slots.iter_mut().zip(variants) {
+            let trace = &trace;
+            scope.spawn(move || {
+                let policy = variant.policy.build(
+                    trace.header.config.comm,
+                    trace.header.config.surrogate_speed,
+                );
+                *slot = Some(replay_with(trace, policy.as_ref(), variant.partitioner));
+            });
+        }
+    });
+
+    let mut outcomes = Vec::with_capacity(variants.len());
+    for (variant, slot) in variants.iter().zip(slots) {
+        let timeline = slot.expect("scoped sweep thread filled its slot")?;
+        outcomes.push(compare(
+            &variant.name,
+            decision_outcomes(&timeline),
+            &baseline,
+        ));
+    }
+
+    Ok(SweepReport {
+        app: trace.header.app.clone(),
+        input_events: trace.inputs.len(),
+        baseline: BaselineSummary {
+            epochs: baseline.len(),
+            offloads: baseline
+                .iter()
+                .filter(|o| matches!(o, EpochOutcome::Offload { .. }))
+                .count(),
+            offloaded_bytes: baseline.iter().map(|o| o.bytes()).sum(),
+            decisions: baseline,
+        },
+        variants: outcomes,
+    })
+}

@@ -1,0 +1,240 @@
+//! Golden-trace corpus: the checked-in traces under `traces/` must load,
+//! match their in-code constructions exactly, and replay bit-identically.
+//!
+//! Regenerate after an intentional format or pipeline change with:
+//!
+//! ```sh
+//! AIDE_BLESS=1 cargo test -p aide-replay --test corpus
+//! ```
+
+use std::path::PathBuf;
+
+use aide_core::{MigrationRecord, PlatformConfig, PolicyKind, TriggerSample};
+use aide_graph::{EdgeInfo, GraphDelta, NodeId, PinReason, ResourceSnapshot};
+use aide_replay::{load, replay, save, verify_chaos_draws, ReplayEvent, ReplayTrace};
+use aide_telemetry::{PlatformEvent, TimedEvent};
+use aide_vm::GcReport;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../traces")
+        .join(format!("{name}.trace.jsonl"))
+}
+
+fn gc(cycle: u64, capacity: u64, used_after: u64, at_micros: u64) -> ReplayEvent {
+    ReplayEvent::Gc {
+        at_micros,
+        report: GcReport {
+            cycle,
+            capacity,
+            used_after,
+            free_after: capacity - used_after,
+            freed_objects: 12,
+            freed_bytes: 40_000,
+            duration_micros: 80.0,
+        },
+    }
+}
+
+/// The shared two-class pressure scenario: a pinned UI class and a
+/// 4 MB document class with a 10-interaction/1000-byte edge. Exactly
+/// one candidate partitioning exists (offload the document), the
+/// memory policy scores it by cut bytes (1000.0), and the trigger arms
+/// after three successive cycles under 5% free.
+fn pressure_inputs(capacity: u64, used: u64) -> Vec<ReplayEvent> {
+    vec![
+        gc(1, capacity, used, 1_000),
+        gc(2, capacity, used, 2_000),
+        gc(3, capacity, used, 3_000),
+        ReplayEvent::Trigger {
+            at_micros: 4_000,
+            sample: TriggerSample {
+                at_gc_cycle: 3,
+                reason: "memory-pressure".into(),
+                snapshot: ResourceSnapshot {
+                    heap_capacity: capacity,
+                    heap_used: used,
+                },
+                deltas: vec![
+                    GraphDelta::AddNode {
+                        label: "Ui".into(),
+                        pinned: Some(PinReason::NativeMethods),
+                        memory_bytes: 500_000,
+                        cpu_micros: 0,
+                        live_objects: 1,
+                    },
+                    GraphDelta::AddNode {
+                        label: "Doc".into(),
+                        pinned: None,
+                        memory_bytes: 4_000_000,
+                        cpu_micros: 0,
+                        live_objects: 37,
+                    },
+                    GraphDelta::Interaction {
+                        a: NodeId(0),
+                        b: NodeId(1),
+                        delta: EdgeInfo::new(10, 1_000),
+                    },
+                ],
+                keys: Vec::new(),
+            },
+        },
+    ]
+}
+
+fn timed(seq: u64, at_micros: u64, event: PlatformEvent) -> TimedEvent {
+    TimedEvent {
+        seq,
+        at_micros,
+        event,
+    }
+}
+
+fn decision_prefix(capacity: u64, used: u64) -> Vec<TimedEvent> {
+    vec![
+        timed(
+            0,
+            4_000,
+            PlatformEvent::TriggerFired {
+                at_gc_cycle: 3,
+                heap_used: used,
+                heap_capacity: capacity,
+                reason: "memory-pressure".into(),
+            },
+        ),
+        timed(
+            1,
+            4_001,
+            PlatformEvent::CandidatesEvaluated {
+                candidates: 1,
+                elapsed_micros: 42,
+            },
+        ),
+    ]
+}
+
+/// "editor": the trigger fires, the document class wins, migration
+/// completes.
+fn editor() -> ReplayTrace {
+    let mut trace = ReplayTrace::new("editor", PlatformConfig::prototype(6_000_000));
+    trace.inputs = pressure_inputs(6_000_000, 5_900_000);
+    trace.inputs.push(ReplayEvent::Migration {
+        at_micros: 5_000,
+        record: MigrationRecord::Completed {
+            objects: 37,
+            bytes: 4_000_000,
+            duration_micros: 1_234,
+        },
+    });
+    trace.baseline = decision_prefix(6_000_000, 5_900_000);
+    trace.baseline.push(timed(
+        2,
+        4_002,
+        PlatformEvent::WinnerChosen {
+            policy_score: 1000.0,
+            offload_bytes: 4_000_000,
+            cut_interactions: 10,
+        },
+    ));
+    trace.baseline.push(timed(
+        3,
+        5_000,
+        PlatformEvent::ClassMigrated {
+            objects: 37,
+            bytes: 4_000_000,
+            duration_micros: 1_234,
+        },
+    ));
+    trace
+}
+
+/// "chain": the trigger fires but a 90%-free demand is infeasible —
+/// the policy declines.
+fn chain() -> ReplayTrace {
+    let mut config = PlatformConfig::prototype(100_000_000);
+    config.policy = PolicyKind::Memory {
+        min_free_fraction: 0.9,
+    };
+    let mut trace = ReplayTrace::new("chain", config);
+    trace.inputs = pressure_inputs(100_000_000, 99_000_000);
+    trace.baseline = decision_prefix(100_000_000, 99_000_000);
+    trace.baseline.push(timed(
+        2,
+        4_002,
+        PlatformEvent::OffloadDeclined { candidates: 1 },
+    ));
+    trace
+}
+
+/// "mesh": a winner is chosen but the migration fails — the recorded
+/// abort and rollback effects replay from the baseline.
+fn mesh() -> ReplayTrace {
+    let mut trace = ReplayTrace::new("mesh", PlatformConfig::prototype(6_000_000));
+    trace.inputs = pressure_inputs(6_000_000, 5_900_000);
+    trace.inputs.push(ReplayEvent::Migration {
+        at_micros: 5_000,
+        record: MigrationRecord::Failed,
+    });
+    trace.baseline = decision_prefix(6_000_000, 5_900_000);
+    trace.baseline.push(timed(
+        2,
+        4_002,
+        PlatformEvent::WinnerChosen {
+            policy_score: 1000.0,
+            offload_bytes: 4_000_000,
+            cut_interactions: 10,
+        },
+    ));
+    trace.baseline.push(timed(
+        3,
+        4_500,
+        PlatformEvent::MigrationAborted {
+            reason: "surrogate rejected PREPARE".into(),
+        },
+    ));
+    trace.baseline.push(timed(
+        4,
+        4_600,
+        PlatformEvent::MigrationRolledBack {
+            objects: 37,
+            bytes: 4_000_000,
+        },
+    ));
+    trace
+}
+
+fn check_golden(name: &str, expected: ReplayTrace) {
+    let path = golden_path(name);
+    if std::env::var_os("AIDE_BLESS").is_some() {
+        save(&expected, &path).expect("bless golden");
+    }
+    let loaded = load(&path).unwrap_or_else(|e| {
+        panic!("golden {name} failed to load: {e} (re-bless with AIDE_BLESS=1)")
+    });
+    assert_eq!(
+        loaded, expected,
+        "golden {name} drifted from its in-code construction; re-bless with AIDE_BLESS=1"
+    );
+    let outcome =
+        replay(&loaded, None).unwrap_or_else(|e| panic!("golden {name} failed to replay: {e}"));
+    assert_eq!(
+        outcome.timeline, loaded.baseline,
+        "golden {name}: replayed timeline not bit-identical"
+    );
+    assert_eq!(verify_chaos_draws(&loaded), Ok(0), "goldens carry no chaos");
+}
+
+#[test]
+fn editor_golden_replays_bit_identically() {
+    check_golden("editor", editor());
+}
+
+#[test]
+fn chain_golden_replays_bit_identically() {
+    check_golden("chain", chain());
+}
+
+#[test]
+fn mesh_golden_replays_bit_identically() {
+    check_golden("mesh", mesh());
+}

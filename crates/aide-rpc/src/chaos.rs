@@ -163,20 +163,36 @@ impl ChaosStats {
 
 /// Deterministic xorshift64 stream (the same generator the failover
 /// backoff jitter uses).
-struct ChaosRng(u64);
+///
+/// Every draw is reported to the process-wide [`crate::observe`] seam,
+/// keyed by the (zero-fixed) seed and a per-stream draw index, so a
+/// trace recorder can capture — and a replayer re-verify — the exact
+/// fault sequence a chaos schedule produced.
+struct ChaosRng {
+    state: u64,
+    stream: u64,
+    draws: u64,
+}
 
 impl ChaosRng {
     fn new(seed: u64) -> Self {
         // xorshift64 has an absorbing zero state.
-        ChaosRng(seed | 1)
+        ChaosRng {
+            state: seed | 1,
+            stream: seed | 1,
+            draws: 0,
+        }
     }
 
     fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
+        let mut x = self.state;
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
-        self.0 = x;
+        self.state = x;
+        let index = self.draws;
+        self.draws += 1;
+        crate::observe::chaos_draw(self.stream, index, x);
         x
     }
 

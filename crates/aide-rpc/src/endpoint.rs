@@ -541,9 +541,9 @@ impl Endpoint {
         self.pending.lock().remove(&seq);
         self.metrics.requests.inc();
         self.metrics.backend_requests.inc();
-        self.metrics
-            .latency_micros
-            .observe(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        let elapsed_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.metrics.latency_micros.observe(elapsed_micros);
+        crate::observe::call_completed(seq, 1, elapsed_micros, matches!(&outcome, Ok(Ok(_))));
         let result = match outcome {
             Ok(r) => r,
             Err(e) => {
@@ -661,9 +661,9 @@ impl Endpoint {
         self.pending.lock().remove(&seq);
         self.metrics.requests.inc();
         self.metrics.backend_requests.inc();
-        self.metrics
-            .latency_micros
-            .observe(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        let elapsed_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.metrics.latency_micros.observe(elapsed_micros);
+        crate::observe::call_completed(seq, attempt, elapsed_micros, matches!(&outcome, Ok(Ok(_))));
         let result = match outcome {
             Ok(r) => r,
             Err(e) => {

@@ -58,6 +58,7 @@ mod chaos;
 mod endpoint;
 mod link;
 mod mux;
+pub mod observe;
 mod reftable;
 mod tcp;
 mod transport;
@@ -67,6 +68,7 @@ pub use chaos::{chaos_pair, chaos_wrap, ChaosPairStats, ChaosSchedule, ChaosStat
 pub use endpoint::{Dispatcher, Endpoint, EndpointConfig, RetryPolicy, RpcError};
 pub use link::{Link, LinkError, NetClock, Session, TrafficStats};
 pub use mux::{ConnKiller, MuxConn};
+pub use observe::{set_rpc_observer, RpcObserver};
 pub use reftable::{live_remote_refs, ExportTable, ImportTable};
 pub use tcp::{nudge, tcp_pair, tcp_transport, TcpMuxListener, TcpTransport};
 pub use transport::{

@@ -1,0 +1,128 @@
+//! Process-wide observer seam for nondeterministic transport inputs.
+//!
+//! The decision pipeline above this crate is deterministic given its
+//! inputs; the transport below it is not. Everything nondeterministic
+//! that crosses the boundary — chaos RNG draws, RPC completion timings
+//! and retry counts, registry probe RTTs, the emulator's virtual clock —
+//! funnels through one [`RpcObserver`] so a trace recorder (the
+//! `aide-replay` crate) can capture a run without this crate knowing
+//! anything about trace formats.
+//!
+//! The observer is process-global and off by default: until
+//! [`set_rpc_observer`] installs one, every hook is a single relaxed
+//! atomic load. Installing an observer affects every endpoint, chaos
+//! shim, and emulator in the process, so recorders must serialize runs
+//! (the `aide-replay` test suites take a lock around recording).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Receiver for nondeterministic transport-level events.
+///
+/// All methods have no-op defaults so an observer only implements the
+/// streams it cares about. Implementations must be cheap and must not
+/// call back into the RPC layer (hooks fire on transport shim threads
+/// and inside `Endpoint::call`).
+pub trait RpcObserver: Send + Sync {
+    /// A chaos xorshift64 stream produced its `index`-th draw.
+    ///
+    /// `stream` is the schedule seed that created the generator, so one
+    /// recording distinguishes the client and surrogate directions of a
+    /// chaos pair.
+    fn chaos_draw(&self, stream: u64, index: u64, value: u64) {
+        let _ = (stream, index, value);
+    }
+
+    /// An RPC call completed (successfully or not) after `attempts`
+    /// sends and `elapsed_micros` of wall-clock waiting.
+    fn call_completed(&self, seq: u64, attempts: u32, elapsed_micros: u64, ok: bool) {
+        let _ = (seq, attempts, elapsed_micros, ok);
+    }
+
+    /// A registry liveness probe measured `rtt_micros` to `surrogate`.
+    fn probe_rtt(&self, surrogate: &str, rtt_micros: u64) {
+        let _ = (surrogate, rtt_micros);
+    }
+
+    /// The emulator's virtual clock was read at `at_micros`.
+    fn virtual_tick(&self, at_micros: u64) {
+        let _ = at_micros;
+    }
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static OBSERVER: RwLock<Option<Arc<dyn RpcObserver>>> = RwLock::new(None);
+
+/// Installs (or, with `None`, removes) the process-wide observer.
+pub fn set_rpc_observer(observer: Option<Arc<dyn RpcObserver>>) {
+    let mut slot = OBSERVER.write();
+    ACTIVE.store(observer.is_some(), Ordering::Release);
+    *slot = observer;
+}
+
+fn observer() -> Option<Arc<dyn RpcObserver>> {
+    if !ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    OBSERVER.read().clone()
+}
+
+/// Reports a chaos RNG draw to the installed observer, if any.
+pub fn chaos_draw(stream: u64, index: u64, value: u64) {
+    if let Some(o) = observer() {
+        o.chaos_draw(stream, index, value);
+    }
+}
+
+/// Reports an RPC completion to the installed observer, if any.
+pub fn call_completed(seq: u64, attempts: u32, elapsed_micros: u64, ok: bool) {
+    if let Some(o) = observer() {
+        o.call_completed(seq, attempts, elapsed_micros, ok);
+    }
+}
+
+/// Reports a probe RTT measurement to the installed observer, if any.
+pub fn probe_rtt(surrogate: &str, rtt_micros: u64) {
+    if let Some(o) = observer() {
+        o.probe_rtt(surrogate, rtt_micros);
+    }
+}
+
+/// Reports a virtual-clock reading to the installed observer, if any.
+pub fn virtual_tick(at_micros: u64) {
+    if let Some(o) = observer() {
+        o.virtual_tick(at_micros);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    struct Counting(AtomicU64);
+
+    impl RpcObserver for Counting {
+        fn chaos_draw(&self, stream: u64, _index: u64, _value: u64) {
+            // Other tests in this binary may drive chaos sessions while
+            // the global observer is installed; count only our stream.
+            if stream == 1 {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    #[test]
+    fn hooks_are_silent_without_an_observer_and_fire_with_one() {
+        chaos_draw(1, 0, 42); // no observer: must not panic
+        let counter = Arc::new(Counting(AtomicU64::new(0)));
+        set_rpc_observer(Some(counter.clone()));
+        chaos_draw(1, 0, 42);
+        chaos_draw(1, 1, 43);
+        set_rpc_observer(None);
+        chaos_draw(1, 2, 44);
+        assert_eq!(counter.0.load(Ordering::Relaxed), 2);
+    }
+}

@@ -192,6 +192,11 @@ pub mod names {
     pub const CHAOS_DELAYED: &str = "aide_chaos_frames_delayed_total";
     /// Hard connection resets injected by a chaos transport.
     pub const CHAOS_RESETS: &str = "aide_chaos_resets_total";
+
+    /// Divergences detected while replaying a recorded decision trace.
+    pub const REPLAY_DIVERGENCES: &str = "aide_replay_divergences_total";
+    /// Recorded trace inputs consumed by replays.
+    pub const REPLAY_EVENTS_CONSUMED: &str = "aide_replay_events_consumed_total";
 }
 
 /// Bucket presets (upper bounds) for the fixed-bucket histograms.

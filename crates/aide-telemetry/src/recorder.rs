@@ -100,6 +100,17 @@ pub enum PlatformEvent {
         /// Wall-clock failover duration, in microseconds.
         duration_micros: u64,
     },
+    /// A trace replay produced an event that differs from the recorded
+    /// baseline timeline at the same position (`aide-replay`'s strict
+    /// divergence check).
+    ReplayDiverged {
+        /// Index into the baseline timeline where the mismatch occurred.
+        at_index: u64,
+        /// Description of the event the baseline expected.
+        expected: String,
+        /// Description of the event the replay actually produced.
+        actual: String,
+    },
 }
 
 impl PlatformEvent {
@@ -155,6 +166,11 @@ impl PlatformEvent {
             } => format!(
                 "failover from '{surrogate}' completed in {duration_micros} us: {reinstated_objects} objects ({reinstated_bytes} B) reinstated, {objects_lost} lost"
             ),
+            PlatformEvent::ReplayDiverged {
+                at_index,
+                expected,
+                actual,
+            } => format!("replay diverged at timeline event {at_index}: expected {expected}, got {actual}"),
         }
     }
 }

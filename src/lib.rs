@@ -17,6 +17,10 @@
 //!   RTT-ranked registry, and failover onto standby surrogates.
 //! * [`telemetry`] — platform-wide metrics, the decision flight recorder,
 //!   and the JSON-lines / Prometheus-style exporters.
+//! * [`replay`] — deterministic record/replay of the decision pipeline:
+//!   versioned traces of every nondeterministic input, bit-identical
+//!   timeline replay with strict divergence detection, and parallel
+//!   what-if policy sweeps.
 //!
 //! See the `examples/` directory for runnable walkthroughs and
 //! `EXPERIMENTS.md` for the paper-versus-measured results.
@@ -40,6 +44,7 @@ pub use aide_apps as apps;
 pub use aide_core as core;
 pub use aide_emu as emu;
 pub use aide_graph as graph;
+pub use aide_replay as replay;
 pub use aide_rpc as rpc;
 pub use aide_surrogate as surrogate;
 pub use aide_telemetry as telemetry;
