@@ -1,0 +1,155 @@
+//! Tracing tax and critical-path attribution.
+//!
+//! Two questions, one binary:
+//!
+//! 1. **What does causal tracing cost?** A chaos-soaked JavaNote rescue
+//!    over the real TCP multiplexer is run twice — `aide_trace` globally
+//!    off, then on — and the wall-clock difference is compared against a
+//!    budget (`AIDE_TRACE_BUDGET_PCT`, default generous; negative
+//!    disables). The assert exists to catch structural regressions (a
+//!    lock or allocation sneaking onto the span hot path), not scheduler
+//!    noise.
+//!
+//! 2. **Where does migration latency go?** The traced run's span forest
+//!    is fed to the critical-path analyzer; every migration is decomposed
+//!    into serialize / wire / retry / remote instantiate / commit and
+//!    emitted as JSON lines in `BENCH_trace.json`. The raw span forest is
+//!    also exported as Chrome trace-event JSON under `target/trace/` so a
+//!    failing CI run leaves a Perfetto-loadable artifact behind.
+
+use std::time::{Duration, Instant};
+
+use aide_apps::javanote;
+use aide_bench::{experiment_scale, header, pct, row};
+use aide_core::{Platform, PlatformConfig, PlatformReport, TransportKind};
+use aide_rpc::ChaosSchedule;
+use aide_trace::{breakdown_json, chrome_trace, critical_path};
+
+/// Default ceiling on the wall-clock overhead tracing may add, percent.
+const DEFAULT_TRACE_BUDGET_PCT: f64 = 50.0;
+
+/// The measured scenario: a memory-pressure rescue over real TCP with a
+/// mildly hostile link, so the span forest contains retries, backoff and
+/// dedup hits — everything the attribution pass must classify.
+fn traced_config() -> PlatformConfig {
+    let mut cfg = PlatformConfig::prototype(320 << 10);
+    cfg.transport = TransportKind::Tcp;
+    let mut chaos = ChaosSchedule::seeded(42);
+    chaos.drop = 0.05;
+    chaos.delay = 0.10;
+    chaos.max_delay = Duration::from_millis(3);
+    chaos.duplicate = 0.05;
+    cfg.chaos = Some(chaos);
+    cfg
+}
+
+fn timed_run(scale: aide_apps::Scale) -> (PlatformReport, f64) {
+    let started = Instant::now();
+    let report = Platform::new(javanote(scale).program, traced_config()).run();
+    let wall = started.elapsed().as_secs_f64();
+    report.outcome.as_ref().expect("the rescue completes");
+    (report, wall)
+}
+
+fn main() {
+    header(
+        "tracing tax (chaos TCP rescue, aide-trace off vs on)",
+        "this repo's causal-tracing layer; wall-clock, not virtual, time",
+    );
+    let scale = experiment_scale();
+
+    // Warm-up so neither measured run pays first-touch costs.
+    let _ = timed_run(scale);
+    aide_trace::drain();
+
+    aide_trace::set_enabled(false);
+    let (_, wall_disabled) = timed_run(scale);
+
+    aide_trace::set_enabled(true);
+    aide_trace::drain();
+    let (report, wall_enabled) = timed_run(scale);
+    let spans = aide_trace::drain();
+
+    assert!(report.offloaded(), "the scenario must migrate");
+    let overhead = wall_enabled / wall_disabled - 1.0;
+
+    row(
+        "wall clock, tracing disabled",
+        format!("{wall_disabled:.3}s"),
+    );
+    row("wall clock, tracing enabled", format!("{wall_enabled:.3}s"));
+    row("tracing overhead", pct(overhead));
+    row("spans recorded", spans.len());
+    row("spans dropped (overflow)", aide_trace::dropped_total());
+
+    println!();
+    header(
+        "critical-path attribution (per committed migration)",
+        "serialize / wire / retry / instantiate / commit, microseconds",
+    );
+    let breakdowns = critical_path(&spans);
+    assert!(
+        !breakdowns.is_empty(),
+        "a migrating run must yield at least one migration breakdown"
+    );
+    for b in &breakdowns {
+        row(
+            &format!("migration {:#x}", b.trace_id),
+            format!(
+                "total={} serialize={} wire={} retry={} instantiate={} \
+                 commit={} unattributed={}",
+                b.total_micros,
+                b.serialize_micros,
+                b.wire_micros,
+                b.retry_micros,
+                b.instantiate_micros,
+                b.commit_micros,
+                b.unattributed_micros,
+            ),
+        );
+    }
+
+    let mut artifact = serde_json::json!({
+        "kind": "summary",
+        "experiment": "trace_overhead",
+        "wall_disabled_seconds": wall_disabled,
+        "wall_enabled_seconds": wall_enabled,
+        "tracing_overhead": overhead,
+        "spans_recorded": spans.len(),
+        "spans_dropped": aide_trace::dropped_total(),
+        "migrations": breakdowns.len(),
+    })
+    .to_string();
+    artifact.push('\n');
+    artifact.push_str(&breakdown_json(&breakdowns));
+    let path = "BENCH_trace.json";
+    match std::fs::write(path, artifact) {
+        Ok(()) => row("artifact", path),
+        Err(e) => row("artifact", format!("write failed: {e}")),
+    }
+
+    // The raw forest, loadable in Perfetto / chrome://tracing.
+    let sample = "target/trace/exp_trace_overhead.trace.json";
+    let written = std::fs::create_dir_all("target/trace")
+        .and_then(|()| std::fs::write(sample, chrome_trace(&spans)));
+    match written {
+        Ok(()) => row("perfetto sample", sample),
+        Err(e) => row("perfetto sample", format!("write failed: {e}")),
+    }
+
+    let budget_pct = std::env::var("AIDE_TRACE_BUDGET_PCT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_TRACE_BUDGET_PCT);
+    if budget_pct >= 0.0 {
+        row("budget", format!("{budget_pct:.1}%"));
+        assert!(
+            overhead * 100.0 <= budget_pct,
+            "tracing overhead {} exceeds budget {budget_pct:.1}% \
+             (set AIDE_TRACE_BUDGET_PCT to adjust)",
+            pct(overhead),
+        );
+    } else {
+        row("budget", "disabled");
+    }
+}

@@ -376,6 +376,8 @@ impl FailoverCore {
             return false;
         };
         let started = Instant::now();
+        let mut span = aide_trace::span(aide_trace::names::FAILOVER, "core");
+        span.arg("surrogate", &lease.name);
         self.record_event(PlatformEvent::LinkDied {
             surrogate: lease.name.clone(),
         });

@@ -112,6 +112,11 @@ pub fn execute_offload_tracked(
     recorder: Option<&FlightRecorder>,
 ) -> VmResult<(OffloadOutcome, Vec<(ObjectId, ObjectRecord)>, Vec<ObjectId>)> {
     let started = std::time::Instant::now();
+    // The migration root span: every serialize/prepare/commit/rollback
+    // child below — and the RPC spans nested under them, including the
+    // surrogate's serve spans adopted over the wire — hangs off this one
+    // node, which is what the critical-path analyzer attributes.
+    let mut migration_span = aide_trace::span(aide_trace::names::MIGRATION, "core");
 
     // Work out the concrete victim set under the client VM lock.
     let mut victim_classes: Vec<ClassId> = Vec::new();
@@ -128,6 +133,7 @@ pub fn execute_offload_tracked(
         }
     }
 
+    let serialize_span = aide_trace::span(aide_trace::names::MIGRATE_SERIALIZE, "core");
     let (batchable, used_before) = {
         let vm = client.vm();
         let mut vm = vm.lock();
@@ -181,6 +187,7 @@ pub fn execute_offload_tracked(
 
         ((batch, pinned, pinned_ids), used_before)
     };
+    drop(serialize_span);
     let (batch, back_references_pinned, pinned_ids) = batchable;
 
     let objects_moved = batch.len() as u64;
@@ -196,24 +203,36 @@ pub fn execute_offload_tracked(
     // just left the heap, so capacity is guaranteed) and tell the
     // surrogate to discard its staging buffer.
     let txn = NEXT_TXN.fetch_add(1, Ordering::Relaxed);
+    migration_span.arg("txn", txn);
+    migration_span.arg("objects", objects_moved);
+    migration_span.arg("bytes", bytes_moved);
     let mut ship_error: Option<String> = None;
-    let mut iter = batch.into_iter().peekable();
-    while iter.peek().is_some() {
-        let chunk: Vec<(ObjectId, ObjectRecord)> = iter.by_ref().take(MIGRATE_BATCH).collect();
-        if let Err(e) = endpoint.call_with_retry(Request::MigratePrepare {
-            txn,
-            objects: chunk,
-        }) {
-            ship_error = Some(format!("migration PREPARE failed: {e}"));
-            break;
+    {
+        let mut prepare_span = aide_trace::span(aide_trace::names::MIGRATE_PREPARE, "core");
+        prepare_span.arg("txn", txn);
+        let mut iter = batch.into_iter().peekable();
+        while iter.peek().is_some() {
+            let chunk: Vec<(ObjectId, ObjectRecord)> = iter.by_ref().take(MIGRATE_BATCH).collect();
+            if let Err(e) = endpoint.call_with_retry(Request::MigratePrepare {
+                txn,
+                objects: chunk,
+            }) {
+                ship_error = Some(format!("migration PREPARE failed: {e}"));
+                break;
+            }
         }
     }
     if ship_error.is_none() {
+        let mut commit_span = aide_trace::span(aide_trace::names::MIGRATE_COMMIT, "core");
+        commit_span.arg("txn", txn);
         if let Err(e) = endpoint.call_with_retry(Request::MigrateCommit { txn }) {
             ship_error = Some(format!("migration COMMIT failed: {e}"));
         }
     }
     if let Some(reason) = ship_error {
+        let mut rollback_span = aide_trace::span(aide_trace::names::MIGRATE_ROLLBACK, "core");
+        rollback_span.arg("reason", &reason);
+        migration_span.arg("outcome", "aborted");
         // Best effort: a dead link cannot abort, but then the surrogate's
         // staging buffer dies with the session anyway.
         let _ = endpoint.call_with_retry(Request::MigrateAbort { txn });
@@ -252,6 +271,7 @@ pub fn execute_offload_tracked(
         return Err(VmError::RemoteFailure(reason));
     }
 
+    migration_span.arg("outcome", "committed");
     let client_used_after = client.vm().lock().heap().stats().used_bytes;
     let duration_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
 

@@ -209,6 +209,13 @@ impl Controller {
             return;
         }
 
+        // The decision span roots this epoch's pipeline: sampling,
+        // partitioning, and (when selected) the migration hang under it.
+        let mut decision_span = aide_trace::span(aide_trace::names::DECISION, "core");
+        decision_span.arg("reason", reason);
+        decision_span.arg("gc_cycle", at_gc_cycle);
+
+        let sample_span = aide_trace::span(aide_trace::names::TRIGGER_SAMPLE, "core");
         let (deltas, keys) = self.monitor.drain_deltas();
         let live_snapshot = {
             let vm = self.client().vm();
@@ -230,15 +237,20 @@ impl Controller {
             deltas,
             keys,
         });
+        drop(sample_span);
         self.recorder.record(PlatformEvent::TriggerFired {
             at_gc_cycle,
             heap_used: snapshot.heap_used,
             heap_capacity: snapshot.heap_capacity,
             reason: reason.clone(),
         });
+        let mut epoch_span = aide_trace::span(aide_trace::names::PARTITION_EPOCH, "core");
         let mut partitioner = self.partitioner.lock();
         partitioner.apply_deltas(&deltas);
         let decision = partitioner.epoch(snapshot, self.policy.as_ref());
+        epoch_span.arg("candidates", decision.candidates_evaluated);
+        epoch_span.arg("skipped", decision.skipped);
+        drop(epoch_span);
         if decision.skipped {
             // Dirty-region shortcut: churn since the last evaluation stayed
             // below the configured threshold, so the previous decision
@@ -247,6 +259,7 @@ impl Controller {
                 churn_weight: decision.churn.weight,
                 threshold: partitioner.config().churn_threshold,
             });
+            decision_span.arg("outcome", "epoch_skipped");
             self.monitor.reset_memory_trigger();
             return;
         }
@@ -290,6 +303,7 @@ impl Controller {
             self.recorder.record(PlatformEvent::OffloadDeclined {
                 candidates: decision.candidates_evaluated,
             });
+            decision_span.arg("outcome", "declined");
             self.monitor.reset_memory_trigger();
             return;
         };
@@ -313,6 +327,7 @@ impl Controller {
                     // No surrogate reachable (or backoff gate closed): stay
                     // local; the next trigger re-evaluates.
                     self.nondet.migration(MigrationRecord::NoSurrogate);
+                    decision_span.arg("outcome", "no_surrogate");
                     self.monitor.reset_memory_trigger();
                     return;
                 }
@@ -355,6 +370,7 @@ impl Controller {
                     outcome,
                 });
                 self.offloads_done.fetch_add(1, Ordering::SeqCst);
+                decision_span.arg("outcome", "offloaded");
                 self.monitor.reset_memory_trigger();
             }
             Err(err) => {
@@ -365,6 +381,7 @@ impl Controller {
                 // surrogate dying mid-migration and recover if so.
                 let _ = err;
                 self.nondet.migration(MigrationRecord::Failed);
+                decision_span.arg("outcome", "migration_failed");
                 if let Some(core) = self.failover.get() {
                     core.fail_active_if_dead();
                 }
@@ -627,6 +644,11 @@ impl Platform {
         let telemetry_before = aide_telemetry::global().snapshot();
         let recorder = Arc::new(FlightRecorder::new(FLIGHT_RECORDER_EVENTS));
 
+        // Tracing: flight-recorder events link to the active span, and the
+        // two in-process roles get distinct Perfetto lanes.
+        aide_trace::install_recorder_annotator();
+        aide_trace::set_process_label("client");
+
         // Controller first (late-bound), so the client machine's hook chain
         // can include it from the start.
         let controller = Arc::new(Controller {
@@ -673,6 +695,10 @@ impl Platform {
             )),
             EndpointConfig::default(),
         );
+        // The surrogate endpoint's workers inherit the track active at
+        // start time, so even this single-process prototype exports its
+        // serve spans on a "surrogate" lane.
+        aide_trace::set_thread_track("surrogate");
         let surrogate_ep = Endpoint::start(
             st,
             cfg.comm,
@@ -683,6 +709,7 @@ impl Platform {
             )),
             EndpointConfig::default(),
         );
+        aide_trace::set_thread_track("client");
 
         client_machine.set_remote(Arc::new(RemoteAdapter::new(
             client_ep.clone(),
@@ -770,6 +797,12 @@ impl Platform {
         let client_tables = Arc::new(RefTables::new());
         let telemetry_before = aide_telemetry::global().snapshot();
         let recorder = Arc::new(FlightRecorder::new(FLIGHT_RECORDER_EVENTS));
+
+        // Tracing: this process is the client role; the surrogate side is
+        // whatever the provider connects to (typically the daemon, which
+        // labels itself).
+        aide_trace::install_recorder_annotator();
+        aide_trace::set_process_label("client");
 
         let nondet: Arc<dyn NondetSource> =
             self.nondet.clone().unwrap_or_else(|| Arc::new(LiveSource));

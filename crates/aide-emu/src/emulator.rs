@@ -24,6 +24,7 @@ use aide_core::{
 };
 use aide_graph::{CommParams, ResourceSnapshot, Side};
 use aide_telemetry::{FlightRecorder, PlatformEvent, TimedEvent};
+use aide_trace::SpanContext;
 use aide_vm::{
     native_requires_client, ClassId, GcReport, Interaction, InteractionKind, ObjectId, RuntimeHooks,
 };
@@ -336,6 +337,36 @@ fn virtual_micros(seconds: f64) -> u64 {
     micros
 }
 
+/// Process lane emulated spans land on in the exporter, so an emulated
+/// run is visually distinct from a live client/surrogate pair.
+const EMU_TRACK: &str = "emu";
+
+/// Stamps a completed span at *virtual* time. The emulator has no live
+/// span guards (nothing here takes wall-clock time); it mints contexts by
+/// hand and records finished spans directly, so emulated runs export the
+/// same decision/migration trace shape as live runs.
+fn stamp_span(
+    ctx: SpanContext,
+    parent: Option<u64>,
+    name: &'static str,
+    start_micros: u64,
+    duration_micros: u64,
+    args: Vec<(String, String)>,
+) {
+    aide_trace::record_raw(aide_trace::SpanRecord {
+        trace_id: ctx.trace_id,
+        span_id: ctx.span_id,
+        parent_id: parent,
+        name: name.to_string(),
+        cat: "emu",
+        start_micros,
+        duration_micros,
+        track: EMU_TRACK.to_string(),
+        thread: 0,
+        args,
+    });
+}
+
 /// Context threaded into [`Emulator::try_partition`] so decision events
 /// land in the flight recorder with the right virtual timestamp and
 /// trigger reason.
@@ -517,6 +548,21 @@ impl Emulator {
                                 0
                             },
                         },
+                    );
+                    stamp_span(
+                        SpanContext::fresh(),
+                        None,
+                        aide_trace::names::FAILOVER,
+                        virtual_micros(now),
+                        if failure.standby {
+                            virtual_micros(failure.reoffload_delay_seconds)
+                        } else {
+                            0
+                        },
+                        vec![
+                            ("surrogate".to_string(), EMULATED_SURROGATE.to_string()),
+                            ("reinstated_bytes".to_string(), reinstated.to_string()),
+                        ],
                     );
                     if failure.standby {
                         reoffload_ready_at = now + failure.reoffload_delay_seconds;
@@ -829,6 +875,7 @@ impl Emulator {
         array_classes: &HashSet<ClassId>,
         trace: &EmuTrace<'_>,
     ) -> Option<EmulatedOffload> {
+        let decision_ctx = SpanContext::fresh();
         let (graph, keys) = monitor.snapshot();
         let snapshot = ResourceSnapshot::new(
             self.config.client_heap,
@@ -843,13 +890,33 @@ impl Emulator {
                 reason: trace.reason.to_string(),
             },
         );
+        stamp_span(
+            decision_ctx.child(),
+            Some(decision_ctx.span_id),
+            aide_trace::names::TRIGGER_SAMPLE,
+            trace.at_micros,
+            0,
+            vec![("reason".to_string(), trace.reason.to_string())],
+        );
         let decision = decide_with(graph, snapshot, policy, self.config.heuristic);
+        let eval_micros = u64::try_from(decision.elapsed.as_micros()).unwrap_or(u64::MAX);
         trace.recorder.record_at(
             trace.at_micros,
             PlatformEvent::CandidatesEvaluated {
                 candidates: decision.candidates_evaluated,
-                elapsed_micros: u64::try_from(decision.elapsed.as_micros()).unwrap_or(u64::MAX),
+                elapsed_micros: eval_micros,
             },
+        );
+        stamp_span(
+            decision_ctx.child(),
+            Some(decision_ctx.span_id),
+            aide_trace::names::PARTITION_EPOCH,
+            trace.at_micros,
+            eval_micros,
+            vec![(
+                "candidates".to_string(),
+                decision.candidates_evaluated.to_string(),
+            )],
         );
         let Some(selection) = decision.selection else {
             trace.recorder.record_at(
@@ -857,6 +924,14 @@ impl Emulator {
                 PlatformEvent::OffloadDeclined {
                     candidates: decision.candidates_evaluated,
                 },
+            );
+            stamp_span(
+                decision_ctx,
+                None,
+                aide_trace::names::DECISION,
+                trace.at_micros,
+                eval_micros,
+                vec![("outcome".to_string(), "declined".to_string())],
             );
             return None;
         };
@@ -938,13 +1013,37 @@ impl Emulator {
                 cut_interactions: selection.stats.cut.interactions,
             },
         );
+        let transfer_micros = virtual_micros(transfer_seconds);
         trace.recorder.record_at(
             trace.at_micros,
             PlatformEvent::ClassMigrated {
                 objects: nodes_offloaded as u64,
                 bytes: bytes_moved + bytes_returned,
-                duration_micros: virtual_micros(transfer_seconds),
+                duration_micros: transfer_micros,
             },
+        );
+        stamp_span(
+            decision_ctx.child(),
+            Some(decision_ctx.span_id),
+            aide_trace::names::MIGRATION,
+            trace.at_micros + eval_micros,
+            transfer_micros,
+            vec![
+                (
+                    "bytes".to_string(),
+                    (bytes_moved + bytes_returned).to_string(),
+                ),
+                ("objects".to_string(), nodes_offloaded.to_string()),
+                ("outcome".to_string(), "committed".to_string()),
+            ],
+        );
+        stamp_span(
+            decision_ctx,
+            None,
+            aide_trace::names::DECISION,
+            trace.at_micros,
+            eval_micros + transfer_micros,
+            vec![("outcome".to_string(), "offloaded".to_string())],
         );
         Some(EmulatedOffload {
             at_event,

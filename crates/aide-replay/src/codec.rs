@@ -300,6 +300,7 @@ mod tests {
             seq: 0,
             at_micros: 12,
             event: aide_telemetry::PlatformEvent::OffloadDeclined { candidates: 1 },
+            span: None,
         });
         t
     }

@@ -245,6 +245,7 @@ impl<'a> Emitter<'a> {
                     seq: self.out.len() as u64,
                     at_micros,
                     event: actual,
+                    span: None,
                 });
                 Ok(())
             }
@@ -411,6 +412,7 @@ fn run(
                                 event: PlatformEvent::MigrationAborted {
                                     reason: "recorded migration failure".into(),
                                 },
+                                span: None,
                             });
                         } else {
                             emitter.copy_effects();
@@ -431,6 +433,7 @@ fn run(
                         event: PlatformEvent::LinkDied {
                             surrogate: surrogate.clone(),
                         },
+                        span: None,
                     });
                 } else {
                     emitter.copy_effects();

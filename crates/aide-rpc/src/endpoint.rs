@@ -15,12 +15,17 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aide_graph::CommParams;
+use aide_trace::{names as span_names, SpanContext};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::link::{LinkError, NetClock, Session};
 use crate::transport::BackendKind;
 use crate::wire::{Message, Reply, Request, WireError};
+
+/// A unit of work queued to the serving pool: the dedup key, the request,
+/// and the caller's wire trace context (the parent of the serve span).
+type Job = (u64, u64, Request, Option<SpanContext>);
 
 /// Process-wide source of endpoint (client) ids, carried in every request
 /// frame so the serving side can deduplicate retries per caller.
@@ -350,24 +355,32 @@ impl Endpoint {
             metrics: RpcMetrics::resolve(backend),
         });
 
-        let (job_tx, job_rx) = unbounded::<(u64, u64, Request)>();
+        let (job_tx, job_rx) = unbounded::<Job>();
         let dedup = Arc::new(DedupCache::new(1024));
+
+        // Threads inherit the spawner's track label, so an endpoint started
+        // by the surrogate daemon exports its serve spans on the
+        // "surrogate" Perfetto lane even in a single-process run.
+        let track = aide_trace::current_track();
 
         // Worker pool.
         let mut handles = Vec::with_capacity(config.workers + 1);
         for i in 0..config.workers {
-            let rx: Receiver<(u64, u64, Request)> = job_rx.clone();
+            let rx: Receiver<Job> = job_rx.clone();
             let disp = dispatcher.clone();
             let out = session.clone();
             let served = endpoint.requests_served.clone();
             let dedup = dedup.clone();
             let dedup_hits = endpoint.dedup_hits.clone();
             let dedup_hits_metric = endpoint.metrics.dedup_hits.clone();
+            let track = track.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("rpc-worker-{i}"))
                     .spawn(move || {
-                        while let Ok((client, seq, request)) = rx.recv() {
+                        aide_trace::set_thread_track(&track);
+                        while let Ok((client, seq, request, ctx)) = rx.recv() {
+                            let kind = request.kind();
                             let dedupable = !is_idempotent(&request);
                             if dedupable {
                                 match dedup.begin((client, seq)) {
@@ -375,11 +388,20 @@ impl Endpoint {
                                     DedupDecision::InFlight => {
                                         dedup_hits.fetch_add(1, Ordering::Relaxed);
                                         dedup_hits_metric.inc();
+                                        let mut span =
+                                            aide_trace::child_of(ctx, span_names::RPC_DEDUP, "rpc");
+                                        span.arg("kind", kind);
+                                        span.arg("action", "drop_in_flight");
                                         continue;
                                     }
                                     DedupDecision::Replay(frame) => {
                                         dedup_hits.fetch_add(1, Ordering::Relaxed);
                                         dedup_hits_metric.inc();
+                                        let mut span =
+                                            aide_trace::child_of(ctx, span_names::RPC_DEDUP, "rpc");
+                                        span.arg("kind", kind);
+                                        span.arg("action", "replay_reply");
+                                        drop(span);
                                         if out.send(frame).is_err() {
                                             break;
                                         }
@@ -387,9 +409,16 @@ impl Endpoint {
                                     }
                                 }
                             }
+                            // The serve span adopts the caller's wire context,
+                            // which is what stitches client and surrogate into
+                            // one connected trace tree.
+                            let mut span = aide_trace::child_of(ctx, span_names::RPC_SERVE, "rpc");
+                            span.arg("kind", kind);
+                            span.arg("seq", seq);
                             let result = disp.dispatch(request);
                             served.fetch_add(1, Ordering::Relaxed);
                             let frame = Message::Reply { seq, result }.encode_pooled();
+                            drop(span);
                             if dedupable {
                                 dedup.complete((client, seq), frame.to_vec());
                             }
@@ -397,6 +426,7 @@ impl Endpoint {
                                 break;
                             }
                         }
+                        aide_trace::flush_thread();
                     })
                     .expect("spawn rpc worker"),
             );
@@ -413,10 +443,12 @@ impl Endpoint {
             let late_replies_metric = endpoint.metrics.late_replies.clone();
             let bad_frames = endpoint.bad_frames.clone();
             let bad_frames_metric = endpoint.metrics.bad_frames.clone();
+            let track = track.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name("rpc-recv".into())
                     .spawn(move || {
+                        aide_trace::set_thread_track(&track);
                         receiver_loop(ReceiverCtx {
                             session: &session,
                             pending: &pending,
@@ -505,6 +537,9 @@ impl Endpoint {
     /// [`RpcError::Disconnected`] / [`RpcError::Timeout`] on link failures.
     pub fn call(&self, request: Request) -> Result<Reply, RpcError> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut span = aide_trace::span(span_names::RPC_CALL, "rpc");
+        span.arg("kind", request.kind());
+        span.arg("seq", seq);
         let msg = Message::Request {
             seq,
             client: self.client_id,
@@ -524,11 +559,14 @@ impl Endpoint {
 
         let (tx, rx) = unbounded();
         self.pending.lock().insert(seq, tx);
+        // Encoded while the call span is ambient, so the frame carries it
+        // as the wire trace context.
         let frame = msg.encode_pooled();
         let started = std::time::Instant::now();
         if let Err(e) = self.session.send(frame) {
             self.pending.lock().remove(&seq);
             self.metrics.errors.inc();
+            span.arg("outcome", "disconnected");
             return Err(e.into());
         }
 
@@ -553,9 +591,20 @@ impl Endpoint {
                     self.note_late_expected(seq);
                 }
                 self.metrics.errors.inc();
+                span.arg(
+                    "outcome",
+                    match &e {
+                        RpcError::Timeout => "timeout",
+                        _ => "disconnected",
+                    },
+                );
                 return Err(e);
             }
         };
+        span.arg(
+            "outcome",
+            if result.is_ok() { "ok" } else { "remote_error" },
+        );
         self.metrics.simulated_bytes.add(req_bytes + reply_bytes);
 
         // Simulated link time: bulk transfers (offloading) stream at link
@@ -601,6 +650,9 @@ impl Endpoint {
     pub fn call_with_retry(&self, request: Request) -> Result<Reply, RpcError> {
         let policy = self.config.retry;
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut retry_span = aide_trace::span(span_names::RPC_RETRY, "rpc");
+        retry_span.arg("kind", request.kind());
+        retry_span.arg("seq", seq);
         let msg = Message::Request {
             seq,
             client: self.client_id,
@@ -617,7 +669,6 @@ impl Endpoint {
             ),
             Message::Reply { .. } => unreachable!(),
         };
-        let frame = msg.encode_pooled();
 
         let (tx, rx) = unbounded();
         self.pending.lock().insert(seq, tx);
@@ -631,18 +682,36 @@ impl Endpoint {
                 self.retries.fetch_add(1, Ordering::Relaxed);
                 self.metrics.retries.inc();
             }
-            if self.session.send(frame.clone()).is_err() {
+            // Each attempt is its own span and re-encodes the frame under
+            // it, so the serving side parents its serve span on the exact
+            // attempt that reached it — the payload bytes are identical
+            // across attempts (same seq, same client), only the trace
+            // context differs, so the at-most-once dedup still works.
+            let mut attempt_span = aide_trace::span(span_names::RPC_ATTEMPT, "rpc");
+            attempt_span.arg("attempt", attempt);
+            let frame = msg.encode_pooled();
+            if self.session.send(frame).is_err() {
+                attempt_span.arg("outcome", "disconnected");
                 break Err(RpcError::Disconnected);
             }
             let wait = policy
                 .attempt_timeout
                 .min(deadline.saturating_duration_since(Instant::now()));
             match rx.recv_timeout(wait) {
-                Ok(r) => break Ok(r),
+                Ok(r) => {
+                    attempt_span.arg("outcome", "ok");
+                    break Ok(r);
+                }
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    break Err(RpcError::Disconnected)
+                    attempt_span.arg("outcome", "disconnected");
+                    break Err(RpcError::Disconnected);
                 }
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    attempt_span.arg("outcome", "timeout");
+                    // Close the attempt before sleeping: the backoff is a
+                    // sibling span, so attempt and backoff durations never
+                    // overlap in the critical-path attribution.
+                    drop(attempt_span);
                     let now = Instant::now();
                     if attempt >= policy.max_attempts || now >= deadline {
                         break Err(RpcError::Timeout);
@@ -654,6 +723,8 @@ impl Endpoint {
                         1.0 + policy.jitter * (2.0 * xorshift_unit(&mut jitter_state) - 1.0);
                     let sleep = Duration::from_secs_f64((capped * scale).max(0.0))
                         .min(deadline.saturating_duration_since(now));
+                    let mut backoff_span = aide_trace::span(span_names::RPC_BACKOFF, "rpc");
+                    backoff_span.arg("micros", sleep.as_micros());
                     std::thread::sleep(sleep);
                 }
             }
@@ -664,6 +735,7 @@ impl Endpoint {
         let elapsed_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         self.metrics.latency_micros.observe(elapsed_micros);
         crate::observe::call_completed(seq, attempt, elapsed_micros, matches!(&outcome, Ok(Ok(_))));
+        retry_span.arg("attempts", attempt);
         let result = match outcome {
             Ok(r) => r,
             Err(e) => {
@@ -671,9 +743,20 @@ impl Endpoint {
                     self.note_late_expected(seq);
                 }
                 self.metrics.errors.inc();
+                retry_span.arg(
+                    "outcome",
+                    match &e {
+                        RpcError::Timeout => "timeout",
+                        _ => "disconnected",
+                    },
+                );
                 return Err(e);
             }
         };
+        retry_span.arg(
+            "outcome",
+            if result.is_ok() { "ok" } else { "remote_error" },
+        );
         self.metrics.simulated_bytes.add(req_bytes + reply_bytes);
         let seconds = if is_migrate {
             self.params.transfer_seconds(req_bytes)
@@ -785,7 +868,7 @@ struct ReceiverCtx<'a> {
     pending: &'a PendingMap,
     late_expected: &'a LateSet,
     closing: &'a AtomicBool,
-    jobs: &'a Sender<(u64, u64, Request)>,
+    jobs: &'a Sender<Job>,
     shutdown: &'a Receiver<()>,
     drain_timeout: Duration,
     late_replies: &'a AtomicU64,
@@ -844,8 +927,8 @@ fn receiver_loop(ctx: ReceiverCtx<'_>) {
             }
         };
         session.note_received(frame.len());
-        match Message::decode(&frame) {
-            Ok(Message::Request { seq, client, body }) => {
+        match Message::decode_traced(&frame) {
+            Ok((Message::Request { seq, client, body }, ctx)) => {
                 if matches!(body, Request::Shutdown) {
                     // Fire-and-forget: the sender does not wait for a reply.
                     closing.store(true, Ordering::SeqCst);
@@ -854,11 +937,11 @@ fn receiver_loop(ctx: ReceiverCtx<'_>) {
                     }
                     continue;
                 }
-                if jobs.send((client, seq, body)).is_err() {
+                if jobs.send((client, seq, body, ctx)).is_err() {
                     return;
                 }
             }
-            Ok(Message::Reply { seq, result }) => {
+            Ok((Message::Reply { seq, result }, _)) => {
                 let waiter = pending.lock().remove(&seq);
                 if let Some(tx) = waiter {
                     let _ = tx.send(result);
@@ -1244,6 +1327,119 @@ mod tests {
         assert_eq!(surrogate.dedup_hits(), 20);
         client.shutdown();
         surrogate.shutdown();
+    }
+
+    #[test]
+    fn serve_spans_adopt_the_callers_wire_context() {
+        let (client, surrogate) = pair();
+        let root = aide_trace::span("endpoint.test.root", "test");
+        let root_ctx = root.context();
+        client
+            .call(Request::GetSlot {
+                target: ObjectId::surrogate(2),
+                slot: 0,
+            })
+            .unwrap();
+        drop(root);
+        // Joining the endpoints exits their worker threads, which flushes
+        // their thread-local span buffers.
+        client.shutdown();
+        surrogate.shutdown();
+        client.join();
+        surrogate.join();
+        aide_trace::flush_thread();
+        let spans = aide_trace::snapshot();
+        let serve = spans
+            .iter()
+            .find(|s| s.trace_id == root_ctx.trace_id && s.name == span_names::RPC_SERVE)
+            .expect("the serving side must record a span in the caller's trace");
+        let call = spans
+            .iter()
+            .find(|s| Some(s.span_id) == serve.parent_id)
+            .expect("the serve span's parent must be in the same export");
+        assert_eq!(call.name, span_names::RPC_CALL);
+        assert_eq!(call.parent_id, Some(root_ctx.span_id));
+        assert_eq!(serve.arg("kind"), Some("GetSlot"));
+    }
+
+    #[test]
+    fn retry_attempts_get_their_own_spans_with_backoff() {
+        let (link, ct, st) = Link::pair(CommParams::WAVELAN);
+        let clock = link.clock.clone();
+        let client = Endpoint::start(
+            ct,
+            link.params,
+            clock.clone(),
+            Arc::new(TestDispatcher {
+                known: ObjectId::client(1),
+            }),
+            EndpointConfig {
+                retry: RetryPolicy {
+                    max_attempts: 8,
+                    attempt_timeout: Duration::from_millis(80),
+                    base_backoff: Duration::from_millis(5),
+                    deadline: Duration::from_secs(10),
+                    ..RetryPolicy::default()
+                },
+                ..EndpointConfig::default()
+            },
+        );
+        let surrogate = Endpoint::start(
+            st,
+            link.params,
+            clock,
+            Arc::new(SlowDispatcher {
+                delay: Duration::from_millis(250),
+            }),
+            EndpointConfig::default(),
+        );
+        let root = aide_trace::span("endpoint.test.retry", "test");
+        let root_ctx = root.context();
+        client
+            .call_with_retry(Request::FieldAccess {
+                target: ObjectId::surrogate(1),
+                bytes: 0,
+                write: true,
+            })
+            .unwrap();
+        drop(root);
+        client.shutdown();
+        surrogate.shutdown();
+        client.join();
+        surrogate.join();
+        aide_trace::flush_thread();
+        let spans = aide_trace::snapshot();
+        let ours: Vec<_> = spans
+            .iter()
+            .filter(|s| s.trace_id == root_ctx.trace_id)
+            .collect();
+        let attempts: Vec<_> = ours
+            .iter()
+            .filter(|s| s.name == span_names::RPC_ATTEMPT)
+            .collect();
+        assert!(
+            attempts.len() >= 2,
+            "a timed-out first attempt and a winning retry, got {}",
+            attempts.len()
+        );
+        assert!(
+            attempts.iter().any(|a| a.arg("outcome") == Some("timeout")),
+            "the losing attempt must be visible"
+        );
+        assert!(
+            attempts.iter().any(|a| a.arg("outcome") == Some("ok")),
+            "the winning attempt must be visible"
+        );
+        assert!(
+            ours.iter()
+                .any(|s| s.name == span_names::RPC_BACKOFF && s.arg("micros").is_some()),
+            "the backoff sleep must be recorded with its duration"
+        );
+        // The dedup absorption on the serving side lands in this trace too.
+        assert!(
+            ours.iter().any(|s| s.name == span_names::RPC_DEDUP),
+            "the absorbed duplicate must be attributed to the originating trace"
+        );
     }
 
     #[test]

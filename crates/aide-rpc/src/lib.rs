@@ -64,6 +64,7 @@ mod tcp;
 mod transport;
 mod wire;
 
+pub use aide_trace::SpanContext;
 pub use chaos::{chaos_pair, chaos_wrap, ChaosPairStats, ChaosSchedule, ChaosStats};
 pub use endpoint::{Dispatcher, Endpoint, EndpointConfig, RetryPolicy, RpcError};
 pub use link::{Link, LinkError, NetClock, Session, TrafficStats};
@@ -75,4 +76,7 @@ pub use transport::{
     channel_transport, virtual_transport, Acceptor, BackendKind, ChannelAcceptor, ChannelTransport,
     Transport,
 };
-pub use wire::{crc32, Frame, FramePool, Message, Reply, Request, WireError, PROTOCOL_VERSION};
+pub use wire::{
+    crc32, Frame, FramePool, Message, Reply, Request, WireError, LEGACY_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+};

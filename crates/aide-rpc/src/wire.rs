@@ -16,6 +16,13 @@
 //! payload. A frame corrupted in flight decodes to
 //! [`WireError::BadChecksum`] — never to a panic or a wrong message — so
 //! the retry layer above can treat corruption exactly like loss.
+//!
+//! Since protocol version 3 the checksummed payload opens with a *trace
+//! context* prefix — a presence flag plus, when the encoding thread has
+//! an active span, its `(trace_id, span_id)` — so every RPC carries its
+//! causal parent across the wire and the serving side can parent its
+//! service span under the caller's span. Version-2 frames (no prefix)
+//! still decode, mapping to "no context".
 
 use std::io::{Read, Write};
 use std::ops::{Deref, DerefMut};
@@ -25,10 +32,17 @@ use std::sync::{Arc, OnceLock};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::Mutex;
 
+use aide_trace::SpanContext;
 use aide_vm::{ClassId, MethodId, NativeKind, ObjectId, ObjectRecord};
 
 /// Current protocol version, carried as the first byte of every frame.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// Version 3 added the trace-context prefix to the checksummed payload.
+pub const PROTOCOL_VERSION: u8 = 3;
+
+/// The previous protocol version (no trace-context prefix). Still
+/// accepted by [`Message::decode`] so pre-tracing peers and recorded
+/// frames keep working.
+pub const LEGACY_PROTOCOL_VERSION: u8 = 2;
 
 /// Bytes of framing overhead preceding the message payload: the version
 /// byte plus the little-endian CRC32.
@@ -213,6 +227,30 @@ pub enum Request {
     Stats,
 }
 
+impl Request {
+    /// The static name of this request variant, used to label serve
+    /// spans and the critical-path attribution.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Invoke { .. } => "Invoke",
+            Request::FieldAccess { .. } => "FieldAccess",
+            Request::GetSlot { .. } => "GetSlot",
+            Request::PutSlot { .. } => "PutSlot",
+            Request::Native { .. } => "Native",
+            Request::StaticAccess { .. } => "StaticAccess",
+            Request::ClassOf { .. } => "ClassOf",
+            Request::Migrate { .. } => "Migrate",
+            Request::GcRelease { .. } => "GcRelease",
+            Request::MigratePrepare { .. } => "MigratePrepare",
+            Request::MigrateCommit { .. } => "MigrateCommit",
+            Request::MigrateAbort { .. } => "MigrateAbort",
+            Request::Shutdown => "Shutdown",
+            Request::Ping => "Ping",
+            Request::Stats => "Stats",
+        }
+    }
+}
+
 /// A successful reply payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Reply {
@@ -349,6 +387,7 @@ impl Message {
         buf.reserve(FRAME_HEADER + 64);
         buf.put_u8(PROTOCOL_VERSION);
         buf.put_u32_le(0); // checksum placeholder, patched below
+        encode_trace_context(buf);
         self.encode_body(buf);
         let crc = crc32(&buf[FRAME_HEADER..]);
         buf[1..FRAME_HEADER].copy_from_slice(&crc.to_le_bytes());
@@ -357,6 +396,7 @@ impl Message {
     /// Encodes just the message payload (no version byte, no checksum).
     fn encode_payload(&self) -> BytesMut {
         let mut buf = BytesMut::with_capacity(64);
+        encode_trace_context(&mut buf);
         self.encode_body(&mut buf);
         buf
     }
@@ -395,18 +435,35 @@ impl Message {
     /// version, fails its checksum, is truncated, carries an unknown tag,
     /// or has trailing bytes.
     pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
+        Self::decode_traced(frame).map(|(message, _)| message)
+    }
+
+    /// Decodes a message from a frame together with the sender's trace
+    /// context, when the frame carries one. Legacy (version-2) frames
+    /// decode with `None`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Message::decode`].
+    pub fn decode_traced(frame: &[u8]) -> Result<(Message, Option<SpanContext>), WireError> {
         if frame.len() < FRAME_HEADER {
             return Err(WireError::Truncated);
         }
-        if frame[0] != PROTOCOL_VERSION {
-            return Err(WireError::BadVersion(frame[0]));
+        let version = frame[0];
+        if version != PROTOCOL_VERSION && version != LEGACY_PROTOCOL_VERSION {
+            return Err(WireError::BadVersion(version));
         }
         let declared = u32::from_le_bytes([frame[1], frame[2], frame[3], frame[4]]);
-        let payload = &frame[FRAME_HEADER..];
+        let mut payload = &frame[FRAME_HEADER..];
         if crc32(payload) != declared {
             return Err(WireError::BadChecksum);
         }
-        Self::decode_payload(payload)
+        let context = if version == PROTOCOL_VERSION {
+            decode_trace_context(&mut payload)?
+        } else {
+            None
+        };
+        Ok((Self::decode_payload(payload)?, context))
     }
 
     /// Decodes a checksum-verified message payload.
@@ -434,6 +491,33 @@ impl Message {
             return Err(WireError::TrailingBytes(buf.len()));
         }
         Ok(msg)
+    }
+}
+
+/// Writes the trace-context prefix that opens every version-3 payload:
+/// a presence flag, then the encoding thread's active `(trace_id,
+/// span_id)` when it has one. The prefix is covered by the frame CRC.
+fn encode_trace_context<B: BufMut>(buf: &mut B) {
+    match aide_trace::current_context() {
+        Some(ctx) => {
+            buf.put_u8(1);
+            buf.put_u64_le(ctx.trace_id);
+            buf.put_u64_le(ctx.span_id);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+/// Reads the version-3 trace-context prefix, advancing `buf` past it.
+fn decode_trace_context(buf: &mut &[u8]) -> Result<Option<SpanContext>, WireError> {
+    match get_u8(buf)? {
+        0 => Ok(None),
+        1 => {
+            let trace_id = get_u64(buf)?;
+            let span_id = get_u64(buf)?;
+            Ok(Some(SpanContext { trace_id, span_id }))
+        }
+        t => Err(WireError::BadTag(t)),
     }
 }
 
@@ -1255,6 +1339,47 @@ mod tests {
             Message::decode(&frame).unwrap_err(),
             WireError::BadVersion(PROTOCOL_VERSION.wrapping_add(1))
         );
+    }
+
+    #[test]
+    fn legacy_v2_frames_still_decode() {
+        // A pre-tracing peer frames the bare message body under version 2;
+        // it must decode unchanged, with no trace context.
+        let msg = Message::Request {
+            seq: 5,
+            client: 2,
+            body: Request::Ping,
+        };
+        let mut payload = BytesMut::new();
+        msg.encode_body(&mut payload);
+        let mut frame = BytesMut::with_capacity(FRAME_HEADER + payload.len());
+        frame.put_u8(LEGACY_PROTOCOL_VERSION);
+        frame.put_u32_le(crc32(&payload));
+        frame.put_slice(&payload);
+        let (decoded, ctx) = Message::decode_traced(&frame).expect("legacy decode");
+        assert_eq!(decoded, msg);
+        assert_eq!(ctx, None);
+        assert_eq!(Message::decode(&frame).expect("legacy decode"), msg);
+    }
+
+    #[test]
+    fn trace_context_rides_the_frame_and_is_crc_protected() {
+        let msg = Message::Request {
+            seq: 8,
+            client: 4,
+            body: Request::MigrateCommit { txn: 9 },
+        };
+        let guard = aide_trace::span("wire.test", "test");
+        let parent = guard.context();
+        let frame = msg.encode();
+        drop(guard); // the context is captured at encode time
+        let (decoded, ctx) = Message::decode_traced(&frame).expect("decode");
+        assert_eq!(decoded, msg);
+        assert_eq!(ctx, Some(parent));
+        // A flipped context byte is corruption like any other payload byte.
+        let mut bad = frame.to_vec();
+        bad[FRAME_HEADER] ^= 0x01;
+        assert_eq!(Message::decode(&bad).unwrap_err(), WireError::BadChecksum);
     }
 
     #[test]

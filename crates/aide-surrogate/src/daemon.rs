@@ -230,6 +230,10 @@ impl SurrogateDaemon {
                     let spawned = std::thread::Builder::new()
                         .name("aide-surrogate-conn".into())
                         .spawn(move || {
+                            // Everything this carrier spawns (session
+                            // endpoints and their workers) inherits the
+                            // surrogate trace lane.
+                            aide_trace::set_thread_track("surrogate");
                             let killer = conn.killer();
                             while let Ok(session) = conn.accept() {
                                 let live = start_session(session, killer.clone(), &config);
@@ -318,6 +322,8 @@ fn start_session(
     killer: ConnKiller,
     config: &DaemonConfig,
 ) -> LiveSession {
+    let mut session_span = aide_trace::span(aide_trace::names::DAEMON_SESSION, "surrogate");
+    session_span.arg("daemon", &config.name);
     let telemetry = aide_telemetry::global();
     telemetry
         .counter(aide_telemetry::names::SURROGATE_SESSIONS)

@@ -30,7 +30,9 @@ mod recorder;
 
 pub use export::{prometheus_text, snapshot_json_lines};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Telemetry, TelemetrySnapshot};
-pub use recorder::{events_json_lines, render_timeline, FlightRecorder, PlatformEvent, TimedEvent};
+pub use recorder::{
+    events_json_lines, render_timeline, FlightRecorder, PlatformEvent, SpanRef, TimedEvent,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -60,6 +62,23 @@ pub fn set_enabled(enabled: bool) {
 /// Whether metric recording is currently enabled (default: enabled).
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// The flight recorder's trace annotator: returns the recording thread's
+/// active `(trace_id, span_id)`, if any. Registered by the tracing layer
+/// (`aide_trace::install_recorder_annotator`); a plain function pointer
+/// keeps this crate a leaf with no dependency on the span machinery.
+static TRACE_ANNOTATOR: OnceLock<fn() -> Option<(u64, u64)>> = OnceLock::new();
+
+/// Registers the span annotator consulted by [`FlightRecorder::record`]
+/// and [`FlightRecorder::record_at`]. First registration wins; later
+/// calls are no-ops (the annotator is process-global state).
+pub fn set_trace_annotator(annotator: fn() -> Option<(u64, u64)>) {
+    let _ = TRACE_ANNOTATOR.set(annotator);
+}
+
+pub(crate) fn annotate_with_trace() -> Option<(u64, u64)> {
+    TRACE_ANNOTATOR.get().and_then(|f| f())
 }
 
 /// Serializes tests that record metrics against tests that flip the
@@ -197,6 +216,13 @@ pub mod names {
     pub const REPLAY_DIVERGENCES: &str = "aide_replay_divergences_total";
     /// Recorded trace inputs consumed by replays.
     pub const REPLAY_EVENTS_CONSUMED: &str = "aide_replay_events_consumed_total";
+
+    /// Spans accepted into the causal-tracing collector.
+    pub const TRACE_SPANS_RECORDED: &str = "aide_trace_spans_recorded_total";
+    /// Spans dropped because the collector was at capacity.
+    pub const TRACE_SPANS_DROPPED: &str = "aide_trace_spans_dropped_total";
+    /// Spans currently buffered in the collector awaiting export.
+    pub const TRACE_BUFFER_SPANS: &str = "aide_trace_buffer_spans";
 }
 
 /// Bucket presets (upper bounds) for the fixed-bucket histograms.

@@ -175,6 +175,16 @@ impl PlatformEvent {
     }
 }
 
+/// A reference to the causal-tracing span that was active when an event
+/// was recorded, linking timeline rows to exported span trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRef {
+    /// The trace the active span belonged to.
+    pub trace_id: u64,
+    /// The active span itself.
+    pub span_id: u64,
+}
+
 /// A [`PlatformEvent`] stamped with a sequence number and a timestamp.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimedEvent {
@@ -185,6 +195,12 @@ pub struct TimedEvent {
     pub at_micros: u64,
     /// The event.
     pub event: PlatformEvent,
+    /// The tracing span active on the recording thread, when a trace
+    /// annotator is registered (see [`crate::set_trace_annotator`]).
+    /// Absent from serialized form when `None`, so traces recorded
+    /// before the tracing layer existed still load.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub span: Option<SpanRef>,
 }
 
 /// A bounded ring buffer of [`TimedEvent`]s.
@@ -229,6 +245,8 @@ impl FlightRecorder {
     /// emulator runs).
     pub fn record_at(&self, at_micros: u64, event: PlatformEvent) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let span =
+            crate::annotate_with_trace().map(|(trace_id, span_id)| SpanRef { trace_id, span_id });
         let mut events = self.events.lock();
         if events.len() == self.capacity {
             events.pop_front();
@@ -238,6 +256,7 @@ impl FlightRecorder {
             seq,
             at_micros,
             event,
+            span,
         });
     }
 
@@ -261,8 +280,12 @@ impl FlightRecorder {
 pub fn render_timeline(events: &[TimedEvent]) -> String {
     let mut out = String::new();
     for e in events {
+        let link = match &e.span {
+            Some(s) => format!("  ~ trace={:#x} span={:#x}", s.trace_id, s.span_id),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "[{:>4} +{:>10.6}s] {}\n",
+            "[{:>4} +{:>10.6}s] {}{link}\n",
             e.seq,
             e.at_micros as f64 / 1e6,
             e.event.describe()
@@ -346,6 +369,41 @@ mod tests {
             .map(|l| serde_json::from_str(l).expect("line parses"))
             .collect();
         assert_eq!(events, back);
+    }
+
+    thread_local! {
+        static TEST_SPAN: std::cell::Cell<Option<(u64, u64)>> =
+            const { std::cell::Cell::new(None) };
+    }
+
+    fn test_annotator() -> Option<(u64, u64)> {
+        TEST_SPAN.with(|c| c.get())
+    }
+
+    #[test]
+    fn events_carry_the_active_span_when_annotated() {
+        crate::set_trace_annotator(test_annotator);
+        TEST_SPAN.with(|c| c.set(Some((0xAB, 0xCD))));
+        let r = FlightRecorder::new(4);
+        r.record(PlatformEvent::OffloadDeclined { candidates: 1 });
+        TEST_SPAN.with(|c| c.set(None));
+        r.record(PlatformEvent::OffloadDeclined { candidates: 2 });
+        let events = r.events();
+        assert_eq!(
+            events[0].span,
+            Some(SpanRef {
+                trace_id: 0xAB,
+                span_id: 0xCD
+            })
+        );
+        assert_eq!(events[1].span, None);
+        // JSON-lines export surfaces the link, and omits it when absent
+        // so pre-tracing traces still parse byte-compatibly.
+        let lines = events_json_lines(&events);
+        assert!(lines.lines().next().unwrap().contains("\"span\""));
+        assert!(!lines.lines().nth(1).unwrap().contains("\"span\""));
+        let text = render_timeline(&events);
+        assert!(text.contains("trace=0xab span=0xcd"), "got: {text}");
     }
 
     #[test]

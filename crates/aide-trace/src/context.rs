@@ -1,0 +1,171 @@
+//! Per-thread span context: the ambient stack, RAII guards, and track
+//! labels.
+
+use std::cell::RefCell;
+use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
+
+use crate::span::{next_span_id, next_trace_id, now_micros, SpanContext, SpanRecord};
+
+thread_local! {
+    /// The ambient span stack: the top is the parent of any span (or
+    /// recorder event) created on this thread.
+    static STACK: RefCell<Vec<SpanContext>> = const { RefCell::new(Vec::new()) };
+    /// This thread's track label override, when set.
+    static TRACK: RefCell<Option<String>> = const { RefCell::new(None) };
+    /// A small per-thread serial for the exporter's `tid` lane.
+    static THREAD_LANE: u64 = next_thread_lane();
+}
+
+fn next_thread_lane() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+fn process_label_cell() -> &'static Mutex<String> {
+    static LABEL: OnceLock<Mutex<String>> = OnceLock::new();
+    LABEL.get_or_init(|| Mutex::new("aide".to_string()))
+}
+
+/// Sets the default track label for every thread of this process that
+/// has no per-thread override ("client", "surrogate", ...).
+pub fn set_process_label(label: &str) {
+    *process_label_cell()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner()) = label.to_string();
+}
+
+/// Overrides the track label for the calling thread. Threads a component
+/// spawns should inherit the spawner's track (see [`current_track`]).
+pub fn set_thread_track(track: &str) {
+    TRACK.with(|t| *t.borrow_mut() = Some(track.to_string()));
+}
+
+/// The calling thread's effective track label: its override if set,
+/// otherwise the process label.
+pub fn current_track() -> String {
+    TRACK.with(|t| t.borrow().clone()).unwrap_or_else(|| {
+        process_label_cell()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    })
+}
+
+/// The calling thread's innermost active span context, if any. This is
+/// what aide-rpc stamps into outgoing frames and what the recorder
+/// annotator attaches to flight-recorder events.
+pub fn current_context() -> Option<SpanContext> {
+    if !crate::enabled() {
+        return None;
+    }
+    STACK.with(|s| s.borrow().last().copied())
+}
+
+/// An active span. Created by [`span`] or [`child_of`]; the span is
+/// completed and handed to the collector when the guard drops. While the
+/// guard lives, its context is the thread's ambient parent.
+#[must_use = "a span measures the scope of its guard; dropping it immediately records an empty span"]
+pub struct SpanGuard {
+    /// `None` for inert guards (tracing disabled at creation).
+    record: Option<SpanRecord>,
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.record {
+            Some(r) => f
+                .debug_struct("SpanGuard")
+                .field("name", &r.name)
+                .field("trace_id", &r.trace_id)
+                .field("span_id", &r.span_id)
+                .finish(),
+            None => f.debug_struct("SpanGuard").field("inert", &true).finish(),
+        }
+    }
+}
+
+impl SpanGuard {
+    /// This span's portable context (zeros when tracing is disabled).
+    pub fn context(&self) -> SpanContext {
+        match &self.record {
+            Some(r) => SpanContext {
+                trace_id: r.trace_id,
+                span_id: r.span_id,
+            },
+            None => SpanContext {
+                trace_id: 0,
+                span_id: 0,
+            },
+        }
+    }
+
+    /// Attaches a key/value annotation to the span.
+    pub fn arg(&mut self, key: &str, value: impl Display) {
+        if let Some(r) = &mut self.record {
+            r.args.push((key.to_string(), value.to_string()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(mut record) = self.record.take() else {
+            return;
+        };
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Pop our own frame. RAII guarantees LIFO order per thread.
+            if let Some(top) = stack.last() {
+                if top.span_id == record.span_id {
+                    stack.pop();
+                }
+            }
+        });
+        record.duration_micros = now_micros().saturating_sub(record.start_micros);
+        crate::buffer::record(record);
+    }
+}
+
+fn start(name: &str, cat: &'static str, parent: Option<SpanContext>) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { record: None };
+    }
+    let (trace_id, parent_id) = match parent {
+        Some(p) => (p.trace_id, Some(p.span_id)),
+        None => (next_trace_id(), None),
+    };
+    let ctx = SpanContext {
+        trace_id,
+        span_id: next_span_id(),
+    };
+    STACK.with(|s| s.borrow_mut().push(ctx));
+    SpanGuard {
+        record: Some(SpanRecord {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id,
+            name: name.to_string(),
+            cat,
+            start_micros: now_micros(),
+            duration_micros: 0,
+            track: current_track(),
+            thread: THREAD_LANE.with(|l| *l),
+            args: Vec::new(),
+        }),
+    }
+}
+
+/// Opens a span parented to the thread's ambient span (a new trace root
+/// when there is none).
+pub fn span(name: &str, cat: &'static str) -> SpanGuard {
+    start(name, cat, current_context())
+}
+
+/// Opens a span under an explicit parent — the serving side of an RPC
+/// adopts the caller's wire context this way. `None` falls back to the
+/// ambient parent (a legacy v2 peer sent no context).
+pub fn child_of(parent: Option<SpanContext>, name: &str, cat: &'static str) -> SpanGuard {
+    start(name, cat, parent.or_else(current_context))
+}

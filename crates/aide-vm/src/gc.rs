@@ -144,6 +144,8 @@ impl Collector {
         self.cycle += 1;
         self.allocs_since = 0;
         self.bytes_since = 0;
+        let mut gc_span = aide_trace::span(aide_trace::names::VM_GC, "vm");
+        gc_span.arg("cycle", self.cycle);
 
         // Mark.
         let mut marked: HashMap<ObjectId, ()> = HashMap::new();
@@ -210,6 +212,8 @@ impl Collector {
         telemetry
             .gauge(aide_telemetry::names::HEAP_FREE_BYTES)
             .set(report.free_after as i64);
+        gc_span.arg("freed_bytes", report.freed_bytes);
+        gc_span.arg("freed_objects", report.freed_objects);
 
         report
     }

@@ -21,6 +21,9 @@
 //!   versioned traces of every nondeterministic input, bit-identical
 //!   timeline replay with strict divergence detection, and parallel
 //!   what-if policy sweeps.
+//! * [`trace`] — causal distributed tracing: span contexts propagated
+//!   across the RPC wire, Chrome/Perfetto trace export, and per-migration
+//!   critical-path latency attribution.
 //!
 //! See the `examples/` directory for runnable walkthroughs and
 //! `EXPERIMENTS.md` for the paper-versus-measured results.
@@ -48,4 +51,5 @@ pub use aide_replay as replay;
 pub use aide_rpc as rpc;
 pub use aide_surrogate as surrogate;
 pub use aide_telemetry as telemetry;
+pub use aide_trace as trace;
 pub use aide_vm as vm;
