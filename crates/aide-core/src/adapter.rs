@@ -3,32 +3,53 @@
 //! [`RemoteAdapter`] turns the interpreter's remote-object touches into RPC
 //! calls; [`VmDispatcher`] serves the peer's RPC calls by re-entering the
 //! local interpreter. Both maintain the export/import tables that implement
-//! the simple distributed garbage collection scheme: any local object whose
+//! the distributed garbage collection scheme: any local object whose
 //! reference leaves this VM is pinned as an external GC root until the peer
-//! reports (via `GcRelease`) that it no longer holds it.
+//! reports (via a watermarked `GcReleaseSeq`) that it no longer holds it,
+//! or until its lease runs out unrenewed and
+//! [`VmDispatcher::sweep_expired_exports`] hands it back to the collector.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use aide_rpc::{Dispatcher, Endpoint, ExportTable, ImportTable, Reply, Request, RpcError};
+use aide_rpc::{Dispatcher, Endpoint, ExportTable, GcClock, ImportTable, Reply, Request, RpcError};
 use aide_vm::{
     ClassId, Machine, MethodId, NativeKind, ObjectId, ObjectRecord, RemoteAccess, VmError, VmResult,
 };
 use parking_lot::Mutex;
 
 /// Shared distributed-GC state for one side of the platform.
+///
+/// The tables are individually `Arc`-held so they can also be wired into
+/// the endpoint's lease piggyback path ([`Endpoint::attach_gc`]) without
+/// splitting ownership.
 #[derive(Debug, Default)]
 pub struct RefTables {
     /// Local objects exported to the peer (pinned while exported).
-    pub exports: ExportTable,
+    pub exports: Arc<ExportTable>,
     /// Remote objects this side holds references to.
-    pub imports: ImportTable,
+    pub imports: Arc<ImportTable>,
 }
 
 impl RefTables {
     /// Creates empty tables.
     pub fn new() -> Self {
         RefTables::default()
+    }
+
+    /// Creates empty tables whose export leases are measured against
+    /// `clock` (the daemon advances one clock per session by wall time).
+    pub fn with_clock(clock: Arc<GcClock>) -> Self {
+        RefTables {
+            exports: Arc::new(ExportTable::with_clock(clock)),
+            imports: Arc::new(ImportTable::new()),
+        }
+    }
+
+    /// Wires these tables into `endpoint` so every outgoing frame carries
+    /// the import epoch and every incoming frame renews export leases.
+    pub fn attach_to(&self, endpoint: &Endpoint) {
+        endpoint.attach_gc(self.exports.clone(), self.imports.clone());
     }
 }
 
@@ -296,6 +317,29 @@ impl VmDispatcher {
             vm.external_root_inc(id);
         }
     }
+
+    /// The dispatcher's reference tables (shared with the platform side).
+    pub fn tables(&self) -> &Arc<RefTables> {
+        &self.tables
+    }
+
+    /// Sweeps expired-lease and stale-epoch exports back to the collector,
+    /// unpinning each reclaimed object under the VM lock. Returns
+    /// `(expired, stale)` counts. The surrogate daemon runs this
+    /// periodically; failover runs it after bumping the epoch.
+    pub fn sweep_expired_exports(&self) -> (usize, usize) {
+        let vm = self.machine.vm();
+        let mut vm = vm.lock();
+        let expired = self.tables.exports.sweep_expired();
+        for &id in &expired {
+            vm.external_root_dec(id);
+        }
+        let stale = self.tables.exports.sweep_stale_epochs();
+        for &id in &stale {
+            vm.external_root_dec(id);
+        }
+        (expired.len(), stale.len())
+    }
 }
 
 impl Dispatcher for VmDispatcher {
@@ -404,6 +448,29 @@ impl Dispatcher for VmDispatcher {
                 }
                 Ok(Reply::Unit)
             }
+            Request::GcRenew { epoch } => {
+                self.tables.exports.renew(epoch);
+                Ok(Reply::Unit)
+            }
+            Request::GcReleaseSeq {
+                epoch,
+                release_seq,
+                objects,
+            } => {
+                // The table enforces the epoch/watermark discipline; only
+                // entries it actually dropped are unpinned, so replays and
+                // zombies cannot double-release a root.
+                let vm = self.machine.vm();
+                let mut vm = vm.lock();
+                for id in self
+                    .tables
+                    .exports
+                    .release_batch(epoch, release_seq, &objects)
+                {
+                    vm.external_root_dec(id);
+                }
+                Ok(Reply::Unit)
+            }
             Request::Shutdown => Ok(Reply::Unit),
             // Null RPC: answer immediately so probes measure pure link +
             // dispatch latency (the paper's 2.4 ms null-RPC figure).
@@ -461,6 +528,11 @@ mod tests {
             )),
             EndpointConfig::default(),
         );
+
+        // Lease piggyback: every frame each side sends renews the peer's
+        // view of this side's holds.
+        client_tables.attach_to(&client_ep);
+        surrogate_tables.attach_to(&surrogate_ep);
 
         // Calls placed on an endpoint travel to the peer and are served by
         // the peer's dispatcher: the client's outbound path is client_ep.
@@ -621,6 +693,70 @@ mod tests {
         assert_eq!(reply, Reply::Unit);
         assert_eq!(client.vm().lock().external_root_count(), 0);
         let _ = cep;
+    }
+
+    #[test]
+    fn release_seq_is_idempotent_through_the_dispatcher() {
+        let (client, _surrogate, _cep, _sep) = machine_pair();
+        let id = ObjectId::client(56);
+        {
+            let vm = client.vm();
+            let mut vm = vm.lock();
+            vm.heap_mut()
+                .insert(id, aide_vm::ObjectRecord::new(ClassId(1), 10, 0))
+                .unwrap();
+        }
+        let tables = Arc::new(RefTables::new());
+        let dispatcher = VmDispatcher::new(client.clone(), tables.clone());
+        {
+            let vm = client.vm();
+            let mut vm = vm.lock();
+            if tables.exports.export(id) {
+                vm.external_root_inc(id);
+            }
+        }
+        let release = Request::GcReleaseSeq {
+            epoch: 0,
+            release_seq: 1,
+            objects: vec![id],
+        };
+        dispatcher.dispatch(release.clone()).unwrap();
+        assert_eq!(client.vm().lock().external_root_count(), 0);
+        // A chaos duplicate of the same batch is a no-op: no double-unpin,
+        // no unbalanced audit entry.
+        let before = client.vm().lock().external_root_audit();
+        dispatcher.dispatch(release).unwrap();
+        assert_eq!(client.vm().lock().external_root_audit(), before);
+        assert!(tables.exports.is_empty());
+    }
+
+    #[test]
+    fn expired_leases_are_swept_back_to_the_collector() {
+        let (client, _surrogate, _cep, _sep) = machine_pair();
+        let id = ObjectId::client(57);
+        {
+            let vm = client.vm();
+            let mut vm = vm.lock();
+            vm.heap_mut()
+                .insert(id, aide_vm::ObjectRecord::new(ClassId(1), 10, 0))
+                .unwrap();
+        }
+        let clock = Arc::new(aide_rpc::GcClock::new());
+        let tables = Arc::new(RefTables::with_clock(clock.clone()));
+        tables.exports.set_ttl_ms(50);
+        let dispatcher = VmDispatcher::new(client.clone(), tables.clone());
+        {
+            let vm = client.vm();
+            let mut vm = vm.lock();
+            if tables.exports.export(id) {
+                vm.external_root_inc(id);
+            }
+        }
+        clock.advance_ms(100);
+        let (expired, stale) = dispatcher.sweep_expired_exports();
+        assert_eq!((expired, stale), (1, 0));
+        assert_eq!(client.vm().lock().external_root_count(), 0);
+        assert!(tables.exports.is_empty());
     }
 
     #[test]

@@ -335,6 +335,9 @@ impl FailoverCore {
         match self.provider.acquire(&self.ctx) {
             Some(lease) => {
                 let endpoint = lease.endpoint.clone();
+                // New session, fresh lease flow: stamp our imports epoch on
+                // outgoing frames and renew our exports on its traffic.
+                self.tables.attach_to(&endpoint);
                 self.surrogates_used.lock().push(lease.name.clone());
                 *active = Some(lease);
                 self.backoff.lock().note_success();
@@ -512,6 +515,24 @@ impl FailoverCore {
             if self.tables.exports.release(id) {
                 vm.external_root_dec(id);
             }
+        }
+
+        // Epoch fencing: the dead session's view of our references is
+        // void. Bumping both epochs makes any late frame from it (a stale
+        // renewal, a replayed release) a counted no-op, and whatever the
+        // dead peer still held against us under the old epoch is handed
+        // straight back to the collector instead of waiting out its TTL.
+        self.tables.imports.begin_epoch();
+        self.tables.exports.begin_epoch();
+        let reclaimed = self.tables.exports.sweep_stale_epochs();
+        if !reclaimed.is_empty() {
+            for id in &reclaimed {
+                vm.external_root_dec(*id);
+            }
+            self.record_event(PlatformEvent::ExportsReclaimed {
+                objects: reclaimed.len() as u64,
+                reason: "failover".into(),
+            });
         }
     }
 

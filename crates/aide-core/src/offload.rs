@@ -252,6 +252,10 @@ pub fn execute_offload_tracked(
                 }
             }
         }
+        // The aborted transaction may still leak frames (a late MigrateShip
+        // retry, a replayed release); a fresh import epoch fences them off
+        // so the surrogate counts them as stale instead of honoring them.
+        tables.imports.begin_epoch();
         let telemetry = aide_telemetry::global();
         telemetry
             .counter(aide_telemetry::names::MIGRATIONS_ABORTED)

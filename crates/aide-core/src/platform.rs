@@ -412,7 +412,23 @@ impl Controller {
         let dropped = self.tables.imports.sweep_dropped(&still);
         if !dropped.is_empty() {
             if let Some(endpoint) = endpoint {
-                let _ = endpoint.call(Request::GcRelease { objects: dropped });
+                // Watermarked release: the sequence number makes retries
+                // and chaos duplicates counted no-ops on the surrogate, so
+                // the retry policy can resend aggressively. A batch lost
+                // outright is covered by lease expiry on the other side.
+                let _ = endpoint.call_with_retry(Request::GcReleaseSeq {
+                    epoch: self.tables.imports.advertised_epoch(),
+                    release_seq: self.tables.imports.next_release_seq(),
+                    objects: dropped,
+                });
+            }
+        } else if !self.tables.imports.is_empty() {
+            // Quiet session with live remote holds: renew explicitly so
+            // silence alone never expires a reference still in use.
+            if let Some(endpoint) = endpoint {
+                let _ = endpoint.call(Request::GcRenew {
+                    epoch: self.tables.imports.advertised_epoch(),
+                });
             }
         }
     }
@@ -711,6 +727,14 @@ impl Platform {
         );
         aide_trace::set_thread_track("client");
 
+        // Lease piggybacking: each endpoint stamps outgoing frames with its
+        // imports epoch and renews its own exports on stamped arrivals, so
+        // ordinary RPC traffic keeps cross-VM references alive.
+        client_tables.attach_to(&client_ep);
+        surrogate_tables.attach_to(&surrogate_ep);
+        client_tables.exports.set_recorder(recorder.clone());
+        surrogate_tables.exports.set_recorder(recorder.clone());
+
         client_machine.set_remote(Arc::new(RemoteAdapter::new(
             client_ep.clone(),
             client_machine.clone(),
@@ -850,6 +874,7 @@ impl Platform {
         ));
         core.set_recorder(recorder.clone());
         core.set_nondet(nondet.clone());
+        client_tables.exports.set_recorder(recorder.clone());
         client_machine.set_remote(Arc::new(FailoverAdapter::new(core.clone())));
         controller.bind_failover(client_machine.clone(), core.clone());
 

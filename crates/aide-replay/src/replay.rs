@@ -103,6 +103,9 @@ fn is_effect(event: &PlatformEvent) -> bool {
             | PlatformEvent::FailoverCompleted { .. }
             | PlatformEvent::MigrationAborted { .. }
             | PlatformEvent::MigrationRolledBack { .. }
+            | PlatformEvent::LeaseExpired { .. }
+            | PlatformEvent::ExportsReclaimed { .. }
+            | PlatformEvent::GcReleaseUnknown { .. }
     )
 }
 

@@ -87,6 +87,7 @@ fn timed(seq: u64, at_micros: u64, event: PlatformEvent) -> TimedEvent {
         seq,
         at_micros,
         event,
+        span: None,
     }
 }
 
@@ -203,6 +204,65 @@ fn mesh() -> ReplayTrace {
     trace
 }
 
+/// "gc": a completed offload whose client then goes quiet — the
+/// surrogate's lease sweeper expires the exported pins, a replayed
+/// release names an object that is already gone, and failover reclaims
+/// the rest under a fresh epoch. Distilled from a `gc_soak` chaos run
+/// (seed 1234); the three GC effects replay from the baseline.
+fn gc_leases() -> ReplayTrace {
+    let mut trace = ReplayTrace::new("gc", PlatformConfig::prototype(6_000_000));
+    trace.inputs = pressure_inputs(6_000_000, 5_900_000);
+    trace.inputs.push(ReplayEvent::Migration {
+        at_micros: 5_000,
+        record: MigrationRecord::Completed {
+            objects: 37,
+            bytes: 4_000_000,
+            duration_micros: 1_234,
+        },
+    });
+    trace.baseline = decision_prefix(6_000_000, 5_900_000);
+    trace.baseline.push(timed(
+        2,
+        4_002,
+        PlatformEvent::WinnerChosen {
+            policy_score: 1000.0,
+            offload_bytes: 4_000_000,
+            cut_interactions: 10,
+        },
+    ));
+    trace.baseline.push(timed(
+        3,
+        5_000,
+        PlatformEvent::ClassMigrated {
+            objects: 37,
+            bytes: 4_000_000,
+            duration_micros: 1_234,
+        },
+    ));
+    trace.baseline.push(timed(
+        4,
+        35_000,
+        PlatformEvent::LeaseExpired {
+            objects: 2,
+            epoch: 0,
+        },
+    ));
+    trace.baseline.push(timed(
+        5,
+        35_100,
+        PlatformEvent::GcReleaseUnknown { object: 37 },
+    ));
+    trace.baseline.push(timed(
+        6,
+        36_000,
+        PlatformEvent::ExportsReclaimed {
+            objects: 1,
+            reason: "failover".into(),
+        },
+    ));
+    trace
+}
+
 fn check_golden(name: &str, expected: ReplayTrace) {
     let path = golden_path(name);
     if std::env::var_os("AIDE_BLESS").is_some() {
@@ -237,4 +297,9 @@ fn chain_golden_replays_bit_identically() {
 #[test]
 fn mesh_golden_replays_bit_identically() {
     check_golden("mesh", mesh());
+}
+
+#[test]
+fn gc_golden_replays_bit_identically() {
+    check_golden("gc", gc_leases());
 }

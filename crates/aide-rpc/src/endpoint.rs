@@ -20,6 +20,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::link::{LinkError, NetClock, Session};
+use crate::reftable::{ExportTable, ImportTable};
 use crate::transport::BackendKind;
 use crate::wire::{Message, Reply, Request, WireError};
 
@@ -275,9 +276,23 @@ impl DedupCache {
 }
 
 /// Requests exempt from at-most-once bookkeeping: idempotent health and
-/// introspection traffic that would otherwise churn the cache.
+/// introspection traffic that would otherwise churn the cache. Lease
+/// renewals qualify — renewing twice is the same as renewing once.
 fn is_idempotent(request: &Request) -> bool {
-    matches!(request, Request::Ping | Request::Stats)
+    matches!(
+        request,
+        Request::Ping | Request::Stats | Request::GcRenew { .. }
+    )
+}
+
+/// Reference-table handles wired into an endpoint by
+/// [`Endpoint::attach_gc`] so lease maintenance piggybacks on ordinary
+/// traffic: every outgoing frame is stamped with the import table's
+/// advertised lease epoch, and every stamped incoming frame renews the
+/// export table's current-epoch leases.
+struct GcHooks {
+    exports: Arc<ExportTable>,
+    imports: Arc<ImportTable>,
 }
 
 /// xorshift64 step returning a uniform f64 in [0, 1) — the same generator
@@ -309,6 +324,7 @@ pub struct Endpoint {
     dedup_hits: Arc<AtomicU64>,
     late_replies: Arc<AtomicU64>,
     bad_frames: Arc<AtomicU64>,
+    gc: Arc<Mutex<Option<GcHooks>>>,
     metrics: RpcMetrics,
 }
 
@@ -352,6 +368,7 @@ impl Endpoint {
             dedup_hits: Arc::new(AtomicU64::new(0)),
             late_replies: Arc::new(AtomicU64::new(0)),
             bad_frames: Arc::new(AtomicU64::new(0)),
+            gc: Arc::new(Mutex::new(None)),
             metrics: RpcMetrics::resolve(backend),
         });
 
@@ -373,6 +390,7 @@ impl Endpoint {
             let dedup = dedup.clone();
             let dedup_hits = endpoint.dedup_hits.clone();
             let dedup_hits_metric = endpoint.metrics.dedup_hits.clone();
+            let gc = endpoint.gc.clone();
             let track = track.clone();
             handles.push(
                 std::thread::Builder::new()
@@ -417,7 +435,8 @@ impl Endpoint {
                             span.arg("seq", seq);
                             let result = disp.dispatch(request);
                             served.fetch_add(1, Ordering::Relaxed);
-                            let frame = Message::Reply { seq, result }.encode_pooled();
+                            let stamp = gc.lock().as_ref().map(|h| h.imports.advertised_epoch());
+                            let frame = Message::Reply { seq, result }.encode_pooled_stamped(stamp);
                             drop(span);
                             if dedupable {
                                 dedup.complete((client, seq), frame.to_vec());
@@ -443,6 +462,7 @@ impl Endpoint {
             let late_replies_metric = endpoint.metrics.late_replies.clone();
             let bad_frames = endpoint.bad_frames.clone();
             let bad_frames_metric = endpoint.metrics.bad_frames.clone();
+            let gc = endpoint.gc.clone();
             let track = track.clone();
             handles.push(
                 std::thread::Builder::new()
@@ -461,6 +481,7 @@ impl Endpoint {
                             late_replies_metric: &late_replies_metric,
                             bad_frames: &bad_frames,
                             bad_frames_metric: &bad_frames_metric,
+                            gc: &gc,
                         });
                         // Receiver gone: fail all outstanding calls.
                         pending.lock().clear();
@@ -470,6 +491,24 @@ impl Endpoint {
         }
         *endpoint.threads.lock() = handles;
         endpoint
+    }
+
+    /// Wires this endpoint into distributed GC lease maintenance.
+    ///
+    /// After this call every outgoing frame (request or reply) is stamped
+    /// with `imports`' advertised lease epoch, and every stamped incoming
+    /// frame renews `exports`' current-epoch leases — so steady-state RPC
+    /// traffic keeps cross-VM references alive with no extra messages.
+    pub fn attach_gc(&self, exports: Arc<ExportTable>, imports: Arc<ImportTable>) {
+        *self.gc.lock() = Some(GcHooks { exports, imports });
+    }
+
+    /// The lease epoch to stamp on outgoing frames, when GC is attached.
+    fn lease_stamp(&self) -> Option<u64> {
+        self.gc
+            .lock()
+            .as_ref()
+            .map(|h| h.imports.advertised_epoch())
     }
 
     /// Number of requests this endpoint has served for its peer.
@@ -561,7 +600,7 @@ impl Endpoint {
         self.pending.lock().insert(seq, tx);
         // Encoded while the call span is ambient, so the frame carries it
         // as the wire trace context.
-        let frame = msg.encode_pooled();
+        let frame = msg.encode_pooled_stamped(self.lease_stamp());
         let started = std::time::Instant::now();
         if let Err(e) = self.session.send(frame) {
             self.pending.lock().remove(&seq);
@@ -689,7 +728,7 @@ impl Endpoint {
             // context differs, so the at-most-once dedup still works.
             let mut attempt_span = aide_trace::span(span_names::RPC_ATTEMPT, "rpc");
             attempt_span.arg("attempt", attempt);
-            let frame = msg.encode_pooled();
+            let frame = msg.encode_pooled_stamped(self.lease_stamp());
             if self.session.send(frame).is_err() {
                 attempt_span.arg("outcome", "disconnected");
                 break Err(RpcError::Disconnected);
@@ -806,7 +845,7 @@ impl Endpoint {
             client: self.client_id,
             body: Request::Ping,
         }
-        .encode_pooled();
+        .encode_pooled_stamped(self.lease_stamp());
         let started = std::time::Instant::now();
         if let Err(e) = self.session.send(frame) {
             self.pending.lock().remove(&seq);
@@ -875,6 +914,7 @@ struct ReceiverCtx<'a> {
     late_replies_metric: &'a aide_telemetry::Counter,
     bad_frames: &'a AtomicU64,
     bad_frames_metric: &'a aide_telemetry::Counter,
+    gc: &'a Mutex<Option<GcHooks>>,
 }
 
 fn receiver_loop(ctx: ReceiverCtx<'_>) {
@@ -890,6 +930,7 @@ fn receiver_loop(ctx: ReceiverCtx<'_>) {
         late_replies_metric,
         bad_frames,
         bad_frames_metric,
+        gc,
     } = ctx;
     let incoming = session.incoming();
     // `None` while running normally; set to a deadline once shutdown begins
@@ -927,31 +968,45 @@ fn receiver_loop(ctx: ReceiverCtx<'_>) {
             }
         };
         session.note_received(frame.len());
-        match Message::decode_traced(&frame) {
-            Ok((Message::Request { seq, client, body }, ctx)) => {
-                if matches!(body, Request::Shutdown) {
-                    // Fire-and-forget: the sender does not wait for a reply.
-                    closing.store(true, Ordering::SeqCst);
-                    if drain_until.is_none() {
-                        drain_until = Some(std::time::Instant::now() + drain_timeout);
+        match Message::decode_stamped(&frame) {
+            Ok((message, ctx, lease)) => {
+                if let Some(epoch) = lease {
+                    // The peer's lease stamp rides every frame: renewing
+                    // here is what makes ordinary traffic keep this side's
+                    // exports alive with no dedicated GC messages.
+                    if let Some(hooks) = gc.lock().as_ref() {
+                        hooks.exports.renew(epoch);
                     }
-                    continue;
                 }
-                if jobs.send((client, seq, body, ctx)).is_err() {
-                    return;
-                }
-            }
-            Ok((Message::Reply { seq, result }, _)) => {
-                let waiter = pending.lock().remove(&seq);
-                if let Some(tx) = waiter {
-                    let _ = tx.send(result);
-                } else if late_expected.lock().remove(&seq) {
-                    // The caller already gave up on this sequence number:
-                    // account for the straggler instead of losing it
-                    // silently. (Replies to retried calls never land here —
-                    // retries keep their waiter registered.)
-                    late_replies.fetch_add(1, Ordering::Relaxed);
-                    late_replies_metric.inc();
+                match message {
+                    Message::Request { seq, client, body } => {
+                        if matches!(body, Request::Shutdown) {
+                            // Fire-and-forget: the sender does not wait for
+                            // a reply.
+                            closing.store(true, Ordering::SeqCst);
+                            if drain_until.is_none() {
+                                drain_until = Some(std::time::Instant::now() + drain_timeout);
+                            }
+                            continue;
+                        }
+                        if jobs.send((client, seq, body, ctx)).is_err() {
+                            return;
+                        }
+                    }
+                    Message::Reply { seq, result } => {
+                        let waiter = pending.lock().remove(&seq);
+                        if let Some(tx) = waiter {
+                            let _ = tx.send(result);
+                        } else if late_expected.lock().remove(&seq) {
+                            // The caller already gave up on this sequence
+                            // number: account for the straggler instead of
+                            // losing it silently. (Replies to retried calls
+                            // never land here — retries keep their waiter
+                            // registered.)
+                            late_replies.fetch_add(1, Ordering::Relaxed);
+                            late_replies_metric.inc();
+                        }
+                    }
                 }
             }
             Err(_) => {
@@ -1325,6 +1380,39 @@ mod tests {
         // and its duplicate hit the cache.
         assert_eq!(surrogate.requests_served(), 20);
         assert_eq!(surrogate.dedup_hits(), 20);
+        client.shutdown();
+        surrogate.shutdown();
+    }
+
+    #[test]
+    fn attached_gc_renews_leases_on_ordinary_traffic() {
+        let (client, surrogate) = pair();
+        let s_exports = Arc::new(ExportTable::new());
+        let s_imports = Arc::new(ImportTable::new());
+        s_exports.set_ttl_ms(100);
+        surrogate.attach_gc(s_exports.clone(), s_imports);
+        client.attach_gc(Arc::new(ExportTable::new()), Arc::new(ImportTable::new()));
+
+        let id = ObjectId::surrogate(2);
+        s_exports.export(id);
+        s_exports.clock().advance_ms(90);
+        // An ordinary request from the client carries its lease stamp; the
+        // surrogate's receiver renews its exports before dispatching, so
+        // by the time the reply is back the lease is fresh.
+        client
+            .call(Request::GetSlot {
+                target: id,
+                slot: 0,
+            })
+            .unwrap();
+        s_exports.clock().advance_ms(90);
+        assert!(
+            s_exports.sweep_expired().is_empty(),
+            "ordinary traffic must renew the lease"
+        );
+        // Silence past the TTL expires it.
+        s_exports.clock().advance_ms(200);
+        assert_eq!(s_exports.sweep_expired(), vec![id]);
         client.shutdown();
         surrogate.shutdown();
     }

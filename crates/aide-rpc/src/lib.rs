@@ -20,7 +20,9 @@
 //! * [`Endpoint`] — request/reply correlation plus the dispatcher worker
 //!   pool that re-enters the interpreter to serve the peer.
 //! * [`ExportTable`] / [`ImportTable`] — cross-VM reference bookkeeping for
-//!   the simple distributed garbage collection scheme.
+//!   the distributed garbage collection scheme, hardened with lease/epoch
+//!   reclamation (TTL deadlines on a manual [`GcClock`], watermarked
+//!   idempotent releases, epoch sweeps after failover).
 //!
 //! # Examples
 //!
@@ -70,7 +72,9 @@ pub use endpoint::{Dispatcher, Endpoint, EndpointConfig, RetryPolicy, RpcError};
 pub use link::{Link, LinkError, NetClock, Session, TrafficStats};
 pub use mux::{ConnKiller, MuxConn};
 pub use observe::{set_rpc_observer, RpcObserver};
-pub use reftable::{live_remote_refs, ExportTable, ImportTable};
+pub use reftable::{
+    live_remote_refs, ExportTable, GcClock, ImportTable, ReleaseOutcome, DEFAULT_LEASE_TTL_MS,
+};
 pub use tcp::{nudge, tcp_pair, tcp_transport, TcpMuxListener, TcpTransport};
 pub use transport::{
     channel_transport, virtual_transport, Acceptor, BackendKind, ChannelAcceptor, ChannelTransport,
@@ -78,5 +82,5 @@ pub use transport::{
 };
 pub use wire::{
     crc32, Frame, FramePool, Message, Reply, Request, WireError, LEGACY_PROTOCOL_VERSION,
-    PROTOCOL_VERSION,
+    PROTOCOL_VERSION, TRACED_PROTOCOL_VERSION,
 };

@@ -6,78 +6,477 @@
 //! Symmetrically, the receiver records the remote reference in its
 //! [`ImportTable`]. After a local collection, the receiver diffs the set of
 //! remote ids still reachable from its heap and frames against the import
-//! table and sends a `GcRelease` for the dropped ones — the paper's "simple
+//! table and sends a release for the dropped ones — the paper's "simple
 //! distributed garbage collection scheme" (§4).
+//!
+//! The simple scheme pins forever when messages misbehave, so every export
+//! additionally carries a **lease**: an epoch tag plus a TTL deadline on a
+//! shared [`GcClock`]. Ordinary RPC traffic piggybacks the importer's lease
+//! epoch on every frame, which renews the exporter's current-epoch leases
+//! for free; a session that goes quiet renews with an explicit
+//! `Request::GcRenew`. An export whose lease runs out without renewal is
+//! swept back to the collector ([`ExportTable::sweep_expired`]) — the
+//! holder is presumed dead or partitioned, so pin-forever leaks become
+//! bounded-by-TTL reclaims.
+//!
+//! Releases are made idempotent under the at-most-once retry machinery:
+//! each batch carries the sender's lease epoch and a monotonically
+//! increasing *release sequence number* ([`ImportTable::next_release_seq`]).
+//! The exporter keeps a per-session watermark and drops any batch at or
+//! below it (a retried, duplicated, or late-delivered batch) and any batch
+//! from an older epoch (a zombie from before a failover) — counted no-ops,
+//! never a double-unpin. A batch lost outright simply leaves the entries to
+//! their lease deadline.
+//!
+//! [`GcClock`] is a manual millisecond clock rather than wall time so the
+//! lease state machine is fully deterministic under test: soaks and
+//! property tests advance it explicitly, and the surrogate daemon advances
+//! it by measured wall-clock elapsed time.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use aide_vm::{ObjectId, Vm};
 
+/// Default lease TTL for exported references, in [`GcClock`] milliseconds.
+pub const DEFAULT_LEASE_TTL_MS: u64 = 30_000;
+
+/// A shared monotonic millisecond clock that lease deadlines are measured
+/// against. It only moves when something advances it: tests advance it
+/// explicitly (deterministic expiry), long-running daemons advance it by
+/// measured wall time. Platform runs that never advance it simply never
+/// expire leases by time — epoch sweeps still reclaim after failover.
+#[derive(Debug, Default)]
+pub struct GcClock {
+    now_ms: AtomicU64,
+}
+
+impl GcClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        GcClock::default()
+    }
+
+    /// Current clock reading, in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::Relaxed)
+    }
+
+    /// Advances the clock by `delta_ms` milliseconds.
+    pub fn advance_ms(&self, delta_ms: u64) {
+        self.now_ms.fetch_add(delta_ms, Ordering::Relaxed);
+    }
+}
+
+/// What happened to a single released export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseOutcome {
+    /// The entry was dropped; the caller should unpin the external root.
+    Unpinned,
+    /// One reference count was released but live exports remain.
+    StillHeld,
+    /// The object was not in the table (a replayed or misrouted release);
+    /// counted, never an error.
+    Unknown,
+}
+
+/// One exported object's bookkeeping: how many references are out, which
+/// export epoch it was last handed out under, and when its lease runs out.
+#[derive(Debug, Clone, Copy)]
+struct ExportEntry {
+    count: u64,
+    epoch: u64,
+    deadline_ms: u64,
+}
+
+#[derive(Debug, Default)]
+struct ExportInner {
+    entries: HashMap<ObjectId, ExportEntry>,
+    /// Current local export epoch; bumped by failover so survivors of the
+    /// old session become sweepable.
+    epoch: u64,
+    /// Highest lease epoch the peer has advertised; releases and renewals
+    /// from older epochs are zombies and are ignored.
+    peer_epoch: u64,
+    /// Highest release sequence number applied; batches at or below it
+    /// are duplicates.
+    watermark: u64,
+}
+
+/// Telemetry handles resolved once per table.
+struct GcMetrics {
+    renewed: Arc<aide_telemetry::Counter>,
+    expired: Arc<aide_telemetry::Counter>,
+    duplicate: Arc<aide_telemetry::Counter>,
+    stale: Arc<aide_telemetry::Counter>,
+    unknown: Arc<aide_telemetry::Counter>,
+    reclaimed: Arc<aide_telemetry::Counter>,
+    export_entries: Arc<aide_telemetry::Gauge>,
+    import_entries: Arc<aide_telemetry::Gauge>,
+}
+
+impl GcMetrics {
+    fn resolve() -> Self {
+        let t = aide_telemetry::global();
+        GcMetrics {
+            renewed: t.counter(aide_telemetry::names::GC_LEASES_RENEWED),
+            expired: t.counter(aide_telemetry::names::GC_LEASES_EXPIRED),
+            duplicate: t.counter(aide_telemetry::names::GC_RELEASE_DUPLICATE),
+            stale: t.counter(aide_telemetry::names::GC_RELEASE_STALE),
+            unknown: t.counter(aide_telemetry::names::GC_RELEASE_UNKNOWN),
+            reclaimed: t.counter(aide_telemetry::names::GC_EXPORTS_RECLAIMED),
+            export_entries: t.gauge(aide_telemetry::names::GC_EXPORT_ENTRIES),
+            import_entries: t.gauge(aide_telemetry::names::GC_IMPORT_ENTRIES),
+        }
+    }
+}
+
+impl std::fmt::Debug for GcMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GcMetrics").finish()
+    }
+}
+
 /// Tracks local objects whose references were exported to the peer.
 ///
-/// Counts are reference counts: exporting the same object twice requires two
-/// releases before the pin drops.
-#[derive(Debug, Default)]
+/// Counts are reference counts: exporting the same object twice requires
+/// two single releases before the pin drops. Every entry is lease-tagged
+/// (epoch + TTL deadline); see the module docs for the reclamation rules.
+#[derive(Debug)]
 pub struct ExportTable {
-    counts: Mutex<HashMap<ObjectId, u64>>,
+    inner: Mutex<ExportInner>,
+    clock: Arc<GcClock>,
+    ttl_ms: AtomicU64,
+    recorder: Mutex<Option<Arc<aide_telemetry::FlightRecorder>>>,
+    metrics: GcMetrics,
+}
+
+impl Default for ExportTable {
+    fn default() -> Self {
+        ExportTable::with_clock(Arc::new(GcClock::new()))
+    }
 }
 
 impl ExportTable {
-    /// Creates an empty table.
+    /// Creates an empty table with its own private [`GcClock`] (which
+    /// nothing advances — leases never expire unless someone advances it).
     pub fn new() -> Self {
         ExportTable::default()
     }
 
-    /// Records one exported reference to `id`. Returns `true` if this is
-    /// the first live export of the object (the caller should pin it as an
+    /// Creates an empty table whose lease deadlines are measured against
+    /// `clock`.
+    pub fn with_clock(clock: Arc<GcClock>) -> Self {
+        ExportTable {
+            inner: Mutex::new(ExportInner::default()),
+            clock,
+            ttl_ms: AtomicU64::new(DEFAULT_LEASE_TTL_MS),
+            recorder: Mutex::new(None),
+            metrics: GcMetrics::resolve(),
+        }
+    }
+
+    /// The clock lease deadlines are measured against.
+    pub fn clock(&self) -> &Arc<GcClock> {
+        &self.clock
+    }
+
+    /// Replaces the lease TTL applied to subsequent exports and renewals.
+    pub fn set_ttl_ms(&self, ttl_ms: u64) {
+        self.ttl_ms.store(ttl_ms, Ordering::Relaxed);
+    }
+
+    /// Current lease TTL in milliseconds.
+    pub fn ttl_ms(&self) -> u64 {
+        self.ttl_ms.load(Ordering::Relaxed)
+    }
+
+    /// Attaches a flight recorder so misaccounted releases leave a
+    /// visible warning event instead of disappearing.
+    pub fn set_recorder(&self, recorder: Arc<aide_telemetry::FlightRecorder>) {
+        *self.recorder.lock() = Some(recorder);
+    }
+
+    fn warn_unknown(&self, id: ObjectId) {
+        self.metrics.unknown.inc();
+        if let Some(r) = self.recorder.lock().as_ref() {
+            r.record(aide_telemetry::PlatformEvent::GcReleaseUnknown { object: id.0 });
+        }
+    }
+
+    /// Records one exported reference to `id`, tagging it with the current
+    /// epoch and a fresh lease deadline. Returns `true` if this is the
+    /// first live export of the object (the caller should pin it as an
     /// external GC root).
     pub fn export(&self, id: ObjectId) -> bool {
-        let mut counts = self.counts.lock();
-        let n = counts.entry(id).or_insert(0);
-        *n += 1;
-        *n == 1
+        let now = self.clock.now_ms();
+        let ttl = self.ttl_ms();
+        let mut inner = self.inner.lock();
+        let epoch = inner.epoch;
+        match inner.entries.get_mut(&id) {
+            Some(e) => {
+                e.count += 1;
+                e.epoch = epoch;
+                e.deadline_ms = now + ttl;
+                false
+            }
+            None => {
+                inner.entries.insert(
+                    id,
+                    ExportEntry {
+                        count: 1,
+                        epoch,
+                        deadline_ms: now + ttl,
+                    },
+                );
+                self.metrics.export_entries.add(1);
+                true
+            }
+        }
+    }
+
+    /// Releases one exported reference, reporting exactly what happened.
+    pub fn release_one(&self, id: ObjectId) -> ReleaseOutcome {
+        let mut inner = self.inner.lock();
+        match inner.entries.get_mut(&id) {
+            Some(e) => {
+                e.count -= 1;
+                if e.count == 0 {
+                    inner.entries.remove(&id);
+                    drop(inner);
+                    self.metrics.export_entries.add(-1);
+                    ReleaseOutcome::Unpinned
+                } else {
+                    ReleaseOutcome::StillHeld
+                }
+            }
+            None => {
+                drop(inner);
+                self.warn_unknown(id);
+                ReleaseOutcome::Unknown
+            }
+        }
     }
 
     /// Records the release of one exported reference. Returns `true` when
     /// this was the last live export (the caller should unpin the root).
+    /// A release of an unknown id is a counted no-op.
     pub fn release(&self, id: ObjectId) -> bool {
-        let mut counts = self.counts.lock();
-        match counts.get_mut(&id) {
-            Some(n) => {
-                *n -= 1;
-                if *n == 0 {
-                    counts.remove(&id);
-                    true
-                } else {
-                    false
-                }
-            }
-            None => false,
+        self.release_one(id) == ReleaseOutcome::Unpinned
+    }
+
+    /// Applies a watermarked release batch from the peer's GC sweep.
+    ///
+    /// The batch is dropped whole — a counted no-op returning no ids — if
+    /// `epoch` is older than the highest epoch the peer has advertised
+    /// (zombie from before a failover) or `release_seq` is at or below the
+    /// session watermark (a retry, a chaos duplicate, or a frame delivered
+    /// after a later batch). Otherwise each object is dropped from the
+    /// table entirely (the peer asserts it holds *no* references any
+    /// more) and returned so the caller can unpin it.
+    pub fn release_batch(
+        &self,
+        epoch: u64,
+        release_seq: u64,
+        objects: &[ObjectId],
+    ) -> Vec<ObjectId> {
+        let mut inner = self.inner.lock();
+        if epoch < inner.peer_epoch {
+            drop(inner);
+            self.metrics.stale.inc();
+            return Vec::new();
         }
+        inner.peer_epoch = epoch;
+        if release_seq <= inner.watermark {
+            drop(inner);
+            self.metrics.duplicate.inc();
+            return Vec::new();
+        }
+        inner.watermark = release_seq;
+        let mut unpinned = Vec::new();
+        let mut unknown = Vec::new();
+        for &id in objects {
+            if inner.entries.remove(&id).is_some() {
+                unpinned.push(id);
+            } else {
+                unknown.push(id);
+            }
+        }
+        drop(inner);
+        self.metrics
+            .export_entries
+            .add(-i64::try_from(unpinned.len()).unwrap_or(i64::MAX));
+        for id in unknown {
+            self.warn_unknown(id);
+        }
+        unpinned
+    }
+
+    /// Extends the lease deadline of every current-epoch entry — called on
+    /// every frame that carries the peer's lease epoch, and by the
+    /// explicit `GcRenew` path. Renewals advertising an epoch older than
+    /// one already seen are zombies and extend nothing. Returns the number
+    /// of leases extended.
+    pub fn renew(&self, peer_epoch: u64) -> usize {
+        let now = self.clock.now_ms();
+        let ttl = self.ttl_ms();
+        let mut inner = self.inner.lock();
+        if peer_epoch < inner.peer_epoch {
+            return 0;
+        }
+        inner.peer_epoch = peer_epoch;
+        let epoch = inner.epoch;
+        let mut n = 0usize;
+        for e in inner.entries.values_mut() {
+            if e.epoch == epoch {
+                e.deadline_ms = now + ttl;
+                n += 1;
+            }
+        }
+        drop(inner);
+        self.metrics.renewed.add(n as u64);
+        n
+    }
+
+    /// Starts a new export epoch (failover, session teardown). Entries
+    /// from older epochs stop being renewable and can be reclaimed in
+    /// bulk with [`ExportTable::sweep_stale_epochs`]. Returns the new
+    /// epoch.
+    pub fn begin_epoch(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.epoch += 1;
+        inner.epoch
+    }
+
+    /// Removes every entry whose lease deadline has passed, returning the
+    /// ids so the caller can unpin them.
+    pub fn sweep_expired(&self) -> Vec<ObjectId> {
+        let now = self.clock.now_ms();
+        let mut inner = self.inner.lock();
+        let expired: Vec<ObjectId> = inner
+            .entries
+            .iter()
+            .filter(|(_, e)| e.deadline_ms < now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &expired {
+            inner.entries.remove(id);
+        }
+        let epoch = inner.epoch;
+        drop(inner);
+        if !expired.is_empty() {
+            if let Some(r) = self.recorder.lock().as_ref() {
+                r.record(aide_telemetry::PlatformEvent::LeaseExpired {
+                    objects: expired.len() as u64,
+                    epoch,
+                });
+            }
+        }
+        self.metrics.expired.add(expired.len() as u64);
+        self.metrics
+            .export_entries
+            .add(-i64::try_from(expired.len()).unwrap_or(i64::MAX));
+        expired
+    }
+
+    /// Removes every entry tagged with an epoch older than the current
+    /// one, returning the ids so the caller can unpin them. Run after
+    /// [`ExportTable::begin_epoch`] to hand a dead session's exports back
+    /// to the collector without waiting for their TTLs.
+    pub fn sweep_stale_epochs(&self) -> Vec<ObjectId> {
+        let mut inner = self.inner.lock();
+        let epoch = inner.epoch;
+        let stale: Vec<ObjectId> = inner
+            .entries
+            .iter()
+            .filter(|(_, e)| e.epoch < epoch)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &stale {
+            inner.entries.remove(id);
+        }
+        drop(inner);
+        self.metrics.reclaimed.add(stale.len() as u64);
+        self.metrics
+            .export_entries
+            .add(-i64::try_from(stale.len()).unwrap_or(i64::MAX));
+        stale
+    }
+
+    /// The current local export epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// The highest lease epoch the peer has advertised.
+    pub fn peer_epoch(&self) -> u64 {
+        self.inner.lock().peer_epoch
+    }
+
+    /// The highest release sequence number applied so far.
+    pub fn watermark(&self) -> u64 {
+        self.inner.lock().watermark
+    }
+
+    /// Number of live references recorded for `id` (0 if absent).
+    pub fn holds(&self, id: ObjectId) -> u64 {
+        self.inner.lock().entries.get(&id).map_or(0, |e| e.count)
     }
 
     /// Number of distinct objects currently exported.
     pub fn len(&self) -> usize {
-        self.counts.lock().len()
+        self.inner.lock().entries.len()
     }
 
     /// Returns `true` if nothing is exported.
     pub fn is_empty(&self) -> bool {
-        self.counts.lock().is_empty()
+        self.inner.lock().entries.is_empty()
     }
 
     /// Returns `true` if `id` is currently exported.
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.counts.lock().contains_key(&id)
+        self.inner.lock().entries.contains_key(&id)
     }
 }
 
-/// Tracks remote objects this VM holds references to.
+#[derive(Debug, Clone, Copy)]
+struct ImportEntry {
+    count: u64,
+    epoch: u64,
+}
+
 #[derive(Debug, Default)]
+struct ImportInner {
+    held: HashMap<ObjectId, ImportEntry>,
+    /// The lease epoch this side advertises on outgoing frames; bumped on
+    /// failover and rollback so the old session's releases read as stale.
+    epoch: u64,
+    /// Source of release-batch sequence numbers (first batch is 1).
+    next_release_seq: u64,
+}
+
+/// Tracks remote objects this VM holds references to.
+///
+/// Entries are reference-counted: importing the same remote id twice and
+/// then removing one hold leaves the other intact (the set-based table
+/// used to forget it). The liveness sweep is authoritative and drops an
+/// entry wholesale — GC has proven nothing references the id.
+#[derive(Debug)]
 pub struct ImportTable {
-    held: Mutex<HashSet<ObjectId>>,
+    inner: Mutex<ImportInner>,
+    metrics: GcMetrics,
+}
+
+impl Default for ImportTable {
+    fn default() -> Self {
+        ImportTable {
+            inner: Mutex::new(ImportInner::default()),
+            metrics: GcMetrics::resolve(),
+        }
+    }
 }
 
 impl ImportTable {
@@ -88,44 +487,100 @@ impl ImportTable {
 
     /// Records receipt of a reference to the remote object `id`.
     pub fn import(&self, id: ObjectId) {
-        self.held.lock().insert(id);
+        let mut inner = self.inner.lock();
+        let epoch = inner.epoch;
+        match inner.held.get_mut(&id) {
+            Some(e) => {
+                e.count += 1;
+                e.epoch = epoch;
+            }
+            None => {
+                inner.held.insert(id, ImportEntry { count: 1, epoch });
+                drop(inner);
+                self.metrics.import_entries.add(1);
+            }
+        }
     }
 
     /// Number of distinct remote objects held.
     pub fn len(&self) -> usize {
-        self.held.lock().len()
+        self.inner.lock().held.len()
     }
 
     /// Returns `true` if no remote references are held.
     pub fn is_empty(&self) -> bool {
-        self.held.lock().is_empty()
+        self.inner.lock().held.is_empty()
     }
 
     /// Returns `true` if `id` is recorded as held.
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.held.lock().contains(&id)
+        self.inner.lock().held.contains_key(&id)
     }
 
-    /// Removes a single entry (used when an offload is rolled back and the
-    /// object becomes local again). Returns `true` if it was held.
+    /// Number of live holds recorded for `id` (0 if absent).
+    pub fn holds(&self, id: ObjectId) -> u64 {
+        self.inner.lock().held.get(&id).map_or(0, |e| e.count)
+    }
+
+    /// Releases a single hold (used when an offload is rolled back and the
+    /// object becomes local again). Other holds survive. Returns `true`
+    /// if the id was held at all.
     pub fn remove(&self, id: ObjectId) -> bool {
-        self.held.lock().remove(&id)
+        let mut inner = self.inner.lock();
+        match inner.held.get_mut(&id) {
+            Some(e) => {
+                e.count -= 1;
+                if e.count == 0 {
+                    inner.held.remove(&id);
+                    drop(inner);
+                    self.metrics.import_entries.add(-1);
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// Diffs the table against the set of remote ids still reachable
-    /// locally (`still_referenced`), removes the dropped entries, and
-    /// returns them so the caller can send a `GcRelease` to the peer.
+    /// locally (`still_referenced`), removes the dropped entries (all
+    /// holds — the collector has proven nothing references them), and
+    /// returns them so the caller can send a release to the peer.
     pub fn sweep_dropped(&self, still_referenced: &HashSet<ObjectId>) -> Vec<ObjectId> {
-        let mut held = self.held.lock();
-        let dropped: Vec<ObjectId> = held
-            .iter()
+        let mut inner = self.inner.lock();
+        let dropped: Vec<ObjectId> = inner
+            .held
+            .keys()
             .filter(|id| !still_referenced.contains(id))
             .copied()
             .collect();
         for id in &dropped {
-            held.remove(id);
+            inner.held.remove(id);
         }
+        drop(inner);
+        self.metrics
+            .import_entries
+            .add(-i64::try_from(dropped.len()).unwrap_or(i64::MAX));
         dropped
+    }
+
+    /// Starts a new lease epoch (failover, migration rollback). Returns
+    /// the new epoch, which outgoing frames advertise from now on.
+    pub fn begin_epoch(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.epoch += 1;
+        inner.epoch
+    }
+
+    /// The lease epoch this side currently advertises.
+    pub fn advertised_epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// Draws the next release-batch sequence number (first call returns 1).
+    pub fn next_release_seq(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.next_release_seq += 1;
+        inner.next_release_seq
     }
 }
 
@@ -174,6 +629,21 @@ mod tests {
     fn release_of_unknown_object_is_ignored() {
         let t = ExportTable::new();
         assert!(!t.release(ObjectId::client(9)));
+        assert_eq!(t.release_one(ObjectId::client(9)), ReleaseOutcome::Unknown);
+    }
+
+    #[test]
+    fn unknown_release_leaves_a_recorder_warning() {
+        let t = ExportTable::new();
+        let recorder = Arc::new(aide_telemetry::FlightRecorder::new(8));
+        t.set_recorder(recorder.clone());
+        t.release(ObjectId::client(42));
+        let events = recorder.events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0].event,
+            aide_telemetry::PlatformEvent::GcReleaseUnknown { object } if object == ObjectId::client(42).0
+        ));
     }
 
     #[test]
@@ -191,6 +661,102 @@ mod tests {
         assert_eq!(dropped, vec![a, c]);
         assert!(t.contains(b));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn imports_are_refcounted_across_removals() {
+        // The set-based table forgot the second hold; the refcounted one
+        // keeps the entry until every hold is released.
+        let t = ImportTable::new();
+        let id = ObjectId::surrogate(7);
+        t.import(id);
+        t.import(id);
+        assert_eq!(t.holds(id), 2);
+        assert!(t.remove(id));
+        assert!(t.contains(id), "one hold remains");
+        assert!(t.remove(id));
+        assert!(!t.contains(id));
+        assert!(!t.remove(id), "removing an absent id reports false");
+    }
+
+    #[test]
+    fn release_batches_are_idempotent_under_the_watermark() {
+        let t = ExportTable::new();
+        let a = ObjectId::client(1);
+        let b = ObjectId::client(2);
+        t.export(a);
+        t.export(b);
+        let first = t.release_batch(0, 1, &[a]);
+        assert_eq!(first, vec![a]);
+        // A retry of the same batch (same seq) is a counted no-op even
+        // though `a` is gone — no Unknown warnings, no double-unpin.
+        assert!(t.release_batch(0, 1, &[a]).is_empty());
+        // A later batch proceeds.
+        assert_eq!(t.release_batch(0, 2, &[b]), vec![b]);
+        assert!(t.is_empty());
+        assert_eq!(t.watermark(), 2);
+    }
+
+    #[test]
+    fn stale_epoch_releases_are_dropped() {
+        let t = ExportTable::new();
+        let id = ObjectId::client(3);
+        t.export(id);
+        // The peer advertises epoch 2 (post-failover)...
+        assert_eq!(t.renew(2), 1);
+        // ...so a release from epoch 1 is a zombie: dropped whole, the
+        // entry stays pinned.
+        assert!(t.release_batch(1, 1, &[id]).is_empty());
+        assert!(t.contains(id));
+        // The current-epoch release still works.
+        assert_eq!(t.release_batch(2, 1, &[id]), vec![id]);
+    }
+
+    #[test]
+    fn leases_expire_unless_renewed() {
+        let clock = Arc::new(GcClock::new());
+        let t = ExportTable::with_clock(clock.clone());
+        t.set_ttl_ms(100);
+        let a = ObjectId::client(1);
+        let b = ObjectId::client(2);
+        t.export(a);
+        t.export(b);
+        clock.advance_ms(60);
+        // A renewal mid-life pushes both deadlines out.
+        assert_eq!(t.renew(0), 2);
+        clock.advance_ms(90);
+        assert!(t.sweep_expired().is_empty(), "renewed leases still live");
+        clock.advance_ms(20);
+        let mut expired = t.sweep_expired();
+        expired.sort();
+        assert_eq!(expired, vec![a, b]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn epoch_bump_makes_old_exports_sweepable() {
+        let t = ExportTable::new();
+        let old = ObjectId::client(1);
+        let fresh = ObjectId::client(2);
+        t.export(old);
+        assert_eq!(t.begin_epoch(), 1);
+        t.export(fresh);
+        let stale = t.sweep_stale_epochs();
+        assert_eq!(stale, vec![old]);
+        assert!(t.contains(fresh), "current-epoch entries survive");
+        // Renewals only extend current-epoch entries, so a zombie client
+        // advertising the old epoch cannot keep anything alive.
+        assert_eq!(t.renew(0), 1);
+    }
+
+    #[test]
+    fn release_seq_numbers_are_monotonic_from_one() {
+        let t = ImportTable::new();
+        assert_eq!(t.next_release_seq(), 1);
+        assert_eq!(t.next_release_seq(), 2);
+        assert_eq!(t.advertised_epoch(), 0);
+        assert_eq!(t.begin_epoch(), 1);
+        assert_eq!(t.advertised_epoch(), 1);
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //! causal parent across the wire and the serving side can parent its
 //! service span under the caller's span. Version-2 frames (no prefix)
 //! still decode, mapping to "no context".
+//!
+//! Since protocol version 4 the trace context is followed by a *lease
+//! stamp* — a presence flag plus, when the sender participates in
+//! distributed GC, its current lease epoch — so every ordinary frame
+//! doubles as a lease renewal for the receiver's export table. Version-3
+//! and version-2 frames still decode, mapping to "no lease advertised".
 
 use std::io::{Read, Write};
 use std::ops::{Deref, DerefMut};
@@ -36,10 +42,17 @@ use aide_trace::SpanContext;
 use aide_vm::{ClassId, MethodId, NativeKind, ObjectId, ObjectRecord};
 
 /// Current protocol version, carried as the first byte of every frame.
-/// Version 3 added the trace-context prefix to the checksummed payload.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// Version 3 added the trace-context prefix to the checksummed payload;
+/// version 4 added the lease stamp that follows it (a presence flag plus
+/// the sender's GC lease epoch), which is how lease renewals piggyback on
+/// ordinary RPC traffic.
+pub const PROTOCOL_VERSION: u8 = 4;
 
-/// The previous protocol version (no trace-context prefix). Still
+/// Protocol version 3: trace-context prefix but no lease stamp. Still
+/// accepted by [`Message::decode`], mapping to "no lease advertised".
+pub const TRACED_PROTOCOL_VERSION: u8 = 3;
+
+/// Protocol version 2 (no trace-context prefix, no lease stamp). Still
 /// accepted by [`Message::decode`] so pre-tracing peers and recorded
 /// frames keep working.
 pub const LEGACY_PROTOCOL_VERSION: u8 = 2;
@@ -225,6 +238,30 @@ pub enum Request {
     /// [`Request::Ping`], this is an operational request, not application
     /// communication.
     Stats,
+    /// Explicit lease renewal for a quiet session: the sender still holds
+    /// references to the serving VM's exports and advertises its current
+    /// lease epoch. Steady-state traffic renews implicitly via the frame
+    /// lease stamp; this exists so silence alone never expires a live
+    /// reference. Idempotent and safe to retry.
+    GcRenew {
+        /// The sender's current lease epoch.
+        epoch: u64,
+    },
+    /// Watermarked distributed-GC release: the sender's collector proved
+    /// it holds no references to these objects of the serving VM. Carries
+    /// the sender's lease epoch (so post-failover zombies are detectable)
+    /// and a monotonically increasing per-session sequence number (so
+    /// retries and chaos duplicates are dropped at the watermark instead
+    /// of double-unpinning). Supersedes [`Request::GcRelease`], which is
+    /// kept for wire compatibility.
+    GcReleaseSeq {
+        /// The sender's current lease epoch.
+        epoch: u64,
+        /// Release-batch sequence number, monotonic per session.
+        release_seq: u64,
+        /// Objects the sender no longer references at all.
+        objects: Vec<ObjectId>,
+    },
 }
 
 impl Request {
@@ -247,6 +284,8 @@ impl Request {
             Request::Shutdown => "Shutdown",
             Request::Ping => "Ping",
             Request::Stats => "Stats",
+            Request::GcRenew { .. } => "GcRenew",
+            Request::GcReleaseSeq { .. } => "GcReleaseSeq",
         }
     }
 }
@@ -326,6 +365,8 @@ impl Message {
                                 .sum::<u64>()
                         }
                         Request::GcRelease { objects } => 8 * objects.len() as u64,
+                        Request::GcRenew { .. } => 8,
+                        Request::GcReleaseSeq { objects, .. } => 16 + 8 * objects.len() as u64,
                         Request::MigrateCommit { .. }
                         | Request::MigrateAbort { .. }
                         | Request::Shutdown
@@ -375,19 +416,33 @@ impl Message {
     /// [`Message::encode`], but steady-state encoding performs no heap
     /// allocation: the buffer returns to the pool when the frame drops.
     pub fn encode_pooled(&self) -> Frame {
+        self.encode_pooled_stamped(None)
+    }
+
+    /// Like [`Message::encode_pooled`], but stamps the frame with the
+    /// sender's GC lease epoch so the receiving side renews its export
+    /// leases as a side effect of ordinary traffic.
+    pub fn encode_pooled_stamped(&self, lease_epoch: Option<u64>) -> Frame {
         let mut frame = FramePool::global().acquire();
-        self.encode_into(frame.vec_mut());
+        self.encode_into_stamped(frame.vec_mut(), lease_epoch);
         frame
     }
 
     /// Encodes the message frame (`[version][crc32 LE][payload]`) in place
     /// into `buf`, replacing its contents and reusing its capacity.
     pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        self.encode_into_stamped(buf, None);
+    }
+
+    /// Encodes the message frame in place, carrying `lease_epoch` in the
+    /// version-4 lease stamp when present.
+    pub fn encode_into_stamped(&self, buf: &mut Vec<u8>, lease_epoch: Option<u64>) {
         buf.clear();
         buf.reserve(FRAME_HEADER + 64);
         buf.put_u8(PROTOCOL_VERSION);
         buf.put_u32_le(0); // checksum placeholder, patched below
         encode_trace_context(buf);
+        encode_lease_stamp(buf, lease_epoch);
         self.encode_body(buf);
         let crc = crc32(&buf[FRAME_HEADER..]);
         buf[1..FRAME_HEADER].copy_from_slice(&crc.to_le_bytes());
@@ -397,6 +452,7 @@ impl Message {
     fn encode_payload(&self) -> BytesMut {
         let mut buf = BytesMut::with_capacity(64);
         encode_trace_context(&mut buf);
+        encode_lease_stamp(&mut buf, None);
         self.encode_body(&mut buf);
         buf
     }
@@ -446,11 +502,27 @@ impl Message {
     ///
     /// Same failure modes as [`Message::decode`].
     pub fn decode_traced(frame: &[u8]) -> Result<(Message, Option<SpanContext>), WireError> {
+        Self::decode_stamped(frame).map(|(message, context, _)| (message, context))
+    }
+
+    /// Decodes a message from a frame together with the sender's trace
+    /// context and GC lease stamp, when the frame carries them. Version-3
+    /// frames decode with no lease; version-2 frames with neither.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Message::decode`].
+    pub fn decode_stamped(
+        frame: &[u8],
+    ) -> Result<(Message, Option<SpanContext>, Option<u64>), WireError> {
         if frame.len() < FRAME_HEADER {
             return Err(WireError::Truncated);
         }
         let version = frame[0];
-        if version != PROTOCOL_VERSION && version != LEGACY_PROTOCOL_VERSION {
+        if version != PROTOCOL_VERSION
+            && version != TRACED_PROTOCOL_VERSION
+            && version != LEGACY_PROTOCOL_VERSION
+        {
             return Err(WireError::BadVersion(version));
         }
         let declared = u32::from_le_bytes([frame[1], frame[2], frame[3], frame[4]]);
@@ -458,12 +530,17 @@ impl Message {
         if crc32(payload) != declared {
             return Err(WireError::BadChecksum);
         }
-        let context = if version == PROTOCOL_VERSION {
+        let context = if version >= TRACED_PROTOCOL_VERSION {
             decode_trace_context(&mut payload)?
         } else {
             None
         };
-        Ok((Self::decode_payload(payload)?, context))
+        let lease = if version >= PROTOCOL_VERSION {
+            decode_lease_stamp(&mut payload)?
+        } else {
+            None
+        };
+        Ok((Self::decode_payload(payload)?, context, lease))
     }
 
     /// Decodes a checksum-verified message payload.
@@ -517,6 +594,28 @@ fn decode_trace_context(buf: &mut &[u8]) -> Result<Option<SpanContext>, WireErro
             let span_id = get_u64(buf)?;
             Ok(Some(SpanContext { trace_id, span_id }))
         }
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+/// Writes the version-4 lease stamp that follows the trace context: a
+/// presence flag plus, when present, the sender's GC lease epoch. Covered
+/// by the frame CRC like everything else in the payload.
+fn encode_lease_stamp<B: BufMut>(buf: &mut B, lease_epoch: Option<u64>) {
+    match lease_epoch {
+        Some(epoch) => {
+            buf.put_u8(1);
+            buf.put_u64_le(epoch);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+/// Reads the version-4 lease stamp, advancing `buf` past it.
+fn decode_lease_stamp(buf: &mut &[u8]) -> Result<Option<u64>, WireError> {
+    match get_u8(buf)? {
+        0 => Ok(None),
+        1 => Ok(Some(get_u64(buf)?)),
         t => Err(WireError::BadTag(t)),
     }
 }
@@ -944,6 +1043,23 @@ fn encode_request<B: BufMut>(buf: &mut B, body: &Request) {
             buf.put_u8(14);
             buf.put_u64_le(*txn);
         }
+        Request::GcRenew { epoch } => {
+            buf.put_u8(15);
+            buf.put_u64_le(*epoch);
+        }
+        Request::GcReleaseSeq {
+            epoch,
+            release_seq,
+            objects,
+        } => {
+            buf.put_u8(16);
+            buf.put_u64_le(*epoch);
+            buf.put_u64_le(*release_seq);
+            buf.put_u32_le(objects.len() as u32);
+            for id in objects {
+                buf.put_u64_le(id.0);
+            }
+        }
     }
 }
 
@@ -1049,6 +1165,23 @@ fn decode_request(buf: &mut &[u8]) -> Result<Request, WireError> {
         },
         13 => Request::MigrateCommit { txn: get_u64(buf)? },
         14 => Request::MigrateAbort { txn: get_u64(buf)? },
+        15 => Request::GcRenew {
+            epoch: get_u64(buf)?,
+        },
+        16 => {
+            let epoch = get_u64(buf)?;
+            let release_seq = get_u64(buf)?;
+            let n = get_u32(buf)? as usize;
+            let mut objects = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                objects.push(ObjectId(get_u64(buf)?));
+            }
+            Request::GcReleaseSeq {
+                epoch,
+                release_seq,
+                objects,
+            }
+        }
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -1247,6 +1380,12 @@ mod tests {
             },
             Request::MigrateCommit { txn: 77 },
             Request::MigrateAbort { txn: 78 },
+            Request::GcRenew { epoch: 3 },
+            Request::GcReleaseSeq {
+                epoch: 3,
+                release_seq: 41,
+                objects: vec![ObjectId::surrogate(5), ObjectId::surrogate(6)],
+            },
         ];
         for (i, body) in requests.into_iter().enumerate() {
             round_trip(Message::Request {
@@ -1360,6 +1499,70 @@ mod tests {
         assert_eq!(decoded, msg);
         assert_eq!(ctx, None);
         assert_eq!(Message::decode(&frame).expect("legacy decode"), msg);
+    }
+
+    #[test]
+    fn v3_frames_without_a_lease_stamp_still_decode() {
+        // A pre-lease peer frames [trace ctx][body] under version 3; it
+        // must decode unchanged, with no lease advertised.
+        let msg = Message::Request {
+            seq: 6,
+            client: 2,
+            body: Request::ClassOf {
+                target: ObjectId::surrogate(4),
+            },
+        };
+        let mut payload = BytesMut::new();
+        payload.put_u8(0); // no trace context
+        msg.encode_body(&mut payload);
+        let mut frame = BytesMut::with_capacity(FRAME_HEADER + payload.len());
+        frame.put_u8(TRACED_PROTOCOL_VERSION);
+        frame.put_u32_le(crc32(&payload));
+        frame.put_slice(&payload);
+        let (decoded, ctx, lease) = Message::decode_stamped(&frame).expect("v3 decode");
+        assert_eq!(decoded, msg);
+        assert_eq!(ctx, None);
+        assert_eq!(lease, None);
+        assert_eq!(Message::decode(&frame).expect("v3 decode"), msg);
+    }
+
+    #[test]
+    fn lease_stamp_rides_the_frame() {
+        let msg = Message::Request {
+            seq: 12,
+            client: 5,
+            body: Request::Ping,
+        };
+        let stamped = msg.encode_pooled_stamped(Some(7));
+        let (decoded, _, lease) = Message::decode_stamped(&stamped).expect("decode stamped");
+        assert_eq!(decoded, msg);
+        assert_eq!(lease, Some(7));
+        // Unstamped frames decode with no lease, and the stamp costs
+        // exactly the epoch bytes.
+        let bare = msg.encode_pooled();
+        let (_, _, none) = Message::decode_stamped(&bare).expect("decode bare");
+        assert_eq!(none, None);
+        assert_eq!(stamped.len(), bare.len() + 8);
+    }
+
+    #[test]
+    fn gc_request_sizes_are_compact() {
+        let renew = Message::Request {
+            seq: 0,
+            client: 0,
+            body: Request::GcRenew { epoch: 1 },
+        };
+        assert_eq!(renew.simulated_request_bytes(), 32 + 8);
+        let release = Message::Request {
+            seq: 0,
+            client: 0,
+            body: Request::GcReleaseSeq {
+                epoch: 1,
+                release_seq: 2,
+                objects: vec![ObjectId::surrogate(1); 3],
+            },
+        };
+        assert_eq!(release.simulated_request_bytes(), 32 + 16 + 24);
     }
 
     #[test]

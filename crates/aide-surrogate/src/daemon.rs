@@ -73,6 +73,14 @@ pub struct DaemonConfig {
     /// Optional beacon announcing this daemon; `None` means clients must
     /// register the daemon's address statically.
     pub beacon: Option<BeaconConfig>,
+    /// How often the daemon's sweeper advances each session's lease clock
+    /// by the wall time elapsed and reclaims expired-lease exports. The
+    /// clock only moves on these ticks, so tests that drive sessions
+    /// manually stay deterministic.
+    pub lease_sweep_interval: Duration,
+    /// Lease TTL granted to each session's exports; renewed by any stamped
+    /// frame the session receives. `None` keeps the table default.
+    pub lease_ttl_ms: Option<u64>,
 }
 
 impl DaemonConfig {
@@ -89,6 +97,8 @@ impl DaemonConfig {
             fail_after_requests: None,
             fault_mode: FaultMode::Crash,
             beacon: None,
+            lease_sweep_interval: Duration::from_millis(500),
+            lease_ttl_ms: None,
         }
     }
 }
@@ -165,10 +175,14 @@ impl Dispatcher for CountingDispatcher {
 }
 
 /// One live client session kept for stats and teardown, plus the killer of
-/// the carrier it rides on (shared by every session on that carrier).
+/// the carrier it rides on (shared by every session on that carrier). The
+/// `gc` dispatcher shares the session's VM and tables so the daemon's
+/// sweeper thread can reclaim expired-lease exports without going through
+/// the wire.
 struct LiveSession {
     endpoint: Arc<Endpoint>,
     killer: ConnKiller,
+    gc: Arc<VmDispatcher>,
 }
 
 /// A running surrogate daemon; dropping the handle does *not* stop it —
@@ -178,6 +192,7 @@ pub struct SurrogateDaemon {
     stop: Arc<AtomicBool>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
     beacon_thread: Mutex<Option<JoinHandle<()>>>,
+    sweep_thread: Mutex<Option<JoinHandle<()>>>,
     sessions: Arc<Mutex<Vec<LiveSession>>>,
     sessions_accepted: Arc<AtomicU64>,
 }
@@ -246,11 +261,37 @@ impl SurrogateDaemon {
                 .expect("spawn surrogate accept loop")
         };
 
+        // Lease sweeper: the only mover of session GC clocks. Each tick
+        // advances every live session's clock by the wall time elapsed and
+        // hands expired-lease exports back to that session's collector —
+        // a client that died without releasing cannot strand pins forever.
+        let sweep_thread = {
+            let stop = stop.clone();
+            let sessions = sessions.clone();
+            let interval = config.lease_sweep_interval;
+            std::thread::Builder::new()
+                .name("aide-surrogate-gc".into())
+                .spawn(move || {
+                    let mut last = std::time::Instant::now();
+                    while !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(interval);
+                        let elapsed = u64::try_from(last.elapsed().as_millis()).unwrap_or(u64::MAX);
+                        last = std::time::Instant::now();
+                        for session in sessions.lock().iter() {
+                            session.gc.tables().exports.clock().advance_ms(elapsed);
+                            session.gc.sweep_expired_exports();
+                        }
+                    }
+                })
+                .expect("spawn surrogate lease sweeper")
+        };
+
         Ok(SurrogateDaemon {
             addr,
             stop,
             accept_thread: Mutex::new(Some(accept_thread)),
             beacon_thread: Mutex::new(beacon_thread),
+            sweep_thread: Mutex::new(Some(sweep_thread)),
             sessions,
             sessions_accepted,
         })
@@ -297,6 +338,9 @@ impl SurrogateDaemon {
         if let Some(handle) = self.beacon_thread.lock().take() {
             let _ = handle.join();
         }
+        if let Some(handle) = self.sweep_thread.lock().take() {
+            let _ = handle.join();
+        }
         let sessions = std::mem::take(&mut *self.sessions.lock());
         aide_telemetry::global()
             .gauge(aide_telemetry::names::SURROGATE_ACTIVE_SESSIONS)
@@ -336,7 +380,11 @@ fn start_session(
         VmConfig::surrogate(config.capacity_bytes),
     );
     let tables = Arc::new(RefTables::new());
-    let inner = VmDispatcher::new(machine, tables);
+    if let Some(ttl) = config.lease_ttl_ms {
+        tables.exports.set_ttl_ms(ttl);
+    }
+    let gc = Arc::new(VmDispatcher::new(machine.clone(), tables.clone()));
+    let inner = VmDispatcher::new(machine, tables.clone());
     let dispatcher: Arc<dyn Dispatcher> = match (config.fail_after_requests, config.fault_mode) {
         (Some(budget), FaultMode::Crash) => Arc::new(FaultInjector {
             inner,
@@ -386,5 +434,12 @@ fn start_session(
         dispatcher,
         config.endpoint,
     );
-    LiveSession { endpoint, killer }
+    // Lease piggybacking: stamped client traffic renews this session's
+    // exports; our replies advertise the session's import epoch back.
+    tables.attach_to(&endpoint);
+    LiveSession {
+        endpoint,
+        killer,
+        gc,
+    }
 }

@@ -156,6 +156,33 @@ pub mod names {
     /// Free heap bytes after the most recent GC.
     pub const HEAP_FREE_BYTES: &str = "aide_heap_free_bytes";
 
+    /// Export leases extended by piggybacked or explicit renewals.
+    pub const GC_LEASES_RENEWED: &str = "aide_gc_leases_renewed_total";
+    /// Export leases that ran past their TTL and were swept.
+    pub const GC_LEASES_EXPIRED: &str = "aide_gc_leases_expired_total";
+    /// Release batches dropped because their release sequence number was
+    /// at or below the session watermark (a retried or replayed batch).
+    pub const GC_RELEASE_DUPLICATE: &str = "aide_gc_release_duplicate_total";
+    /// Release batches dropped because they carried an epoch older than
+    /// the peer's current lease epoch (a zombie from before a failover).
+    pub const GC_RELEASE_STALE: &str = "aide_gc_release_stale_total";
+    /// Releases naming an object that is not in the export table.
+    pub const GC_RELEASE_UNKNOWN: &str = "aide_gc_release_unknown_total";
+    /// Exported objects reclaimed by stale-epoch sweeps (failover or
+    /// session teardown), not by peer releases.
+    pub const GC_EXPORTS_RECLAIMED: &str = "aide_gc_exports_reclaimed_total";
+    /// Distinct objects currently held in an export table.
+    pub const GC_EXPORT_ENTRIES: &str = "aide_gc_export_table_entries";
+    /// Distinct remote objects currently held in an import table.
+    pub const GC_IMPORT_ENTRIES: &str = "aide_gc_import_table_entries";
+    /// External-root pins taken by VMs for exported objects.
+    pub const VM_EXTERNAL_PINS: &str = "aide_vm_external_pins_total";
+    /// External-root unpins released by VMs.
+    pub const VM_EXTERNAL_UNPINS: &str = "aide_vm_external_unpins_total";
+    /// Unpin calls naming an object that carried no pin — the
+    /// double-unpin symptom the lease state machine must never produce.
+    pub const VM_UNPIN_UNBALANCED: &str = "aide_vm_external_unpin_unbalanced_total";
+
     /// Monitor hook invocations (allocs, frees, interactions, work...).
     pub const MONITOR_HOOK_EVENTS: &str = "aide_monitor_hook_events_total";
     /// Wall-clock nanoseconds spent inside monitor hooks.

@@ -100,6 +100,31 @@ pub enum PlatformEvent {
         /// Wall-clock failover duration, in microseconds.
         duration_micros: u64,
     },
+    /// Export leases ran past their TTL without renewal and the expired
+    /// entries were swept back to the collector (the holder is presumed
+    /// dead or partitioned).
+    LeaseExpired {
+        /// Number of exported objects whose leases expired.
+        objects: u64,
+        /// The export epoch the expired entries belonged to.
+        epoch: u64,
+    },
+    /// Stale-epoch export entries were reclaimed in bulk (failover or
+    /// session teardown): their pins were dropped and the objects handed
+    /// back to the local collector.
+    ExportsReclaimed {
+        /// Number of exported objects reclaimed.
+        objects: u64,
+        /// Why the reclaim ran (e.g. `"failover"`, `"session-closed"`).
+        reason: String,
+    },
+    /// A `GcRelease` named an object that is not in the export table —
+    /// chaos-induced misaccounting (a replayed or misrouted release)
+    /// that used to be silently ignored.
+    GcReleaseUnknown {
+        /// The unknown object id (raw `ObjectId` bits).
+        object: u64,
+    },
     /// A trace replay produced an event that differs from the recorded
     /// baseline timeline at the same position (`aide-replay`'s strict
     /// divergence check).
@@ -166,6 +191,15 @@ impl PlatformEvent {
             } => format!(
                 "failover from '{surrogate}' completed in {duration_micros} us: {reinstated_objects} objects ({reinstated_bytes} B) reinstated, {objects_lost} lost"
             ),
+            PlatformEvent::LeaseExpired { objects, epoch } => {
+                format!("{objects} export leases expired (epoch {epoch}), entries swept")
+            }
+            PlatformEvent::ExportsReclaimed { objects, reason } => {
+                format!("{objects} stale exports reclaimed ({reason})")
+            }
+            PlatformEvent::GcReleaseUnknown { object } => {
+                format!("gc release named unknown export {object:#x}")
+            }
             PlatformEvent::ReplayDiverged {
                 at_index,
                 expected,

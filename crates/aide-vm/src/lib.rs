@@ -64,6 +64,8 @@ pub use gc::{Collector, GcConfig, GcReport};
 pub use heap::{Heap, HeapStats, ObjectRecord};
 pub use hooks::{CountingHooks, HookChain, Interaction, InteractionKind, NullHooks, RuntimeHooks};
 pub use ids::{ClassId, MethodId, ObjectId, Reg};
-pub use machine::{CostModel, Machine, RemoteAccess, RunSummary, Vm, VmConfig, VmKind};
+pub use machine::{
+    CostModel, ExternalRootAudit, Machine, RemoteAccess, RunSummary, Vm, VmConfig, VmKind,
+};
 pub use natives::{native_requires_client, NativeKind};
 pub use program::{ClassDef, EntryPoint, MethodDef, Op, Program, ProgramBuilder};

@@ -126,6 +126,44 @@ struct Frame {
     regs: [Option<ObjectId>; Reg::COUNT],
 }
 
+/// Lifetime audit of external-root pin/unpin traffic on one VM.
+///
+/// Distributed GC is balanced when every pin is matched by exactly one
+/// unpin: `unbalanced_unpins` counts unpins of ids with no live pin — the
+/// observable signature of a double-released export — and must stay zero
+/// in a correct run. The leak soak asserts on it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExternalRootAudit {
+    /// Total external-root pins taken over the VM's lifetime.
+    pub pins: u64,
+    /// Total external-root references released.
+    pub unpins: u64,
+    /// Unpins naming an object with no live pin (double-release signal).
+    pub unbalanced_unpins: u64,
+}
+
+/// Process-wide audit counters mirrored into the telemetry registry, so
+/// the double-unpin signal is scrapeable alongside the GC lease metrics.
+fn audit_metrics() -> &'static (
+    Arc<aide_telemetry::Counter>,
+    Arc<aide_telemetry::Counter>,
+    Arc<aide_telemetry::Counter>,
+) {
+    static METRICS: std::sync::OnceLock<(
+        Arc<aide_telemetry::Counter>,
+        Arc<aide_telemetry::Counter>,
+        Arc<aide_telemetry::Counter>,
+    )> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let t = aide_telemetry::global();
+        (
+            t.counter(aide_telemetry::names::VM_EXTERNAL_PINS),
+            t.counter(aide_telemetry::names::VM_EXTERNAL_UNPINS),
+            t.counter(aide_telemetry::names::VM_UNPIN_UNBALANCED),
+        )
+    })
+}
+
 /// The mutable state of one virtual machine.
 #[derive(Debug)]
 pub struct Vm {
@@ -137,6 +175,7 @@ pub struct Vm {
     next_frame: u64,
     frames: HashMap<u64, Frame>,
     external_roots: HashMap<ObjectId, u32>,
+    root_audit: ExternalRootAudit,
     cpu_seconds: f64,
     statics_accesses: u64,
 }
@@ -153,6 +192,7 @@ impl Vm {
             next_frame: 0,
             frames: HashMap::new(),
             external_roots: HashMap::new(),
+            root_audit: ExternalRootAudit::default(),
             cpu_seconds: 0.0,
             statics_accesses: 0,
         }
@@ -214,21 +254,37 @@ impl Vm {
     /// Counts are reference counts: pin twice, unpin twice.
     pub fn external_root_inc(&mut self, id: ObjectId) {
         *self.external_roots.entry(id).or_insert(0) += 1;
+        self.root_audit.pins += 1;
+        audit_metrics().0.inc();
     }
 
-    /// Releases one external-root reference to `id`.
+    /// Releases one external-root reference to `id`. An unpin of an id
+    /// with no live pin is tolerated (distributed GC may race a sweep
+    /// against a release) but audited as unbalanced — see
+    /// [`Vm::external_root_audit`].
     pub fn external_root_dec(&mut self, id: ObjectId) {
         if let Some(n) = self.external_roots.get_mut(&id) {
             *n -= 1;
             if *n == 0 {
                 self.external_roots.remove(&id);
             }
+            self.root_audit.unpins += 1;
+            audit_metrics().1.inc();
+        } else {
+            self.root_audit.unbalanced_unpins += 1;
+            audit_metrics().2.inc();
         }
     }
 
     /// Number of distinct externally rooted objects.
     pub fn external_root_count(&self) -> usize {
         self.external_roots.len()
+    }
+
+    /// The pin/unpin audit for this VM: totals plus the unbalanced-unpin
+    /// count that must stay zero when distributed GC is correct.
+    pub fn external_root_audit(&self) -> ExternalRootAudit {
+        self.root_audit
     }
 
     fn push_frame(&mut self, self_obj: Option<ObjectId>, args: &[ObjectId]) -> u64 {
