@@ -238,6 +238,12 @@ pub struct VmDispatcher {
     /// id, held outside the heap until COMMIT installs them atomically or
     /// ABORT discards them.
     staged: Mutex<HashMap<u64, Vec<(ObjectId, ObjectRecord)>>>,
+    /// Relay transactions already installed by [`Request::RelayDeliver`].
+    /// The relay redelivers until acknowledged, so installation must be
+    /// exactly-once per transaction id even across duplicate deliveries
+    /// that slip past the transport-level dedup (a relay reconnecting with
+    /// a fresh client id).
+    applied_relays: Mutex<std::collections::HashSet<u64>>,
 }
 
 impl std::fmt::Debug for VmDispatcher {
@@ -253,6 +259,7 @@ impl VmDispatcher {
             machine,
             tables,
             staged: Mutex::new(HashMap::new()),
+            applied_relays: Mutex::new(std::collections::HashSet::new()),
         }
     }
 
@@ -410,6 +417,21 @@ impl Dispatcher for VmDispatcher {
                 .map(Reply::Class)
                 .map_err(|e| e.to_string()),
             Request::Migrate { objects } => self.install_objects(objects),
+            Request::RelayDeliver { txn, objects, .. } => {
+                // Exactly-once per relay transaction: the relay retries
+                // delivery until acknowledged, and acknowledgements can be
+                // lost, so a txn already installed replies success without
+                // touching the heap again.
+                if !self.applied_relays.lock().insert(txn) {
+                    return Ok(Reply::Unit);
+                }
+                let installed = self.install_objects(objects);
+                if installed.is_err() {
+                    // A failed install (capacity) must stay retryable.
+                    self.applied_relays.lock().remove(&txn);
+                }
+                installed
+            }
             Request::MigratePrepare { txn, objects } => {
                 // PREPARE stages without installing. The capacity check
                 // covers everything staged so far, so a COMMIT that follows

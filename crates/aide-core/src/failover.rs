@@ -30,7 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use aide_graph::CommParams;
+use aide_graph::{CommParams, SelectedPartition};
 use aide_rpc::{Dispatcher, Endpoint, EndpointConfig, NetClock, Reply, Request, RpcError};
 use aide_telemetry::{FlightRecorder, PlatformEvent};
 use aide_vm::{
@@ -40,7 +40,10 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::adapter::RefTables;
+use crate::monitor::NodeKey;
 use crate::nondet::{LinkPhase, NondetSource};
+use crate::offload::{gather_shipment, GatheredShipment};
+use crate::relay::{RelayShipment, RelaySink};
 
 /// Connection context handed to a [`SurrogateProvider`] when the platform
 /// needs a surrogate: everything required to start the client-side
@@ -94,6 +97,15 @@ pub trait SurrogateProvider: Send + Sync {
     /// Notes that the lease named `name` failed (the provider should stop
     /// ranking that surrogate until it proves healthy again).
     fn report_failure(&self, name: &str);
+
+    /// Notes that `name` refused service with a `Busy` reply: the
+    /// surrogate is alive but saturated, and should be skipped for about
+    /// `retry_after_ms` rather than marked dead. The default treats
+    /// saturation like failure, which is safe but loses the distinction.
+    fn report_busy(&self, name: &str, retry_after_ms: u32) {
+        let _ = retry_after_ms;
+        self.report_failure(name);
+    }
 }
 
 /// Exponential backoff with deterministic jitter, gating re-acquisition
@@ -221,6 +233,24 @@ pub struct FailoverReport {
     /// Wall-clock duration of each recovery (lease retirement through
     /// ledger reinstatement), in microseconds, in failover order.
     pub failover_durations_micros: Vec<u64>,
+    /// Migrations parked in the relay queue because no surrogate was
+    /// reachable at decision time.
+    #[serde(default)]
+    pub migrations_queued: u64,
+    /// Queued migrations later delivered to a surrogate on reconnect.
+    #[serde(default)]
+    pub migrations_relayed: u64,
+    /// Queued migrations that expired (TTL) and were reinstated locally.
+    #[serde(default)]
+    pub relay_expired: u64,
+    /// Queued migrations recalled into the client heap because execution
+    /// went purely local while they were still parked.
+    #[serde(default)]
+    pub relay_recalled: u64,
+    /// Leases retired because the surrogate answered `Busy` (admission
+    /// control), as opposed to dying.
+    #[serde(default)]
+    pub busy_rejections: u64,
 }
 
 /// Shared failover state: the active lease, the reinstatement ledger, and
@@ -255,6 +285,14 @@ pub(crate) struct FailoverCore {
     /// Requests served / frames exchanged, accumulated over retired leases.
     served_total: AtomicU64,
     frames_total: AtomicU64,
+    /// Store-and-forward queue for migrations decided while no surrogate
+    /// was reachable; `None` disables the relay path entirely.
+    relay: Mutex<Option<Arc<dyn RelaySink>>>,
+    migrations_queued: AtomicU64,
+    migrations_relayed: AtomicU64,
+    relay_expired: AtomicU64,
+    relay_recalled: AtomicU64,
+    busy_rejections: AtomicU64,
 }
 
 impl FailoverCore {
@@ -286,7 +324,19 @@ impl FailoverCore {
             nondet: Mutex::new(None),
             served_total: AtomicU64::new(0),
             frames_total: AtomicU64::new(0),
+            relay: Mutex::new(None),
+            migrations_queued: AtomicU64::new(0),
+            migrations_relayed: AtomicU64::new(0),
+            relay_expired: AtomicU64::new(0),
+            relay_recalled: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
         }
+    }
+
+    /// Wires a store-and-forward relay queue: offloads decided while no
+    /// surrogate is reachable are parked there instead of dropped.
+    pub(crate) fn set_relay(&self, relay: Arc<dyn RelaySink>) {
+        *self.relay.lock() = Some(relay);
     }
 
     /// Wires the platform's flight recorder so recoveries leave a trace.
@@ -341,11 +391,154 @@ impl FailoverCore {
                 self.surrogates_used.lock().push(lease.name.clone());
                 *active = Some(lease);
                 self.backoff.lock().note_success();
+                // A fresh lease is the relay's delivery moment: parked
+                // shipments drain into the new surrogate before any new
+                // offload piles on. Outside the `active` lock — delivery
+                // RPCs must not block concurrent failure detection.
+                drop(active);
+                self.flush_relay(&endpoint);
                 Some(endpoint)
             }
             None => {
                 self.backoff.lock().note_failure();
                 None
+            }
+        }
+    }
+
+    /// Gathers the victims of an offload decision out of the client heap
+    /// and parks them in the relay queue — the store-and-forward path for
+    /// "memory pressure now, surrogate later". Returns `false` (leaving
+    /// the heap untouched, or restored) when no relay is wired, the queue
+    /// is full, or nothing matched the selection.
+    pub(crate) fn queue_for_relay(&self, selection: &SelectedPartition, keys: &[NodeKey]) -> bool {
+        let Some(relay) = self.relay.lock().clone() else {
+            return false;
+        };
+        if !relay.accepting() {
+            return false;
+        }
+        let Ok(gathered) = gather_shipment(selection, keys, &self.client, &self.tables) else {
+            return false;
+        };
+        let GatheredShipment {
+            objects,
+            pins,
+            bytes,
+            ..
+        } = gathered;
+        if objects.is_empty() {
+            return false;
+        }
+        let object_count = objects.len() as u64;
+        let shipment = RelayShipment {
+            txn: 0, // assigned by the sink
+            objects,
+            pins,
+            bytes,
+            queued_for_ms: 0,
+        };
+        match relay.queue(shipment) {
+            Ok(txn) => {
+                self.migrations_queued.fetch_add(1, Ordering::Relaxed);
+                self.record_event(PlatformEvent::MigrationQueued {
+                    txn,
+                    objects: object_count,
+                    bytes,
+                });
+                true
+            }
+            Err(shipment) => {
+                // The sink filled up between `accepting` and `queue`: put
+                // everything back — a declined shipment must not strand
+                // objects outside the heap.
+                self.reinstate_shipment(shipment);
+                false
+            }
+        }
+    }
+
+    /// Delivers parked shipments over a fresh lease and enters each
+    /// delivered one into the reinstatement ledger, exactly as if it had
+    /// been offloaded live.
+    pub(crate) fn flush_relay(&self, endpoint: &Arc<Endpoint>) {
+        let Some(relay) = self.relay.lock().clone() else {
+            return;
+        };
+        if relay.depth() == 0 {
+            return;
+        }
+        for shipment in relay.flush(endpoint) {
+            self.migrations_relayed.fetch_add(1, Ordering::Relaxed);
+            self.record_event(PlatformEvent::MigrationRelayed {
+                txn: shipment.txn,
+                objects: shipment.objects.len() as u64,
+                bytes: shipment.bytes,
+                queued_for_ms: shipment.queued_for_ms,
+            });
+            self.record_shipment(shipment.objects, shipment.pins);
+        }
+    }
+
+    /// Expires over-TTL shipments back into the client heap. Runs on the
+    /// platform's heartbeat cadence: better slow than lost.
+    pub(crate) fn relay_tick(&self) {
+        let Some(relay) = self.relay.lock().clone() else {
+            return;
+        };
+        for shipment in relay.take_expired() {
+            self.relay_expired.fetch_add(1, Ordering::Relaxed);
+            self.record_event(PlatformEvent::RelayExpired {
+                txn: shipment.txn,
+                objects: shipment.objects.len() as u64,
+                bytes: shipment.bytes,
+            });
+            self.reinstate_shipment(shipment);
+        }
+    }
+
+    /// Recalls *every* parked shipment into the client heap. Called before
+    /// serving a touch locally with no surrogate attached: a queued object
+    /// is absent from the heap, so local execution without a recall would
+    /// surface a dangling reference.
+    pub(crate) fn recall_relay(&self) {
+        let Some(relay) = self.relay.lock().clone() else {
+            return;
+        };
+        if relay.depth() == 0 {
+            return;
+        }
+        for shipment in relay.take_all() {
+            self.relay_recalled.fetch_add(1, Ordering::Relaxed);
+            self.record_event(PlatformEvent::RelayRecalled {
+                txn: shipment.txn,
+                objects: shipment.objects.len() as u64,
+            });
+            self.reinstate_shipment(shipment);
+        }
+    }
+
+    /// Puts one gathered-but-undelivered shipment back: reinstall the
+    /// objects, drop their import stubs, release the back-reference pins.
+    /// The exact inverse of [`gather_shipment`].
+    fn reinstate_shipment(&self, shipment: RelayShipment) {
+        let vm = self.client.vm();
+        let mut vm = vm.lock();
+        let needed: u64 = shipment.objects.iter().map(|(_, r)| r.footprint()).sum();
+        if needed > vm.heap().free_bytes() {
+            vm.collect_now();
+        }
+        for (id, record) in shipment.objects {
+            self.tables.imports.remove(id);
+            if vm.heap_mut().migrate_in(id, record).is_err() {
+                // The heap genuinely cannot hold it even after collection:
+                // the object is lost, like a ledger entry that won't fit.
+                self.objects_lost.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        for id in &shipment.pins {
+            if self.tables.exports.release(*id) {
+                vm.external_root_dec(*id);
             }
         }
     }
@@ -374,6 +567,19 @@ impl FailoverCore {
     /// performed the recovery, `false` if there was nothing to recover
     /// (another thread already did, or no surrogate was active).
     pub(crate) fn handle_failure(&self) -> bool {
+        self.retire_active(None)
+    }
+
+    /// Like [`handle_failure`](FailoverCore::handle_failure), but for a
+    /// surrogate that answered `Busy`: the lease is retired and the ledger
+    /// reinstated the same way, but the provider is told the surrogate is
+    /// *saturated* (skip it briefly) rather than dead (probe it back to
+    /// health).
+    pub(crate) fn handle_saturation(&self, retry_after_ms: u32) -> bool {
+        self.retire_active(Some(retry_after_ms))
+    }
+
+    fn retire_active(&self, saturation: Option<u32>) -> bool {
         let mut active = self.active.lock();
         let Some(lease) = active.take() else {
             return false;
@@ -387,7 +593,17 @@ impl FailoverCore {
         self.note_link(&lease.name, LinkPhase::Died);
         // Fail remaining in-flight calls fast and stop the session.
         lease.endpoint.shutdown();
-        self.provider.report_failure(&lease.name);
+        match saturation {
+            Some(retry_after_ms) => {
+                self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                self.record_event(PlatformEvent::SessionRejected {
+                    surrogate: lease.name.clone(),
+                    retry_after_ms,
+                });
+                self.provider.report_busy(&lease.name, retry_after_ms);
+            }
+            None => self.provider.report_failure(&lease.name),
+        }
         self.failovers.fetch_add(1, Ordering::Relaxed);
         let objects_before = self.reinstated_objects.load(Ordering::Relaxed);
         let bytes_before = self.reinstated_bytes.load(Ordering::Relaxed);
@@ -421,8 +637,10 @@ impl FailoverCore {
     }
 
     /// Probes the active surrogate; on probe failure runs full recovery.
-    /// Called by the platform's heartbeat thread.
+    /// Called by the platform's heartbeat thread. Also the relay queue's
+    /// expiry cadence, whether or not a surrogate is active.
     pub(crate) fn heartbeat_tick(&self) {
+        self.relay_tick();
         let Some(endpoint) = self.endpoint_for_call() else {
             return;
         };
@@ -575,6 +793,11 @@ impl FailoverCore {
             reoffloads: self.reoffloads.load(Ordering::Relaxed),
             surrogates_used: self.surrogates_used.lock().clone(),
             failover_durations_micros: self.failover_durations.lock().clone(),
+            migrations_queued: self.migrations_queued.load(Ordering::Relaxed),
+            migrations_relayed: self.migrations_relayed.load(Ordering::Relaxed),
+            relay_expired: self.relay_expired.load(Ordering::Relaxed),
+            relay_recalled: self.relay_recalled.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
         }
     }
 }
@@ -611,6 +834,11 @@ impl FailoverAdapter {
 
     fn call(&self, request: Request) -> CallOutcome {
         let Some(endpoint) = self.core.endpoint_for_call() else {
+            // About to serve locally with no surrogate attached: any
+            // shipment still parked in the relay queue must come home
+            // first, or touching a queued object would surface a dangling
+            // reference.
+            self.core.recall_relay();
             return CallOutcome::FailedOver;
         };
         // Retries (same seq, deduplicated on the serving side) mask
@@ -622,6 +850,15 @@ impl FailoverAdapter {
             Err(RpcError::Protocol(msg)) => CallOutcome::RemoteErr(format!("protocol: {msg}")),
             Err(RpcError::Disconnected | RpcError::Timeout) => {
                 self.core.handle_failure();
+                CallOutcome::FailedOver
+            }
+            // A saturated surrogate is unusable for steady-state touches
+            // just like a dead one — recover locally and let the next
+            // placement pick a peer with headroom. The provider layer is
+            // told this was saturation, not death, so the surrogate stays
+            // in the registry under a brief cooldown.
+            Err(RpcError::Busy { retry_after_ms }) => {
+                self.core.handle_saturation(retry_after_ms);
                 CallOutcome::FailedOver
             }
         }

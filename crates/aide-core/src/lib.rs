@@ -54,6 +54,7 @@ mod nondet;
 mod offload;
 pub mod partitioner;
 mod platform;
+mod relay;
 mod selector;
 
 pub use adapter::{RefTables, RemoteAdapter, VmDispatcher};
@@ -70,4 +71,5 @@ pub use partitioner::{
     PartitionerConfig,
 };
 pub use platform::{OffloadEvent, Platform, PlatformReport};
+pub use relay::{RelayShipment, RelaySink};
 pub use selector::{PolicyRecommendation, PolicySelector, WorkloadProfile};

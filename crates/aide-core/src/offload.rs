@@ -62,6 +62,119 @@ impl OffloadOutcome {
     }
 }
 
+/// The serialized victims of one offload decision, gathered out of the
+/// client heap: the objects have been removed (`migrate_out`), their
+/// client-side back-references pinned, and import stubs recorded. This is
+/// the raw material shared by the live two-phase migration and the relay
+/// queue's deferred shipments — either path must eventually land the
+/// objects on a surrogate or reinstate them.
+pub(crate) struct GatheredShipment {
+    /// The serialized victim objects, in migration order.
+    pub objects: Vec<(ObjectId, ObjectRecord)>,
+    /// Objects pinned because the gathered set still references them.
+    pub pins: Vec<ObjectId>,
+    /// How many of those pins were *new* exports (reference counts taken).
+    pub pinned_count: u64,
+    /// Total serialized payload size.
+    pub bytes: u64,
+    /// Client heap bytes in use before the gather.
+    pub used_before: u64,
+}
+
+/// Gathers the victims named by `selection`/`keys` out of the client heap:
+/// removes them, pins their client-side back-references, and records them
+/// as imports for distributed GC. The caller owns what happens next —
+/// shipping them live, parking them in a relay queue, or (on failure)
+/// reinstating them.
+///
+/// # Errors
+///
+/// Returns [`VmError::RemoteFailure`] if a partitioning node has no
+/// monitor key; the heap is untouched in that case.
+pub(crate) fn gather_shipment(
+    selection: &SelectedPartition,
+    keys: &[NodeKey],
+    client: &Machine,
+    tables: &Arc<RefTables>,
+) -> VmResult<GatheredShipment> {
+    // Work out the concrete victim set under the client VM lock.
+    let mut victim_classes: Vec<ClassId> = Vec::new();
+    let mut victim_objects: Vec<ObjectId> = Vec::new();
+    for node in selection.partitioning.nodes_on(Side::Surrogate) {
+        match keys.get(node.index()) {
+            Some(NodeKey::Class(c)) => victim_classes.push(*c),
+            Some(NodeKey::Object(o)) => victim_objects.push(*o),
+            None => {
+                return Err(VmError::RemoteFailure(format!(
+                    "partitioning node {node} has no monitor key"
+                )))
+            }
+        }
+    }
+
+    let serialize_span = aide_trace::span(aide_trace::names::MIGRATE_SERIALIZE, "core");
+    let vm = client.vm();
+    let mut vm = vm.lock();
+    let used_before = vm.heap().stats().used_bytes;
+
+    // Gather ids first (can't mutate while iterating).
+    let mut ids: Vec<ObjectId> = Vec::new();
+    for (id, rec) in vm.heap().iter() {
+        if victim_classes.contains(&rec.class) {
+            ids.push(id);
+        }
+    }
+    for &o in &victim_objects {
+        if vm.heap().contains(o) {
+            ids.push(o);
+        }
+    }
+    ids.sort();
+    ids.dedup();
+
+    let mut objects: Vec<(ObjectId, ObjectRecord)> = Vec::with_capacity(ids.len());
+    for id in ids {
+        let record = vm.heap_mut().migrate_out(id)?;
+        objects.push((id, record));
+    }
+
+    // Pin client-side objects the migrated set still points at: the
+    // surrogate will hold those references from now on. The pinned set
+    // is remembered so a failed migration can release it again.
+    let mut pins: Vec<ObjectId> = Vec::new();
+    let mut pinned_count = 0u64;
+    for (_, record) in &objects {
+        for slot in record.slots.iter().flatten() {
+            if vm.heap().contains(*slot) {
+                // Every export is recorded so a rollback can release
+                // reference counts symmetrically.
+                if tables.exports.export(*slot) {
+                    vm.external_root_inc(*slot);
+                    pinned_count += 1;
+                }
+                pins.push(*slot);
+            }
+        }
+    }
+
+    // The client keeps referencing every migrated object (frames,
+    // remaining slots): record them as imports for distributed GC.
+    for (id, _) in &objects {
+        tables.imports.import(*id);
+    }
+
+    let bytes: u64 = objects.iter().map(|(_, r)| r.footprint()).sum();
+    drop(vm);
+    drop(serialize_span);
+    Ok(GatheredShipment {
+        objects,
+        pins,
+        pinned_count,
+        bytes,
+        used_before,
+    })
+}
+
 /// Executes `selection` against the client machine, shipping the offloaded
 /// objects to the surrogate through `endpoint`.
 ///
@@ -118,80 +231,16 @@ pub fn execute_offload_tracked(
     // node, which is what the critical-path analyzer attributes.
     let mut migration_span = aide_trace::span(aide_trace::names::MIGRATION, "core");
 
-    // Work out the concrete victim set under the client VM lock.
-    let mut victim_classes: Vec<ClassId> = Vec::new();
-    let mut victim_objects: Vec<ObjectId> = Vec::new();
-    for node in selection.partitioning.nodes_on(Side::Surrogate) {
-        match keys.get(node.index()) {
-            Some(NodeKey::Class(c)) => victim_classes.push(*c),
-            Some(NodeKey::Object(o)) => victim_objects.push(*o),
-            None => {
-                return Err(VmError::RemoteFailure(format!(
-                    "partitioning node {node} has no monitor key"
-                )))
-            }
-        }
-    }
-
-    let serialize_span = aide_trace::span(aide_trace::names::MIGRATE_SERIALIZE, "core");
-    let (batchable, used_before) = {
-        let vm = client.vm();
-        let mut vm = vm.lock();
-        let used_before = vm.heap().stats().used_bytes;
-
-        // Gather ids first (can't mutate while iterating).
-        let mut ids: Vec<ObjectId> = Vec::new();
-        for (id, rec) in vm.heap().iter() {
-            if victim_classes.contains(&rec.class) {
-                ids.push(id);
-            }
-        }
-        for &o in &victim_objects {
-            if vm.heap().contains(o) {
-                ids.push(o);
-            }
-        }
-        ids.sort();
-        ids.dedup();
-
-        let mut batch: Vec<(ObjectId, ObjectRecord)> = Vec::with_capacity(ids.len());
-        for id in ids {
-            let record = vm.heap_mut().migrate_out(id)?;
-            batch.push((id, record));
-        }
-
-        // Pin client-side objects the migrated set still points at: the
-        // surrogate will hold those references from now on. The pinned set
-        // is remembered so a failed migration can release it again.
-        let mut pinned_ids: Vec<ObjectId> = Vec::new();
-        let mut pinned = 0u64;
-        for (_, record) in &batch {
-            for slot in record.slots.iter().flatten() {
-                if vm.heap().contains(*slot) {
-                    // Every export is recorded so a rollback can release
-                    // reference counts symmetrically.
-                    if tables.exports.export(*slot) {
-                        vm.external_root_inc(*slot);
-                        pinned += 1;
-                    }
-                    pinned_ids.push(*slot);
-                }
-            }
-        }
-
-        // The client keeps referencing every migrated object (frames,
-        // remaining slots): record them as imports for distributed GC.
-        for (id, _) in &batch {
-            tables.imports.import(*id);
-        }
-
-        ((batch, pinned, pinned_ids), used_before)
-    };
-    drop(serialize_span);
-    let (batch, back_references_pinned, pinned_ids) = batchable;
+    let gathered = gather_shipment(selection, keys, client, tables)?;
+    let GatheredShipment {
+        objects: batch,
+        pins: pinned_ids,
+        pinned_count: back_references_pinned,
+        bytes: bytes_moved,
+        used_before,
+    } = gathered;
 
     let objects_moved = batch.len() as u64;
-    let bytes_moved: u64 = batch.iter().map(|(_, r)| r.footprint()).sum();
     // Shadow copies for the caller's reinstatement ledger, taken before the
     // batch is consumed by shipping.
     let shadow = batch.clone();

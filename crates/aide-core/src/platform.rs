@@ -44,6 +44,7 @@ use crate::monitor::{Monitor, MonitorMetrics, RemoteStats};
 use crate::nondet::{LiveSource, MigrationRecord, NondetSource, TriggerSample};
 use crate::offload::{execute_offload_tracked, OffloadOutcome};
 use crate::partitioner::IncrementalPartitioner;
+use crate::relay::RelaySink;
 
 /// Flight-recorder capacity per run: ample for every decision of a run
 /// while bounding memory on constrained clients.
@@ -324,10 +325,17 @@ impl Controller {
             match core.acquire_for_offload() {
                 Some(ep) => ep,
                 None => {
-                    // No surrogate reachable (or backoff gate closed): stay
+                    // No surrogate reachable (or backoff gate closed). With
+                    // a relay wired the decision still frees memory *now*:
+                    // the victims are gathered out of the heap and parked
+                    // for delivery to the next surrogate. Without one, stay
                     // local; the next trigger re-evaluates.
                     self.nondet.migration(MigrationRecord::NoSurrogate);
-                    decision_span.arg("outcome", "no_surrogate");
+                    if core.queue_for_relay(&selection, &keys) {
+                        decision_span.arg("outcome", "queued_for_relay");
+                    } else {
+                        decision_span.arg("outcome", "no_surrogate");
+                    }
                     self.monitor.reset_memory_trigger();
                     return;
                 }
@@ -523,6 +531,9 @@ pub struct Platform {
     surrogates: Option<(Arc<dyn SurrogateProvider>, FailoverConfig)>,
     /// Nondeterminism seam override (`None` means [`LiveSource`]).
     nondet: Option<Arc<dyn NondetSource>>,
+    /// Store-and-forward relay queue for offloads decided while no
+    /// surrogate is reachable. Only meaningful on provider-backed runs.
+    relay: Option<Arc<dyn RelaySink>>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -541,6 +552,7 @@ impl Platform {
             config,
             surrogates: None,
             nondet: None,
+            relay: None,
         }
     }
 
@@ -564,7 +576,19 @@ impl Platform {
             config,
             surrogates: Some((provider, FailoverConfig::default())),
             nondet: None,
+            relay: None,
         }
+    }
+
+    /// Wires a store-and-forward relay queue (e.g.
+    /// `aide_surrogate::RelayQueue`): offload decisions made while no
+    /// surrogate is reachable are gathered out of the heap and parked
+    /// there, then delivered to the next surrogate the provider produces
+    /// — or reinstated locally when they expire. Only meaningful after
+    /// [`Platform::with_surrogates`].
+    pub fn with_relay(mut self, relay: Arc<dyn RelaySink>) -> Self {
+        self.relay = Some(relay);
+        self
     }
 
     /// Threads a [`NondetSource`] through the run's controller, monitor
@@ -874,6 +898,9 @@ impl Platform {
         ));
         core.set_recorder(recorder.clone());
         core.set_nondet(nondet.clone());
+        if let Some(relay) = self.relay.clone() {
+            core.set_relay(relay);
+        }
         client_tables.exports.set_recorder(recorder.clone());
         client_machine.set_remote(Arc::new(FailoverAdapter::new(core.clone())));
         controller.bind_failover(client_machine.clone(), core.clone());
@@ -903,6 +930,10 @@ impl Platform {
 
         stop.store(true, Ordering::Relaxed);
         let _ = heartbeat.join();
+        // Shipments still parked at end-of-run come home: the report (and
+        // the process-wide export/pin gauges) must reflect a consistent
+        // heap, not objects stranded in a queue nobody will flush.
+        core.recall_relay();
         core.shutdown();
 
         let (final_graph, _) = monitor.snapshot();

@@ -1,0 +1,76 @@
+//! Store-and-forward relay: the seam between the platform core and a
+//! relay queue implementation.
+//!
+//! When memory pressure forces an offload but no surrogate is reachable,
+//! the platform can *defer* the shipment instead of abandoning it: the
+//! victims are gathered out of the client heap exactly as a live offload
+//! would (serialized, back-references pinned, import stubs installed) and
+//! parked in a [`RelaySink`] keyed by a transaction id. When a surrogate
+//! next becomes reachable the queue is flushed over the fresh lease with
+//! `Request::RelayDeliver`, and the delivered objects enter the failover
+//! ledger exactly as if they had been offloaded live. Entries that sit
+//! queued past their TTL are reinstated into the client heap — better to
+//! be slow than to lose objects.
+//!
+//! The sink trait lives in `aide-core` (the queue implementation lives in
+//! `aide-surrogate`) so the dependency arrow keeps pointing the right way:
+//! the core knows *that* shipments can be parked, not *where*.
+
+use std::sync::Arc;
+
+use aide_rpc::Endpoint;
+use aide_vm::{ObjectId, ObjectRecord};
+
+/// One deferred migration: the serialized victims of a single offload
+/// decision, gathered out of the client heap and awaiting a surrogate.
+#[derive(Debug, Clone)]
+pub struct RelayShipment {
+    /// Queue-assigned transaction id; the surrogate dedups deliveries on
+    /// it, so retrying a `RelayDeliver` after a lost reply is safe.
+    pub txn: u64,
+    /// The serialized victim objects, in migration order.
+    pub objects: Vec<(ObjectId, ObjectRecord)>,
+    /// Objects pinned locally because queued objects reference them;
+    /// released when the shipment is delivered-and-recorded or reinstated.
+    pub pins: Vec<ObjectId>,
+    /// Serialized payload size, for telemetry and recorder events.
+    pub bytes: u64,
+    /// How long the shipment sat queued, stamped by the sink at delivery
+    /// or expiry; zero while the entry is still parked.
+    pub queued_for_ms: u64,
+}
+
+/// Where deferred shipments park while no surrogate is reachable.
+///
+/// Implementations decide capacity, TTL, and the clock; the platform core
+/// decides *when* to queue (offload with no surrogate), *when* to flush
+/// (a fresh lease), *when* to expire (heartbeat ticks), and *when* to
+/// recall everything (serving locally with no surrogate attached).
+pub trait RelaySink: Send + Sync + std::fmt::Debug {
+    /// Whether a new shipment would currently be accepted. Checked before
+    /// the expensive gather so a full queue costs nothing.
+    fn accepting(&self) -> bool;
+
+    /// Parks a shipment, assigning and returning its transaction id. A
+    /// sink at capacity hands the shipment back so the caller can
+    /// reinstate the objects into the client heap.
+    fn queue(&self, shipment: RelayShipment) -> Result<u64, RelayShipment>;
+
+    /// Delivers queued shipments over a fresh surrogate lease, in queue
+    /// order, stopping at the first failure. Returns the shipments that
+    /// were acknowledged (with `queued_for_ms` stamped) so the caller can
+    /// enter them into the failover ledger.
+    fn flush(&self, endpoint: &Arc<Endpoint>) -> Vec<RelayShipment>;
+
+    /// Removes and returns every shipment that has sat queued past the
+    /// sink's TTL. Idempotent: a second call under the same clock reading
+    /// returns nothing.
+    fn take_expired(&self) -> Vec<RelayShipment>;
+
+    /// Drains the queue unconditionally (shipments are handed back for
+    /// reinstatement; used before serving locally with no surrogate).
+    fn take_all(&self) -> Vec<RelayShipment>;
+
+    /// Number of shipments currently parked.
+    fn depth(&self) -> usize;
+}

@@ -106,6 +106,11 @@ fn is_effect(event: &PlatformEvent) -> bool {
             | PlatformEvent::LeaseExpired { .. }
             | PlatformEvent::ExportsReclaimed { .. }
             | PlatformEvent::GcReleaseUnknown { .. }
+            | PlatformEvent::MigrationQueued { .. }
+            | PlatformEvent::MigrationRelayed { .. }
+            | PlatformEvent::RelayExpired { .. }
+            | PlatformEvent::RelayRecalled { .. }
+            | PlatformEvent::SessionRejected { .. }
     )
 }
 
@@ -421,7 +426,15 @@ fn run(
                             emitter.copy_effects();
                         }
                     }
-                    MigrationRecord::NoSurrogate => {}
+                    MigrationRecord::NoSurrogate => {
+                        // With a relay attached the live pipeline queues
+                        // the shipment and records queued/relayed/expired
+                        // effects; strict mode copies whatever the run
+                        // actually did (nothing, for relay-less runs).
+                        if emitter.baseline.is_some() {
+                            emitter.copy_effects();
+                        }
+                    }
                 }
                 monitor.reset_memory_trigger();
             }

@@ -263,6 +263,58 @@ fn gc_leases() -> ReplayTrace {
     trace
 }
 
+/// "fleet": pressure fires with no reachable surrogate — the shipment is
+/// queued on the relay, the first replacement candidate answers `Busy`,
+/// and the parked migration is finally delivered on reconnect. Distilled
+/// from a `fleet_soak` run; the three relay effects replay from the
+/// baseline.
+fn fleet() -> ReplayTrace {
+    let mut trace = ReplayTrace::new("fleet", PlatformConfig::prototype(6_000_000));
+    trace.inputs = pressure_inputs(6_000_000, 5_900_000);
+    trace.inputs.push(ReplayEvent::Migration {
+        at_micros: 5_000,
+        record: MigrationRecord::NoSurrogate,
+    });
+    trace.baseline = decision_prefix(6_000_000, 5_900_000);
+    trace.baseline.push(timed(
+        2,
+        4_002,
+        PlatformEvent::WinnerChosen {
+            policy_score: 1000.0,
+            offload_bytes: 4_000_000,
+            cut_interactions: 10,
+        },
+    ));
+    trace.baseline.push(timed(
+        3,
+        5_000,
+        PlatformEvent::MigrationQueued {
+            txn: 1,
+            objects: 37,
+            bytes: 4_000_000,
+        },
+    ));
+    trace.baseline.push(timed(
+        4,
+        5_200,
+        PlatformEvent::SessionRejected {
+            surrogate: "porch-pc".into(),
+            retry_after_ms: 25,
+        },
+    ));
+    trace.baseline.push(timed(
+        5,
+        6_000,
+        PlatformEvent::MigrationRelayed {
+            txn: 1,
+            objects: 37,
+            bytes: 4_000_000,
+            queued_for_ms: 1_000,
+        },
+    ));
+    trace
+}
+
 fn check_golden(name: &str, expected: ReplayTrace) {
     let path = golden_path(name);
     if std::env::var_os("AIDE_BLESS").is_some() {
@@ -302,4 +354,9 @@ fn mesh_golden_replays_bit_identically() {
 #[test]
 fn gc_golden_replays_bit_identically() {
     check_golden("gc", gc_leases());
+}
+
+#[test]
+fn fleet_golden_replays_bit_identically() {
+    check_golden("fleet", fleet());
 }

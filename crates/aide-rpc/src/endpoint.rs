@@ -86,6 +86,15 @@ pub enum RpcError {
     Remote(String),
     /// A malformed frame was received.
     Protocol(String),
+    /// The peer refused the request under admission control: it is
+    /// saturated, not failed. Callers should back off for at least
+    /// `retry_after_ms` or place the work on a different peer — in-place
+    /// retries are never attempted for this variant, because the reply
+    /// did arrive and repeating it would only add load.
+    Busy {
+        /// Server's backoff hint, in milliseconds.
+        retry_after_ms: u32,
+    },
 }
 
 impl std::fmt::Display for RpcError {
@@ -95,6 +104,9 @@ impl std::fmt::Display for RpcError {
             RpcError::Timeout => f.write_str("rpc timed out"),
             RpcError::Remote(msg) => write!(f, "remote error: {msg}"),
             RpcError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            RpcError::Busy { retry_after_ms } => {
+                write!(f, "peer busy, retry after {retry_after_ms}ms")
+            }
         }
     }
 }
@@ -642,7 +654,11 @@ impl Endpoint {
         };
         span.arg(
             "outcome",
-            if result.is_ok() { "ok" } else { "remote_error" },
+            match &result {
+                Ok(Reply::Busy { .. }) => "busy",
+                Ok(_) => "ok",
+                Err(_) => "remote_error",
+            },
         );
         self.metrics.simulated_bytes.add(req_bytes + reply_bytes);
 
@@ -658,10 +674,17 @@ impl Endpoint {
         self.clock.add(seconds);
         self.clock.note_round_trip();
 
-        result.map_err(|msg| {
-            self.metrics.errors.inc();
-            RpcError::Remote(msg)
-        })
+        match result {
+            Ok(Reply::Busy { retry_after_ms }) => {
+                self.metrics.errors.inc();
+                Err(RpcError::Busy { retry_after_ms })
+            }
+            Ok(reply) => Ok(reply),
+            Err(msg) => {
+                self.metrics.errors.inc();
+                Err(RpcError::Remote(msg))
+            }
+        }
     }
 
     /// Like [`call`], but resends the request under the endpoint's
@@ -794,7 +817,11 @@ impl Endpoint {
         };
         retry_span.arg(
             "outcome",
-            if result.is_ok() { "ok" } else { "remote_error" },
+            match &result {
+                Ok(Reply::Busy { .. }) => "busy",
+                Ok(_) => "ok",
+                Err(_) => "remote_error",
+            },
         );
         self.metrics.simulated_bytes.add(req_bytes + reply_bytes);
         let seconds = if is_migrate {
@@ -806,10 +833,20 @@ impl Endpoint {
         self.clock.add(seconds);
         self.clock.note_round_trip();
 
-        result.map_err(|msg| {
-            self.metrics.errors.inc();
-            RpcError::Remote(msg)
-        })
+        // A Busy reply is an answer, not a loss: it never burns another
+        // attempt here (the loop already broke on the reply) and surfaces
+        // as its own error so placement can move the work elsewhere.
+        match result {
+            Ok(Reply::Busy { retry_after_ms }) => {
+                self.metrics.errors.inc();
+                Err(RpcError::Busy { retry_after_ms })
+            }
+            Ok(reply) => Ok(reply),
+            Err(msg) => {
+                self.metrics.errors.inc();
+                Err(RpcError::Remote(msg))
+            }
+        }
     }
 
     /// Marks `seq` as timed-out-but-possibly-answered, bounding the set so

@@ -70,7 +70,7 @@ pub use aide_trace::SpanContext;
 pub use chaos::{chaos_pair, chaos_wrap, ChaosPairStats, ChaosSchedule, ChaosStats};
 pub use endpoint::{Dispatcher, Endpoint, EndpointConfig, RetryPolicy, RpcError};
 pub use link::{Link, LinkError, NetClock, Session, TrafficStats};
-pub use mux::{ConnKiller, MuxConn};
+pub use mux::{BusEvent, ConnKiller, MuxConn, MuxSender};
 pub use observe::{set_rpc_observer, RpcObserver};
 pub use reftable::{
     live_remote_refs, ExportTable, GcClock, ImportTable, ReleaseOutcome, DEFAULT_LEASE_TTL_MS,

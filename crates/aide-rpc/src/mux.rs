@@ -77,6 +77,96 @@ impl std::fmt::Debug for ConnKiller {
 
 type Routes = Arc<Mutex<HashMap<u32, Sender<Frame>>>>;
 
+/// One inbound event from a bus-routed carrier (see
+/// [`MuxConn::route_accepts_to`]). Events for all sessions of a carrier —
+/// and, at the consumer's choice, of many carriers — share one queue, so a
+/// bounded pool of workers can serve every session without a thread or an
+/// acceptor handoff per session.
+///
+/// `Opened` may be delivered more than once for the same session (a
+/// duplicate OPEN, or data racing ahead of its OPEN): consumers must treat
+/// it as idempotent and `Data` for an unknown session as an implicit open.
+#[derive(Debug)]
+pub enum BusEvent {
+    /// The peer opened session `session` on carrier `conn`.
+    Opened {
+        /// Consumer-assigned carrier id.
+        conn: u64,
+        /// Mux session id within the carrier.
+        session: u32,
+    },
+    /// An application frame for `session` on carrier `conn`.
+    Data {
+        /// Consumer-assigned carrier id.
+        conn: u64,
+        /// Mux session id within the carrier.
+        session: u32,
+        /// The encoded RPC frame.
+        frame: Frame,
+    },
+    /// The peer finished session `session` on carrier `conn`.
+    Closed {
+        /// Consumer-assigned carrier id.
+        conn: u64,
+        /// Mux session id within the carrier.
+        session: u32,
+    },
+    /// Carrier `conn` died: every session on it is implicitly closed.
+    CarrierClosed {
+        /// Consumer-assigned carrier id.
+        conn: u64,
+    },
+}
+
+/// Where the reader routes peer-initiated sessions: the per-session
+/// acceptor queue (default) or a shared event bus.
+#[derive(Debug)]
+enum PeerSink {
+    /// Classic mode: each peer session gets its own channel, handed to
+    /// [`Acceptor::accept`].
+    Accept,
+    /// Bus mode: OPEN/DATA/CLOSE for peer sessions become [`BusEvent`]s.
+    Bus { conn: u64, tx: Sender<BusEvent> },
+}
+
+/// The outbound half of a bus-routed carrier: lets any worker thread reply
+/// on any of the carrier's sessions. Cloneable and cheap; all clones feed
+/// the carrier's single writer thread.
+#[derive(Clone, Debug)]
+pub struct MuxSender {
+    conn: u64,
+    out_tx: Sender<MuxOut>,
+    killer: ConnKiller,
+}
+
+impl MuxSender {
+    /// The consumer-assigned carrier id this sender writes to.
+    pub fn conn(&self) -> u64 {
+        self.conn
+    }
+
+    /// Queues an application frame for `session`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::Disconnected`] if the carrier's writer is gone.
+    pub fn send(&self, session: u32, frame: Frame) -> Result<(), LinkError> {
+        self.out_tx
+            .send((session, KIND_DATA, frame))
+            .map_err(|_| LinkError::Disconnected)
+    }
+
+    /// Tells the peer `session` is finished (fire-and-forget).
+    pub fn close(&self, session: u32) {
+        let _ = self.out_tx.send((session, KIND_CLOSE, Frame::empty()));
+    }
+
+    /// A handle that severs the whole carrier.
+    pub fn killer(&self) -> ConnKiller {
+        self.killer.clone()
+    }
+}
+
 /// One end of a multiplexed connection. Implements both [`Transport`]
 /// (open sessions toward the peer) and [`Acceptor`] (receive sessions the
 /// peer opened); either side may do both.
@@ -88,6 +178,7 @@ pub struct MuxConn {
     out_tx: Sender<MuxOut>,
     accepted_rx: Receiver<(u32, Receiver<Frame>)>,
     routes: Routes,
+    sink: Arc<Mutex<PeerSink>>,
     next_id: AtomicU32,
     parity: u32,
     backend: BackendKind,
@@ -99,6 +190,54 @@ impl MuxConn {
     /// A handle that severs the whole connection.
     pub fn killer(&self) -> ConnKiller {
         self.killer.clone()
+    }
+
+    /// The outbound handle for this carrier under the consumer-assigned id
+    /// `conn`, without switching routing modes. A serving pool registers
+    /// the carrier with this *before* calling
+    /// [`route_accepts_to`](MuxConn::route_accepts_to), so no bus event
+    /// can reach a worker that has not yet seen the carrier's sender.
+    pub fn bus_sender(&self, conn: u64) -> MuxSender {
+        MuxSender {
+            conn,
+            out_tx: self.out_tx.clone(),
+            killer: self.killer.clone(),
+        }
+    }
+
+    /// Switches this carrier into *bus mode*: instead of materializing a
+    /// channel pair and an [`Acceptor::accept`] handoff per peer-opened
+    /// session, the reader forwards every peer session's OPEN/DATA/CLOSE
+    /// as [`BusEvent`]s tagged with `conn` onto `bus`. Returns the
+    /// carrier's [`MuxSender`], which any worker can use to reply on any
+    /// session.
+    ///
+    /// Sessions the peer opened *before* the switch are drained into the
+    /// bus (an `Opened` plus their queued frames), so nothing observed by
+    /// the reader is lost; in-order delivery per session is preserved
+    /// because the drain and the reader's dispatch serialize on the sink
+    /// lock. Locally-initiated sessions ([`Transport::open_session`]) are
+    /// unaffected and keep their dedicated channels.
+    pub fn route_accepts_to(&self, conn: u64, bus: Sender<BusEvent>) -> MuxSender {
+        let mut sink = self.sink.lock();
+        while let Ok((id, in_rx)) = self.accepted_rx.try_recv() {
+            let _ = bus.send(BusEvent::Opened { conn, session: id });
+            while let Ok(frame) = in_rx.try_recv() {
+                let _ = bus.send(BusEvent::Data {
+                    conn,
+                    session: id,
+                    frame,
+                });
+            }
+            self.routes.lock().remove(&id);
+        }
+        *sink = PeerSink::Bus { conn, tx: bus };
+        drop(sink);
+        MuxSender {
+            conn,
+            out_tx: self.out_tx.clone(),
+            killer: self.killer.clone(),
+        }
     }
 }
 
@@ -168,6 +307,7 @@ where
     let (out_tx, out_rx) = unbounded::<MuxOut>();
     let (accepted_tx, accepted_rx) = unbounded::<(u32, Receiver<Frame>)>();
     let routes: Routes = Arc::new(Mutex::new(HashMap::new()));
+    let sink: Arc<Mutex<PeerSink>> = Arc::new(Mutex::new(PeerSink::Accept));
     let parity = u32::from(initiator);
 
     {
@@ -197,6 +337,7 @@ where
 
     {
         let routes = Arc::clone(&routes);
+        let sink = Arc::clone(&sink);
         std::thread::Builder::new()
             .name("rpc-mux-reader".into())
             .spawn(move || {
@@ -217,7 +358,36 @@ where
                     };
                     frames.inc();
                     bytes.add(4 + u64::from(len));
+                    if kind != KIND_OPEN && kind != KIND_CLOSE && kind != KIND_DATA {
+                        break;
+                    }
                     let peer_initiated = (id & 1) != parity;
+                    if peer_initiated {
+                        // The sink lock serializes this dispatch against
+                        // route_accepts_to's drain, which is what keeps
+                        // per-session frame order intact across the switch.
+                        let sink_now = sink.lock();
+                        if let PeerSink::Bus { conn, tx } = &*sink_now {
+                            let event = match kind {
+                                KIND_OPEN => BusEvent::Opened {
+                                    conn: *conn,
+                                    session: id,
+                                },
+                                KIND_CLOSE => BusEvent::Closed {
+                                    conn: *conn,
+                                    session: id,
+                                },
+                                _ => BusEvent::Data {
+                                    conn: *conn,
+                                    session: id,
+                                    frame,
+                                },
+                            };
+                            let _ = tx.send(event);
+                            continue;
+                        }
+                        drop(sink_now);
+                    }
                     match kind {
                         KIND_OPEN => {
                             open_route(&routes, &accepted_tx, id);
@@ -225,7 +395,7 @@ where
                         KIND_CLOSE => {
                             routes.lock().remove(&id);
                         }
-                        KIND_DATA => {
+                        _ => {
                             let known = routes.lock().contains_key(&id);
                             if !known {
                                 if !peer_initiated {
@@ -245,12 +415,15 @@ where
                                 }
                             }
                         }
-                        _ => break,
                     }
                 }
                 // Carrier gone: every session sees Disconnected once its
-                // queue drains, and the acceptor stops yielding sessions.
+                // queue drains, the acceptor stops yielding sessions, and a
+                // bus consumer is told every session died at once.
                 routes.lock().clear();
+                if let PeerSink::Bus { conn, tx } = &*sink.lock() {
+                    let _ = tx.send(BusEvent::CarrierClosed { conn: *conn });
+                }
             })
             .expect("spawning the mux reader thread");
     }
@@ -259,6 +432,7 @@ where
         out_tx,
         accepted_rx,
         routes,
+        sink,
         next_id: AtomicU32::new(1),
         parity,
         backend,
@@ -416,6 +590,77 @@ mod tests {
         // Sibling session is untouched.
         c2.send(vec![8]).unwrap();
         assert_eq!(s2.recv().unwrap(), vec![8]);
+    }
+
+    #[test]
+    fn bus_mode_routes_peer_sessions_onto_one_queue() {
+        let (a, b) = mux_pair();
+        // One session opened before the switch, with a frame already sent:
+        // it must be drained into the bus, in order, not lost.
+        let early = a.open_session().unwrap();
+        early.send(vec![0xE, 1]).unwrap();
+        // Give the reader time to route the pre-switch traffic.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let (bus_tx, bus_rx) = unbounded();
+        let sender = b.route_accepts_to(7, bus_tx);
+        early.send(vec![0xE, 2]).unwrap();
+        let late = a.open_session().unwrap();
+        late.send(vec![0x1A]).unwrap();
+
+        let mut opened = Vec::new();
+        let mut data = Vec::new();
+        for _ in 0..5 {
+            match bus_rx
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .unwrap()
+            {
+                BusEvent::Opened { conn, session } => {
+                    assert_eq!(conn, 7);
+                    opened.push(session);
+                }
+                BusEvent::Data {
+                    conn,
+                    session,
+                    frame,
+                } => {
+                    assert_eq!(conn, 7);
+                    data.push((session, frame.to_vec()));
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(opened.len(), 2);
+        let early_id = opened[0];
+        assert_eq!(
+            data.iter()
+                .filter(|(s, _)| *s == early_id)
+                .map(|(_, f)| f.clone())
+                .collect::<Vec<_>>(),
+            vec![vec![0xE, 1], vec![0xE, 2]],
+            "pre- and post-switch frames stay in order"
+        );
+
+        // Workers reply through the MuxSender; the initiator's session
+        // receives on its private channel as always.
+        let (_, reply_to) = data.iter().find(|(s, _)| *s != early_id).unwrap().clone();
+        assert_eq!(reply_to, vec![0x1A]);
+        let late_id = opened[1];
+        sender
+            .send(late_id, Frame::from(vec![9u8].as_slice()))
+            .unwrap();
+        assert_eq!(late.recv().unwrap(), vec![9]);
+
+        // Carrier death surfaces as one CarrierClosed event.
+        drop(early);
+        drop(late);
+        drop(a);
+        loop {
+            match bus_rx.recv_timeout(std::time::Duration::from_secs(5)) {
+                Ok(BusEvent::CarrierClosed { conn: 7 }) => break,
+                Ok(BusEvent::Closed { .. }) => continue,
+                other => panic!("expected CarrierClosed, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -440,6 +440,22 @@ impl ExportTable {
     pub fn contains(&self, id: ObjectId) -> bool {
         self.inner.lock().entries.contains_key(&id)
     }
+
+    /// Age of every live lease in milliseconds: how long since each entry
+    /// was last exported or renewed, measured as TTL minus remaining
+    /// deadline. Entries past their deadline (not yet swept) report the
+    /// full TTL. Fleet telemetry exposes these so an operator can see
+    /// sessions drifting toward expiry before the sweeper reclaims them.
+    pub fn lease_ages_ms(&self) -> Vec<u64> {
+        let now = self.clock.now_ms();
+        let ttl = self.ttl_ms();
+        self.inner
+            .lock()
+            .entries
+            .values()
+            .map(|e| ttl.saturating_sub(e.deadline_ms.saturating_sub(now)))
+            .collect()
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -262,6 +262,20 @@ pub enum Request {
         /// Objects the sender no longer references at all.
         objects: Vec<ObjectId>,
     },
+    /// Store-and-forward delivery of a migration that was queued while the
+    /// serving VM was unreachable. Semantically a [`Request::Migrate`], but
+    /// keyed by the relay transaction id so redelivery attempts (the relay
+    /// retries until acknowledged) install the objects at most once.
+    RelayDeliver {
+        /// Relay transaction id, unique per queued migration.
+        txn: u64,
+        /// How long the migration sat in the relay queue, in milliseconds
+        /// of relay-clock time (observability; not used for expiry, which
+        /// happens at the relay).
+        queued_for_ms: u64,
+        /// `(id, record)` pairs to install in the serving VM's heap.
+        objects: Vec<(ObjectId, ObjectRecord)>,
+    },
 }
 
 impl Request {
@@ -286,6 +300,7 @@ impl Request {
             Request::Stats => "Stats",
             Request::GcRenew { .. } => "GcRenew",
             Request::GcReleaseSeq { .. } => "GcReleaseSeq",
+            Request::RelayDeliver { .. } => "RelayDeliver",
         }
     }
 }
@@ -301,6 +316,15 @@ pub enum Reply {
     Class(ClassId),
     /// A textual payload (the [`Request::Stats`] exposition).
     Text(String),
+    /// Admission-control backpressure: the serving side is at its session
+    /// or queue limit and refused the request. The caller should back off
+    /// for at least `retry_after_ms` or place the work elsewhere. Carried
+    /// as a reply (not an error string) so it is machine-distinguishable
+    /// from execution failures and never burns retry budget.
+    Busy {
+        /// Server's backoff hint, in milliseconds.
+        retry_after_ms: u32,
+    },
 }
 
 /// A framed protocol message.
@@ -358,12 +382,12 @@ impl Message {
                             }
                         }
                         Request::ClassOf { .. } => 0,
-                        Request::Migrate { objects } | Request::MigratePrepare { objects, .. } => {
-                            objects
-                                .iter()
-                                .map(|(_, rec)| rec.footprint() + 16)
-                                .sum::<u64>()
-                        }
+                        Request::Migrate { objects }
+                        | Request::MigratePrepare { objects, .. }
+                        | Request::RelayDeliver { objects, .. } => objects
+                            .iter()
+                            .map(|(_, rec)| rec.footprint() + 16)
+                            .sum::<u64>(),
                         Request::GcRelease { objects } => 8 * objects.len() as u64,
                         Request::GcRenew { .. } => 8,
                         Request::GcReleaseSeq { objects, .. } => 16 + 8 * objects.len() as u64,
@@ -1060,6 +1084,16 @@ fn encode_request<B: BufMut>(buf: &mut B, body: &Request) {
                 buf.put_u64_le(id.0);
             }
         }
+        Request::RelayDeliver {
+            txn,
+            queued_for_ms,
+            objects,
+        } => {
+            buf.put_u8(17);
+            buf.put_u64_le(*txn);
+            buf.put_u64_le(*queued_for_ms);
+            put_object_records(buf, objects);
+        }
     }
 }
 
@@ -1182,6 +1216,11 @@ fn decode_request(buf: &mut &[u8]) -> Result<Request, WireError> {
                 objects,
             }
         }
+        17 => Request::RelayDeliver {
+            txn: get_u64(buf)?,
+            queued_for_ms: get_u64(buf)?,
+            objects: get_object_records(buf)?,
+        },
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -1201,6 +1240,10 @@ fn encode_reply<B: BufMut>(buf: &mut B, reply: &Reply) {
             buf.put_u8(3);
             put_str(buf, s);
         }
+        Reply::Busy { retry_after_ms } => {
+            buf.put_u8(4);
+            buf.put_u32_le(*retry_after_ms);
+        }
     }
 }
 
@@ -1210,6 +1253,9 @@ fn decode_reply(buf: &mut &[u8]) -> Result<Reply, WireError> {
         1 => Reply::Slot(get_opt_oid(buf)?),
         2 => Reply::Class(ClassId(get_u32(buf)?)),
         3 => Reply::Text(get_str(buf)?),
+        4 => Reply::Busy {
+            retry_after_ms: get_u32(buf)?,
+        },
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -1386,6 +1432,11 @@ mod tests {
                 release_seq: 41,
                 objects: vec![ObjectId::surrogate(5), ObjectId::surrogate(6)],
             },
+            Request::RelayDeliver {
+                txn: 91,
+                queued_for_ms: 1500,
+                objects: vec![(ObjectId::client(13), ObjectRecord::new(ClassId(4), 128, 2))],
+            },
         ];
         for (i, body) in requests.into_iter().enumerate() {
             round_trip(Message::Request {
@@ -1417,6 +1468,10 @@ mod tests {
         round_trip(Message::Reply {
             seq: 5,
             result: Ok(Reply::Text("aide_rpc_requests_total 3\n".into())),
+        });
+        round_trip(Message::Reply {
+            seq: 6,
+            result: Ok(Reply::Busy { retry_after_ms: 25 }),
         });
     }
 

@@ -10,10 +10,10 @@ use std::time::{Duration, Instant};
 use aide_graph::CommParams;
 use aide_rpc::{
     channel_transport, chaos_wrap, virtual_transport, Acceptor, BackendKind, ChaosSchedule,
-    Dispatcher, Endpoint, EndpointConfig, NetClock, Reply, Request, RetryPolicy, Session,
+    Dispatcher, Endpoint, EndpointConfig, NetClock, Reply, Request, RetryPolicy, RpcError, Session,
     TcpMuxListener, TcpTransport, Transport,
 };
-use aide_vm::ObjectId;
+use aide_vm::{ClassId, ObjectId, ObjectRecord};
 
 /// One backend under test: the initiating and accepting halves, boxed so
 /// every scenario runs against the same `dyn` seam the platform uses.
@@ -322,6 +322,171 @@ fn a_slow_session_does_not_stall_its_siblings() {
         fast_ours.close();
         drop(fast_ours);
         fast_server.join().unwrap();
+    }
+}
+
+/// Refuses every data request with a `Busy` backpressure reply while
+/// counting how many times it was asked — admission control's server half.
+struct SaturatedDispatcher {
+    asked: std::sync::atomic::AtomicU64,
+}
+
+impl Dispatcher for SaturatedDispatcher {
+    fn dispatch(&self, request: Request) -> Result<Reply, String> {
+        match request {
+            Request::Ping => Ok(Reply::Unit),
+            _ => {
+                self.asked.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                Ok(Reply::Busy { retry_after_ms: 25 })
+            }
+        }
+    }
+}
+
+#[test]
+fn busy_replies_surface_once_and_never_burn_retries_on_every_backend() {
+    for fx in fixtures() {
+        let (cs, ss) = open_pair(&fx);
+        let clock = Arc::new(NetClock::new());
+        let client = Endpoint::start(
+            cs,
+            CommParams::WAVELAN,
+            clock.clone(),
+            Arc::new(NullDispatcher),
+            small_config(),
+        );
+        let served = Arc::new(SaturatedDispatcher {
+            asked: std::sync::atomic::AtomicU64::new(0),
+        });
+        let server = Endpoint::start(
+            ss,
+            CommParams::WAVELAN,
+            clock,
+            served.clone(),
+            small_config(),
+        );
+
+        // Both the single-shot and the retrying call must surface the hint
+        // as RpcError::Busy — and the retrying one must NOT re-ask: a Busy
+        // reply is an answer, and repeating it only adds load.
+        for retrying in [false, true] {
+            let request = Request::FieldAccess {
+                target: ObjectId::surrogate(1),
+                bytes: 16,
+                write: true,
+            };
+            let result = if retrying {
+                client.call_with_retry(request)
+            } else {
+                client.call(request)
+            };
+            match result {
+                Err(RpcError::Busy { retry_after_ms }) => {
+                    assert_eq!(retry_after_ms, 25, "{}", fx.name)
+                }
+                other => panic!("{}: expected Busy, got {other:?}", fx.name),
+            }
+        }
+        assert_eq!(
+            served.asked.load(std::sync::atomic::Ordering::SeqCst),
+            2,
+            "{}: one server-side refusal per call, retries never amplify saturation",
+            fx.name
+        );
+        client.shutdown();
+        server.shutdown();
+        client.join();
+        server.join();
+    }
+}
+
+/// Installs relayed shipments with the same exactly-once-per-txn contract
+/// the platform's `VmDispatcher` honours: duplicate `RelayDeliver` calls
+/// for an already-applied txn acknowledge without re-installing.
+struct RelayTargetDispatcher {
+    applied: parking_lot::Mutex<std::collections::HashSet<u64>>,
+    objects_installed: std::sync::atomic::AtomicU64,
+}
+
+impl Dispatcher for RelayTargetDispatcher {
+    fn dispatch(&self, request: Request) -> Result<Reply, String> {
+        match request {
+            Request::RelayDeliver { txn, objects, .. } => {
+                if self.applied.lock().insert(txn) {
+                    self.objects_installed
+                        .fetch_add(objects.len() as u64, std::sync::atomic::Ordering::SeqCst);
+                }
+                Ok(Reply::Unit)
+            }
+            _ => Ok(Reply::Unit),
+        }
+    }
+}
+
+#[test]
+fn queued_relay_delivery_is_exactly_once_on_every_backend() {
+    for fx in fixtures() {
+        let (cs, ss) = open_pair(&fx);
+        // Chaos duplicates every frame: the endpoint's at-most-once cache
+        // must absorb wire-level copies, and the dispatcher's txn set must
+        // absorb application-level re-deliveries.
+        let (cs, _stats) = chaos_wrap(
+            cs,
+            ChaosSchedule {
+                duplicate: 1.0,
+                ..ChaosSchedule::seeded(11)
+            },
+        );
+        let clock = Arc::new(NetClock::new());
+        let client = Endpoint::start(
+            cs,
+            CommParams::WAVELAN,
+            clock.clone(),
+            Arc::new(NullDispatcher),
+            small_config(),
+        );
+        let target = Arc::new(RelayTargetDispatcher {
+            applied: parking_lot::Mutex::new(std::collections::HashSet::new()),
+            objects_installed: std::sync::atomic::AtomicU64::new(0),
+        });
+        let server = Endpoint::start(
+            ss,
+            CommParams::WAVELAN,
+            clock,
+            target.clone(),
+            small_config(),
+        );
+
+        let shipment = |txn: u64| Request::RelayDeliver {
+            txn,
+            queued_for_ms: 120,
+            objects: (0..3)
+                .map(|i| {
+                    (
+                        ObjectId::client(txn * 10 + i),
+                        ObjectRecord::new(ClassId(1), 256, 1),
+                    )
+                })
+                .collect(),
+        };
+        for txn in 1..=4u64 {
+            client.call_with_retry(shipment(txn)).unwrap();
+        }
+        // The relay re-sends txn 2 after a reconnect: acknowledged, not
+        // re-installed.
+        client.call_with_retry(shipment(2)).unwrap();
+        assert_eq!(
+            target
+                .objects_installed
+                .load(std::sync::atomic::Ordering::SeqCst),
+            12,
+            "{}: 4 unique txns x 3 objects, duplicates install nothing",
+            fx.name
+        );
+        client.shutdown();
+        server.shutdown();
+        client.join();
+        server.join();
     }
 }
 

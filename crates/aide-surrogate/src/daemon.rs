@@ -38,6 +38,21 @@ use aide_vm::{Machine, Program, VmConfig};
 use parking_lot::Mutex;
 
 use crate::beacon::{spawn_announcer, Announcement, BeaconConfig};
+use crate::shard::{SessionParts, ShardConfig, ShardPool};
+
+/// How the daemon turns accepted mux sessions into served sessions.
+#[derive(Debug, Clone, Copy)]
+pub enum ServingMode {
+    /// One [`Endpoint`] (receiver + worker pool) per logical session:
+    /// maximum isolation, a few hundred sessions per process.
+    Threaded,
+    /// A bounded sharded worker pool over mux bus events: one process
+    /// holds tens of thousands of logical sessions, with admission
+    /// control answering [`Reply::Busy`](aide_rpc::Reply::Busy) at the
+    /// limit. Reply-level fault modes are not supported here (they wrap a
+    /// per-session transport); [`FaultMode::Crash`] is.
+    Sharded(ShardConfig),
+}
 
 /// Configuration for a [`SurrogateDaemon`].
 #[derive(Clone)]
@@ -81,6 +96,8 @@ pub struct DaemonConfig {
     /// Lease TTL granted to each session's exports; renewed by any stamped
     /// frame the session receives. `None` keeps the table default.
     pub lease_ttl_ms: Option<u64>,
+    /// Thread-per-session or sharded-pool serving; see [`ServingMode`].
+    pub serving: ServingMode,
 }
 
 impl DaemonConfig {
@@ -99,7 +116,14 @@ impl DaemonConfig {
             beacon: None,
             lease_sweep_interval: Duration::from_millis(500),
             lease_ttl_ms: None,
+            serving: ServingMode::Threaded,
         }
+    }
+
+    /// Switches the daemon to sharded serving (see [`ServingMode::Sharded`]).
+    pub fn sharded(mut self, shard: ShardConfig) -> Self {
+        self.serving = ServingMode::Sharded(shard);
+        self
     }
 }
 
@@ -112,6 +136,7 @@ impl std::fmt::Debug for DaemonConfig {
             .field("fail_after_requests", &self.fail_after_requests)
             .field("fault_mode", &self.fault_mode)
             .field("beacon", &self.beacon)
+            .field("serving", &self.serving)
             .finish_non_exhaustive()
     }
 }
@@ -195,6 +220,7 @@ pub struct SurrogateDaemon {
     sweep_thread: Mutex<Option<JoinHandle<()>>>,
     sessions: Arc<Mutex<Vec<LiveSession>>>,
     sessions_accepted: Arc<AtomicU64>,
+    pool: Option<Arc<ShardPool>>,
 }
 
 impl SurrogateDaemon {
@@ -225,38 +251,72 @@ impl SurrogateDaemon {
             None => None,
         };
 
+        let sweep_interval = config.lease_sweep_interval;
+
+        // Sharded serving builds its worker pool up front; each accepted
+        // carrier is then switched into mux bus mode instead of getting a
+        // dedicated thread.
+        let pool = match config.serving {
+            ServingMode::Sharded(shard) => {
+                let factory_config = config.clone();
+                Some(Arc::new(ShardPool::start(
+                    &config.name,
+                    shard,
+                    Box::new(move |killer| session_parts(&factory_config, killer)),
+                )))
+            }
+            ServingMode::Threaded => None,
+        };
+
         let accept_thread = {
             let stop = stop.clone();
             let sessions = sessions.clone();
             let sessions_accepted = sessions_accepted.clone();
+            let pool = pool.clone();
             std::thread::Builder::new()
                 .name(format!("aide-surrogate-{}", config.name))
-                .spawn(move || loop {
-                    let conn = match listener.accept() {
-                        _ if stop.load(Ordering::SeqCst) => break,
-                        Ok(conn) => conn,
-                        Err(_) => continue, // a broken accept hurts no one else
-                    };
-                    // One carrier per client process; every logical session
-                    // the client opens over it gets its own surrogate VM.
-                    let config = config.clone();
-                    let sessions = sessions.clone();
-                    let sessions_accepted = sessions_accepted.clone();
-                    let spawned = std::thread::Builder::new()
-                        .name("aide-surrogate-conn".into())
-                        .spawn(move || {
-                            // Everything this carrier spawns (session
-                            // endpoints and their workers) inherits the
-                            // surrogate trace lane.
-                            aide_trace::set_thread_track("surrogate");
-                            let killer = conn.killer();
-                            while let Ok(session) = conn.accept() {
-                                let live = start_session(session, killer.clone(), &config);
-                                sessions_accepted.fetch_add(1, Ordering::SeqCst);
-                                sessions.lock().push(live);
-                            }
-                        });
-                    let _ = spawned;
+                .spawn(move || {
+                    let mut next_conn: u64 = 1;
+                    loop {
+                        let conn = match listener.accept() {
+                            _ if stop.load(Ordering::SeqCst) => break,
+                            Ok(conn) => conn,
+                            Err(_) => continue, // a broken accept hurts no one else
+                        };
+                        if let Some(pool) = &pool {
+                            // Register the carrier's sender first, then
+                            // switch it onto the bus: no event can reach a
+                            // shard worker before the worker can reply.
+                            let conn_id = next_conn;
+                            next_conn += 1;
+                            pool.attach_carrier(conn_id, conn.bus_sender(conn_id));
+                            conn.route_accepts_to(conn_id, pool.bus());
+                            // Dropping `conn` is safe: live sessions keep
+                            // the carrier's writer alive through the pool's
+                            // sender clone.
+                            continue;
+                        }
+                        // One carrier per client process; every logical session
+                        // the client opens over it gets its own surrogate VM.
+                        let config = config.clone();
+                        let sessions = sessions.clone();
+                        let sessions_accepted = sessions_accepted.clone();
+                        let spawned = std::thread::Builder::new()
+                            .name("aide-surrogate-conn".into())
+                            .spawn(move || {
+                                // Everything this carrier spawns (session
+                                // endpoints and their workers) inherits the
+                                // surrogate trace lane.
+                                aide_trace::set_thread_track("surrogate");
+                                let killer = conn.killer();
+                                while let Ok(session) = conn.accept() {
+                                    let live = start_session(session, killer.clone(), &config);
+                                    sessions_accepted.fetch_add(1, Ordering::SeqCst);
+                                    sessions.lock().push(live);
+                                }
+                            });
+                        let _ = spawned;
+                    }
                 })
                 .expect("spawn surrogate accept loop")
         };
@@ -268,7 +328,8 @@ impl SurrogateDaemon {
         let sweep_thread = {
             let stop = stop.clone();
             let sessions = sessions.clone();
-            let interval = config.lease_sweep_interval;
+            let pool = pool.clone();
+            let interval = sweep_interval;
             std::thread::Builder::new()
                 .name("aide-surrogate-gc".into())
                 .spawn(move || {
@@ -280,6 +341,12 @@ impl SurrogateDaemon {
                         for session in sessions.lock().iter() {
                             session.gc.tables().exports.clock().advance_ms(elapsed);
                             session.gc.sweep_expired_exports();
+                        }
+                        if let Some(pool) = &pool {
+                            for gc in pool.gc_handles() {
+                                gc.tables().exports.clock().advance_ms(elapsed);
+                                gc.sweep_expired_exports();
+                            }
                         }
                     }
                 })
@@ -294,6 +361,7 @@ impl SurrogateDaemon {
             sweep_thread: Mutex::new(Some(sweep_thread)),
             sessions,
             sessions_accepted,
+            pool,
         })
     }
 
@@ -303,17 +371,35 @@ impl SurrogateDaemon {
     }
 
     /// Number of client sessions accepted so far (including finished ones).
+    /// In sharded mode this counts admitted sessions; rejected ones are in
+    /// [`sessions_rejected`](SurrogateDaemon::sessions_rejected).
     pub fn sessions_accepted(&self) -> u64 {
         self.sessions_accepted.load(Ordering::SeqCst)
+            + self.pool.as_ref().map_or(0, |p| p.sessions_admitted())
+    }
+
+    /// Sessions currently live (sharded mode only; threaded sessions stay
+    /// registered until shutdown).
+    pub fn live_sessions(&self) -> usize {
+        self.pool
+            .as_ref()
+            .map_or_else(|| self.sessions.lock().len(), |p| p.live_sessions())
+    }
+
+    /// Sessions refused admission with a `Busy` reply (sharded mode).
+    pub fn sessions_rejected(&self) -> u64 {
+        self.pool.as_ref().map_or(0, |p| p.sessions_rejected())
     }
 
     /// Total application requests served across all sessions.
     pub fn requests_served(&self) -> u64 {
-        self.sessions
+        let threaded: u64 = self
+            .sessions
             .lock()
             .iter()
             .map(|s| s.endpoint.requests_served())
-            .sum()
+            .sum();
+        threaded + self.pool.as_ref().map_or(0, |p| p.requests_served())
     }
 
     /// Blocks until the daemon is shut down (from another thread). This is
@@ -354,6 +440,9 @@ impl SurrogateDaemon {
             // even if the client never closes its side.
             session.killer.kill();
         }
+        if let Some(pool) = &self.pool {
+            pool.shutdown();
+        }
     }
 }
 
@@ -375,28 +464,11 @@ fn start_session(
     telemetry
         .gauge(aide_telemetry::names::SURROGATE_ACTIVE_SESSIONS)
         .add(1);
-    let machine = Machine::new(
-        config.program.clone(),
-        VmConfig::surrogate(config.capacity_bytes),
-    );
-    let tables = Arc::new(RefTables::new());
-    if let Some(ttl) = config.lease_ttl_ms {
-        tables.exports.set_ttl_ms(ttl);
-    }
-    let gc = Arc::new(VmDispatcher::new(machine.clone(), tables.clone()));
-    let inner = VmDispatcher::new(machine, tables.clone());
-    let dispatcher: Arc<dyn Dispatcher> = match (config.fail_after_requests, config.fault_mode) {
-        (Some(budget), FaultMode::Crash) => Arc::new(FaultInjector {
-            inner,
-            remaining: AtomicI64::new(i64::try_from(budget).unwrap_or(i64::MAX)),
-            killer: killer.clone(),
-        }),
-        _ => Arc::new(inner),
-    };
-    let dispatcher: Arc<dyn Dispatcher> = Arc::new(CountingDispatcher {
-        inner: dispatcher,
-        requests: telemetry.counter(aide_telemetry::names::SURROGATE_REQUESTS),
-    });
+    let SessionParts {
+        dispatcher,
+        tables,
+        gc,
+    } = session_parts(config, killer.clone());
     // Reply-level fault modes sabotage the session's *outbound* frames via
     // the chaos layer; the dispatcher itself stays honest.
     let session = match (config.fail_after_requests, config.fault_mode) {
@@ -440,6 +512,42 @@ fn start_session(
     LiveSession {
         endpoint,
         killer,
+        gc,
+    }
+}
+
+/// Builds one session's VM, reference tables, and dispatcher chain — the
+/// part of session setup shared by the threaded path and the sharded
+/// pool's session factory. `killer` severs the carrier the session rides
+/// on, which is what an armed [`FaultMode::Crash`] injector pulls; the
+/// reply-level fault modes live in the transport and only apply to the
+/// threaded path.
+fn session_parts(config: &DaemonConfig, killer: ConnKiller) -> SessionParts {
+    let machine = Machine::new(
+        config.program.clone(),
+        VmConfig::surrogate(config.capacity_bytes),
+    );
+    let tables = Arc::new(RefTables::new());
+    if let Some(ttl) = config.lease_ttl_ms {
+        tables.exports.set_ttl_ms(ttl);
+    }
+    let gc = Arc::new(VmDispatcher::new(machine.clone(), tables.clone()));
+    let inner = VmDispatcher::new(machine, tables.clone());
+    let dispatcher: Arc<dyn Dispatcher> = match (config.fail_after_requests, config.fault_mode) {
+        (Some(budget), FaultMode::Crash) => Arc::new(FaultInjector {
+            inner,
+            remaining: AtomicI64::new(i64::try_from(budget).unwrap_or(i64::MAX)),
+            killer,
+        }),
+        _ => Arc::new(inner),
+    };
+    let dispatcher: Arc<dyn Dispatcher> = Arc::new(CountingDispatcher {
+        inner: dispatcher,
+        requests: aide_telemetry::global().counter(aide_telemetry::names::SURROGATE_REQUESTS),
+    });
+    SessionParts {
+        dispatcher,
+        tables,
         gc,
     }
 }

@@ -28,10 +28,14 @@
 pub mod beacon;
 mod daemon;
 mod registry;
+mod relay;
+mod shard;
 
 pub use beacon::{
     decode_announcement, encode_announcement, listen_for_announcements, Announcement, BeaconConfig,
     BEACON_MAGIC,
 };
-pub use daemon::{DaemonConfig, FaultMode, SurrogateDaemon};
-pub use registry::{RegistryConfig, SurrogateInfo, SurrogateRegistry};
+pub use daemon::{DaemonConfig, FaultMode, ServingMode, SurrogateDaemon};
+pub use registry::{placement_order, RegistryConfig, SurrogateInfo, SurrogateRegistry};
+pub use relay::{RelayConfig, RelayQueue, RelayStats};
+pub use shard::{SessionParts, ShardConfig, ShardPool};

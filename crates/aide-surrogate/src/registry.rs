@@ -14,7 +14,7 @@
 use std::collections::{HashMap, HashSet};
 use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use aide_core::{ProviderContext, SurrogateLease, SurrogateProvider};
 use aide_graph::CommParams;
@@ -42,6 +42,12 @@ pub struct SurrogateInfo {
     /// Exponentially-weighted moving average over every probe sample, so
     /// one anomalous probe does not reorder the ranking.
     pub smoothed_rtt: Option<Duration>,
+    /// Live sessions the surrogate reported over its last STATS scrape;
+    /// `None` until [`SurrogateRegistry::refresh_load`] has seen it.
+    pub live_sessions: Option<u64>,
+    /// Session limit the surrogate advertises (0 = unlimited); `None`
+    /// until scraped.
+    pub session_limit: Option<u64>,
 }
 
 impl SurrogateInfo {
@@ -66,6 +72,47 @@ impl SurrogateInfo {
             None => rtt,
         });
     }
+
+    /// Fraction of the surrogate's session limit in use, when both sides
+    /// of the fraction are known (`None` while unscraped or unlimited).
+    pub fn load_factor(&self) -> Option<f64> {
+        match (self.live_sessions, self.session_limit) {
+            (Some(live), Some(limit)) if limit > 0 => Some(live as f64 / limit as f64),
+            _ => None,
+        }
+    }
+
+    /// Whether the surrogate reported itself at (or over) its session
+    /// limit: admitting one more session there earns a `Busy` reply.
+    pub fn at_session_limit(&self) -> bool {
+        matches!(
+            (self.live_sessions, self.session_limit),
+            (Some(live), Some(limit)) if limit > 0 && live >= limit
+        )
+    }
+
+    /// Placement score (lower is better): the RTT/capacity rank score
+    /// inflated by reported load, so among similar links the emptier
+    /// surrogate wins and sessions spread. Entries with unknown load
+    /// degrade gracefully to the pure rank score.
+    pub fn placement_score(&self) -> f64 {
+        self.rank_score() * (1.0 + self.load_factor().unwrap_or(0.0))
+    }
+}
+
+/// Orders candidates for placement, deterministically: surrogates at
+/// their session limit partition strictly after everyone under it, then
+/// ascending [`placement_score`](SurrogateInfo::placement_score). The
+/// sort is stable, so equal scores (including all-unknown load) keep the
+/// caller's order — bit-identical results regardless of thread count or
+/// map iteration order upstream.
+pub fn placement_order(mut candidates: Vec<SurrogateInfo>) -> Vec<SurrogateInfo> {
+    candidates.sort_by(|a, b| {
+        (u8::from(a.at_session_limit()), a.placement_score())
+            .partial_cmp(&(u8::from(b.at_session_limit()), b.placement_score()))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    candidates
 }
 
 /// Registry tuning.
@@ -130,6 +177,10 @@ pub struct SurrogateRegistry {
     dead: Mutex<HashSet<String>>,
     /// Consecutive failed probes per surrogate; cleared by any success.
     probe_failures: Mutex<HashMap<String, u32>>,
+    /// Saturated surrogates under a `Busy` cooldown, with the instant the
+    /// cooldown lifts. Unlike `dead`, these stay ranked — placement just
+    /// skips them until the deadline passes.
+    saturated: Mutex<HashMap<String, Instant>>,
     /// Pooled carriers keyed by surrogate address.
     conns: Mutex<HashMap<SocketAddr, CachedConn>>,
 }
@@ -142,6 +193,7 @@ impl SurrogateRegistry {
             entries: Mutex::new(Vec::new()),
             dead: Mutex::new(HashSet::new()),
             probe_failures: Mutex::new(HashMap::new()),
+            saturated: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
         }
     }
@@ -156,6 +208,8 @@ impl SurrogateRegistry {
             capacity_bytes,
             rtt: None,
             smoothed_rtt: None,
+            live_sessions: None,
+            session_limit: None,
         });
     }
 
@@ -177,6 +231,8 @@ impl SurrogateRegistry {
                 capacity_bytes: announcement.capacity_bytes,
                 rtt: None,
                 smoothed_rtt: None,
+                live_sessions: None,
+                session_limit: None,
             });
         }
         Ok(merged.len())
@@ -189,10 +245,14 @@ impl SurrogateRegistry {
         match entries.iter_mut().find(|e| e.name == info.name) {
             Some(existing) => {
                 // A re-announcement carries no fresh measurement; keep the
-                // probe history instead of discarding it.
+                // probe history (and scraped load) instead of discarding it.
                 if info.rtt.is_none() && info.smoothed_rtt.is_none() {
                     info.rtt = existing.rtt;
                     info.smoothed_rtt = existing.smoothed_rtt;
+                }
+                if info.live_sessions.is_none() && info.session_limit.is_none() {
+                    info.live_sessions = existing.live_sessions;
+                    info.session_limit = existing.session_limit;
                 }
                 *existing = info;
             }
@@ -379,6 +439,61 @@ impl SurrogateRegistry {
         live
     }
 
+    /// Live surrogates in load-aware placement order: under-limit
+    /// candidates first, spread by reported load on top of the RTT /
+    /// capacity ranking (see [`placement_order`]).
+    pub fn placement(&self) -> Vec<SurrogateInfo> {
+        placement_order(self.ranked())
+    }
+
+    /// Scrapes every live surrogate's STATS exposition and folds the
+    /// per-daemon live-session and session-limit gauges into its entry —
+    /// the load half of the placement score. Returns how many entries
+    /// got fresh load data.
+    pub fn refresh_load(&self) -> usize {
+        let mut refreshed = 0;
+        for info in self.ranked() {
+            let Some(text) = self.scrape_stats(&info.name) else {
+                continue;
+            };
+            let Some(snapshot) = aide_telemetry::FleetSnapshot::parse(&text, &info.name) else {
+                continue;
+            };
+            if let Some(entry) = self.entries.lock().iter_mut().find(|e| e.name == info.name) {
+                entry.live_sessions = Some(snapshot.live_sessions);
+                entry.session_limit = Some(snapshot.session_limit);
+                refreshed += 1;
+            }
+        }
+        refreshed
+    }
+
+    /// Puts `name` under a saturation cooldown: it stays registered and
+    /// ranked, but [`acquire`](SurrogateProvider::acquire) skips it until
+    /// the cooldown lifts.
+    pub fn note_busy(&self, name: &str, cooldown: Duration) {
+        self.saturated
+            .lock()
+            .insert(name.to_string(), Instant::now() + cooldown);
+        aide_telemetry::global()
+            .counter(aide_telemetry::names::FLEET_SESSIONS_REJECTED)
+            .inc();
+    }
+
+    /// Whether `name` is currently under a saturation cooldown; expired
+    /// cooldowns are dropped on the way through.
+    fn in_cooldown(&self, name: &str) -> bool {
+        let mut saturated = self.saturated.lock();
+        match saturated.get(name) {
+            Some(until) if Instant::now() < *until => true,
+            Some(_) => {
+                saturated.remove(name);
+                false
+            }
+            None => false,
+        }
+    }
+
     /// Names currently marked dead.
     pub fn dead_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.dead.lock().iter().cloned().collect();
@@ -406,13 +521,18 @@ impl Drop for SurrogateRegistry {
 }
 
 impl SurrogateProvider for SurrogateRegistry {
-    /// Leases the best-ranked live surrogate: connects, builds a session
+    /// Leases the best-placed live surrogate: connects, builds a session
     /// endpoint wired to the platform's dispatcher and clock, and verifies
-    /// the session with one null RPC. Surrogates that fail to connect or
-    /// to answer the probe are marked dead and the next candidate is
-    /// tried.
+    /// the session with one null RPC. Candidates are tried in load-aware
+    /// [`placement`](SurrogateRegistry::placement) order, skipping
+    /// saturated surrogates still in their `Busy` cooldown; ones that fail
+    /// to connect or to answer the probe are marked dead and the next
+    /// candidate is tried — backoff-and-replace, client side.
     fn acquire(&self, ctx: &ProviderContext) -> Option<SurrogateLease> {
-        for info in self.ranked() {
+        for info in self.placement() {
+            if self.in_cooldown(&info.name) {
+                continue;
+            }
             let Some(endpoint) = self.connect_with(
                 info.addr,
                 ctx.dispatcher.clone(),
@@ -422,11 +542,18 @@ impl SurrogateProvider for SurrogateRegistry {
                 self.dead.lock().insert(info.name);
                 continue;
             };
-            if endpoint.probe(self.config.probe_timeout).is_err() {
+            if let Err(err) = endpoint.probe(self.config.probe_timeout) {
                 endpoint.shutdown();
                 endpoint.join();
                 self.drop_conn(info.addr);
-                self.dead.lock().insert(info.name);
+                if let aide_rpc::RpcError::Busy { retry_after_ms } = err {
+                    // Admission control refused the session: the daemon is
+                    // alive, just full. Cool down and try the next
+                    // candidate instead of writing it off.
+                    self.report_busy(&info.name, retry_after_ms);
+                } else {
+                    self.dead.lock().insert(info.name);
+                }
                 continue;
             }
             return Some(SurrogateLease {
@@ -439,6 +566,16 @@ impl SurrogateProvider for SurrogateRegistry {
 
     fn report_failure(&self, name: &str) {
         self.dead.lock().insert(name.to_string());
+    }
+
+    /// A `Busy` surrogate is alive: keep it ranked, skip it for the
+    /// suggested cooldown, and let placement fall through to the next
+    /// candidate.
+    fn report_busy(&self, name: &str, retry_after_ms: u32) {
+        self.note_busy(
+            name,
+            Duration::from_millis(u64::from(retry_after_ms.max(1))),
+        );
     }
 }
 
@@ -453,7 +590,16 @@ mod tests {
             capacity_bytes: capacity,
             rtt: rtt_micros.map(Duration::from_micros),
             smoothed_rtt: rtt_micros.map(Duration::from_micros),
+            live_sessions: None,
+            session_limit: None,
         }
+    }
+
+    fn loaded(name: &str, rtt_micros: u64, live: u64, limit: u64) -> SurrogateInfo {
+        let mut entry = info(name, 64 << 20, Some(rtt_micros));
+        entry.live_sessions = Some(live);
+        entry.session_limit = Some(limit);
+        entry
     }
 
     #[test]
@@ -577,5 +723,67 @@ mod tests {
         registry.add_static("second", "127.0.0.1:2".parse().unwrap(), 1 << 30);
         let order: Vec<&str> = registry.ranked().iter().map(|e| e.name.as_str()).collect();
         assert_eq!(order, ["first", "second"]);
+    }
+
+    #[test]
+    fn placement_spreads_by_load_at_equal_rank() {
+        // Same RTT and capacity: the emptier surrogate wins placement even
+        // though plain ranking would tie them.
+        let order: Vec<String> = placement_order(vec![
+            loaded("hot", 2_400, 9, 10),
+            loaded("cool", 2_400, 1, 10),
+        ])
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+        assert_eq!(order, ["cool", "hot"]);
+    }
+
+    #[test]
+    fn placement_never_prefers_an_at_limit_surrogate() {
+        // "full" has a far better link, but it is at its session limit;
+        // any under-limit candidate must come first.
+        let order: Vec<String> = placement_order(vec![
+            loaded("full", 100, 10, 10),
+            loaded("slow", 9_000, 2, 10),
+        ])
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+        assert_eq!(order, ["slow", "full"]);
+    }
+
+    #[test]
+    fn placement_without_load_data_degrades_to_the_ranking() {
+        let registry = SurrogateRegistry::new(RegistryConfig::default());
+        registry.upsert(info("slow", 64 << 20, Some(9_000)));
+        registry.upsert(info("fast", 64 << 20, Some(2_400)));
+        registry.upsert(info("big", 256 << 20, Some(2_400)));
+        registry.upsert(info("unknown", 1 << 30, None));
+        let order: Vec<String> = registry.placement().into_iter().map(|e| e.name).collect();
+        assert_eq!(order, ["big", "fast", "slow", "unknown"]);
+    }
+
+    #[test]
+    fn busy_cooldown_expires_on_its_own() {
+        let registry = SurrogateRegistry::new(RegistryConfig::default());
+        registry.upsert(info("s", 1, Some(100)));
+        registry.report_busy("s", 0); // clamped to 1 ms
+        assert!(registry.in_cooldown("s"));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!registry.in_cooldown("s"));
+        // The surrogate never left the ranking while saturated.
+        assert_eq!(registry.ranked().len(), 1);
+    }
+
+    #[test]
+    fn upsert_keeps_load_data_across_announcements() {
+        let registry = SurrogateRegistry::new(RegistryConfig::default());
+        registry.upsert(loaded("s", 2_400, 7, 16));
+        // Beacon re-announcement carries no load fields.
+        registry.upsert(info("s", 64 << 20, Some(2_400)));
+        let ranked = registry.ranked();
+        assert_eq!(ranked[0].live_sessions, Some(7));
+        assert_eq!(ranked[0].session_limit, Some(16));
     }
 }

@@ -1,0 +1,584 @@
+//! Sharded serving: a bounded worker pool holding thousands of logical
+//! sessions per daemon process.
+//!
+//! The daemon's classic serving path spawns an [`Endpoint`] per logical
+//! session — a receiver thread plus a worker pool each, which is perfect
+//! isolation but caps a process at a few hundred sessions. The sharded
+//! pool inverts that: every carrier is switched into mux *bus mode*
+//! ([`aide_rpc::MuxConn::route_accepts_to`]), so all sessions of all
+//! carriers feed one event stream, and a fixed set of shard workers serves
+//! them. Sessions keep their own surrogate VM, reference tables, and
+//! dispatcher (the isolation the paper's per-client platform instances
+//! require); only the *threads* are shared.
+//!
+//! A router thread hashes `(carrier, session)` onto a shard; each shard is
+//! served by exactly one worker, so frames of one session are processed in
+//! arrival order without any per-session locking. The worker replicates
+//! the endpoint's serving semantics: lease renewal from stamped frames,
+//! at-most-once dedup with memoized reply frames, and replies stamped with
+//! the session's advertised import epoch.
+//!
+//! Admission control bounds the pool: once `max_sessions` sessions are
+//! live, new sessions are answered with [`Reply::Busy`] and closed instead
+//! of silently queued — the client backs off or fails over to another
+//! surrogate while this one stays healthy for the sessions it already
+//! carries.
+//!
+//! [`Endpoint`]: aide_rpc::Endpoint
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use aide_core::{RefTables, VmDispatcher};
+use aide_rpc::{BusEvent, Dispatcher, Frame, Message, MuxSender, Reply, Request};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+/// Tuning for a [`ShardPool`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// Number of shard workers. Each worker owns its sessions outright, so
+    /// throughput scales with shards while per-session ordering is free.
+    pub shards: usize,
+    /// Admission limit: the pool-wide number of concurrently live
+    /// sessions. Sessions beyond it are answered [`Reply::Busy`].
+    pub max_sessions: usize,
+    /// The `retry_after_ms` hint stamped into [`Reply::Busy`] replies.
+    pub busy_retry_ms: u32,
+    /// Per-session capacity of the memoized-reply (at-most-once) cache.
+    pub dedup_capacity: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 4,
+            max_sessions: 16_384,
+            busy_retry_ms: 25,
+            dedup_capacity: 128,
+        }
+    }
+}
+
+/// The per-session machinery a [`SessionFactory`] builds: the session's
+/// serving dispatcher (fault injectors and counters already layered in),
+/// its reference tables, and a GC-side dispatcher sharing the same VM so
+/// the daemon's lease sweeper can reclaim expired exports out-of-band.
+pub struct SessionParts {
+    /// Serves the session's requests.
+    pub dispatcher: Arc<dyn Dispatcher>,
+    /// The session's export/import tables (lease renewal and reply
+    /// stamping read these).
+    pub tables: Arc<RefTables>,
+    /// Shares the session's VM and tables; used by the lease sweeper.
+    pub gc: Arc<VmDispatcher>,
+}
+
+/// Builds a fresh session's VM, tables, and dispatcher chain. The
+/// [`aide_rpc::ConnKiller`] severs the whole carrier the session rides on,
+/// which is what a [`FaultMode::Crash`](crate::FaultMode::Crash) injector
+/// pulls.
+pub type SessionFactory = dyn Fn(aide_rpc::ConnKiller) -> SessionParts + Send + Sync;
+
+/// One live session owned by a shard worker: its machinery plus the
+/// memoized replies of its at-most-once cache, keyed by `(client, seq)`.
+struct ShardSession {
+    parts: SessionParts,
+    replies: HashMap<(u64, u64), Frame>,
+    reply_order: VecDeque<(u64, u64)>,
+}
+
+/// State shared by the router, the shard workers, and the daemon.
+struct PoolShared {
+    name: String,
+    config: ShardConfig,
+    stop: AtomicBool,
+    /// Live sessions across all shards (the admission gate).
+    live: AtomicUsize,
+    /// Sessions ever admitted (the daemon's `sessions_accepted`).
+    admitted: AtomicU64,
+    /// Sessions refused admission.
+    rejected: AtomicU64,
+    /// Requests dispatched across all shards.
+    served: AtomicU64,
+    /// Outbound handles by carrier id; registered before the carrier is
+    /// switched into bus mode, so no worker sees an unknown carrier.
+    carriers: Mutex<HashMap<u64, MuxSender>>,
+    /// GC dispatchers of every live session, for the daemon's sweeper and
+    /// the per-session lease-age stats lines.
+    gc_sessions: Mutex<HashMap<(u64, u32), Arc<VmDispatcher>>>,
+    /// Shard inputs; kept here so queue depth is observable (`len` on a
+    /// crossbeam sender counts messages in flight).
+    shard_txs: Vec<Sender<BusEvent>>,
+    factory: Box<SessionFactory>,
+}
+
+/// A running sharded serving pool; create with [`ShardPool::start`], feed
+/// with [`bus`](ShardPool::bus) + [`attach_carrier`](ShardPool::attach_carrier),
+/// stop with [`shutdown`](ShardPool::shutdown).
+pub struct ShardPool {
+    shared: Arc<PoolShared>,
+    bus_tx: Sender<BusEvent>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("name", &self.shared.name)
+            .field("shards", &self.shared.config.shards)
+            .field("live", &self.shared.live.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ShardPool {
+    /// Spawns the router and the shard workers. `name` labels the per-
+    /// daemon stats lines; `factory` builds each admitted session's VM and
+    /// dispatcher chain.
+    pub fn start(name: &str, config: ShardConfig, factory: Box<SessionFactory>) -> ShardPool {
+        let shards = config.shards.max(1);
+        let (bus_tx, bus_rx) = unbounded::<BusEvent>();
+        let mut shard_txs = Vec::with_capacity(shards);
+        let mut shard_rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = unbounded::<BusEvent>();
+            shard_txs.push(tx);
+            shard_rxs.push(rx);
+        }
+        let shared = Arc::new(PoolShared {
+            name: name.to_string(),
+            config,
+            stop: AtomicBool::new(false),
+            live: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            carriers: Mutex::new(HashMap::new()),
+            gc_sessions: Mutex::new(HashMap::new()),
+            shard_txs,
+            factory,
+        });
+
+        let mut threads = Vec::with_capacity(shards + 1);
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("aide-shard-router-{name}"))
+                    .spawn(move || router_loop(&shared, &bus_rx))
+                    .expect("spawn shard router"),
+            );
+        }
+        for (i, rx) in shard_rxs.into_iter().enumerate() {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("aide-shard-{name}-{i}"))
+                    .spawn(move || {
+                        aide_trace::set_thread_track("surrogate");
+                        worker_loop(&shared, &rx);
+                        aide_trace::flush_thread();
+                    })
+                    .expect("spawn shard worker"),
+            );
+        }
+
+        ShardPool {
+            shared,
+            bus_tx,
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// The event bus to hand to [`aide_rpc::MuxConn::route_accepts_to`].
+    pub fn bus(&self) -> Sender<BusEvent> {
+        self.bus_tx.clone()
+    }
+
+    /// Registers a carrier's outbound handle. Must be called *before* the
+    /// carrier is switched into bus mode (see
+    /// [`aide_rpc::MuxConn::bus_sender`]), or early frames find no way to
+    /// reply.
+    pub fn attach_carrier(&self, conn: u64, sender: MuxSender) {
+        self.shared.carriers.lock().insert(conn, sender);
+    }
+
+    /// Sessions currently live across all shards.
+    pub fn live_sessions(&self) -> usize {
+        self.shared.live.load(Ordering::SeqCst)
+    }
+
+    /// Sessions ever admitted.
+    pub fn sessions_admitted(&self) -> u64 {
+        self.shared.admitted.load(Ordering::SeqCst)
+    }
+
+    /// Sessions refused admission with a [`Reply::Busy`].
+    pub fn sessions_rejected(&self) -> u64 {
+        self.shared.rejected.load(Ordering::SeqCst)
+    }
+
+    /// Requests dispatched across all shards.
+    pub fn requests_served(&self) -> u64 {
+        self.shared.served.load(Ordering::SeqCst)
+    }
+
+    /// GC dispatchers of every live session, for the lease sweeper.
+    pub fn gc_handles(&self) -> Vec<Arc<VmDispatcher>> {
+        self.shared.gc_sessions.lock().values().cloned().collect()
+    }
+
+    /// Stops the pool: severs every carrier, joins the router and the
+    /// workers, and drops all session state.
+    pub fn shutdown(&self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for sender in self.shared.carriers.lock().values() {
+            sender.killer().kill();
+        }
+        for handle in self.threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+        self.shared.carriers.lock().clear();
+        self.shared.gc_sessions.lock().clear();
+    }
+}
+
+/// Deterministic shard assignment: sessions of one carrier spread across
+/// shards, and the same `(conn, session)` always lands on the same worker.
+fn shard_of(conn: u64, session: u32, shards: usize) -> usize {
+    let mixed = (conn ^ (u64::from(session) << 32) ^ u64::from(session))
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (mixed >> 32) as usize % shards
+}
+
+fn router_loop(shared: &PoolShared, bus_rx: &Receiver<BusEvent>) {
+    let shards = shared.shard_txs.len();
+    loop {
+        let event = match bus_rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(event) => event,
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        match &event {
+            BusEvent::Opened { conn, session }
+            | BusEvent::Data { conn, session, .. }
+            | BusEvent::Closed { conn, session } => {
+                let _ = shared.shard_txs[shard_of(*conn, *session, shards)].send(event);
+            }
+            BusEvent::CarrierClosed { conn } => {
+                // The carrier's sessions may live on any shard: everyone
+                // hears about the death. The event is the last the reader
+                // emits for this conn, so all its data already routed.
+                let conn = *conn;
+                shared.carriers.lock().remove(&conn);
+                for tx in &shared.shard_txs {
+                    let _ = tx.send(BusEvent::CarrierClosed { conn });
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, rx: &Receiver<BusEvent>) {
+    let telemetry = aide_telemetry::global();
+    let active = telemetry.gauge(aide_telemetry::names::SURROGATE_ACTIVE_SESSIONS);
+    let fleet_live = telemetry.gauge(aide_telemetry::names::FLEET_LIVE_SESSIONS);
+    let accepted = telemetry.counter(aide_telemetry::names::SURROGATE_SESSIONS);
+    let fleet_rejected = telemetry.counter(aide_telemetry::names::FLEET_SESSIONS_REJECTED);
+
+    let mut sessions: HashMap<(u64, u32), ShardSession> = HashMap::new();
+    let mut rejected: HashSet<(u64, u32)> = HashSet::new();
+
+    let close_session = |sessions: &mut HashMap<(u64, u32), ShardSession>,
+                         rejected: &mut HashSet<(u64, u32)>,
+                         key: (u64, u32)| {
+        rejected.remove(&key);
+        if sessions.remove(&key).is_some() {
+            shared.live.fetch_sub(1, Ordering::SeqCst);
+            shared.gc_sessions.lock().remove(&key);
+            active.add(-1);
+            fleet_live.add(-1);
+        }
+    };
+
+    loop {
+        let event = match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(event) => event,
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        match event {
+            BusEvent::Opened { conn, session } => {
+                let key = (conn, session);
+                if sessions.contains_key(&key) || rejected.contains(&key) {
+                    continue; // duplicate OPEN: idempotent
+                }
+                admit(shared, &mut sessions, &mut rejected, key);
+                if sessions.contains_key(&key) {
+                    accepted.inc();
+                    active.add(1);
+                    fleet_live.add(1);
+                } else {
+                    fleet_rejected.inc();
+                }
+            }
+            BusEvent::Data {
+                conn,
+                session,
+                frame,
+            } => {
+                let key = (conn, session);
+                let Some(sender) = shared.carriers.lock().get(&conn).cloned() else {
+                    continue; // carrier already torn down: drop
+                };
+                if !sessions.contains_key(&key) && !rejected.contains(&key) {
+                    // Data racing ahead of its OPEN: implicit open.
+                    admit(shared, &mut sessions, &mut rejected, key);
+                    if sessions.contains_key(&key) {
+                        accepted.inc();
+                        active.add(1);
+                        fleet_live.add(1);
+                    } else {
+                        fleet_rejected.inc();
+                    }
+                }
+                if rejected.contains(&key) {
+                    reply_busy(&sender, session, &frame, shared.config.busy_retry_ms);
+                    continue;
+                }
+                let closed = serve(shared, &sender, &mut sessions, key, &frame);
+                if closed {
+                    close_session(&mut sessions, &mut rejected, key);
+                    sender.close(session);
+                }
+            }
+            BusEvent::Closed { conn, session } => {
+                close_session(&mut sessions, &mut rejected, (conn, session));
+            }
+            BusEvent::CarrierClosed { conn } => {
+                let keys: Vec<(u64, u32)> = sessions
+                    .keys()
+                    .chain(rejected.iter())
+                    .filter(|(c, _)| *c == conn)
+                    .copied()
+                    .collect();
+                for key in keys {
+                    close_session(&mut sessions, &mut rejected, key);
+                }
+            }
+        }
+    }
+
+    // Worker exit: whatever is still live leaves the gauges with it.
+    let remaining = sessions.len() as i64;
+    if remaining > 0 {
+        active.add(-remaining);
+        fleet_live.add(-remaining);
+    }
+    shared.live.fetch_sub(sessions.len(), Ordering::SeqCst);
+}
+
+/// Admits `key` if the pool is under its session limit, building the
+/// session's VM and dispatcher chain; otherwise parks it in the rejected
+/// set (its data frames are answered `Busy`).
+fn admit(
+    shared: &PoolShared,
+    sessions: &mut HashMap<(u64, u32), ShardSession>,
+    rejected: &mut HashSet<(u64, u32)>,
+    key: (u64, u32),
+) {
+    let limit = shared.config.max_sessions;
+    let won = shared
+        .live
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |live| {
+            (live < limit).then_some(live + 1)
+        })
+        .is_ok();
+    if !won {
+        shared.rejected.fetch_add(1, Ordering::SeqCst);
+        rejected.insert(key);
+        return;
+    }
+    let killer = shared
+        .carriers
+        .lock()
+        .get(&key.0)
+        .map(|s| s.killer())
+        .unwrap_or_else(aide_rpc::ConnKiller::noop);
+    let parts = (shared.factory)(killer);
+    shared.gc_sessions.lock().insert(key, parts.gc.clone());
+    shared.admitted.fetch_add(1, Ordering::SeqCst);
+    sessions.insert(
+        key,
+        ShardSession {
+            parts,
+            replies: HashMap::new(),
+            reply_order: VecDeque::new(),
+        },
+    );
+}
+
+/// Answers a frame on a rejected session with [`Reply::Busy`] and closes
+/// the session — the client's failover layer treats it like saturation,
+/// backing off or moving to another surrogate.
+fn reply_busy(sender: &MuxSender, session: u32, frame: &Frame, retry_after_ms: u32) {
+    if let Ok((Message::Request { seq, .. }, _, _)) = Message::decode_stamped(frame) {
+        let reply = Message::Reply {
+            seq,
+            result: Ok(Reply::Busy { retry_after_ms }),
+        }
+        .encode_pooled();
+        let _ = sender.send(session, reply);
+    }
+    sender.close(session);
+}
+
+/// Serves one data frame on a live session, replicating the endpoint's
+/// semantics: lease renewal, at-most-once dedup with memoized replies, and
+/// epoch-stamped responses. Returns `true` when the session asked to shut
+/// down.
+fn serve(
+    shared: &PoolShared,
+    sender: &MuxSender,
+    sessions: &mut HashMap<(u64, u32), ShardSession>,
+    key: (u64, u32),
+    frame: &Frame,
+) -> bool {
+    let Some(sess) = sessions.get_mut(&key) else {
+        return false;
+    };
+    let Ok((message, ctx, lease)) = Message::decode_stamped(frame) else {
+        return false; // corrupt frame: the client's retry will re-send
+    };
+    if let Some(epoch) = lease {
+        // Stamped traffic renews this session's export leases, exactly as
+        // the endpoint's receiver loop does.
+        sess.parts.tables.exports.renew(epoch);
+    }
+    let Message::Request { seq, client, body } = message else {
+        return false; // a stray reply has no business here
+    };
+    if matches!(body, Request::Shutdown) {
+        return true;
+    }
+    // Idempotent health/introspection traffic bypasses the at-most-once
+    // cache (same exemptions as the endpoint worker).
+    let dedupable = !matches!(
+        body,
+        Request::Ping | Request::Stats | Request::GcRenew { .. }
+    );
+    if dedupable {
+        if let Some(memo) = sess.replies.get(&(client, seq)) {
+            let _ = sender.send(key.1, memo.clone());
+            return false;
+        }
+    }
+    let is_stats = matches!(body, Request::Stats);
+    let mut span = aide_trace::child_of(ctx, aide_trace::names::RPC_SERVE, "rpc");
+    span.arg("kind", body.kind());
+    span.arg("seq", seq);
+    let mut result = sess.parts.dispatcher.dispatch(body);
+    shared.served.fetch_add(1, Ordering::Relaxed);
+    if is_stats {
+        // STATS answers get the pool's per-daemon lines appended, so one
+        // scrape shows fleet load even with many daemons in one process.
+        if let Ok(Reply::Text(text)) = &mut result {
+            append_stats(shared, text);
+        }
+    }
+    let stamp = Some(sess.parts.tables.imports.advertised_epoch());
+    let reply = Message::Reply { seq, result }.encode_pooled_stamped(stamp);
+    drop(span);
+    if dedupable {
+        if sess.reply_order.len() >= shared.config.dedup_capacity.max(1) {
+            if let Some(oldest) = sess.reply_order.pop_front() {
+                sess.replies.remove(&oldest);
+            }
+        }
+        sess.replies.insert((client, seq), reply.clone());
+        sess.reply_order.push_back((client, seq));
+    }
+    let _ = sender.send(key.1, reply);
+    false
+}
+
+/// Appends the pool's per-daemon Prometheus lines to a `STATS` scrape:
+/// live-session and queue-depth gauges, the admission limit, rejected
+/// sessions, and each live session's oldest lease age. Labelled by daemon
+/// name because the process-global registry cannot tell co-hosted daemons
+/// apart.
+fn append_stats(shared: &PoolShared, text: &mut String) {
+    text.push_str(&fleet_snapshot(shared).render());
+}
+
+/// The pool's current load as a typed [`aide_telemetry::FleetSnapshot`]
+/// — the same struct registries parse back out of the scrape, so the
+/// exposition format is pinned by its round-trip test.
+fn fleet_snapshot(shared: &PoolShared) -> aide_telemetry::FleetSnapshot {
+    let leases = shared
+        .gc_sessions
+        .lock()
+        .iter()
+        .map(|(&(conn, session), gc)| aide_telemetry::SessionLease {
+            conn,
+            session,
+            age_ms: gc
+                .tables()
+                .exports
+                .lease_ages_ms()
+                .into_iter()
+                .max()
+                .unwrap_or(0),
+        })
+        .collect();
+    aide_telemetry::FleetSnapshot {
+        daemon: shared.name.clone(),
+        live_sessions: shared.live.load(Ordering::SeqCst) as u64,
+        session_limit: shared.config.max_sessions as u64,
+        queue_depth: shared.shard_txs.iter().map(Sender::len).sum::<usize>() as u64,
+        sessions_rejected_total: shared.rejected.load(Ordering::SeqCst),
+        leases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 4, 7] {
+            for conn in 0..8u64 {
+                for session in 0..64u32 {
+                    let a = shard_of(conn, session, shards);
+                    let b = shard_of(conn, session, shards);
+                    assert_eq!(a, b);
+                    assert!(a < shards);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_of_one_carrier_spread_across_shards() {
+        let shards = 4;
+        let hit: HashSet<usize> = (0..256u32).map(|s| shard_of(1, s, shards)).collect();
+        assert_eq!(hit.len(), shards, "256 sessions must reach every shard");
+    }
+}

@@ -25,10 +25,12 @@
 #![warn(missing_docs)]
 
 mod export;
+mod fleet;
 mod metrics;
 mod recorder;
 
 pub use export::{prometheus_text, snapshot_json_lines};
+pub use fleet::{FleetSnapshot, SessionLease};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Telemetry, TelemetrySnapshot};
 pub use recorder::{
     events_json_lines, render_timeline, FlightRecorder, PlatformEvent, SpanRef, TimedEvent,
@@ -220,6 +222,21 @@ pub mod names {
     pub const SURROGATE_ACTIVE_SESSIONS: &str = "aide_surrogate_active_sessions";
     /// Requests served across all surrogate sessions.
     pub const SURROGATE_REQUESTS: &str = "aide_surrogate_requests_total";
+
+    /// Logical sessions currently live across all sharded serving pools.
+    pub const FLEET_LIVE_SESSIONS: &str = "aide_fleet_live_sessions";
+    /// Sessions refused admission (answered `Busy`) by sharded pools.
+    pub const FLEET_SESSIONS_REJECTED: &str = "aide_fleet_sessions_rejected_total";
+    /// Migrations currently parked in store-and-forward relay queues.
+    pub const FLEET_RELAY_QUEUE_DEPTH: &str = "aide_fleet_relay_queue_depth";
+    /// Migrations queued for relay because the chosen surrogate was
+    /// unreachable.
+    pub const FLEET_RELAY_QUEUED: &str = "aide_fleet_relay_queued_total";
+    /// Queued migrations delivered to their surrogate on reconnect.
+    pub const FLEET_RELAY_RELAYED: &str = "aide_fleet_relay_relayed_total";
+    /// Queued migrations dropped because their TTL lapsed before the
+    /// surrogate came back.
+    pub const FLEET_RELAY_EXPIRED: &str = "aide_fleet_relay_expired_total";
 
     /// Null-RPC probe round-trips measured by the registry, in
     /// microseconds.

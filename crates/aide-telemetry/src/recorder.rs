@@ -125,6 +125,54 @@ pub enum PlatformEvent {
         /// The unknown object id (raw `ObjectId` bits).
         object: u64,
     },
+    /// An offload decision found no reachable surrogate and parked its
+    /// gathered victims in the store-and-forward relay queue.
+    MigrationQueued {
+        /// Relay transaction id assigned by the queue.
+        txn: u64,
+        /// Objects parked.
+        objects: u64,
+        /// Bytes parked.
+        bytes: u64,
+    },
+    /// A queued migration was delivered to a surrogate on reconnect.
+    MigrationRelayed {
+        /// Relay transaction id.
+        txn: u64,
+        /// Objects delivered.
+        objects: u64,
+        /// Bytes delivered.
+        bytes: u64,
+        /// How long the shipment sat queued, in milliseconds.
+        queued_for_ms: u64,
+    },
+    /// A queued migration sat past its TTL and was reinstated into the
+    /// client heap instead of delivered.
+    RelayExpired {
+        /// Relay transaction id.
+        txn: u64,
+        /// Objects reinstated.
+        objects: u64,
+        /// Bytes reinstated.
+        bytes: u64,
+    },
+    /// A queued migration was recalled into the client heap because
+    /// execution went purely local while it was still parked.
+    RelayRecalled {
+        /// Relay transaction id.
+        txn: u64,
+        /// Objects reinstated.
+        objects: u64,
+    },
+    /// A surrogate refused service with a `Busy` reply (admission
+    /// control): the lease was retired but the surrogate stays ranked,
+    /// under a brief cooldown.
+    SessionRejected {
+        /// Name of the saturated surrogate.
+        surrogate: String,
+        /// Cooldown the surrogate suggested, in milliseconds.
+        retry_after_ms: u32,
+    },
     /// A trace replay produced an event that differs from the recorded
     /// baseline timeline at the same position (`aide-replay`'s strict
     /// divergence check).
@@ -200,6 +248,33 @@ impl PlatformEvent {
             PlatformEvent::GcReleaseUnknown { object } => {
                 format!("gc release named unknown export {object:#x}")
             }
+            PlatformEvent::MigrationQueued {
+                txn,
+                objects,
+                bytes,
+            } => format!("migration queued for relay: txn {txn}, {objects} objects ({bytes} B)"),
+            PlatformEvent::MigrationRelayed {
+                txn,
+                objects,
+                bytes,
+                queued_for_ms,
+            } => format!(
+                "queued migration relayed: txn {txn}, {objects} objects ({bytes} B) after {queued_for_ms} ms"
+            ),
+            PlatformEvent::RelayExpired {
+                txn,
+                objects,
+                bytes,
+            } => format!("relay entry expired: txn {txn}, {objects} objects ({bytes} B) reinstated"),
+            PlatformEvent::RelayRecalled { txn, objects } => {
+                format!("relay entry recalled: txn {txn}, {objects} objects reinstated")
+            }
+            PlatformEvent::SessionRejected {
+                surrogate,
+                retry_after_ms,
+            } => format!(
+                "surrogate '{surrogate}' rejected the session as busy (retry after {retry_after_ms} ms)"
+            ),
             PlatformEvent::ReplayDiverged {
                 at_index,
                 expected,
