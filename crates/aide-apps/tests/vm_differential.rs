@@ -1,0 +1,144 @@
+//! Differential test for the interpreter overhaul: every application shape
+//! from Table 1 must behave identically under the flat register VM and the
+//! legacy tree-walker — same `RunSummary` (including the mutator/hook CPU
+//! split and the logical op count) and the same monitor-event stream,
+//! event for event.
+
+use std::sync::{Arc, Mutex};
+
+use aide_apps::{all_apps, Scale};
+use aide_vm::{
+    ClassId, ExecMode, GcReport, Interaction, Machine, MethodId, NativeKind, ObjectId, RunSummary,
+    RuntimeHooks, VmConfig,
+};
+
+/// One recorded hook event, in delivery order.
+#[derive(Debug, Clone, PartialEq)]
+enum Ev {
+    Interaction(Interaction),
+    Alloc(ClassId, ObjectId, u64),
+    Free(ClassId, u64, u64),
+    Work(ClassId, f64),
+    Native(ClassId, NativeKind, u32, u64, bool),
+    StaticAccess(ClassId, ClassId, u64, bool),
+    MethodExit(ClassId, MethodId),
+    Gc(u64, u64, u64),
+}
+
+#[derive(Default)]
+struct Recorder {
+    events: Mutex<Vec<Ev>>,
+}
+
+impl RuntimeHooks for Recorder {
+    fn on_interaction(&self, event: Interaction) {
+        self.events.lock().unwrap().push(Ev::Interaction(event));
+    }
+    fn on_alloc(&self, class: ClassId, object: ObjectId, bytes: u64) {
+        self.events
+            .lock()
+            .unwrap()
+            .push(Ev::Alloc(class, object, bytes));
+    }
+    fn on_free(&self, class: ClassId, objects: u64, bytes: u64) {
+        self.events
+            .lock()
+            .unwrap()
+            .push(Ev::Free(class, objects, bytes));
+    }
+    fn on_work(&self, class: ClassId, micros: f64) {
+        self.events.lock().unwrap().push(Ev::Work(class, micros));
+    }
+    fn on_native(&self, caller: ClassId, kind: NativeKind, work: u32, bytes: u64, remote: bool) {
+        self.events
+            .lock()
+            .unwrap()
+            .push(Ev::Native(caller, kind, work, bytes, remote));
+    }
+    fn on_static_access(&self, accessor: ClassId, class: ClassId, bytes: u64, remote: bool) {
+        self.events
+            .lock()
+            .unwrap()
+            .push(Ev::StaticAccess(accessor, class, bytes, remote));
+    }
+    fn on_method_exit(&self, class: ClassId, method: MethodId) {
+        self.events
+            .lock()
+            .unwrap()
+            .push(Ev::MethodExit(class, method));
+    }
+    fn on_gc(&self, report: &GcReport) {
+        self.events.lock().unwrap().push(Ev::Gc(
+            report.cycle,
+            report.freed_objects,
+            report.freed_bytes,
+        ));
+    }
+}
+
+fn run_app(
+    program: Arc<aide_vm::Program>,
+    mode: ExecMode,
+    config: VmConfig,
+) -> (RunSummary, Vec<Ev>) {
+    let rec = Arc::new(Recorder::default());
+    let mut machine = Machine::with_hooks(program, config, rec.clone());
+    machine.set_exec_mode(mode);
+    let summary = machine.run_entry().expect("app run succeeds");
+    let events = rec.events.lock().unwrap().clone();
+    (summary, events)
+}
+
+fn assert_identical(name: &str, config: VmConfig) {
+    for app in all_apps(Scale(0.02)) {
+        if app.name != name {
+            continue;
+        }
+        let (flat, flat_events) = run_app(app.program.clone(), ExecMode::Flat, config);
+        let (legacy, legacy_events) = run_app(app.program.clone(), ExecMode::Legacy, config);
+        assert_eq!(
+            flat, legacy,
+            "{name}: RunSummary diverged between interpreters"
+        );
+        assert_eq!(
+            flat_events.len(),
+            legacy_events.len(),
+            "{name}: event count diverged"
+        );
+        for (i, (f, l)) in flat_events.iter().zip(legacy_events.iter()).enumerate() {
+            assert_eq!(f, l, "{name}: event {i} diverged");
+        }
+        assert!(flat.ops_executed > 0, "{name}: no ops counted");
+        return;
+    }
+    panic!("unknown app {name}");
+}
+
+#[test]
+fn javanote_is_mode_identical() {
+    assert_identical("JavaNote", VmConfig::client(64 << 20));
+}
+
+#[test]
+fn dia_is_mode_identical() {
+    assert_identical("Dia", VmConfig::client(64 << 20));
+}
+
+#[test]
+fn biomer_is_mode_identical() {
+    assert_identical("Biomer", VmConfig::client(64 << 20));
+}
+
+#[test]
+fn voxel_is_mode_identical() {
+    assert_identical("Voxel", VmConfig::client(64 << 20));
+}
+
+#[test]
+fn tracer_is_mode_identical() {
+    // Tracer also exercises the monitoring cost split: the identical
+    // streams must hold with per-event charging enabled.
+    let mut config = VmConfig::client(64 << 20);
+    config.cost.monitor_event_micros = 2.2;
+    assert_identical("Tracer", config);
+}

@@ -1,0 +1,178 @@
+//! Interpreter throughput: the flat-IR register VM versus the legacy
+//! tree-walker, measured over the five Table 1 application shapes.
+//!
+//! Each app runs to completion on a fresh, unconstrained client VM under
+//! both interpreters. The quantity of record is *logical ops per wall
+//! second* (`RunSummary::ops_executed` is identical across modes by the
+//! differential tests, so the ratio is a pure interpreter-speed ratio).
+//! The flat interpreter additionally runs each app twice to prove its
+//! inline caches behave deterministically: the miss count must be
+//! bit-identical across runs.
+//!
+//! Gates (CI runs this binary and relies on a non-zero exit):
+//! * geometric-mean speedup >= `AIDE_VM_MIN_SPEEDUP` (default 3.0;
+//!   a value <= 0 disables the gate for exploratory runs), and
+//! * `vm_ic_miss_total` stable across two identical flat runs.
+//!
+//! Writes every point to `BENCH_vm.json` (JSON lines) for CI to archive.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use aide_apps::{all_apps, Scale};
+use aide_bench::{experiment_scale, header, row};
+use aide_vm::{ExecMode, Machine, NullHooks, Program, RunSummary, VmConfig};
+
+/// Unconstrained recording-style heap: no GC pressure, no offloading.
+const HEAP: u64 = 64 << 20;
+
+struct ModeRun {
+    summary: RunSummary,
+    wall_seconds: f64,
+    ops_per_sec: f64,
+    ic_hits: u64,
+    ic_misses: u64,
+}
+
+fn run_once(program: &Arc<Program>, mode: ExecMode) -> ModeRun {
+    let mut machine =
+        Machine::with_hooks(program.clone(), VmConfig::client(HEAP), Arc::new(NullHooks));
+    machine.set_exec_mode(mode);
+    let started = Instant::now();
+    let summary = machine
+        .run_entry()
+        .unwrap_or_else(|e| panic!("{mode:?} run failed: {e}"));
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    let (ic_hits, ic_misses) = machine.vm().lock().ic_stats();
+    ModeRun {
+        summary,
+        wall_seconds: wall,
+        ops_per_sec: summary.ops_executed as f64 / wall,
+        ic_hits,
+        ic_misses,
+    }
+}
+
+struct Point {
+    app: &'static str,
+    legacy: ModeRun,
+    flat: ModeRun,
+    speedup: f64,
+    ic_miss_stable: bool,
+}
+
+fn min_speedup() -> f64 {
+    std::env::var("AIDE_VM_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0)
+}
+
+fn main() {
+    let scale = experiment_scale();
+    header(
+        "vm throughput: flat register IR + inline caches vs tree-walker",
+        "interpreter overhaul; not a paper figure — runtime substrate cost",
+    );
+    row("scale", format!("{:.3}", scale.0));
+
+    let mut points = Vec::new();
+    for app in all_apps(Scale(scale.0)) {
+        let legacy = run_once(&app.program, ExecMode::Legacy);
+        let flat = run_once(&app.program, ExecMode::Flat);
+        let flat_again = run_once(&app.program, ExecMode::Flat);
+
+        assert_eq!(
+            flat.summary, flat_again.summary,
+            "{}: flat runs must be deterministic",
+            app.name
+        );
+        let ic_miss_stable = flat.ic_misses == flat_again.ic_misses;
+        assert_eq!(
+            legacy.summary.ops_executed, flat.summary.ops_executed,
+            "{}: logical op counts must agree across interpreters",
+            app.name
+        );
+
+        let speedup = flat.ops_per_sec / legacy.ops_per_sec;
+        row(
+            app.name,
+            format!(
+                "flat {:.2} Mops/s vs legacy {:.2} Mops/s ({speedup:.2}x), \
+                 ic {} hits / {} misses{}",
+                flat.ops_per_sec / 1e6,
+                legacy.ops_per_sec / 1e6,
+                flat.ic_hits,
+                flat.ic_misses,
+                if ic_miss_stable { "" } else { " UNSTABLE" },
+            ),
+        );
+        points.push(Point {
+            app: app.name,
+            legacy,
+            flat,
+            speedup,
+            ic_miss_stable,
+        });
+    }
+
+    let geomean = (points.iter().map(|p| p.speedup.ln()).sum::<f64>() / points.len() as f64).exp();
+    let floor = min_speedup();
+    row("geomean speedup", format!("{geomean:.2}x (gate: {floor}x)"));
+
+    let mut artifact = serde_json::json!({
+        "kind": "summary",
+        "experiment": "vm_throughput",
+        "scale": scale.0,
+        "geomean_speedup": geomean,
+        "min_speedup_gate": floor,
+        "apps": points.len(),
+    })
+    .to_string();
+    artifact.push('\n');
+    for p in &points {
+        artifact.push_str(
+            &serde_json::json!({
+                "kind": "point",
+                "app": p.app,
+                "ops": p.flat.summary.ops_executed,
+                "legacy_wall_seconds": p.legacy.wall_seconds,
+                "flat_wall_seconds": p.flat.wall_seconds,
+                "legacy_ops_per_sec": p.legacy.ops_per_sec,
+                "flat_ops_per_sec": p.flat.ops_per_sec,
+                "speedup": p.speedup,
+                "vm_ic_hits_total": p.flat.ic_hits,
+                "vm_ic_miss_total": p.flat.ic_misses,
+                "ic_miss_stable": p.ic_miss_stable,
+                "mutator_seconds": p.flat.summary.mutator_seconds,
+                "hook_seconds": p.flat.summary.hook_seconds,
+            })
+            .to_string(),
+        );
+        artifact.push('\n');
+    }
+    let path = "BENCH_vm.json";
+    match std::fs::write(path, artifact) {
+        Ok(()) => row("artifact", path),
+        Err(e) => row("artifact", format!("write failed: {e}")),
+    }
+
+    for p in &points {
+        assert!(
+            p.ic_miss_stable,
+            "{}: vm_ic_miss_total drifted across identical runs ({} then a different count)",
+            p.app, p.flat.ic_misses,
+        );
+    }
+    row("gate", "vm_ic_miss_total stable across two runs: ok");
+
+    if floor > 0.0 {
+        assert!(
+            geomean >= floor,
+            "geomean speedup {geomean:.2}x below the {floor}x gate",
+        );
+        row("gate", format!("geomean speedup >= {floor}x: ok"));
+    } else {
+        row("gate", "speedup gate disabled (AIDE_VM_MIN_SPEEDUP <= 0)");
+    }
+}

@@ -84,6 +84,13 @@ pub struct PlatformReport {
     pub client_cpu_seconds: f64,
     /// Virtual CPU seconds burned on the surrogate.
     pub surrogate_cpu_seconds: f64,
+    /// Portion of `client_cpu_seconds` spent emitting monitor events
+    /// (hook time) rather than in the interpreter loop.
+    #[serde(default)]
+    pub client_hook_seconds: f64,
+    /// Portion of `surrogate_cpu_seconds` spent emitting monitor events.
+    #[serde(default)]
+    pub surrogate_hook_seconds: f64,
     /// Simulated link seconds (remote interactions + offload transfers).
     pub comm_seconds: f64,
     /// Client garbage-collection cycles.
@@ -788,6 +795,8 @@ impl Platform {
             outcome,
             client_cpu_seconds: client_vm_guard.cpu_seconds(),
             surrogate_cpu_seconds: surrogate_vm_guard.cpu_seconds(),
+            client_hook_seconds: client_vm_guard.hook_seconds(),
+            surrogate_hook_seconds: surrogate_vm_guard.hook_seconds(),
             comm_seconds: net_clock.seconds(),
             client_gc_cycles: client_vm_guard.collector().cycles(),
             offloads,
@@ -945,6 +954,8 @@ impl Platform {
             // Surrogate VMs live in the provider's daemons, out of process;
             // their virtual CPU time is not visible from here.
             surrogate_cpu_seconds: 0.0,
+            client_hook_seconds: client_vm_guard.hook_seconds(),
+            surrogate_hook_seconds: 0.0,
             comm_seconds: net_clock.seconds(),
             client_gc_cycles: client_vm_guard.collector().cycles(),
             offloads,

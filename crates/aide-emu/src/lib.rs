@@ -55,6 +55,6 @@ pub use multi::{
     SurrogateSpec, SurrogateUse,
 };
 pub use netlink::EmuNet;
-pub use record::{record_program, Recorder};
+pub use record::{record_program, record_program_in_mode, Recorder};
 pub use sweep::{best_point, sweep_memory_policies, PolicyGrid, PolicyParams, SweepPoint};
 pub use trace::{ClassMeta, Trace, TraceEvent};

@@ -360,3 +360,52 @@ fn gc_golden_replays_bit_identically() {
 fn fleet_golden_replays_bit_identically() {
     check_golden("fleet", fleet());
 }
+
+#[test]
+fn warm_inline_caches_do_not_leak_into_replay() {
+    // The register VM keeps per-site inline caches and process-wide cache
+    // telemetry. None of that is an input to the decision pipeline, so a
+    // replay performed *after* the caches are warm must still be
+    // bit-identical to the checked-in golden.
+    use std::sync::Arc;
+
+    use aide_vm::{
+        ExecMode, Machine, MethodDef, MethodId, NullHooks, Op, ProgramBuilder, Reg, VmConfig,
+    };
+
+    let mut b = ProgramBuilder::new();
+    let main = b.add_class("Main");
+    let data = b.add_class("Data");
+    b.add_method(
+        main,
+        MethodDef::new(
+            "main",
+            vec![
+                Op::New {
+                    class: data,
+                    scalar_bytes: 256,
+                    ref_slots: 0,
+                    dst: Reg(0),
+                },
+                Op::Repeat {
+                    n: 50,
+                    body: vec![Op::Read {
+                        obj: Reg(0),
+                        bytes: 8,
+                    }],
+                },
+            ],
+        ),
+    );
+    let program = Arc::new(b.build(main, MethodId(0), 64, 0).unwrap());
+    let mut machine = Machine::with_hooks(program, VmConfig::client(1 << 20), Arc::new(NullHooks));
+    machine.set_exec_mode(ExecMode::Flat);
+    machine.run_entry().expect("warm-up run succeeds");
+    let (hits, misses) = machine.vm().lock().ic_stats();
+    assert!(
+        hits > 0 && misses > 0,
+        "warm-up should exercise the inline caches"
+    );
+
+    check_golden("editor", editor());
+}

@@ -184,6 +184,14 @@ pub mod names {
     /// Unpin calls naming an object that carried no pin — the
     /// double-unpin symptom the lease state machine must never produce.
     pub const VM_UNPIN_UNBALANCED: &str = "aide_vm_external_unpin_unbalanced_total";
+    /// Flat-interpreter inline-cache hits (local-vs-remote check answered
+    /// by a single compare-and-branch).
+    pub const VM_IC_HITS: &str = "aide_vm_ic_hits_total";
+    /// Flat-interpreter inline-cache misses (heap lookup or remote path).
+    pub const VM_IC_MISSES: &str = "aide_vm_ic_miss_total";
+    /// Logical VM ops dispatched (identical count under either
+    /// interpreter; flat control ops are excluded).
+    pub const VM_DISPATCH_OPS: &str = "aide_vm_dispatch_ops_total";
 
     /// Monitor hook invocations (allocs, frees, interactions, work...).
     pub const MONITOR_HOOK_EVENTS: &str = "aide_monitor_hook_events_total";

@@ -12,7 +12,7 @@
 //! garbage collection scheme: exported objects are pinned via an external
 //! root table until the peer releases them.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -85,8 +85,10 @@ pub struct Collector {
     bytes_since: u64,
     /// Objects freed per class over the collector's lifetime, for monitor
     /// bookkeeping (the monitor subtracts freed bytes from node weights).
+    /// Ordered so per-class free events are emitted deterministically
+    /// (class-id order), which golden event-stream fixtures rely on.
     #[serde(skip)]
-    last_freed_by_class: HashMap<ClassId, (u64, u64)>,
+    last_freed_by_class: BTreeMap<ClassId, (u64, u64)>,
 }
 
 impl Collector {
@@ -97,7 +99,7 @@ impl Collector {
             cycle: 0,
             allocs_since: 0,
             bytes_since: 0,
-            last_freed_by_class: HashMap::new(),
+            last_freed_by_class: BTreeMap::new(),
         }
     }
 
@@ -124,8 +126,9 @@ impl Collector {
             || self.bytes_since >= self.config.trigger_alloc_bytes
     }
 
-    /// `(objects, bytes)` freed per class by the most recent cycle.
-    pub fn last_freed_by_class(&self) -> &HashMap<ClassId, (u64, u64)> {
+    /// `(objects, bytes)` freed per class by the most recent cycle, in
+    /// class-id order.
+    pub fn last_freed_by_class(&self) -> &BTreeMap<ClassId, (u64, u64)> {
         &self.last_freed_by_class
     }
 

@@ -89,6 +89,14 @@ pub struct Heap {
     capacity: u64,
     objects: HashMap<ObjectId, ObjectRecord>,
     stats: HeapStats,
+    /// Bumped on every migration in or out. The interpreter's inline
+    /// caches stamp cached locality decisions with this epoch, so one bump
+    /// invalidates every cached "this reference is local" answer at once —
+    /// a migrated object must never be served from a stale cache entry.
+    /// Allocation and GC do *not* bump it: fresh ids have never been
+    /// cached, freed ids are unreachable, and ids are never reused.
+    #[serde(default)]
+    locality_epoch: u64,
 }
 
 impl Heap {
@@ -98,7 +106,15 @@ impl Heap {
             capacity,
             objects: HashMap::new(),
             stats: HeapStats::default(),
+            locality_epoch: 0,
         }
+    }
+
+    /// The current locality epoch (see the field docs: bumped only by
+    /// migration, compared by inline-cache entries).
+    #[inline]
+    pub fn locality_epoch(&self) -> u64 {
+        self.locality_epoch
     }
 
     /// The heap's capacity in bytes.
@@ -217,6 +233,7 @@ impl Heap {
         self.stats.used_bytes -= record.footprint();
         self.stats.live_objects -= 1;
         self.stats.migrated_out += 1;
+        self.locality_epoch += 1;
         Ok(record)
     }
 
@@ -237,6 +254,7 @@ impl Heap {
         self.stats.used_bytes += footprint;
         self.stats.live_objects += 1;
         self.stats.migrated_in += 1;
+        self.locality_epoch += 1;
         let prev = self.objects.insert(id, record);
         assert!(prev.is_none(), "object id {id} reused");
         Ok(())

@@ -93,6 +93,116 @@ pub trait RuntimeHooks: Send + Sync {
     fn on_gc(&self, report: &GcReport) {}
 }
 
+/// One deferred hook event, queued by the flat interpreter's burst loop.
+///
+/// The tree-walking interpreter pays an `Arc<Mutex<Vm>>` unlock/relock plus
+/// a dynamic-dispatch hook call at every instrumented op. The flat
+/// interpreter instead executes a burst of ops under one lock, pushing
+/// observable events onto a [`PendingEvents`] queue, and drains the queue to
+/// the real [`RuntimeHooks`] *outside* the lock — same events, same order,
+/// amortised dispatch. Allocation, free, and GC events are not queued: they
+/// are delivered by the allocation/collection path itself, which already
+/// runs between bursts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PendingEvent {
+    /// An inter-class interaction ([`RuntimeHooks::on_interaction`]).
+    Interaction(Interaction),
+    /// Exclusive CPU time accrued ([`RuntimeHooks::on_work`]).
+    Work {
+        /// Class the work is attributed to.
+        class: ClassId,
+        /// Microseconds of client-speed CPU.
+        micros: f64,
+    },
+    /// A native invocation ([`RuntimeHooks::on_native`]).
+    Native {
+        /// Class whose code invoked the native.
+        caller: ClassId,
+        /// Which native.
+        kind: NativeKind,
+        /// CPU burned by the native.
+        work_micros: u32,
+        /// Payload bytes (parameters plus results).
+        bytes: u64,
+        /// `true` when the call travelled back to the client.
+        remote: bool,
+    },
+    /// A static-data access ([`RuntimeHooks::on_static_access`]).
+    StaticAccess {
+        /// Class whose code performed the access.
+        accessor: ClassId,
+        /// Class owning the static data.
+        class: ClassId,
+        /// Bytes accessed.
+        bytes: u64,
+        /// `true` when the access travelled to the client.
+        remote: bool,
+    },
+    /// A method body finished ([`RuntimeHooks::on_method_exit`]).
+    MethodExit {
+        /// Class owning the method.
+        class: ClassId,
+        /// The method that returned.
+        method: MethodId,
+    },
+}
+
+/// FIFO queue of [`PendingEvent`]s awaiting delivery to a hook sink.
+///
+/// The backing buffer is reused across flushes, so steady-state batched
+/// dispatch allocates nothing.
+#[derive(Debug, Default)]
+pub struct PendingEvents {
+    queue: Vec<PendingEvent>,
+}
+
+impl PendingEvents {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        PendingEvents::default()
+    }
+
+    /// Queues one event.
+    #[inline]
+    pub fn push(&mut self, event: PendingEvent) {
+        self.queue.push(event);
+    }
+
+    /// Returns `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drains every queued event to `hooks`, in the order queued.
+    pub fn flush(&mut self, hooks: &dyn RuntimeHooks) {
+        for event in self.queue.drain(..) {
+            match event {
+                PendingEvent::Interaction(i) => hooks.on_interaction(i),
+                PendingEvent::Work { class, micros } => hooks.on_work(class, micros),
+                PendingEvent::Native {
+                    caller,
+                    kind,
+                    work_micros,
+                    bytes,
+                    remote,
+                } => hooks.on_native(caller, kind, work_micros, bytes, remote),
+                PendingEvent::StaticAccess {
+                    accessor,
+                    class,
+                    bytes,
+                    remote,
+                } => hooks.on_static_access(accessor, class, bytes, remote),
+                PendingEvent::MethodExit { class, method } => hooks.on_method_exit(class, method),
+            }
+        }
+    }
+}
+
 /// A hook implementation that ignores every event (monitoring off).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NullHooks;
@@ -308,6 +418,47 @@ mod tests {
         let chain = HookChain::new(vec![]);
         assert!(chain.is_empty());
         chain.on_work(ClassId(0), 1.0);
+    }
+
+    #[test]
+    fn pending_events_flush_fifo_and_reuse_buffer() {
+        #[derive(Default)]
+        struct Order(std::sync::Mutex<Vec<&'static str>>);
+        impl RuntimeHooks for Order {
+            fn on_interaction(&self, _: Interaction) {
+                self.0.lock().unwrap().push("interaction");
+            }
+            fn on_work(&self, _: ClassId, _: f64) {
+                self.0.lock().unwrap().push("work");
+            }
+            fn on_method_exit(&self, _: ClassId, _: MethodId) {
+                self.0.lock().unwrap().push("exit");
+            }
+        }
+        let sink = Order::default();
+        let mut pending = PendingEvents::new();
+        assert!(pending.is_empty());
+        pending.push(PendingEvent::Work {
+            class: ClassId(0),
+            micros: 1.0,
+        });
+        pending.push(PendingEvent::Interaction(Interaction {
+            caller: ClassId(0),
+            callee: ClassId(1),
+            target: None,
+            kind: InteractionKind::Invocation,
+            bytes: 8,
+            remote: false,
+        }));
+        pending.push(PendingEvent::MethodExit {
+            class: ClassId(0),
+            method: MethodId(0),
+        });
+        assert_eq!(pending.len(), 3);
+        pending.flush(&sink);
+        assert!(pending.is_empty());
+        pending.flush(&sink); // flushing an empty queue is a no-op
+        assert_eq!(*sink.0.lock().unwrap(), vec!["work", "interaction", "exit"]);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   event to [`RuntimeHooks`] (the monitoring interposition point) and
 //!   forwards operations on non-local objects through [`RemoteAccess`] (the
 //!   transparent remote-execution interposition point).
+//! * [`FlatProgram`] — the pre-decoded flat IR the default register-VM
+//!   interpreter executes (select the legacy tree-walker with
+//!   `AIDE_VM_LEGACY=1` or [`Machine::set_exec_mode`]).
 //! * [`NativeKind`] — native-method annotations, including the paper's
 //!   stateless-native enhancement.
 //!
@@ -51,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod flat;
 mod gc;
 mod heap;
 mod hooks;
@@ -60,12 +64,16 @@ mod natives;
 mod program;
 
 pub use error::{VmError, VmResult};
+pub use flat::{CallSite, FlatMethod, FlatOp, FlatProgram, Sym, NO_SITE, UNRESOLVED};
 pub use gc::{Collector, GcConfig, GcReport};
 pub use heap::{Heap, HeapStats, ObjectRecord};
-pub use hooks::{CountingHooks, HookChain, Interaction, InteractionKind, NullHooks, RuntimeHooks};
+pub use hooks::{
+    CountingHooks, HookChain, Interaction, InteractionKind, NullHooks, PendingEvent, PendingEvents,
+    RuntimeHooks,
+};
 pub use ids::{ClassId, MethodId, ObjectId, Reg};
 pub use machine::{
-    CostModel, ExternalRootAudit, Machine, RemoteAccess, RunSummary, Vm, VmConfig, VmKind,
+    CostModel, ExecMode, ExternalRootAudit, Machine, RemoteAccess, RunSummary, Vm, VmConfig, VmKind,
 };
 pub use natives::{native_requires_client, NativeKind};
 pub use program::{ClassDef, EntryPoint, MethodDef, Op, Program, ProgramBuilder};

@@ -12,17 +12,31 @@
 //! forwards the operation through `RemoteAccess` — the distributed platform
 //! implements this with real RPC messages, and a stand-alone VM runs with no
 //! remote at all (any cross-VM touch is then a dangling reference).
+//!
+//! Two interpreters execute method bodies (selected by [`ExecMode`]):
+//!
+//! * the **flat** register VM (default): bodies pre-compiled once to the
+//!   contiguous IR of [`crate::flat`], executed in bursts over one
+//!   contiguous value stack with `{ base, ip }` frame windows, per-site
+//!   inline caches for the local-vs-remote reference check, and batched
+//!   hook dispatch via [`PendingEvents`];
+//! * the **legacy** tree-walker (`AIDE_VM_LEGACY=1`): the seed
+//!   implementation, kept as a differential-testing oracle and escape
+//!   hatch. Both produce identical [`RunSummary`]s and hook event streams.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::error::{VmError, VmResult};
+use crate::flat::{FlatOp, FlatProgram, UNRESOLVED};
 use crate::gc::{Collector, GcConfig, GcReport};
 use crate::heap::{Heap, ObjectRecord};
-use crate::hooks::{Interaction, InteractionKind, NullHooks, RuntimeHooks};
+use crate::hooks::{
+    Interaction, InteractionKind, NullHooks, PendingEvent, PendingEvents, RuntimeHooks,
+};
 use crate::ids::{ClassId, MethodId, ObjectId, Reg};
 use crate::natives::{native_requires_client, NativeKind};
 use crate::program::{Op, Program};
@@ -126,6 +140,141 @@ struct Frame {
     regs: [Option<ObjectId>; Reg::COUNT],
 }
 
+/// A flat-interpreter frame: a fixed [`Reg::COUNT`]-register *window* into
+/// its [`ExecState`]'s contiguous value stack, plus the resume point.
+/// `Copy`, 32 bytes — pushing a call allocates nothing beyond bumping the
+/// shared stacks.
+#[derive(Debug, Clone, Copy)]
+struct FlatFrame {
+    /// First value-stack index of this frame's register window.
+    base: u32,
+    /// Next instruction index into the flat code stream.
+    ip: u32,
+    /// Class of the executing method (interaction attribution).
+    class: ClassId,
+    /// The executing method (for `MethodExit` events).
+    method: MethodId,
+    /// Receiver (`None` in static methods).
+    self_obj: Option<ObjectId>,
+    /// Loop-counter stack depth at entry; `Return` truncates back to it.
+    loop_base: u32,
+}
+
+/// One logical thread of flat-interpreter execution. States live in
+/// [`Vm::exec_states`] (not on the host stack) so the collector sees every
+/// register of every in-flight burst as a root, exactly like the legacy
+/// frame table.
+#[derive(Debug, Default)]
+struct ExecState {
+    /// Contiguous value stack; each frame owns an 8-register window.
+    values: Vec<Option<ObjectId>>,
+    /// Call stack of frame windows.
+    frames: Vec<FlatFrame>,
+    /// Active `Loop` iteration counters, innermost last.
+    loops: Vec<u32>,
+}
+
+/// One inline-cache entry: the last object seen at a flat-IR site, the
+/// class it resolved to, and the heap locality epoch the answer was cached
+/// under. A monomorphic site's local-vs-remote check is then a single
+/// compare-and-branch; any migration bumps the epoch and implicitly
+/// flushes every site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IcEntry {
+    target: ObjectId,
+    class: ClassId,
+    epoch: u64,
+}
+
+impl IcEntry {
+    /// An entry that can never hit: `u64::MAX` is an unreachable epoch
+    /// (the heap's counter starts at zero and increments by one).
+    const INVALID: IcEntry = IcEntry {
+        target: ObjectId(0),
+        class: ClassId(0),
+        epoch: u64::MAX,
+    };
+}
+
+/// Ops executed per VM-lock acquisition by the flat interpreter. Large
+/// enough to amortise the lock, small enough that RPC worker threads
+/// serving the peer never starve.
+const BURST_OPS: u32 = 128;
+
+/// Why a flat-interpreter burst returned control to the (unlocked) driver.
+#[derive(Debug, Clone, Copy)]
+enum Exit {
+    /// The entry frame returned; the run is complete.
+    Done,
+    /// Burst budget exhausted or a queued event needs flushing.
+    Yield,
+    /// An `Op::New` needs the allocation/GC path (which takes its own
+    /// locks and emits its own hooks).
+    Alloc {
+        creating: ClassId,
+        class: ClassId,
+        scalar_bytes: u32,
+        ref_slots: u16,
+        dst: u8,
+    },
+    /// A dynamic call's receiver is not local: forward through
+    /// [`RemoteAccess::invoke`].
+    Invoke {
+        call: u32,
+        target: ObjectId,
+        args: [ObjectId; Reg::COUNT],
+        n_args: u8,
+    },
+    /// A field access on a non-local object.
+    Field {
+        caller: ClassId,
+        target: ObjectId,
+        bytes: u32,
+        write: bool,
+    },
+    /// `GetSlot` on a receiver that migrated away mid-method.
+    SlotGet {
+        target: ObjectId,
+        slot: u16,
+        dst: u8,
+    },
+    /// `PutSlot` on a receiver that migrated away mid-method.
+    SlotPut {
+        target: ObjectId,
+        slot: u16,
+        value: Option<ObjectId>,
+    },
+    /// `GetSlotOf` on a non-local object.
+    SlotGetOf {
+        caller: ClassId,
+        target: ObjectId,
+        slot: u16,
+        dst: u8,
+    },
+    /// `PutSlotOf` on a non-local object.
+    SlotPutOf {
+        caller: ClassId,
+        target: ObjectId,
+        slot: u16,
+        value: Option<ObjectId>,
+    },
+    /// A client-bound native invoked on the surrogate.
+    NativeCall {
+        caller: ClassId,
+        kind: NativeKind,
+        work_micros: u32,
+        arg_bytes: u32,
+        ret_bytes: u32,
+    },
+    /// A static-data access from the surrogate.
+    StaticAccess {
+        accessor: ClassId,
+        class: ClassId,
+        bytes: u32,
+        write: bool,
+    },
+}
+
 /// Lifetime audit of external-root pin/unpin traffic on one VM.
 ///
 /// Distributed GC is balanced when every pin is matched by exactly one
@@ -164,19 +313,60 @@ fn audit_metrics() -> &'static (
     })
 }
 
+/// Process-wide flat-interpreter counters mirrored into the telemetry
+/// registry: inline-cache hits, misses, and dispatched ops. Best-effort
+/// under concurrent runs (per-run deltas are sampled outside the lock);
+/// the authoritative per-run numbers come from [`Vm::ic_stats`].
+fn vm_metrics() -> &'static (
+    Arc<aide_telemetry::Counter>,
+    Arc<aide_telemetry::Counter>,
+    Arc<aide_telemetry::Counter>,
+) {
+    static METRICS: std::sync::OnceLock<(
+        Arc<aide_telemetry::Counter>,
+        Arc<aide_telemetry::Counter>,
+        Arc<aide_telemetry::Counter>,
+    )> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let t = aide_telemetry::global();
+        (
+            t.counter(aide_telemetry::names::VM_IC_HITS),
+            t.counter(aide_telemetry::names::VM_IC_MISSES),
+            t.counter(aide_telemetry::names::VM_DISPATCH_OPS),
+        )
+    })
+}
+
 /// The mutable state of one virtual machine.
 #[derive(Debug)]
 pub struct Vm {
     config: VmConfig,
     program: Arc<Program>,
+    /// Lazily compiled flat IR, shared by every flat run over this VM.
+    flat: Option<Arc<FlatProgram>>,
     heap: Heap,
     gc: Collector,
     next_object: u64,
     next_frame: u64,
     frames: HashMap<u64, Frame>,
+    /// Flat-interpreter execution states, keyed by a fresh id per run so
+    /// the collector can enumerate their registers as roots.
+    exec_states: HashMap<u64, ExecState>,
+    next_state: u64,
+    /// Inline-cache table, one entry per flat-IR cache site.
+    ic: Vec<IcEntry>,
+    ic_hits: u64,
+    ic_misses: u64,
     external_roots: HashMap<ObjectId, u32>,
     root_audit: ExternalRootAudit,
-    cpu_seconds: f64,
+    /// Virtual CPU spent in the interpreter loop proper (the mutator).
+    mutator_seconds: f64,
+    /// Virtual CPU spent emitting monitor events (the instrumentation tax,
+    /// reported separately so fig6-style overhead numbers stay honest).
+    hook_seconds: f64,
+    /// Logical (program-visible) ops executed; loop/return control ops the
+    /// flat compiler inserts are not counted, so both interpreters agree.
+    ops_executed: u64,
     statics_accesses: u64,
 }
 
@@ -188,12 +378,20 @@ impl Vm {
             gc: Collector::new(config.gc),
             config,
             program,
+            flat: None,
             next_object: 0,
             next_frame: 0,
             frames: HashMap::new(),
+            exec_states: HashMap::new(),
+            next_state: 0,
+            ic: Vec::new(),
+            ic_hits: 0,
+            ic_misses: 0,
             external_roots: HashMap::new(),
             root_audit: ExternalRootAudit::default(),
-            cpu_seconds: 0.0,
+            mutator_seconds: 0.0,
+            hook_seconds: 0.0,
+            ops_executed: 0,
             statics_accesses: 0,
         }
     }
@@ -224,9 +422,36 @@ impl Vm {
         &self.gc
     }
 
-    /// Virtual CPU seconds consumed by this VM so far.
+    /// Virtual CPU seconds consumed by this VM so far: interpreter loop
+    /// plus monitor-event emission. See [`Vm::mutator_seconds`] and
+    /// [`Vm::hook_seconds`] for the split.
     pub fn cpu_seconds(&self) -> f64 {
-        self.cpu_seconds
+        self.mutator_seconds + self.hook_seconds
+    }
+
+    /// Virtual CPU seconds spent in the interpreter loop proper (op costs,
+    /// natives, GC pauses) — excludes instrumentation.
+    pub fn mutator_seconds(&self) -> f64 {
+        self.mutator_seconds
+    }
+
+    /// Virtual CPU seconds spent emitting monitor events (zero when
+    /// `monitor_event_micros` is zero).
+    pub fn hook_seconds(&self) -> f64 {
+        self.hook_seconds
+    }
+
+    /// Logical ops executed by this VM across all runs (flat control ops —
+    /// `Loop`/`EndLoop`/`Return` — are excluded, so the count is identical
+    /// under either interpreter).
+    pub fn ops_executed(&self) -> u64 {
+        self.ops_executed
+    }
+
+    /// `(hits, misses)` of the flat interpreter's inline caches. Always
+    /// `(0, 0)` under the legacy interpreter.
+    pub fn ic_stats(&self) -> (u64, u64) {
+        (self.ic_hits, self.ic_misses)
     }
 
     /// Number of static-data accesses served by this VM.
@@ -234,10 +459,26 @@ impl Vm {
         self.statics_accesses
     }
 
-    /// Advances the virtual CPU clock by `micros` of client-speed work,
-    /// scaled by this VM's speed factor.
+    /// Advances the virtual CPU clock by `micros` of client-speed mutator
+    /// work, scaled by this VM's speed factor.
     pub fn charge_micros(&mut self, micros: f64) {
-        self.cpu_seconds += micros / 1e6 / self.config.speed_factor;
+        self.mutator_seconds += micros / 1e6 / self.config.speed_factor;
+    }
+
+    /// Advances the virtual CPU clock by `micros` of client-speed
+    /// monitor-emission work, scaled by this VM's speed factor.
+    pub fn charge_hook_micros(&mut self, micros: f64) {
+        self.hook_seconds += micros / 1e6 / self.config.speed_factor;
+    }
+
+    /// The program compiled to flat IR, compiling on first use.
+    pub fn flat_program(&mut self) -> Arc<FlatProgram> {
+        if let Some(f) = &self.flat {
+            return f.clone();
+        }
+        let f = Arc::new(FlatProgram::compile(&self.program));
+        self.flat = Some(f.clone());
+        f
     }
 
     /// Mints a fresh object id on this VM's side.
@@ -308,6 +549,16 @@ impl Vm {
             roots.extend(f.self_obj);
             roots.extend(f.regs.iter().flatten().copied());
         }
+        // Flat-interpreter states: every live register window plus every
+        // frame's receiver. States stay in this table for the whole run,
+        // so a collection triggered from the allocation path between
+        // bursts sees exactly the same roots the legacy frame table would.
+        for s in self.exec_states.values() {
+            for f in &s.frames {
+                roots.extend(f.self_obj);
+            }
+            roots.extend(s.values.iter().flatten().copied());
+        }
         roots
     }
 
@@ -325,8 +576,9 @@ impl Vm {
         self.gc.collect(&mut self.heap, roots, externals)
     }
 
-    /// `(objects, bytes)` freed per class by the most recent collection.
-    pub fn last_freed_by_class(&self) -> HashMap<ClassId, (u64, u64)> {
+    /// `(objects, bytes)` freed per class by the most recent collection,
+    /// in class-id order (deterministic free-event emission).
+    pub fn last_freed_by_class(&self) -> BTreeMap<ClassId, (u64, u64)> {
         self.gc.last_freed_by_class().clone()
     }
 }
@@ -410,7 +662,7 @@ pub trait RemoteAccess: Send + Sync {
 /// Summary of a completed program run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RunSummary {
-    /// Virtual CPU seconds consumed on this VM.
+    /// Virtual CPU seconds consumed on this VM (mutator plus hook time).
     pub cpu_seconds: f64,
     /// Completed garbage-collection cycles.
     pub gc_cycles: u64,
@@ -420,6 +672,38 @@ pub struct RunSummary {
     pub objects_live: u64,
     /// Heap bytes in use at exit.
     pub heap_used: u64,
+    /// Virtual CPU seconds spent in the interpreter loop proper.
+    #[serde(default)]
+    pub mutator_seconds: f64,
+    /// Virtual CPU seconds spent emitting monitor events (the
+    /// instrumentation tax, separated out of the mutator clock).
+    #[serde(default)]
+    pub hook_seconds: f64,
+    /// Logical ops executed (identical under either interpreter).
+    #[serde(default)]
+    pub ops_executed: u64,
+}
+
+/// Which interpreter a [`Machine`] uses to execute method bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The pre-decoded flat-IR register VM (default).
+    Flat,
+    /// The seed tree-walking interpreter — escape hatch and differential
+    /// oracle, selected by `AIDE_VM_LEGACY=1`.
+    Legacy,
+}
+
+impl ExecMode {
+    /// Resolves the mode from the `AIDE_VM_LEGACY` environment variable:
+    /// `1` selects [`ExecMode::Legacy`], anything else the default flat
+    /// interpreter.
+    pub fn from_env() -> Self {
+        match std::env::var("AIDE_VM_LEGACY") {
+            Ok(v) if v == "1" => ExecMode::Legacy,
+            _ => ExecMode::Flat,
+        }
+    }
 }
 
 /// The interpreter: executes program methods against a shared [`Vm`].
@@ -433,12 +717,14 @@ pub struct Machine {
     hooks: Arc<dyn RuntimeHooks>,
     remote: Arc<std::sync::OnceLock<Arc<dyn RemoteAccess>>>,
     max_depth: usize,
+    mode: ExecMode,
 }
 
 impl std::fmt::Debug for Machine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Machine")
             .field("max_depth", &self.max_depth)
+            .field("mode", &self.mode)
             .field("has_remote", &self.remote.get().is_some())
             .finish()
     }
@@ -484,7 +770,19 @@ impl Machine {
             hooks,
             remote: cell,
             max_depth: Self::DEFAULT_MAX_DEPTH,
+            mode: ExecMode::from_env(),
         }
+    }
+
+    /// Selects which interpreter executes method bodies (overrides the
+    /// `AIDE_VM_LEGACY` environment default).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// The interpreter currently selected.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Wires the peer connection after construction (the RPC layer needs
@@ -539,14 +837,22 @@ impl Machine {
             entry.scalar_bytes,
             entry.ref_slots,
         )?;
-        self.call_local(Some(entry_obj), entry.class, entry.method, &[], 0)?;
+        match self.mode {
+            ExecMode::Flat => self.run_flat(Some(entry_obj), entry.class, entry.method, &[])?,
+            ExecMode::Legacy => {
+                self.call_local(Some(entry_obj), entry.class, entry.method, &[], 0)?;
+            }
+        }
         let vm = self.vm.lock();
         Ok(RunSummary {
-            cpu_seconds: vm.cpu_seconds,
+            cpu_seconds: vm.cpu_seconds(),
             gc_cycles: vm.gc.cycles(),
             objects_allocated: vm.heap.stats().total_allocated,
             objects_live: vm.heap.stats().live_objects,
             heap_used: vm.heap.stats().used_bytes,
+            mutator_seconds: vm.mutator_seconds,
+            hook_seconds: vm.hook_seconds,
+            ops_executed: vm.ops_executed,
         })
     }
 
@@ -564,7 +870,10 @@ impl Machine {
         method: MethodId,
         args: &[ObjectId],
     ) -> VmResult<()> {
-        self.call_local(Some(target), class, method, args, 0)
+        match self.mode {
+            ExecMode::Flat => self.run_flat(Some(target), class, method, args),
+            ExecMode::Legacy => self.call_local(Some(target), class, method, args, 0),
+        }
     }
 
     /// Performs a local field access on behalf of a peer.
@@ -734,7 +1043,7 @@ impl Machine {
         let cost = self.monitor_cost();
         if cost > 0.0 {
             let mut vm = self.vm.lock();
-            vm.charge_micros(cost);
+            vm.charge_hook_micros(cost);
         }
     }
 
@@ -764,10 +1073,14 @@ impl Machine {
             (vm.program.clone(), vm.push_frame(self_obj, args))
         };
         let mdef = program.method(class, method)?;
-        let result = self.exec_ops(&mdef.body, frame_id, self_obj, class, depth);
+        let mut op_count = 0u64;
+        let result = self.exec_ops(&mdef.body, frame_id, self_obj, class, depth, &mut op_count);
         {
             let mut vm = self.vm.lock();
             vm.pop_frame(frame_id);
+            // Flushed even on error so partial counts match the flat
+            // interpreter's dispatch-time accounting.
+            vm.ops_executed += op_count;
         }
         self.hooks.on_method_exit(class, method);
         result
@@ -841,8 +1154,15 @@ impl Machine {
         self_obj: Option<ObjectId>,
         class: ClassId,
         depth: usize,
+        op_count: &mut u64,
     ) -> VmResult<()> {
         for op in ops {
+            // `Repeat` is pure control structure: only its body ops count,
+            // once per iteration — the same logical-op accounting the flat
+            // interpreter uses (its Loop/EndLoop/Return ops are uncounted).
+            if !matches!(op, Op::Repeat { .. }) {
+                *op_count += 1;
+            }
             match op {
                 Op::Work { micros } => {
                     {
@@ -1157,12 +1477,833 @@ impl Machine {
                 }
                 Op::Repeat { n, body } => {
                     for _ in 0..*n {
-                        self.exec_ops(body, frame_id, self_obj, class, depth)?;
+                        self.exec_ops(body, frame_id, self_obj, class, depth, op_count)?;
                     }
                 }
             }
         }
         Ok(())
+    }
+
+    // ---- flat-IR interpretation -------------------------------------------------
+
+    /// Runs `(class, method)` on `self_obj` to completion under the flat
+    /// interpreter: sets up an [`ExecState`] in the VM (so its registers
+    /// are GC roots), drives bursts, and tears the state down, emitting
+    /// the same hook events in the same order as [`Machine::call_local`].
+    fn run_flat(
+        &self,
+        self_obj: Option<ObjectId>,
+        class: ClassId,
+        method: MethodId,
+        args: &[ObjectId],
+    ) -> VmResult<()> {
+        if self.max_depth == 0 {
+            return Err(VmError::CallDepthExceeded(0));
+        }
+        let (flat, sid, base_stats) = {
+            let mut vm = self.vm.lock();
+            let flat = vm.flat_program();
+            let sites = flat.site_count() as usize;
+            if vm.ic.len() < sites {
+                vm.ic.resize(sites, IcEntry::INVALID);
+            }
+            if let Some(obj) = self_obj {
+                let found = vm.heap.get(obj)?.class;
+                if found != class {
+                    return Err(VmError::ClassMismatch {
+                        expected: class,
+                        found,
+                    });
+                }
+            }
+            let entry = flat
+                .method_entry(class, method)
+                .ok_or_else(|| flat.resolution_error(class, method))?;
+            let m = *flat.method(entry);
+            let mut values = vec![None; Reg::COUNT];
+            for (i, &a) in args.iter().take(Reg::COUNT).enumerate() {
+                values[i] = Some(a);
+            }
+            let sid = vm.next_state;
+            vm.next_state += 1;
+            vm.exec_states.insert(
+                sid,
+                ExecState {
+                    values,
+                    frames: vec![FlatFrame {
+                        base: 0,
+                        ip: m.code_start,
+                        class,
+                        method,
+                        self_obj,
+                        loop_base: 0,
+                    }],
+                    loops: Vec::new(),
+                },
+            );
+            (flat, sid, (vm.ic_hits, vm.ic_misses, vm.ops_executed))
+        };
+
+        let mut pending = PendingEvents::new();
+        let result = self.flat_drive(sid, &flat, &mut pending);
+
+        let run_stats = {
+            let mut vm = self.vm.lock();
+            if let Some(state) = vm.exec_states.remove(&sid) {
+                if result.is_err() {
+                    // The legacy tree-walker emits `on_method_exit` for
+                    // every unwound frame, innermost first, even on error.
+                    for fr in state.frames.iter().rev() {
+                        pending.push(PendingEvent::MethodExit {
+                            class: fr.class,
+                            method: fr.method,
+                        });
+                    }
+                }
+            }
+            (
+                vm.ic_hits - base_stats.0,
+                vm.ic_misses - base_stats.1,
+                vm.ops_executed - base_stats.2,
+            )
+        };
+        pending.flush(self.hooks.as_ref());
+        let metrics = vm_metrics();
+        metrics.0.add(run_stats.0);
+        metrics.1.add(run_stats.1);
+        metrics.2.add(run_stats.2);
+        result
+    }
+
+    /// The burst driver: repeatedly executes a locked burst, flushes the
+    /// queued hook events outside the lock, then services whatever made
+    /// the burst exit (allocation, remote access) before re-entering.
+    #[allow(clippy::too_many_lines)]
+    fn flat_drive(
+        &self,
+        sid: u64,
+        flat: &FlatProgram,
+        pending: &mut PendingEvents,
+    ) -> VmResult<()> {
+        loop {
+            let exit = {
+                let mut vm = self.vm.lock();
+                flat_burst(&mut vm, sid, flat, pending, self.max_depth)
+            };
+            // Deliver events queued up to the exit (or error) point before
+            // acting on it — hook order must match the tree-walker's.
+            pending.flush(self.hooks.as_ref());
+            match exit? {
+                Exit::Done => return Ok(()),
+                Exit::Yield => {}
+                Exit::Alloc {
+                    creating,
+                    class,
+                    scalar_bytes,
+                    ref_slots,
+                    dst,
+                } => {
+                    let id = self.alloc_object(creating, class, scalar_bytes, ref_slots)?;
+                    self.flat_write_reg(sid, dst, Some(id))?;
+                }
+                Exit::Invoke {
+                    call,
+                    target,
+                    args,
+                    n_args,
+                } => {
+                    let cs = *flat.call(call);
+                    let remote = self
+                        .remote
+                        .get()
+                        .ok_or(VmError::DanglingReference(target))?;
+                    remote.invoke(
+                        target,
+                        cs.class,
+                        cs.method,
+                        cs.arg_bytes,
+                        cs.ret_bytes,
+                        &args[..n_args as usize],
+                    )?;
+                }
+                Exit::Field {
+                    caller,
+                    target,
+                    bytes,
+                    write,
+                } => {
+                    let callee = self.class_of(target)?;
+                    self.record_interaction(
+                        caller,
+                        callee,
+                        Some(target),
+                        InteractionKind::FieldAccess,
+                        bytes as u64,
+                        true,
+                    );
+                    let remote = self
+                        .remote
+                        .get()
+                        .ok_or(VmError::DanglingReference(target))?;
+                    remote.field_access(target, bytes, write)?;
+                }
+                Exit::SlotGet { target, slot, dst } => {
+                    let remote = self
+                        .remote
+                        .get()
+                        .ok_or(VmError::DanglingReference(target))?;
+                    let value = remote.get_slot(target, slot)?;
+                    self.flat_write_reg(sid, dst, value)?;
+                }
+                Exit::SlotPut {
+                    target,
+                    slot,
+                    value,
+                } => {
+                    let remote = self
+                        .remote
+                        .get()
+                        .ok_or(VmError::DanglingReference(target))?;
+                    remote.put_slot(target, slot, value)?;
+                }
+                Exit::SlotGetOf {
+                    caller,
+                    target,
+                    slot,
+                    dst,
+                } => {
+                    let callee = self.class_of(target)?;
+                    let remote = self
+                        .remote
+                        .get()
+                        .ok_or(VmError::DanglingReference(target))?;
+                    let value = remote.get_slot(target, slot)?;
+                    self.record_interaction(
+                        caller,
+                        callee,
+                        Some(target),
+                        InteractionKind::FieldAccess,
+                        8,
+                        true,
+                    );
+                    self.flat_write_reg(sid, dst, value)?;
+                }
+                Exit::SlotPutOf {
+                    caller,
+                    target,
+                    slot,
+                    value,
+                } => {
+                    let callee = self.class_of(target)?;
+                    let remote = self
+                        .remote
+                        .get()
+                        .ok_or(VmError::DanglingReference(target))?;
+                    remote.put_slot(target, slot, value)?;
+                    self.record_interaction(
+                        caller,
+                        callee,
+                        Some(target),
+                        InteractionKind::FieldAccess,
+                        8,
+                        true,
+                    );
+                }
+                Exit::NativeCall {
+                    caller,
+                    kind,
+                    work_micros,
+                    arg_bytes,
+                    ret_bytes,
+                } => {
+                    let remote = self.remote.get().ok_or_else(|| {
+                        VmError::RemoteFailure("client-bound native with no peer".into())
+                    })?;
+                    remote.native(caller, kind, work_micros, arg_bytes, ret_bytes)?;
+                }
+                Exit::StaticAccess {
+                    accessor,
+                    class,
+                    bytes,
+                    write,
+                } => {
+                    let remote = self.remote.get().ok_or_else(|| {
+                        VmError::RemoteFailure("static access with no peer".into())
+                    })?;
+                    remote.static_access(accessor, class, bytes, write)?;
+                }
+            }
+        }
+    }
+
+    /// Writes a register of the current (topmost) frame of flat state
+    /// `sid` — used by the driver to store allocation and remote-read
+    /// results back into the window.
+    fn flat_write_reg(&self, sid: u64, reg: u8, value: Option<ObjectId>) -> VmResult<()> {
+        let mut vm = self.vm.lock();
+        let state = vm.exec_states.get_mut(&sid).expect("live exec state");
+        let f = *state.frames.last().expect("exec state has a frame");
+        reg_set(&mut state.values, f.base, reg, value)
+    }
+}
+
+#[inline]
+fn reg_get(values: &[Option<ObjectId>], base: u32, reg: u8) -> VmResult<Option<ObjectId>> {
+    if (reg as usize) < Reg::COUNT {
+        Ok(values[base as usize + reg as usize])
+    } else {
+        Err(VmError::InvalidRegister(Reg(reg)))
+    }
+}
+
+#[inline]
+fn reg_obj(values: &[Option<ObjectId>], base: u32, reg: u8) -> VmResult<ObjectId> {
+    reg_get(values, base, reg)?.ok_or(VmError::NullRegister(Reg(reg)))
+}
+
+#[inline]
+fn reg_set(
+    values: &mut [Option<ObjectId>],
+    base: u32,
+    reg: u8,
+    value: Option<ObjectId>,
+) -> VmResult<()> {
+    if (reg as usize) < Reg::COUNT {
+        values[base as usize + reg as usize] = value;
+        Ok(())
+    } else {
+        Err(VmError::InvalidRegister(Reg(reg)))
+    }
+}
+
+/// Executes up to [`BURST_OPS`] flat ops of state `sid` under one VM lock.
+///
+/// Observable events are pushed onto `pending` (and their monitor cost
+/// charged to the hook clock immediately); anything that needs the
+/// allocator, the GC, or the peer returns an [`Exit`] for the unlocked
+/// driver. Mutator charges reproduce the tree-walker's exact expressions
+/// and order, so both interpreters tick the virtual clock identically.
+#[allow(clippy::too_many_lines)]
+fn flat_burst(
+    vm: &mut Vm,
+    sid: u64,
+    flat: &FlatProgram,
+    pending: &mut PendingEvents,
+    max_depth: usize,
+) -> VmResult<Exit> {
+    let Vm {
+        config,
+        heap,
+        exec_states,
+        ic,
+        ic_hits,
+        ic_misses,
+        mutator_seconds,
+        hook_seconds,
+        ops_executed,
+        statics_accesses,
+        ..
+    } = vm;
+    let speed = config.speed_factor;
+    let cost = config.cost;
+    let monitor = cost.monitor_event_micros;
+    let my_kind = config.kind;
+    let stateless_local = config.stateless_natives_local;
+    let code = flat.code();
+    let state = exec_states.get_mut(&sid).expect("live exec state");
+    // The hot loop works on a local copy of the top frame; resumable exits
+    // write it back. Error returns skip the write-back deliberately: the
+    // whole state is torn down by `run_flat` on the error path.
+    let mut f = *state.frames.last().expect("exec state has a frame");
+    let mut budget = BURST_OPS;
+
+    macro_rules! save {
+        () => {
+            *state.frames.last_mut().expect("exec state has a frame") = f;
+        };
+    }
+    // Monitor-event charge for one queued hook event (matches the legacy
+    // `charge_monitor_event`, which only charges when the cost is set).
+    macro_rules! hook_charge {
+        () => {
+            if monitor > 0.0 {
+                *hook_seconds += monitor / 1e6 / speed;
+            }
+        };
+    }
+
+    loop {
+        if budget == 0 {
+            save!();
+            return Ok(Exit::Yield);
+        }
+        budget -= 1;
+        let op = code[f.ip as usize];
+        match op {
+            FlatOp::Work { micros } => {
+                *ops_executed += 1;
+                *mutator_seconds += micros as f64 / 1e6 / speed;
+                pending.push(PendingEvent::Work {
+                    class: f.class,
+                    micros: micros as f64,
+                });
+                hook_charge!();
+                f.ip += 1;
+                save!();
+                // Exit so the queued `on_work` reaches the hooks (and
+                // through them the periodic offload evaluator) before the
+                // next op runs — exactly where the tree-walker fired it.
+                return Ok(Exit::Yield);
+            }
+            FlatOp::New {
+                class,
+                scalar_bytes,
+                ref_slots,
+                dst,
+            } => {
+                *ops_executed += 1;
+                f.ip += 1;
+                save!();
+                return Ok(Exit::Alloc {
+                    creating: f.class,
+                    class,
+                    scalar_bytes,
+                    ref_slots,
+                    dst,
+                });
+            }
+            FlatOp::Call { call } | FlatOp::CallStatic { call } => {
+                *ops_executed += 1;
+                let cs = *flat.call(call);
+                let target = if cs.is_static {
+                    None
+                } else {
+                    Some(reg_obj(&state.values, f.base, cs.obj)?)
+                };
+                let arg_regs = flat.call_args(call);
+                let mut args = [ObjectId(0); Reg::COUNT];
+                let n_args = arg_regs.len();
+                for (i, &r) in arg_regs.iter().enumerate() {
+                    args[i] = reg_obj(&state.values, f.base, r)?;
+                }
+                let bytes = cs.arg_bytes as u64 + cs.ret_bytes as u64;
+                *mutator_seconds += cost.invoke_micros / 1e6 / speed;
+
+                if let Some(t) = target {
+                    // Local-vs-remote check through the inline cache: a
+                    // monomorphic site hits on one compare of (id, epoch).
+                    let epoch = heap.locality_epoch();
+                    let entry = &mut ic[cs.ic as usize];
+                    let local_class = if entry.target == t && entry.epoch == epoch {
+                        *ic_hits += 1;
+                        Some(entry.class)
+                    } else if let Ok(rec) = heap.get(t) {
+                        *ic_misses += 1;
+                        *entry = IcEntry {
+                            target: t,
+                            class: rec.class,
+                            epoch,
+                        };
+                        Some(rec.class)
+                    } else {
+                        *ic_misses += 1;
+                        None
+                    };
+                    match local_class {
+                        Some(found) => {
+                            pending.push(PendingEvent::Interaction(Interaction {
+                                caller: f.class,
+                                callee: cs.class,
+                                target: Some(t),
+                                kind: InteractionKind::Invocation,
+                                bytes,
+                                remote: false,
+                            }));
+                            hook_charge!();
+                            if state.frames.len() >= max_depth {
+                                return Err(VmError::CallDepthExceeded(max_depth));
+                            }
+                            if found != cs.class {
+                                return Err(VmError::ClassMismatch {
+                                    expected: cs.class,
+                                    found,
+                                });
+                            }
+                            if cs.target == UNRESOLVED {
+                                return Err(flat.resolution_error(cs.class, cs.method));
+                            }
+                            let callee = flat.method(cs.target);
+                            f.ip += 1;
+                            save!();
+                            let base = state.values.len() as u32;
+                            state.values.resize(state.values.len() + Reg::COUNT, None);
+                            for (i, a) in args[..n_args].iter().enumerate() {
+                                state.values[base as usize + i] = Some(*a);
+                            }
+                            f = FlatFrame {
+                                base,
+                                ip: callee.code_start,
+                                class: cs.class,
+                                method: cs.method,
+                                self_obj: Some(t),
+                                loop_base: state.loops.len() as u32,
+                            };
+                            state.frames.push(f);
+                        }
+                        None => {
+                            pending.push(PendingEvent::Interaction(Interaction {
+                                caller: f.class,
+                                callee: cs.class,
+                                target: Some(t),
+                                kind: InteractionKind::Invocation,
+                                bytes,
+                                remote: true,
+                            }));
+                            hook_charge!();
+                            f.ip += 1;
+                            save!();
+                            return Ok(Exit::Invoke {
+                                call,
+                                target: t,
+                                args,
+                                n_args: n_args as u8,
+                            });
+                        }
+                    }
+                } else {
+                    // Static: runs locally on whichever VM invokes it;
+                    // interaction recorded only across classes.
+                    if cs.class != f.class {
+                        pending.push(PendingEvent::Interaction(Interaction {
+                            caller: f.class,
+                            callee: cs.class,
+                            target: None,
+                            kind: InteractionKind::Invocation,
+                            bytes,
+                            remote: false,
+                        }));
+                        hook_charge!();
+                    }
+                    if state.frames.len() >= max_depth {
+                        return Err(VmError::CallDepthExceeded(max_depth));
+                    }
+                    if cs.target == UNRESOLVED {
+                        return Err(flat.resolution_error(cs.class, cs.method));
+                    }
+                    let callee = flat.method(cs.target);
+                    f.ip += 1;
+                    save!();
+                    let base = state.values.len() as u32;
+                    state.values.resize(state.values.len() + Reg::COUNT, None);
+                    for (i, a) in args[..n_args].iter().enumerate() {
+                        state.values[base as usize + i] = Some(*a);
+                    }
+                    f = FlatFrame {
+                        base,
+                        ip: callee.code_start,
+                        class: cs.class,
+                        method: cs.method,
+                        self_obj: None,
+                        loop_base: state.loops.len() as u32,
+                    };
+                    state.frames.push(f);
+                }
+            }
+            FlatOp::Read {
+                obj,
+                bytes,
+                ic: site,
+            }
+            | FlatOp::Write {
+                obj,
+                bytes,
+                ic: site,
+            } => {
+                *ops_executed += 1;
+                let write = matches!(op, FlatOp::Write { .. });
+                let target = reg_obj(&state.values, f.base, obj)?;
+                let epoch = heap.locality_epoch();
+                let entry = &mut ic[site as usize];
+                let local_class = if entry.target == target && entry.epoch == epoch {
+                    *ic_hits += 1;
+                    Some(entry.class)
+                } else if let Ok(rec) = heap.get(target) {
+                    *ic_misses += 1;
+                    *entry = IcEntry {
+                        target,
+                        class: rec.class,
+                        epoch,
+                    };
+                    Some(rec.class)
+                } else {
+                    *ic_misses += 1;
+                    None
+                };
+                match local_class {
+                    Some(callee) => {
+                        *mutator_seconds += cost.field_access_micros / 1e6 / speed;
+                        if callee != f.class {
+                            pending.push(PendingEvent::Interaction(Interaction {
+                                caller: f.class,
+                                callee,
+                                target: Some(target),
+                                kind: InteractionKind::FieldAccess,
+                                bytes: bytes as u64,
+                                remote: false,
+                            }));
+                            hook_charge!();
+                        }
+                        f.ip += 1;
+                    }
+                    None => {
+                        f.ip += 1;
+                        save!();
+                        return Ok(Exit::Field {
+                            caller: f.class,
+                            target,
+                            bytes,
+                            write,
+                        });
+                    }
+                }
+            }
+            FlatOp::GetSlot { slot, dst } => {
+                *ops_executed += 1;
+                let me = f.self_obj.ok_or_else(|| {
+                    VmError::InvalidProgram("self slot access in static method".into())
+                })?;
+                match heap.get(me) {
+                    Ok(rec) => {
+                        let value = *slot_ref(rec, me, slot)?;
+                        reg_set(&mut state.values, f.base, dst, value)?;
+                        f.ip += 1;
+                    }
+                    Err(_) => {
+                        // Receiver migrated away mid-method: remote access.
+                        pending.push(PendingEvent::Interaction(Interaction {
+                            caller: f.class,
+                            callee: f.class,
+                            target: Some(me),
+                            kind: InteractionKind::FieldAccess,
+                            bytes: 8,
+                            remote: true,
+                        }));
+                        hook_charge!();
+                        f.ip += 1;
+                        save!();
+                        return Ok(Exit::SlotGet {
+                            target: me,
+                            slot,
+                            dst,
+                        });
+                    }
+                }
+            }
+            FlatOp::PutSlot { slot, src } => {
+                *ops_executed += 1;
+                let me = f.self_obj.ok_or_else(|| {
+                    VmError::InvalidProgram("self slot access in static method".into())
+                })?;
+                let value = reg_get(&state.values, f.base, src)?;
+                match heap.get_mut(me) {
+                    Ok(rec) => {
+                        *slot_mut(rec, me, slot)? = value;
+                        f.ip += 1;
+                    }
+                    Err(_) => {
+                        pending.push(PendingEvent::Interaction(Interaction {
+                            caller: f.class,
+                            callee: f.class,
+                            target: Some(me),
+                            kind: InteractionKind::FieldAccess,
+                            bytes: 8,
+                            remote: true,
+                        }));
+                        hook_charge!();
+                        f.ip += 1;
+                        save!();
+                        return Ok(Exit::SlotPut {
+                            target: me,
+                            slot,
+                            value,
+                        });
+                    }
+                }
+            }
+            FlatOp::GetSlotOf { obj, slot, dst } => {
+                *ops_executed += 1;
+                let target = reg_obj(&state.values, f.base, obj)?;
+                match heap.get(target) {
+                    Ok(rec) => {
+                        let callee = rec.class;
+                        let value = *slot_ref(rec, target, slot)?;
+                        if callee != f.class {
+                            pending.push(PendingEvent::Interaction(Interaction {
+                                caller: f.class,
+                                callee,
+                                target: Some(target),
+                                kind: InteractionKind::FieldAccess,
+                                bytes: 8,
+                                remote: false,
+                            }));
+                            hook_charge!();
+                        }
+                        reg_set(&mut state.values, f.base, dst, value)?;
+                        f.ip += 1;
+                    }
+                    Err(_) => {
+                        f.ip += 1;
+                        save!();
+                        return Ok(Exit::SlotGetOf {
+                            caller: f.class,
+                            target,
+                            slot,
+                            dst,
+                        });
+                    }
+                }
+            }
+            FlatOp::PutSlotOf { obj, slot, src } => {
+                *ops_executed += 1;
+                let target = reg_obj(&state.values, f.base, obj)?;
+                if heap.contains(target) {
+                    let value = reg_get(&state.values, f.base, src)?;
+                    let rec = heap.get_mut(target).expect("contains() checked");
+                    let callee = rec.class;
+                    *slot_mut(rec, target, slot)? = value;
+                    if callee != f.class {
+                        pending.push(PendingEvent::Interaction(Interaction {
+                            caller: f.class,
+                            callee,
+                            target: Some(target),
+                            kind: InteractionKind::FieldAccess,
+                            bytes: 8,
+                            remote: false,
+                        }));
+                        hook_charge!();
+                    }
+                    f.ip += 1;
+                } else {
+                    let value = reg_get(&state.values, f.base, src)?;
+                    f.ip += 1;
+                    save!();
+                    return Ok(Exit::SlotPutOf {
+                        caller: f.class,
+                        target,
+                        slot,
+                        value,
+                    });
+                }
+            }
+            FlatOp::Native {
+                kind,
+                work_micros,
+                arg_bytes,
+                ret_bytes,
+            } => {
+                *ops_executed += 1;
+                let bytes = arg_bytes as u64 + ret_bytes as u64;
+                let must_go_to_client =
+                    my_kind == VmKind::Surrogate && native_requires_client(kind, stateless_local);
+                if must_go_to_client {
+                    pending.push(PendingEvent::Native {
+                        caller: f.class,
+                        kind,
+                        work_micros,
+                        bytes,
+                        remote: true,
+                    });
+                    hook_charge!();
+                    f.ip += 1;
+                    save!();
+                    return Ok(Exit::NativeCall {
+                        caller: f.class,
+                        kind,
+                        work_micros,
+                        arg_bytes,
+                        ret_bytes,
+                    });
+                }
+                *mutator_seconds += (cost.native_base_micros + work_micros as f64) / 1e6 / speed;
+                pending.push(PendingEvent::Native {
+                    caller: f.class,
+                    kind,
+                    work_micros,
+                    bytes,
+                    remote: false,
+                });
+                hook_charge!();
+                f.ip += 1;
+            }
+            FlatOp::GetStatic { class, bytes } | FlatOp::PutStatic { class, bytes } => {
+                *ops_executed += 1;
+                let write = matches!(op, FlatOp::PutStatic { .. });
+                if my_kind == VmKind::Surrogate {
+                    pending.push(PendingEvent::StaticAccess {
+                        accessor: f.class,
+                        class,
+                        bytes: bytes as u64,
+                        remote: true,
+                    });
+                    hook_charge!();
+                    f.ip += 1;
+                    save!();
+                    return Ok(Exit::StaticAccess {
+                        accessor: f.class,
+                        class,
+                        bytes,
+                        write,
+                    });
+                }
+                *mutator_seconds += cost.static_access_micros / 1e6 / speed;
+                *statics_accesses += 1;
+                pending.push(PendingEvent::StaticAccess {
+                    accessor: f.class,
+                    class,
+                    bytes: bytes as u64,
+                    remote: false,
+                });
+                hook_charge!();
+                f.ip += 1;
+            }
+            FlatOp::Clear { reg } => {
+                *ops_executed += 1;
+                reg_set(&mut state.values, f.base, reg, None)?;
+                f.ip += 1;
+            }
+            FlatOp::Loop { n, end } => {
+                if n == 0 {
+                    f.ip = end + 1;
+                } else {
+                    state.loops.push(n);
+                    f.ip += 1;
+                }
+            }
+            FlatOp::EndLoop { start } => {
+                let counter = state.loops.last_mut().expect("active loop counter");
+                *counter -= 1;
+                if *counter == 0 {
+                    state.loops.pop();
+                    f.ip += 1;
+                } else {
+                    f.ip = start;
+                }
+            }
+            FlatOp::Return => {
+                pending.push(PendingEvent::MethodExit {
+                    class: f.class,
+                    method: f.method,
+                });
+                state.frames.pop();
+                state.values.truncate(f.base as usize);
+                state.loops.truncate(f.loop_base as usize);
+                match state.frames.last() {
+                    Some(parent) => f = *parent,
+                    None => return Ok(Exit::Done),
+                }
+            }
+        }
     }
 }
 
